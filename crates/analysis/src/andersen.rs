@@ -1,0 +1,706 @@
+//! Inclusion-based (Andersen-style) points-to analysis.
+//!
+//! Implements the constraint rules of the paper's Figure 3, extended
+//! with field sensitivity, interprocedural parameter/return flow, and
+//! on-the-fly resolution of indirect calls through function-pointer
+//! points-to sets. The analysis is *flow insensitive* by design: in a
+//! multithreaded program instructions from different threads interleave
+//! arbitrarily, so instruction order cannot be trusted (§4.2); Lazy
+//! Diagnosis reintroduces order only between target events, later, from
+//! trace timing.
+//!
+//! **Scope restriction**: when given the executed-instruction set from a
+//! control-flow trace, constraints are generated only from executed
+//! instructions. This is the "hybrid" in hybrid points-to analysis — the
+//! solved system is roughly an order of magnitude smaller (the paper
+//! reports 9× on average) while remaining sound *for the executions
+//! observed*, which is what root-cause diagnosis needs.
+
+use crate::loc::{Loc, PtsSet};
+use lazy_ir::{BinOp, FuncId, InstKind, Module, Operand, Pc, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A constraint variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Var {
+    /// A virtual register of a function.
+    Reg(FuncId, ValueId),
+    /// The contents of an abstract location (what is stored there).
+    Contents(Loc),
+    /// A function's return value.
+    Ret(FuncId),
+    /// A synthetic variable pre-seeded with one location (for non-
+    /// register operands such as `@global` or `@func`).
+    Const(Loc),
+}
+
+/// A complex (pointer-indirected) constraint attached to a variable.
+#[derive(Clone, Debug)]
+enum Complex {
+    /// `dst ⊇ *v` — rule (4) of Figure 3.
+    LoadInto(u32),
+    /// `*v ⊇ src` — rule (3) of Figure 3.
+    StoreFrom(u32),
+    /// `dst ⊇ v.field(offset)` — field-sensitive address computation.
+    FieldInto(u32, usize),
+    /// Indirect call through `v`: wire arguments and result to each
+    /// function location that flows into `v`.
+    CallThrough { args: Vec<Option<u32>>, result: u32 },
+}
+
+/// Counters describing one analysis run (used by Table 4 / Figure 7
+/// harnesses to report work reduction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Instructions that generated constraints.
+    pub insts_analyzed: usize,
+    /// Constraint variables created.
+    pub vars: usize,
+    /// Base constraints generated (copy edges + complex + addr-of).
+    pub constraints: usize,
+    /// Location propagations performed by the solver (work measure).
+    pub propagations: u64,
+}
+
+/// The analysis engine and its solved result.
+pub struct PointsTo {
+    interner: HashMap<Var, u32>,
+    pts: Vec<PtsSet>,
+    stats: AnalysisStats,
+}
+
+struct Solver<'m> {
+    module: &'m Module,
+    interner: HashMap<Var, u32>,
+    vars: Vec<Var>,
+    pts: Vec<PtsSet>,
+    dirty: Vec<PtsSet>,
+    succs: Vec<HashSet<u32>>,
+    complex: Vec<Vec<Complex>>,
+    worklist: VecDeque<u32>,
+    queued: Vec<bool>,
+    stats: AnalysisStats,
+}
+
+impl<'m> Solver<'m> {
+    fn new(module: &'m Module) -> Solver<'m> {
+        Solver {
+            module,
+            interner: HashMap::new(),
+            vars: Vec::new(),
+            pts: Vec::new(),
+            dirty: Vec::new(),
+            succs: Vec::new(),
+            complex: Vec::new(),
+            worklist: VecDeque::new(),
+            queued: Vec::new(),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    fn var(&mut self, v: Var) -> u32 {
+        if let Some(&id) = self.interner.get(&v) {
+            return id;
+        }
+        let id = self.vars.len() as u32;
+        self.interner.insert(v, id);
+        self.vars.push(v);
+        self.pts.push(PtsSet::new());
+        self.dirty.push(PtsSet::new());
+        self.succs.push(HashSet::new());
+        self.complex.push(Vec::new());
+        self.queued.push(false);
+        if let Var::Const(loc) = v {
+            self.add_loc(id, loc);
+        }
+        id
+    }
+
+    fn enqueue(&mut self, v: u32) {
+        if !self.queued[v as usize] {
+            self.queued[v as usize] = true;
+            self.worklist.push_back(v);
+        }
+    }
+
+    fn add_loc(&mut self, v: u32, loc: Loc) {
+        if self.pts[v as usize].insert(loc) {
+            self.dirty[v as usize].insert(loc);
+            self.stats.propagations += 1;
+            self.enqueue(v);
+        }
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        if self.succs[from as usize].insert(to) {
+            self.stats.constraints += 1;
+            // Propagate everything already known.
+            let known: Vec<Loc> = self.pts[from as usize].iter().copied().collect();
+            for l in known {
+                self.add_loc(to, l);
+            }
+        }
+    }
+
+    fn add_complex(&mut self, on: u32, c: Complex) {
+        self.stats.constraints += 1;
+        // Apply retroactively to already-known locations.
+        let known: Vec<Loc> = self.pts[on as usize].iter().copied().collect();
+        for l in &known {
+            self.apply_complex(&c, *l);
+        }
+        self.complex[on as usize].push(c);
+    }
+
+    fn apply_complex(&mut self, c: &Complex, loc: Loc) {
+        match c {
+            Complex::LoadInto(dst) => {
+                let contents = self.var(Var::Contents(loc));
+                self.add_edge(contents, *dst);
+            }
+            Complex::StoreFrom(src) => {
+                let contents = self.var(Var::Contents(loc));
+                self.add_edge(*src, contents);
+            }
+            Complex::FieldInto(dst, offset) => {
+                self.add_loc(*dst, loc.offset_by(*offset));
+            }
+            Complex::CallThrough { args, result } => {
+                if let Some(fid) = loc.as_func() {
+                    let callee = self.module.func(fid);
+                    if callee.params.len() == args.len() {
+                        for (i, arg) in args.iter().enumerate() {
+                            if let Some(a) = arg {
+                                let p = self.var(Var::Reg(fid, ValueId(i as u32)));
+                                self.add_edge(*a, p);
+                            }
+                        }
+                        let ret = self.var(Var::Ret(fid));
+                        self.add_edge(ret, *result);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maps an operand to a variable (`None` for non-pointer constants).
+    fn op_var(&mut self, func: FuncId, op: &Operand) -> Option<u32> {
+        match op {
+            Operand::Reg(v) => Some(self.var(Var::Reg(func, *v))),
+            Operand::Global(g) => Some(self.var(Var::Const(Loc::Global(*g)))),
+            Operand::Func(f) => Some(self.var(Var::Const(Loc::Func(*f)))),
+            Operand::ConstInt(_) | Operand::Null => None,
+        }
+    }
+
+    fn flow(&mut self, func: FuncId, src: &Operand, dst: u32) {
+        if let Some(s) = self.op_var(func, src) {
+            self.add_edge(s, dst);
+        }
+    }
+
+    fn field_offset_slots(&self, strukt: &str, field: usize) -> usize {
+        let def = self.module.struct_def(strukt).expect("verified struct");
+        def.fields[..field]
+            .iter()
+            .map(|(_, t)| self.module.slot_count(t) as usize)
+            .sum()
+    }
+
+    fn gen_constraints(&mut self, scope: Option<&HashSet<Pc>>) {
+        let module = self.module;
+        for func in module.functions() {
+            let fid = func.id;
+            for inst in func.insts() {
+                if let Some(s) = scope {
+                    if !s.contains(&inst.pc) {
+                        continue;
+                    }
+                }
+                let res = |s: &mut Self| {
+                    let r = inst.result.expect("result");
+                    s.var(Var::Reg(fid, r))
+                };
+                match &inst.kind {
+                    InstKind::Alloca { .. } | InstKind::HeapAlloc { .. } => {
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        self.stats.constraints += 1;
+                        self.add_loc(r, Loc::Site(inst.pc));
+                    }
+                    InstKind::Copy { src } => {
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        self.flow(fid, src, r);
+                    }
+                    InstKind::IndexAddr { base, .. } => {
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        self.flow(fid, base, r);
+                    }
+                    InstKind::FieldAddr {
+                        base,
+                        strukt,
+                        field,
+                    } => {
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        let off = self.field_offset_slots(strukt, *field);
+                        match base {
+                            Operand::Reg(v) => {
+                                let b = self.var(Var::Reg(fid, *v));
+                                self.add_complex(b, Complex::FieldInto(r, off));
+                            }
+                            Operand::Global(g) => {
+                                self.add_loc(r, Loc::Global(*g).offset_by(off));
+                            }
+                            _ => {}
+                        }
+                    }
+                    InstKind::Bin {
+                        op: BinOp::Add | BinOp::Sub,
+                        lhs,
+                        rhs,
+                    } => {
+                        // Pointer arithmetic: conservative flow from both
+                        // sides.
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        self.flow(fid, lhs, r);
+                        self.flow(fid, rhs, r);
+                    }
+                    InstKind::Load { ptr, .. } => {
+                        let r = res(self);
+                        self.stats.insts_analyzed += 1;
+                        match ptr {
+                            Operand::Reg(v) => {
+                                let p = self.var(Var::Reg(fid, *v));
+                                self.add_complex(p, Complex::LoadInto(r));
+                            }
+                            Operand::Global(g) => {
+                                let c = self.var(Var::Contents(Loc::Global(*g)));
+                                self.add_edge(c, r);
+                            }
+                            _ => {}
+                        }
+                    }
+                    InstKind::Store { ptr, value, .. } => {
+                        self.stats.insts_analyzed += 1;
+                        let Some(val) = self.op_var(fid, value) else {
+                            continue;
+                        };
+                        match ptr {
+                            Operand::Reg(v) => {
+                                let p = self.var(Var::Reg(fid, *v));
+                                self.add_complex(p, Complex::StoreFrom(val));
+                            }
+                            Operand::Global(g) => {
+                                let c = self.var(Var::Contents(Loc::Global(*g)));
+                                self.add_edge(val, c);
+                            }
+                            _ => {}
+                        }
+                    }
+                    InstKind::Call { callee, args } => {
+                        self.stats.insts_analyzed += 1;
+                        for (i, a) in args.iter().enumerate() {
+                            let p = self.var(Var::Reg(*callee, ValueId(i as u32)));
+                            self.flow(fid, a, p);
+                        }
+                        let r = res(self);
+                        let ret = self.var(Var::Ret(*callee));
+                        self.add_edge(ret, r);
+                    }
+                    InstKind::CallIndirect { callee, args } => {
+                        self.stats.insts_analyzed += 1;
+                        let r = res(self);
+                        let argv: Vec<Option<u32>> =
+                            args.iter().map(|a| self.op_var(fid, a)).collect();
+                        match callee {
+                            Operand::Reg(v) => {
+                                let c = self.var(Var::Reg(fid, *v));
+                                self.add_complex(
+                                    c,
+                                    Complex::CallThrough {
+                                        args: argv,
+                                        result: r,
+                                    },
+                                );
+                            }
+                            Operand::Func(f) => {
+                                for (i, a) in argv.iter().enumerate() {
+                                    if let Some(a) = a {
+                                        let p = self.var(Var::Reg(*f, ValueId(i as u32)));
+                                        self.add_edge(*a, p);
+                                    }
+                                }
+                                let ret = self.var(Var::Ret(*f));
+                                self.add_edge(ret, r);
+                            }
+                            _ => {}
+                        }
+                    }
+                    InstKind::Ret { value: Some(v) } => {
+                        self.stats.insts_analyzed += 1;
+                        let ret = self.var(Var::Ret(fid));
+                        self.flow(fid, v, ret);
+                    }
+                    InstKind::ThreadSpawn { func: f, arg } => {
+                        self.stats.insts_analyzed += 1;
+                        let p = self.var(Var::Reg(*f, ValueId(0)));
+                        self.flow(fid, arg, p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        while let Some(v) = self.worklist.pop_front() {
+            self.queued[v as usize] = false;
+            let delta: Vec<Loc> = std::mem::take(&mut self.dirty[v as usize])
+                .into_iter()
+                .collect();
+            if delta.is_empty() {
+                continue;
+            }
+            // Apply complex constraints to the new locations.
+            let cs = self.complex[v as usize].clone();
+            for c in &cs {
+                for l in &delta {
+                    self.apply_complex(c, *l);
+                }
+            }
+            // Propagate along copy edges.
+            let succs: Vec<u32> = self.succs[v as usize].iter().copied().collect();
+            for s in succs {
+                for l in &delta {
+                    self.add_loc(s, *l);
+                }
+            }
+        }
+    }
+}
+
+impl PointsTo {
+    /// Whole-program analysis: constraints from every instruction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lazy_analysis::{loc::sets_intersect, PointsTo};
+    /// use lazy_ir::{ModuleBuilder, Type};
+    ///
+    /// let mut mb = ModuleBuilder::new("m");
+    /// let mut f = mb.function("main", vec![], Type::Void);
+    /// let entry = f.entry();
+    /// f.switch_to(entry);
+    /// let a = f.alloca(Type::I64);
+    /// let b = f.alloca(Type::I64);
+    /// let alias_of_a = f.copy(a.clone());
+    /// f.halt();
+    /// f.finish();
+    /// let module = mb.finish().unwrap();
+    ///
+    /// let pts = PointsTo::analyze(&module);
+    /// let fid = module.func_by_name("main").unwrap().id;
+    /// let pa = pts.pts_of_operand(fid, &a);
+    /// assert_eq!(pa, pts.pts_of_operand(fid, &alias_of_a));
+    /// assert!(!sets_intersect(&pa, &pts.pts_of_operand(fid, &b)));
+    /// ```
+    pub fn analyze(module: &Module) -> PointsTo {
+        Self::analyze_impl(module, None)
+    }
+
+    /// Scope-restricted analysis: constraints only from instructions in
+    /// `scope` (the executed set from trace processing).
+    pub fn analyze_scoped(module: &Module, scope: &HashSet<Pc>) -> PointsTo {
+        Self::analyze_impl(module, Some(scope))
+    }
+
+    fn analyze_impl(module: &Module, scope: Option<&HashSet<Pc>>) -> PointsTo {
+        let mut solver = Solver::new(module);
+        solver.gen_constraints(scope);
+        solver.solve();
+        let mut stats = solver.stats;
+        stats.vars = solver.vars.len();
+        PointsTo {
+            interner: solver.interner,
+            pts: solver.pts,
+            stats,
+        }
+    }
+
+    /// Analysis counters.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    fn var_pts(&self, v: Var) -> PtsSet {
+        self.interner
+            .get(&v)
+            .map(|id| self.pts[*id as usize].clone())
+            .unwrap_or_default()
+    }
+
+    /// The points-to set of an operand evaluated in `func`.
+    pub fn pts_of_operand(&self, func: FuncId, op: &Operand) -> PtsSet {
+        match op {
+            Operand::Reg(v) => self.var_pts(Var::Reg(func, *v)),
+            Operand::Global(g) => [Loc::Global(*g)].into_iter().collect(),
+            Operand::Func(f) => [Loc::Func(*f)].into_iter().collect(),
+            Operand::ConstInt(_) | Operand::Null => PtsSet::new(),
+        }
+    }
+
+    /// The points-to set of the *pointer operand* of the instruction at
+    /// `pc` (the operand type-based ranking and candidate selection key
+    /// on). Returns `None` for instructions without a pointer operand.
+    pub fn pts_of_pointer_at(&self, module: &Module, pc: Pc) -> Option<PtsSet> {
+        let loc = module.loc_of_pc(pc)?;
+        let inst = module.inst(pc)?;
+        let op = inst.kind.pointer_operand()?;
+        Some(self.pts_of_operand(loc.func, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Type};
+
+    /// p = &a; q = p; r = &b — pts(q) == {a}, disjoint from pts(r).
+    #[test]
+    fn addr_of_and_copy() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.alloca(Type::I64);
+        let b = f.alloca(Type::I64);
+        let q = f.copy(a.clone());
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        let pa = pt.pts_of_operand(fid, &a);
+        let pq = pt.pts_of_operand(fid, &q);
+        let pb = pt.pts_of_operand(fid, &b);
+        assert_eq!(pa, pq);
+        assert_eq!(pa.len(), 1);
+        assert!(!crate::loc::sets_intersect(&pa, &pb));
+    }
+
+    /// Store/load through a pointer-to-pointer: q = *pp where *pp = &x.
+    #[test]
+    fn load_store_indirection() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        let pp = f.alloca(Type::I64.ptr_to());
+        f.store(pp.clone(), x.clone(), Type::I64.ptr_to());
+        let q = f.load(pp.clone(), Type::I64.ptr_to());
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        assert_eq!(pt.pts_of_operand(fid, &q), pt.pts_of_operand(fid, &x));
+    }
+
+    /// Field sensitivity: &s.a and &s.b do not alias; &s.a aliases s.
+    #[test]
+    fn field_sensitivity() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.struct_def("S", vec![("a".into(), Type::I64), ("b".into(), Type::I64)]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let s = f.alloca(Type::Struct("S".into()));
+        let pa = f.field_addr(s.clone(), "S", "a");
+        let pb = f.field_addr(s.clone(), "S", "b");
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        let sa = pt.pts_of_operand(fid, &pa);
+        let sb = pt.pts_of_operand(fid, &pb);
+        let ss = pt.pts_of_operand(fid, &s);
+        assert!(!crate::loc::sets_intersect(&sa, &sb), "{sa:?} vs {sb:?}");
+        // Field 0 is identified with the object base.
+        assert!(crate::loc::sets_intersect(&sa, &ss));
+    }
+
+    /// Interprocedural flow through parameters and returns.
+    #[test]
+    fn call_param_and_return_flow() {
+        let mut mb = ModuleBuilder::new("m");
+        let id_fn = mb.declare("identity", vec![Type::I64.ptr_to()], Type::I64.ptr_to());
+        {
+            let mut f = mb.define(id_fn);
+            let e = f.entry();
+            f.switch_to(e);
+            let p = f.param(0);
+            f.ret(Some(p));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        let r = f.call(id_fn, vec![x.clone()]);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        assert_eq!(pt.pts_of_operand(fid, &r), pt.pts_of_operand(fid, &x));
+    }
+
+    /// Indirect calls resolve through function-pointer points-to sets.
+    #[test]
+    fn indirect_call_resolution() {
+        let mut mb = ModuleBuilder::new("m");
+        let target = mb.declare("target", vec![Type::I64.ptr_to()], Type::I64.ptr_to());
+        {
+            let mut f = mb.define(target);
+            let e = f.entry();
+            f.switch_to(e);
+            let p = f.param(0);
+            f.ret(Some(p));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        let fp = f.copy(Operand::Func(target));
+        let r = f.call_indirect(fp, vec![x.clone()]);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        assert_eq!(pt.pts_of_operand(fid, &r), pt.pts_of_operand(fid, &x));
+    }
+
+    /// Globals: the same global flows to two functions' loads.
+    #[test]
+    fn global_flow_across_threads() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("shared", Type::I64.ptr_to(), vec![]);
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.load(g.clone(), Type::I64.ptr_to());
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        f.store(g.clone(), x.clone(), Type::I64.ptr_to());
+        let t = f.spawn(worker, Operand::ConstInt(0));
+        f.join(t);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let wid = m.func_by_name("worker").unwrap().id;
+        let mid = m.func_by_name("main").unwrap().id;
+        // The load's result register in worker points to x's site.
+        let load_inst = m
+            .func_by_name("worker")
+            .unwrap()
+            .insts()
+            .find(|i| matches!(i.kind, InstKind::Load { .. }))
+            .unwrap();
+        let lr = Operand::Reg(load_inst.result.unwrap());
+        assert_eq!(pt.pts_of_operand(wid, &lr), pt.pts_of_operand(mid, &x));
+    }
+
+    /// Scope restriction removes constraints from unexecuted code.
+    #[test]
+    fn scope_restriction_prunes() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("shared", Type::I64.ptr_to(), vec![]);
+        let cold = mb.declare("cold", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(cold);
+            let e = f.entry();
+            f.switch_to(e);
+            let y = f.alloca(Type::I64);
+            f.store(g.clone(), y, Type::I64.ptr_to());
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        f.store(g.clone(), x, Type::I64.ptr_to());
+        let q = f.load(g.clone(), Type::I64.ptr_to());
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let whole = PointsTo::analyze(&m);
+        // Scope = only main's instructions.
+        let scope: HashSet<Pc> = m
+            .func_by_name("main")
+            .unwrap()
+            .insts()
+            .map(|i| i.pc)
+            .collect();
+        let scoped = PointsTo::analyze_scoped(&m, &scope);
+        let mid = m.func_by_name("main").unwrap().id;
+        let whole_q = whole.pts_of_operand(mid, &q);
+        let scoped_q = scoped.pts_of_operand(mid, &q);
+        assert_eq!(whole_q.len(), 2, "whole program sees both stores");
+        assert_eq!(
+            scoped_q.len(),
+            1,
+            "scoped analysis sees only the executed store"
+        );
+        assert!(scoped.stats().insts_analyzed < whole.stats().insts_analyzed);
+    }
+
+    /// The pointer-operand lookup used by the diagnosis pipeline.
+    #[test]
+    fn pts_of_pointer_at_failing_instruction() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        f.load(x.clone(), Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pt = PointsTo::analyze(&m);
+        let load_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let pts = pt.pts_of_pointer_at(&m, load_pc).unwrap();
+        assert_eq!(pts.len(), 1);
+        // Halt has no pointer operand.
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        assert!(pt.pts_of_pointer_at(&m, halt_pc).is_none());
+    }
+}

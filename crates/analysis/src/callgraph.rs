@@ -1,0 +1,161 @@
+//! Call-graph construction.
+//!
+//! Direct calls and thread spawns give edges immediately; indirect calls
+//! are resolved through the points-to sets of their callee operands.
+//! Used by slicing (interprocedural expansion) and by harnesses that
+//! report per-system code reachability.
+
+use crate::andersen::PointsTo;
+use lazy_ir::{FuncId, InstKind, Module};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A module's call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    callees: HashMap<FuncId, HashSet<FuncId>>,
+    callers: HashMap<FuncId, HashSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph, resolving indirect calls through `pts`.
+    pub fn build(module: &Module, pts: &PointsTo) -> CallGraph {
+        let mut cg = CallGraph::default();
+        for func in module.functions() {
+            for inst in func.insts() {
+                match &inst.kind {
+                    InstKind::Call { callee, .. } | InstKind::ThreadSpawn { func: callee, .. } => {
+                        cg.add_edge(func.id, *callee);
+                    }
+                    InstKind::CallIndirect { callee, args } => {
+                        for loc in pts.pts_of_operand(func.id, callee) {
+                            if let Some(f) = loc.as_func() {
+                                if module.func(f).params.len() == args.len() {
+                                    cg.add_edge(func.id, f);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        cg
+    }
+
+    fn add_edge(&mut self, from: FuncId, to: FuncId) {
+        self.callees.entry(from).or_default().insert(to);
+        self.callers.entry(to).or_default().insert(from);
+    }
+
+    /// Functions called (directly or via resolved indirect calls) by
+    /// `f`.
+    pub fn callees(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callees.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Functions that call `f`.
+    pub fn callers(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callers.get(&f).into_iter().flatten().copied()
+    }
+
+    /// All functions transitively reachable from `root` (inclusive).
+    pub fn reachable_from(&self, root: FuncId) -> HashSet<FuncId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([root]);
+        while let Some(f) = queue.pop_front() {
+            if seen.insert(f) {
+                queue.extend(self.callees(f));
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+
+    #[test]
+    fn direct_indirect_and_spawn_edges() {
+        let mut mb = ModuleBuilder::new("m");
+        let leaf = mb.declare("leaf", vec![], Type::Void);
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        let ind = mb.declare("ind_target", vec![], Type::Void);
+        let unreached = mb.declare("unreached", vec![], Type::Void);
+        for f in [leaf, ind, unreached] {
+            let mut b = mb.define(f);
+            let e = b.entry();
+            b.switch_to(e);
+            b.ret(None);
+            b.finish();
+        }
+        {
+            let mut b = mb.define(worker);
+            let e = b.entry();
+            b.switch_to(e);
+            b.call(leaf, vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let t = f.spawn(worker, Operand::ConstInt(0));
+        let fp = f.copy(Operand::Func(ind));
+        f.call_indirect(fp, vec![]);
+        f.join(t);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pts);
+        let main = m.func_by_name("main").unwrap().id;
+        let reach = cg.reachable_from(main);
+        assert!(reach.contains(&worker));
+        assert!(reach.contains(&leaf));
+        assert!(reach.contains(&ind));
+        assert!(!reach.contains(&unreached));
+        assert!(cg.callers(leaf).any(|c| c == worker));
+    }
+
+    /// Indirect call through a function pointer received as a
+    /// *parameter*: resolution needs the interprocedural points-to
+    /// flow, not just local constants.
+    #[test]
+    fn indirect_call_through_parameter() {
+        let mut mb = ModuleBuilder::new("m");
+        let handler = mb.declare("handler", vec![], Type::Void);
+        {
+            let mut b = mb.define(handler);
+            let e = b.entry();
+            b.switch_to(e);
+            b.ret(None);
+            b.finish();
+        }
+        let dispatcher = mb.declare("dispatcher", vec![Type::Func], Type::Void);
+        {
+            let mut b = mb.define(dispatcher);
+            let e = b.entry();
+            b.switch_to(e);
+            b.call_indirect(b.param(0), vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.call(dispatcher, vec![Operand::Func(handler)]);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pts);
+        assert!(
+            cg.callees(dispatcher).any(|c| c == handler),
+            "dispatcher's icall resolves to handler through the parameter"
+        );
+        let main = m.func_by_name("main").unwrap().id;
+        assert!(cg.reachable_from(main).contains(&handler));
+    }
+}

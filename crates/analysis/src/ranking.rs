@@ -1,0 +1,163 @@
+//! Type-based ranking of candidate instructions (§4.3).
+//!
+//! After hybrid points-to analysis finds the instructions whose pointer
+//! operands may alias the failing operand, ranking orders them by how
+//! well their declared operand type matches the failing instruction's:
+//! an instruction storing through a `%struct.Queue*` is a likelier
+//! participant in a crash at a `%struct.Queue*` load than one storing
+//! through an `i32*` (the paper's Figure 4). Nothing is discarded —
+//! casts make cross-type participation possible — ranking only
+//! prioritizes the later pipeline stages, cutting diagnosis latency
+//! (4.6× in the paper's evaluation).
+
+use lazy_ir::{InstKind, Module, Pc, Type};
+
+/// A candidate instruction with its type-match rank (1 = exact match).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankedInst {
+    /// The candidate's PC.
+    pub pc: Pc,
+    /// 1 for an exact pointee-type match with the failing operand, 2 for
+    /// a mismatch (e.g. access through a generic or cast pointer type).
+    pub rank: u32,
+}
+
+/// Returns the pointee type a memory/synchronization instruction
+/// operates on, for ranking purposes.
+pub fn operand_pointee_type(kind: &InstKind) -> Option<Type> {
+    match kind {
+        InstKind::Load { ty, .. } | InstKind::Store { ty, .. } => Some(ty.clone()),
+        InstKind::MutexLock { .. }
+        | InstKind::MutexUnlock { .. }
+        | InstKind::MutexTryLock { .. } => Some(Type::Mutex),
+        InstKind::CondWait { .. }
+        | InstKind::CondSignal { .. }
+        | InstKind::CondBroadcast { .. } => Some(Type::CondVar),
+        // A free's operand type is not tracked; treat as generic bytes.
+        InstKind::Free { .. } => Some(Type::I8),
+        _ => None,
+    }
+}
+
+/// Ranks `candidates` against the type of the failing instruction at
+/// `failing_pc`, returning them sorted best-first (stable within a
+/// rank: program order).
+///
+/// Candidates whose instruction carries no operand type (or when the
+/// failing instruction has none) are ranked 2.
+pub fn rank_candidates(module: &Module, failing_pc: Pc, candidates: &[Pc]) -> Vec<RankedInst> {
+    let fail_ty = module
+        .inst(failing_pc)
+        .and_then(|i| operand_pointee_type(&i.kind));
+    let mut out: Vec<RankedInst> = candidates
+        .iter()
+        .map(|&pc| {
+            let ty = module.inst(pc).and_then(|i| operand_pointee_type(&i.kind));
+            let rank = match (&fail_ty, &ty) {
+                (Some(ft), Some(ct)) if ft.ranking_match(ct) => 1,
+                _ => 2,
+            };
+            RankedInst { pc, rank }
+        })
+        .collect();
+    out.sort_by_key(|r| (r.rank, r.pc));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand};
+
+    /// Reproduces the paper's Figure 4: a crash at a Queue* load ranks
+    /// the Queue* store above the i32* store.
+    #[test]
+    fn queue_store_outranks_i32_store() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.struct_def("Queue", vec![("head".into(), Type::I64)]);
+        let qty = Type::Struct("Queue".into());
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let qslot = f.alloca(qty.clone().ptr_to());
+        let islot = f.alloca(Type::I32.ptr_to());
+        let q = f.heap_alloc(qty.clone(), Operand::const_int(1));
+        // I1: store of a Queue* (same type as the failing load).
+        f.store(qslot.clone(), q.clone(), qty.clone().ptr_to());
+        // I2: store of an i32*.
+        f.store(islot.clone(), Operand::Null, Type::I32.ptr_to());
+        // IF: the failing load of a Queue*.
+        f.load(qslot.clone(), qty.clone().ptr_to());
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let stores: Vec<Pc> = m
+            .all_insts()
+            .filter(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .collect();
+        let fail_pc = m
+            .all_insts()
+            .filter(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .last()
+            .unwrap();
+        let ranked = rank_candidates(&m, fail_pc, &stores);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].rank, 1, "Queue* store first");
+        assert_eq!(ranked[1].rank, 2, "i32* store second");
+        let first_inst = m.inst(ranked[0].pc).unwrap();
+        assert_eq!(
+            first_inst.kind.access_type(),
+            Some(&qty.ptr_to()),
+            "the rank-1 candidate is the Queue* store"
+        );
+    }
+
+    #[test]
+    fn lock_instructions_match_mutex_type() {
+        let mut mb = ModuleBuilder::new("m");
+        let mx = mb.global("mx", Type::Mutex, vec![]);
+        let g = mb.global("g", Type::I64, vec![0]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.lock(mx.clone());
+        f.store(g, Operand::const_int(1), Type::I64);
+        f.unlock(mx.clone());
+        f.lock(mx);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let locks: Vec<Pc> = m
+            .all_insts()
+            .filter(|(i, _)| i.kind.is_lock_acquire() || matches!(i.kind, InstKind::Store { .. }))
+            .map(|(i, _)| i.pc)
+            .collect();
+        // "Failure" at the second lock (deadlock path).
+        let fail = *locks.last().unwrap();
+        let ranked = rank_candidates(&m, fail, &locks);
+        // Lock candidates rank 1, the store ranks 2.
+        for r in &ranked {
+            let is_lock = m.inst(r.pc).unwrap().kind.is_lock_acquire();
+            assert_eq!(r.rank, if is_lock { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn nothing_discarded() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", Type::I64, vec![0]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.store(g.clone(), Operand::const_int(1), Type::I64);
+        f.load(g, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pcs: Vec<Pc> = m.all_insts().map(|(i, _)| i.pc).collect();
+        let ranked = rank_candidates(&m, pcs[0], &pcs);
+        assert_eq!(ranked.len(), pcs.len(), "ranking never drops candidates");
+    }
+}

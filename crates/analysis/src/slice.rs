@@ -1,0 +1,380 @@
+//! Static backward slicing.
+//!
+//! The substrate of the Gist baseline (§6.3): Gist computes a static
+//! backward slice from the failing instruction — every instruction whose
+//! execution could affect it through data, memory, or control
+//! dependences — then instruments the slice in production and refines it
+//! over failure recurrences. The slice here is deliberately conservative
+//! (Gist's is too; that is exactly why it must sample and refine).
+
+use crate::andersen::PointsTo;
+use crate::loc::sets_intersect;
+use lazy_ir::{control_dependence, FuncId, InstKind, Module, Operand, Pc, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Computes the backward slice from `from`, bounded to `limit`
+/// instructions (0 = unbounded).
+///
+/// The slice includes `from` itself. Dependences followed:
+///
+/// * **data** — register uses to their unique defining instructions;
+///   parameters to the matching arguments at every call site;
+/// * **memory** — loads to every store whose pointer may alias (via
+///   `pts`), and frees of may-aliased objects;
+/// * **control** — the conditional branches the instruction's block is
+///   control dependent on (postdominator-based, Ferrante-style — a
+///   branch is included only when its decision gates the block, not
+///   merely reaches it);
+/// * **interprocedural** — uses of a call's result to the callee's
+///   return instructions.
+pub fn backward_slice(module: &Module, pts: &PointsTo, from: Pc, limit: usize) -> HashSet<Pc> {
+    let index = SliceIndex::build(module, pts);
+    let mut slice: HashSet<Pc> = HashSet::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(pc) = queue.pop_front() {
+        if !slice.insert(pc) {
+            continue;
+        }
+        if limit != 0 && slice.len() >= limit {
+            break;
+        }
+        for dep in index.deps_of(module, pts, pc) {
+            if !slice.contains(&dep) {
+                queue.push_back(dep);
+            }
+        }
+    }
+    slice
+}
+
+/// Precomputed per-module lookup tables for slicing.
+struct SliceIndex {
+    /// Per function: register → defining PC.
+    defs: HashMap<(FuncId, ValueId), Pc>,
+    /// Per function: call sites targeting it, with their argument
+    /// operands (`(caller, call pc, args)`).
+    call_sites: HashMap<FuncId, Vec<(FuncId, Pc, Vec<Operand>)>>,
+    /// Per function: its return instruction PCs.
+    rets: HashMap<FuncId, Vec<Pc>>,
+    /// All stores and frees: `(func, pc)`.
+    writes: Vec<(FuncId, Pc)>,
+    /// Per function and block: conditional branches that can reach the
+    /// block.
+    control: HashMap<FuncId, HashMap<u32, Vec<Pc>>>,
+}
+
+impl SliceIndex {
+    fn build(module: &Module, _pts: &PointsTo) -> SliceIndex {
+        let mut defs = HashMap::new();
+        let mut call_sites: HashMap<FuncId, Vec<(FuncId, Pc, Vec<Operand>)>> = HashMap::new();
+        let mut rets: HashMap<FuncId, Vec<Pc>> = HashMap::new();
+        let mut writes = Vec::new();
+        let mut control: HashMap<FuncId, HashMap<u32, Vec<Pc>>> = HashMap::new();
+
+        for func in module.functions() {
+            for inst in func.insts() {
+                if let Some(r) = inst.result {
+                    defs.insert((func.id, r), inst.pc);
+                }
+                match &inst.kind {
+                    InstKind::Call { callee, args } => {
+                        call_sites.entry(*callee).or_default().push((
+                            func.id,
+                            inst.pc,
+                            args.clone(),
+                        ));
+                    }
+                    InstKind::ThreadSpawn { func: callee, arg } => {
+                        call_sites.entry(*callee).or_default().push((
+                            func.id,
+                            inst.pc,
+                            vec![arg.clone()],
+                        ));
+                    }
+                    InstKind::Ret { .. } => rets.entry(func.id).or_default().push(inst.pc),
+                    InstKind::Store { .. } | InstKind::Free { .. } => {
+                        writes.push((func.id, inst.pc));
+                    }
+                    _ => {}
+                }
+            }
+            // Control dependence via the postdominator tree: only the
+            // branches whose decision gates a block are its deps.
+            let cd = control_dependence(func);
+            let mut per_block: HashMap<u32, Vec<Pc>> = HashMap::new();
+            for (block, branches) in cd {
+                let pcs = branches
+                    .iter()
+                    .map(|b| func.block(*b).terminator().pc)
+                    .collect();
+                per_block.insert(block.0, pcs);
+            }
+            control.insert(func.id, per_block);
+        }
+        SliceIndex {
+            defs,
+            call_sites,
+            rets,
+            writes,
+            control,
+        }
+    }
+
+    fn deps_of(&self, module: &Module, pts: &PointsTo, pc: Pc) -> Vec<Pc> {
+        let Some(loc) = module.loc_of_pc(pc) else {
+            return Vec::new();
+        };
+        let Some(inst) = module.inst(pc) else {
+            return Vec::new();
+        };
+        let func = loc.func;
+        let nparams = module.func(func).params.len() as u32;
+        let mut deps = Vec::new();
+
+        // Data dependences: defs of used registers.
+        for op in inst.kind.operands() {
+            if let Operand::Reg(v) = op {
+                if v.0 < nparams {
+                    // Parameter: flows from every call site's argument.
+                    for (caller, call_pc, args) in self.call_sites.get(&func).into_iter().flatten()
+                    {
+                        deps.push(*call_pc);
+                        if let Some(Operand::Reg(av)) = args.get(v.0 as usize) {
+                            if let Some(d) = self.defs.get(&(*caller, *av)) {
+                                deps.push(*d);
+                            }
+                        }
+                    }
+                } else if let Some(d) = self.defs.get(&(func, *v)) {
+                    deps.push(*d);
+                }
+            }
+        }
+
+        // Call results depend on the callee's returns.
+        match &inst.kind {
+            InstKind::Call { callee, .. } => {
+                deps.extend(self.rets.get(callee).into_iter().flatten().copied());
+            }
+            InstKind::Load { .. } => {
+                // Memory dependences: aliasing writes anywhere.
+                if let Some(lp) = pts.pts_of_pointer_at(module, pc) {
+                    for (wf, wpc) in &self.writes {
+                        let Some(winst) = module.inst(*wpc) else {
+                            continue;
+                        };
+                        let wptr = match &winst.kind {
+                            InstKind::Store { ptr, .. } | InstKind::Free { ptr } => ptr,
+                            _ => continue,
+                        };
+                        let wp = pts.pts_of_operand(*wf, wptr);
+                        if sets_intersect(&lp, &wp) {
+                            deps.push(*wpc);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Control dependences.
+        if let Some(per_block) = self.control.get(&func) {
+            if let Some(brs) = per_block.get(&loc.block.0) {
+                deps.extend(brs.iter().copied());
+            }
+        }
+        deps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Type};
+
+    #[test]
+    fn slice_follows_data_memory_and_control() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("cfgflag", Type::I64, vec![1]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let hot = f.block("hot");
+        let cold = f.block("cold");
+        let join = f.block("join");
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        f.store(x.clone(), Operand::const_int(3), Type::I64); // mem dep of the load
+        let unrelated = f.alloca(Type::I64);
+        f.store(unrelated.clone(), Operand::const_int(9), Type::I64); // NOT a dep
+        let c = f.load(g, Type::I64);
+        let cond = f.ne(c, Operand::const_int(0));
+        f.cond_br(cond, hot, join);
+        f.switch_to(hot);
+        f.br(join);
+        f.switch_to(cold);
+        f.br(join);
+        f.switch_to(join);
+        let v = f.load(x.clone(), Type::I64); // slice seed uses x
+        let _sum = f.add(v, Operand::const_int(1));
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let seed = m
+            .all_insts()
+            .filter(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .last()
+            .unwrap();
+        let slice = backward_slice(&m, &pts, seed, 0);
+        // The store to x is in, the unrelated store is out.
+        let store_x = m
+            .all_insts()
+            .find(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let store_unrelated = m
+            .all_insts()
+            .filter(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .nth(1)
+            .unwrap();
+        assert!(slice.contains(&seed));
+        assert!(slice.contains(&store_x), "aliasing store is a memory dep");
+        assert!(
+            !slice.contains(&store_unrelated),
+            "non-aliasing store excluded"
+        );
+        // `join` always executes: the branch does NOT gate it, so
+        // postdominator-based control dependence correctly leaves the
+        // conditional branch out of this slice.
+        let condbr = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::CondBr { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        assert!(
+            !slice.contains(&condbr),
+            "join is not control dependent on the branch"
+        );
+    }
+
+    /// An instruction inside a branch arm IS control dependent on the
+    /// branch, and the branch's data deps ride along.
+    #[test]
+    fn control_dependence_pulls_in_gating_branches() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("flag", Type::I64, vec![1]);
+        let sink = mb.global("sink", Type::I64, vec![0]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let hot = f.block("hot");
+        let join = f.block("join");
+        f.switch_to(e);
+        let c = f.load(g, Type::I64);
+        let cond = f.ne(c, Operand::const_int(0));
+        f.cond_br(cond, hot, join);
+        f.switch_to(hot);
+        f.store(sink.clone(), Operand::const_int(1), Type::I64);
+        f.br(join);
+        f.switch_to(join);
+        f.load(sink, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        // Seed: the store inside the gated arm.
+        let seed = m
+            .all_insts()
+            .find(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let slice = backward_slice(&m, &pts, seed, 0);
+        let condbr = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::CondBr { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let flag_load = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        assert!(
+            slice.contains(&condbr),
+            "the gating branch is a control dep"
+        );
+        assert!(
+            slice.contains(&flag_load),
+            "the branch's data deps ride along"
+        );
+    }
+
+    #[test]
+    fn interprocedural_slice_crosses_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let producer = mb.declare("producer", vec![], Type::I64.ptr_to());
+        {
+            let mut f = mb.define(producer);
+            let e = f.entry();
+            f.switch_to(e);
+            let p = f.heap_alloc(Type::I64, Operand::const_int(1));
+            f.store(p.clone(), Operand::const_int(5), Type::I64);
+            f.ret(Some(p));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let p = f.call(producer, vec![]);
+        f.load(p, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let seed = m
+            .all_insts()
+            .filter(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .last()
+            .unwrap();
+        let slice = backward_slice(&m, &pts, seed, 0);
+        // The producer's store and halloc are reached through the return
+        // and memory dependences.
+        let store_pc = m
+            .all_insts()
+            .find(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        assert!(slice.contains(&store_pc));
+    }
+
+    #[test]
+    fn limit_bounds_slice_size() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let mut v = f.copy(Operand::const_int(0));
+        for _ in 0..50 {
+            v = f.add(v, Operand::const_int(1));
+        }
+        let x = f.alloca(Type::I64);
+        f.store(x.clone(), v, Type::I64);
+        f.load(x, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let seed = m
+            .all_insts()
+            .filter(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .last()
+            .unwrap();
+        let full = backward_slice(&m, &pts, seed, 0);
+        let bounded = backward_slice(&m, &pts, seed, 5);
+        assert!(full.len() > 50);
+        assert!(bounded.len() <= 5);
+    }
+}

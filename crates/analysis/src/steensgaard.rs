@@ -1,0 +1,387 @@
+//! Unification-based (Steensgaard-style) points-to analysis.
+//!
+//! The almost-linear-time alternative the paper contrasts with its
+//! inclusion-based choice (§4.2): assignments *unify* the points-to
+//! classes of both sides instead of creating one-directional subset
+//! edges, which is much cheaper but conflates everything that ever flows
+//! together. Provided as the precision baseline for the ablation bench —
+//! candidate sets computed from Steensgaard classes are visibly larger,
+//! which is why the paper pays for Andersen.
+
+use crate::loc::{Loc, PtsSet};
+use lazy_ir::{BinOp, FuncId, InstKind, Module, Operand, Pc, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// A node in the unification graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Node {
+    Reg(FuncId, ValueId),
+    /// The class holding an abstract object (a location "cell").
+    Cell(Loc),
+    Ret(FuncId),
+}
+
+/// Union-find with a per-class pointee link and location members.
+struct Uf {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Per-representative: the class this class's cells point to.
+    pointee: Vec<Option<u32>>,
+    /// Per-representative: abstract locations directly in this class.
+    locs: Vec<PtsSet>,
+}
+
+impl Uf {
+    fn new() -> Uf {
+        Uf {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            pointee: Vec::new(),
+            locs: Vec::new(),
+        }
+    }
+
+    fn make(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.pointee.push(None);
+        self.locs.push(PtsSet::new());
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unifies two classes (and, recursively, their pointees).
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        let lo_locs = std::mem::take(&mut self.locs[lo as usize]);
+        self.locs[hi as usize].extend(lo_locs);
+        let lo_ptr = self.pointee[lo as usize].take();
+        match (self.pointee[hi as usize], lo_ptr) {
+            (Some(p), Some(q)) => {
+                let joined = self.union(p, q);
+                let r = self.find(hi);
+                self.pointee[r as usize] = Some(joined);
+            }
+            (None, Some(q)) => self.pointee[hi as usize] = Some(q),
+            _ => {}
+        }
+        self.find(hi)
+    }
+
+    /// The pointee class of `x`, created on demand.
+    fn pointee_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        if let Some(p) = self.pointee[r as usize] {
+            return self.find(p);
+        }
+        let p = self.make();
+        let r = self.find(x);
+        self.pointee[r as usize] = Some(p);
+        p
+    }
+}
+
+/// The solved unification analysis.
+pub struct SteensgaardPointsTo {
+    nodes: HashMap<Node, u32>,
+    uf: Uf,
+}
+
+impl SteensgaardPointsTo {
+    /// Analyzes the whole module.
+    pub fn analyze(module: &Module) -> SteensgaardPointsTo {
+        Self::analyze_impl(module, None)
+    }
+
+    /// Analyzes only instructions in `scope`.
+    pub fn analyze_scoped(module: &Module, scope: &HashSet<Pc>) -> SteensgaardPointsTo {
+        Self::analyze_impl(module, Some(scope))
+    }
+
+    fn analyze_impl(module: &Module, scope: Option<&HashSet<Pc>>) -> SteensgaardPointsTo {
+        let mut s = SteensgaardPointsTo {
+            nodes: HashMap::new(),
+            uf: Uf::new(),
+        };
+        for func in module.functions() {
+            let fid = func.id;
+            for inst in func.insts() {
+                if let Some(sc) = scope {
+                    if !sc.contains(&inst.pc) {
+                        continue;
+                    }
+                }
+                s.gen(module, fid, inst);
+            }
+        }
+        s
+    }
+
+    fn node(&mut self, n: Node) -> u32 {
+        if let Some(&id) = self.nodes.get(&n) {
+            return id;
+        }
+        let id = self.uf.make();
+        self.nodes.insert(n, id);
+        if let Node::Cell(loc) = n {
+            self.uf.locs[id as usize].insert(loc);
+        }
+        id
+    }
+
+    /// The class an operand's value lives in, if it can carry pointers.
+    fn op_class(&mut self, func: FuncId, op: &Operand) -> Option<u32> {
+        match op {
+            Operand::Reg(v) => Some(self.node(Node::Reg(func, *v))),
+            Operand::Global(g) => {
+                // The operand's *value* is the address of the global: a
+                // fresh temp whose pointee is the global's cell.
+                let cell = self.node(Node::Cell(Loc::Global(*g)));
+                let tmp = self.uf.make();
+                let p = self.uf.pointee_of(tmp);
+                self.uf.union(p, cell);
+                Some(tmp)
+            }
+            Operand::Func(f) => {
+                let cell = self.node(Node::Cell(Loc::Func(*f)));
+                let tmp = self.uf.make();
+                let p = self.uf.pointee_of(tmp);
+                self.uf.union(p, cell);
+                Some(tmp)
+            }
+            Operand::ConstInt(_) | Operand::Null => None,
+        }
+    }
+
+    fn join_ops(&mut self, func: FuncId, dst: u32, src: &Operand) {
+        if let Some(s) = self.op_class(func, src) {
+            self.uf.union(dst, s);
+        }
+    }
+
+    fn gen(&mut self, module: &Module, fid: FuncId, inst: &lazy_ir::Inst) {
+        match &inst.kind {
+            InstKind::Alloca { .. } | InstKind::HeapAlloc { .. } => {
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                let cell = self.node(Node::Cell(Loc::Site(inst.pc)));
+                let p = self.uf.pointee_of(r);
+                self.uf.union(p, cell);
+            }
+            InstKind::Copy { src } | InstKind::IndexAddr { base: src, .. } => {
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                self.join_ops(fid, r, src);
+            }
+            InstKind::FieldAddr { base, .. } => {
+                // Steensgaard is classically field-insensitive: the field
+                // address is unified with the base pointer.
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                self.join_ops(fid, r, base);
+            }
+            InstKind::Bin {
+                op: BinOp::Add | BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                self.join_ops(fid, r, lhs);
+                self.join_ops(fid, r, rhs);
+            }
+            InstKind::Load { ptr, .. } => {
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                if let Some(p) = self.op_class(fid, ptr) {
+                    let target = self.uf.pointee_of(p);
+                    let deep = self.uf.pointee_of(target);
+                    let rp = self.uf.pointee_of(r);
+                    self.uf.union(rp, deep);
+                }
+            }
+            InstKind::Store { ptr, value, .. } => {
+                if let (Some(p), Some(v)) = (self.op_class(fid, ptr), self.op_class(fid, value)) {
+                    let target = self.uf.pointee_of(p);
+                    let deep = self.uf.pointee_of(target);
+                    let vp = self.uf.pointee_of(v);
+                    self.uf.union(deep, vp);
+                }
+            }
+            InstKind::Call { callee, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    let p = self.node(Node::Reg(*callee, ValueId(i as u32)));
+                    self.join_ops(fid, p, a);
+                }
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                let ret = self.node(Node::Ret(*callee));
+                self.uf.union(r, ret);
+            }
+            InstKind::CallIndirect { callee, args } => {
+                // Conservative: unify with every function of matching
+                // arity (unification cannot defer).
+                let fns: Vec<FuncId> = module
+                    .functions()
+                    .iter()
+                    .filter(|f| f.params.len() == args.len())
+                    .map(|f| f.id)
+                    .collect();
+                let _ = self.op_class(fid, callee);
+                let r = self.node(Node::Reg(fid, inst.result.expect("result")));
+                for f in fns {
+                    for (i, a) in args.iter().enumerate() {
+                        let p = self.node(Node::Reg(f, ValueId(i as u32)));
+                        self.join_ops(fid, p, a);
+                    }
+                    let ret = self.node(Node::Ret(f));
+                    self.uf.union(r, ret);
+                }
+            }
+            InstKind::Ret { value: Some(v) } => {
+                let ret = self.node(Node::Ret(fid));
+                self.join_ops(fid, ret, v);
+            }
+            InstKind::ThreadSpawn { func, arg } => {
+                let p = self.node(Node::Reg(*func, ValueId(0)));
+                self.join_ops(fid, p, arg);
+            }
+            _ => {}
+        }
+    }
+
+    /// The points-to set of an operand in `func`: every location in the
+    /// operand's pointee class.
+    pub fn pts_of_operand(&mut self, func: FuncId, op: &Operand) -> PtsSet {
+        match op {
+            Operand::Reg(v) => {
+                let Some(&id) = self.nodes.get(&Node::Reg(func, *v)) else {
+                    return PtsSet::new();
+                };
+                let p = self.uf.pointee_of(id);
+                self.class_locs(p)
+            }
+            Operand::Global(g) => [Loc::Global(*g)].into_iter().collect(),
+            Operand::Func(f) => [Loc::Func(*f)].into_iter().collect(),
+            _ => PtsSet::new(),
+        }
+    }
+
+    fn class_locs(&mut self, class: u32) -> PtsSet {
+        let r = self.uf.find(class);
+        // Locations may still live on non-root entries merged earlier;
+        // they were moved on union, so the root set is authoritative.
+        self.uf.locs[r as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Type};
+
+    /// Steensgaard conflates: after p = &a; p = &b, q = &a's class also
+    /// contains b (unlike Andersen where only p has both).
+    #[test]
+    fn unification_conflates_flows() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.alloca(Type::I64);
+        let b = f.alloca(Type::I64);
+        let pp = f.alloca(Type::I64.ptr_to());
+        f.store(pp.clone(), a.clone(), Type::I64.ptr_to());
+        f.store(pp.clone(), b.clone(), Type::I64.ptr_to());
+        let q = f.load(pp.clone(), Type::I64.ptr_to());
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let mut st = SteensgaardPointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        let pq = st.pts_of_operand(fid, &q);
+        // Both a's and b's sites are in q's class.
+        assert!(pq.len() >= 2, "{pq:?}");
+        // And by unification, a and b themselves are now conflated.
+        let pa = st.pts_of_operand(fid, &a);
+        let pb = st.pts_of_operand(fid, &b);
+        assert_eq!(pa, pb, "Steensgaard merges the stored-to classes");
+    }
+
+    /// Precision comparison: Andersen keeps two unrelated pointers
+    /// apart; Steensgaard (field-insensitive, unifying) does not after a
+    /// shared flow.
+    #[test]
+    fn coarser_than_andersen() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.struct_def("S", vec![("a".into(), Type::I64), ("b".into(), Type::I64)]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let s = f.alloca(Type::Struct("S".into()));
+        let pa = f.field_addr(s.clone(), "S", "a");
+        let pb = f.field_addr(s.clone(), "S", "b");
+        f.store(pa.clone(), Operand::ConstInt(1), Type::I64);
+        f.store(pb.clone(), Operand::ConstInt(2), Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let fid = m.func_by_name("main").unwrap().id;
+        let anders = crate::andersen::PointsTo::analyze(&m);
+        let mut steens = SteensgaardPointsTo::analyze(&m);
+        let a_a = anders.pts_of_operand(fid, &pa);
+        let a_b = anders.pts_of_operand(fid, &pb);
+        assert!(
+            !crate::loc::sets_intersect(&a_a, &a_b),
+            "Andersen separates fields"
+        );
+        let s_a = steens.pts_of_operand(fid, &pa);
+        let s_b = steens.pts_of_operand(fid, &pb);
+        assert!(
+            crate::loc::sets_intersect(&s_a, &s_b),
+            "Steensgaard conflates fields: {s_a:?} vs {s_b:?}"
+        );
+    }
+
+    #[test]
+    fn interprocedural_return_flow() {
+        let mut mb = ModuleBuilder::new("m");
+        let id_fn = mb.declare("identity", vec![Type::I64.ptr_to()], Type::I64.ptr_to());
+        {
+            let mut f = mb.define(id_fn);
+            let e = f.entry();
+            f.switch_to(e);
+            let p = f.param(0);
+            f.ret(Some(p));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.alloca(Type::I64);
+        let r = f.call(id_fn, vec![x.clone()]);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let mut st = SteensgaardPointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        let pr = st.pts_of_operand(fid, &r);
+        let px = st.pts_of_operand(fid, &x);
+        assert!(crate::loc::sets_intersect(&pr, &px), "{pr:?} vs {px:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the points-to analyses on randomly generated
+//! pointer programs:
+//!
+//! * scope restriction never *adds* points-to facts;
+//! * Steensgaard (unification) is at least as coarse as Andersen
+//!   (inclusion) on field-free programs;
+//! * both analyses terminate and agree that distinct fresh allocations
+//!   stay apart until a flow joins them.
+
+use lazy_analysis::loc::sets_intersect;
+use lazy_analysis::{PointsTo, SteensgaardPointsTo};
+use lazy_ir::{Module, ModuleBuilder, Operand, Pc, Type};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A tiny random pointer-program language over a pool of slots.
+#[derive(Clone, Debug)]
+enum Op {
+    /// slot[d] = alloca i64
+    Alloc(u8),
+    /// slot[d] = slot[s]
+    Copy(u8, u8),
+    /// cell[d] = slot[s]   (store through a pointer-to-pointer cell)
+    StoreCell(u8, u8),
+    /// slot[d] = *cell[s]
+    LoadCell(u8, u8),
+}
+
+const SLOTS: u8 = 4;
+const CELLS: u8 = 3;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SLOTS).prop_map(Op::Alloc),
+        (0..SLOTS, 0..SLOTS).prop_map(|(d, s)| Op::Copy(d, s)),
+        (0..CELLS, 0..SLOTS).prop_map(|(d, s)| Op::StoreCell(d, s)),
+        (0..SLOTS, 0..CELLS).prop_map(|(d, s)| Op::LoadCell(d, s)),
+    ]
+}
+
+/// Builds a module realizing the op sequence; returns it plus the final
+/// operand for each slot.
+fn build(ops: &[Op]) -> (Module, Vec<Operand>) {
+    let mut mb = ModuleBuilder::new("prop");
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    // Slot values start null; cells are alloca'd pointer cells.
+    let mut slots: Vec<Operand> = (0..SLOTS).map(|_| Operand::Null).collect();
+    let cells: Vec<Operand> = (0..CELLS).map(|_| f.alloca(Type::I64.ptr_to())).collect();
+    for op in ops {
+        match op {
+            Op::Alloc(d) => slots[*d as usize] = f.alloca(Type::I64),
+            Op::Copy(d, s) => {
+                let v = slots[*s as usize].clone();
+                slots[*d as usize] = f.copy(v);
+            }
+            Op::StoreCell(d, s) => {
+                let c = cells[*d as usize].clone();
+                let v = slots[*s as usize].clone();
+                f.store(c, v, Type::I64.ptr_to());
+            }
+            Op::LoadCell(d, s) => {
+                let c = cells[*s as usize].clone();
+                slots[*d as usize] = f.load(c, Type::I64.ptr_to());
+            }
+        }
+    }
+    f.halt();
+    f.finish();
+    (mb.finish().expect("verifies"), slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whole-program facts include everything scoped analysis derives.
+    #[test]
+    fn scope_restriction_is_monotone(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let (m, slots) = build(&ops);
+        let whole = PointsTo::analyze(&m);
+        // Scope = a prefix of the instructions (as if only part ran).
+        let all_pcs: Vec<Pc> = m.all_insts().map(|(i, _)| i.pc).collect();
+        let scope: HashSet<Pc> = all_pcs[..all_pcs.len() / 2].iter().copied().collect();
+        let scoped = PointsTo::analyze_scoped(&m, &scope);
+        let fid = m.func_by_name("main").unwrap().id;
+        for s in &slots {
+            let sub = scoped.pts_of_operand(fid, s);
+            let sup = whole.pts_of_operand(fid, s);
+            prop_assert!(sub.is_subset(&sup), "{sub:?} not within {sup:?}");
+        }
+    }
+
+    /// Unification is at least as coarse as inclusion on these
+    /// field-free programs.
+    #[test]
+    fn steensgaard_subsumes_andersen(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let (m, slots) = build(&ops);
+        let anders = PointsTo::analyze(&m);
+        let mut steens = SteensgaardPointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        for s in &slots {
+            let a = anders.pts_of_operand(fid, s);
+            let st = steens.pts_of_operand(fid, s);
+            prop_assert!(
+                a.is_subset(&st),
+                "Andersen {a:?} escapes Steensgaard {st:?}"
+            );
+        }
+    }
+
+    /// Two allocations never connected by any flow do not alias under
+    /// Andersen.
+    #[test]
+    fn unconnected_allocations_stay_apart(n in 2usize..6) {
+        let mut mb = ModuleBuilder::new("sep");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let ptrs: Vec<Operand> = (0..n).map(|_| f.alloca(Type::I64)).collect();
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let pts = PointsTo::analyze(&m);
+        let fid = m.func_by_name("main").unwrap().id;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = pts.pts_of_operand(fid, &ptrs[i]);
+                let b = pts.pts_of_operand(fid, &ptrs[j]);
+                prop_assert!(!sets_intersect(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the performance-sensitive kernels: points-to
+//! solving (scoped vs whole-program), trace decoding, and the
+//! end-to-end server analysis per trace set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazy_analysis::PointsTo;
+use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_trace::{decode_thread_trace, ExecIndex, TraceConfig};
+use lazy_vm::VmConfig;
+use std::hint::black_box;
+
+fn bench_points_to(c: &mut Criterion) {
+    let s = lazy_workloads::scenario_by_id("mysql-3596").expect("scenario");
+    let module = &s.module;
+    let server = DiagnosisServer::new(module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let col = client.collect(0, 400, 10, 0).expect("collect");
+    let executed = server.process(&col.failing[0]).expect("decode").executed;
+
+    let mut g = c.benchmark_group("points-to");
+    g.bench_function("whole-program (mysql)", |b| {
+        b.iter(|| black_box(PointsTo::analyze(module)))
+    });
+    g.bench_function("scoped-to-trace (mysql)", |b| {
+        b.iter(|| black_box(PointsTo::analyze_scoped(module, &executed)))
+    });
+    g.finish();
+}
+
+fn bench_trace_decode(c: &mut Criterion) {
+    let s = lazy_workloads::scenario_by_id("mysql-3596").expect("scenario");
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let col = client.collect(0, 400, 10, 0).expect("collect");
+    let snap = &col.failing[0];
+    let index = ExecIndex::build(&s.module);
+    let cfg = TraceConfig::default();
+    let biggest = snap
+        .threads
+        .iter()
+        .max_by_key(|t| t.bytes.len())
+        .expect("threads");
+
+    c.bench_function("trace decode (one thread buffer)", |b| {
+        b.iter(|| {
+            black_box(
+                decode_thread_trace(&index, &cfg, &biggest.bytes, snap.taken_at).expect("decode"),
+            )
+        })
+    });
+}
+
+fn bench_diagnose(c: &mut Criterion) {
+    let s = lazy_workloads::scenario_by_id("pbzip2-na-1").expect("scenario");
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let col = client.collect(0, 400, 10, 0).expect("collect");
+
+    c.bench_function("end-to-end diagnose (1 failing + 10 successful)", |b| {
+        b.iter(|| {
+            black_box(
+                server
+                    .diagnose(&col.failure, &col.failing, &col.successful)
+                    .expect("diagnose"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_points_to, bench_trace_decode, bench_diagnose
+}
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. timing-packet granularity sweep — where the coarse interleaving
+//!    hypothesis stops holding (§7);
+//! 2. ring-buffer size sweep — trace truncation effects (§7);
+//! 3. Andersen vs Steensgaard candidate precision (§4.2's choice);
+//! 4. type ranking on/off — candidate-examination latency (§4.3).
+
+use lazy_analysis::{PointsTo, SteensgaardPointsTo};
+use lazy_bench::server_for;
+use lazy_ir::InstKind;
+use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_trace::TraceConfig;
+use lazy_vm::VmConfig;
+use lazy_workloads::scenario_by_id;
+use std::collections::HashSet;
+
+fn main() {
+    granularity_sweep();
+    buffer_sweep();
+    points_to_precision();
+    ranking_ablation();
+    spill_overhead();
+}
+
+/// Sweep the timing quantum upward until ordering is lost.
+fn granularity_sweep() {
+    println!("== Ablation 1: timing granularity vs diagnosed ordering ==");
+    println!(
+        "{:<16}{:>14}{:>12}",
+        "cyc quantum", "root cause", "ordered?"
+    );
+    let s = scenario_by_id("pbzip2-na-1").unwrap();
+    for shift in [8u32, 12, 16, 20, 24] {
+        let trace = TraceConfig {
+            cyc_shift: shift,
+            ctc_period_ns: 1 << (shift + 4),
+            ..TraceConfig::default()
+        };
+        let server = DiagnosisServer::new(
+            &s.module,
+            ServerConfig {
+                trace: trace.clone(),
+                ..ServerConfig::default()
+            },
+        );
+        let template = VmConfig {
+            trace: Some(trace),
+            ..VmConfig::default()
+        };
+        let client = CollectionClient::new(&server, template);
+        let Some(col) = client.collect(0, 400, 10, 0) else {
+            println!(
+                "{:<16}{:>14}{:>12}",
+                format!("{} ns", 1u64 << shift),
+                "-",
+                "-"
+            );
+            continue;
+        };
+        let d = server
+            .diagnose(&col.failure, &col.failing, &col.successful)
+            .expect("diagnose");
+        let sig = d
+            .root_cause()
+            .map(|r| r.pattern.signature())
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "{:<16}{:>14}{:>12}",
+            format!("{} ns", 1u64 << shift),
+            sig,
+            if d.is_unordered_fallback() {
+                "NO (§7)"
+            } else {
+                "yes"
+            }
+        );
+    }
+}
+
+/// Sweep the ring-buffer size downward: the executed set shrinks but
+/// the failure-adjacent events survive.
+fn buffer_sweep() {
+    println!("\n== Ablation 2: ring-buffer size vs executed set ==");
+    println!(
+        "{:<12}{:>10}{:>12}{:>14}",
+        "buffer", "exec", "candidates", "root cause"
+    );
+    let s = scenario_by_id("mysql-3596").unwrap();
+    for kb in [64usize, 8, 2, 1] {
+        let trace = TraceConfig {
+            buffer_size: kb * 1024,
+            ..TraceConfig::default()
+        };
+        let server = DiagnosisServer::new(
+            &s.module,
+            ServerConfig {
+                trace: trace.clone(),
+                ..ServerConfig::default()
+            },
+        );
+        let template = VmConfig {
+            trace: Some(trace),
+            ..VmConfig::default()
+        };
+        let client = CollectionClient::new(&server, template);
+        let Some(col) = client.collect(0, 400, 10, 0) else {
+            continue;
+        };
+        match server.diagnose(&col.failure, &col.failing, &col.successful) {
+            Ok(d) => {
+                let sig = d
+                    .root_cause()
+                    .map(|r| r.pattern.signature())
+                    .unwrap_or_else(|| "none".into());
+                println!(
+                    "{:<12}{:>10}{:>12}{:>14}",
+                    format!("{kb} KB"),
+                    d.stats.executed_insts,
+                    d.stats.candidates,
+                    sig
+                );
+            }
+            Err(e) => println!("{:<12}  decode failed: {e}", format!("{kb} KB")),
+        }
+    }
+}
+
+/// Candidate-set sizes under inclusion-based vs unification-based
+/// points-to.
+fn points_to_precision() {
+    println!("\n== Ablation 3: Andersen vs Steensgaard candidate precision ==");
+    println!("{:<22}{:>12}{:>14}", "bug", "andersen", "steensgaard");
+    for id in ["mysql-3596", "pbzip2-na-1", "httpd-21287"] {
+        let s = scenario_by_id(id).unwrap();
+        let pts = PointsTo::analyze(&s.module);
+        let mut steens = SteensgaardPointsTo::analyze(&s.module);
+        let fail_pc = s.targets[s.targets.len() - 1];
+        let fail_pts = pts
+            .pts_of_pointer_at(&s.module, fail_pc)
+            .unwrap_or_default();
+        let mut anders_n = 0usize;
+        let mut steens_n = 0usize;
+        for f in s.module.functions() {
+            for inst in f.insts() {
+                let Some(op) = inst.kind.pointer_operand() else {
+                    continue;
+                };
+                if !(inst.kind.is_memory_access() || matches!(inst.kind, InstKind::Free { .. })) {
+                    continue;
+                }
+                let a = pts.pts_of_operand(f.id, op);
+                if lazy_analysis::loc::sets_intersect(&a, &fail_pts) {
+                    anders_n += 1;
+                }
+                let st = steens.pts_of_operand(f.id, op);
+                let fail_st: HashSet<_> = fail_pts.iter().collect();
+                if st.iter().any(|l| fail_st.contains(l)) {
+                    steens_n += 1;
+                }
+            }
+        }
+        println!("{:<22}{:>12}{:>14}", id, anders_n, steens_n);
+    }
+}
+
+/// Overhead of the §7 full-trace option: spill the ring buffer to
+/// storage whenever it fills, instead of overwriting. The paper notes
+/// this "will increase the runtime performance overhead" — measured
+/// here per buffer size.
+fn spill_overhead() {
+    use lazy_vm::{Vm, VmConfig};
+    use lazy_workloads::perf_workload;
+    println!("\n== Ablation 5: ring-buffer overwrite vs spill-to-storage (mysql, 2 threads) ==");
+    println!("{:<12}{:>12}{:>12}", "buffer", "ring %", "spill %");
+    for kb in [64usize, 16, 4] {
+        let w = perf_workload("mysql", 2);
+        let base = Vm::run(
+            &w.module,
+            VmConfig {
+                trace: None,
+                ..VmConfig::default()
+            },
+        );
+        let ring_cfg = TraceConfig {
+            buffer_size: kb * 1024,
+            ..TraceConfig::default()
+        };
+        let spill_cfg = TraceConfig {
+            buffer_size: kb * 1024,
+            spill_to_storage: true,
+            ..TraceConfig::default()
+        };
+        let ring = Vm::run(
+            &w.module,
+            VmConfig {
+                trace: Some(ring_cfg),
+                ..VmConfig::default()
+            },
+        );
+        let spill = Vm::run(
+            &w.module,
+            VmConfig {
+                trace: Some(spill_cfg),
+                ..VmConfig::default()
+            },
+        );
+        let pct = |t: u64| 100.0 * (t as f64 - base.duration_ns as f64) / base.duration_ns as f64;
+        println!(
+            "{:<12}{:>11.2}%{:>11.2}%",
+            format!("{kb} KB"),
+            pct(ring.duration_ns),
+            pct(spill.duration_ns)
+        );
+    }
+}
+
+/// Position of the root-cause instructions in the examined candidate
+/// order, with and without type ranking.
+fn ranking_ablation() {
+    println!("\n== Ablation 4: type ranking vs candidate-examination latency ==");
+    println!(
+        "{:<22}{:>10}{:>14}{:>14}",
+        "bug", "cands", "rank1 (exam.)", "unranked pos"
+    );
+    for id in ["pbzip2-na-1", "sqlite-1672", "mysql-3596"] {
+        let s = scenario_by_id(id).unwrap();
+        let server = server_for(&s);
+        let col = lazy_bench::collect_for(&server, 600);
+        let d = server
+            .diagnose(&col.failure, &col.failing, &col.successful)
+            .expect("diagnose");
+        println!(
+            "{:<22}{:>10}{:>14}{:>14}",
+            id,
+            d.stats.candidates,
+            d.stats.rank1_candidates,
+            d.stats.candidates // Without ranking every candidate is examined.
+        );
+    }
+    println!("(with ranking, pattern search prioritizes the rank-1 prefix: the paper's 4.6x)");
+}

@@ -1,0 +1,54 @@
+//! §6.1: diagnosis accuracy over the 11-bug evaluation subset — top-1
+//! root-cause correctness and the ordering-accuracy metric A_O
+//! (normalized Kendall tau vs VM ground truth).
+
+use lazy_bench::{collect_for, server_for};
+use lazy_snorlax::ordering_accuracy;
+use lazy_vm::{Vm, VmConfig};
+use lazy_workloads::systems::eval_scenarios;
+
+fn main() {
+    println!("§6.1 accuracy: top-1 pattern and ordering accuracy A_O");
+    println!(
+        "{:<22}{:>12}{:>8}{:>8}{:>8}",
+        "bug", "pattern", "F1", "A_O %", "traces"
+    );
+    let mut all_perfect = true;
+    for s in eval_scenarios() {
+        let server = server_for(&s);
+        let col = collect_for(&server, 600);
+        let d = server
+            .diagnose(&col.failure, &col.failing, &col.successful)
+            .expect("diagnosis");
+        let top = d.root_cause().expect("root cause");
+        let truth_run = Vm::run(
+            &s.module,
+            VmConfig {
+                seed: col.failing_seeds[0],
+                watch_pcs: s.targets.clone(),
+                ..VmConfig::default()
+            },
+        );
+        let truth = s.ground_truth_order(&truth_run);
+        let acc = ordering_accuracy(&d.diagnosed_order(), &truth);
+        all_perfect &= acc == 100.0;
+        println!(
+            "{:<22}{:>12}{:>8.3}{:>8.1}{:>4}+{:<3}",
+            s.id,
+            top.pattern.signature(),
+            top.f1,
+            acc,
+            col.failing.len(),
+            col.successful.len()
+        );
+    }
+    println!("--");
+    println!(
+        "ordering accuracy: {} (paper: 100% on all bugs)",
+        if all_perfect {
+            "100% on all bugs"
+        } else {
+            "NOT 100% — investigate"
+        }
+    );
+}

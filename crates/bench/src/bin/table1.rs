@@ -1,0 +1,39 @@
+//! Table 1: average time elapsed (ΔT) between the lock-acquisition
+//! attempts of deadlock bugs, with standard deviations, over 10
+//! reproduced failures per bug (µs).
+
+use lazy_bench::{measure_scenario_deltas, stats, us};
+use lazy_workloads::{all_scenarios, BugClass};
+
+fn main() {
+    println!("Table 1: deadlocks — avg ΔT between deadlocking lock attempts (µs, 10 runs)");
+    println!("{:<22}{:>12}{:>12}", "bug", "ΔT avg", "σ");
+    let mut all: Vec<f64> = Vec::new();
+    for s in all_scenarios()
+        .iter()
+        .filter(|s| s.class == BugClass::Deadlock)
+    {
+        let samples = measure_scenario_deltas(s, 10);
+        // ΔT of Figure 1a: the distance between the final two lock
+        // attempts (the ones that complete the cycle).
+        let dts: Vec<f64> = samples
+            .iter()
+            .filter_map(|d| d.last().map(|x| *x as f64))
+            .collect();
+        all.extend(dts.iter().copied());
+        println!(
+            "{:<22}{:>12}{:>12}",
+            s.id,
+            us(stats::mean(&dts)),
+            us(stats::std_dev(&dts))
+        );
+    }
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("--");
+    println!(
+        "bugs: {}  overall avg {} µs  min {} µs",
+        all.len() / 10,
+        us(stats::mean(&all)),
+        us(min)
+    );
+}

@@ -1,0 +1,37 @@
+//! Table 2: average time elapsed (ΔT) between the two accesses of
+//! order-violation bugs, with standard deviations (µs, 10 runs per
+//! bug).
+
+use lazy_bench::{measure_scenario_deltas, stats, us};
+use lazy_workloads::{all_scenarios, BugClass};
+
+fn main() {
+    println!("Table 2: order violations — avg ΔT between the racing accesses (µs, 10 runs)");
+    println!("{:<22}{:>12}{:>12}", "bug", "ΔT avg", "σ");
+    let mut all: Vec<f64> = Vec::new();
+    for s in all_scenarios()
+        .iter()
+        .filter(|s| s.class == BugClass::OrderViolation)
+    {
+        let samples = measure_scenario_deltas(s, 10);
+        let dts: Vec<f64> = samples
+            .iter()
+            .filter_map(|d| d.first().map(|x| *x as f64))
+            .collect();
+        all.extend(dts.iter().copied());
+        println!(
+            "{:<22}{:>12}{:>12}",
+            s.id,
+            us(stats::mean(&dts)),
+            us(stats::std_dev(&dts))
+        );
+    }
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("--");
+    println!(
+        "bugs: {}  overall avg {} µs  min {} µs",
+        all.len() / 10,
+        us(stats::mean(&all)),
+        us(min)
+    );
+}

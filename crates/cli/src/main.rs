@@ -1,0 +1,307 @@
+//! `snorlax` — command-line front end for the Lazy Diagnosis
+//! reproduction.
+//!
+//! ```text
+//! snorlax corpus                      list the bug corpus
+//! snorlax diagnose <bug-id> [--seed N]   collect traces and diagnose
+//! snorlax replay <bug-id> [--runs N]     record once, replay deterministically
+//! snorlax hypothesis <bug-id> [--samples N]   measure inter-event ΔT
+//! snorlax trace <bug-id>              dump the failing trace (packets + events)
+//! ```
+
+use lazy_ir::{parse_module, printer::render_module};
+use lazy_replay::Recording;
+use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_vm::{Vm, VmConfig};
+use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snorlax <command> [args]\n\n\
+         commands:\n\
+           corpus                         list the bug corpus\n\
+           diagnose <bug-id> [--seed N]   collect traces and print the root cause\n\
+           replay <bug-id> [--runs N]     record a failing order, replay it deterministically\n\
+           hypothesis <bug-id> [--samples N]  measure the inter-event times (coarse hypothesis)\n\
+           trace <bug-id>                 dump the failing trace's packets and decoded events\n\
+           dump <bug-id>                  print a corpus module in textual IR form\n\
+           diagnose-file <path.ir> [--seed N]  diagnose a user-supplied textual IR program"
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--flag N` style options from the tail of the argument list.
+fn opt_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn find_scenario(id: &str) -> Option<BugScenario> {
+    scenario_by_id(id).or_else(|| extension_scenarios().into_iter().find(|s| s.id == id))
+}
+
+fn cmd_corpus() -> ExitCode {
+    println!(
+        "{:<22}{:<14}{:<11}{}",
+        "id", "system", "class", "description"
+    );
+    for s in all_scenarios().iter().chain(extension_scenarios().iter()) {
+        println!(
+            "{:<22}{:<14}{:<11}{}",
+            s.id,
+            s.system,
+            s.class.label(),
+            s.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diagnose(id: &str, first_seed: u64) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    println!("bug: {} — {}\n", s.id, s.description);
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let Some(col) = client.collect(first_seed, 1000, 10, 0) else {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "observed: {} (run {} of {})",
+        col.failure,
+        col.failing_seeds[0] - first_seed + 1,
+        col.runs
+    );
+    println!("successful traces collected: {}\n", col.successful.len());
+    match server.diagnose(&col.failure, &col.failing, &col.successful) {
+        Ok(d) => {
+            print!("{}", d.render(&s.module));
+            println!("\nserver analysis time: {} µs", d.stats.analysis_micros);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("diagnosis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(id: &str, runs: u64) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id}");
+        return ExitCode::FAILURE;
+    };
+    let racing: HashSet<_> = s.targets.iter().copied().collect();
+    let Some((out, seed)) = (0..500).find_map(|seed| {
+        let out = Vm::run(
+            &s.module,
+            VmConfig {
+                seed,
+                ..VmConfig::default()
+            },
+        );
+        out.is_failure().then_some((out, seed))
+    }) else {
+        eprintln!("the bug did not manifest");
+        return ExitCode::FAILURE;
+    };
+    let failure = out.failure().unwrap().clone();
+    println!("recorded failing run (seed {seed}): {failure}");
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let trace = server
+        .process(out.snapshot.as_ref().unwrap())
+        .expect("decodes");
+    let rec = match Recording::from_processed_trace(&trace, &racing) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot record: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (tid, pc) in rec.order() {
+        println!("  thread {tid}: {}", s.module.describe_pc(*pc));
+    }
+    let mut reproduced = 0u64;
+    for replay_seed in (seed + 1)..=(seed + runs) {
+        let mut gate = rec.gate();
+        let rep = Vm::run_gated(
+            &s.module,
+            VmConfig {
+                seed: replay_seed,
+                ..VmConfig::default()
+            },
+            &mut gate,
+        );
+        if rep.failure().map(|f| f.pc) == Some(failure.pc) {
+            reproduced += 1;
+        }
+    }
+    println!("replayed {runs} fresh seeds: {reproduced} reproduced the exact failure");
+    ExitCode::SUCCESS
+}
+
+fn cmd_hypothesis(id: &str, samples: u64) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id}");
+        return ExitCode::FAILURE;
+    };
+    let mut deltas = Vec::new();
+    let mut seed = 0;
+    while (deltas.len() as u64) < samples {
+        let Some((out, used)) = s.reproduce(seed, 500) else {
+            break;
+        };
+        seed = used + 1;
+        deltas.extend(s.relevant_deltas(&out));
+    }
+    if deltas.is_empty() {
+        eprintln!("no failing runs with complete target events");
+        return ExitCode::FAILURE;
+    }
+    let avg = deltas.iter().sum::<u64>() as f64 / deltas.len() as f64;
+    let min = *deltas.iter().min().unwrap();
+    println!(
+        "{}: {} ΔT samples — avg {:.1} µs, min {:.1} µs (fine-grained recording would need ~1 ns)",
+        s.id,
+        deltas.len(),
+        avg / 1000.0,
+        min as f64 / 1000.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(id: &str) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id}");
+        return ExitCode::FAILURE;
+    };
+    let Some((out, _)) = s.reproduce(0, 500) else {
+        eprintln!("the bug did not manifest");
+        return ExitCode::FAILURE;
+    };
+    let failure = out.failure().unwrap().clone();
+    let snap = out.snapshot.expect("failure snapshot");
+    let wire = lazy_trace::encode_snapshot(&snap);
+    println!(
+        "failure: {}\nsnapshot: {} threads, {} bytes on the wire\n",
+        failure,
+        snap.threads.len(),
+        wire.len()
+    );
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let pt = server.process(&snap).expect("decodes");
+    println!(
+        "decoded: {} events, {} distinct instructions (of {} static)",
+        pt.event_count,
+        pt.executed.len(),
+        s.module.inst_count()
+    );
+    for t in &snap.threads {
+        println!(
+            "  thread {}: {} control events, {} timing packets, wrapped={}",
+            t.tid, t.stats.control_events, t.stats.timing_packets, t.wrapped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_dump(id: &str) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id}");
+        return ExitCode::FAILURE;
+    };
+    print!("{}", render_module(&s.module));
+    ExitCode::SUCCESS
+}
+
+fn cmd_diagnose_file(path: &str, first_seed: u64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if module.func_by_name("main").is_none() {
+        eprintln!("{path}: the program needs a zero-argument @main");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "loaded {} ({} instructions)\n",
+        module.name,
+        module.inst_count()
+    );
+    let server = DiagnosisServer::new(&module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let Some(col) = client.collect(first_seed, 1000, 10, 0) else {
+        eprintln!("no failure manifested within the run budget");
+        return ExitCode::FAILURE;
+    };
+    println!("observed: {}", col.failure);
+    match server.diagnose(&col.failure, &col.failing, &col.successful) {
+        Ok(d) => {
+            print!("{}", d.render(&module));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("diagnosis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("corpus") => cmd_corpus(),
+        Some("diagnose") if args.len() >= 2 => cmd_diagnose(&args[1], opt_u64(&args, "--seed", 0)),
+        Some("replay") if args.len() >= 2 => cmd_replay(&args[1], opt_u64(&args, "--runs", 10)),
+        Some("hypothesis") if args.len() >= 2 => {
+            cmd_hypothesis(&args[1], opt_u64(&args, "--samples", 10))
+        }
+        Some("trace") if args.len() >= 2 => cmd_trace(&args[1]),
+        Some("dump") if args.len() >= 2 => cmd_dump(&args[1]),
+        Some("diagnose-file") if args.len() >= 2 => {
+            cmd_diagnose_file(&args[1], opt_u64(&args, "--seed", 0))
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_parsing() {
+        let args: Vec<String> = ["diagnose", "x", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(opt_u64(&args, "--seed", 0), 7);
+        assert_eq!(opt_u64(&args, "--runs", 10), 10);
+        let bad: Vec<String> = ["--seed", "zz"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(opt_u64(&bad, "--seed", 3), 3);
+    }
+
+    #[test]
+    fn scenario_lookup_covers_extensions() {
+        assert!(find_scenario("pbzip2-na-1").is_some());
+        assert!(find_scenario("mysql-ext-hotlog").is_some());
+        assert!(find_scenario("nope").is_none());
+    }
+}

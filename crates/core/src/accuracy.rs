@@ -1,0 +1,126 @@
+//! Ordering accuracy (the paper's A_O metric, §6.1).
+//!
+//! A_O compares the order of target instructions a tool diagnosed
+//! against the manually-verified ground-truth order, using the
+//! normalized Kendall tau distance K (the number of pairwise
+//! disagreements):
+//!
+//! `A_O = 100 * (1 - K(O_S, O_M) / #pairs(O_S ∪ O_M))`
+//!
+//! The reproduction's ground truth comes from the VM's exact event
+//! recorder rather than manual verification — strictly stronger.
+
+use lazy_ir::Pc;
+use std::collections::{HashMap, HashSet};
+
+/// Counts pairwise order disagreements between two ordered lists over
+/// the elements they share (the Kendall tau distance restricted to
+/// common elements).
+pub fn kendall_tau_distance(a: &[Pc], b: &[Pc]) -> usize {
+    let pos_a: HashMap<Pc, usize> = a.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let pos_b: HashMap<Pc, usize> = b.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let common: Vec<Pc> = a
+        .iter()
+        .filter(|p| pos_b.contains_key(p))
+        .copied()
+        .collect();
+    let mut k = 0;
+    for i in 0..common.len() {
+        for j in (i + 1)..common.len() {
+            let (x, y) = (common[i], common[j]);
+            let ord_a = pos_a[&x] < pos_a[&y];
+            let ord_b = pos_b[&x] < pos_b[&y];
+            if ord_a != ord_b {
+                k += 1;
+            }
+        }
+    }
+    k
+}
+
+/// Computes A_O (percent) between the diagnosed order and the ground
+/// truth.
+///
+/// # Examples
+///
+/// ```
+/// use lazy_ir::Pc;
+/// use lazy_snorlax::ordering_accuracy;
+///
+/// let truth = [Pc(1), Pc(2), Pc(3)];
+/// assert_eq!(ordering_accuracy(&truth, &truth), 100.0);
+/// // One swapped pair out of three: the paper's worked example.
+/// let swapped = [Pc(1), Pc(3), Pc(2)];
+/// assert!((ordering_accuracy(&swapped, &truth) - 66.6).abs() < 1.0);
+/// ```
+///
+/// Returns 100 when both lists are empty or share no pairs and agree on
+/// membership; elements present in only one list contribute pairs to
+/// the denominator (disagreement about membership costs accuracy in the
+/// paper's definition, since `#pairs` is over the union).
+pub fn ordering_accuracy(diagnosed: &[Pc], truth: &[Pc]) -> f64 {
+    let union: HashSet<Pc> = diagnosed.iter().chain(truth.iter()).copied().collect();
+    let n = union.len();
+    if n < 2 {
+        return 100.0;
+    }
+    let pairs = n * (n - 1) / 2;
+    let k = kendall_tau_distance(diagnosed, truth);
+    100.0 * (1.0 - k as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcs(v: &[u64]) -> Vec<Pc> {
+        v.iter().map(|&x| Pc(x)).collect()
+    }
+
+    #[test]
+    fn identical_lists_are_perfect() {
+        let a = pcs(&[1, 2, 3]);
+        assert_eq!(kendall_tau_distance(&a, &a), 0);
+        assert_eq!(ordering_accuracy(&a, &a), 100.0);
+    }
+
+    #[test]
+    fn paper_example_single_swap() {
+        // [I1, I2, I3] vs [I1, I3, I2]: K = 1 (the paper's example).
+        let a = pcs(&[1, 2, 3]);
+        let b = pcs(&[1, 3, 2]);
+        assert_eq!(kendall_tau_distance(&a, &b), 1);
+        // 3 elements → 3 pairs → A_O = 100 * (1 - 1/3).
+        let acc = ordering_accuracy(&a, &b);
+        assert!((acc - 100.0 * (1.0 - 1.0 / 3.0)).abs() < 1e-9, "{acc}");
+    }
+
+    #[test]
+    fn full_reversal_is_worst() {
+        let a = pcs(&[1, 2, 3, 4]);
+        let b = pcs(&[4, 3, 2, 1]);
+        assert_eq!(kendall_tau_distance(&a, &b), 6);
+        assert_eq!(ordering_accuracy(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_membership_costs_accuracy() {
+        let a = pcs(&[1, 2]);
+        let b = pcs(&[1, 2, 3]);
+        // Common pairs agree (K = 0) but the union has 3 pairs.
+        assert_eq!(kendall_tau_distance(&a, &b), 0);
+        assert_eq!(ordering_accuracy(&a, &b), 100.0);
+    }
+
+    #[test]
+    fn empty_lists_are_trivially_accurate() {
+        assert_eq!(ordering_accuracy(&[], &[]), 100.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pcs(&[5, 1, 9, 2]);
+        let b = pcs(&[1, 5, 2, 9]);
+        assert_eq!(kendall_tau_distance(&a, &b), kendall_tau_distance(&b, &a));
+    }
+}

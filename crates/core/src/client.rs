@@ -1,0 +1,193 @@
+//! The collection client: plays the production fleet (steps 1 and 8).
+//!
+//! In the paper's deployment, client machines run the program with
+//! always-on tracing; a failure triggers a snapshot that is sent to the
+//! server, which then instructs clients to snapshot *successful*
+//! executions at the failure PC (falling back to predecessor basic
+//! blocks when the failure PC cannot be used). This module reproduces
+//! that loop with VM runs over a seed sequence: each seed is "one
+//! production execution".
+
+use crate::server::DiagnosisServer;
+use lazy_ir::Pc;
+use lazy_trace::TraceSnapshot;
+use lazy_vm::{Failure, RunOutcome, Vm, VmConfig};
+
+/// What a collection campaign produced.
+#[derive(Clone, Debug)]
+pub struct CollectionOutcome {
+    /// The first failure observed (the diagnosis subject).
+    pub failure: Failure,
+    /// Failure-triggered snapshots (≥ 1).
+    pub failing: Vec<TraceSnapshot>,
+    /// Breakpoint-triggered snapshots from successful executions.
+    pub successful: Vec<TraceSnapshot>,
+    /// Seeds that failed, in observation order.
+    pub failing_seeds: Vec<u64>,
+    /// Total executions performed.
+    pub runs: usize,
+    /// The breakpoint PC that ended up used for successful traces.
+    pub breakpoint_used: Option<Pc>,
+}
+
+/// Runs workload executions and harvests failing + successful traces.
+pub struct CollectionClient<'m> {
+    server: &'m DiagnosisServer<'m>,
+    template: VmConfig,
+}
+
+impl<'m> CollectionClient<'m> {
+    /// Creates a client; `template` supplies the cost model and trace
+    /// configuration (its seed, breakpoints, and watch set are
+    /// overridden per run).
+    pub fn new(server: &'m DiagnosisServer<'m>, template: VmConfig) -> CollectionClient<'m> {
+        CollectionClient { server, template }
+    }
+
+    fn run_seed(&self, seed: u64, breakpoints: Vec<Pc>) -> RunOutcome {
+        let cfg = VmConfig {
+            seed,
+            breakpoints,
+            watch_pcs: Vec::new(),
+            ..self.template.clone()
+        };
+        Vm::run(self.server.module(), cfg)
+    }
+
+    /// Phase 1: runs seeds from `first_seed` until a failure occurs
+    /// (bounded by `max_runs`); phase 2: collects up to
+    /// `success_target` successful snapshots at the failure PC (with
+    /// predecessor fallback) and up to `extra_failures` additional
+    /// failing snapshots encountered along the way.
+    ///
+    /// Returns `None` if no failure manifests within the budget.
+    pub fn collect(
+        &self,
+        first_seed: u64,
+        max_runs: usize,
+        success_target: usize,
+        extra_failures: usize,
+    ) -> Option<CollectionOutcome> {
+        let mut runs = 0usize;
+        let mut seed = first_seed;
+        // Phase 1: observe the first failure (always-on tracing: the
+        // snapshot is captured by the failing run itself).
+        let (failure, first_snap, failing_seed) = loop {
+            if runs >= max_runs {
+                return None;
+            }
+            let out = self.run_seed(seed, Vec::new());
+            runs += 1;
+            seed += 1;
+            if let Some(f) = out.failure() {
+                let f = f.clone();
+                match out.snapshot {
+                    Some(s) => break (f, s, seed - 1),
+                    None => return None,
+                }
+            }
+        };
+
+        let mut outcome = CollectionOutcome {
+            failure: failure.clone(),
+            failing: vec![first_snap],
+            successful: Vec::new(),
+            failing_seeds: vec![failing_seed],
+            runs,
+            breakpoint_used: None,
+        };
+
+        // Phase 2: successful traces at the failure PC, with the
+        // predecessor-block fallback plan.
+        let plan = self.server.breakpoint_plan(failure.pc);
+        let mut plan_idx = 0usize;
+        while outcome.successful.len() < success_target && runs < max_runs {
+            let bp = plan[plan_idx.min(plan.len() - 1)];
+            let out = self.run_seed(seed, vec![bp]);
+            runs += 1;
+            seed += 1;
+            if out.is_failure() {
+                if outcome.failing.len() < 1 + extra_failures {
+                    if let Some(s) = out.snapshot {
+                        outcome.failing.push(s);
+                        outcome.failing_seeds.push(seed - 1);
+                    }
+                }
+                continue;
+            }
+            match out.snapshot {
+                Some(s) => {
+                    outcome.breakpoint_used = Some(bp);
+                    outcome.successful.push(s);
+                }
+                None => {
+                    // This successful run never reached the breakpoint:
+                    // fall back to the next predecessor block (§4.1).
+                    if plan_idx + 1 < plan.len() {
+                        plan_idx += 1;
+                    }
+                }
+            }
+        }
+        outcome.runs = runs;
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+    use lazy_vm::FailureKind;
+
+    /// A module that crashes only for some schedules: worker frees a
+    /// buffer after a short delay; main reads it after a jittered delay
+    /// of similar magnitude — some seeds read-after-free, some don't.
+    fn racy_module() -> lazy_ir::Module {
+        let mut mb = ModuleBuilder::new("racy");
+        let gptr = mb.global("buf", Type::I64.ptr_to(), vec![]);
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.io("compress", 400_000);
+            let p = f.load(gptr.clone(), Type::I64.ptr_to());
+            f.free(p);
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let buf = f.heap_alloc(Type::I64, Operand::const_int(4));
+        f.store(gptr.clone(), buf.clone(), Type::I64.ptr_to());
+        let t = f.spawn(worker, Operand::const_int(0));
+        f.io("serve", 395_000);
+        let p = f.load(gptr.clone(), Type::I64.ptr_to());
+        f.load(p, Type::I64);
+        f.join(t);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn collect_gathers_failing_and_successful_traces() {
+        let m = racy_module();
+        let server = DiagnosisServer::new(&m, ServerConfig::default());
+        let client = CollectionClient::new(&server, VmConfig::default());
+        let out = client
+            .collect(0, 200, 10, 0)
+            .expect("race should fire within 200 seeds");
+        assert!(matches!(out.failure.kind, FailureKind::UseAfterFree { .. }));
+        assert_eq!(out.failing.len(), 1);
+        assert!(!out.successful.is_empty(), "some seeds succeed");
+        assert!(out.successful.len() <= 10);
+        assert!(out.breakpoint_used.is_some());
+        // Successful snapshots were taken at the failure PC (no
+        // fallback needed: the load executes in successful runs too).
+        assert_eq!(out.breakpoint_used.unwrap(), out.failure.pc);
+    }
+}

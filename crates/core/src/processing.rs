@@ -1,0 +1,399 @@
+//! Trace processing (steps 2 and 3 of the pipeline).
+//!
+//! Turns a raw multi-thread [`TraceSnapshot`] into the two artifacts the
+//! rest of the pipeline consumes:
+//!
+//! * the **executed-instruction set** — each instruction counted once no
+//!   matter how often it ran (step 2); this is what scope-restricts the
+//!   hybrid points-to analysis;
+//! * the **partially-ordered dynamic instruction trace** — per-thread
+//!   instruction instances, each with a coarse [`TimeBounds`] window;
+//!   instances in different threads are ordered only when their windows
+//!   do not overlap (step 3). Per the coarse interleaving hypothesis,
+//!   that partial order suffices for the target events of real bugs.
+
+use lazy_ir::{Module, Pc};
+use lazy_trace::{
+    decode_thread_trace, DecodeError, DecodedTrace, ExecIndex, TimeBounds, TraceConfig,
+    TraceSnapshot,
+};
+use std::collections::{HashMap, HashSet};
+
+/// One dynamic instance of an instruction in a processed trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynInstance {
+    /// The executing thread.
+    pub tid: u32,
+    /// Index of the event within its thread's trace (program order).
+    pub seq: usize,
+    /// The coarse execution-time window.
+    pub time: TimeBounds,
+}
+
+impl DynInstance {
+    /// Cross-thread "executes before": windows strictly ordered
+    /// (Figure 5's relation). Same-thread instances use `seq` instead.
+    pub fn definitely_before(&self, other: &DynInstance) -> bool {
+        if self.tid == other.tid {
+            self.seq < other.seq
+        } else {
+            self.time.definitely_before(&other.time)
+        }
+    }
+}
+
+/// A fully processed snapshot.
+#[derive(Clone, Debug)]
+pub struct ProcessedTrace {
+    /// Executed-instruction set (step 2).
+    pub executed: HashSet<Pc>,
+    /// Dynamic instances per instruction (step 3), capped per thread to
+    /// the most recent [`ProcessedTrace::MAX_INSTANCES_PER_PC`].
+    pub instances: HashMap<Pc, Vec<DynInstance>>,
+    /// Time window of every decoded event by `(thread, seq)` — used to
+    /// bound how long a thread *stayed* at an instruction (e.g. blocked
+    /// in a lock acquisition) by when its next instruction ran.
+    pub event_time: HashMap<(u32, usize), TimeBounds>,
+    /// The thread that triggered the snapshot.
+    pub trigger_tid: u32,
+    /// The PC that triggered the snapshot (failure PC or breakpoint).
+    pub trigger_pc: Pc,
+    /// Virtual time the snapshot was taken.
+    pub taken_at: u64,
+    /// Total decoded events across threads.
+    pub event_count: usize,
+    /// Per-thread decode resynchronization counts (diagnostic).
+    pub resyncs: u32,
+}
+
+impl ProcessedTrace {
+    /// Cap on retained dynamic instances per (pc, thread): diagnosis
+    /// needs the instances *near the failure*, and the ring buffer
+    /// already bounds history; this bounds pattern enumeration.
+    pub const MAX_INSTANCES_PER_PC: usize = 64;
+
+    /// The dynamic instances of `pc` (empty if never decoded).
+    pub fn instances_of(&self, pc: Pc) -> &[DynInstance] {
+        self.instances.get(&pc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last instance of `pc` executed by `tid`, if any.
+    pub fn last_instance_in_thread(&self, pc: Pc, tid: u32) -> Option<DynInstance> {
+        self.instances_of(pc)
+            .iter()
+            .rev()
+            .find(|i| i.tid == tid)
+            .copied()
+    }
+
+    /// The final (failure-adjacent) instance of the trigger PC in the
+    /// trigger thread.
+    pub fn trigger_instance(&self) -> Option<DynInstance> {
+        self.last_instance_in_thread(self.trigger_pc, self.trigger_tid)
+    }
+
+    /// Returns `true` if `pc` executed in a thread other than `tid`.
+    pub fn executed_remotely(&self, pc: Pc, tid: u32) -> bool {
+        self.instances_of(pc).iter().any(|i| i.tid != tid)
+    }
+
+    /// Upper bound on when the thread left the instruction at `seq`:
+    /// the window end of its next event, or the snapshot time if the
+    /// thread never executed anything afterwards (it was blocked there
+    /// when the snapshot was taken — the signature of a deadlocked
+    /// waiter).
+    pub fn resume_bound(&self, tid: u32, seq: usize) -> u64 {
+        self.event_time
+            .get(&(tid, seq + 1))
+            .map(|t| t.hi)
+            .unwrap_or(self.taken_at)
+    }
+}
+
+/// Decodes and processes a snapshot against the module (steps 2–3).
+///
+/// Threads whose buffers cannot be decoded at all (e.g. an empty buffer
+/// from a thread that never branched) are skipped rather than failing
+/// the whole snapshot; a snapshot with *no* decodable thread is an
+/// error.
+///
+/// # Errors
+///
+/// Returns the underlying [`DecodeError`] if no thread decodes.
+pub fn process_snapshot(
+    _module: &Module,
+    index: &ExecIndex,
+    config: &TraceConfig,
+    snapshot: &TraceSnapshot,
+) -> Result<ProcessedTrace, DecodeError> {
+    let mut executed = HashSet::new();
+    let mut instances: HashMap<Pc, Vec<DynInstance>> = HashMap::new();
+    let mut event_time: HashMap<(u32, usize), TimeBounds> = HashMap::new();
+    let mut event_count = 0usize;
+    let mut resyncs = 0u32;
+    let mut decoded_any = false;
+    let mut last_err = DecodeError::NoSync;
+
+    for thread in &snapshot.threads {
+        let trace: DecodedTrace =
+            match decode_thread_trace(index, config, &thread.bytes, snapshot.taken_at) {
+                Ok(t) => t,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+        decoded_any = true;
+        resyncs += trace.resyncs;
+        event_count += trace.events.len();
+        // Count per (pc, tid) so the cap keeps the most recent.
+        let mut per_pc_counts: HashMap<Pc, usize> = HashMap::new();
+        for e in &trace.events {
+            executed.insert(e.pc);
+            *per_pc_counts.entry(e.pc).or_default() += 1;
+        }
+        let mut seen: HashMap<Pc, usize> = HashMap::new();
+        for (seq, e) in trace.events.iter().enumerate() {
+            event_time.insert((thread.tid, seq), e.time);
+            let total = per_pc_counts[&e.pc];
+            let n = seen.entry(e.pc).or_default();
+            *n += 1;
+            // Keep only the last MAX_INSTANCES_PER_PC instances.
+            if total - *n < ProcessedTrace::MAX_INSTANCES_PER_PC {
+                instances.entry(e.pc).or_default().push(DynInstance {
+                    tid: thread.tid,
+                    seq,
+                    time: e.time,
+                });
+            }
+        }
+    }
+    if !decoded_any {
+        return Err(last_err);
+    }
+    Ok(ProcessedTrace {
+        executed,
+        instances,
+        event_time,
+        trigger_tid: snapshot.trigger_tid,
+        trigger_pc: Pc(snapshot.trigger_pc),
+        taken_at: snapshot.taken_at,
+        event_count,
+        resyncs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{InstKind, ModuleBuilder, Operand, Type};
+    use lazy_vm::{Vm, VmConfig};
+
+    fn traced_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let nop = mb.declare("nop", vec![], Type::I64);
+        {
+            let mut f = mb.define(nop);
+            let e = f.entry();
+            f.switch_to(e);
+            f.ret(Some(Operand::const_int(0)));
+            f.finish();
+        }
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        let g = mb.global("shared", Type::I64, vec![0]);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.io("setup", 50_000);
+            f.store(g.clone(), Operand::const_int(7), Type::I64);
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let t = f.spawn(worker, Operand::const_int(0));
+        f.io("main-work", 150_000);
+        // A call between the I/O and the load gives the decoder a
+        // control packet (the callee's return) that time-bounds the
+        // following straight-line stretch — as the branch-dense code of
+        // real systems does naturally.
+        f.call(nop, vec![]);
+        f.load(g, Type::I64);
+        f.join(t);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    fn run_to_breakpoint(m: &Module, bp: Pc) -> TraceSnapshot {
+        let out = Vm::run(
+            m,
+            VmConfig {
+                breakpoints: vec![bp],
+                ..VmConfig::default()
+            },
+        );
+        out.snapshot.expect("breakpoint snapshot")
+    }
+
+    #[test]
+    fn executed_set_counts_each_pc_once() {
+        let m = traced_module();
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let snap = run_to_breakpoint(&m, halt_pc);
+        let index = ExecIndex::build(&m);
+        let p = process_snapshot(&m, &index, &TraceConfig::default(), &snap).unwrap();
+        assert!(p.executed.len() <= m.inst_count());
+        assert!(p.executed.contains(&halt_pc));
+        // The store in worker and the load in main both executed.
+        for (i, _) in m.all_insts() {
+            if i.kind.is_memory_access() {
+                assert!(p.executed.contains(&i.pc), "{} missing", i.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_thread_events_are_ordered_by_coarse_time() {
+        let m = traced_module();
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let snap = run_to_breakpoint(&m, halt_pc);
+        let index = ExecIndex::build(&m);
+        let p = process_snapshot(&m, &index, &TraceConfig::default(), &snap).unwrap();
+        let store_pc = m
+            .all_insts()
+            .find(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let load_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let store = p.instances_of(store_pc);
+        let load = p.instances_of(load_pc);
+        assert_eq!(store.len(), 1);
+        assert_eq!(load.len(), 1);
+        assert_ne!(store[0].tid, load[0].tid);
+        // Worker stores at ~50 µs; main loads at ~150 µs: the coarse
+        // windows must order them (this is the hypothesis in action).
+        assert!(store[0].definitely_before(&load[0]));
+        assert!(!load[0].definitely_before(&store[0]));
+    }
+
+    #[test]
+    fn trigger_instance_is_found() {
+        let m = traced_module();
+        let load_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let snap = run_to_breakpoint(&m, load_pc);
+        let index = ExecIndex::build(&m);
+        let p = process_snapshot(&m, &index, &TraceConfig::default(), &snap).unwrap();
+        assert_eq!(p.trigger_pc, load_pc);
+        let ti = p.trigger_instance().expect("trigger decoded");
+        assert_eq!(ti.tid, p.trigger_tid);
+    }
+
+    #[test]
+    fn same_thread_order_uses_sequence() {
+        let a = DynInstance {
+            tid: 1,
+            seq: 3,
+            time: TimeBounds { lo: 0, hi: 100 },
+        };
+        let b = DynInstance {
+            tid: 1,
+            seq: 5,
+            time: TimeBounds { lo: 0, hi: 100 },
+        };
+        assert!(
+            a.definitely_before(&b),
+            "same-thread order ignores overlapping windows"
+        );
+        assert!(!b.definitely_before(&a));
+    }
+}
+
+#[cfg(test)]
+mod cap_tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+    use lazy_vm::{Vm, VmConfig};
+
+    /// A hot instruction executed thousands of times keeps only the
+    /// most recent MAX_INSTANCES_PER_PC instances (the failure-adjacent
+    /// ones), while the executed set still records it once.
+    #[test]
+    fn per_pc_instances_are_capped_to_the_most_recent() {
+        let mut mb = ModuleBuilder::new("hot");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let head = f.block("head");
+        let body = f.block("body");
+        let done = f.block("done");
+        f.switch_to(e);
+        let ctr = f.alloca(Type::I64);
+        f.store(ctr.clone(), Operand::const_int(0), Type::I64);
+        f.br(head);
+        f.switch_to(head);
+        let v = f.load(ctr.clone(), Type::I64);
+        let c = f.lt(v, Operand::const_int(500));
+        f.cond_br(c, body, done);
+        f.switch_to(body);
+        let v = f.load(ctr.clone(), Type::I64);
+        let v1 = f.add(v, Operand::const_int(1));
+        f.store(ctr.clone(), v1, Type::I64);
+        f.br(head);
+        f.switch_to(done);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, lazy_ir::InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let hot_store = m
+            .all_insts()
+            .filter(|(i, _)| i.kind.is_write())
+            .map(|(i, _)| i.pc)
+            .nth(1)
+            .unwrap();
+        let out = Vm::run(
+            &m,
+            VmConfig {
+                breakpoints: vec![halt_pc],
+                ..VmConfig::default()
+            },
+        );
+        let snap = out.snapshot.unwrap();
+        let index = lazy_trace::ExecIndex::build(&m);
+        let pt = process_snapshot(&m, &index, &TraceConfig::default(), &snap).unwrap();
+        let instances = pt.instances_of(hot_store);
+        assert_eq!(instances.len(), ProcessedTrace::MAX_INSTANCES_PER_PC);
+        // They are the LAST instances: strictly increasing seq, ending
+        // near the trace end.
+        let max_seq = pt
+            .event_time
+            .keys()
+            .filter(|(tid, _)| *tid == 0)
+            .map(|(_, s)| *s)
+            .max()
+            .unwrap();
+        assert!(instances.last().unwrap().seq + 16 > max_seq - 8);
+        assert!(pt.executed.contains(&hot_store));
+    }
+}

@@ -1,0 +1,394 @@
+//! The diagnosis server: orchestrates pipeline steps 2–7.
+//!
+//! The server receives trace snapshots from clients — one (or more) from
+//! failing executions, plus up to 10× as many from successful
+//! executions collected at the failure PC — and runs the full Lazy
+//! Diagnosis pipeline. The paper's headline properties hold by
+//! construction here: the analysis is a function of the *trace* size,
+//! not the program size (hybrid points-to is scoped to executed code),
+//! and a single failure is enough to produce a diagnosis (no sampling).
+
+use crate::candidates::select_candidates;
+use crate::patterns::{crash_patterns, deadlock_patterns, BugPattern, PatternContext};
+use crate::processing::{process_snapshot, ProcessedTrace};
+use crate::statistics::{score_patterns, PatternScore};
+use lazy_analysis::PointsTo;
+use lazy_ir::{Cfg, Module, Pc};
+use lazy_trace::{DecodeError, ExecIndex, TraceConfig, TraceSnapshot};
+use lazy_vm::{Failure, FailureKind};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Server-side configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Trace decode configuration (must match the clients').
+    pub trace: TraceConfig,
+    /// Cap on successful traces used, as a multiple of failing traces
+    /// (the paper empirically fixes 10×, §5).
+    pub success_factor: usize,
+    /// Cap on ranked candidates carried into pattern computation.
+    pub max_candidates: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            trace: TraceConfig::default(),
+            success_factor: 10,
+            max_candidates: 128,
+        }
+    }
+}
+
+/// Per-stage instruction counts, the measure behind the paper's
+/// Figure 7 (each stage's contribution to accuracy is its reduction of
+/// the instruction population the next stage must consider) and
+/// Table 4 (analysis time).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    /// Static instructions in the module.
+    pub static_insts: usize,
+    /// Distinct instructions executed per the traces (after step 2).
+    pub executed_insts: usize,
+    /// Executed instructions with pointer operands (points-to
+    /// population).
+    pub pointer_insts: usize,
+    /// Candidates after hybrid points-to aliasing (step 4).
+    pub candidates: usize,
+    /// Candidates with rank 1 after type ranking (step 5).
+    pub rank1_candidates: usize,
+    /// Patterns generated (step 6).
+    pub patterns: usize,
+    /// Patterns with the top F1 (step 7).
+    pub top_patterns: usize,
+    /// Server-side analysis wall time, microseconds.
+    pub analysis_micros: u128,
+}
+
+/// The server's verdict for one failure.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    /// All scored patterns, best first.
+    pub scores: Vec<PatternScore>,
+    /// Stage statistics.
+    pub stats: PipelineStats,
+    /// The effective failing access the pipeline keyed on.
+    pub failing_pc: Pc,
+    /// Whether the deadlock path was taken.
+    pub is_deadlock: bool,
+    /// The root-cause pattern's instructions ordered by their observed
+    /// execution time in the failing trace (events the failure
+    /// pre-empted come last). This is `O_S` for the A_O metric.
+    pub ordered_events: Vec<Pc>,
+}
+
+impl Diagnosis {
+    /// The top-scoring pattern, if any pattern scored above zero.
+    pub fn root_cause(&self) -> Option<&PatternScore> {
+        self.scores.first().filter(|s| s.f1 > 0.0)
+    }
+
+    /// The diagnosed target instructions in observed execution order
+    /// (for the A_O accuracy metric).
+    pub fn diagnosed_order(&self) -> Vec<Pc> {
+        self.ordered_events.clone()
+    }
+
+    /// Returns `true` if the diagnosis fell back to unordered target
+    /// reporting (the coarse interleaving hypothesis did not hold).
+    pub fn is_unordered_fallback(&self) -> bool {
+        matches!(
+            self.root_cause().map(|s| &s.pattern),
+            Some(BugPattern::UnorderedTargets { .. })
+        )
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self, module: &Module) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Lazy Diagnosis report ===");
+        let _ = writeln!(
+            out,
+            "failing access: {}",
+            module.describe_pc(self.failing_pc)
+        );
+        let _ = writeln!(
+            out,
+            "pipeline: {} static -> {} executed -> {} candidates -> {} rank-1 -> {} patterns",
+            self.stats.static_insts,
+            self.stats.executed_insts,
+            self.stats.candidates,
+            self.stats.rank1_candidates,
+            self.stats.patterns
+        );
+        match self.root_cause() {
+            Some(top) => {
+                let _ = writeln!(
+                    out,
+                    "root cause [{}] F1={:.3} (precision {:.3}, recall {:.3}):",
+                    top.pattern.signature(),
+                    top.f1,
+                    top.precision,
+                    top.recall
+                );
+                match &top.pattern {
+                    BugPattern::Deadlock { edges } => {
+                        for (i, e) in edges.iter().enumerate() {
+                            let _ = writeln!(out, "  thread {}:", (b'A' + i as u8) as char);
+                            let _ = writeln!(out, "    holds  {}", module.describe_pc(e.hold_pc));
+                            let _ = writeln!(out, "    wants  {}", module.describe_pc(e.want_pc));
+                        }
+                    }
+                    _ => {
+                        for pc in top.pattern.pcs() {
+                            let _ = writeln!(out, "  {}", module.describe_pc(pc));
+                        }
+                    }
+                }
+                // Runner-up patterns, for the developer's context.
+                let runners: Vec<&PatternScore> = self
+                    .scores
+                    .iter()
+                    .skip(1)
+                    .take(3)
+                    .filter(|s| s.f1 > 0.0)
+                    .collect();
+                if !runners.is_empty() {
+                    let _ = writeln!(out, "runners-up:");
+                    for r in runners {
+                        let _ = writeln!(
+                            out,
+                            "  [{}] F1={:.3} over {:?}",
+                            r.pattern.signature(),
+                            r.f1,
+                            r.pattern.pcs()
+                        );
+                    }
+                }
+            }
+            None => {
+                let _ = writeln!(out, "no pattern correlated with the failure");
+            }
+        }
+        out
+    }
+}
+
+/// The diagnosis server for one module.
+pub struct DiagnosisServer<'m> {
+    module: &'m Module,
+    index: ExecIndex,
+    cfg: ServerConfig,
+}
+
+impl<'m> DiagnosisServer<'m> {
+    /// Creates a server for `module` ("the bitcode file used by the
+    /// server-side analysis", §5).
+    pub fn new(module: &'m Module, cfg: ServerConfig) -> DiagnosisServer<'m> {
+        DiagnosisServer {
+            module,
+            index: ExecIndex::build(module),
+            cfg,
+        }
+    }
+
+    /// The module this server diagnoses.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Decodes and processes one snapshot (steps 2–3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures.
+    pub fn process(&self, snapshot: &TraceSnapshot) -> Result<ProcessedTrace, DecodeError> {
+        process_snapshot(self.module, &self.index, &self.cfg.trace, snapshot)
+    }
+
+    /// The breakpoint PCs a client should try, in order, to capture
+    /// successful traces for a failure at `failing_pc`: the failure PC
+    /// itself, then the first instruction of each predecessor basic
+    /// block by increasing distance (§4.1's fallback).
+    pub fn breakpoint_plan(&self, failing_pc: Pc) -> Vec<Pc> {
+        let mut plan = vec![failing_pc];
+        if let Some(loc) = self.module.loc_of_pc(failing_pc) {
+            let func = self.module.func(loc.func);
+            let cfg = Cfg::build(func);
+            for b in cfg.predecessor_walk(loc.block) {
+                plan.push(func.block(b).insts[0].pc);
+            }
+        }
+        plan
+    }
+
+    /// Runs the full pipeline (steps 2–7) over already-collected
+    /// snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no failing snapshot decodes.
+    pub fn diagnose(
+        &self,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<Diagnosis, DecodeError> {
+        let started = Instant::now();
+        let mut failing_traces = Vec::new();
+        for s in failing {
+            failing_traces.push(self.process(s)?);
+        }
+        if failing_traces.is_empty() {
+            return Err(DecodeError::NoSync);
+        }
+        let success_cap = self.cfg.success_factor * failing_traces.len().max(1);
+        let mut success_traces = Vec::new();
+        for s in successful.iter().take(success_cap) {
+            if let Ok(t) = self.process(s) {
+                success_traces.push(t);
+            }
+        }
+
+        // Step 2: executed set (union over received traces).
+        let mut executed: HashSet<Pc> = HashSet::new();
+        for t in failing_traces.iter().chain(success_traces.iter()) {
+            executed.extend(t.executed.iter().copied());
+        }
+
+        // Step 4: hybrid (scope-restricted) points-to analysis.
+        let pts = PointsTo::analyze_scoped(self.module, &executed);
+
+        // Steps 4–5: candidate selection + type ranking.
+        let is_deadlock = matches!(
+            failure.kind,
+            FailureKind::Deadlock { .. } | FailureKind::Hang
+        );
+        let mut cands = select_candidates(self.module, &pts, &executed, failure.pc, is_deadlock);
+        if cands.ranked.len() > self.cfg.max_candidates {
+            cands.ranked.truncate(self.cfg.max_candidates);
+        }
+
+        // Step 6: bug-pattern computation on each failing trace (plus
+        // the multi-variable extension for crashes feeding from a
+        // variable pair — the paper's §7 future work).
+        let ctx = PatternContext::new(self.module, &pts, &cands);
+        let mut patterns: Vec<BugPattern> = Vec::new();
+        for t in &failing_traces {
+            let mut p = if is_deadlock {
+                deadlock_patterns(&ctx, &cands, t)
+            } else {
+                let mut p = crash_patterns(&ctx, &cands, t);
+                p.extend(crate::multivar::multivar_patterns(
+                    self.module,
+                    &pts,
+                    &executed,
+                    failure.pc,
+                    t,
+                    &cands,
+                ));
+                p
+            };
+            patterns.append(&mut p);
+        }
+        patterns.sort();
+        patterns.dedup();
+
+        // Step 7: statistical diagnosis (with the §4.3 type ranks as
+        // the tie-break).
+        let rank_of: std::collections::HashMap<Pc, u32> =
+            cands.ranked.iter().map(|r| (r.pc, r.rank)).collect();
+        let scores = score_patterns(&patterns, &failing_traces, &success_traces, &rank_of);
+        let top_patterns = match scores.first() {
+            Some(t) => scores
+                .iter()
+                .filter(|s| {
+                    (s.f1 - t.f1).abs() < 1e-12
+                        && s.type_rank == t.type_rank
+                        && s.pattern.pcs().len() == t.pattern.pcs().len()
+                })
+                .count(),
+            None => 0,
+        };
+
+        // Order the root cause's events by observed time in the first
+        // failing trace (never-executed late events sort last).
+        let ordered_events = match scores.first().filter(|s| s.f1 > 0.0) {
+            Some(top) => {
+                let t0 = &failing_traces[0];
+                let mut pcs: Vec<Pc> = top.pattern.pcs();
+                pcs.dedup();
+                let mut keyed: Vec<(u64, usize, Pc)> = pcs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, pc)| {
+                        let t = t0
+                            .instances_of(pc)
+                            .iter()
+                            .map(|inst| inst.time.lo)
+                            .max()
+                            .unwrap_or(u64::MAX);
+                        (t, i, pc)
+                    })
+                    .collect();
+                keyed.sort();
+                keyed.into_iter().map(|(_, _, pc)| pc).collect()
+            }
+            None => Vec::new(),
+        };
+
+        let stats = PipelineStats {
+            static_insts: self.module.inst_count(),
+            executed_insts: executed.len(),
+            pointer_insts: cands.pointer_insts_executed,
+            candidates: cands.ranked.len(),
+            rank1_candidates: cands.rank1_count(),
+            patterns: patterns.len(),
+            top_patterns: if patterns.is_empty() { 0 } else { top_patterns },
+            analysis_micros: started.elapsed().as_micros(),
+        };
+        Ok(Diagnosis {
+            scores,
+            stats,
+            failing_pc: cands.failing_pc,
+            is_deadlock,
+            ordered_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+
+    #[test]
+    fn breakpoint_plan_walks_predecessors() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let mid = f.block("mid");
+        let tail = f.block("tail");
+        f.switch_to(e);
+        f.br(mid);
+        f.switch_to(mid);
+        f.br(tail);
+        f.switch_to(tail);
+        let g = f.copy(Operand::const_int(0));
+        let _ = g;
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let server = DiagnosisServer::new(&m, ServerConfig::default());
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, lazy_ir::InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let plan = server.breakpoint_plan(halt_pc);
+        assert_eq!(plan[0], halt_pc);
+        assert!(plan.len() >= 3, "predecessor blocks included: {plan:?}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Statistical diagnosis (step 7 of the pipeline).
+//!
+//! Scores every candidate pattern by the F1 measure over the collected
+//! traces (§4.5): *precision* is the fraction of pattern-bearing traces
+//! that actually failed, *recall* the fraction of failing traces that
+//! bear the pattern. A pattern that appears in every failing trace and
+//! no successful one scores F1 = 1 and is, with the paper's evidence,
+//! the root cause. Successful traces are what separate the true root
+//! cause from benign patterns that occur in every execution.
+
+use crate::patterns::{pattern_present, BugPattern};
+use crate::processing::ProcessedTrace;
+use lazy_ir::Pc;
+use std::collections::HashMap;
+
+/// A pattern with its statistical score.
+#[derive(Clone, Debug)]
+pub struct PatternScore {
+    /// The pattern.
+    pub pattern: BugPattern,
+    /// The pattern's type rank: the worst (highest) type-based rank of
+    /// its events (1 = every event's operand type matches the failing
+    /// operand's).
+    pub type_rank: u32,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// |present ∧ failing| / |present|.
+    pub precision: f64,
+    /// |present ∧ failing| / |failing|.
+    pub recall: f64,
+    /// Failing traces bearing the pattern.
+    pub fail_support: usize,
+    /// Successful traces bearing the pattern.
+    pub success_support: usize,
+}
+
+/// Scores `patterns` over failing and successful traces, returning them
+/// sorted best-first: by descending F1, then ascending type rank (the
+/// §4.3 heuristic: exact-type patterns are likelier root causes), then
+/// descending specificity, then deterministic pattern order.
+///
+/// `rank_of` maps candidate PCs to their type-based rank (missing PCs
+/// default to rank 2).
+pub fn score_patterns(
+    patterns: &[BugPattern],
+    failing: &[ProcessedTrace],
+    successful: &[ProcessedTrace],
+    rank_of: &HashMap<Pc, u32>,
+) -> Vec<PatternScore> {
+    let mut out: Vec<PatternScore> = patterns
+        .iter()
+        .map(|p| {
+            let type_rank = p
+                .pcs()
+                .iter()
+                .map(|pc| rank_of.get(pc).copied().unwrap_or(2))
+                .max()
+                .unwrap_or(2);
+            let fail_support = failing.iter().filter(|t| pattern_present(p, t)).count();
+            let success_support = successful.iter().filter(|t| pattern_present(p, t)).count();
+            let predicted = fail_support + success_support;
+            let precision = if predicted == 0 {
+                0.0
+            } else {
+                fail_support as f64 / predicted as f64
+            };
+            let recall = if failing.is_empty() {
+                0.0
+            } else {
+                fail_support as f64 / failing.len() as f64
+            };
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            PatternScore {
+                pattern: p.clone(),
+                type_rank,
+                f1,
+                precision,
+                recall,
+                fail_support,
+                success_support,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        // Equal F1 scores are broken first by type rank (the §4.3
+        // heuristic), then toward the more *specific* pattern (more
+        // correlated events): an atomicity triple that ties with its
+        // embedded order pair explains strictly more of the failing
+        // interleaving.
+        b.f1.partial_cmp(&a.f1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.type_rank.cmp(&b.type_rank))
+            .then_with(|| b.pattern.pcs().len().cmp(&a.pattern.pcs().len()))
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{AccessKind, PatternEvent};
+    use crate::processing::DynInstance;
+    use lazy_ir::Pc;
+    use lazy_trace::TimeBounds;
+    use std::collections::{HashMap, HashSet};
+
+    fn trace_with(instances: Vec<(u64, Vec<DynInstance>)>) -> ProcessedTrace {
+        let mut map = HashMap::new();
+        let mut executed = HashSet::new();
+        let mut event_time = HashMap::new();
+        for (pc, is) in instances {
+            executed.insert(Pc(pc));
+            for i in &is {
+                event_time.insert((i.tid, i.seq), i.time);
+            }
+            map.insert(Pc(pc), is);
+        }
+        ProcessedTrace {
+            executed,
+            instances: map,
+            event_time,
+            trigger_tid: 0,
+            trigger_pc: Pc(0),
+            taken_at: 1_000_000,
+            event_count: 0,
+            resyncs: 0,
+        }
+    }
+
+    fn inst(tid: u32, seq: usize, lo: u64, hi: u64) -> DynInstance {
+        DynInstance {
+            tid,
+            seq,
+            time: TimeBounds { lo, hi },
+        }
+    }
+
+    fn wr_pattern() -> BugPattern {
+        BugPattern::OrderViolation {
+            first: PatternEvent {
+                pc: Pc(100),
+                kind: AccessKind::Write,
+            },
+            second: PatternEvent {
+                pc: Pc(200),
+                kind: AccessKind::Read,
+            },
+        }
+    }
+
+    /// Bad-order trace (pattern present).
+    fn bad_trace() -> ProcessedTrace {
+        trace_with(vec![
+            (100, vec![inst(1, 0, 0, 10)]),
+            (200, vec![inst(2, 0, 50, 60)]),
+        ])
+    }
+
+    /// Good-order trace (pattern absent).
+    fn good_trace() -> ProcessedTrace {
+        trace_with(vec![
+            (100, vec![inst(1, 0, 50, 60)]),
+            (200, vec![inst(2, 0, 0, 10)]),
+        ])
+    }
+
+    #[test]
+    fn perfect_pattern_scores_one() {
+        let failing = vec![bad_trace()];
+        let successful = vec![good_trace(), good_trace(), good_trace()];
+        let scores = score_patterns(&[wr_pattern()], &failing, &successful, &HashMap::new());
+        assert_eq!(scores.len(), 1);
+        assert!((scores[0].f1 - 1.0).abs() < 1e-9, "{}", scores[0].f1);
+        assert_eq!(scores[0].fail_support, 1);
+        assert_eq!(scores[0].success_support, 0);
+    }
+
+    #[test]
+    fn ubiquitous_pattern_scores_low_precision() {
+        // Pattern present in the failing trace AND all successful ones.
+        let failing = vec![bad_trace()];
+        let successful = vec![bad_trace(), bad_trace(), bad_trace()];
+        let scores = score_patterns(&[wr_pattern()], &failing, &successful, &HashMap::new());
+        assert!((scores[0].precision - 0.25).abs() < 1e-9);
+        assert!((scores[0].recall - 1.0).abs() < 1e-9);
+        assert!(scores[0].f1 < 0.5);
+    }
+
+    #[test]
+    fn absent_pattern_scores_zero() {
+        let failing = vec![good_trace()];
+        let successful = vec![good_trace()];
+        let scores = score_patterns(&[wr_pattern()], &failing, &successful, &HashMap::new());
+        assert_eq!(scores[0].f1, 0.0);
+    }
+
+    #[test]
+    fn sorting_puts_best_first() {
+        let good = wr_pattern();
+        let decoy = BugPattern::OrderViolation {
+            first: PatternEvent {
+                pc: Pc(200),
+                kind: AccessKind::Read,
+            },
+            second: PatternEvent {
+                pc: Pc(100),
+                kind: AccessKind::Write,
+            },
+        };
+        // decoy (R before W) is present in the GOOD traces.
+        let failing = vec![bad_trace()];
+        let successful = vec![good_trace(), good_trace()];
+        let scores = score_patterns(
+            &[decoy, good.clone()],
+            &failing,
+            &successful,
+            &HashMap::new(),
+        );
+        assert_eq!(scores[0].pattern, good);
+        assert!(scores[0].f1 > scores[1].f1);
+    }
+
+    #[test]
+    fn multiple_failing_traces_increase_recall_confidence() {
+        let failing = vec![bad_trace(), bad_trace(), good_trace()];
+        let successful = vec![good_trace()];
+        let scores = score_patterns(&[wr_pattern()], &failing, &successful, &HashMap::new());
+        assert!((scores[0].recall - 2.0 / 3.0).abs() < 1e-9);
+        assert!((scores[0].precision - 1.0).abs() < 1e-9);
+    }
+}

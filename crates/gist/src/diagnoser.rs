@@ -1,0 +1,333 @@
+//! Gist's diagnosis loop: slice, instrument, wait for recurrences,
+//! refine.
+//!
+//! The loop mirrors the behaviour the paper measures against (§6.3):
+//!
+//! 1. compute a static backward slice from the failing instruction;
+//! 2. instrument a prefix of the slice (small first — Gist keeps
+//!    production overhead down by starting narrow);
+//! 3. run production executions; only every `tracked_bugs`-th run
+//!    monitors this bug (sampling in space), and only *failing*
+//!    monitored runs advance the sketch;
+//! 4. if the sketch is incomplete (the logged events do not capture
+//!    cross-thread accesses to the failing location), grow the slice
+//!    and wait for the next recurrence.
+//!
+//! The result records how many executions and how many monitored
+//! failure recurrences the diagnosis needed — the quantities Table/§6.3
+//! compares (Snorlax needs exactly one failure, Gist ~3.7 recurrences
+//! times the number of tracked bugs).
+
+use crate::instrument::{GistConfig, GistInstrumentor};
+use lazy_analysis::loc::sets_intersect;
+use lazy_analysis::{backward_slice, effective_failing_access, PointsTo};
+use lazy_ir::{InstKind, Module, Pc};
+use lazy_vm::{AccessEvent, Vm, VmConfig};
+use std::collections::HashSet;
+
+/// The outcome of a Gist diagnosis campaign.
+#[derive(Clone, Debug)]
+pub struct GistResult {
+    /// Target-event PCs in diagnosed (observed) order.
+    pub diagnosed_order: Vec<Pc>,
+    /// Total production executions consumed.
+    pub runs: usize,
+    /// Monitored failure recurrences needed for the sketch to converge.
+    pub failure_recurrences: usize,
+    /// Executions that monitored this bug (the rest watched other
+    /// bugs).
+    pub monitored_runs: usize,
+    /// Final instrumented-slice size.
+    pub final_slice_size: usize,
+}
+
+/// The Gist baseline diagnoser.
+pub struct GistDiagnoser<'m> {
+    module: &'m Module,
+    /// Whole-program points-to: Gist's static analysis runs offline,
+    /// without trace scoping.
+    pts: PointsTo,
+    cfg: GistConfig,
+}
+
+impl<'m> GistDiagnoser<'m> {
+    /// Creates a diagnoser; runs the whole-program static analysis
+    /// eagerly (Gist has no trace to scope by).
+    pub fn new(module: &'m Module, cfg: GistConfig) -> GistDiagnoser<'m> {
+        let pts = PointsTo::analyze(module);
+        GistDiagnoser { module, pts, cfg }
+    }
+
+    /// Extracts the failure sketch from a monitored failing run's log:
+    /// the accesses to the same address as the final failing access, in
+    /// observed order.
+    fn sketch(log: &[AccessEvent], failing_pc: Pc) -> Vec<AccessEvent> {
+        let Some(last_fail) = log.iter().rev().find(|e| e.pc == failing_pc) else {
+            return Vec::new();
+        };
+        log.iter()
+            .filter(|e| e.addr == last_fail.addr)
+            .copied()
+            .collect()
+    }
+
+    /// Returns `true` when a sketch captures the cross-thread structure
+    /// of the failure: accesses from at least two threads including the
+    /// failing instruction.
+    fn sketch_complete(sketch: &[AccessEvent], failing_pc: Pc) -> bool {
+        let tids: HashSet<u32> = sketch.iter().map(|e| e.tid).collect();
+        tids.len() >= 2 && sketch.iter().any(|e| e.pc == failing_pc)
+    }
+
+    /// Runs the diagnosis campaign.
+    ///
+    /// `template` supplies the cost/trace configuration; seeds start at
+    /// `first_seed` and each run consumes one seed ("one production
+    /// execution"). Returns `None` if the sketch does not converge
+    /// within `max_runs`.
+    pub fn diagnose(
+        &self,
+        failing_pc: Pc,
+        template: &VmConfig,
+        first_seed: u64,
+        max_runs: usize,
+    ) -> Option<GistResult> {
+        let mut slice_size = self.cfg.initial_slice;
+        let mut recurrences = 0usize;
+        let mut monitored_runs = 0usize;
+        let mut runs = 0usize;
+        let mut seed = first_seed;
+        let mut last_success_log: Option<Vec<AccessEvent>> = None;
+        // Gist keys the sketch on the access that produced the corrupt
+        // value (its RETracer-style backward walk).
+        let failing_pc = effective_failing_access(self.module, failing_pc);
+        // Accesses that may touch the failure's data: Gist adds these to
+        // the instrumented set when the slice alone does not complete
+        // the sketch (its "broaden on recurrence" refinement).
+        let alias_watch: HashSet<Pc> = {
+            let fail_pts = self
+                .pts
+                .pts_of_pointer_at(self.module, failing_pc)
+                .unwrap_or_default();
+            self.module
+                .functions()
+                .iter()
+                .flat_map(|f| f.insts().map(move |i| (f.id, i)))
+                .filter(|(fid, i)| {
+                    let Some(op) = i.kind.pointer_operand() else {
+                        return false;
+                    };
+                    if !(i.kind.is_memory_access()
+                        || i.kind.is_lock_acquire()
+                        || matches!(i.kind, InstKind::Free { .. } | InstKind::MutexUnlock { .. }))
+                    {
+                        return false;
+                    }
+                    sets_intersect(&self.pts.pts_of_operand(*fid, op), &fail_pts)
+                })
+                .map(|(_, i)| i.pc)
+                .collect()
+        };
+
+        while runs < max_runs {
+            let monitored = runs % self.cfg.tracked_bugs == 0;
+            runs += 1;
+            let this_seed = seed;
+            seed += 1;
+            if !monitored {
+                // This execution watched a different bug; nothing
+                // learned about ours.
+                continue;
+            }
+            monitored_runs += 1;
+            let mut watch: HashSet<Pc> =
+                backward_slice(self.module, &self.pts, failing_pc, slice_size)
+                    .into_iter()
+                    .collect();
+            if recurrences >= 2 {
+                // Late refinement: broaden to the failure data's
+                // aliasing accesses once slice growth alone has not
+                // completed the sketch.
+                watch.extend(alias_watch.iter().copied());
+            }
+            let mut instr = GistInstrumentor::new(watch, &self.cfg);
+            let cfg = VmConfig {
+                seed: this_seed,
+                trace: None,
+                ..template.clone()
+            };
+            let out = Vm::run_instrumented(self.module, cfg, &mut instr);
+            if !out.is_failure() {
+                // Keep the latest successful monitored log: failure
+                // sketching diffs failing against successful runs.
+                last_success_log = Some(instr.into_log());
+                continue;
+            }
+            // A monitored recurrence: refine the sketch.
+            recurrences += 1;
+            let s = Self::sketch(instr.log(), failing_pc);
+            if Self::sketch_complete(&s, failing_pc) {
+                let mut order: Vec<Pc> = Vec::new();
+                for e in &s {
+                    if order.last() != Some(&e.pc) {
+                        order.push(e.pc);
+                    }
+                }
+                return Some(GistResult {
+                    diagnosed_order: order,
+                    runs,
+                    failure_recurrences: recurrences,
+                    monitored_runs,
+                    final_slice_size: slice_size,
+                });
+            }
+            // An order violation by omission: the remote access never
+            // appears in failing runs (the crash pre-empts it). Gist
+            // resolves these by diffing the failing sketch against a
+            // successful run's sketch, where the remote access is
+            // present.
+            if recurrences >= 3 {
+                if let Some(slog) = &last_success_log {
+                    let fail_tid = s.iter().find(|e| e.pc == failing_pc).map(|e| e.tid);
+                    let fail_pcs: HashSet<Pc> = s.iter().map(|e| e.pc).collect();
+                    let missing: Vec<Pc> = slog
+                        .iter()
+                        .filter(|e| {
+                            alias_watch.contains(&e.pc)
+                                && !fail_pcs.contains(&e.pc)
+                                && Some(e.tid) != fail_tid
+                        })
+                        .map(|e| e.pc)
+                        .collect();
+                    if !missing.is_empty() && s.iter().any(|e| e.pc == failing_pc) {
+                        let mut order = vec![failing_pc];
+                        for pc in missing {
+                            if !order.contains(&pc) {
+                                order.push(pc);
+                            }
+                        }
+                        return Some(GistResult {
+                            diagnosed_order: order,
+                            runs,
+                            failure_recurrences: recurrences,
+                            monitored_runs,
+                            final_slice_size: slice_size,
+                        });
+                    }
+                }
+            }
+            // Sketch incomplete: the root-cause events lie outside the
+            // instrumented slice — grow it and wait for the next
+            // recurrence.
+            slice_size = slice_size.saturating_mul(self.cfg.slice_growth);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+
+    /// The racy module from the client tests: worker frees, main uses.
+    fn racy_module() -> Module {
+        let mut mb = ModuleBuilder::new("racy");
+        let gptr = mb.global("buf", Type::I64.ptr_to(), vec![]);
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.io("compress", 400_000);
+            let p = f.load(gptr.clone(), Type::I64.ptr_to());
+            f.free(p);
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let buf = f.heap_alloc(Type::I64, Operand::const_int(4));
+        f.store(gptr.clone(), buf.clone(), Type::I64.ptr_to());
+        let t = f.spawn(worker, Operand::const_int(0));
+        f.io("serve", 395_000);
+        let p = f.load(gptr.clone(), Type::I64.ptr_to());
+        f.load(p, Type::I64);
+        f.join(t);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    fn failing_pc(m: &Module) -> Pc {
+        // Find the failure with a quick run sweep.
+        for seed in 0..100 {
+            let out = Vm::run(
+                m,
+                VmConfig {
+                    seed,
+                    trace: None,
+                    ..VmConfig::default()
+                },
+            );
+            if let Some(f) = out.failure() {
+                return f.pc;
+            }
+        }
+        panic!("bug did not manifest");
+    }
+
+    #[test]
+    fn gist_converges_and_orders_events() {
+        let m = racy_module();
+        let pc = failing_pc(&m);
+        let d = GistDiagnoser::new(&m, GistConfig::default());
+        let res = d
+            .diagnose(pc, &VmConfig::default(), 0, 500)
+            .expect("gist should converge");
+        assert!(res.failure_recurrences >= 1);
+        assert!(res.diagnosed_order.len() >= 2, "{:?}", res.diagnosed_order);
+        assert!(res.diagnosed_order.contains(&pc));
+        // The free precedes the failing use in the diagnosed order.
+        let free_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, lazy_ir::InstKind::Free { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let fi = res.diagnosed_order.iter().position(|p| *p == free_pc);
+        let ui = res.diagnosed_order.iter().position(|p| *p == pc);
+        if let (Some(fi), Some(ui)) = (fi, ui) {
+            assert!(fi < ui, "free before use in {:?}", res.diagnosed_order);
+        }
+    }
+
+    #[test]
+    fn tracked_bugs_inflate_run_cost() {
+        let m = racy_module();
+        let pc = failing_pc(&m);
+        let focused = GistDiagnoser::new(
+            &m,
+            GistConfig {
+                tracked_bugs: 1,
+                ..GistConfig::default()
+            },
+        );
+        let split = GistDiagnoser::new(
+            &m,
+            GistConfig {
+                tracked_bugs: 8,
+                ..GistConfig::default()
+            },
+        );
+        let r1 = focused.diagnose(pc, &VmConfig::default(), 0, 2000).unwrap();
+        let r8 = split.diagnose(pc, &VmConfig::default(), 0, 2000).unwrap();
+        assert!(
+            r8.runs > r1.runs,
+            "sampling in space must cost runs: {} vs {}",
+            r8.runs,
+            r1.runs
+        );
+        assert!(r8.monitored_runs < r8.runs);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # lazy-gist — the Gist failure-sketching baseline
+//!
+//! A reimplementation of the comparison system of the paper's §6.3:
+//! Gist (Kasikci et al., SOSP 2015) diagnoses in-production failures by
+//! *failure sketching* — compute a static backward slice from the
+//! failing instruction, instrument a portion of the slice in production,
+//! and refine the sketch over failure recurrences until the root-cause
+//! events are captured. Its two structural costs, reproduced here, are
+//! exactly what Lazy Diagnosis removes:
+//!
+//! * **Sampling in space** ([`GistConfig::tracked_bugs`]): Gist monitors
+//!   one bug per execution, so with `N` open bugs only ~1/N of runs
+//!   observe the right one — diagnosis latency scales with `N`
+//!   (Chromium's 684 open race bugs make the paper's 2523× example).
+//! * **Instrumentation with blocking synchronization**
+//!   ([`GistInstrumentor`]): ordering observed accesses across threads
+//!   requires synchronized logging whose cost grows with the number of
+//!   active threads — the poor-scalability curve of Figure 9.
+//! * **Recurrence requirement**: the sketch converges only after
+//!   several *monitored* failures (the paper reports 3.7 on average),
+//!   whereas Snorlax diagnoses from the first.
+
+pub mod diagnoser;
+pub mod instrument;
+
+pub use diagnoser::{GistDiagnoser, GistResult};
+pub use instrument::{GistConfig, GistInstrumentor};

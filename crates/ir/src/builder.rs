@@ -1,0 +1,600 @@
+//! Fluent builders for modules and functions.
+//!
+//! Workloads construct model programs through [`ModuleBuilder`] and
+//! [`FunctionBuilder`]. Functions may be declared ahead of their
+//! definition so call sites (including mutually recursive ones) can
+//! reference them by [`FuncId`].
+
+use crate::inst::{BinOp, CmpOp, Inst, InstKind, Operand, ValueId};
+use crate::module::{
+    BasicBlock, BlockId, FuncId, Function, Global, GlobalId, Module, Pc, StructDef,
+};
+use crate::types::Type;
+use crate::verify::{verify_module, VerifyError};
+use std::collections::HashMap;
+
+/// Builds a [`Module`]: struct definitions, globals, and functions.
+pub struct ModuleBuilder {
+    name: String,
+    structs: HashMap<String, StructDef>,
+    globals: Vec<Global>,
+    protos: Vec<Proto>,
+    bodies: Vec<Option<Function>>,
+    by_name: HashMap<String, FuncId>,
+}
+
+/// A declared function signature awaiting a body.
+#[derive(Clone)]
+struct Proto {
+    name: String,
+    param_tys: Vec<Type>,
+    ret_ty: Type,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module with the given name.
+    pub fn new(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.into(),
+            structs: HashMap::new(),
+            globals: Vec::new(),
+            protos: Vec::new(),
+            bodies: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Defines a named struct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a struct with the same name was already defined.
+    pub fn struct_def(&mut self, name: impl Into<String>, fields: Vec<(String, Type)>) {
+        let name = name.into();
+        let prev = self.structs.insert(
+            name.clone(),
+            StructDef {
+                name: name.clone(),
+                fields,
+            },
+        );
+        assert!(prev.is_none(), "duplicate struct definition: {name}");
+    }
+
+    /// Declares a global variable and returns an operand addressing it.
+    pub fn global(&mut self, name: impl Into<String>, ty: Type, init: Vec<i64>) -> Operand {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            id,
+            name: name.into(),
+            ty,
+            init,
+        });
+        Operand::Global(id)
+    }
+
+    /// Declares a function signature, returning its id for call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name was already declared.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        param_tys: Vec<Type>,
+        ret_ty: Type,
+    ) -> FuncId {
+        let name = name.into();
+        let id = FuncId(self.protos.len() as u32);
+        assert!(
+            self.by_name.insert(name.clone(), id).is_none(),
+            "duplicate function declaration: {name}"
+        );
+        self.protos.push(Proto {
+            name,
+            param_tys,
+            ret_ty,
+        });
+        self.bodies.push(None);
+        id
+    }
+
+    /// Starts defining the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was already defined.
+    pub fn define(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            self.bodies[id.0 as usize].is_none(),
+            "function {} already defined",
+            self.protos[id.0 as usize].name
+        );
+        let proto = self.protos[id.0 as usize].clone();
+        FunctionBuilder::new(self, id, proto)
+    }
+
+    /// Declares and immediately starts defining a function.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        param_tys: Vec<Type>,
+        ret_ty: Type,
+    ) -> FunctionBuilder<'_> {
+        let id = self.declare(name, param_tys, ret_ty);
+        self.define(id)
+    }
+
+    /// Looks up a declared function's id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the declared signature (parameter types, return type).
+    pub fn signature(&self, id: FuncId) -> (&[Type], &Type) {
+        let p = &self.protos[id.0 as usize];
+        (&p.param_tys, &p.ret_ty)
+    }
+
+    fn struct_field_index(&self, strukt: &str, field: &str) -> usize {
+        self.structs
+            .get(strukt)
+            .unwrap_or_else(|| panic!("unknown struct {strukt}"))
+            .field_index(field)
+            .unwrap_or_else(|| panic!("struct {strukt} has no field {field}"))
+    }
+
+    /// Finalizes the module: lays out PCs and runs the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first verification error found, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never defined.
+    pub fn finish(self) -> Result<Module, VerifyError> {
+        let mut functions = Vec::with_capacity(self.bodies.len());
+        for (body, proto) in self.bodies.into_iter().zip(&self.protos) {
+            functions.push(
+                body.unwrap_or_else(|| panic!("function {} declared but not defined", proto.name)),
+            );
+        }
+        let module = Module::assemble(self.name, self.structs, self.globals, functions);
+        verify_module(&module)?;
+        Ok(module)
+    }
+}
+
+/// Builds one function's body block by block.
+///
+/// Instructions are appended to the *current* block, selected with
+/// [`FunctionBuilder::switch_to`]. Emitting into a block that already has a
+/// terminator is a builder-misuse panic.
+pub struct FunctionBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    id: FuncId,
+    name: String,
+    params: Vec<(ValueId, Type)>,
+    ret_ty: Type,
+    blocks: Vec<BasicBlock>,
+    current: Option<BlockId>,
+    next_reg: u32,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(mb: &'m mut ModuleBuilder, id: FuncId, proto: Proto) -> FunctionBuilder<'m> {
+        let params: Vec<(ValueId, Type)> = proto
+            .param_tys
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ValueId(i as u32), t.clone()))
+            .collect();
+        let next_reg = params.len() as u32;
+        let mut fb = FunctionBuilder {
+            mb,
+            id,
+            name: proto.name,
+            params,
+            ret_ty: proto.ret_ty,
+            blocks: Vec::new(),
+            current: None,
+            next_reg,
+        };
+        // Create the entry block eagerly so `entry()` is always valid.
+        fb.block("entry");
+        fb
+    }
+
+    /// The function id being defined (usable for recursive calls).
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Returns the operand for parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Operand {
+        Operand::Reg(self.params[i].0)
+    }
+
+    /// Returns the entry block's id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Creates a new (empty) basic block with the given label.
+    pub fn block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            id,
+            name: name.into(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = Some(block);
+    }
+
+    fn emit(&mut self, kind: InstKind) -> Option<Operand> {
+        let cur = self
+            .current
+            .expect("no current block; call switch_to first");
+        let block = &mut self.blocks[cur.0 as usize];
+        if let Some(last) = block.insts.last() {
+            assert!(
+                !last.kind.is_terminator(),
+                "emitting into terminated block {} of {}",
+                block.name,
+                self.name
+            );
+        }
+        let result = if kind.has_result() {
+            let r = ValueId(self.next_reg);
+            self.next_reg += 1;
+            Some(r)
+        } else {
+            None
+        };
+        block.insts.push(Inst {
+            kind,
+            result,
+            pc: Pc(0),
+        });
+        result.map(Operand::Reg)
+    }
+
+    fn emit_val(&mut self, kind: InstKind) -> Operand {
+        self.emit(kind).expect("instruction should produce a value")
+    }
+
+    // ---- Memory ----
+
+    /// Stack-allocates one value of `ty`; returns a `ty*`.
+    pub fn alloca(&mut self, ty: Type) -> Operand {
+        self.emit_val(InstKind::Alloca { ty })
+    }
+
+    /// Heap-allocates `count` values of `ty`; returns a `ty*`.
+    pub fn heap_alloc(&mut self, ty: Type, count: Operand) -> Operand {
+        self.emit_val(InstKind::HeapAlloc { ty, count })
+    }
+
+    /// Frees a heap allocation.
+    pub fn free(&mut self, ptr: Operand) {
+        self.emit(InstKind::Free { ptr });
+    }
+
+    /// Loads a `ty` from `ptr`.
+    pub fn load(&mut self, ptr: Operand, ty: Type) -> Operand {
+        self.emit_val(InstKind::Load { ptr, ty })
+    }
+
+    /// Stores `value` (a `ty`) to `ptr`.
+    pub fn store(&mut self, ptr: Operand, value: Operand, ty: Type) {
+        self.emit(InstKind::Store { ptr, value, ty });
+    }
+
+    /// Register copy (`p = q`).
+    pub fn copy(&mut self, src: Operand) -> Operand {
+        self.emit_val(InstKind::Copy { src })
+    }
+
+    /// Address of `strukt.field` within the struct `base` points to.
+    pub fn field_addr(&mut self, base: Operand, strukt: &str, field: &str) -> Operand {
+        let idx = self.mb.struct_field_index(strukt, field);
+        self.emit_val(InstKind::FieldAddr {
+            base,
+            strukt: strukt.to_string(),
+            field: idx,
+        })
+    }
+
+    /// Address of element `index` of the `elem_ty` array `base` points to.
+    pub fn index_addr(&mut self, base: Operand, index: Operand, elem_ty: Type) -> Operand {
+        self.emit_val(InstKind::IndexAddr {
+            base,
+            index,
+            elem_ty,
+        })
+    }
+
+    // ---- Arithmetic ----
+
+    /// Emits an integer binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Operand {
+        self.emit_val(InstKind::Bin { op, lhs, rhs })
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Emits an integer comparison producing an `i1`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand) -> Operand {
+        self.emit_val(InstKind::Cmp { op, lhs, rhs })
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs != rhs`.
+    pub fn ne(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpOp::Ne, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpOp::Lt, lhs, rhs)
+    }
+
+    // ---- Control flow ----
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> Operand {
+        self.emit_val(InstKind::Call { callee, args })
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(&mut self, callee: Operand, args: Vec<Operand>) -> Operand {
+        self.emit_val(InstKind::CallIndirect { callee, args })
+    }
+
+    /// Function return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.emit(InstKind::Ret { value });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(InstKind::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.emit(InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Whole-program halt.
+    pub fn halt(&mut self) {
+        self.emit(InstKind::Halt);
+    }
+
+    // ---- Synchronization ----
+
+    /// Blocking mutex acquisition.
+    pub fn lock(&mut self, mutex: Operand) {
+        self.emit(InstKind::MutexLock { mutex });
+    }
+
+    /// Mutex release.
+    pub fn unlock(&mut self, mutex: Operand) {
+        self.emit(InstKind::MutexUnlock { mutex });
+    }
+
+    /// Non-blocking mutex acquisition; yields 1 on success.
+    pub fn try_lock(&mut self, mutex: Operand) -> Operand {
+        self.emit_val(InstKind::MutexTryLock { mutex })
+    }
+
+    /// Shared (read) acquisition of a reader-writer lock.
+    pub fn rw_read(&mut self, rw: Operand) {
+        self.emit(InstKind::RwLockRead { rw });
+    }
+
+    /// Exclusive (write) acquisition of a reader-writer lock.
+    pub fn rw_write(&mut self, rw: Operand) {
+        self.emit(InstKind::RwLockWrite { rw });
+    }
+
+    /// Release of the calling thread's reader-writer hold.
+    pub fn rw_unlock(&mut self, rw: Operand) {
+        self.emit(InstKind::RwUnlock { rw });
+    }
+
+    /// Waits on a condition variable, releasing and reacquiring `mutex`.
+    pub fn cond_wait(&mut self, cond: Operand, mutex: Operand) {
+        self.emit(InstKind::CondWait { cond, mutex });
+    }
+
+    /// Wakes one condition-variable waiter.
+    pub fn cond_signal(&mut self, cond: Operand) {
+        self.emit(InstKind::CondSignal { cond });
+    }
+
+    /// Wakes all condition-variable waiters.
+    pub fn cond_broadcast(&mut self, cond: Operand) {
+        self.emit(InstKind::CondBroadcast { cond });
+    }
+
+    // ---- Threads ----
+
+    /// Spawns a thread running `func(arg)`; yields a joinable handle.
+    pub fn spawn(&mut self, func: FuncId, arg: Operand) -> Operand {
+        self.emit_val(InstKind::ThreadSpawn { func, arg })
+    }
+
+    /// Joins a spawned thread.
+    pub fn join(&mut self, tid: Operand) {
+        self.emit(InstKind::ThreadJoin { tid });
+    }
+
+    // ---- Modelling ----
+
+    /// Simulated work/latency of a fixed number of virtual nanoseconds.
+    pub fn io(&mut self, label: &str, ns: u64) {
+        self.emit(InstKind::Io {
+            label: label.to_string(),
+            ns: Operand::const_int(ns as i64),
+        });
+    }
+
+    /// Simulated work/latency with a dynamic duration operand.
+    pub fn io_dyn(&mut self, label: &str, ns: Operand) {
+        self.emit(InstKind::Io {
+            label: label.to_string(),
+            ns,
+        });
+    }
+
+    /// Asserts `cond` is non-zero; failure is fail-stop.
+    pub fn assert(&mut self, cond: Operand, msg: &str) {
+        self.emit(InstKind::Assert {
+            cond,
+            msg: msg.to_string(),
+        });
+    }
+
+    /// Finishes the function and registers it with the module builder.
+    pub fn finish(self) {
+        let func = Function {
+            id: self.id,
+            name: self.name,
+            params: self.params,
+            ret_ty: self.ret_ty,
+            blocks: self.blocks,
+            reg_count: self.next_reg,
+            base_pc: Pc(0),
+        };
+        self.mb.bodies[self.id.0 as usize] = Some(func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_two_block_function() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Type::I64], Type::I64);
+        let entry = f.entry();
+        let then_bb = f.block("then");
+        let else_bb = f.block("else");
+        f.switch_to(entry);
+        let c = f.lt(f.param(0), Operand::const_int(10));
+        f.cond_br(c, then_bb, else_bb);
+        f.switch_to(then_bb);
+        f.ret(Some(Operand::const_int(1)));
+        f.switch_to(else_bb);
+        f.ret(Some(Operand::const_int(0)));
+        f.finish();
+        let m = mb.finish().unwrap();
+        let func = m.func_by_name("f").unwrap();
+        assert_eq!(func.blocks.len(), 3);
+        assert_eq!(func.params.len(), 1);
+    }
+
+    #[test]
+    fn declare_then_define_supports_mutual_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let fa = mb.declare("a", vec![], Type::Void);
+        let fb = mb.declare("b", vec![], Type::Void);
+        let mut b = mb.define(fb);
+        let e = b.entry();
+        b.switch_to(e);
+        b.call(fa, vec![]);
+        b.ret(None);
+        b.finish();
+        let mut a = mb.define(fa);
+        let e = a.entry();
+        a.switch_to(e);
+        a.ret(None);
+        a.finish();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.functions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn emitting_after_terminator_panics() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.copy(Operand::const_int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but not defined")]
+    fn undefined_function_panics_at_finish() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.declare("ghost", vec![], Type::Void);
+        let _ = mb.finish();
+    }
+
+    #[test]
+    fn globals_get_distinct_ids() {
+        let mut mb = ModuleBuilder::new("m");
+        let g1 = mb.global("a", Type::I64, vec![1]);
+        let g2 = mb.global("b", Type::I64, vec![2]);
+        assert_ne!(g1, g2);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.globals().len(), 2);
+        assert_eq!(m.globals()[0].name, "a");
+    }
+
+    #[test]
+    fn params_are_low_registers() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Type::I64, Type::I64.ptr_to()], Type::Void);
+        assert_eq!(f.param(0), Operand::Reg(ValueId(0)));
+        assert_eq!(f.param(1), Operand::Reg(ValueId(1)));
+        let e = f.entry();
+        f.switch_to(e);
+        // First fresh register comes after the parameters.
+        let r = f.copy(Operand::const_int(0));
+        assert_eq!(r, Operand::Reg(ValueId(2)));
+        f.ret(None);
+        f.finish();
+        mb.finish().unwrap();
+    }
+}

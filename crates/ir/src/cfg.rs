@@ -1,0 +1,168 @@
+//! Control-flow-graph utilities.
+//!
+//! Trace decoding walks function CFGs to reconstruct executed basic-block
+//! sequences from taken/not-taken bits, and the diagnosis server uses
+//! predecessor information for the paper's step 8 fallback (requesting
+//! successful traces at predecessor blocks when the failure block cannot
+//! be used as a breakpoint site).
+
+use crate::inst::InstKind;
+use crate::module::{BlockId, Function, Pc};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The control-flow graph of one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: HashMap<BlockId, Vec<BlockId>>,
+    preds: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func` from its block terminators.
+    ///
+    /// Blocks ending in `Ret` or `Halt` have no successors; calls are not
+    /// CFG edges (interprocedural flow is handled by the call graph).
+    pub fn build(func: &Function) -> Cfg {
+        let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for block in &func.blocks {
+            let targets = match &block.terminator().kind {
+                InstKind::Br { target } => vec![*target],
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => vec![*then_bb, *else_bb],
+                _ => vec![],
+            };
+            for t in &targets {
+                preds.entry(*t).or_default().push(block.id);
+            }
+            succs.insert(block.id, targets);
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successor blocks of `block`.
+    pub fn successors(&self, block: BlockId) -> &[BlockId] {
+        self.succs.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Predecessor blocks of `block`.
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        self.preds.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the set of blocks reachable from the entry block.
+    pub fn reachable(&self) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([BlockId(0)]);
+        while let Some(b) = queue.pop_front() {
+            if seen.insert(b) {
+                queue.extend(self.successors(b).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Breadth-first predecessor walk from `start`, yielding blocks in
+    /// increasing distance order (excluding `start` itself).
+    ///
+    /// This is the order in which the diagnosis server tries alternative
+    /// breakpoint sites ("Lazy Diagnosis clients iterate over predecessor
+    /// blocks until they reach a block where a trace can be generated",
+    /// §4.1).
+    pub fn predecessor_walk(&self, start: BlockId) -> Vec<BlockId> {
+        let mut seen = HashSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        let mut order = Vec::new();
+        while let Some(b) = queue.pop_front() {
+            for p in self.predecessors(b) {
+                if seen.insert(*p) {
+                    order.push(*p);
+                    queue.push_back(*p);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Returns the PC of the first instruction of each basic block of `func`.
+pub fn block_entry_pcs(func: &Function) -> HashMap<BlockId, Pc> {
+    func.blocks
+        .iter()
+        .map(|b| (b.id, b.insts.first().expect("empty block").pc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::types::Type;
+
+    /// entry -> (loop_head -> body -> loop_head | exit)
+    fn diamond() -> crate::module::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Type::I64], Type::Void);
+        let entry = f.entry();
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.switch_to(entry);
+        f.br(head);
+        f.switch_to(head);
+        let c = f.lt(f.param(0), Operand::const_int(3));
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        f.br(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let m = diamond();
+        let f = m.func_by_name("f").unwrap();
+        let cfg = Cfg::build(f);
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.successors(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.successors(BlockId(3)), &[] as &[BlockId]);
+        let mut preds = cfg.predecessors(BlockId(1)).to_vec();
+        preds.sort();
+        assert_eq!(preds, vec![BlockId(0), BlockId(2)]);
+    }
+
+    #[test]
+    fn reachability_covers_all_blocks() {
+        let m = diamond();
+        let f = m.func_by_name("f").unwrap();
+        let cfg = Cfg::build(f);
+        assert_eq!(cfg.reachable().len(), 4);
+    }
+
+    #[test]
+    fn predecessor_walk_orders_by_distance() {
+        let m = diamond();
+        let f = m.func_by_name("f").unwrap();
+        let cfg = Cfg::build(f);
+        let walk = cfg.predecessor_walk(BlockId(3));
+        // Direct predecessor (head) first, then its predecessors.
+        assert_eq!(walk[0], BlockId(1));
+        assert!(walk.contains(&BlockId(0)));
+        assert!(walk.contains(&BlockId(2)));
+        assert!(!walk.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn block_entry_pcs_are_first_insts() {
+        let m = diamond();
+        let f = m.func_by_name("f").unwrap();
+        let pcs = block_entry_pcs(f);
+        for b in &f.blocks {
+            assert_eq!(pcs[&b.id], b.insts[0].pc);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+//!
+//! Postdominance drives *control dependence*: block `B` is control
+//! dependent on branch block `A` when `A` has a successor through which
+//! execution must reach `B` (i.e. `B` postdominates that successor) but
+//! `B` does not postdominate `A` itself — `A`'s branch decides whether
+//! `B` runs. Static slicing (the Gist substrate) uses this to pull in
+//! exactly the branches that gate an instruction, rather than every
+//! branch that can merely reach it.
+
+use crate::cfg::Cfg;
+use crate::module::{BlockId, Function};
+use std::collections::HashMap;
+
+/// The dominator (or postdominator) tree of one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (`idom[entry] == entry`); blocks
+    /// not reachable from the root are absent.
+    idom: HashMap<BlockId, BlockId>,
+}
+
+impl DomTree {
+    /// Immediate dominator of `b` (none for the root or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom.get(&b) {
+            Some(d) if *d != b => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Generic CHK fixpoint over an ordered graph.
+fn chk(
+    order: &[BlockId], // Reverse topological-ish order, root first.
+    preds: &dyn Fn(BlockId) -> Vec<BlockId>,
+    root: BlockId,
+) -> HashMap<BlockId, BlockId> {
+    let index: HashMap<BlockId, usize> = order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+    let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+    idom.insert(root, root);
+    let intersect = |idom: &HashMap<BlockId, BlockId>, mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while index[&a] > index[&b] {
+                a = idom[&a];
+            }
+            while index[&b] > index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for p in preds(b) {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(n) = new_idom {
+                if idom.get(&b) != Some(&n) {
+                    idom.insert(b, n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Computes the dominator tree of `func` (rooted at the entry block).
+pub fn dominators(func: &Function) -> DomTree {
+    let cfg = Cfg::build(func);
+    // Reverse postorder from entry.
+    let order = rpo(func.blocks.len(), BlockId(0), &|b| {
+        cfg.successors(b).to_vec()
+    });
+    let preds = |b: BlockId| cfg.predecessors(b).to_vec();
+    DomTree {
+        idom: chk(&order, &preds, BlockId(0)),
+    }
+}
+
+/// Computes the postdominator tree of `func`.
+///
+/// Functions may have several exits (`ret`/`halt` blocks); a virtual
+/// exit unifies them: each exit block's immediate postdominator is
+/// itself absent from the tree (they are roots). To keep the API
+/// simple, the analysis runs on the reversed CFG from each exit and
+/// merges with the standard virtual-exit construction.
+pub fn postdominators(func: &Function) -> DomTree {
+    let cfg = Cfg::build(func);
+    let n = func.blocks.len();
+    // Virtual exit = BlockId(n as u32). Exits = blocks with no succs.
+    let virt = BlockId(n as u32);
+    let exits: Vec<BlockId> = func
+        .blocks
+        .iter()
+        .filter(|b| cfg.successors(b.id).is_empty())
+        .map(|b| b.id)
+        .collect();
+    let succs_rev = |b: BlockId| -> Vec<BlockId> {
+        if b == virt {
+            exits.clone()
+        } else {
+            cfg.predecessors(b).to_vec()
+        }
+    };
+    let preds_rev = |b: BlockId| -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = cfg.successors(b).to_vec();
+        if exits.contains(&b) {
+            v.push(virt);
+        }
+        v
+    };
+    let order = rpo(n + 1, virt, &|b| succs_rev(b));
+    let mut idom = chk(&order, &preds_rev, virt);
+    // Strip the virtual exit: blocks whose ipdom is the virtual exit
+    // become roots.
+    idom.retain(|b, d| *b != virt && *d != virt);
+    DomTree { idom }
+}
+
+/// Reverse postorder over an implicit graph.
+fn rpo(nblocks: usize, root: BlockId, succs: &dyn Fn(BlockId) -> Vec<BlockId>) -> Vec<BlockId> {
+    let mut visited = vec![false; nblocks + 1];
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-child).
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    let idx = |b: BlockId| b.0 as usize;
+    visited[idx(root)] = true;
+    stack.push((root, succs(root), 0));
+    while let Some((b, ss, i)) = stack.last_mut() {
+        if *i < ss.len() {
+            let child = ss[*i];
+            *i += 1;
+            if !visited[idx(child)] {
+                visited[idx(child)] = true;
+                stack.push((child, succs(child), 0));
+            }
+        } else {
+            post.push(*b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// The control-dependence relation of one function: for each block, the
+/// branch blocks whose decisions gate its execution.
+pub fn control_dependence(func: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+    let cfg = Cfg::build(func);
+    let pdom = postdominators(func);
+    let mut deps: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for a in &func.blocks {
+        let succs = cfg.successors(a.id);
+        if succs.len() < 2 {
+            continue;
+        }
+        for &s in succs {
+            // Walk the postdominator chain from `s` up to (but not
+            // including) ipdom(a): every block on it is control
+            // dependent on `a` (Ferrante et al. via the pdom tree).
+            let stop = pdom.idom(a.id);
+            let mut cur = Some(s);
+            while let Some(b) = cur {
+                if Some(b) == stop {
+                    break;
+                }
+                let entry = deps.entry(b).or_default();
+                if !entry.contains(&a.id) {
+                    entry.push(a.id);
+                }
+                cur = pdom.idom(b);
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::types::Type;
+
+    /// entry → cond ? then : else → join → (loop back to cond2 ? body :
+    /// exit).
+    fn shape() -> crate::module::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Type::I64], Type::Void);
+        let entry = f.entry(); // bb0
+        let then_b = f.block("then"); // bb1
+        let else_b = f.block("else"); // bb2
+        let join = f.block("join"); // bb3
+        let head = f.block("head"); // bb4
+        let body = f.block("body"); // bb5
+        let exit = f.block("exit"); // bb6
+        f.switch_to(entry);
+        let c = f.lt(f.param(0), Operand::const_int(1));
+        f.cond_br(c, then_b, else_b);
+        f.switch_to(then_b);
+        f.br(join);
+        f.switch_to(else_b);
+        f.br(join);
+        f.switch_to(join);
+        f.br(head);
+        f.switch_to(head);
+        let c2 = f.lt(f.param(0), Operand::const_int(5));
+        f.cond_br(c2, body, exit);
+        f.switch_to(body);
+        f.br(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn dominator_tree_of_diamond_and_loop() {
+        let m = shape();
+        let f = m.func_by_name("f").unwrap();
+        let dom = dominators(f);
+        // Entry dominates everything.
+        for b in &f.blocks {
+            assert!(
+                dom.dominates(BlockId(0), b.id),
+                "entry dominates bb{}",
+                b.id.0
+            );
+        }
+        // Join's idom is entry (neither arm dominates it).
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        // Body's idom is the loop head.
+        assert_eq!(dom.idom(BlockId(5)), Some(BlockId(4)));
+        // Then does not dominate join.
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn postdominators_with_virtual_exit() {
+        let m = shape();
+        let f = m.func_by_name("f").unwrap();
+        let pdom = postdominators(f);
+        // Join postdominates both arms and the entry.
+        assert!(pdom.dominates(BlockId(3), BlockId(1)));
+        assert!(pdom.dominates(BlockId(3), BlockId(2)));
+        assert!(pdom.dominates(BlockId(3), BlockId(0)));
+        // Exit postdominates the loop head.
+        assert!(pdom.dominates(BlockId(6), BlockId(4)));
+        // The then-arm does not postdominate entry.
+        assert!(!pdom.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn control_dependence_is_precise() {
+        let m = shape();
+        let f = m.func_by_name("f").unwrap();
+        let cd = control_dependence(f);
+        // The diamond arms depend on the entry branch.
+        assert_eq!(cd.get(&BlockId(1)), Some(&vec![BlockId(0)]));
+        assert_eq!(cd.get(&BlockId(2)), Some(&vec![BlockId(0)]));
+        // Join is NOT control dependent on the entry branch (it always
+        // runs) — the coarse "reaches" approximation would claim it is.
+        assert!(cd.get(&BlockId(3)).is_none());
+        // The loop body depends on the loop-head branch; so does the
+        // head itself (it re-runs only if taken).
+        assert_eq!(cd.get(&BlockId(5)), Some(&vec![BlockId(4)]));
+        assert_eq!(cd.get(&BlockId(4)), Some(&vec![BlockId(4)]));
+        // Exit is not control dependent on anything (always reached).
+        assert!(cd.get(&BlockId(6)).is_none());
+    }
+}

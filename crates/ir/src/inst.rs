@@ -1,0 +1,573 @@
+//! Instructions and operands.
+//!
+//! The instruction set is register-based (an unbounded set of virtual
+//! registers per function, like LLVM without SSA phi nodes — mutable local
+//! state goes through `Alloca` slots, as clang emits at `-O0`). It covers
+//! everything the diagnosis pipeline and the bug corpus need: memory
+//! operations with typed pointer operands, pointer arithmetic at struct
+//! granularity, direct/indirect calls, pthread-style synchronization
+//! intrinsics, thread management, assertions, and simulated-latency I/O
+//! used by workloads to model request handling, parsing, disk and network
+//! work (the source of the coarse inter-event spacing the paper's
+//! hypothesis is about).
+
+use crate::module::{BlockId, FuncId, GlobalId, Pc};
+use crate::types::Type;
+use std::fmt;
+
+/// A virtual register local to one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An instruction operand.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register produced by an earlier instruction or parameter.
+    Reg(ValueId),
+    /// An integer constant.
+    ConstInt(i64),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// A reference to a function (a function pointer constant).
+    Func(FuncId),
+    /// The null pointer.
+    Null,
+}
+
+impl Operand {
+    /// Convenience constructor for an integer constant operand.
+    pub fn const_int(v: i64) -> Operand {
+        Operand::ConstInt(v)
+    }
+
+    /// Returns the register if this operand is one.
+    pub fn as_reg(&self) -> Option<ValueId> {
+        match self {
+            Operand::Reg(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::ConstInt(c) => write!(f, "{c}"),
+            Operand::Global(g) => write!(f, "@g{}", g.0),
+            Operand::Func(fun) => write!(f, "@f{}", fun.0),
+            Operand::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Integer binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; division by zero traps (a crash failure in the VM).
+    Div,
+    /// Signed remainder; remainder by zero traps.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Wrapping left shift.
+    Shl,
+    /// Wrapping (arithmetic) right shift.
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation an instruction performs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstKind {
+    /// Stack allocation of one value of `ty`; yields a `ty*`.
+    ///
+    /// The allocation site (the instruction's PC) becomes an abstract
+    /// memory location in points-to analysis.
+    Alloca {
+        /// Allocated value type.
+        ty: Type,
+    },
+    /// Heap allocation of `count` values of `ty`; yields a `ty*`.
+    HeapAlloc {
+        /// Element type.
+        ty: Type,
+        /// Element count.
+        count: Operand,
+    },
+    /// Frees a heap allocation; subsequent accesses are use-after-free
+    /// crashes (the pbzip2-style order-violation substrate).
+    Free {
+        /// The allocation's base pointer.
+        ptr: Operand,
+    },
+    /// Loads a value of type `ty` from `ptr`.
+    Load {
+        /// Pointer read through.
+        ptr: Operand,
+        /// Declared pointee type.
+        ty: Type,
+    },
+    /// Stores `value` of type `ty` to `ptr`.
+    Store {
+        /// Pointer written through.
+        ptr: Operand,
+        /// Value stored.
+        value: Operand,
+        /// Declared pointee type.
+        ty: Type,
+    },
+    /// Register copy / constant materialization (`p = q`, rule 2 of the
+    /// paper's Figure 3).
+    Copy {
+        /// Source operand.
+        src: Operand,
+    },
+    /// Address of field `field` of the struct `base` points to
+    /// (GEP-like); yields a pointer to the field's type.
+    FieldAddr {
+        /// Pointer to the struct.
+        base: Operand,
+        /// The struct's name.
+        strukt: String,
+        /// Field index within the struct.
+        field: usize,
+    },
+    /// Address of element `index` in the array `base` points to; yields a
+    /// pointer to `elem_ty` (arrays are collapsed to one abstract
+    /// location by points-to analysis).
+    IndexAddr {
+        /// Pointer to the array base.
+        base: Operand,
+        /// Element index.
+        index: Operand,
+        /// Element type (sets the stride).
+        elem_ty: Type,
+    },
+    /// Integer arithmetic.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Integer comparison; yields an `i1`.
+    Cmp {
+        /// The predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Direct call.
+    Call {
+        /// The called function.
+        callee: FuncId,
+        /// Argument values.
+        args: Vec<Operand>,
+    },
+    /// Indirect call through a function pointer; the control-flow tracer
+    /// must emit a target packet for these (like Intel PT's TIP).
+    CallIndirect {
+        /// The function-pointer value.
+        callee: Operand,
+        /// Argument values.
+        args: Vec<Operand>,
+    },
+    /// Function return.
+    Ret {
+        /// Returned value, if the function yields one.
+        value: Option<Operand>,
+    },
+    /// Unconditional branch (statically known — generates no trace
+    /// packet).
+    Br {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Conditional branch (generates one taken/not-taken trace bit).
+    CondBr {
+        /// Branch condition (nonzero = taken).
+        cond: Operand,
+        /// Destination when taken.
+        then_bb: BlockId,
+        /// Destination when not taken.
+        else_bb: BlockId,
+    },
+    /// Acquires the mutex object `mutex` points to; blocks if held.
+    MutexLock {
+        /// Pointer to the mutex object.
+        mutex: Operand,
+    },
+    /// Releases the mutex object `mutex` points to.
+    MutexUnlock {
+        /// Pointer to the mutex object.
+        mutex: Operand,
+    },
+    /// Attempts to acquire without blocking; yields `i1` (1 on success).
+    MutexTryLock {
+        /// Pointer to the mutex object.
+        mutex: Operand,
+    },
+    /// Atomically releases `mutex` and waits on the condition variable,
+    /// reacquiring on wakeup.
+    CondWait {
+        /// Pointer to the condition variable.
+        cond: Operand,
+        /// Pointer to the mutex released while waiting.
+        mutex: Operand,
+    },
+    /// Wakes one waiter on the condition variable.
+    CondSignal {
+        /// Pointer to the condition variable.
+        cond: Operand,
+    },
+    /// Wakes all waiters on the condition variable.
+    CondBroadcast {
+        /// Pointer to the condition variable.
+        cond: Operand,
+    },
+    /// Acquires the reader-writer lock `rw` points to in shared (read)
+    /// mode; blocks while a writer holds or awaits it.
+    RwLockRead {
+        /// Pointer to the rwlock object.
+        rw: Operand,
+    },
+    /// Acquires the reader-writer lock `rw` points to in exclusive
+    /// (write) mode; blocks while any holder exists.
+    RwLockWrite {
+        /// Pointer to the rwlock object.
+        rw: Operand,
+    },
+    /// Releases the calling thread's hold (read or write) on the
+    /// reader-writer lock.
+    RwUnlock {
+        /// Pointer to the rwlock object.
+        rw: Operand,
+    },
+    /// Spawns a thread running `func` with a single argument; yields a
+    /// thread handle.
+    ThreadSpawn {
+        /// The thread entry function (one parameter).
+        func: FuncId,
+        /// The argument passed to the entry.
+        arg: Operand,
+    },
+    /// Joins the thread whose handle is `tid`.
+    ThreadJoin {
+        /// The thread handle to join.
+        tid: Operand,
+    },
+    /// Simulated work or I/O taking `ns` virtual nanoseconds (plus
+    /// seeded jitter applied by the VM). `label` names the modelled
+    /// activity ("parse-sql", "disk-read", …) for readable listings.
+    Io {
+        /// Name of the modelled activity.
+        label: String,
+        /// Nominal duration in virtual nanoseconds.
+        ns: Operand,
+    },
+    /// Asserts `cond` is non-zero; a failed assertion is a fail-stop
+    /// failure (the paper's custom failure mode, §7).
+    Assert {
+        /// The asserted condition (nonzero = pass).
+        cond: Operand,
+        /// Message reported on failure.
+        msg: String,
+    },
+    /// Normal whole-program termination (only valid in the main thread).
+    Halt,
+}
+
+impl InstKind {
+    /// Returns `true` if this kind must terminate a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::CondBr { .. } | InstKind::Halt
+        )
+    }
+
+    /// Returns `true` if this instruction kind produces a result register.
+    pub fn has_result(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Alloca { .. }
+                | InstKind::HeapAlloc { .. }
+                | InstKind::Load { .. }
+                | InstKind::Copy { .. }
+                | InstKind::FieldAddr { .. }
+                | InstKind::IndexAddr { .. }
+                | InstKind::Bin { .. }
+                | InstKind::Cmp { .. }
+                | InstKind::MutexTryLock { .. }
+                | InstKind::ThreadSpawn { .. }
+                | InstKind::Call { .. }
+                | InstKind::CallIndirect { .. }
+        )
+    }
+
+    /// Returns the pointer operand of a memory or synchronization
+    /// operation, if any.
+    ///
+    /// This is the operand whose points-to set seeds the diagnosis when
+    /// the instruction is the failing one (§4.3: "for a deadlock, the
+    /// operand is a pointer to a lock object, and for a crash, the operand
+    /// is an invalid pointer").
+    pub fn pointer_operand(&self) -> Option<&Operand> {
+        match self {
+            InstKind::Load { ptr, .. } | InstKind::Store { ptr, .. } | InstKind::Free { ptr } => {
+                Some(ptr)
+            }
+            InstKind::MutexLock { mutex }
+            | InstKind::MutexUnlock { mutex }
+            | InstKind::MutexTryLock { mutex } => Some(mutex),
+            InstKind::CondWait { cond, .. }
+            | InstKind::CondSignal { cond }
+            | InstKind::CondBroadcast { cond } => Some(cond),
+            InstKind::RwLockRead { rw }
+            | InstKind::RwLockWrite { rw }
+            | InstKind::RwUnlock { rw } => Some(rw),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for shared-memory access instructions (the `R`/`W`
+    /// events of the paper's Figure 1).
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. })
+    }
+
+    /// Returns `true` for instructions that write memory.
+    pub fn is_write(&self) -> bool {
+        matches!(self, InstKind::Store { .. })
+    }
+
+    /// Returns `true` for lock-acquisition attempts (the `L` events of
+    /// Figure 1a), including reader-writer acquisitions.
+    pub fn is_lock_acquire(&self) -> bool {
+        matches!(
+            self,
+            InstKind::MutexLock { .. }
+                | InstKind::MutexTryLock { .. }
+                | InstKind::RwLockRead { .. }
+                | InstKind::RwLockWrite { .. }
+        )
+    }
+
+    /// Returns `true` for lock-release operations.
+    pub fn is_lock_release(&self) -> bool {
+        matches!(
+            self,
+            InstKind::MutexUnlock { .. } | InstKind::RwUnlock { .. }
+        )
+    }
+
+    /// Returns the declared access type of a memory operation's pointee.
+    pub fn access_type(&self) -> Option<&Type> {
+        match self {
+            InstKind::Load { ty, .. } | InstKind::Store { ty, .. } => Some(ty),
+            _ => None,
+        }
+    }
+
+    /// All operands of this instruction, in order.
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            InstKind::Alloca { .. } | InstKind::Halt => vec![],
+            InstKind::HeapAlloc { count, .. } => vec![count],
+            InstKind::Free { ptr } => vec![ptr],
+            InstKind::Load { ptr, .. } => vec![ptr],
+            InstKind::Store { ptr, value, .. } => vec![ptr, value],
+            InstKind::Copy { src } => vec![src],
+            InstKind::FieldAddr { base, .. } => vec![base],
+            InstKind::IndexAddr { base, index, .. } => vec![base, index],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::Call { args, .. } => args.iter().collect(),
+            InstKind::CallIndirect { callee, args } => {
+                let mut v = vec![callee];
+                v.extend(args.iter());
+                v
+            }
+            InstKind::Ret { value } => value.iter().collect(),
+            InstKind::Br { .. } => vec![],
+            InstKind::CondBr { cond, .. } => vec![cond],
+            InstKind::MutexLock { mutex }
+            | InstKind::MutexUnlock { mutex }
+            | InstKind::MutexTryLock { mutex } => vec![mutex],
+            InstKind::CondWait { cond, mutex } => vec![cond, mutex],
+            InstKind::CondSignal { cond } | InstKind::CondBroadcast { cond } => vec![cond],
+            InstKind::RwLockRead { rw }
+            | InstKind::RwLockWrite { rw }
+            | InstKind::RwUnlock { rw } => {
+                vec![rw]
+            }
+            InstKind::ThreadSpawn { arg, .. } => vec![arg],
+            InstKind::ThreadJoin { tid } => vec![tid],
+            InstKind::Io { ns, .. } => vec![ns],
+            InstKind::Assert { cond, .. } => vec![cond],
+        }
+    }
+}
+
+/// One instruction: a kind, an optional result register, and the virtual
+/// program counter assigned by module layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// The register this instruction defines, if it produces a value.
+    pub result: Option<ValueId>,
+    /// The virtual address of this instruction in the "binary".
+    pub pc: Pc,
+}
+
+impl Inst {
+    /// Returns the result register, panicking if the instruction has none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction does not produce a result.
+    pub fn result_reg(&self) -> ValueId {
+        self.result.expect("instruction has no result register")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(InstKind::Ret { value: None }.is_terminator());
+        assert!(InstKind::Br { target: BlockId(0) }.is_terminator());
+        assert!(InstKind::Halt.is_terminator());
+        assert!(!InstKind::Copy { src: Operand::Null }.is_terminator());
+    }
+
+    #[test]
+    fn pointer_operand_of_memory_ops() {
+        let p = Operand::Reg(ValueId(3));
+        let load = InstKind::Load {
+            ptr: p.clone(),
+            ty: Type::I64,
+        };
+        assert_eq!(load.pointer_operand(), Some(&p));
+        let lock = InstKind::MutexLock { mutex: p.clone() };
+        assert_eq!(lock.pointer_operand(), Some(&p));
+        assert!(lock.is_lock_acquire());
+        let add = InstKind::Bin {
+            op: BinOp::Add,
+            lhs: p.clone(),
+            rhs: Operand::const_int(1),
+        };
+        assert_eq!(add.pointer_operand(), None);
+    }
+
+    #[test]
+    fn access_classification() {
+        let p = Operand::Reg(ValueId(0));
+        let st = InstKind::Store {
+            ptr: p.clone(),
+            value: Operand::const_int(1),
+            ty: Type::I32,
+        };
+        assert!(st.is_memory_access());
+        assert!(st.is_write());
+        assert_eq!(st.access_type(), Some(&Type::I32));
+        let ld = InstKind::Load {
+            ptr: p,
+            ty: Type::I32,
+        };
+        assert!(ld.is_memory_access());
+        assert!(!ld.is_write());
+    }
+
+    #[test]
+    fn operand_listing_covers_call_indirect() {
+        let k = InstKind::CallIndirect {
+            callee: Operand::Reg(ValueId(1)),
+            args: vec![Operand::const_int(7), Operand::Null],
+        };
+        let ops = k.operands();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], &Operand::Reg(ValueId(1)));
+    }
+
+    #[test]
+    fn results() {
+        assert!(InstKind::Alloca { ty: Type::I64 }.has_result());
+        assert!(!InstKind::Free { ptr: Operand::Null }.has_result());
+        assert!(InstKind::MutexTryLock {
+            mutex: Operand::Null
+        }
+        .has_result());
+    }
+}

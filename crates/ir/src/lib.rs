@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # lazy-ir — LLVM-like intermediate representation
+//!
+//! This crate is the program-representation substrate of the Lazy Diagnosis
+//! reproduction. The paper's prototype (Snorlax, SOSP 2017) analyzes LLVM
+//! bitcode produced by clang; every fact its analyses consume is available
+//! at the IR level: instruction opcodes, pointer operands and their types,
+//! control-flow-graph edges, and a mapping from program counters in the
+//! stripped production binary back to IR instructions. This crate provides
+//! exactly that interface:
+//!
+//! * [`Type`] — a small LLVM-flavoured type system with typed pointers and
+//!   named structs (used by type-based ranking, §4.3 of the paper).
+//! * [`Inst`] / [`InstKind`] — a register-based instruction set including
+//!   memory operations, synchronization intrinsics, thread management, and
+//!   simulated-latency I/O operations.
+//! * [`Function`], [`BasicBlock`], [`Module`] — the program container, with
+//!   a fluent [`FunctionBuilder`] for constructing workloads.
+//! * [`Pc`] — virtual program counters assigned by module layout; the
+//!   tracing and execution substrates speak only in PCs ("stripped
+//!   binary"), and [`Module::inst`] is the server-side "debug info" map.
+//! * [`mod@cfg`] — successor/predecessor computation and reachability;
+//!   [`mod@dom`] — dominator/postdominator trees and control dependence.
+//! * [`verify`] — a module verifier catching malformed IR at build time.
+//!
+//! ## Example
+//!
+//! ```
+//! use lazy_ir::{ModuleBuilder, Type, Operand};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main", vec![], Type::I64);
+//! let entry = f.entry();
+//! f.switch_to(entry);
+//! let x = f.alloca(Type::I64);
+//! f.store(x.clone(), Operand::const_int(41), Type::I64);
+//! let v = f.load(x, Type::I64);
+//! let one = f.add(v, Operand::const_int(1));
+//! f.ret(Some(one));
+//! f.finish();
+//! let module = mb.finish().expect("verified module");
+//! assert_eq!(module.functions().len(), 1);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod inst;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use cfg::Cfg;
+pub use dom::{control_dependence, dominators, postdominators, DomTree};
+pub use inst::{BinOp, CmpOp, Inst, InstKind, Operand, ValueId};
+pub use module::{
+    BasicBlock, BlockId, FuncId, Function, Global, GlobalId, InstLoc, Module, Pc, StructDef,
+};
+pub use parser::{parse_module, ParseError};
+pub use types::Type;
+pub use verify::{verify_module, VerifyError};

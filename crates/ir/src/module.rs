@@ -1,0 +1,424 @@
+//! Modules, functions, basic blocks, globals, and program-counter layout.
+//!
+//! A [`Module`] plays two roles, mirroring the paper's deployment model
+//! (§5): it is the "bitcode" the server-side analyses consume, and its
+//! program-counter layout is the "stripped binary" the client-side tracer
+//! and VM execute. The [`Module::inst`] / [`Module::loc_of_pc`] maps are
+//! the debug information that lets the server map a failing PC from a
+//! production trace back to an IR instruction.
+
+use crate::inst::{Inst, InstKind, ValueId};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual program counter (instruction address in the "binary").
+///
+/// Module layout assigns each instruction a unique address; instructions
+/// are 4 "bytes" apart and each function starts at a 64-byte-aligned base,
+/// so PCs look and behave like real code addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pc(pub u64);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifies a function within a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Identifies a basic block within a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifies a global variable within a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// A named struct definition: field names and types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDef {
+    /// The struct's name (`%struct.<name>`).
+    pub name: String,
+    /// Ordered `(field name, field type)` pairs.
+    pub fields: Vec<(String, Type)>,
+}
+
+impl StructDef {
+    /// Returns the index of the named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == name)
+    }
+
+    /// Returns the type of field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn field_type(&self, idx: usize) -> &Type {
+        &self.fields[idx].1
+    }
+}
+
+/// A global variable: a module-level memory location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Identifier within the module.
+    pub id: GlobalId,
+    /// Human-readable name.
+    pub name: String,
+    /// The type of the value stored in the global.
+    pub ty: Type,
+    /// Initial slot values (zero-filled if shorter than the type's size).
+    pub init: Vec<i64>,
+}
+
+/// A straight-line sequence of instructions ending in a terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Identifier within the function.
+    pub id: BlockId,
+    /// Human-readable label.
+    pub name: String,
+    /// The block's instructions; the last one is the terminator.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Returns the block's terminator instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (a verifier error).
+    pub fn terminator(&self) -> &Inst {
+        self.insts.last().expect("empty basic block")
+    }
+}
+
+/// A function: parameters, blocks, and its PC range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Identifier within the module.
+    pub id: FuncId,
+    /// Human-readable name.
+    pub name: String,
+    /// Parameter registers and their types (parameters are registers
+    /// `%0..%n-1`).
+    pub params: Vec<(ValueId, Type)>,
+    /// Return type.
+    pub ret_ty: Type,
+    /// Basic blocks; block 0 is the entry block.
+    pub blocks: Vec<BasicBlock>,
+    /// Number of virtual registers used (for frame allocation).
+    pub reg_count: u32,
+    /// First PC of the function after layout.
+    pub base_pc: Pc,
+}
+
+impl Function {
+    /// Returns the entry block.
+    pub fn entry(&self) -> &BasicBlock {
+        &self.blocks[0]
+    }
+
+    /// Returns a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this function.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterates over all instructions in block order.
+    pub fn insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// The location of an instruction: function, block, and index within the
+/// block. This is what the "debug information" resolves a PC to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstLoc {
+    /// Containing function.
+    pub func: FuncId,
+    /// Containing block.
+    pub block: BlockId,
+    /// Index within the block's instruction list.
+    pub idx: usize,
+}
+
+/// A complete program: struct definitions, globals, and functions, with a
+/// finalized PC layout.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Module name (the "binary" name; workloads use the modelled
+    /// system's name, e.g. `"mysql"`).
+    pub name: String,
+    structs: HashMap<String, StructDef>,
+    globals: Vec<Global>,
+    functions: Vec<Function>,
+    func_by_name: HashMap<String, FuncId>,
+    pc_map: HashMap<Pc, InstLoc>,
+    max_pc: Pc,
+}
+
+impl Module {
+    /// Spacing between consecutive instruction PCs.
+    pub const PC_STRIDE: u64 = 4;
+    /// Alignment of function base PCs.
+    pub const FUNC_ALIGN: u64 = 64;
+    /// Base address of the first function ("text segment" start).
+    pub const TEXT_BASE: u64 = 0x40_0000;
+
+    /// Assembles a module from parts, assigning the PC layout. Used by
+    /// [`ModuleBuilder::finish`]; not intended for direct use.
+    ///
+    /// [`ModuleBuilder::finish`]: crate::builder::ModuleBuilder::finish
+    pub(crate) fn assemble(
+        name: String,
+        structs: HashMap<String, StructDef>,
+        globals: Vec<Global>,
+        mut functions: Vec<Function>,
+    ) -> Module {
+        let mut pc_map = HashMap::new();
+        let mut next = Self::TEXT_BASE;
+        for func in &mut functions {
+            next = (next + Self::FUNC_ALIGN - 1) / Self::FUNC_ALIGN * Self::FUNC_ALIGN;
+            func.base_pc = Pc(next);
+            for block in &mut func.blocks {
+                for (idx, inst) in block.insts.iter_mut().enumerate() {
+                    inst.pc = Pc(next);
+                    pc_map.insert(
+                        Pc(next),
+                        InstLoc {
+                            func: func.id,
+                            block: block.id,
+                            idx,
+                        },
+                    );
+                    next += Self::PC_STRIDE;
+                }
+            }
+        }
+        let func_by_name = functions.iter().map(|f| (f.name.clone(), f.id)).collect();
+        Module {
+            name,
+            structs,
+            globals,
+            functions,
+            func_by_name,
+            pc_map,
+            max_pc: Pc(next),
+        }
+    }
+
+    /// All functions in the module.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Returns a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this module.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&Function> {
+        self.func_by_name.get(name).map(|id| self.func(*id))
+    }
+
+    /// All globals in the module.
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// Returns a global by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this module.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Looks up a struct definition by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.get(name)
+    }
+
+    /// Iterates over all struct definitions, sorted by name (stable for
+    /// printing).
+    pub fn struct_defs(&self) -> Vec<&StructDef> {
+        let mut v: Vec<&StructDef> = self.structs.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Number of slots a value of `ty` occupies, resolving struct field
+    /// counts through this module's definitions.
+    pub fn slot_count(&self, ty: &Type) -> u64 {
+        let resolver = |name: &str| self.structs.get(name).map(|s| s.fields.len()).unwrap_or(1);
+        ty.slot_count(&resolver)
+    }
+
+    /// Resolves a PC to its instruction location (the debug-info map).
+    pub fn loc_of_pc(&self, pc: Pc) -> Option<InstLoc> {
+        self.pc_map.get(&pc).copied()
+    }
+
+    /// Resolves a PC directly to the instruction.
+    pub fn inst(&self, pc: Pc) -> Option<&Inst> {
+        let loc = self.loc_of_pc(pc)?;
+        Some(&self.functions[loc.func.0 as usize].blocks[loc.block.0 as usize].insts[loc.idx])
+    }
+
+    /// Returns the function containing `pc`, if any.
+    pub fn func_of_pc(&self, pc: Pc) -> Option<&Function> {
+        self.loc_of_pc(pc).map(|l| self.func(l.func))
+    }
+
+    /// One past the last assigned PC.
+    pub fn max_pc(&self) -> Pc {
+        self.max_pc
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+
+    /// Iterates over `(pc, inst, loc)` for every instruction in layout
+    /// order.
+    pub fn all_insts(&self) -> impl Iterator<Item = (&Inst, InstLoc)> {
+        self.functions.iter().flat_map(|f| {
+            f.blocks.iter().flat_map(move |b| {
+                b.insts.iter().enumerate().map(move |(idx, inst)| {
+                    (
+                        inst,
+                        InstLoc {
+                            func: f.id,
+                            block: b.id,
+                            idx,
+                        },
+                    )
+                })
+            })
+        })
+    }
+
+    /// Returns a human-readable description of the instruction at `pc`
+    /// (function, block, and rendered instruction), like a symbolized
+    /// stack frame.
+    pub fn describe_pc(&self, pc: Pc) -> String {
+        match self.loc_of_pc(pc) {
+            Some(loc) => {
+                let f = self.func(loc.func);
+                let b = f.block(loc.block);
+                format!(
+                    "{pc} in {}::{} ({})",
+                    f.name,
+                    b.name,
+                    crate::printer::render_inst(&b.insts[loc.idx])
+                )
+            }
+            None => format!("{pc} <unknown>"),
+        }
+    }
+
+    /// Returns the kind of the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not mapped; diagnosis code paths only look up PCs
+    /// that came from traces of this module.
+    pub fn kind_at(&self, pc: Pc) -> &InstKind {
+        &self.inst(pc).expect("PC not mapped in module").kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+
+    fn tiny_module() -> Module {
+        let mut mb = ModuleBuilder::new("tiny");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let p = f.alloca(Type::I64);
+        f.store(p.clone(), Operand::const_int(5), Type::I64);
+        f.load(p, Type::I64);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn layout_assigns_monotonic_pcs() {
+        let m = tiny_module();
+        let f = &m.functions()[0];
+        assert_eq!(f.base_pc.0 % Module::FUNC_ALIGN, 0);
+        let pcs: Vec<u64> = f.insts().map(|i| i.pc.0).collect();
+        for w in pcs.windows(2) {
+            assert_eq!(w[1] - w[0], Module::PC_STRIDE);
+        }
+    }
+
+    #[test]
+    fn pc_map_roundtrips() {
+        let m = tiny_module();
+        for (inst, loc) in m.all_insts() {
+            assert_eq!(m.loc_of_pc(inst.pc), Some(loc));
+            assert_eq!(m.inst(inst.pc).unwrap().pc, inst.pc);
+        }
+        assert!(m.loc_of_pc(Pc(1)).is_none());
+    }
+
+    #[test]
+    fn func_lookup_by_name() {
+        let m = tiny_module();
+        assert!(m.func_by_name("main").is_some());
+        assert!(m.func_by_name("absent").is_none());
+    }
+
+    #[test]
+    fn describe_unknown_pc() {
+        let m = tiny_module();
+        assert!(m.describe_pc(Pc(0xdead)).contains("<unknown>"));
+        let pc = m.functions()[0].entry().insts[0].pc;
+        let d = m.describe_pc(pc);
+        assert!(d.contains("main"), "{d}");
+    }
+
+    #[test]
+    fn slot_count_resolves_structs() {
+        let mut mb = ModuleBuilder::new("s");
+        mb.struct_def(
+            "Pair",
+            vec![("a".into(), Type::I64), ("b".into(), Type::I64)],
+        );
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.slot_count(&Type::Struct("Pair".into())), 2);
+        assert_eq!(m.slot_count(&Type::I64), 1);
+    }
+}

@@ -1,0 +1,892 @@
+//! Parser for the textual IR form — the dual of [`crate::printer`].
+//!
+//! The server side of the paper holds "the bitcode file used by the
+//! server-side analysis" (§5); this module gives the reproduction a
+//! durable program format: modules render to text, and text parses back
+//! to an identical module (PCs are re-assigned by the deterministic
+//! layout, so a render→parse→render roundtrip is byte-stable). The CLI
+//! uses it to diagnose user-supplied programs from files.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! ; module NAME                      (comment lines start with ';')
+//! %struct.Name = { i64 field, ... }
+//! @name = global i64 [1, 2]          (initializer optional)
+//! define void @main(i64 %0, ...) {
+//! label:
+//!   0x400040  %2 = load i64, i64* %1   (the PC column is optional)
+//!   ...
+//! }
+//! ```
+
+use crate::inst::{BinOp, CmpOp, Inst, InstKind, Operand, ValueId};
+use crate::module::{
+    BasicBlock, BlockId, FuncId, Function, Global, GlobalId, Module, Pc, StructDef,
+};
+use crate::types::Type;
+use crate::verify::verify_module;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A tiny cursor over one line's text.
+struct Cur<'a> {
+    s: &'a str,
+    line: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(s: &'a str, line: usize) -> Cur<'a> {
+        Cur {
+            s: s.trim_start(),
+            line,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.s = self.s.trim_start();
+    }
+
+    fn eof(&mut self) -> bool {
+        self.skip_ws();
+        self.s.is_empty()
+    }
+
+    /// Consumes a literal prefix.
+    fn eat(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if let Some(rest) = self.s.strip_prefix(lit) {
+            self.s = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), ParseError> {
+        if self.eat(lit) {
+            Ok(())
+        } else {
+            err(self.line, format!("expected `{lit}` before `{}`", self.s))
+        }
+    }
+
+    /// Consumes an identifier `[A-Za-z0-9_.-]+`.
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let end = self
+            .s
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')))
+            .map(|(i, _)| i)
+            .unwrap_or(self.s.len());
+        if end == 0 {
+            return err(
+                self.line,
+                format!("expected identifier before `{}`", self.s),
+            );
+        }
+        let (id, rest) = self.s.split_at(end);
+        self.s = rest;
+        Ok(id)
+    }
+
+    /// Consumes a decimal (possibly negative) integer.
+    fn int(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let neg = self.s.starts_with('-');
+        let body = if neg { &self.s[1..] } else { self.s };
+        let end = body
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(body.len());
+        if end == 0 {
+            return err(self.line, format!("expected integer before `{}`", self.s));
+        }
+        let text = &self.s[..end + usize::from(neg)];
+        let v: i64 = text.parse().map_err(|_| ParseError {
+            line: self.line,
+            message: format!("bad integer {text}"),
+        })?;
+        self.s = &self.s[text.len()..];
+        Ok(v)
+    }
+
+    /// Consumes a double-quoted string (no escapes).
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect("\"")?;
+        let Some(end) = self.s.find('"') else {
+            return err(self.line, "unterminated string");
+        };
+        let out = self.s[..end].to_string();
+        self.s = &self.s[end + 1..];
+        Ok(out)
+    }
+
+    /// Parses a type, with trailing `*`s.
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        self.skip_ws();
+        let base = if self.eat("%struct.") {
+            Type::Struct(self.ident()?.to_string())
+        } else if self.eat("%mutex") {
+            Type::Mutex
+        } else if self.eat("%condvar") {
+            Type::CondVar
+        } else if self.eat("%rwlock") {
+            Type::RwLock
+        } else if self.eat("[") {
+            let n = self.int()?;
+            self.expect("x")?;
+            let elem = self.ty()?;
+            self.expect("]")?;
+            Type::Array(Box::new(elem), n as u64)
+        } else {
+            let id = self.ident()?;
+            match id {
+                "void" => Type::Void,
+                "i1" => Type::I1,
+                "i8" => Type::I8,
+                "i32" => Type::I32,
+                "i64" => Type::I64,
+                "func" => Type::Func,
+                other => return err(self.line, format!("unknown type `{other}`")),
+            }
+        };
+        let mut t = base;
+        while self.eat("*") {
+            t = t.ptr_to();
+        }
+        Ok(t)
+    }
+
+    /// Parses an operand: `%N`, `@gN`, `@fN`, `null`, or an integer.
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        self.skip_ws();
+        if self.eat("%") {
+            let v = self.int()?;
+            Ok(Operand::Reg(ValueId(v as u32)))
+        } else if self.eat("@g") {
+            let v = self.int()?;
+            Ok(Operand::Global(GlobalId(v as u32)))
+        } else if self.eat("@f") {
+            let v = self.int()?;
+            Ok(Operand::Func(FuncId(v as u32)))
+        } else if self.eat("null") {
+            Ok(Operand::Null)
+        } else {
+            Ok(Operand::ConstInt(self.int()?))
+        }
+    }
+
+    /// Parses a block reference `bbN`.
+    fn block_ref(&mut self) -> Result<BlockId, ParseError> {
+        self.expect("bb")?;
+        Ok(BlockId(self.int()? as u32))
+    }
+
+    /// Parses a comma-separated operand list inside parentheses.
+    fn arg_list(&mut self) -> Result<Vec<Operand>, ParseError> {
+        self.expect("(")?;
+        let mut args = Vec::new();
+        if !self.eat(")") {
+            loop {
+                args.push(self.operand()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(args)
+    }
+}
+
+/// Parses one rendered instruction body (after any `%N = ` result).
+fn parse_kind(c: &mut Cur<'_>) -> Result<InstKind, ParseError> {
+    let op = c.ident()?;
+    let kind = match op {
+        "alloca" => InstKind::Alloca { ty: c.ty()? },
+        "halloc" => {
+            let ty = c.ty()?;
+            c.expect(",")?;
+            c.expect("count")?;
+            InstKind::HeapAlloc {
+                ty,
+                count: c.operand()?,
+            }
+        }
+        "free" => InstKind::Free { ptr: c.operand()? },
+        "load" => {
+            let ty = c.ty()?;
+            c.expect(",")?;
+            let _ptr_ty = c.ty()?;
+            InstKind::Load {
+                ptr: c.operand()?,
+                ty,
+            }
+        }
+        "store" => {
+            let ty = c.ty()?;
+            let value = c.operand()?;
+            c.expect(",")?;
+            let _ptr_ty = c.ty()?;
+            InstKind::Store {
+                ptr: c.operand()?,
+                value,
+                ty,
+            }
+        }
+        "copy" => InstKind::Copy { src: c.operand()? },
+        "fieldaddr" => {
+            c.expect("%struct.")?;
+            let strukt = c.ident()?.to_string();
+            c.expect("*")?;
+            let base = c.operand()?;
+            c.expect(",")?;
+            c.expect("field")?;
+            InstKind::FieldAddr {
+                base,
+                strukt,
+                field: c.int()? as usize,
+            }
+        }
+        "indexaddr" => {
+            let mut elem_ty = c.ty()?;
+            // The printer renders `{elem_ty}*`; strip the pointer level.
+            if let Type::Ptr(inner) = elem_ty {
+                elem_ty = *inner;
+            }
+            let base = c.operand()?;
+            c.expect(",")?;
+            c.expect("idx")?;
+            InstKind::IndexAddr {
+                base,
+                index: c.operand()?,
+                elem_ty,
+            }
+        }
+        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "shl" | "shr" => {
+            let bop = match op {
+                "add" => BinOp::Add,
+                "sub" => BinOp::Sub,
+                "mul" => BinOp::Mul,
+                "div" => BinOp::Div,
+                "rem" => BinOp::Rem,
+                "and" => BinOp::And,
+                "or" => BinOp::Or,
+                "xor" => BinOp::Xor,
+                "shl" => BinOp::Shl,
+                _ => BinOp::Shr,
+            };
+            let lhs = c.operand()?;
+            c.expect(",")?;
+            InstKind::Bin {
+                op: bop,
+                lhs,
+                rhs: c.operand()?,
+            }
+        }
+        "cmp" => {
+            let pred = match c.ident()? {
+                "eq" => CmpOp::Eq,
+                "ne" => CmpOp::Ne,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                "ge" => CmpOp::Ge,
+                other => return err(c.line, format!("unknown predicate `{other}`")),
+            };
+            let lhs = c.operand()?;
+            c.expect(",")?;
+            InstKind::Cmp {
+                op: pred,
+                lhs,
+                rhs: c.operand()?,
+            }
+        }
+        "call" => {
+            c.expect("@f")?;
+            let callee = FuncId(c.int()? as u32);
+            InstKind::Call {
+                callee,
+                args: c.arg_list()?,
+            }
+        }
+        "icall" => {
+            let callee = c.operand()?;
+            InstKind::CallIndirect {
+                callee,
+                args: c.arg_list()?,
+            }
+        }
+        "ret" => {
+            if c.eat("void") {
+                InstKind::Ret { value: None }
+            } else {
+                InstKind::Ret {
+                    value: Some(c.operand()?),
+                }
+            }
+        }
+        "br" => InstKind::Br {
+            target: c.block_ref()?,
+        },
+        "condbr" => {
+            let cond = c.operand()?;
+            c.expect(",")?;
+            let then_bb = c.block_ref()?;
+            c.expect(",")?;
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb: c.block_ref()?,
+            }
+        }
+        "mutex_lock" => InstKind::MutexLock {
+            mutex: c.operand()?,
+        },
+        "mutex_unlock" => InstKind::MutexUnlock {
+            mutex: c.operand()?,
+        },
+        "mutex_trylock" => InstKind::MutexTryLock {
+            mutex: c.operand()?,
+        },
+        "cond_wait" => {
+            let cond = c.operand()?;
+            c.expect(",")?;
+            InstKind::CondWait {
+                cond,
+                mutex: c.operand()?,
+            }
+        }
+        "cond_signal" => InstKind::CondSignal { cond: c.operand()? },
+        "rw_read" => InstKind::RwLockRead { rw: c.operand()? },
+        "rw_write" => InstKind::RwLockWrite { rw: c.operand()? },
+        "rw_unlock" => InstKind::RwUnlock { rw: c.operand()? },
+        "cond_broadcast" => InstKind::CondBroadcast { cond: c.operand()? },
+        "spawn" => {
+            c.expect("@f")?;
+            let func = FuncId(c.int()? as u32);
+            let args = c.arg_list()?;
+            if args.len() != 1 {
+                return err(c.line, "spawn takes exactly one argument");
+            }
+            InstKind::ThreadSpawn {
+                func,
+                arg: args.into_iter().next().expect("one arg"),
+            }
+        }
+        "join" => InstKind::ThreadJoin { tid: c.operand()? },
+        "io" => {
+            let label = c.string()?;
+            c.expect(",")?;
+            let ns = c.operand()?;
+            c.expect("ns")?;
+            InstKind::Io { label, ns }
+        }
+        "assert" => {
+            let cond = c.operand()?;
+            c.expect(",")?;
+            InstKind::Assert {
+                cond,
+                msg: c.string()?,
+            }
+        }
+        "halt" => InstKind::Halt,
+        other => return err(c.line, format!("unknown instruction `{other}`")),
+    };
+    Ok(kind)
+}
+
+/// Parses the textual form back into a verified [`Module`].
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// ; module tiny
+/// @g = global i64 [5]
+/// define void @main() {
+/// entry:
+///   %0 = load i64, i64* @g0
+///   halt
+/// }
+/// ";
+/// let module = lazy_ir::parse_module(text).unwrap();
+/// assert_eq!(module.name, "tiny");
+/// assert_eq!(module.inst_count(), 2);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for syntax errors,
+/// or a synthesized one for verifier failures.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut name = String::from("parsed");
+    let mut structs: HashMap<String, StructDef> = HashMap::new();
+    let mut globals: Vec<Global> = Vec::new();
+    let mut functions: Vec<Function> = Vec::new();
+
+    // In-progress function state.
+    struct FnState {
+        func: Function,
+        cur_block: Option<usize>,
+    }
+    let mut current: Option<FnState> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; module ") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with(';') {
+            continue;
+        }
+        if let Some(state) = &mut current {
+            // Inside a function: `}`, `label:`, or an instruction.
+            if line == "}" {
+                let mut state = current.take().expect("current set");
+                state.func.reg_count = state
+                    .func
+                    .insts()
+                    .filter_map(|inst| inst.result)
+                    .map(|r| r.0 + 1)
+                    .chain(std::iter::once(state.func.params.len() as u32))
+                    .max()
+                    .unwrap_or(0);
+                functions.push(state.func);
+                continue;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let id = BlockId(state.func.blocks.len() as u32);
+                state.func.blocks.push(BasicBlock {
+                    id,
+                    name: label.to_string(),
+                    insts: Vec::new(),
+                });
+                state.cur_block = Some(state.func.blocks.len() - 1);
+                continue;
+            }
+            // Instruction line; an optional leading PC column is ignored
+            // (layout is reassigned).
+            let mut c = Cur::new(line, lineno);
+            if c.s.starts_with("0x") {
+                let _ = c.ident();
+            }
+            let result = {
+                c.skip_ws();
+                if c.s.starts_with('%')
+                    && c.s[1..].starts_with(|ch: char| ch.is_ascii_digit())
+                    && c.s.contains('=')
+                {
+                    c.expect("%")?;
+                    let v = c.int()? as u32;
+                    c.expect("=")?;
+                    Some(ValueId(v))
+                } else {
+                    None
+                }
+            };
+            let kind = parse_kind(&mut c)?;
+            if !c.eof() {
+                return err(lineno, format!("trailing input `{}`", c.s));
+            }
+            if kind.has_result() != result.is_some() {
+                return err(lineno, "result register presence mismatch");
+            }
+            let Some(bi) = state.cur_block else {
+                return err(lineno, "instruction outside a block label");
+            };
+            state.func.blocks[bi].insts.push(Inst {
+                kind,
+                result,
+                pc: Pc(0),
+            });
+            continue;
+        }
+        // Top level.
+        if let Some(rest) = line.strip_prefix("%struct.") {
+            let mut c = Cur::new(rest, lineno);
+            let sname = c.ident()?.to_string();
+            c.expect("=")?;
+            c.expect("{")?;
+            let mut fields = Vec::new();
+            if !c.eat("}") {
+                loop {
+                    let ty = c.ty()?;
+                    let fname = c.ident()?.to_string();
+                    fields.push((fname, ty));
+                    if c.eat("}") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            structs.insert(
+                sname.clone(),
+                StructDef {
+                    name: sname,
+                    fields,
+                },
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('@') {
+            let mut c = Cur::new(rest, lineno);
+            let gname = c.ident()?.to_string();
+            c.expect("=")?;
+            c.expect("global")?;
+            let ty = c.ty()?;
+            let mut init = Vec::new();
+            if c.eat("[") {
+                if !c.eat("]") {
+                    loop {
+                        init.push(c.int()?);
+                        if c.eat("]") {
+                            break;
+                        }
+                        c.expect(",")?;
+                    }
+                }
+            }
+            let id = GlobalId(globals.len() as u32);
+            globals.push(Global {
+                id,
+                name: gname,
+                ty,
+                init,
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("define ") {
+            let mut c = Cur::new(rest, lineno);
+            let ret_ty = c.ty()?;
+            c.expect("@")?;
+            let fname = c.ident()?.to_string();
+            c.expect("(")?;
+            let mut params = Vec::new();
+            if !c.eat(")") {
+                loop {
+                    let ty = c.ty()?;
+                    c.expect("%")?;
+                    let v = c.int()? as u32;
+                    params.push((ValueId(v), ty));
+                    if c.eat(")") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            c.expect("{")?;
+            current = Some(FnState {
+                func: Function {
+                    id: FuncId(functions.len() as u32),
+                    name: fname,
+                    params,
+                    ret_ty,
+                    blocks: Vec::new(),
+                    reg_count: 0,
+                    base_pc: Pc(0),
+                },
+                cur_block: None,
+            });
+            continue;
+        }
+        return err(lineno, format!("unexpected top-level line `{line}`"));
+    }
+    if current.is_some() {
+        return err(text.lines().count(), "unterminated function (missing `}`)");
+    }
+
+    let module = Module::assemble(name, structs, globals, functions);
+    verify_module(&module).map_err(|e| ParseError {
+        line: 0,
+        message: format!("verification failed: {e}"),
+    })?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::printer::render_module;
+
+    fn roundtrip(m: &Module) -> Module {
+        let text = render_module(m);
+        parse_module(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.struct_def(
+            "Pair",
+            vec![("a".into(), Type::I64), ("b".into(), Type::I64)],
+        );
+        let g = mb.global("counter", Type::I64, vec![7]);
+        let mx = mb.global("mx", Type::Mutex, vec![]);
+        let helper = mb.declare("helper", vec![Type::I64], Type::I64);
+        {
+            let mut f = mb.define(helper);
+            let e = f.entry();
+            f.switch_to(e);
+            let v = f.add(f.param(0), Operand::const_int(1));
+            f.ret(Some(v));
+            f.finish();
+        }
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.lock(mx.clone());
+            let v = f.load(g.clone(), Type::I64);
+            let v1 = f.call(helper, vec![v]);
+            f.store(g.clone(), v1, Type::I64);
+            f.unlock(mx.clone());
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let loop_h = f.block("loop");
+        let body = f.block("body");
+        let done = f.block("done");
+        f.switch_to(e);
+        let p = f.alloca(Type::Struct("Pair".into()));
+        let pa = f.field_addr(p.clone(), "Pair", "b");
+        f.store(pa, Operand::const_int(3), Type::I64);
+        let arr = f.heap_alloc(Type::I64, Operand::const_int(4));
+        let slot = f.index_addr(arr.clone(), Operand::const_int(2), Type::I64);
+        f.store(slot, Operand::const_int(9), Type::I64);
+        let fp = f.copy(Operand::Func(helper));
+        let r = f.call_indirect(fp, vec![Operand::const_int(1)]);
+        let c = f.lt(r, Operand::const_int(100));
+        f.assert(c, "sane");
+        let t = f.spawn(worker, Operand::const_int(0));
+        f.io("think", 1000);
+        f.br(loop_h);
+        f.switch_to(loop_h);
+        let v = f.load(g.clone(), Type::I64);
+        let cc = f.lt(v, Operand::const_int(8));
+        f.cond_br(cc, body, done);
+        f.switch_to(body);
+        f.br(loop_h);
+        f.switch_to(done);
+        f.join(t);
+        f.free(arr);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+
+        let back = roundtrip(&m);
+        // Structural equality via a second render.
+        assert_eq!(render_module(&m), render_module(&back));
+        assert_eq!(back.name, "demo");
+        assert_eq!(back.globals().len(), 2);
+        assert_eq!(back.globals()[0].init, vec![7]);
+        assert_eq!(back.struct_def("Pair").unwrap().fields.len(), 2);
+        assert_eq!(back.inst_count(), m.inst_count());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "; module x\ndefine void @main() {\nentry:\n  bogus_op %1\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bogus_op"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_function() {
+        let text = "define void @main() {\nentry:\n  halt";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn parse_runs_the_verifier() {
+        // Branch to a nonexistent block parses but must not verify.
+        let text = "define void @main() {\nentry:\n  br bb7\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("verification failed"), "{e}");
+    }
+
+    #[test]
+    fn parse_without_pc_column() {
+        let text = "\
+; module tiny
+@g = global i64 [5]
+define void @main() {
+entry:
+  %0 = load i64, i64* @g0
+  %1 = cmp eq %0, 5
+  assert %1, \"g is five\"
+  halt
+}
+";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.inst_count(), 4);
+        assert_eq!(m.globals()[0].init, vec![5]);
+    }
+
+    #[test]
+    fn nested_array_and_pointer_types() {
+        let text = "\
+define void @main() {
+entry:
+  %0 = alloca [4 x i64*]
+  %1 = alloca %mutex
+  mutex_lock %1
+  mutex_unlock %1
+  halt
+}
+";
+        let m = parse_module(text).unwrap();
+        let kinds: Vec<_> = m.functions()[0].insts().map(|i| i.kind.clone()).collect();
+        assert!(matches!(
+            &kinds[0],
+            InstKind::Alloca { ty: Type::Array(elem, 4) } if **elem == Type::I64.ptr_to()
+        ));
+        assert!(matches!(&kinds[1], InstKind::Alloca { ty: Type::Mutex }));
+    }
+}
+
+#[cfg(test)]
+mod malformed_tests {
+    use super::*;
+
+    fn expect_err(text: &str, needle: &str) {
+        let e = parse_module(text).unwrap_err();
+        assert!(
+            e.to_string().contains(needle),
+            "expected `{needle}` in `{e}` for:\n{text}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        expect_err(
+            "define void @main() {\nentry:\n  %0 = alloca i13\n  halt\n}\n",
+            "unknown type",
+        );
+    }
+
+    #[test]
+    fn rejects_instruction_before_label() {
+        expect_err(
+            "define void @main() {\n  halt\n}\n",
+            "outside a block label",
+        );
+    }
+
+    #[test]
+    fn rejects_result_mismatch() {
+        // halt produces no result.
+        expect_err(
+            "define void @main() {\nentry:\n  %0 = halt\n}\n",
+            "result register presence mismatch",
+        );
+        // alloca requires one.
+        expect_err(
+            "define void @main() {\nentry:\n  alloca i64\n  halt\n}\n",
+            "result register presence mismatch",
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        expect_err(
+            "define void @main() {\nentry:\n  halt extra\n}\n",
+            "trailing input",
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        expect_err(
+            "define void @main() {\nentry:\n  io \"oops, 5 ns\n  halt\n}\n",
+            "unterminated string",
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_top_level() {
+        expect_err("what is this\n", "unexpected top-level line");
+    }
+
+    #[test]
+    fn rejects_unknown_global_reference() {
+        // @g7 does not exist: the verifier catches it.
+        expect_err(
+            "define void @main() {\nentry:\n  %0 = load i64, i64* @g7\n  halt\n}\n",
+            "verification failed",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_spawn_arity() {
+        expect_err(
+            "define void @w(i64 %0) {\nentry:\n  ret void\n}\ndefine void @main() {\nentry:\n  %0 = spawn @f0 (1, 2)\n  halt\n}\n",
+            "spawn takes exactly one argument",
+        );
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines_anywhere() {
+        let text = "\n; leading comment\n\n@g = global i64 [1]\n\n; mid comment\ndefine void @main() {\nentry:\n  halt\n}\n";
+        assert!(parse_module(text).is_ok());
+    }
+
+    #[test]
+    fn rwlock_ops_roundtrip() {
+        let text = "\
+@rw = global %rwlock
+define void @main() {
+entry:
+  rw_read @g0
+  rw_unlock @g0
+  rw_write @g0
+  rw_unlock @g0
+  halt
+}
+";
+        let m = parse_module(text).unwrap();
+        let rendered = crate::printer::render_module(&m);
+        assert!(rendered.contains("rw_read"), "{rendered}");
+        assert!(rendered.contains("rw_write"), "{rendered}");
+        let back = parse_module(&rendered).unwrap();
+        assert_eq!(crate::printer::render_module(&back), rendered);
+    }
+}

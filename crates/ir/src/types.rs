@@ -1,0 +1,183 @@
+//! The IR type system.
+//!
+//! Types mirror the subset of LLVM's type system that Lazy Diagnosis
+//! consumes: integers of a few widths, typed pointers, and named structs.
+//! Type-based ranking (§4.3 of the paper) compares the *pointee* type of a
+//! memory operation's pointer operand against the pointee type of the
+//! failing operand, so pointer types carry their pointee and structs are
+//! compared nominally (by name), exactly as `%struct.Queue*` vs `i32*` are
+//! in the paper's Figure 4 example.
+
+use std::fmt;
+
+/// An IR type.
+///
+/// The memory model is slot-based: every scalar and pointer occupies one
+/// 8-byte slot, a struct occupies one slot per field, and an array of `n`
+/// elements occupies `n` times the element's slot count. This keeps
+/// pointer arithmetic trivial without losing anything the analyses care
+/// about (they operate on abstract locations, not byte offsets).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The empty type, for functions that return nothing.
+    Void,
+    /// A boolean (LLVM `i1`).
+    I1,
+    /// An 8-bit integer (LLVM `i8`), commonly used for opaque byte buffers.
+    I8,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A pointer to a pointee type (LLVM `T*`).
+    Ptr(Box<Type>),
+    /// A named struct (LLVM `%struct.Name`); fields live in [`StructDef`].
+    ///
+    /// [`StructDef`]: crate::module::StructDef
+    Struct(String),
+    /// A fixed-length array of an element type.
+    Array(Box<Type>, u64),
+    /// A function type, used for function pointers.
+    Func,
+    /// A mutex object (modelled as an opaque one-slot object).
+    Mutex,
+    /// A condition variable object (opaque, one slot).
+    CondVar,
+    /// A reader-writer lock object (opaque, one slot).
+    RwLock,
+}
+
+impl Type {
+    /// Returns a pointer type to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Returns the pointee type if `self` is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `self` is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Returns `true` if values of this type can flow through points-to
+    /// analysis (pointers and function references).
+    pub fn is_ptr_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Func)
+    }
+
+    /// Returns the number of 8-byte slots a value of this type occupies in
+    /// memory, given a resolver for struct field counts.
+    ///
+    /// Opaque objects (mutexes, condition variables) occupy one slot.
+    pub fn slot_count(&self, struct_fields: &dyn Fn(&str) -> usize) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::I1 | Type::I8 | Type::I32 | Type::I64 | Type::Func => 1,
+            Type::Ptr(_) | Type::Mutex | Type::CondVar | Type::RwLock => 1,
+            Type::Struct(name) => struct_fields(name) as u64,
+            Type::Array(elem, n) => elem.slot_count(struct_fields) * n,
+        }
+    }
+
+    /// Returns `true` if two pointee types match exactly for the purposes
+    /// of type-based ranking (nominal struct equality, structural
+    /// otherwise).
+    pub fn ranking_match(&self, other: &Type) -> bool {
+        self == other
+    }
+
+    /// Returns `true` if this type is "generic" from the ranking
+    /// heuristic's point of view — a raw byte or integer pointer target
+    /// that casts commonly alias (§7 discusses why ranking helps less for
+    /// generic pointer types).
+    pub fn is_generic_scalar(&self) -> bool {
+        matches!(self, Type::I8 | Type::I32 | Type::I64 | Type::I1)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+            Type::Struct(name) => write!(f, "%struct.{name}"),
+            Type::Array(elem, n) => write!(f, "[{n} x {elem}]"),
+            Type::Func => write!(f, "func"),
+            Type::Mutex => write!(f, "%mutex"),
+            Type::CondVar => write!(f, "%condvar"),
+            Type::RwLock => write!(f, "%rwlock"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_structs(_: &str) -> usize {
+        panic!("no structs expected")
+    }
+
+    #[test]
+    fn display_matches_llvm_flavour() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::I32.ptr_to().to_string(), "i32*");
+        assert_eq!(
+            Type::Struct("Queue".into()).ptr_to().to_string(),
+            "%struct.Queue*"
+        );
+        assert_eq!(Type::Array(Box::new(Type::I64), 4).to_string(), "[4 x i64]");
+    }
+
+    #[test]
+    fn pointee_roundtrip() {
+        let t = Type::Struct("Conn".into()).ptr_to();
+        assert_eq!(t.pointee(), Some(&Type::Struct("Conn".into())));
+        assert!(t.is_ptr());
+        assert!(Type::I64.pointee().is_none());
+    }
+
+    #[test]
+    fn slot_counts() {
+        assert_eq!(Type::I8.slot_count(&no_structs), 1);
+        assert_eq!(Type::I64.ptr_to().slot_count(&no_structs), 1);
+        assert_eq!(
+            Type::Array(Box::new(Type::I64), 16).slot_count(&no_structs),
+            16
+        );
+        let fields = |name: &str| if name == "Queue" { 5 } else { 0 };
+        assert_eq!(Type::Struct("Queue".into()).slot_count(&fields), 5);
+        assert_eq!(
+            Type::Array(Box::new(Type::Struct("Queue".into())), 3).slot_count(&fields),
+            15
+        );
+    }
+
+    #[test]
+    fn ranking_match_is_nominal_for_structs() {
+        let q = Type::Struct("Queue".into());
+        let q2 = Type::Struct("Queue".into());
+        let c = Type::Struct("Conn".into());
+        assert!(q.ranking_match(&q2));
+        assert!(!q.ranking_match(&c));
+        assert!(!q.ranking_match(&Type::I32));
+    }
+
+    #[test]
+    fn generic_scalars() {
+        assert!(Type::I32.is_generic_scalar());
+        assert!(!Type::Struct("Queue".into()).is_generic_scalar());
+    }
+}

@@ -1,0 +1,319 @@
+//! Module verification.
+//!
+//! The verifier catches malformed IR at workload-construction time so the
+//! VM, tracer, and analyses can assume structural invariants: every block
+//! ends in exactly one terminator, branch targets exist, registers are
+//! defined before (somewhere) they are used, call arities match, and
+//! struct field references resolve.
+
+use crate::inst::{InstKind, Operand, ValueId};
+use crate::module::{FuncId, Module};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A structural error found in a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the offending function (empty for module-level errors).
+    pub func: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.func.is_empty() {
+            write!(f, "verify error: {}", self.message)
+        } else {
+            write!(f, "verify error in @{}: {}", self.func, self.message)
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural invariants of a module.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in module.functions() {
+        verify_function(module, func.id)?;
+    }
+    Ok(())
+}
+
+fn err(func: &str, message: impl Into<String>) -> VerifyError {
+    VerifyError {
+        func: func.to_string(),
+        message: message.into(),
+    }
+}
+
+fn verify_function(module: &Module, id: FuncId) -> Result<(), VerifyError> {
+    let func = module.func(id);
+    let name = &func.name;
+    if func.blocks.is_empty() {
+        return Err(err(name, "function has no blocks"));
+    }
+
+    // Collect all defined registers: parameters plus instruction results.
+    let mut defined: HashSet<ValueId> = func.params.iter().map(|(v, _)| *v).collect();
+    for inst in func.insts() {
+        if let Some(r) = inst.result {
+            if !defined.insert(r) {
+                return Err(err(name, format!("register {r} defined twice")));
+            }
+        }
+    }
+
+    let nblocks = func.blocks.len() as u32;
+    for block in &func.blocks {
+        let Some(last) = block.insts.last() else {
+            return Err(err(name, format!("block {} is empty", block.name)));
+        };
+        if !last.kind.is_terminator() {
+            return Err(err(
+                name,
+                format!("block {} does not end in a terminator", block.name),
+            ));
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if i + 1 < block.insts.len() && inst.kind.is_terminator() {
+                return Err(err(name, format!("terminator mid-block in {}", block.name)));
+            }
+            if inst.kind.has_result() != inst.result.is_some() {
+                return Err(err(name, "result register presence mismatch"));
+            }
+            // Operand registers must be defined somewhere in the function.
+            for op in inst.kind.operands() {
+                match op {
+                    Operand::Reg(v) => {
+                        if !defined.contains(v) {
+                            return Err(err(name, format!("use of undefined register {v}")));
+                        }
+                    }
+                    Operand::Global(g) => {
+                        if g.0 as usize >= module.globals().len() {
+                            return Err(err(name, format!("unknown global @g{}", g.0)));
+                        }
+                    }
+                    Operand::Func(f) => {
+                        if f.0 as usize >= module.functions().len() {
+                            return Err(err(name, format!("unknown function @f{}", f.0)));
+                        }
+                    }
+                    Operand::ConstInt(_) | Operand::Null => {}
+                }
+            }
+            // Kind-specific checks.
+            match &inst.kind {
+                InstKind::Br { target } => {
+                    if target.0 >= nblocks {
+                        return Err(err(name, format!("branch to unknown block bb{}", target.0)));
+                    }
+                }
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    if then_bb.0 >= nblocks || else_bb.0 >= nblocks {
+                        return Err(err(name, "conditional branch to unknown block"));
+                    }
+                }
+                InstKind::Call { callee, args } => {
+                    if callee.0 as usize >= module.functions().len() {
+                        return Err(err(
+                            name,
+                            format!("call to unknown function @f{}", callee.0),
+                        ));
+                    }
+                    let target = module.func(*callee);
+                    if target.params.len() != args.len() {
+                        return Err(err(
+                            name,
+                            format!(
+                                "call to @{} with {} args, expected {}",
+                                target.name,
+                                args.len(),
+                                target.params.len()
+                            ),
+                        ));
+                    }
+                }
+                InstKind::ThreadSpawn { func: f, .. } => {
+                    if f.0 as usize >= module.functions().len() {
+                        return Err(err(name, "spawn of unknown function"));
+                    }
+                    let target = module.func(*f);
+                    if target.params.len() != 1 {
+                        return Err(err(
+                            name,
+                            format!(
+                                "thread entry @{} must take exactly one argument",
+                                target.name
+                            ),
+                        ));
+                    }
+                }
+                InstKind::FieldAddr { strukt, field, .. } => {
+                    let Some(def) = module.struct_def(strukt) else {
+                        return Err(err(name, format!("fieldaddr of unknown struct {strukt}")));
+                    };
+                    if *field >= def.fields.len() {
+                        return Err(err(
+                            name,
+                            format!("fieldaddr index {field} out of range for {strukt}"),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Inst;
+    use crate::module::{BasicBlock, BlockId, Pc};
+    use crate::types::Type;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut mb = ModuleBuilder::new("ok");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.halt();
+        f.finish();
+        assert!(mb.finish().is_ok());
+    }
+
+    /// Builds a raw module bypassing the builder, to exercise error paths.
+    fn raw_module(blocks: Vec<BasicBlock>) -> Module {
+        use crate::module::Function;
+        let func = Function {
+            id: FuncId(0),
+            name: "bad".into(),
+            params: vec![],
+            ret_ty: Type::Void,
+            blocks,
+            reg_count: 0,
+            base_pc: Pc(0),
+        };
+        Module::assemble(
+            "raw".into(),
+            std::collections::HashMap::new(),
+            vec![],
+            vec![func],
+        )
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let m = raw_module(vec![BasicBlock {
+            id: BlockId(0),
+            name: "entry".into(),
+            insts: vec![Inst {
+                kind: InstKind::Copy {
+                    src: Operand::ConstInt(1),
+                },
+                result: Some(ValueId(0)),
+                pc: Pc(0),
+            }],
+        }]);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        let m = raw_module(vec![BasicBlock {
+            id: BlockId(0),
+            name: "entry".into(),
+            insts: vec![],
+        }]);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_register_use() {
+        let m = raw_module(vec![BasicBlock {
+            id: BlockId(0),
+            name: "entry".into(),
+            insts: vec![
+                Inst {
+                    kind: InstKind::Free {
+                        ptr: Operand::Reg(ValueId(9)),
+                    },
+                    result: None,
+                    pc: Pc(0),
+                },
+                Inst {
+                    kind: InstKind::Halt,
+                    result: None,
+                    pc: Pc(0),
+                },
+            ],
+        }]);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("undefined register"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let m = raw_module(vec![BasicBlock {
+            id: BlockId(0),
+            name: "entry".into(),
+            insts: vec![Inst {
+                kind: InstKind::Br { target: BlockId(7) },
+                result: None,
+                pc: Pc(0),
+            }],
+        }]);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("unknown block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.declare("callee", vec![Type::I64], Type::Void);
+        let mut c = mb.define(callee);
+        let e = c.entry();
+        c.switch_to(e);
+        c.ret(None);
+        c.finish();
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.call(callee, vec![]); // Wrong arity.
+        f.halt();
+        f.finish();
+        let err = mb.finish().unwrap_err();
+        assert!(err.message.contains("expected 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_spawn_of_wrong_arity_entry() {
+        let mut mb = ModuleBuilder::new("m");
+        let worker = mb.declare("worker", vec![], Type::Void);
+        let mut w = mb.define(worker);
+        let e = w.entry();
+        w.switch_to(e);
+        w.ret(None);
+        w.finish();
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.spawn(worker, Operand::ConstInt(0));
+        f.halt();
+        f.finish();
+        let err = mb.finish().unwrap_err();
+        assert!(err.message.contains("exactly one argument"), "{err}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the IR substrate: layout invariants and
+//! builder robustness over randomly generated (but well-formed)
+//! programs.
+
+use lazy_ir::{Cfg, InstKind, Module, ModuleBuilder, Operand, Type};
+use proptest::prelude::*;
+
+/// A generator of random well-formed single-function modules: straight
+/// segments, bounded loops, and diamonds over a handful of i64 slots.
+#[derive(Clone, Debug)]
+enum Shape {
+    Straight(u8),
+    Loop(u8),
+    Diamond,
+}
+
+pub(crate) fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1u8..6).prop_map(Shape::Straight),
+        (1u8..5).prop_map(Shape::Loop),
+        Just(Shape::Diamond),
+    ]
+}
+
+pub(crate) fn build(shapes: &[Shape]) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let slot = f.alloca(Type::I64);
+    f.store(slot.clone(), Operand::const_int(0), Type::I64);
+    for (i, s) in shapes.iter().enumerate() {
+        match s {
+            Shape::Straight(n) => {
+                for _ in 0..*n {
+                    let v = f.load(slot.clone(), Type::I64);
+                    let v1 = f.add(v, Operand::const_int(1));
+                    f.store(slot.clone(), v1, Type::I64);
+                }
+            }
+            Shape::Loop(iters) => {
+                let ctr = f.alloca(Type::I64);
+                f.store(ctr.clone(), Operand::const_int(0), Type::I64);
+                let head = f.block(format!("h{i}"));
+                let body = f.block(format!("b{i}"));
+                let done = f.block(format!("d{i}"));
+                f.br(head);
+                f.switch_to(head);
+                let v = f.load(ctr.clone(), Type::I64);
+                let c = f.lt(v, Operand::const_int(i64::from(*iters)));
+                f.cond_br(c, body, done);
+                f.switch_to(body);
+                let v = f.load(ctr.clone(), Type::I64);
+                let v1 = f.add(v, Operand::const_int(1));
+                f.store(ctr.clone(), v1, Type::I64);
+                f.br(head);
+                f.switch_to(done);
+            }
+            Shape::Diamond => {
+                let v = f.load(slot.clone(), Type::I64);
+                let c = f.lt(v, Operand::const_int(2));
+                let yes = f.block(format!("y{i}"));
+                let no = f.block(format!("n{i}"));
+                let join = f.block(format!("j{i}"));
+                f.cond_br(c, yes, no);
+                f.switch_to(yes);
+                f.store(slot.clone(), Operand::const_int(1), Type::I64);
+                f.br(join);
+                f.switch_to(no);
+                f.store(slot.clone(), Operand::const_int(2), Type::I64);
+                f.br(join);
+                f.switch_to(join);
+            }
+        }
+    }
+    f.halt();
+    f.finish();
+    mb.finish().expect("builder output always verifies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every built module verifies, PCs are unique and resolve back to
+    /// their instructions, and every block is reachable.
+    #[test]
+    fn layout_invariants(shapes in prop::collection::vec(arb_shape(), 0..12)) {
+        let m = build(&shapes);
+        let mut seen = std::collections::HashSet::new();
+        for (inst, loc) in m.all_insts() {
+            prop_assert!(seen.insert(inst.pc), "duplicate PC {}", inst.pc);
+            prop_assert_eq!(m.loc_of_pc(inst.pc), Some(loc));
+            prop_assert_eq!(&m.inst(inst.pc).unwrap().kind, &inst.kind);
+            prop_assert_eq!(m.func_of_pc(inst.pc).unwrap().id, loc.func);
+            prop_assert!(inst.pc.0 >= Module::TEXT_BASE);
+            prop_assert!(inst.pc < m.max_pc());
+        }
+        let f = m.func_by_name("main").unwrap();
+        let cfg = Cfg::build(f);
+        prop_assert_eq!(cfg.reachable().len(), f.blocks.len(), "builder leaves no dead blocks");
+        // Exactly one halt terminator.
+        let halts = f.insts().filter(|i| matches!(i.kind, InstKind::Halt)).count();
+        prop_assert_eq!(halts, 1);
+    }
+
+    /// Rendering never panics and mentions every function.
+    #[test]
+    fn rendering_total(shapes in prop::collection::vec(arb_shape(), 0..8)) {
+        let m = build(&shapes);
+        let text = lazy_ir::printer::render_module(&m);
+        prop_assert!(text.contains("@main"));
+        for (inst, _) in m.all_insts() {
+            let d = m.describe_pc(inst.pc);
+            prop_assert!(!d.contains("<unknown>"), "{d}");
+        }
+    }
+}
+
+mod parse_roundtrip {
+    use super::*;
+    use lazy_ir::printer::render_module;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Textual render → parse → render is byte-stable for random
+        /// well-formed modules.
+        #[test]
+        fn render_parse_render_is_stable(shapes in prop::collection::vec(super::arb_shape(), 0..10)) {
+            let m = super::build(&shapes);
+            let text = render_module(&m);
+            let back = lazy_ir::parse_module(&text).expect("parses");
+            prop_assert_eq!(render_module(&back), text);
+        }
+    }
+}

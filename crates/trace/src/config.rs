@@ -1,0 +1,77 @@
+//! Trace-driver configuration.
+
+/// Configuration of the tracing "hardware" and driver.
+///
+/// Defaults follow the paper's prototype: 64 KB per-thread ring buffers
+/// (§5, configurable up to 128 MB) and timing packets injected at the
+/// highest available frequency — the paper reports that timing packets
+/// then occupy ~49% of the buffer and that the longest gap between timing
+/// packets observed was 65 µs, comfortably below the shortest inter-event
+/// distance of 91 µs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-thread ring-buffer capacity in bytes.
+    pub buffer_size: usize,
+    /// Period of the coarse time counter driving `MTC` packets, in
+    /// virtual nanoseconds. An `MTC` packet is emitted whenever the
+    /// virtual TSC crosses a period boundary.
+    pub ctc_period_ns: u64,
+    /// Quantization shift for `CYC` packets: cycle deltas are recorded as
+    /// `delta_ns >> cyc_shift`, so decoded timestamps carry an
+    /// uncertainty of `1 << cyc_shift` nanoseconds.
+    pub cyc_shift: u32,
+    /// Emit a `PSB` sync sequence after roughly this many payload bytes.
+    pub psb_period_bytes: usize,
+    /// Master switch for timing packets (`TSC`/`MTC`/`CYC`). Disabling
+    /// them models PT with timing off: control flow still decodes, but no
+    /// cross-thread order can be recovered (the §7 fallback).
+    pub timing_enabled: bool,
+    /// Spill the ring buffer to persistent storage whenever it fills,
+    /// keeping the *entire* trace instead of the most recent window.
+    /// This is the §7 mitigation for bugs that violate the
+    /// short-distance hypothesis — at the cost of I/O during operation
+    /// (the execution substrate charges I/O time per flush).
+    pub spill_to_storage: bool,
+}
+
+impl TraceConfig {
+    /// The paper's default 64 KB ring buffer.
+    pub const DEFAULT_BUFFER: usize = 64 * 1024;
+    /// The largest buffer the paper's driver supports (128 MB).
+    pub const MAX_BUFFER: usize = 128 * 1024 * 1024;
+
+    /// Returns the timestamp uncertainty introduced by `CYC`
+    /// quantization, in nanoseconds.
+    pub fn time_quantum_ns(&self) -> u64 {
+        1u64 << self.cyc_shift
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            buffer_size: Self::DEFAULT_BUFFER,
+            // ~4.1 µs coarse counter, matching MTC at its highest
+            // frequency on the paper's Skylake client.
+            ctc_period_ns: 4096,
+            // 256 ns quantization of cycle-accurate deltas.
+            cyc_shift: 8,
+            psb_period_bytes: 4096,
+            timing_enabled: true,
+            spill_to_storage: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TraceConfig::default();
+        assert_eq!(c.buffer_size, 64 * 1024);
+        assert!(c.timing_enabled);
+        assert_eq!(c.time_quantum_ns(), 256);
+    }
+}

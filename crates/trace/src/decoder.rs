@@ -1,0 +1,706 @@
+//! Trace decoding: packet stream + module CFG → executed instructions
+//! with coarse time windows.
+//!
+//! Decoding mirrors a real Intel PT software decoder (the paper uses
+//! Intel's stock decoder, §5): synchronize at a `PSB`, anchor the clock
+//! from the following `TSC`, anchor the instruction pointer from the
+//! following `FUP`, then *walk the program's control-flow graph*,
+//! consuming a TNT bit at each conditional branch and a TIP packet at
+//! each indirect transfer or return. Timing packets interleaved with the
+//! control packets bound each decoded instruction inside a coarse
+//! [`TimeBounds`] window — the partial order of the paper's step 3.
+
+use crate::config::TraceConfig;
+use crate::packet::{Packet, PacketDecoder};
+use lazy_ir::{InstKind, Module, Pc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sentinel TIP target meaning "execution left traced code" (thread
+/// exit). The VM emits it when a thread's entry function returns.
+pub const EXIT_TARGET: u64 = 0;
+
+/// A coarse time window `[lo, hi]` (virtual nanoseconds) within which an
+/// instruction executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeBounds {
+    /// Time of the last timing packet preceding the instruction.
+    pub lo: u64,
+    /// Time of the first timing packet following it (or the snapshot
+    /// time).
+    pub hi: u64,
+}
+
+impl TimeBounds {
+    /// Returns `true` if this window is entirely before `other` — the
+    /// "executes before" relation of the paper's Figure 5. Windows that
+    /// overlap are *unordered*: the coarse interleaving hypothesis says
+    /// target events of real bugs won't overlap.
+    pub fn definitely_before(&self, other: &TimeBounds) -> bool {
+        self.hi < other.lo
+    }
+
+    /// Returns `true` if the two windows overlap (no order recoverable).
+    pub fn overlaps(&self, other: &TimeBounds) -> bool {
+        !self.definitely_before(other) && !other.definitely_before(self)
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+/// One executed-instruction record in a decoded trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedEvent {
+    /// The instruction's program counter.
+    pub pc: Pc,
+    /// The coarse execution-time window.
+    pub time: TimeBounds,
+}
+
+/// A decoded per-thread trace: executed instructions in program order
+/// with coarse time windows.
+#[derive(Clone, Debug, Default)]
+pub struct DecodedTrace {
+    /// Executed instructions, oldest first.
+    pub events: Vec<DecodedEvent>,
+    /// Number of packet-level resynchronizations performed (nonzero when
+    /// the ring buffer wrapped mid-packet or packets were lost).
+    pub resyncs: u32,
+}
+
+impl DecodedTrace {
+    /// Iterates over the distinct PCs that appear in the trace.
+    pub fn executed_pcs(&self) -> impl Iterator<Item = Pc> + '_ {
+        let mut seen = std::collections::HashSet::new();
+        self.events
+            .iter()
+            .filter_map(move |e| seen.insert(e.pc).then_some(e.pc))
+    }
+}
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The snapshot contains no `PSB`; nothing can be decoded.
+    NoSync,
+    /// The CFG walk and the packet stream disagree (corrupt trace or
+    /// wrong module).
+    Desync(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NoSync => write!(f, "no PSB sync point in trace"),
+            DecodeError::Desync(msg) => write!(f, "decoder desynchronized: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// How control leaves an instruction, precomputed for the decode walk.
+#[derive(Clone, Copy, Debug)]
+enum Transfer {
+    /// Falls through to `pc + 4`.
+    Linear,
+    /// Unconditional branch to a block entry.
+    Br { target: u64 },
+    /// Conditional branch; consumes one TNT bit.
+    CondBr { then_pc: u64, else_pc: u64 },
+    /// Direct call; target is statically known.
+    Call { callee: u64 },
+    /// Indirect call; consumes a TIP packet.
+    ICall,
+    /// Return; consumes a TIP packet (the driver traces returns as
+    /// indirect transfers, like PT without RET compression).
+    Ret,
+    /// Whole-program halt; the walk ends.
+    Halt,
+}
+
+/// A precomputed walk table for a module: PC → outgoing transfer.
+///
+/// Build once per module, reuse across every decode.
+#[derive(Clone, Debug)]
+pub struct ExecIndex {
+    steps: HashMap<u64, Transfer>,
+}
+
+impl ExecIndex {
+    /// Builds the walk table for `module`.
+    pub fn build(module: &Module) -> ExecIndex {
+        let mut steps = HashMap::with_capacity(module.inst_count());
+        for func in module.functions() {
+            let entry_pc: HashMap<_, _> = func
+                .blocks
+                .iter()
+                .map(|b| (b.id, b.insts.first().expect("empty block").pc.0))
+                .collect();
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    let t = match &inst.kind {
+                        InstKind::Br { target } => Transfer::Br {
+                            target: entry_pc[target],
+                        },
+                        InstKind::CondBr {
+                            then_bb, else_bb, ..
+                        } => Transfer::CondBr {
+                            then_pc: entry_pc[then_bb],
+                            else_pc: entry_pc[else_bb],
+                        },
+                        InstKind::Call { callee, .. } => Transfer::Call {
+                            callee: module.func(*callee).base_pc.0,
+                        },
+                        InstKind::CallIndirect { .. } => Transfer::ICall,
+                        InstKind::Ret { .. } => Transfer::Ret,
+                        InstKind::Halt => Transfer::Halt,
+                        _ => Transfer::Linear,
+                    };
+                    steps.insert(inst.pc.0, t);
+                }
+            }
+        }
+        ExecIndex { steps }
+    }
+
+    fn get(&self, pc: u64) -> Option<Transfer> {
+        self.steps.get(&pc).copied()
+    }
+}
+
+/// Reconstructed clock while scanning the packet stream.
+struct Clock {
+    time: Option<u64>,
+    ctc_full: u64,
+    period: u64,
+    shift: u32,
+}
+
+impl Clock {
+    fn apply(&mut self, p: &Packet) {
+        match p {
+            Packet::Tsc { tsc } => {
+                self.time = Some(*tsc);
+                self.ctc_full = tsc / self.period;
+            }
+            Packet::Mtc { ctc } => {
+                // Unwrap the 8-bit coarse counter against the last known
+                // full counter value.
+                let base = self.ctc_full & !0xff;
+                let mut cand = base | u64::from(*ctc);
+                if cand <= self.ctc_full {
+                    cand += 0x100;
+                }
+                self.ctc_full = cand;
+                self.time = Some(cand * self.period);
+            }
+            Packet::Cyc { delta } => {
+                if let Some(t) = self.time {
+                    self.time = Some(t + (delta << self.shift));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Decodes one thread's snapshot bytes against the module walk table.
+///
+/// `snapshot_time` is the virtual TSC at which the snapshot was taken; it
+/// upper-bounds the time window of trailing events.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::NoSync`] when no `PSB` is present, or
+/// [`DecodeError::Desync`] when the packet stream is inconsistent with
+/// the module's control flow.
+pub fn decode_thread_trace(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    // Pass 1: parse packets, resynchronizing at the next PSB on error
+    // (a wrapped ring snapshot usually starts mid-packet).
+    let mut pdec = PacketDecoder::new(bytes);
+    let mut resyncs = 0u32;
+    if !pdec.sync_to_psb() {
+        return Err(DecodeError::NoSync);
+    }
+    let mut packets = Vec::new();
+    loop {
+        match pdec.next_packet() {
+            Ok(Some(p)) => packets.push(p),
+            Ok(None) => break,
+            Err(_) => {
+                resyncs += 1;
+                if !pdec.sync_to_psb() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Pass 2: reconstruct the last-known time at each packet.
+    let mut clock = Clock {
+        time: None,
+        ctc_full: 0,
+        period: config.ctc_period_ns.max(1),
+        shift: config.cyc_shift,
+    };
+    let mut prev_time: Vec<Option<u64>> = Vec::with_capacity(packets.len());
+    for p in &packets {
+        clock.apply(p);
+        prev_time.push(clock.time);
+    }
+
+    // Pass 3: CFG walk.
+    //
+    // Window assignment leans on an encoder invariant: a timing packet
+    // is emitted immediately before any control packet once more than
+    // one quantum of time has passed, so the reconstructed time at a
+    // control packet lags the true time of its transfer by less than
+    // one quantum. Events decoded at a control packet therefore
+    // executed within `[time of previous control packet, time at this
+    // packet + quantum]`; the transfer instruction itself gets the
+    // tight window `[time at this packet, time at this packet +
+    // quantum]`.
+    let quantum = config.time_quantum_ns();
+    let mut events = Vec::new();
+    let mut cur: Option<u64> = None;
+    // Lower bound on the previous control packet's time.
+    let mut last_ctrl_lo: Option<u64> = None;
+    // After a PSB, the next FUP re-anchors rather than being treated as
+    // an async marker.
+    let mut expect_anchor = true;
+
+    // Walks from `cur`, emitting events, until `stop` says to pause; the
+    // instruction that satisfies `stop` is emitted (with the tight
+    // window) and `cur` stays on it.
+    fn walk(
+        index: &ExecIndex,
+        cur: &mut Option<u64>,
+        events: &mut Vec<DecodedEvent>,
+        stretch: TimeBounds,
+        tight: TimeBounds,
+        stop: impl Fn(Transfer, u64) -> bool,
+    ) -> Result<Option<Transfer>, DecodeError> {
+        let mut fuel = 10_000_000u64;
+        while let Some(pc) = *cur {
+            let Some(t) = index.get(pc) else {
+                if pc == EXIT_TARGET {
+                    *cur = None;
+                    return Ok(None);
+                }
+                return Err(DecodeError::Desync(format!(
+                    "walked to unmapped pc {pc:#x}"
+                )));
+            };
+            let stopping = stop(t, pc);
+            events.push(DecodedEvent {
+                pc: Pc(pc),
+                time: if stopping { tight } else { stretch },
+            });
+            if stopping {
+                return Ok(Some(t));
+            }
+            *cur = match t {
+                Transfer::Linear | Transfer::ICall | Transfer::Ret => Some(pc + 4),
+                Transfer::Br { target } => Some(target),
+                Transfer::Call { callee } => Some(callee),
+                Transfer::CondBr { .. } => {
+                    return Err(DecodeError::Desync(format!(
+                        "unexpected conditional branch at {pc:#x} without a TNT bit"
+                    )))
+                }
+                Transfer::Halt => None,
+            };
+            fuel -= 1;
+            if fuel == 0 {
+                return Err(DecodeError::Desync("walk did not terminate".into()));
+            }
+        }
+        Ok(None)
+    }
+
+    for (i, p) in packets.iter().enumerate() {
+        let hi = prev_time[i]
+            .map(|t| (t + quantum).min(snapshot_time))
+            .unwrap_or(snapshot_time);
+        let stretch = TimeBounds {
+            lo: last_ctrl_lo.unwrap_or(0),
+            hi,
+        };
+        let tight = TimeBounds {
+            lo: prev_time[i].unwrap_or(0),
+            hi,
+        };
+        match p {
+            Packet::Psb => {
+                // A PSB mid-stream (while in sync) is ignorable, exactly
+                // as in real PT decode: resetting here would drop the
+                // straight-line instructions between the last decision
+                // point and the sync anchor. Only an out-of-sync decoder
+                // anchors at the PSB's FUP.
+                expect_anchor = true;
+            }
+            Packet::Ovf => {
+                cur = None;
+                expect_anchor = true;
+                last_ctrl_lo = None;
+            }
+            Packet::Tsc { .. } | Packet::Mtc { .. } | Packet::Cyc { .. } => {}
+            Packet::Fup { pc } => {
+                if expect_anchor {
+                    if cur.is_none() {
+                        cur = Some(*pc);
+                        // The thread was at the anchor when the PSB's
+                        // TSC was stamped.
+                        last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+                    }
+                    expect_anchor = false;
+                } else if cur.is_none() {
+                    cur = Some(*pc);
+                    last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+                } else {
+                    // Async FUP (snapshot marker): walk up to and
+                    // including the marked instruction.
+                    let target = *pc;
+                    if cur == Some(target) {
+                        // Walk would stop immediately; emit the marked
+                        // instruction (tightly timed) if it is mapped.
+                        if index.get(target).is_some() {
+                            events.push(DecodedEvent {
+                                pc: Pc(target),
+                                time: tight,
+                            });
+                            // Leave `cur` in place: the marked
+                            // instruction is the point of interest.
+                        }
+                    } else {
+                        walk(index, &mut cur, &mut events, stretch, tight, |_, pc| {
+                            pc == target
+                        })?;
+                    }
+                    last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+                }
+            }
+            Packet::Tnt { bits, count } => {
+                for b in 0..*count {
+                    if cur.is_none() {
+                        // Lost sync (e.g. OVF); skip bits until re-anchor.
+                        break;
+                    }
+                    let t = walk(index, &mut cur, &mut events, stretch, tight, |t, _| {
+                        matches!(t, Transfer::CondBr { .. })
+                    })?;
+                    match t {
+                        Some(Transfer::CondBr { then_pc, else_pc }) => {
+                            let taken = bits >> b & 1 == 1;
+                            cur = Some(if taken { then_pc } else { else_pc });
+                        }
+                        _ => {
+                            return Err(DecodeError::Desync(
+                                "TNT bit with no conditional branch reachable".into(),
+                            ))
+                        }
+                    }
+                }
+                last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+            }
+            Packet::Tip { pc } => {
+                if cur.is_some() {
+                    let t = walk(index, &mut cur, &mut events, stretch, tight, |t, _| {
+                        matches!(t, Transfer::ICall | Transfer::Ret)
+                    })?;
+                    if t.is_none() && cur.is_some() {
+                        return Err(DecodeError::Desync(
+                            "TIP with no indirect transfer reachable".into(),
+                        ));
+                    }
+                }
+                cur = if *pc == EXIT_TARGET { None } else { Some(*pc) };
+                last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+            }
+        }
+    }
+
+    Ok(DecodedTrace { events, resyncs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+
+    /// Builds a module with a loop and a call, plus a tiny callee.
+    ///
+    /// main: entry -> loop(cond) -> body(call leaf) -> loop -> exit(halt)
+    fn looped_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let leaf = mb.declare("leaf", vec![], Type::Void);
+        let mut lf = mb.define(leaf);
+        let e = lf.entry();
+        lf.switch_to(e);
+        lf.copy(Operand::const_int(7));
+        lf.ret(None);
+        lf.finish();
+
+        let mut f = mb.function("main", vec![], Type::Void);
+        let entry = f.entry();
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.switch_to(entry);
+        let n = f.alloca(Type::I64);
+        f.store(n.clone(), Operand::const_int(0), Type::I64);
+        f.br(head);
+        f.switch_to(head);
+        let v = f.load(n.clone(), Type::I64);
+        let c = f.lt(v.clone(), Operand::const_int(3));
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        f.call(leaf, vec![]);
+        let v2 = f.load(n.clone(), Type::I64);
+        let v3 = f.add(v2, Operand::const_int(1));
+        f.store(n, v3, Type::I64);
+        f.br(head);
+        f.switch_to(exit);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    /// Simulates execution of `looped_module` for `iters` loop
+    /// iterations, feeding the encoder exactly as the VM would, and
+    /// returns (expected executed PCs, encoder).
+    fn simulate(module: &Module, iters: u64, cfg: TraceConfig) -> (Vec<u64>, Encoder) {
+        let main = module.func_by_name("main").unwrap();
+        let leaf = module.func_by_name("leaf").unwrap();
+        let blocks = &main.blocks;
+        let pcs = |bi: usize| blocks[bi].insts.iter().map(|i| i.pc.0).collect::<Vec<_>>();
+        let entry = pcs(0);
+        let head = pcs(1);
+        let body = pcs(2);
+        let exit = pcs(3);
+        let leaf_pcs: Vec<u64> = leaf.entry().insts.iter().map(|i| i.pc.0).collect();
+
+        let mut enc = Encoder::new(cfg);
+        let mut t = 1_000u64;
+        let mut expected = Vec::new();
+        enc.start(entry[0], t);
+        let step = |pcs: &[u64], expected: &mut Vec<u64>, t: &mut u64| {
+            for &pc in pcs {
+                expected.push(pc);
+                *t += 10;
+            }
+        };
+        step(&entry, &mut expected, &mut t);
+        for i in 0..=iters {
+            step(&head, &mut expected, &mut t);
+            // head ends with cond_br; taken while i < iters.
+            let taken = i < iters;
+            enc.branch(head[head.len() - 1], taken, t);
+            if !taken {
+                break;
+            }
+            // body: call leaf (direct, no packet), leaf runs, returns
+            // (TIP back to after the call).
+            expected.push(body[0]); // The call instruction.
+            t += 10;
+            step(&leaf_pcs, &mut expected, &mut t);
+            // leaf's ret produces a TIP to the instruction after call.
+            enc.indirect(leaf_pcs[leaf_pcs.len() - 1], body[1], t);
+            step(&body[1..], &mut expected, &mut t);
+        }
+        // The run ends with a snapshot at the halt instruction: the
+        // driver emits an async FUP there, which lets the decoder walk
+        // the final straight-line stretch.
+        step(&exit, &mut expected, &mut t);
+        enc.async_fup(exit[exit.len() - 1], t);
+        (expected, enc)
+    }
+
+    #[test]
+    fn decode_reconstructs_exact_instruction_sequence() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let (expected, mut enc) = simulate(&module, 3, cfg.clone());
+        let bytes = enc.snapshot();
+        let trace = decode_thread_trace(&index, &cfg, &bytes, 1_000_000).unwrap();
+        let got: Vec<u64> = trace.events.iter().map(|e| e.pc.0).collect();
+        assert_eq!(got, expected);
+        assert_eq!(trace.resyncs, 0);
+    }
+
+    #[test]
+    fn decode_without_timing_still_reconstructs_control_flow() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig {
+            timing_enabled: false,
+            ..TraceConfig::default()
+        };
+        let (expected, mut enc) = simulate(&module, 2, cfg.clone());
+        let bytes = enc.snapshot();
+        let trace = decode_thread_trace(&index, &cfg, &bytes, 1_000_000).unwrap();
+        let got: Vec<u64> = trace.events.iter().map(|e| e.pc.0).collect();
+        assert_eq!(got, expected);
+        // With no timing packets every window spans the whole trace:
+        // nothing is ordered.
+        for w in trace.events.windows(2) {
+            assert!(w[0].time.overlaps(&w[1].time));
+        }
+    }
+
+    #[test]
+    fn time_windows_are_monotonic_and_bounded() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig {
+            ctc_period_ns: 64,
+            cyc_shift: 4,
+            ..TraceConfig::default()
+        };
+        let (_, mut enc) = simulate(&module, 3, cfg.clone());
+        let bytes = enc.snapshot();
+        let snapshot_time = 1_000_000;
+        let trace = decode_thread_trace(&index, &cfg, &bytes, snapshot_time).unwrap();
+        let mut last_lo = 0;
+        for e in &trace.events {
+            assert!(e.time.lo <= e.time.hi, "lo>{:?}", e.time);
+            assert!(e.time.hi <= snapshot_time);
+            assert!(e.time.lo >= last_lo, "windows went backwards");
+            last_lo = e.time.lo;
+        }
+        // With fine timing, early and late events must be ordered.
+        let first = trace.events.first().unwrap();
+        let last = trace.events.last().unwrap();
+        assert!(first.time.definitely_before(&last.time));
+    }
+
+    #[test]
+    fn wrapped_buffer_resyncs_and_decodes_suffix() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        // Tiny buffer to force wrapping.
+        let cfg = TraceConfig {
+            buffer_size: 96,
+            psb_period_bytes: 24,
+            ..TraceConfig::default()
+        };
+        let (expected, mut enc) = simulate(&module, 40, cfg.clone());
+        assert!(enc.wrapped());
+        let bytes = enc.snapshot();
+        let trace = decode_thread_trace(&index, &cfg, &bytes, 10_000_000).unwrap();
+        // The decoded events must be a suffix-aligned subsequence of the
+        // expected execution: specifically the decoded PC sequence must
+        // appear as a contiguous run ending at the end of `expected`.
+        let got: Vec<u64> = trace.events.iter().map(|e| e.pc.0).collect();
+        assert!(!got.is_empty());
+        let tail = &expected[expected.len() - got.len()..];
+        assert_eq!(got, tail, "decoded suffix disagrees with execution");
+    }
+
+    #[test]
+    fn no_psb_is_an_error() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let err = decode_thread_trace(&index, &cfg, &[0x40, 0x01], 10).unwrap_err();
+        assert_eq!(err, DecodeError::NoSync);
+    }
+
+    #[test]
+    fn async_fup_walks_to_failure_point() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let main = module.func_by_name("main").unwrap();
+        let entry_pcs: Vec<u64> = main.entry().insts.iter().map(|i| i.pc.0).collect();
+        let mut enc = Encoder::new(cfg.clone());
+        enc.start(entry_pcs[0], 100);
+        // "Crash" at the second instruction of entry: emit async FUP.
+        enc.async_fup(entry_pcs[1], 250);
+        let bytes = enc.snapshot();
+        let trace = decode_thread_trace(&index, &cfg, &bytes, 300).unwrap();
+        let got: Vec<u64> = trace.events.iter().map(|e| e.pc.0).collect();
+        assert_eq!(got, vec![entry_pcs[0], entry_pcs[1]]);
+    }
+
+    #[test]
+    fn exec_index_covers_every_instruction() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        for f in module.functions() {
+            for inst in f.insts() {
+                assert!(index.get(inst.pc.0).is_some(), "missing {:?}", inst.pc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ovf_tests {
+    use super::*;
+    use crate::packet::PacketEncoder;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+
+    /// An OVF mid-stream desynchronizes the walk until the next PSB
+    /// anchor; events before the OVF and after the re-anchor survive.
+    #[test]
+    fn overflow_resyncs_at_next_psb() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let entry = f.entry();
+        let a = f.block("a");
+        let b = f.block("b");
+        f.switch_to(entry);
+        let x = f.alloca(Type::I64);
+        f.store(x.clone(), Operand::const_int(0), Type::I64);
+        let c = f.eq(Operand::const_int(1), Operand::const_int(1));
+        f.cond_br(c, a, b);
+        f.switch_to(a);
+        f.load(x.clone(), Type::I64);
+        f.halt();
+        f.switch_to(b);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let index = ExecIndex::build(&m);
+        let main = m.func_by_name("main").unwrap();
+        let entry_pc = main.blocks[0].insts[0].pc.0;
+        let a_load = main.blocks[1].insts[0].pc;
+        let a_halt = main.blocks[1].insts[1].pc;
+
+        // Hand-assemble: PSB TSC FUP(entry) OVF PSB TSC FUP(a_load)
+        // FUP(a_halt as async marker).
+        let mut enc = PacketEncoder::new();
+        let mut bytes = Vec::new();
+        for p in [
+            Packet::Psb,
+            Packet::Tsc { tsc: 100 },
+            Packet::Fup { pc: entry_pc },
+            Packet::Ovf,
+            Packet::Psb,
+            Packet::Tsc { tsc: 500 },
+            Packet::Fup { pc: a_load.0 },
+            Packet::Fup { pc: a_halt.0 },
+        ] {
+            enc.encode(&p, &mut bytes);
+        }
+        let trace = decode_thread_trace(&index, &TraceConfig::default(), &bytes, 1000).unwrap();
+        // The post-resync events decode; nothing from before the OVF
+        // (no control packet arrived to walk them).
+        let pcs: Vec<u64> = trace.events.iter().map(|e| e.pc.0).collect();
+        assert_eq!(pcs, vec![a_load.0, a_halt.0]);
+        // Times re-anchored after the OVF.
+        assert!(trace.events[0].time.lo >= 500);
+    }
+}

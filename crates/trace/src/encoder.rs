@@ -1,0 +1,447 @@
+//! The per-thread trace encoder.
+//!
+//! The execution substrate feeds the encoder with control-flow events
+//! (conditional-branch outcomes, indirect targets, returns) and the
+//! current virtual TSC. The encoder packs branch outcomes into TNT
+//! packets, compresses indirect targets against the last IP, injects
+//! timing packets (MTC on coarse-counter boundaries, CYC deltas before
+//! control packets, full TSC re-anchors after PSB or long gaps), and
+//! writes everything into the thread's ring buffer.
+//!
+//! Timing packets are emitted at the highest frequency the protocol
+//! allows, as the paper configures its driver (§5): a CYC before every
+//! control packet when any quantized time has passed, and an MTC whenever
+//! the coarse counter ticks.
+
+use crate::config::TraceConfig;
+use crate::packet::{Packet, PacketEncoder};
+use crate::ring::RingBuffer;
+use crate::stats::TraceStats;
+
+/// Encodes one thread's control-flow trace into a ring buffer.
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    config: TraceConfig,
+    ring: RingBuffer,
+    penc: PacketEncoder,
+    /// Pending TNT bits (bit `i` = `i`-th oldest outcome).
+    tnt_bits: u8,
+    tnt_count: u8,
+    /// Coarse-counter value at the last MTC/TSC emission.
+    last_ctc: u64,
+    /// Reconstructed "decoder view" of the last emitted timing value, in
+    /// ns. CYC deltas are computed against this (not against the exact
+    /// TSC) so encoder and decoder reconstructions cannot drift apart.
+    last_timing_ns: u64,
+    /// Payload bytes since the last PSB.
+    bytes_since_psb: usize,
+    /// Whether `start` has been called.
+    started: bool,
+    /// Spilled ("persisted") trace bytes when spill mode is on.
+    spill: Vec<u8>,
+    /// Number of buffer flushes to storage performed.
+    spill_flushes: u64,
+    stats: TraceStats,
+}
+
+impl Encoder {
+    /// Creates an encoder with its ring buffer.
+    pub fn new(config: TraceConfig) -> Encoder {
+        let ring = RingBuffer::new(config.buffer_size);
+        Encoder {
+            config,
+            ring,
+            penc: PacketEncoder::new(),
+            tnt_bits: 0,
+            tnt_count: 0,
+            last_ctc: 0,
+            last_timing_ns: 0,
+            bytes_since_psb: 0,
+            started: false,
+            spill: Vec::new(),
+            spill_flushes: 0,
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// Running statistics (packet and event counts, bytes written).
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Total bytes written over the encoder's lifetime (monotonic even
+    /// across spill-mode buffer resets); the execution substrate uses
+    /// the delta between calls to charge the modelled hardware tracing
+    /// cost.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.bytes
+    }
+
+    fn write(&mut self, packet: &Packet) {
+        let mut buf = Vec::with_capacity(12);
+        let n = self.penc.encode(packet, &mut buf);
+        if self.config.spill_to_storage && self.ring.used() + n > self.ring.capacity() {
+            // The buffer is about to overwrite: drain it to storage
+            // first (§7's full-trace mode).
+            self.spill.extend_from_slice(&self.ring.snapshot());
+            self.ring.clear();
+            self.spill_flushes += 1;
+        }
+        self.ring.write(&buf);
+        self.bytes_since_psb += n;
+        self.stats.bytes += n as u64;
+        if packet.is_timing() {
+            self.stats.timing_packets += 1;
+            self.stats.timing_bytes += n as u64;
+        } else if packet.is_control() {
+            self.stats.control_packets += 1;
+        } else {
+            self.stats.sync_packets += 1;
+        }
+    }
+
+    fn flush_tnt(&mut self) {
+        if self.tnt_count > 0 {
+            let p = Packet::Tnt {
+                bits: self.tnt_bits,
+                count: self.tnt_count,
+            };
+            self.tnt_bits = 0;
+            self.tnt_count = 0;
+            self.write(&p);
+        }
+    }
+
+    /// Emits a PSB sync sequence: PSB + TSC + FUP(current pc).
+    fn emit_psb(&mut self, pc: u64, tsc: u64) {
+        self.flush_tnt();
+        self.write(&Packet::Psb);
+        if self.config.timing_enabled {
+            self.write(&Packet::Tsc { tsc });
+            self.last_timing_ns = tsc;
+            self.last_ctc = tsc / self.config.ctc_period_ns;
+        }
+        self.write(&Packet::Fup { pc });
+        self.bytes_since_psb = 0;
+    }
+
+    fn maybe_psb(&mut self, pc: u64, tsc: u64) {
+        if self.bytes_since_psb >= self.config.psb_period_bytes {
+            self.emit_psb(pc, tsc);
+        }
+    }
+
+    /// Emits timing packets needed to bring the decoder's clock close to
+    /// `tsc`. Called before control packets and on explicit ticks.
+    fn emit_timing(&mut self, tsc: u64) {
+        if !self.config.timing_enabled {
+            return;
+        }
+        let ctc = tsc / self.config.ctc_period_ns;
+        if ctc != self.last_ctc {
+            self.flush_tnt();
+            // A wrap-ambiguous gap gets a full TSC re-anchor; a small gap
+            // gets a compact MTC.
+            if ctc - self.last_ctc >= 128 {
+                self.write(&Packet::Tsc { tsc });
+                self.last_timing_ns = tsc;
+            } else {
+                self.write(&Packet::Mtc {
+                    ctc: (ctc & 0xff) as u8,
+                });
+                self.last_timing_ns = ctc * self.config.ctc_period_ns;
+            }
+            self.last_ctc = ctc;
+        } else if tsc > self.last_timing_ns {
+            let delta = (tsc - self.last_timing_ns) >> self.config.cyc_shift;
+            if delta > 0 {
+                self.flush_tnt();
+                self.write(&Packet::Cyc { delta });
+                self.last_timing_ns += delta << self.config.cyc_shift;
+            }
+        }
+    }
+
+    /// Starts the trace: PSB + TSC + FUP at the thread's first PC.
+    pub fn start(&mut self, pc: u64, tsc: u64) {
+        self.emit_psb(pc, tsc);
+        self.started = true;
+    }
+
+    /// Returns `true` once `start` has been called.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Records a conditional-branch outcome at `pc`.
+    pub fn branch(&mut self, pc: u64, taken: bool, tsc: u64) {
+        self.maybe_psb(pc, tsc);
+        self.emit_timing(tsc);
+        if taken {
+            self.tnt_bits |= 1 << self.tnt_count;
+        }
+        self.tnt_count += 1;
+        self.stats.control_events += 1;
+        if self.tnt_count == 6 {
+            self.flush_tnt();
+        }
+    }
+
+    /// Records an indirect control transfer (indirect call or return)
+    /// landing at `target`; `pc` is the transferring instruction.
+    pub fn indirect(&mut self, pc: u64, target: u64, tsc: u64) {
+        self.maybe_psb(pc, tsc);
+        self.emit_timing(tsc);
+        self.flush_tnt();
+        self.stats.control_events += 1;
+        self.write(&Packet::Tip { pc: target });
+    }
+
+    /// Advances the timing stream without a control event (the VM calls
+    /// this as virtual time passes, e.g. across simulated I/O).
+    pub fn tick(&mut self, tsc: u64) {
+        self.emit_timing(tsc);
+    }
+
+    /// Records an asynchronous flow update at `pc` (emitted when a
+    /// snapshot is taken, so the decoder can walk precisely to the
+    /// triggering instruction).
+    pub fn async_fup(&mut self, pc: u64, tsc: u64) {
+        self.emit_timing(tsc);
+        self.flush_tnt();
+        self.write(&Packet::Fup { pc });
+    }
+
+    /// Flushes pending state and returns the retained trace bytes: the
+    /// ring contents, prefixed by the spilled history when spill mode
+    /// is on (the full execution trace).
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        self.flush_tnt();
+        if self.spill.is_empty() {
+            self.ring.snapshot()
+        } else {
+            let mut out = self.spill.clone();
+            out.extend_from_slice(&self.ring.snapshot());
+            out
+        }
+    }
+
+    /// Buffer flushes to storage performed so far (spill mode).
+    pub fn spill_flushes(&self) -> u64 {
+        self.spill_flushes
+    }
+
+    /// Returns `true` if the ring buffer has overwritten old data.
+    pub fn wrapped(&self) -> bool {
+        self.ring.wrapped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketDecoder;
+
+    fn decode_all(bytes: &[u8]) -> Vec<Packet> {
+        let mut dec = PacketDecoder::new(bytes);
+        assert!(dec.sync_to_psb());
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_packet().unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn start_emits_sync_sequence() {
+        let mut e = Encoder::new(TraceConfig::default());
+        e.start(0x40_0000, 1_000_000);
+        let pk = decode_all(&e.snapshot());
+        assert_eq!(pk[0], Packet::Psb);
+        assert_eq!(pk[1], Packet::Tsc { tsc: 1_000_000 });
+        assert_eq!(pk[2], Packet::Fup { pc: 0x40_0000 });
+    }
+
+    #[test]
+    fn six_branches_pack_into_one_tnt() {
+        let mut e = Encoder::new(TraceConfig::default());
+        e.start(0x40_0000, 0);
+        for i in 0..6 {
+            e.branch(0x40_0000 + i * 4, i % 2 == 0, 10);
+        }
+        let pk = decode_all(&e.snapshot());
+        let tnts: Vec<&Packet> = pk
+            .iter()
+            .filter(|p| matches!(p, Packet::Tnt { .. }))
+            .collect();
+        assert_eq!(tnts.len(), 1);
+        assert_eq!(
+            *tnts[0],
+            Packet::Tnt {
+                bits: 0b010101,
+                count: 6
+            }
+        );
+    }
+
+    #[test]
+    fn partial_tnt_flushes_on_snapshot() {
+        let mut e = Encoder::new(TraceConfig::default());
+        e.start(0x40_0000, 0);
+        e.branch(0x40_0004, true, 10);
+        e.branch(0x40_0008, true, 20);
+        let pk = decode_all(&e.snapshot());
+        assert!(pk.contains(&Packet::Tnt {
+            bits: 0b11,
+            count: 2
+        }));
+    }
+
+    #[test]
+    fn mtc_emitted_on_coarse_boundary() {
+        let cfg = TraceConfig {
+            ctc_period_ns: 1000,
+            ..TraceConfig::default()
+        };
+        let mut e = Encoder::new(cfg);
+        e.start(0x40_0000, 0);
+        e.branch(0x40_0004, true, 500); // Same period: CYC at most.
+        e.branch(0x40_0008, true, 1500); // Crosses boundary: MTC.
+        let pk = decode_all(&e.snapshot());
+        assert!(
+            pk.iter().any(|p| matches!(p, Packet::Mtc { ctc: 1 })),
+            "{pk:?}"
+        );
+    }
+
+    #[test]
+    fn long_gap_reanchors_with_tsc() {
+        let cfg = TraceConfig {
+            ctc_period_ns: 1000,
+            ..TraceConfig::default()
+        };
+        let mut e = Encoder::new(cfg);
+        e.start(0x40_0000, 0);
+        e.tick(10_000_000); // 10 ms later: >=128 periods.
+        let pk = decode_all(&e.snapshot());
+        assert!(
+            pk.iter()
+                .any(|p| matches!(p, Packet::Tsc { tsc: 10_000_000 })),
+            "{pk:?}"
+        );
+    }
+
+    #[test]
+    fn cyc_quantizes_small_deltas() {
+        let cfg = TraceConfig {
+            cyc_shift: 8,
+            ctc_period_ns: 1 << 30,
+            ..TraceConfig::default()
+        };
+        let mut e = Encoder::new(cfg);
+        e.start(0x40_0000, 0);
+        e.branch(0x40_0004, true, 100); // < 256 ns: no CYC yet.
+        e.branch(0x40_0008, true, 600); // 600 ns: CYC delta = 2 (512 ns).
+        let pk = decode_all(&e.snapshot());
+        assert!(
+            pk.iter().any(|p| matches!(p, Packet::Cyc { delta: 2 })),
+            "{pk:?}"
+        );
+    }
+
+    #[test]
+    fn timing_disabled_emits_no_timing_packets() {
+        let cfg = TraceConfig {
+            timing_enabled: false,
+            ..TraceConfig::default()
+        };
+        let mut e = Encoder::new(cfg);
+        e.start(0x40_0000, 0);
+        e.branch(0x40_0004, true, 123_456);
+        e.tick(999_999_999);
+        let pk = decode_all(&e.snapshot());
+        assert!(pk.iter().all(|p| !p.is_timing()), "{pk:?}");
+        assert_eq!(e.stats().timing_packets, 0);
+    }
+
+    #[test]
+    fn psb_reinserted_after_period() {
+        let cfg = TraceConfig {
+            psb_period_bytes: 32,
+            ..TraceConfig::default()
+        };
+        let mut e = Encoder::new(cfg);
+        e.start(0x40_0000, 0);
+        for i in 0..200u64 {
+            e.indirect(0x40_0000 + i * 4, 0x41_0000 + (i % 7) * 64, i * 10);
+        }
+        let pk = decode_all(&e.snapshot());
+        let psbs = pk.iter().filter(|p| matches!(p, Packet::Psb)).count();
+        assert!(psbs >= 2, "expected multiple PSBs, got {psbs}");
+    }
+
+    #[test]
+    fn stats_count_events_and_packets() {
+        let mut e = Encoder::new(TraceConfig::default());
+        e.start(0x40_0000, 0);
+        for i in 0..10 {
+            e.branch(0x40_0004, i % 2 == 0, (i as u64) * 1000);
+        }
+        e.indirect(0x40_0030, 0x40_0100, 11_000);
+        assert_eq!(e.stats().control_events, 11);
+        assert!(e.stats().control_packets >= 2);
+        assert!(e.stats().bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+    use crate::packet::PacketDecoder;
+
+    #[test]
+    fn spill_mode_retains_the_full_trace() {
+        let cfg = TraceConfig {
+            buffer_size: 64,
+            spill_to_storage: true,
+            psb_period_bytes: 24,
+            ..TraceConfig::default()
+        };
+        let mut spilling = Encoder::new(cfg.clone());
+        let mut ring_only = Encoder::new(TraceConfig {
+            spill_to_storage: false,
+            buffer_size: 64,
+            psb_period_bytes: 24,
+            ..TraceConfig::default()
+        });
+        spilling.start(0x40_0000, 0);
+        ring_only.start(0x40_0000, 0);
+        for i in 0..200u64 {
+            spilling.indirect(0x40_0000 + i * 4, 0x41_0000 + (i % 5) * 64, i * 50);
+            ring_only.indirect(0x40_0000 + i * 4, 0x41_0000 + (i % 5) * 64, i * 50);
+        }
+        assert!(spilling.spill_flushes() > 0);
+        assert_eq!(ring_only.spill_flushes(), 0);
+        let full = spilling.snapshot();
+        let windowed = ring_only.snapshot();
+        // The spilled trace holds the entire history; the ring only a
+        // suffix window.
+        assert!(
+            full.len() > windowed.len() * 2,
+            "{} vs {}",
+            full.len(),
+            windowed.len()
+        );
+        // And it decodes from the very first packet: PSB TSC FUP anchor
+        // at the start PC.
+        let mut dec = PacketDecoder::new(&full);
+        assert!(dec.sync_to_psb());
+        assert_eq!(dec.position(), 0, "no truncated head in spill mode");
+        assert_eq!(dec.next_packet().unwrap(), Some(Packet::Psb));
+        assert_eq!(dec.next_packet().unwrap(), Some(Packet::Tsc { tsc: 0 }));
+        assert_eq!(
+            dec.next_packet().unwrap(),
+            Some(Packet::Fup { pc: 0x40_0000 })
+        );
+    }
+}

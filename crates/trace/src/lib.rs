@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # lazy-trace — hardware-style control-flow tracing
+//!
+//! This crate models the Intel Processor Trace (PT) capability that
+//! Snorlax's client side depends on (§5 of the paper), at the level of
+//! fidelity the diagnosis server actually observes:
+//!
+//! * **Packets** ([`packet`]): a byte-level packet protocol mirroring PT's
+//!   — `PSB` sync points, `TNT` packed taken/not-taken conditional-branch
+//!   bits, `TIP` indirect-target packets with last-IP compression, `FUP`
+//!   flow updates, and the timing packets `TSC`, `MTC`, and `CYC`. Timing
+//!   packets are *coarse and quantized*; this is the crate-level
+//!   embodiment of the coarse interleaving hypothesis: the decoder can
+//!   recover only a partial order of instructions.
+//! * **Ring buffers** ([`ring`]): per-thread fixed-size buffers with
+//!   overwrite-oldest semantics (the paper's 64 KB default), so a
+//!   snapshot may begin mid-packet and the decoder must re-synchronize at
+//!   the first `PSB`.
+//! * **Encoder/decoder** ([`encoder`], [`decoder`]): the encoder is fed by
+//!   the execution substrate (branch outcomes, indirect targets, virtual
+//!   TSC); the decoder replays the module CFG against the packet stream
+//!   and produces a [`DecodedTrace`] of executed instructions with
+//!   [`TimeBounds`] windows between timing packets.
+//! * **Driver** ([`driver`]): the kernel-driver facade — per-thread
+//!   buffers, snapshot-on-failure, and breakpoint-PC-triggered snapshots
+//!   (the paper's ioctl interface used to collect traces from *successful*
+//!   executions at a previous failure's location).
+
+pub mod config;
+pub mod decoder;
+pub mod driver;
+pub mod encoder;
+pub mod packet;
+pub mod ring;
+pub mod stats;
+pub mod wire;
+
+pub use config::TraceConfig;
+pub use decoder::{
+    decode_thread_trace, DecodeError, DecodedEvent, DecodedTrace, ExecIndex, TimeBounds,
+    EXIT_TARGET,
+};
+pub use driver::{SnapshotTrigger, ThreadTrace, TraceDriver, TraceSnapshot};
+pub use encoder::Encoder;
+pub use packet::{Packet, PacketDecoder, PacketEncoder};
+pub use ring::RingBuffer;
+pub use stats::TraceStats;
+pub use wire::{decode_snapshot, encode_snapshot, WireError, WIRE_VERSION};

@@ -1,0 +1,464 @@
+//! The packet protocol: byte-level encoding and decoding.
+//!
+//! The wire format deliberately mirrors Intel PT's structure (leading
+//! opcode byte, two-byte extended opcodes behind `0x02`, packed TNT
+//! payloads, last-IP compression for target packets) without copying its
+//! exact bit layouts. What matters for the reproduction is the
+//! *information content* and the *cost structure*: control packets are a
+//! couple of bytes, timing packets are small but frequent, and indirect
+//! targets compress against the previously emitted IP.
+//!
+//! | Packet | Encoding | Meaning |
+//! |--------|----------|---------|
+//! | `PSB`  | `02 82`  | Stream sync point |
+//! | `OVF`  | `02 F3`  | Internal buffer overflow; decode resumes at next `PSB` |
+//! | `TNT`  | `40|n` + bits byte | `n` (1–6) conditional-branch outcomes, oldest in bit 0 |
+//! | `TIP`  | `10` + zigzag-LEB128 delta | Indirect branch/return target, relative to last IP |
+//! | `FUP`  | `11` + zigzag-LEB128 delta | Current PC at a sync or async event |
+//! | `TSC`  | `19` + 8-byte LE | Full virtual timestamp (after `PSB`) |
+//! | `MTC`  | `59` + 1 byte | Low 8 bits of the coarse time counter |
+//! | `CYC`  | `03` + LEB128 | Quantized time delta since the last timing packet |
+
+use std::fmt;
+
+/// A decoded trace packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Packet {
+    /// Stream synchronization point.
+    Psb,
+    /// The tracer lost packets; decode must resynchronize.
+    Ovf,
+    /// Packed conditional-branch outcomes; `bits` bit `i` is the `i`-th
+    /// oldest outcome, `count` in `1..=6`.
+    Tnt {
+        /// Outcome bits, oldest in bit 0.
+        bits: u8,
+        /// Number of valid bits (1–6).
+        count: u8,
+    },
+    /// Indirect-branch / return target.
+    Tip {
+        /// The landing PC.
+        pc: u64,
+    },
+    /// Flow update (current PC), emitted after `PSB` and at asynchronous
+    /// events such as failure snapshots.
+    Fup {
+        /// The current PC.
+        pc: u64,
+    },
+    /// Full timestamp, emitted after `PSB`.
+    Tsc {
+        /// The virtual TSC value.
+        tsc: u64,
+    },
+    /// Coarse time counter (low 8 bits of `tsc / ctc_period`).
+    Mtc {
+        /// Low 8 bits of the coarse counter.
+        ctc: u8,
+    },
+    /// Quantized delta since the previous timing packet, in units of
+    /// `1 << cyc_shift` nanoseconds.
+    Cyc {
+        /// The quantized delta.
+        delta: u64,
+    },
+}
+
+impl Packet {
+    /// Returns `true` for the timing packets (`TSC`, `MTC`, `CYC`).
+    pub fn is_timing(&self) -> bool {
+        matches!(
+            self,
+            Packet::Tsc { .. } | Packet::Mtc { .. } | Packet::Cyc { .. }
+        )
+    }
+
+    /// Returns `true` for control-flow packets (`TNT`, `TIP`, `FUP`).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Packet::Tnt { .. } | Packet::Tip { .. } | Packet::Fup { .. }
+        )
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Psb => write!(f, "PSB"),
+            Packet::Ovf => write!(f, "OVF"),
+            Packet::Tnt { bits, count } => write!(f, "TNT[{count}]={bits:06b}"),
+            Packet::Tip { pc } => write!(f, "TIP {pc:#x}"),
+            Packet::Fup { pc } => write!(f, "FUP {pc:#x}"),
+            Packet::Tsc { tsc } => write!(f, "TSC {tsc}"),
+            Packet::Mtc { ctc } => write!(f, "MTC {ctc}"),
+            Packet::Cyc { delta } => write!(f, "CYC {delta}"),
+        }
+    }
+}
+
+const OP_EXT: u8 = 0x02;
+const EXT_PSB: u8 = 0x82;
+const EXT_OVF: u8 = 0xF3;
+const OP_CYC: u8 = 0x03;
+const OP_TIP: u8 = 0x10;
+const OP_FUP: u8 = 0x11;
+const OP_TSC: u8 = 0x19;
+const OP_TNT_BASE: u8 = 0x40;
+const OP_MTC: u8 = 0x59;
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_leb128(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_leb128(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Serializes packets, maintaining last-IP compression state.
+///
+/// The encoder and decoder must process the same packet sequence for the
+/// IP compression to stay in sync; `PSB` resets the compression state (as
+/// real PT decoders assume).
+#[derive(Clone, Debug, Default)]
+pub struct PacketEncoder {
+    last_ip: u64,
+}
+
+impl PacketEncoder {
+    /// Creates an encoder with cleared compression state.
+    pub fn new() -> PacketEncoder {
+        PacketEncoder::default()
+    }
+
+    /// Appends the encoding of `packet` to `out`, returning the number of
+    /// bytes written.
+    pub fn encode(&mut self, packet: &Packet, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        match packet {
+            Packet::Psb => {
+                // A repeated 4-byte pattern, like real PT's 16-byte PSB:
+                // long enough that payload bytes cannot false-sync.
+                out.extend_from_slice(&[OP_EXT, EXT_PSB, OP_EXT, EXT_PSB]);
+                self.last_ip = 0;
+            }
+            Packet::Ovf => out.extend_from_slice(&[OP_EXT, EXT_OVF]),
+            Packet::Tnt { bits, count } => {
+                debug_assert!((1..=6).contains(count), "TNT count out of range");
+                out.push(OP_TNT_BASE | count);
+                out.push(*bits);
+            }
+            Packet::Tip { pc } => {
+                out.push(OP_TIP);
+                let delta = *pc as i64 - self.last_ip as i64;
+                push_leb128(out, zigzag(delta));
+                self.last_ip = *pc;
+            }
+            Packet::Fup { pc } => {
+                out.push(OP_FUP);
+                let delta = *pc as i64 - self.last_ip as i64;
+                push_leb128(out, zigzag(delta));
+                self.last_ip = *pc;
+            }
+            Packet::Tsc { tsc } => {
+                out.push(OP_TSC);
+                out.extend_from_slice(&tsc.to_le_bytes());
+            }
+            Packet::Mtc { ctc } => {
+                out.push(OP_MTC);
+                out.push(*ctc);
+            }
+            Packet::Cyc { delta } => {
+                out.push(OP_CYC);
+                push_leb128(out, *delta);
+            }
+        }
+        out.len() - start
+    }
+}
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// The stream ended in the middle of a packet.
+    Truncated,
+    /// An unknown opcode byte was encountered.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "truncated packet"),
+            PacketError::BadOpcode(op) => write!(f, "unknown packet opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Deserializes a packet stream, maintaining last-IP compression state.
+#[derive(Clone, Debug)]
+pub struct PacketDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    last_ip: u64,
+}
+
+impl<'a> PacketDecoder<'a> {
+    /// Creates a decoder over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> PacketDecoder<'a> {
+        PacketDecoder {
+            bytes,
+            pos: 0,
+            last_ip: 0,
+        }
+    }
+
+    /// Current byte offset into the stream.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Skips forward to the first `PSB` at or after the current position.
+    ///
+    /// Returns `false` if no `PSB` exists in the remainder of the stream.
+    /// This is how decoding begins on a wrapped ring-buffer snapshot,
+    /// whose head may start mid-packet.
+    pub fn sync_to_psb(&mut self) -> bool {
+        while self.pos + 3 < self.bytes.len() {
+            if self.bytes[self.pos..self.pos + 4] == [OP_EXT, EXT_PSB, OP_EXT, EXT_PSB] {
+                return true;
+            }
+            self.pos += 1;
+        }
+        false
+    }
+
+    /// Decodes the next packet.
+    ///
+    /// Returns `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation mid-packet or an unknown
+    /// opcode (possible when decode starts at a misaligned offset).
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, PacketError> {
+        let Some(&op) = self.bytes.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let take = |s: &mut Self| -> Result<u8, PacketError> {
+            let b = *s.bytes.get(s.pos).ok_or(PacketError::Truncated)?;
+            s.pos += 1;
+            Ok(b)
+        };
+        match op {
+            OP_EXT => {
+                let ext = take(self)?;
+                match ext {
+                    EXT_PSB => {
+                        // Consume the second half of the 4-byte pattern.
+                        let b2 = take(self)?;
+                        let b3 = take(self)?;
+                        if (b2, b3) != (OP_EXT, EXT_PSB) {
+                            return Err(PacketError::BadOpcode(b2));
+                        }
+                        self.last_ip = 0;
+                        Ok(Some(Packet::Psb))
+                    }
+                    EXT_OVF => Ok(Some(Packet::Ovf)),
+                    other => Err(PacketError::BadOpcode(other)),
+                }
+            }
+            OP_CYC => {
+                let delta = read_leb128(self.bytes, &mut self.pos).ok_or(PacketError::Truncated)?;
+                Ok(Some(Packet::Cyc { delta }))
+            }
+            OP_TIP | OP_FUP => {
+                let z = read_leb128(self.bytes, &mut self.pos).ok_or(PacketError::Truncated)?;
+                let pc = (self.last_ip as i64 + unzigzag(z)) as u64;
+                self.last_ip = pc;
+                Ok(Some(if op == OP_TIP {
+                    Packet::Tip { pc }
+                } else {
+                    Packet::Fup { pc }
+                }))
+            }
+            OP_TSC => {
+                if self.pos + 8 > self.bytes.len() {
+                    return Err(PacketError::Truncated);
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+                self.pos += 8;
+                Ok(Some(Packet::Tsc {
+                    tsc: u64::from_le_bytes(raw),
+                }))
+            }
+            OP_MTC => {
+                let ctc = take(self)?;
+                Ok(Some(Packet::Mtc { ctc }))
+            }
+            op if op & 0xf8 == OP_TNT_BASE && (1..=6).contains(&(op & 0x07)) => {
+                let bits = take(self)?;
+                Ok(Some(Packet::Tnt {
+                    bits,
+                    count: op & 0x07,
+                }))
+            }
+            other => Err(PacketError::BadOpcode(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(packets: &[Packet]) -> Vec<Packet> {
+        let mut enc = PacketEncoder::new();
+        let mut bytes = Vec::new();
+        for p in packets {
+            enc.encode(p, &mut bytes);
+        }
+        let mut dec = PacketDecoder::new(&bytes);
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_packet().unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_all_packet_kinds() {
+        let packets = vec![
+            Packet::Psb,
+            Packet::Tsc { tsc: 123_456_789 },
+            Packet::Fup { pc: 0x40_0040 },
+            Packet::Tnt {
+                bits: 0b101,
+                count: 3,
+            },
+            Packet::Mtc { ctc: 42 },
+            Packet::Cyc { delta: 300 },
+            Packet::Tip { pc: 0x40_0100 },
+            Packet::Ovf,
+            Packet::Psb,
+            Packet::Tsc { tsc: 999 },
+            Packet::Fup { pc: 0x41_0000 },
+        ];
+        assert_eq!(roundtrip(&packets), packets);
+    }
+
+    #[test]
+    fn ip_compression_shrinks_nearby_targets() {
+        let mut enc = PacketEncoder::new();
+        let mut far = Vec::new();
+        enc.encode(
+            &Packet::Tip {
+                pc: 0x7fff_0000_0000,
+            },
+            &mut far,
+        );
+        let mut near = Vec::new();
+        enc.encode(
+            &Packet::Tip {
+                pc: 0x7fff_0000_0010,
+            },
+            &mut near,
+        );
+        assert!(near.len() < far.len(), "{} vs {}", near.len(), far.len());
+    }
+
+    #[test]
+    fn psb_resets_compression_state() {
+        let packets = vec![
+            Packet::Tip { pc: 0x40_2000 },
+            Packet::Psb,
+            Packet::Tip { pc: 0x40_2000 },
+        ];
+        assert_eq!(roundtrip(&packets), packets);
+    }
+
+    #[test]
+    fn sync_to_psb_skips_garbage() {
+        let mut enc = PacketEncoder::new();
+        let mut bytes = vec![0xAA, 0xBB, 0x40]; // Garbage prefix.
+        enc.encode(&Packet::Psb, &mut bytes);
+        enc.encode(&Packet::Tsc { tsc: 7 }, &mut bytes);
+        let mut dec = PacketDecoder::new(&bytes);
+        assert!(dec.sync_to_psb());
+        assert_eq!(dec.next_packet().unwrap(), Some(Packet::Psb));
+        assert_eq!(dec.next_packet().unwrap(), Some(Packet::Tsc { tsc: 7 }));
+        assert_eq!(dec.next_packet().unwrap(), None);
+    }
+
+    #[test]
+    fn sync_fails_without_psb() {
+        let bytes = vec![0x40, 0x01, 0x59, 0x02];
+        let mut dec = PacketDecoder::new(&bytes);
+        assert!(!dec.sync_to_psb());
+    }
+
+    #[test]
+    fn truncated_tsc_is_error() {
+        let mut enc = PacketEncoder::new();
+        let mut bytes = Vec::new();
+        enc.encode(&Packet::Tsc { tsc: u64::MAX }, &mut bytes);
+        bytes.truncate(bytes.len() - 3);
+        let mut dec = PacketDecoder::new(&bytes);
+        assert_eq!(dec.next_packet(), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn bad_opcode_is_error() {
+        let mut dec = PacketDecoder::new(&[0xFF]);
+        assert_eq!(dec.next_packet(), Err(PacketError::BadOpcode(0xFF)));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-1_000_000i64, -1, 0, 1, 63, 64, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Packet::Mtc { ctc: 0 }.is_timing());
+        assert!(!Packet::Mtc { ctc: 0 }.is_control());
+        assert!(Packet::Tnt { bits: 0, count: 1 }.is_control());
+        assert!(!Packet::Psb.is_control());
+    }
+}

@@ -1,0 +1,144 @@
+//! Fixed-capacity ring buffers with overwrite-oldest semantics.
+//!
+//! The paper's driver keeps each thread's trace in a memory ring buffer
+//! (64 KB by default) that overwrites itself once full, avoiding all I/O
+//! during normal operation (§5). The consequence the decoder must live
+//! with: a snapshot of a wrapped buffer starts at an arbitrary byte —
+//! usually mid-packet — so decoding synchronizes at the first `PSB`.
+
+/// A byte ring buffer that silently overwrites its oldest contents.
+#[derive(Clone, Debug)]
+pub struct RingBuffer {
+    buf: Vec<u8>,
+    /// Next write offset within `buf`.
+    head: usize,
+    /// Total bytes ever written (may exceed capacity).
+    written: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring buffer with the given capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingBuffer {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            buf: vec![0; capacity],
+            head: 0,
+            written: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes written over the buffer's lifetime.
+    pub fn total_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Returns `true` once old data has been overwritten.
+    pub fn wrapped(&self) -> bool {
+        self.written > self.buf.len() as u64
+    }
+
+    /// Clears the buffer (used by spill mode after draining to
+    /// storage).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.written = 0;
+    }
+
+    /// Bytes currently retained (≤ capacity).
+    pub fn used(&self) -> usize {
+        (self.written as usize).min(self.buf.len())
+    }
+
+    /// Appends bytes, overwriting the oldest data when full.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.buf[self.head] = b;
+            self.head = (self.head + 1) % self.buf.len();
+        }
+        self.written += bytes.len() as u64;
+    }
+
+    /// Returns the retained contents oldest-first.
+    ///
+    /// If the buffer wrapped, the snapshot begins at whatever byte
+    /// happens to be oldest — typically the middle of a packet.
+    pub fn snapshot(&self) -> Vec<u8> {
+        if !self.wrapped() && self.written <= self.buf.len() as u64 {
+            return self.buf[..self.written as usize].to_vec();
+        }
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrapped_snapshot_preserves_order() {
+        let mut r = RingBuffer::new(8);
+        r.write(&[1, 2, 3]);
+        assert_eq!(r.snapshot(), vec![1, 2, 3]);
+        assert!(!r.wrapped());
+        assert_eq!(r.total_written(), 3);
+    }
+
+    #[test]
+    fn wrapped_snapshot_is_oldest_first() {
+        let mut r = RingBuffer::new(4);
+        r.write(&[1, 2, 3, 4, 5, 6]);
+        assert!(r.wrapped());
+        assert_eq!(r.snapshot(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn exactly_full_is_not_wrapped() {
+        let mut r = RingBuffer::new(4);
+        r.write(&[1, 2, 3, 4]);
+        assert!(!r.wrapped());
+        assert_eq!(r.snapshot(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_small_writes_equal_one_big_write() {
+        let mut a = RingBuffer::new(16);
+        let mut b = RingBuffer::new(16);
+        let data: Vec<u8> = (0..100).collect();
+        a.write(&data);
+        for chunk in data.chunks(7) {
+            b.write(chunk);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut r = RingBuffer::new(4);
+        r.write(&[1, 2, 3, 4, 5]);
+        assert!(r.wrapped());
+        r.clear();
+        assert!(!r.wrapped());
+        assert_eq!(r.used(), 0);
+        assert!(r.snapshot().is_empty());
+        r.write(&[9]);
+        assert_eq!(r.snapshot(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::new(0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Wire format for trace snapshots.
+//!
+//! The paper's deployment is client-server: production machines ship
+//! trace snapshots to the analysis server (§4, Figure 2). This module
+//! is that transport — a versioned, checksummed binary encoding of a
+//! [`TraceSnapshot`], so snapshots can cross a socket or be archived
+//! and re-analyzed later. The format is deliberately simple
+//! (little-endian, length-prefixed) and self-validating: corruption or
+//! truncation is detected before any bytes reach the decoder.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "LZTR" | version u16 | trigger u8 | trigger_tid u32
+//! | trigger_pc u64 | taken_at u64 | thread_count u32
+//! | thread*   (tid u32 | wrapped u8 | stats 6×u64 | len u32 | bytes)
+//! | fnv1a32 checksum over everything above
+//! ```
+
+use crate::driver::{SnapshotTrigger, ThreadTrace, TraceSnapshot};
+use crate::stats::TraceStats;
+use std::fmt;
+
+/// Current wire-format version.
+pub const WIRE_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"LZTR";
+
+/// A wire decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer does not begin with the snapshot magic.
+    BadMagic,
+    /// The version is not one this decoder understands.
+    BadVersion(u16),
+    /// The buffer ends before the encoded length.
+    Truncated,
+    /// The checksum does not match (corruption in transit).
+    BadChecksum,
+    /// An enum discriminant is out of range.
+    BadField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a trace snapshot (bad magic)"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Truncated => write!(f, "snapshot truncated"),
+            WireError::BadChecksum => write!(f, "snapshot checksum mismatch"),
+            WireError::BadField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn trigger_code(t: SnapshotTrigger) -> u8 {
+    match t {
+        SnapshotTrigger::Failure => 0,
+        SnapshotTrigger::Breakpoint => 1,
+        SnapshotTrigger::OnDemand => 2,
+    }
+}
+
+fn trigger_from(code: u8) -> Result<SnapshotTrigger, WireError> {
+    match code {
+        0 => Ok(SnapshotTrigger::Failure),
+        1 => Ok(SnapshotTrigger::Breakpoint),
+        2 => Ok(SnapshotTrigger::OnDemand),
+        _ => Err(WireError::BadField("trigger")),
+    }
+}
+
+/// Serializes a snapshot to its wire form.
+pub fn encode_snapshot(snap: &TraceSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + snap
+            .threads
+            .iter()
+            .map(|t| t.bytes.len() + 64)
+            .sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(trigger_code(snap.trigger));
+    out.extend_from_slice(&snap.trigger_tid.to_le_bytes());
+    out.extend_from_slice(&snap.trigger_pc.to_le_bytes());
+    out.extend_from_slice(&snap.taken_at.to_le_bytes());
+    out.extend_from_slice(&(snap.threads.len() as u32).to_le_bytes());
+    for t in &snap.threads {
+        out.extend_from_slice(&t.tid.to_le_bytes());
+        out.push(u8::from(t.wrapped));
+        for v in [
+            t.stats.control_events,
+            t.stats.control_packets,
+            t.stats.timing_packets,
+            t.stats.timing_bytes,
+            t.stats.sync_packets,
+            t.stats.bytes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(t.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&t.bytes);
+    }
+    let sum = fnv1a32(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+}
+
+/// Parses a snapshot from its wire form.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for anything malformed: wrong magic or
+/// version, truncation, field corruption, or checksum mismatch.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
+    if bytes.len() < 4 + 2 + 4 {
+        return Err(WireError::Truncated);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    // Validate the checksum over everything but the trailing word.
+    let body = &bytes[..bytes.len() - 4];
+    let expect = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("len"));
+    if fnv1a32(body) != expect {
+        return Err(WireError::BadChecksum);
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 4,
+    };
+    let version = r.u16()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let trigger = trigger_from(r.u8()?)?;
+    let trigger_tid = r.u32()?;
+    let trigger_pc = r.u64()?;
+    let taken_at = r.u64()?;
+    let nthreads = r.u32()? as usize;
+    let mut threads = Vec::with_capacity(nthreads.min(1024));
+    for _ in 0..nthreads {
+        let tid = r.u32()?;
+        let wrapped = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::BadField("wrapped")),
+        };
+        let stats = TraceStats {
+            control_events: r.u64()?,
+            control_packets: r.u64()?,
+            timing_packets: r.u64()?,
+            timing_bytes: r.u64()?,
+            sync_packets: r.u64()?,
+            bytes: r.u64()?,
+        };
+        let len = r.u32()? as usize;
+        let data = r.take(len)?.to_vec();
+        threads.push(ThreadTrace {
+            tid,
+            bytes: data,
+            stats,
+            wrapped,
+        });
+    }
+    if r.pos != body.len() {
+        return Err(WireError::BadField("trailing bytes"));
+    }
+    Ok(TraceSnapshot {
+        threads,
+        taken_at,
+        trigger_tid,
+        trigger_pc,
+        trigger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![
+                ThreadTrace {
+                    tid: 0,
+                    bytes: vec![1, 2, 3, 4, 5],
+                    stats: TraceStats {
+                        control_events: 10,
+                        control_packets: 4,
+                        timing_packets: 7,
+                        timing_bytes: 14,
+                        sync_packets: 1,
+                        bytes: 40,
+                    },
+                    wrapped: false,
+                },
+                ThreadTrace {
+                    tid: 3,
+                    bytes: vec![],
+                    stats: TraceStats::default(),
+                    wrapped: true,
+                },
+            ],
+            taken_at: 123_456_789,
+            trigger_tid: 3,
+            trigger_pc: 0x40_0040,
+            trigger: SnapshotTrigger::Failure,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let snap = sample();
+        let wire = encode_snapshot(&snap);
+        let back = decode_snapshot(&wire).unwrap();
+        assert_eq!(back.taken_at, snap.taken_at);
+        assert_eq!(back.trigger_tid, snap.trigger_tid);
+        assert_eq!(back.trigger_pc, snap.trigger_pc);
+        assert_eq!(back.trigger, snap.trigger);
+        assert_eq!(back.threads.len(), 2);
+        assert_eq!(back.threads[0].bytes, snap.threads[0].bytes);
+        assert_eq!(back.threads[0].stats, snap.threads[0].stats);
+        assert_eq!(back.threads[1].wrapped, true);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut wire = encode_snapshot(&sample());
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        assert_eq!(decode_snapshot(&wire), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let wire = encode_snapshot(&sample());
+        for cut in [0, 3, 7, wire.len() / 2, wire.len() - 1] {
+            let err = decode_snapshot(&wire[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadChecksum),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut wire = encode_snapshot(&sample());
+        wire[0] = b'X';
+        assert_eq!(decode_snapshot(&wire), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut wire = encode_snapshot(&sample());
+        // Bump the version and re-checksum so only the version differs.
+        wire[4] = 0xfe;
+        let n = wire.len();
+        let sum = super::fnv1a32(&wire[..n - 4]);
+        wire[n - 4..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_snapshot(&wire), Err(WireError::BadVersion(0xfe)));
+    }
+
+    #[test]
+    fn bad_trigger_is_detected() {
+        let mut wire = encode_snapshot(&sample());
+        wire[6] = 9; // Trigger discriminant.
+        let n = wire.len();
+        let sum = super::fnv1a32(&wire[..n - 4]);
+        wire[n - 4..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_snapshot(&wire), Err(WireError::BadField("trigger")));
+    }
+}

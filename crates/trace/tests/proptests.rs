@@ -1,0 +1,158 @@
+//! Property-based tests of the trace substrate: packet-codec roundtrip,
+//! ring-buffer semantics, and decoder robustness against garbage.
+
+use lazy_trace::{Packet, PacketDecoder, PacketEncoder, RingBuffer};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        Just(Packet::Psb),
+        Just(Packet::Ovf),
+        (0u8..64, 1u8..=6).prop_map(|(bits, count)| Packet::Tnt {
+            bits: bits & ((1 << count) - 1),
+            count
+        }),
+        (0u64..1 << 48).prop_map(|pc| Packet::Tip { pc }),
+        (0u64..1 << 48).prop_map(|pc| Packet::Fup { pc }),
+        any::<u64>().prop_map(|tsc| Packet::Tsc { tsc }),
+        any::<u8>().prop_map(|ctc| Packet::Mtc { ctc }),
+        (0u64..1 << 40).prop_map(|delta| Packet::Cyc { delta }),
+    ]
+}
+
+proptest! {
+    /// Any packet sequence survives an encode/decode roundtrip.
+    #[test]
+    fn packet_roundtrip(packets in prop::collection::vec(arb_packet(), 0..64)) {
+        let mut enc = PacketEncoder::new();
+        let mut bytes = Vec::new();
+        for p in &packets {
+            enc.encode(p, &mut bytes);
+        }
+        let mut dec = PacketDecoder::new(&bytes);
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_packet().unwrap() {
+            out.push(p);
+        }
+        prop_assert_eq!(out, packets);
+    }
+
+    /// The packet decoder never panics on arbitrary bytes, and always
+    /// terminates.
+    #[test]
+    fn decoder_handles_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = PacketDecoder::new(&bytes);
+        let _ = dec.sync_to_psb();
+        let mut guard = 0;
+        loop {
+            match dec.next_packet() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    if !dec.sync_to_psb() {
+                        break;
+                    }
+                }
+            }
+            guard += 1;
+            prop_assert!(guard <= bytes.len() + 8, "decoder failed to make progress");
+        }
+    }
+
+    /// Ring snapshots equal the suffix of the logical byte stream, no
+    /// matter how writes are chunked.
+    #[test]
+    fn ring_is_a_suffix(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        cap in 1usize..128,
+        chunk in 1usize..64,
+    ) {
+        let mut r = RingBuffer::new(cap);
+        for c in data.chunks(chunk) {
+            r.write(c);
+        }
+        let snap = r.snapshot();
+        let expect_len = data.len().min(cap);
+        prop_assert_eq!(snap.len(), if r.wrapped() { cap } else { expect_len });
+        prop_assert_eq!(&snap[..], &data[data.len() - snap.len()..]);
+        prop_assert_eq!(r.total_written(), data.len() as u64);
+    }
+}
+
+mod wire_props {
+    use lazy_trace::driver::SnapshotTrigger;
+    use lazy_trace::{decode_snapshot, encode_snapshot, ThreadTrace, TraceSnapshot, TraceStats};
+    use proptest::prelude::*;
+
+    fn arb_thread() -> impl Strategy<Value = ThreadTrace> {
+        (
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..200),
+            any::<bool>(),
+            any::<[u16; 6]>(),
+        )
+            .prop_map(|(tid, bytes, wrapped, s)| ThreadTrace {
+                tid,
+                bytes,
+                wrapped,
+                stats: TraceStats {
+                    control_events: u64::from(s[0]),
+                    control_packets: u64::from(s[1]),
+                    timing_packets: u64::from(s[2]),
+                    timing_bytes: u64::from(s[3]),
+                    sync_packets: u64::from(s[4]),
+                    bytes: u64::from(s[5]),
+                },
+            })
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = TraceSnapshot> {
+        (
+            prop::collection::vec(arb_thread(), 0..6),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            prop_oneof![
+                Just(SnapshotTrigger::Failure),
+                Just(SnapshotTrigger::Breakpoint),
+                Just(SnapshotTrigger::OnDemand),
+            ],
+        )
+            .prop_map(|(threads, taken_at, trigger_tid, trigger_pc, trigger)| {
+                TraceSnapshot {
+                    threads,
+                    taken_at,
+                    trigger_tid,
+                    trigger_pc,
+                    trigger,
+                }
+            })
+    }
+
+    proptest! {
+        /// Any snapshot survives the wire roundtrip bit-exactly.
+        #[test]
+        fn wire_roundtrip(snap in arb_snapshot()) {
+            let wire = encode_snapshot(&snap);
+            let back = decode_snapshot(&wire).unwrap();
+            prop_assert_eq!(back.taken_at, snap.taken_at);
+            prop_assert_eq!(back.trigger_tid, snap.trigger_tid);
+            prop_assert_eq!(back.trigger_pc, snap.trigger_pc);
+            prop_assert_eq!(back.trigger, snap.trigger);
+            prop_assert_eq!(back.threads.len(), snap.threads.len());
+            for (a, b) in back.threads.iter().zip(&snap.threads) {
+                prop_assert_eq!(a.tid, b.tid);
+                prop_assert_eq!(&a.bytes, &b.bytes);
+                prop_assert_eq!(a.wrapped, b.wrapped);
+                prop_assert_eq!(a.stats, b.stats);
+            }
+        }
+
+        /// Arbitrary garbage never decodes successfully by accident
+        /// (and never panics).
+        #[test]
+        fn garbage_never_validates(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert!(decode_snapshot(&bytes).is_err());
+        }
+    }
+}

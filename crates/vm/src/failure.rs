@@ -1,0 +1,155 @@
+//! Fail-stop failure descriptions.
+//!
+//! A failure carries everything the paper's client reports to the
+//! diagnosis server: the failure class (retrieved from the OS error
+//! tracker in the prototype, §5), the failing PC, and the failing
+//! thread. The raw faulting address is kept for ground-truth validation
+//! only — Lazy Diagnosis itself never needs data values.
+
+use lazy_ir::Pc;
+use std::fmt;
+
+/// One participant of a deadlock cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlockParty {
+    /// The blocked thread.
+    pub tid: u32,
+    /// The PC of its blocking lock-acquisition attempt.
+    pub pc: Pc,
+    /// The address of the mutex it is waiting for.
+    pub mutex_addr: u64,
+}
+
+/// The class of a fail-stop event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Dereference of a null (or near-null) pointer.
+    NullDeref {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Access to freed memory (heap free or popped stack frame).
+    UseAfterFree {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Access to an address no live or dead region contains.
+    WildAccess {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// `free` of a pointer that is not a live heap allocation base.
+    BadFree {
+        /// The freed address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A thread exhausted its stack window (runaway recursion or an
+    /// oversized stack allocation).
+    StackOverflow,
+    /// A failed `assert` (the paper's custom failure mode, §7).
+    AssertFailed {
+        /// The assertion's message.
+        msg: String,
+    },
+    /// Unlock of a mutex the thread does not hold.
+    BadUnlock {
+        /// The mutex address.
+        addr: u64,
+    },
+    /// Indirect call through a value that is not a function address.
+    BadIndirectCall {
+        /// The bogus target value.
+        target: u64,
+    },
+    /// A cycle in the mutex wait-for graph.
+    Deadlock {
+        /// The blocked threads and their lock attempts.
+        parties: Vec<DeadlockParty>,
+    },
+    /// All threads blocked with no wait-for cycle (e.g. a lost wakeup).
+    Hang,
+    /// The step budget was exhausted (runaway execution).
+    Timeout,
+}
+
+impl FailureKind {
+    /// Returns `true` for crash-class failures (the order/atomicity
+    /// violation path of the diagnosis pipeline); deadlock-class failures
+    /// take the deadlock path (§4.4).
+    pub fn is_crash(&self) -> bool {
+        !matches!(
+            self,
+            FailureKind::Deadlock { .. } | FailureKind::Hang | FailureKind::Timeout
+        )
+    }
+}
+
+/// A fail-stop failure: class, location, and thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// PC of the failing instruction (for deadlocks: the lock attempt
+    /// that completed the cycle).
+    pub pc: Pc,
+    /// The failing thread.
+    pub tid: u32,
+    /// Virtual time of the failure.
+    pub at_ns: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            FailureKind::NullDeref { addr } => format!("null dereference of {addr:#x}"),
+            FailureKind::UseAfterFree { addr } => format!("use-after-free at {addr:#x}"),
+            FailureKind::WildAccess { addr } => format!("wild access at {addr:#x}"),
+            FailureKind::BadFree { addr } => format!("invalid free of {addr:#x}"),
+            FailureKind::DivByZero => "division by zero".to_string(),
+            FailureKind::StackOverflow => "stack overflow".to_string(),
+            FailureKind::AssertFailed { msg } => format!("assertion failed: {msg}"),
+            FailureKind::BadUnlock { addr } => format!("unlock of unheld mutex {addr:#x}"),
+            FailureKind::BadIndirectCall { target } => {
+                format!("indirect call to non-function {target:#x}")
+            }
+            FailureKind::Deadlock { parties } => {
+                format!("deadlock among {} threads", parties.len())
+            }
+            FailureKind::Hang => "hang (all threads blocked)".to_string(),
+            FailureKind::Timeout => "timeout (step budget exhausted)".to_string(),
+        };
+        write!(
+            f,
+            "{kind} at {} in thread {} (t={} ns)",
+            self.pc, self.tid, self.at_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_classification() {
+        assert!(FailureKind::NullDeref { addr: 0 }.is_crash());
+        assert!(FailureKind::AssertFailed { msg: "x".into() }.is_crash());
+        assert!(!FailureKind::Deadlock { parties: vec![] }.is_crash());
+        assert!(!FailureKind::Hang.is_crash());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Failure {
+            kind: FailureKind::UseAfterFree { addr: 0x2000_0010 },
+            pc: Pc(0x40_0004),
+            tid: 3,
+            at_ns: 12345,
+        };
+        let s = f.to_string();
+        assert!(s.contains("use-after-free"));
+        assert!(s.contains("thread 3"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The instrumentation hook.
+//!
+//! Sampling- and instrumentation-based diagnosis tools (the paper's
+//! comparison target Gist, §6.3) modify the monitored program to observe
+//! shared-memory accesses, paying a per-event cost — and, crucially,
+//! a *synchronization* cost to order the observed events across threads,
+//! which is what makes such tools scale poorly with thread count
+//! (Figure 9). The VM exposes that capability through this trait: an
+//! instrumentor sees each access to the PCs it watches and returns the
+//! virtual-time cost its bookkeeping would have added.
+
+use lazy_ir::Pc;
+
+/// One observed access, passed to the instrumentor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Executing thread.
+    pub tid: u32,
+    /// The instruction.
+    pub pc: Pc,
+    /// The address touched (or the mutex address for lock events).
+    pub addr: u64,
+    /// Whether the access is a write (or lock-acquire).
+    pub is_write: bool,
+    /// Virtual time of the access.
+    pub at_ns: u64,
+    /// Number of threads currently runnable or running (contention
+    /// proxy for synchronization-cost models).
+    pub active_threads: u32,
+}
+
+/// Observes instruction execution and charges instrumentation cost.
+pub trait Instrumentor {
+    /// Returns `true` if `pc` should be observed (the VM fast-paths
+    /// unwatched instructions).
+    fn watches(&self, pc: Pc) -> bool;
+
+    /// Called for every watched memory access and lock event; returns
+    /// the extra virtual nanoseconds the instrumentation costs.
+    fn on_access(&mut self, event: AccessEvent) -> u64;
+}
+
+/// Constrains the scheduler to an externally imposed order over a set
+/// of watched instructions — the mechanism behind replay (see the
+/// `lazy-replay` crate): a thread about to execute a watched PC is held
+/// back until the gate allows it.
+pub trait ScheduleGate {
+    /// Returns `true` if `pc` is order-constrained.
+    fn watches(&self, pc: Pc) -> bool;
+
+    /// May `tid` execute the watched instruction at `pc` now?
+    fn may_execute(&mut self, tid: u32, pc: Pc) -> bool;
+
+    /// Notification that `tid` executed the watched instruction at
+    /// `pc` (advance the imposed order).
+    fn on_executed(&mut self, tid: u32, pc: Pc);
+}
+
+/// A gate that constrains nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullGate;
+
+impl ScheduleGate for NullGate {
+    fn watches(&self, _pc: Pc) -> bool {
+        false
+    }
+
+    fn may_execute(&mut self, _tid: u32, _pc: Pc) -> bool {
+        true
+    }
+
+    fn on_executed(&mut self, _tid: u32, _pc: Pc) {}
+}
+
+/// An instrumentor that watches nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullInstrumentor;
+
+impl Instrumentor for NullInstrumentor {
+    fn watches(&self, _pc: Pc) -> bool {
+        false
+    }
+
+    fn on_access(&mut self, _event: AccessEvent) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_instrumentor_is_free() {
+        let mut n = NullInstrumentor;
+        assert!(!n.watches(Pc(4)));
+        let ev = AccessEvent {
+            tid: 0,
+            pc: Pc(4),
+            addr: 0,
+            is_write: false,
+            at_ns: 0,
+            active_threads: 1,
+        };
+        assert_eq!(n.on_access(ev), 0);
+    }
+}

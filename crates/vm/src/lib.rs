@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # lazy-vm — multithreaded IR execution with virtual time
+//!
+//! This crate is the "production client machine" of the reproduction: it
+//! executes [`lazy_ir`] modules with many simulated threads under a
+//! discrete-event scheduler, detects fail-stop failures, and feeds the
+//! [`lazy_trace`] driver exactly the events Intel PT would observe.
+//!
+//! ## Virtual time
+//!
+//! Each thread carries its own clock in virtual nanoseconds; the
+//! scheduler always steps the runnable thread with the smallest clock.
+//! This models threads running in parallel on dedicated cores with an
+//! *invariant TSC* synchronized across cores — the property of post-
+//! Nehalem Intel CPUs the paper's hypothesis study leans on (§3.2).
+//! Synchronization operations transfer time between threads (a thread
+//! that blocks resumes at the releaser's clock), and simulated I/O
+//! ([`lazy_ir::InstKind::Io`]) advances a thread by microseconds-to-
+//! milliseconds with seeded jitter, producing both schedule diversity
+//! across seeds and the coarse spacing of bug events that the paper
+//! measures in real systems.
+//!
+//! ## Failure detection
+//!
+//! The VM detects the fail-stop events the paper's clients report (§5):
+//! crashes (null, wild, and use-after-free accesses, double frees,
+//! division by zero), failed assertions, deadlocks (a cycle in the
+//! mutex wait-for graph), and whole-program hangs. On failure — or when
+//! an armed breakpoint PC is reached — it snapshots all per-thread trace
+//! buffers, exactly like the paper's custom driver.
+//!
+//! ## Instrumentation
+//!
+//! An [`Instrumentor`] hook observes shared-memory accesses and
+//! synchronization events with a per-event virtual cost. The Gist
+//! baseline uses it to model source-level instrumentation with blocking
+//! synchronization; the hypothesis-study harness uses the free
+//! ground-truth [`EventRecorder`] instead.
+
+pub mod cost;
+pub mod events;
+pub mod failure;
+pub mod instrument;
+pub mod memory;
+pub mod sync;
+pub mod vm;
+
+pub use cost::CostModel;
+pub use events::{EventKind, EventRecorder, RecordedEvent};
+pub use failure::{DeadlockParty, Failure, FailureKind};
+pub use instrument::{AccessEvent, Instrumentor, NullGate, NullInstrumentor, ScheduleGate};
+pub use memory::{Memory, MemoryError, RegionKind};
+pub use vm::{RunOutcome, RunResult, ThreadId, Vm, VmConfig};

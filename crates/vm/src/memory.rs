@@ -1,0 +1,349 @@
+//! The simulated address space.
+//!
+//! Memory is slot-based: every address is 8-byte aligned and holds one
+//! `i64`. Three regions mirror a conventional process layout — globals,
+//! heap, and per-thread stacks — and every allocation is registered with
+//! its allocation-site PC so accesses can be classified (live, freed,
+//! wild) and crashes can carry provenance for ground-truth checks.
+
+use crate::failure::FailureKind;
+use lazy_ir::Pc;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Base address of the globals region.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x2000_0000;
+/// Base address of thread stacks; each thread gets a disjoint window.
+pub const STACK_BASE: u64 = 0x7000_0000;
+/// Size of one thread's stack window in bytes.
+pub const STACK_WINDOW: u64 = 0x10_0000;
+
+/// What kind of storage a region is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionKind {
+    /// A module global.
+    Global,
+    /// A heap allocation (freeable).
+    Heap,
+    /// A stack slot (freed when its frame pops).
+    Stack,
+}
+
+/// A registered allocation.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    size_bytes: u64,
+    site: Pc,
+    kind: RegionKind,
+    live: bool,
+}
+
+/// A classified memory-access error, converted by the VM into a
+/// [`FailureKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Address is null or near-null.
+    Null {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Address falls in a freed region.
+    Freed {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Address falls in no known region.
+    Wild {
+        /// The faulting address.
+        addr: u64,
+    },
+}
+
+impl MemoryError {
+    /// Converts the error to its failure classification.
+    pub fn into_failure_kind(self) -> FailureKind {
+        match self {
+            MemoryError::Null { addr } => FailureKind::NullDeref { addr },
+            MemoryError::Freed { addr } => FailureKind::UseAfterFree { addr },
+            MemoryError::Wild { addr } => FailureKind::WildAccess { addr },
+        }
+    }
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Null { addr } => write!(f, "null access at {addr:#x}"),
+            MemoryError::Freed { addr } => write!(f, "freed-memory access at {addr:#x}"),
+            MemoryError::Wild { addr } => write!(f, "wild access at {addr:#x}"),
+        }
+    }
+}
+
+/// The whole simulated address space.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    slots: HashMap<u64, i64>,
+    regions: BTreeMap<u64, Region>,
+    next_global: u64,
+    next_heap: u64,
+    /// Per-thread stack bump pointers.
+    stack_tops: HashMap<u32, u64>,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory {
+            slots: HashMap::new(),
+            regions: BTreeMap::new(),
+            next_global: GLOBAL_BASE,
+            next_heap: HEAP_BASE,
+            stack_tops: HashMap::new(),
+        }
+    }
+
+    fn register(&mut self, base: u64, slots: u64, site: Pc, kind: RegionKind) {
+        self.regions.insert(
+            base,
+            Region {
+                size_bytes: slots * 8,
+                site,
+                kind,
+                live: true,
+            },
+        );
+    }
+
+    /// Allocates a global of `slots` slots, returning its base address.
+    pub fn alloc_global(&mut self, slots: u64, init: &[i64]) -> u64 {
+        let base = self.next_global;
+        self.next_global += slots.max(1) * 8;
+        self.register(base, slots.max(1), Pc(0), RegionKind::Global);
+        for (i, v) in init.iter().enumerate().take(slots as usize) {
+            self.slots.insert(base + i as u64 * 8, *v);
+        }
+        base
+    }
+
+    /// Allocates `slots` heap slots at allocation site `site`.
+    pub fn alloc_heap(&mut self, slots: u64, site: Pc) -> u64 {
+        let base = self.next_heap;
+        self.next_heap += slots.max(1) * 8;
+        self.register(base, slots.max(1), site, RegionKind::Heap);
+        base
+    }
+
+    /// Allocates `slots` stack slots for thread `tid` at site `site`.
+    ///
+    /// Returns `None` when the allocation would exhaust the thread's
+    /// stack window (a stack overflow).
+    pub fn alloc_stack(&mut self, tid: u32, slots: u64, site: Pc) -> Option<u64> {
+        let window_base = STACK_BASE + u64::from(tid) * STACK_WINDOW;
+        let top = self.stack_tops.entry(tid).or_insert(window_base);
+        let base = *top;
+        let bytes = slots.max(1) * 8;
+        if base + bytes > window_base + STACK_WINDOW {
+            return None;
+        }
+        *top += bytes;
+        self.register(base, slots.max(1), site, RegionKind::Stack);
+        Some(base)
+    }
+
+    /// Frees a heap region by exact base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the appropriate [`FailureKind`] for double frees, frees of
+    /// non-heap pointers, or frees of addresses that are not a region
+    /// base.
+    pub fn free_heap(&mut self, base: u64) -> Result<(), FailureKind> {
+        match self.regions.get_mut(&base) {
+            Some(r) if r.kind == RegionKind::Heap && r.live => {
+                r.live = false;
+                Ok(())
+            }
+            _ => Err(FailureKind::BadFree { addr: base }),
+        }
+    }
+
+    /// Marks a stack region dead (its frame popped).
+    pub fn kill_stack_region(&mut self, base: u64) {
+        if let Some(r) = self.regions.get_mut(&base) {
+            r.live = false;
+        }
+    }
+
+    /// Resets a thread's stack bump pointer bookkeeping when the thread
+    /// exits.
+    pub fn drop_thread_stack(&mut self, tid: u32) {
+        self.stack_tops.remove(&tid);
+    }
+
+    /// Classifies an access to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemoryError`] when the address is null, freed, or
+    /// outside every known region.
+    pub fn check_access(&self, addr: u64) -> Result<(), MemoryError> {
+        if addr < 0x1000 {
+            return Err(MemoryError::Null { addr });
+        }
+        match self.regions.range(..=addr).next_back() {
+            Some((base, r)) if addr < base + r.size_bytes => {
+                if r.live {
+                    Ok(())
+                } else {
+                    Err(MemoryError::Freed { addr })
+                }
+            }
+            _ => Err(MemoryError::Wild { addr }),
+        }
+    }
+
+    /// Reads the slot at `addr` (zero if never written). The caller must
+    /// have validated the access.
+    pub fn read(&self, addr: u64) -> i64 {
+        self.slots.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the slot at `addr`. The caller must have validated the
+    /// access.
+    pub fn write(&mut self, addr: u64, value: i64) {
+        self.slots.insert(addr, value);
+    }
+
+    /// Returns the allocation-site PC of the region containing `addr`
+    /// (live or dead), for ground-truth provenance.
+    pub fn site_of(&self, addr: u64) -> Option<Pc> {
+        match self.regions.range(..=addr).next_back() {
+            Some((base, r)) if addr < base + r.size_bytes => Some(r.site),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_alloc_and_access() {
+        let mut m = Memory::new();
+        let p = m.alloc_heap(4, Pc(0x40_0000));
+        assert!(m.check_access(p).is_ok());
+        assert!(m.check_access(p + 24).is_ok());
+        assert_eq!(
+            m.check_access(p + 32),
+            Err(MemoryError::Wild { addr: p + 32 })
+        );
+        m.write(p + 8, 42);
+        assert_eq!(m.read(p + 8), 42);
+        assert_eq!(m.read(p), 0, "unwritten slots read as zero");
+    }
+
+    #[test]
+    fn null_detection() {
+        let m = Memory::new();
+        assert_eq!(m.check_access(0), Err(MemoryError::Null { addr: 0 }));
+        assert_eq!(m.check_access(8), Err(MemoryError::Null { addr: 8 }));
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let mut m = Memory::new();
+        let p = m.alloc_heap(2, Pc(0x40_0010));
+        m.free_heap(p).unwrap();
+        assert_eq!(m.check_access(p), Err(MemoryError::Freed { addr: p }));
+        assert_eq!(
+            m.check_access(p + 8),
+            Err(MemoryError::Freed { addr: p + 8 })
+        );
+    }
+
+    #[test]
+    fn double_free_is_bad_free() {
+        let mut m = Memory::new();
+        let p = m.alloc_heap(1, Pc(0));
+        m.free_heap(p).unwrap();
+        assert_eq!(m.free_heap(p), Err(FailureKind::BadFree { addr: p }));
+    }
+
+    #[test]
+    fn free_of_interior_pointer_is_bad_free() {
+        let mut m = Memory::new();
+        let p = m.alloc_heap(4, Pc(0));
+        assert_eq!(
+            m.free_heap(p + 8),
+            Err(FailureKind::BadFree { addr: p + 8 })
+        );
+    }
+
+    #[test]
+    fn free_of_stack_is_bad_free() {
+        let mut m = Memory::new();
+        let p = m.alloc_stack(1, 2, Pc(0)).unwrap();
+        assert_eq!(m.free_heap(p), Err(FailureKind::BadFree { addr: p }));
+    }
+
+    #[test]
+    fn stacks_are_per_thread_disjoint() {
+        let mut m = Memory::new();
+        let a = m.alloc_stack(1, 10, Pc(0)).unwrap();
+        let b = m.alloc_stack(2, 10, Pc(0)).unwrap();
+        assert!(a < b || b < a);
+        assert!((a.abs_diff(b)) >= STACK_WINDOW - 10 * 8);
+    }
+
+    #[test]
+    fn stack_window_overflows_cleanly() {
+        let mut m = Memory::new();
+        let huge = STACK_WINDOW; // In slots: 8x the window in bytes.
+        assert!(m.alloc_stack(1, huge, Pc(0)).is_none());
+        // A sequence of allocations exhausts the window eventually.
+        let mut n = 0u64;
+        while m.alloc_stack(2, 1024, Pc(0)).is_some() {
+            n += 1;
+            assert!(n < 1_000_000, "window never exhausted");
+        }
+        assert_eq!(n, STACK_WINDOW / (1024 * 8));
+        // Other threads are unaffected.
+        assert!(m.alloc_stack(3, 1024, Pc(0)).is_some());
+    }
+
+    #[test]
+    fn dead_stack_slot_is_freed_error() {
+        let mut m = Memory::new();
+        let p = m.alloc_stack(1, 1, Pc(0)).unwrap();
+        m.kill_stack_region(p);
+        assert_eq!(m.check_access(p), Err(MemoryError::Freed { addr: p }));
+    }
+
+    #[test]
+    fn globals_carry_initializers() {
+        let mut m = Memory::new();
+        let g = m.alloc_global(3, &[7, 8]);
+        assert_eq!(m.read(g), 7);
+        assert_eq!(m.read(g + 8), 8);
+        assert_eq!(m.read(g + 16), 0);
+        assert!(m.check_access(g + 16).is_ok());
+    }
+
+    #[test]
+    fn site_provenance() {
+        let mut m = Memory::new();
+        let p = m.alloc_heap(1, Pc(0x40_1234));
+        assert_eq!(m.site_of(p), Some(Pc(0x40_1234)));
+        m.free_heap(p).unwrap();
+        assert_eq!(
+            m.site_of(p),
+            Some(Pc(0x40_1234)),
+            "dead regions keep provenance"
+        );
+        assert_eq!(m.site_of(0x9999_9999_9999), None);
+    }
+}

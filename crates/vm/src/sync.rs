@@ -1,0 +1,543 @@
+//! Simulated synchronization objects and deadlock detection.
+//!
+//! Mutexes and condition variables are identified by the address of the
+//! object they live in (as pthread objects are). The table maintains a
+//! wait-for graph — thread → thread-it-waits-on — and checks it for
+//! cycles whenever a thread blocks, which is how the "OS detects the
+//! failure was a deadlock" step of the paper (§4.4) is realized.
+
+use crate::failure::DeadlockParty;
+use lazy_ir::Pc;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// State of one mutex.
+#[derive(Clone, Debug, Default)]
+struct MutexState {
+    holder: Option<u32>,
+    /// FIFO of blocked acquirers: `(tid, pc of the lock attempt)`.
+    waiters: VecDeque<(u32, Pc)>,
+}
+
+/// State of one condition variable.
+#[derive(Clone, Debug, Default)]
+struct CondState {
+    /// Waiting threads and the mutex each must reacquire on wakeup.
+    waiters: VecDeque<(u32, u64)>,
+}
+
+/// State of one reader-writer lock.
+#[derive(Clone, Debug, Default)]
+struct RwState {
+    /// Exclusive holder, if any.
+    writer: Option<u32>,
+    /// Shared holders.
+    readers: HashSet<u32>,
+    /// Blocked acquirers in arrival order: `(tid, pc, wants_write)`.
+    /// A queued writer blocks later readers (writer preference).
+    waiters: VecDeque<(u32, Pc, bool)>,
+}
+
+/// Result of a lock attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The mutex was free (or released to us); the thread now holds it.
+    Acquired,
+    /// The thread must block.
+    Blocked,
+    /// Blocking would complete a wait-for cycle: a deadlock, reported
+    /// with all parties.
+    Deadlock(Vec<DeadlockParty>),
+}
+
+/// The table of all synchronization objects plus the wait-for graph.
+#[derive(Clone, Debug, Default)]
+pub struct SyncTable {
+    mutexes: HashMap<u64, MutexState>,
+    conds: HashMap<u64, CondState>,
+    rwlocks: HashMap<u64, RwState>,
+    /// Locks currently held per thread: `(lock addr, acquisition pc)`.
+    held: HashMap<u32, Vec<(u64, Pc)>>,
+}
+
+impl SyncTable {
+    /// Creates an empty table.
+    pub fn new() -> SyncTable {
+        SyncTable::default()
+    }
+
+    /// Locks `addr` held by `tid`? (test/inspection helper).
+    pub fn holder_of(&self, addr: u64) -> Option<u32> {
+        self.mutexes.get(&addr).and_then(|m| m.holder)
+    }
+
+    /// The locks `tid` currently holds.
+    pub fn held_by(&self, tid: u32) -> &[(u64, Pc)] {
+        self.held.get(&tid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Attempts to acquire `addr` for `tid` at instruction `pc`.
+    ///
+    /// Re-acquiring a mutex the thread already holds is treated as an
+    /// immediate single-thread deadlock (non-recursive mutexes).
+    pub fn lock(&mut self, tid: u32, addr: u64, pc: Pc) -> LockOutcome {
+        let m = self.mutexes.entry(addr).or_default();
+        match m.holder {
+            None => {
+                m.holder = Some(tid);
+                self.held.entry(tid).or_default().push((addr, pc));
+                LockOutcome::Acquired
+            }
+            Some(h) if h == tid => LockOutcome::Deadlock(vec![DeadlockParty {
+                tid,
+                pc,
+                mutex_addr: addr,
+            }]),
+            Some(_) => {
+                m.waiters.push_back((tid, pc));
+                if let Some(parties) = self.find_cycle(tid) {
+                    // Undo the enqueue: the failure stops execution, but
+                    // keep the table consistent for inspection.
+                    let m = self.mutexes.get_mut(&addr).expect("mutex exists");
+                    m.waiters.retain(|(t, _)| *t != tid);
+                    LockOutcome::Deadlock(parties)
+                } else {
+                    LockOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    /// Non-blocking acquire; returns `true` on success.
+    pub fn try_lock(&mut self, tid: u32, addr: u64, pc: Pc) -> bool {
+        let m = self.mutexes.entry(addr).or_default();
+        if m.holder.is_none() {
+            m.holder = Some(tid);
+            self.held.entry(tid).or_default().push((addr, pc));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `addr`; on success returns the next holder (a formerly
+    /// blocked thread), if any, which the VM must make runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` if `tid` does not hold the mutex.
+    pub fn unlock(&mut self, tid: u32, addr: u64) -> Result<Option<u32>, ()> {
+        let m = self.mutexes.get_mut(&addr).ok_or(())?;
+        if m.holder != Some(tid) {
+            return Err(());
+        }
+        if let Some(h) = self.held.get_mut(&tid) {
+            if let Some(i) = h.iter().rposition(|(a, _)| *a == addr) {
+                h.remove(i);
+            }
+        }
+        match m.waiters.pop_front() {
+            Some((next, next_pc)) => {
+                m.holder = Some(next);
+                self.held.entry(next).or_default().push((addr, next_pc));
+                Ok(Some(next))
+            }
+            None => {
+                m.holder = None;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Adds `tid` to the waiters of condition variable `cond`, to
+    /// reacquire `mutex` on wakeup. The caller must already have released
+    /// the mutex.
+    pub fn cond_wait(&mut self, tid: u32, cond: u64, mutex: u64) {
+        self.conds
+            .entry(cond)
+            .or_default()
+            .waiters
+            .push_back((tid, mutex));
+    }
+
+    /// Wakes up to `n` waiters of `cond`, returning `(tid, mutex)` pairs
+    /// the VM must route through lock reacquisition.
+    pub fn cond_wake(&mut self, cond: u64, n: usize) -> Vec<(u32, u64)> {
+        let c = self.conds.entry(cond).or_default();
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match c.waiters.pop_front() {
+                Some(w) => out.push(w),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of threads waiting on condition variable `cond`.
+    pub fn cond_waiter_count(&self, cond: u64) -> usize {
+        self.conds.get(&cond).map(|c| c.waiters.len()).unwrap_or(0)
+    }
+
+    /// Follows waits-for edges from `start`; returns the deadlock
+    /// parties if a cycle through `start` exists.
+    ///
+    /// Edges: a thread queued on a mutex waits on its holder; a thread
+    /// queued on a reader-writer lock waits on the writer and every
+    /// reader (and, for queued readers, on queued writers ahead of
+    /// them). A cycle in this multi-successor graph is a deadlock.
+    fn find_cycle(&self, start: u32) -> Option<Vec<DeadlockParty>> {
+        // tid → (pc of blocking attempt, resource addr, holders).
+        let mut waits: HashMap<u32, (Pc, u64, Vec<u32>)> = HashMap::new();
+        for (addr, m) in &self.mutexes {
+            for (t, pc) in &m.waiters {
+                waits.insert(*t, (*pc, *addr, m.holder.into_iter().collect()));
+            }
+        }
+        for (addr, rw) in &self.rwlocks {
+            let holders: Vec<u32> = rw
+                .writer
+                .into_iter()
+                .chain(rw.readers.iter().copied())
+                .collect();
+            let mut writers_ahead: Vec<u32> = Vec::new();
+            for (t, pc, wants_write) in &rw.waiters {
+                let mut hs = holders.clone();
+                if !*wants_write {
+                    hs.extend(writers_ahead.iter().copied());
+                }
+                waits.insert(*t, (*pc, *addr, hs));
+                if *wants_write {
+                    writers_ahead.push(*t);
+                }
+            }
+        }
+        // DFS for a path start → … → start.
+        fn dfs(
+            waits: &HashMap<u32, (Pc, u64, Vec<u32>)>,
+            start: u32,
+            cur: u32,
+            path: &mut Vec<DeadlockParty>,
+            seen: &mut HashSet<u32>,
+        ) -> bool {
+            let Some((pc, addr, holders)) = waits.get(&cur) else {
+                return false;
+            };
+            path.push(DeadlockParty {
+                tid: cur,
+                pc: *pc,
+                mutex_addr: *addr,
+            });
+            for h in holders {
+                if *h == start {
+                    return true;
+                }
+                if seen.insert(*h) && dfs(waits, start, *h, path, seen) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut path = Vec::new();
+        let mut seen = HashSet::from([start]);
+        if dfs(&waits, start, start, &mut path, &mut seen) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// Shared (read) acquisition of the rwlock at `addr`.
+    pub fn rw_read(&mut self, tid: u32, addr: u64, pc: Pc) -> LockOutcome {
+        let rw = self.rwlocks.entry(addr).or_default();
+        if rw.writer == Some(tid) {
+            // Read-while-write by the same thread: self-deadlock.
+            return LockOutcome::Deadlock(vec![DeadlockParty {
+                tid,
+                pc,
+                mutex_addr: addr,
+            }]);
+        }
+        let writer_waiting = rw.waiters.iter().any(|(_, _, w)| *w);
+        if rw.writer.is_none() && !writer_waiting {
+            rw.readers.insert(tid);
+            self.held.entry(tid).or_default().push((addr, pc));
+            LockOutcome::Acquired
+        } else {
+            rw.waiters.push_back((tid, pc, false));
+            if let Some(parties) = self.find_cycle(tid) {
+                let rw = self.rwlocks.get_mut(&addr).expect("rwlock exists");
+                rw.waiters.retain(|(t, _, _)| *t != tid);
+                LockOutcome::Deadlock(parties)
+            } else {
+                LockOutcome::Blocked
+            }
+        }
+    }
+
+    /// Exclusive (write) acquisition of the rwlock at `addr`.
+    pub fn rw_write(&mut self, tid: u32, addr: u64, pc: Pc) -> LockOutcome {
+        let rw = self.rwlocks.entry(addr).or_default();
+        if rw.writer == Some(tid) || rw.readers.contains(&tid) {
+            // Upgrade or re-entry: self-deadlock.
+            return LockOutcome::Deadlock(vec![DeadlockParty {
+                tid,
+                pc,
+                mutex_addr: addr,
+            }]);
+        }
+        if rw.writer.is_none() && rw.readers.is_empty() {
+            rw.writer = Some(tid);
+            self.held.entry(tid).or_default().push((addr, pc));
+            LockOutcome::Acquired
+        } else {
+            rw.waiters.push_back((tid, pc, true));
+            if let Some(parties) = self.find_cycle(tid) {
+                let rw = self.rwlocks.get_mut(&addr).expect("rwlock exists");
+                rw.waiters.retain(|(t, _, _)| *t != tid);
+                LockOutcome::Deadlock(parties)
+            } else {
+                LockOutcome::Blocked
+            }
+        }
+    }
+
+    /// Releases the calling thread's hold on the rwlock at `addr`; on
+    /// success returns the threads granted the lock as a result.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` if `tid` holds neither a read nor the write
+    /// side.
+    pub fn rw_unlock(&mut self, tid: u32, addr: u64) -> Result<Vec<u32>, ()> {
+        let rw = self.rwlocks.get_mut(&addr).ok_or(())?;
+        if rw.writer == Some(tid) {
+            rw.writer = None;
+        } else if !rw.readers.remove(&tid) {
+            return Err(());
+        }
+        if let Some(h) = self.held.get_mut(&tid) {
+            if let Some(i) = h.iter().rposition(|(a, _)| *a == addr) {
+                h.remove(i);
+            }
+        }
+        // Grant: a writer at the front gets exclusivity; otherwise all
+        // leading readers get shared holds.
+        let mut woken = Vec::new();
+        let rw = self.rwlocks.get_mut(&addr).expect("rwlock exists");
+        if rw.writer.is_some() {
+            return Ok(woken);
+        }
+        match rw.waiters.front().copied() {
+            Some((t, wpc, true)) => {
+                if rw.readers.is_empty() {
+                    rw.waiters.pop_front();
+                    rw.writer = Some(t);
+                    self.held.entry(t).or_default().push((addr, wpc));
+                    woken.push(t);
+                }
+            }
+            Some((_, _, false)) => {
+                while let Some((t, wpc, false)) = rw.waiters.front().copied() {
+                    rw.waiters.pop_front();
+                    rw.readers.insert(t);
+                    self.held.entry(t).or_default().push((addr, wpc));
+                    woken.push(t);
+                }
+            }
+            None => {}
+        }
+        Ok(woken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MA: u64 = 0x2000_0000;
+    const MB: u64 = 0x2000_0008;
+
+    #[test]
+    fn uncontended_lock_unlock() {
+        let mut s = SyncTable::new();
+        assert_eq!(s.lock(1, MA, Pc(4)), LockOutcome::Acquired);
+        assert_eq!(s.holder_of(MA), Some(1));
+        assert_eq!(s.held_by(1), &[(MA, Pc(4))]);
+        assert_eq!(s.unlock(1, MA), Ok(None));
+        assert_eq!(s.holder_of(MA), None);
+        assert!(s.held_by(1).is_empty());
+    }
+
+    #[test]
+    fn contended_lock_blocks_then_transfers() {
+        let mut s = SyncTable::new();
+        assert_eq!(s.lock(1, MA, Pc(4)), LockOutcome::Acquired);
+        assert_eq!(s.lock(2, MA, Pc(8)), LockOutcome::Blocked);
+        assert_eq!(s.unlock(1, MA), Ok(Some(2)));
+        assert_eq!(s.holder_of(MA), Some(2));
+        assert_eq!(s.held_by(2), &[(MA, Pc(8))]);
+    }
+
+    #[test]
+    fn fifo_waiter_order() {
+        let mut s = SyncTable::new();
+        s.lock(1, MA, Pc(0));
+        s.lock(2, MA, Pc(4));
+        s.lock(3, MA, Pc(8));
+        assert_eq!(s.unlock(1, MA), Ok(Some(2)));
+        assert_eq!(s.unlock(2, MA), Ok(Some(3)));
+        assert_eq!(s.unlock(3, MA), Ok(None));
+    }
+
+    #[test]
+    fn self_relock_is_deadlock() {
+        let mut s = SyncTable::new();
+        s.lock(1, MA, Pc(0));
+        match s.lock(1, MA, Pc(4)) {
+            LockOutcome::Deadlock(p) => {
+                assert_eq!(p.len(), 1);
+                assert_eq!(p[0].tid, 1);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ab_ba_deadlock_detected() {
+        let mut s = SyncTable::new();
+        // T1 holds A, T2 holds B; T2 blocks on A; T1 then blocks on B.
+        assert_eq!(s.lock(1, MA, Pc(0)), LockOutcome::Acquired);
+        assert_eq!(s.lock(2, MB, Pc(4)), LockOutcome::Acquired);
+        assert_eq!(s.lock(2, MA, Pc(8)), LockOutcome::Blocked);
+        match s.lock(1, MB, Pc(12)) {
+            LockOutcome::Deadlock(p) => {
+                let tids: Vec<u32> = p.iter().map(|x| x.tid).collect();
+                assert!(tids.contains(&1) && tids.contains(&2), "{p:?}");
+                // Each party carries the PC of its blocking attempt.
+                assert!(p.iter().any(|x| x.pc == Pc(8)));
+                assert!(p.iter().any(|x| x.pc == Pc(12)));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        let mut s = SyncTable::new();
+        let mc = 0x2000_0010u64;
+        s.lock(1, MA, Pc(0));
+        s.lock(2, MB, Pc(4));
+        s.lock(3, mc, Pc(8));
+        assert_eq!(s.lock(1, MB, Pc(12)), LockOutcome::Blocked);
+        assert_eq!(s.lock(2, mc, Pc(16)), LockOutcome::Blocked);
+        match s.lock(3, MA, Pc(20)) {
+            LockOutcome::Deadlock(p) => assert_eq!(p.len(), 3),
+            other => panic!("expected 3-way deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlock_of_unheld_is_error() {
+        let mut s = SyncTable::new();
+        assert_eq!(s.unlock(1, MA), Err(()));
+        s.lock(1, MA, Pc(0));
+        assert_eq!(s.unlock(2, MA), Err(()));
+    }
+
+    #[test]
+    fn try_lock_never_blocks() {
+        let mut s = SyncTable::new();
+        assert!(s.try_lock(1, MA, Pc(0)));
+        assert!(!s.try_lock(2, MA, Pc(4)));
+        s.unlock(1, MA).unwrap();
+        assert!(s.try_lock(2, MA, Pc(8)));
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let mut s = SyncTable::new();
+        let rw = 0x4000_0000u64;
+        // Multiple readers share.
+        assert_eq!(s.rw_read(1, rw, Pc(0)), LockOutcome::Acquired);
+        assert_eq!(s.rw_read(2, rw, Pc(4)), LockOutcome::Acquired);
+        // A writer waits for both.
+        assert_eq!(s.rw_write(3, rw, Pc(8)), LockOutcome::Blocked);
+        // New readers queue behind the waiting writer (no starvation).
+        assert_eq!(s.rw_read(4, rw, Pc(12)), LockOutcome::Blocked);
+        assert_eq!(s.rw_unlock(1, rw), Ok(vec![]));
+        // Last reader out grants the writer.
+        assert_eq!(s.rw_unlock(2, rw), Ok(vec![3]));
+        // Writer out grants the queued reader(s).
+        assert_eq!(s.rw_unlock(3, rw), Ok(vec![4]));
+        assert_eq!(s.rw_unlock(4, rw), Ok(vec![]));
+    }
+
+    #[test]
+    fn rwlock_upgrade_is_self_deadlock() {
+        let mut s = SyncTable::new();
+        let rw = 0x4000_0000u64;
+        assert_eq!(s.rw_read(1, rw, Pc(0)), LockOutcome::Acquired);
+        assert!(matches!(s.rw_write(1, rw, Pc(4)), LockOutcome::Deadlock(_)));
+    }
+
+    #[test]
+    fn rwlock_unlock_without_hold_is_error() {
+        let mut s = SyncTable::new();
+        assert_eq!(s.rw_unlock(1, 0x4000_0000), Err(()));
+    }
+
+    /// T1 holds a read lock and wants a mutex; T2 holds the mutex and
+    /// wants the write lock: a cross-primitive deadlock the generalized
+    /// wait-for graph must catch.
+    #[test]
+    fn rwlock_mutex_cross_deadlock() {
+        let mut s = SyncTable::new();
+        let rw = 0x4000_0000u64;
+        assert_eq!(s.rw_read(1, rw, Pc(0)), LockOutcome::Acquired);
+        assert_eq!(s.lock(2, MA, Pc(4)), LockOutcome::Acquired);
+        assert_eq!(s.rw_write(2, rw, Pc(8)), LockOutcome::Blocked);
+        match s.lock(1, MA, Pc(12)) {
+            LockOutcome::Deadlock(p) => {
+                let tids: Vec<u32> = p.iter().map(|x| x.tid).collect();
+                assert!(tids.contains(&1) && tids.contains(&2), "{p:?}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    /// A writer blocked on several readers deadlocks when any reader
+    /// comes back around for the writer's mutex.
+    #[test]
+    fn writer_vs_many_readers_cycle() {
+        let mut s = SyncTable::new();
+        let rw = 0x4000_0000u64;
+        s.rw_read(1, rw, Pc(0));
+        s.rw_read(2, rw, Pc(4));
+        s.lock(3, MA, Pc(8));
+        assert_eq!(s.rw_write(3, rw, Pc(12)), LockOutcome::Blocked);
+        // Reader 2 now wants 3's mutex: cycle through the multi-holder
+        // edge (3 waits on readers 1 AND 2).
+        match s.lock(2, MA, Pc(16)) {
+            LockOutcome::Deadlock(p) => {
+                let tids: Vec<u32> = p.iter().map(|x| x.tid).collect();
+                assert!(tids.contains(&2) && tids.contains(&3), "{p:?}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cond_wait_and_wake() {
+        let mut s = SyncTable::new();
+        let cv = 0x3000_0000u64;
+        s.cond_wait(1, cv, MA);
+        s.cond_wait(2, cv, MA);
+        assert_eq!(s.cond_waiter_count(cv), 2);
+        let woken = s.cond_wake(cv, 1);
+        assert_eq!(woken, vec![(1, MA)]);
+        let woken = s.cond_wake(cv, 10);
+        assert_eq!(woken, vec![(2, MA)]);
+        assert_eq!(s.cond_waiter_count(cv), 0);
+    }
+}

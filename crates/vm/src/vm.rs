@@ -1,0 +1,1768 @@
+//! The execution engine: a discrete-event multithreaded IR interpreter.
+//!
+//! See the crate docs for the model. The engine's contract with the rest
+//! of the reproduction:
+//!
+//! * it reports fail-stop failures with the failing PC and thread,
+//!   exactly what the paper's clients send to the server;
+//! * when tracing is configured it emits, through [`TraceDriver`], the
+//!   same event stream Intel PT would see (TNT per conditional branch,
+//!   TIP per indirect transfer and return, timing as virtual time
+//!   advances), and snapshots all buffers on failure or breakpoint;
+//! * execution is deterministic for a given `(module, config)` pair —
+//!   schedule diversity across runs comes from the seed.
+
+use crate::cost::CostModel;
+use crate::events::{EventKind, EventRecorder, RecordedEvent};
+use crate::failure::{Failure, FailureKind};
+use crate::instrument::{AccessEvent, Instrumentor, NullGate, NullInstrumentor, ScheduleGate};
+use crate::memory::Memory;
+use crate::sync::{LockOutcome, SyncTable};
+use lazy_ir::{BinOp, BlockId, CmpOp, FuncId, InstKind, Module, Operand, Pc, ValueId};
+use lazy_trace::{SnapshotTrigger, TraceConfig, TraceDriver, TraceSnapshot, EXIT_TARGET};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A simulated thread identifier (dense, starting at 0 for `main`).
+pub type ThreadId = u32;
+
+/// Configuration of one VM run.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Seed for schedule jitter (different seeds explore different
+    /// interleavings).
+    pub seed: u64,
+    /// The virtual-time cost model.
+    pub cost: CostModel,
+    /// Tracing configuration; `None` runs without the tracer (the
+    /// baseline for overhead measurements).
+    pub trace: Option<TraceConfig>,
+    /// Breakpoint PCs armed in the trace driver at startup (one-shot per
+    /// run: the first hit snapshots).
+    pub breakpoints: Vec<Pc>,
+    /// Ground-truth recorder watch set.
+    pub watch_pcs: Vec<Pc>,
+    /// Abort the run as [`FailureKind::Timeout`] after this many steps.
+    pub max_steps: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            seed: 0,
+            cost: CostModel::default(),
+            trace: Some(TraceConfig::default()),
+            breakpoints: Vec::new(),
+            watch_pcs: Vec::new(),
+            max_steps: 100_000_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunResult {
+    /// The program halted (or `main` returned).
+    Completed,
+    /// A fail-stop failure occurred.
+    Failed(Failure),
+}
+
+/// Everything a run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Completion or failure.
+    pub result: RunResult,
+    /// The trace snapshot taken at the failure or at a breakpoint hit.
+    pub snapshot: Option<TraceSnapshot>,
+    /// Virtual duration of the run (max thread clock).
+    pub duration_ns: u64,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Ground-truth events recorded.
+    pub events: Vec<RecordedEvent>,
+    /// Total trace bytes written by the driver.
+    pub trace_bytes: u64,
+}
+
+impl RunOutcome {
+    /// The failure, if the run failed.
+    pub fn failure(&self) -> Option<&Failure> {
+        match &self.result {
+            RunResult::Failed(f) => Some(f),
+            RunResult::Completed => None,
+        }
+    }
+
+    /// Returns `true` if the run failed.
+    pub fn is_failure(&self) -> bool {
+        matches!(self.result, RunResult::Failed(_))
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedOnMutex(u64),
+    BlockedOnCond(u64),
+    BlockedOnJoin(ThreadId),
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<i64>,
+    allocas: Vec<u64>,
+    /// Caller register receiving the return value.
+    ret_reg: Option<ValueId>,
+    /// PC the decoder's TIP should land on (0 for the entry frame).
+    ret_pc: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    clock: u64,
+    status: Status,
+    frames: Vec<Frame>,
+    last_pc: Option<Pc>,
+    /// Femtosecond accumulator for modelled trace-write cost.
+    trace_fs_debt: u64,
+}
+
+enum Step {
+    Continue,
+    ProgramDone,
+}
+
+/// The interpreter.
+pub struct Vm<'m> {
+    module: &'m Module,
+    cfg: VmConfig,
+    mem: Memory,
+    sync: SyncTable,
+    threads: Vec<Thread>,
+    driver: Option<TraceDriver>,
+    recorder: EventRecorder,
+    rng: StdRng,
+    global_addrs: Vec<u64>,
+    func_by_base: HashMap<u64, FuncId>,
+    joiners: HashMap<ThreadId, Vec<ThreadId>>,
+    steps: u64,
+    bp_fired: bool,
+    snapshot: Option<TraceSnapshot>,
+    last_trace_bytes: u64,
+    last_spill_flushes: u64,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for `module` and spawns the `main` thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module has no zero-parameter `main` function.
+    pub fn new(module: &'m Module, cfg: VmConfig) -> Vm<'m> {
+        let main = module
+            .func_by_name("main")
+            .expect("module must define a main function");
+        assert!(main.params.is_empty(), "main must take no parameters");
+
+        let mut mem = Memory::new();
+        let mut global_addrs = Vec::with_capacity(module.globals().len());
+        for g in module.globals() {
+            let slots = module.slot_count(&g.ty);
+            global_addrs.push(mem.alloc_global(slots, &g.init));
+        }
+        let func_by_base = module
+            .functions()
+            .iter()
+            .map(|f| (f.base_pc.0, f.id))
+            .collect();
+
+        let mut driver = cfg.trace.clone().map(TraceDriver::new);
+        if let Some(d) = &mut driver {
+            for bp in &cfg.breakpoints {
+                d.add_breakpoint(bp.0);
+            }
+            d.thread_start(0, main.base_pc.0, 0);
+        }
+
+        let main_frame = Frame {
+            func: main.id,
+            block: BlockId(0),
+            idx: 0,
+            regs: vec![0; main.reg_count as usize],
+            allocas: Vec::new(),
+            ret_reg: None,
+            ret_pc: 0,
+        };
+        let recorder = EventRecorder::watching(cfg.watch_pcs.iter().copied());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Vm {
+            module,
+            cfg,
+            mem,
+            sync: SyncTable::new(),
+            threads: vec![Thread {
+                clock: 0,
+                status: Status::Runnable,
+                frames: vec![main_frame],
+                last_pc: None,
+                trace_fs_debt: 0,
+            }],
+            driver,
+            recorder,
+            rng,
+            global_addrs,
+            func_by_base,
+            joiners: HashMap::new(),
+            steps: 0,
+            bp_fired: false,
+            snapshot: None,
+            last_trace_bytes: 0,
+            last_spill_flushes: 0,
+        }
+    }
+
+    /// Runs to completion or failure without instrumentation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lazy_ir::{ModuleBuilder, Operand, Type};
+    /// use lazy_vm::{RunResult, Vm, VmConfig};
+    ///
+    /// let mut mb = ModuleBuilder::new("hello");
+    /// let mut f = mb.function("main", vec![], Type::Void);
+    /// let entry = f.entry();
+    /// f.switch_to(entry);
+    /// let x = f.alloca(Type::I64);
+    /// f.store(x.clone(), Operand::const_int(41), Type::I64);
+    /// let v = f.load(x, Type::I64);
+    /// let ok = f.eq(v, Operand::const_int(41));
+    /// f.assert(ok, "stored value read back");
+    /// f.halt();
+    /// f.finish();
+    /// let module = mb.finish().unwrap();
+    ///
+    /// let out = Vm::run(&module, VmConfig::default());
+    /// assert_eq!(out.result, RunResult::Completed);
+    /// ```
+    pub fn run(module: &'m Module, cfg: VmConfig) -> RunOutcome {
+        Self::run_full(module, cfg, &mut NullInstrumentor, &mut NullGate)
+    }
+
+    /// Runs to completion or failure with an instrumentation hook.
+    pub fn run_instrumented(
+        module: &'m Module,
+        cfg: VmConfig,
+        instr: &mut dyn Instrumentor,
+    ) -> RunOutcome {
+        Self::run_full(module, cfg, instr, &mut NullGate)
+    }
+
+    /// Runs under a schedule gate (replay): threads about to execute a
+    /// gate-watched instruction wait until the gate allows them.
+    pub fn run_gated(module: &'m Module, cfg: VmConfig, gate: &mut dyn ScheduleGate) -> RunOutcome {
+        Self::run_full(module, cfg, &mut NullInstrumentor, gate)
+    }
+
+    /// Runs with both an instrumentation hook and a schedule gate.
+    pub fn run_full(
+        module: &'m Module,
+        cfg: VmConfig,
+        instr: &mut dyn Instrumentor,
+        gate: &mut dyn ScheduleGate,
+    ) -> RunOutcome {
+        let mut vm = Vm::new(module, cfg);
+        let result = vm.drive(instr, gate);
+        vm.finish(result)
+    }
+
+    /// PC of the next instruction `tid` would execute.
+    fn peek_pc(&self, tid: ThreadId) -> Pc {
+        let f = self.threads[tid as usize]
+            .frames
+            .last()
+            .expect("live thread has a frame");
+        self.module.func(f.func).blocks[f.block.0 as usize].insts[f.idx].pc
+    }
+
+    fn finish(mut self, result: RunResult) -> RunOutcome {
+        let duration_ns = self.threads.iter().map(|t| t.clock).max().unwrap_or(0);
+        let trace_bytes = self
+            .driver
+            .as_ref()
+            .map(TraceDriver::total_bytes)
+            .unwrap_or(0);
+        // A failure snapshot replaces any earlier breakpoint snapshot:
+        // failing runs are consumed for their failure trace.
+        if let RunResult::Failed(f) = &result {
+            if !matches!(f.kind, FailureKind::Timeout) {
+                let tid = f.tid;
+                let pc = f.pc;
+                if let Some(snap) = self.take_snapshot(tid, pc, SnapshotTrigger::Failure) {
+                    self.snapshot = Some(snap);
+                }
+            }
+        }
+        RunOutcome {
+            result,
+            snapshot: self.snapshot,
+            duration_ns,
+            steps: self.steps,
+            events: self.recorder.into_events(),
+            trace_bytes,
+        }
+    }
+
+    fn take_snapshot(
+        &mut self,
+        trigger_tid: ThreadId,
+        trigger_pc: Pc,
+        trigger: SnapshotTrigger,
+    ) -> Option<TraceSnapshot> {
+        let positions: Vec<(u32, u64, u64)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status != Status::Done)
+            .filter_map(|(tid, t)| t.last_pc.map(|pc| (tid as u32, pc.0, t.clock)))
+            .collect();
+        let tsc = self.threads.iter().map(|t| t.clock).max().unwrap_or(0);
+        let driver = self.driver.as_mut()?;
+        Some(driver.snapshot(trigger_tid, trigger_pc.0, &positions, tsc, trigger))
+    }
+
+    fn drive(&mut self, instr: &mut dyn Instrumentor, gate: &mut dyn ScheduleGate) -> RunResult {
+        loop {
+            // Discrete-event scheduling: the runnable thread with the
+            // smallest local clock steps next — unless the replay gate
+            // holds it back at a watched instruction.
+            let mut gated_fallback: Option<ThreadId> = None;
+            let mut next: Option<ThreadId> = None;
+            let mut runnables: Vec<ThreadId> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .map(|(tid, _)| tid as ThreadId)
+                .collect();
+            runnables.sort_by_key(|tid| (self.threads[*tid as usize].clock, *tid));
+            for tid in runnables {
+                let pc = self.peek_pc(tid);
+                if gate.watches(pc) && !gate.may_execute(tid, pc) {
+                    gated_fallback.get_or_insert(tid);
+                    continue;
+                }
+                next = Some(tid);
+                break;
+            }
+            // Every runnable thread is gate-blocked: the imposed order
+            // is infeasible here; force the earliest thread through
+            // (the gate records this as a divergence via on_executed).
+            let next = next.or(gated_fallback);
+            let Some(tid) = next else {
+                return self.no_runnable_outcome();
+            };
+            self.steps += 1;
+            if self.steps > self.cfg.max_steps {
+                let t = &self.threads[tid as usize];
+                return RunResult::Failed(Failure {
+                    kind: FailureKind::Timeout,
+                    pc: t.last_pc.unwrap_or(Pc(0)),
+                    tid,
+                    at_ns: t.clock,
+                });
+            }
+            let pc_before = self.peek_pc(tid);
+            let outcome = self.step(tid, instr);
+            if gate.watches(pc_before) {
+                gate.on_executed(tid, pc_before);
+            }
+            match outcome {
+                Ok(Step::Continue) => {}
+                Ok(Step::ProgramDone) => return RunResult::Completed,
+                Err(f) => return RunResult::Failed(f),
+            }
+        }
+    }
+
+    /// All runnable threads vanished: either the program is done (main
+    /// finished) or everything is blocked — a hang.
+    fn no_runnable_outcome(&self) -> RunResult {
+        if self.threads[0].status == Status::Done {
+            return RunResult::Completed;
+        }
+        let (tid, t) = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status != Status::Done)
+            .min_by_key(|(_, t)| t.clock)
+            .expect("at least main is not done");
+        RunResult::Failed(Failure {
+            kind: FailureKind::Hang,
+            pc: t.last_pc.unwrap_or(Pc(0)),
+            tid: tid as ThreadId,
+            at_ns: t.clock,
+        })
+    }
+
+    fn eval_op(&self, tid: ThreadId, op: &Operand) -> i64 {
+        match op {
+            Operand::Reg(v) => {
+                let frame = self.threads[tid as usize].frames.last().expect("frame");
+                frame.regs[v.0 as usize]
+            }
+            Operand::ConstInt(c) => *c,
+            Operand::Global(g) => self.global_addrs[g.0 as usize] as i64,
+            Operand::Func(f) => self.module.func(*f).base_pc.0 as i64,
+            Operand::Null => 0,
+        }
+    }
+
+    fn fail(&self, tid: ThreadId, pc: Pc, kind: FailureKind) -> Failure {
+        Failure {
+            kind,
+            pc,
+            tid,
+            at_ns: self.threads[tid as usize].clock,
+        }
+    }
+
+    fn runnable_count(&self) -> u32 {
+        self.threads
+            .iter()
+            .filter(|t| t.status == Status::Runnable)
+            .count() as u32
+    }
+
+    /// Charges the modelled hardware-trace cost for bytes written since
+    /// the last charge to `tid`, plus storage-I/O time for any buffer
+    /// spills (spill mode).
+    fn charge_trace_cost(&mut self, tid: ThreadId) {
+        let Some(d) = &self.driver else { return };
+        let total = d.total_bytes();
+        let delta = total - self.last_trace_bytes;
+        self.last_trace_bytes = total;
+        let flushes = d.total_spill_flushes();
+        let flush_delta = flushes - self.last_spill_flushes;
+        self.last_spill_flushes = flushes;
+        if delta == 0 && flush_delta == 0 {
+            return;
+        }
+        let fs = self.cfg.cost.trace_cost_fs(delta);
+        let t = &mut self.threads[tid as usize];
+        t.trace_fs_debt += fs;
+        let ns = t.trace_fs_debt / 1_000_000;
+        t.trace_fs_debt %= 1_000_000;
+        t.clock += ns + flush_delta * self.cfg.cost.spill_flush_ns;
+    }
+
+    fn record(&mut self, tid: ThreadId, pc: Pc, kind: EventKind, addr: u64) {
+        if self.recorder.watches(pc) {
+            let at_ns = self.threads[tid as usize].clock;
+            self.recorder.record(RecordedEvent {
+                tid,
+                pc,
+                kind,
+                addr,
+                at_ns,
+            });
+        }
+    }
+
+    fn instrument_access(
+        &mut self,
+        instr: &mut dyn Instrumentor,
+        tid: ThreadId,
+        pc: Pc,
+        addr: u64,
+        is_write: bool,
+    ) {
+        if instr.watches(pc) {
+            let event = AccessEvent {
+                tid,
+                pc,
+                addr,
+                is_write,
+                at_ns: self.threads[tid as usize].clock,
+                active_threads: self.runnable_count(),
+            };
+            let extra = instr.on_access(event);
+            self.threads[tid as usize].clock += extra;
+        }
+    }
+
+    /// Makes `tid` runnable at a clock no earlier than `at_ns`.
+    fn wake(&mut self, tid: ThreadId, at_ns: u64) {
+        let t = &mut self.threads[tid as usize];
+        t.clock = t.clock.max(at_ns);
+        t.status = Status::Runnable;
+        let clock = t.clock;
+        if let Some(d) = &mut self.driver {
+            d.on_tick(tid, clock);
+        }
+    }
+
+    fn bump(&mut self, tid: ThreadId, ns: u64) {
+        self.threads[tid as usize].clock += ns;
+    }
+
+    fn advance(&mut self, tid: ThreadId) {
+        self.threads[tid as usize]
+            .frames
+            .last_mut()
+            .expect("frame")
+            .idx += 1;
+    }
+
+    fn set_reg(&mut self, tid: ThreadId, reg: Option<ValueId>, value: i64) {
+        let r = reg.expect("instruction produces a result");
+        let frame = self.threads[tid as usize].frames.last_mut().expect("frame");
+        frame.regs[r.0 as usize] = value;
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, tid: ThreadId, instr: &mut dyn Instrumentor) -> Result<Step, Failure> {
+        let module = self.module;
+        let (func_id, block_id, idx) = {
+            let f = self.threads[tid as usize]
+                .frames
+                .last()
+                .expect("live thread has a frame");
+            (f.func, f.block, f.idx)
+        };
+        let func = module.func(func_id);
+        let inst = &func.blocks[block_id.0 as usize].insts[idx];
+        let pc = inst.pc;
+        let result = inst.result;
+        let kind = &inst.kind;
+        self.threads[tid as usize].last_pc = Some(pc);
+
+        // One-shot breakpoint: snapshot when execution first reaches an
+        // armed PC (the paper's successful-trace collection, step 8).
+        if !self.bp_fired && self.driver.as_ref().is_some_and(|d| d.is_breakpoint(pc.0)) {
+            self.bp_fired = true;
+            self.snapshot = self.take_snapshot(tid, pc, SnapshotTrigger::Breakpoint);
+        }
+
+        let CostModel {
+            simple_ns,
+            memory_ns,
+            lock_ns,
+            call_ns,
+            spawn_ns,
+            ..
+        } = self.cfg.cost;
+
+        match kind {
+            InstKind::Alloca { ty } => {
+                let slots = module.slot_count(ty);
+                let Some(addr) = self.mem.alloc_stack(tid, slots, pc) else {
+                    return Err(self.fail(tid, pc, FailureKind::StackOverflow));
+                };
+                self.threads[tid as usize]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .allocas
+                    .push(addr);
+                self.set_reg(tid, result, addr as i64);
+                self.bump(tid, memory_ns);
+                self.advance(tid);
+            }
+            InstKind::HeapAlloc { ty, count } => {
+                let n = self.eval_op(tid, count).max(1) as u64;
+                let slots = module.slot_count(ty) * n;
+                let addr = self.mem.alloc_heap(slots, pc);
+                self.set_reg(tid, result, addr as i64);
+                self.bump(tid, lock_ns);
+                self.advance(tid);
+            }
+            InstKind::Free { ptr } => {
+                let addr = self.eval_op(tid, ptr) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::Free, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .free_heap(addr)
+                    .map_err(|k| self.fail(tid, pc, k))?;
+                self.advance(tid);
+            }
+            InstKind::Load { ptr, .. } => {
+                let addr = self.eval_op(tid, ptr) as u64;
+                self.bump(tid, memory_ns);
+                self.record(tid, pc, EventKind::Read, addr);
+                self.instrument_access(instr, tid, pc, addr, false);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                self.set_reg(tid, result, self.mem.read(addr));
+                self.advance(tid);
+            }
+            InstKind::Store { ptr, value, .. } => {
+                let addr = self.eval_op(tid, ptr) as u64;
+                let v = self.eval_op(tid, value);
+                self.bump(tid, memory_ns);
+                self.record(tid, pc, EventKind::Write, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                self.mem.write(addr, v);
+                self.advance(tid);
+            }
+            InstKind::Copy { src } => {
+                let v = self.eval_op(tid, src);
+                self.set_reg(tid, result, v);
+                self.bump(tid, simple_ns);
+                self.advance(tid);
+            }
+            InstKind::FieldAddr {
+                base,
+                strukt,
+                field,
+            } => {
+                let b = self.eval_op(tid, base) as u64;
+                let def = module
+                    .struct_def(strukt)
+                    .expect("verifier guarantees struct");
+                let offset_slots: u64 = def.fields[..*field]
+                    .iter()
+                    .map(|(_, t)| module.slot_count(t))
+                    .sum();
+                self.set_reg(tid, result, (b + offset_slots * 8) as i64);
+                self.bump(tid, simple_ns);
+                self.advance(tid);
+            }
+            InstKind::IndexAddr {
+                base,
+                index,
+                elem_ty,
+            } => {
+                let b = self.eval_op(tid, base) as u64;
+                let i = self.eval_op(tid, index);
+                let stride = module.slot_count(elem_ty) * 8;
+                let addr = b.wrapping_add((i as u64).wrapping_mul(stride));
+                self.set_reg(tid, result, addr as i64);
+                self.bump(tid, simple_ns);
+                self.advance(tid);
+            }
+            InstKind::Bin { op, lhs, rhs } => {
+                let a = self.eval_op(tid, lhs);
+                let b = self.eval_op(tid, rhs);
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(self.fail(tid, pc, FailureKind::DivByZero));
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(self.fail(tid, pc, FailureKind::DivByZero));
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                };
+                self.set_reg(tid, result, v);
+                self.bump(tid, simple_ns);
+                self.advance(tid);
+            }
+            InstKind::Cmp { op, lhs, rhs } => {
+                let a = self.eval_op(tid, lhs);
+                let b = self.eval_op(tid, rhs);
+                let v = match op {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                };
+                self.set_reg(tid, result, i64::from(v));
+                self.bump(tid, simple_ns);
+                self.advance(tid);
+            }
+            InstKind::Call { callee, args } => {
+                let argv: Vec<i64> = args.iter().map(|a| self.eval_op(tid, a)).collect();
+                self.bump(tid, call_ns);
+                self.push_call(tid, *callee, &argv, result, func, block_id, idx);
+            }
+            InstKind::CallIndirect { callee, args } => {
+                let target = self.eval_op(tid, callee) as u64;
+                let Some(fid) = self.func_by_base.get(&target).copied() else {
+                    return Err(self.fail(tid, pc, FailureKind::BadIndirectCall { target }));
+                };
+                if module.func(fid).params.len() != args.len() {
+                    return Err(self.fail(tid, pc, FailureKind::BadIndirectCall { target }));
+                }
+                let argv: Vec<i64> = args.iter().map(|a| self.eval_op(tid, a)).collect();
+                self.bump(tid, call_ns);
+                let clock = self.threads[tid as usize].clock;
+                if let Some(d) = &mut self.driver {
+                    d.on_indirect(tid, pc.0, target, clock);
+                }
+                self.charge_trace_cost(tid);
+                self.push_call(tid, fid, &argv, result, func, block_id, idx);
+            }
+            InstKind::Ret { value } => {
+                let v = value.as_ref().map(|op| self.eval_op(tid, op)).unwrap_or(0);
+                self.bump(tid, call_ns);
+                let frame = self.threads[tid as usize].frames.pop().expect("frame");
+                for a in &frame.allocas {
+                    self.mem.kill_stack_region(*a);
+                }
+                let clock = self.threads[tid as usize].clock;
+                if self.threads[tid as usize].frames.is_empty() {
+                    // Thread exit.
+                    if let Some(d) = &mut self.driver {
+                        d.on_indirect(tid, pc.0, EXIT_TARGET, clock);
+                    }
+                    self.charge_trace_cost(tid);
+                    self.threads[tid as usize].status = Status::Done;
+                    self.mem.drop_thread_stack(tid);
+                    for j in self.joiners.remove(&tid).unwrap_or_default() {
+                        self.wake(j, clock);
+                    }
+                    if tid == 0 {
+                        return Ok(Step::ProgramDone);
+                    }
+                } else {
+                    if let Some(d) = &mut self.driver {
+                        d.on_indirect(tid, pc.0, frame.ret_pc, clock);
+                    }
+                    self.charge_trace_cost(tid);
+                    if let Some(r) = frame.ret_reg {
+                        let caller = self.threads[tid as usize]
+                            .frames
+                            .last_mut()
+                            .expect("caller");
+                        caller.regs[r.0 as usize] = v;
+                    }
+                }
+            }
+            InstKind::Br { target } => {
+                self.bump(tid, simple_ns);
+                let f = self.threads[tid as usize].frames.last_mut().expect("frame");
+                f.block = *target;
+                f.idx = 0;
+            }
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let taken = self.eval_op(tid, cond) != 0;
+                self.bump(tid, simple_ns);
+                let clock = self.threads[tid as usize].clock;
+                if let Some(d) = &mut self.driver {
+                    d.on_branch(tid, pc.0, taken, clock);
+                }
+                self.charge_trace_cost(tid);
+                let target = if taken { *then_bb } else { *else_bb };
+                let f = self.threads[tid as usize].frames.last_mut().expect("frame");
+                f.block = target;
+                f.idx = 0;
+            }
+            InstKind::MutexLock { mutex } => {
+                let addr = self.eval_op(tid, mutex) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::LockAttempt, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                // The lock is granted now or later (by unlock); either
+                // way the thread resumes after this instruction.
+                self.advance(tid);
+                match self.sync.lock(tid, addr, pc) {
+                    LockOutcome::Acquired => {}
+                    LockOutcome::Blocked => {
+                        self.threads[tid as usize].status = Status::BlockedOnMutex(addr);
+                    }
+                    LockOutcome::Deadlock(parties) => {
+                        return Err(self.fail(tid, pc, FailureKind::Deadlock { parties }));
+                    }
+                }
+            }
+            InstKind::MutexTryLock { mutex } => {
+                let addr = self.eval_op(tid, mutex) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::LockAttempt, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                let got = self.sync.try_lock(tid, addr, pc);
+                self.set_reg(tid, result, i64::from(got));
+                self.advance(tid);
+            }
+            InstKind::MutexUnlock { mutex } => {
+                let addr = self.eval_op(tid, mutex) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::Unlock, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                let clock = self.threads[tid as usize].clock;
+                match self.sync.unlock(tid, addr) {
+                    Ok(Some(next)) => self.wake(next, clock),
+                    Ok(None) => {}
+                    Err(()) => {
+                        return Err(self.fail(tid, pc, FailureKind::BadUnlock { addr }));
+                    }
+                }
+                self.advance(tid);
+            }
+            InstKind::CondWait { cond, mutex } => {
+                let cv = self.eval_op(tid, cond) as u64;
+                let mx = self.eval_op(tid, mutex) as u64;
+                self.bump(tid, lock_ns);
+                self.mem
+                    .check_access(cv)
+                    .and_then(|()| self.mem.check_access(mx))
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                let clock = self.threads[tid as usize].clock;
+                match self.sync.unlock(tid, mx) {
+                    Ok(next) => {
+                        if let Some(n) = next {
+                            self.wake(n, clock);
+                        }
+                    }
+                    Err(()) => {
+                        return Err(self.fail(tid, pc, FailureKind::BadUnlock { addr: mx }));
+                    }
+                }
+                self.sync.cond_wait(tid, cv, mx);
+                self.threads[tid as usize].status = Status::BlockedOnCond(cv);
+                self.advance(tid);
+            }
+            InstKind::RwLockRead { rw } | InstKind::RwLockWrite { rw } => {
+                let is_write = matches!(kind, InstKind::RwLockWrite { .. });
+                let addr = self.eval_op(tid, rw) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::LockAttempt, addr);
+                self.instrument_access(instr, tid, pc, addr, is_write);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                self.advance(tid);
+                let outcome = if is_write {
+                    self.sync.rw_write(tid, addr, pc)
+                } else {
+                    self.sync.rw_read(tid, addr, pc)
+                };
+                match outcome {
+                    LockOutcome::Acquired => {}
+                    LockOutcome::Blocked => {
+                        self.threads[tid as usize].status = Status::BlockedOnMutex(addr);
+                    }
+                    LockOutcome::Deadlock(parties) => {
+                        return Err(self.fail(tid, pc, FailureKind::Deadlock { parties }));
+                    }
+                }
+            }
+            InstKind::RwUnlock { rw } => {
+                let addr = self.eval_op(tid, rw) as u64;
+                self.bump(tid, lock_ns);
+                self.record(tid, pc, EventKind::Unlock, addr);
+                self.instrument_access(instr, tid, pc, addr, true);
+                self.mem
+                    .check_access(addr)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                let clock = self.threads[tid as usize].clock;
+                match self.sync.rw_unlock(tid, addr) {
+                    Ok(woken) => {
+                        for w in woken {
+                            self.wake(w, clock);
+                        }
+                    }
+                    Err(()) => {
+                        return Err(self.fail(tid, pc, FailureKind::BadUnlock { addr }));
+                    }
+                }
+                self.advance(tid);
+            }
+            InstKind::CondSignal { cond } | InstKind::CondBroadcast { cond } => {
+                let is_signal = matches!(kind, InstKind::CondSignal { .. });
+                let cv = self.eval_op(tid, cond) as u64;
+                self.bump(tid, lock_ns);
+                self.mem
+                    .check_access(cv)
+                    .map_err(|e| self.fail(tid, pc, e.into_failure_kind()))?;
+                let n = if is_signal { 1 } else { usize::MAX };
+                let clock = self.threads[tid as usize].clock;
+                let woken = self.sync.cond_wake(cv, n);
+                for (wtid, wmutex) in woken {
+                    // The waiter must reacquire its mutex before running.
+                    let wpc = self.threads[wtid as usize].last_pc.unwrap_or(Pc(0));
+                    match self.sync.lock(wtid, wmutex, wpc) {
+                        LockOutcome::Acquired => self.wake(wtid, clock),
+                        LockOutcome::Blocked => {
+                            let w = &mut self.threads[wtid as usize];
+                            w.clock = w.clock.max(clock);
+                            w.status = Status::BlockedOnMutex(wmutex);
+                        }
+                        LockOutcome::Deadlock(parties) => {
+                            return Err(self.fail(wtid, wpc, FailureKind::Deadlock { parties }));
+                        }
+                    }
+                }
+                self.advance(tid);
+            }
+            InstKind::ThreadSpawn { func: f, arg } => {
+                let a = self.eval_op(tid, arg);
+                self.bump(tid, spawn_ns);
+                let child_tid = self.threads.len() as ThreadId;
+                let child_fn = module.func(*f);
+                let mut regs = vec![0; child_fn.reg_count as usize];
+                regs[0] = a;
+                let jitter = self.rng.gen_range(0..500);
+                let child_clock = self.threads[tid as usize].clock + jitter;
+                self.threads.push(Thread {
+                    clock: child_clock,
+                    status: Status::Runnable,
+                    frames: vec![Frame {
+                        func: *f,
+                        block: BlockId(0),
+                        idx: 0,
+                        regs,
+                        allocas: Vec::new(),
+                        ret_reg: None,
+                        ret_pc: 0,
+                    }],
+                    last_pc: None,
+                    trace_fs_debt: 0,
+                });
+                if let Some(d) = &mut self.driver {
+                    d.thread_start(child_tid, child_fn.base_pc.0, child_clock);
+                }
+                self.set_reg(tid, result, i64::from(child_tid));
+                self.advance(tid);
+            }
+            InstKind::ThreadJoin { tid: target_op } => {
+                let raw = self.eval_op(tid, target_op);
+                self.bump(tid, simple_ns);
+                if raw < 0 || raw as usize >= self.threads.len() {
+                    return Err(self.fail(
+                        tid,
+                        pc,
+                        FailureKind::AssertFailed {
+                            msg: format!("join of invalid thread {raw}"),
+                        },
+                    ));
+                }
+                let target = raw as ThreadId;
+                self.advance(tid);
+                if self.threads[target as usize].status == Status::Done {
+                    let done_at = self.threads[target as usize].clock;
+                    let t = &mut self.threads[tid as usize];
+                    t.clock = t.clock.max(done_at);
+                } else {
+                    self.joiners.entry(target).or_default().push(tid);
+                    self.threads[tid as usize].status = Status::BlockedOnJoin(target);
+                }
+            }
+            InstKind::Io { ns, .. } => {
+                let nominal = self.eval_op(tid, ns).max(0) as u64;
+                let j = u64::from(self.cfg.cost.io_jitter_pct);
+                let actual = if j == 0 || nominal == 0 {
+                    nominal
+                } else {
+                    let span = 2 * j;
+                    let pick = self.rng.gen_range(0..=span);
+                    nominal * (100 - j + pick) / 100
+                };
+                self.bump(tid, actual.max(1));
+                let clock = self.threads[tid as usize].clock;
+                if let Some(d) = &mut self.driver {
+                    d.on_tick(tid, clock);
+                }
+                self.charge_trace_cost(tid);
+                self.advance(tid);
+            }
+            InstKind::Assert { cond, msg } => {
+                let v = self.eval_op(tid, cond);
+                self.bump(tid, simple_ns);
+                if v == 0 {
+                    return Err(self.fail(tid, pc, FailureKind::AssertFailed { msg: msg.clone() }));
+                }
+                self.advance(tid);
+            }
+            InstKind::Halt => {
+                self.bump(tid, simple_ns);
+                return Ok(Step::ProgramDone);
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    fn push_call(
+        &mut self,
+        tid: ThreadId,
+        callee: FuncId,
+        argv: &[i64],
+        result: Option<ValueId>,
+        caller_fn: &lazy_ir::Function,
+        block_id: BlockId,
+        idx: usize,
+    ) {
+        // Resume point in the caller: the instruction after the call
+        // (calls produce results, so they are never terminators).
+        let ret_pc = caller_fn.blocks[block_id.0 as usize].insts[idx + 1].pc.0;
+        self.advance(tid);
+        let callee_fn = self.module.func(callee);
+        let mut regs = vec![0; callee_fn.reg_count as usize];
+        regs[..argv.len()].copy_from_slice(argv);
+        self.threads[tid as usize].frames.push(Frame {
+            func: callee,
+            block: BlockId(0),
+            idx: 0,
+            regs,
+            allocas: Vec::new(),
+            ret_reg: result,
+            ret_pc,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::{ModuleBuilder, Operand, Type};
+    use lazy_trace::{decode_thread_trace, ExecIndex};
+
+    /// Builds: main allocates a counter, loops `n` times incrementing it,
+    /// asserts the final value, halts.
+    fn counting_module(n: i64, assert_expected: i64) -> Module {
+        let mut mb = ModuleBuilder::new("count");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let entry = f.entry();
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.switch_to(entry);
+        let c = f.alloca(Type::I64);
+        f.store(c.clone(), Operand::const_int(0), Type::I64);
+        f.br(head);
+        f.switch_to(head);
+        let v = f.load(c.clone(), Type::I64);
+        let cond = f.lt(v, Operand::const_int(n));
+        f.cond_br(cond, body, exit);
+        f.switch_to(body);
+        let v = f.load(c.clone(), Type::I64);
+        let v1 = f.add(v, Operand::const_int(1));
+        f.store(c.clone(), v1, Type::I64);
+        f.br(head);
+        f.switch_to(exit);
+        let fin = f.load(c, Type::I64);
+        let ok = f.eq(fin, Operand::const_int(assert_expected));
+        f.assert(ok, "final count");
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn straight_line_arithmetic_completes() {
+        let m = counting_module(10, 10);
+        let out = Vm::run(&m, VmConfig::default());
+        assert_eq!(out.result, RunResult::Completed);
+        assert!(out.steps > 30);
+        assert!(out.duration_ns > 0);
+    }
+
+    #[test]
+    fn failed_assert_reports_pc_and_kind() {
+        let m = counting_module(10, 11);
+        let out = Vm::run(&m, VmConfig::default());
+        let f = out.failure().expect("assertion must fail");
+        assert!(matches!(f.kind, FailureKind::AssertFailed { .. }));
+        assert_eq!(f.tid, 0);
+        // The failing PC maps to the assert instruction.
+        let inst = m.inst(f.pc).unwrap();
+        assert!(matches!(inst.kind, InstKind::Assert { .. }));
+        assert!(out.snapshot.is_some(), "failure must snapshot the trace");
+    }
+
+    #[test]
+    fn null_deref_crashes() {
+        let mut mb = ModuleBuilder::new("null");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.load(Operand::Null, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        let fail = out.failure().unwrap();
+        assert!(matches!(fail.kind, FailureKind::NullDeref { .. }));
+        assert!(fail.kind.is_crash());
+    }
+
+    #[test]
+    fn use_after_free_crashes_at_the_use() {
+        let mut mb = ModuleBuilder::new("uaf");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let p = f.heap_alloc(Type::I64, Operand::const_int(1));
+        f.store(p.clone(), Operand::const_int(1), Type::I64);
+        f.free(p.clone());
+        f.load(p, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        let fail = out.failure().unwrap();
+        assert!(
+            matches!(fail.kind, FailureKind::UseAfterFree { .. }),
+            "{fail}"
+        );
+        let inst = m.inst(fail.pc).unwrap();
+        assert!(matches!(inst.kind, InstKind::Load { .. }));
+    }
+
+    #[test]
+    fn div_by_zero_crashes() {
+        let mut mb = ModuleBuilder::new("div");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let z = f.copy(Operand::const_int(0));
+        f.bin(lazy_ir::BinOp::Div, Operand::const_int(1), z);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert!(matches!(
+            out.failure().unwrap().kind,
+            FailureKind::DivByZero
+        ));
+    }
+
+    /// Two workers lock A/B in opposite orders with an I/O gap so the
+    /// deadlock manifests reliably.
+    fn deadlock_module() -> Module {
+        let mut mb = ModuleBuilder::new("dl");
+        let ga = mb.global("lock_a", Type::Mutex, vec![]);
+        let gb = mb.global("lock_b", Type::Mutex, vec![]);
+        let w1 = mb.declare("w1", vec![Type::I64], Type::Void);
+        let w2 = mb.declare("w2", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(w1);
+            let e = f.entry();
+            f.switch_to(e);
+            f.lock(ga.clone());
+            f.io("work", 50_000);
+            f.lock(gb.clone());
+            f.unlock(gb.clone());
+            f.unlock(ga.clone());
+            f.ret(None);
+            f.finish();
+        }
+        {
+            let mut f = mb.define(w2);
+            let e = f.entry();
+            f.switch_to(e);
+            f.lock(gb.clone());
+            f.io("work", 50_000);
+            f.lock(ga.clone());
+            f.unlock(ga.clone());
+            f.unlock(gb.clone());
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let t1 = f.spawn(w1, Operand::const_int(0));
+        let t2 = f.spawn(w2, Operand::const_int(0));
+        f.join(t1);
+        f.join(t2);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn ab_ba_deadlock_detected_with_parties() {
+        let m = deadlock_module();
+        let out = Vm::run(&m, VmConfig::default());
+        let fail = out.failure().expect("must deadlock");
+        let FailureKind::Deadlock { parties } = &fail.kind else {
+            panic!("expected deadlock, got {fail}");
+        };
+        assert_eq!(parties.len(), 2);
+        // Each party's PC is a lock instruction.
+        for p in parties {
+            assert!(m.inst(p.pc).unwrap().kind.is_lock_acquire());
+        }
+        assert!(!fail.kind.is_crash());
+        assert!(out.snapshot.is_some());
+    }
+
+    /// Producer/consumer over a condvar; completes without failure.
+    fn condvar_module() -> Module {
+        let mut mb = ModuleBuilder::new("cv");
+        let mx = mb.global("mx", Type::Mutex, vec![]);
+        let cv = mb.global("cv", Type::CondVar, vec![]);
+        let flag = mb.global("flag", Type::I64, vec![0]);
+        let consumer = mb.declare("consumer", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(consumer);
+            let e = f.entry();
+            let check = f.block("check");
+            let wait = f.block("wait");
+            let done = f.block("done");
+            f.switch_to(e);
+            f.lock(mx.clone());
+            f.br(check);
+            f.switch_to(check);
+            let v = f.load(flag.clone(), Type::I64);
+            let ready = f.ne(v, Operand::const_int(0));
+            f.cond_br(ready, done, wait);
+            f.switch_to(wait);
+            f.cond_wait(cv.clone(), mx.clone());
+            f.br(check);
+            f.switch_to(done);
+            f.unlock(mx.clone());
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let t = f.spawn(consumer, Operand::const_int(0));
+        f.io("produce", 200_000);
+        f.lock(mx.clone());
+        f.store(flag, Operand::const_int(1), Type::I64);
+        f.cond_signal(cv);
+        f.unlock(mx);
+        f.join(t);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn condvar_producer_consumer_completes() {
+        let m = condvar_module();
+        for seed in 0..5 {
+            let out = Vm::run(
+                &m,
+                VmConfig {
+                    seed,
+                    ..VmConfig::default()
+                },
+            );
+            assert_eq!(out.result, RunResult::Completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn io_durations_dominate_run_time_and_jitter_with_seed() {
+        let mut mb = ModuleBuilder::new("io");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("disk", 1_000_000);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let a = Vm::run(
+            &m,
+            VmConfig {
+                seed: 1,
+                ..VmConfig::default()
+            },
+        );
+        let b = Vm::run(
+            &m,
+            VmConfig {
+                seed: 2,
+                ..VmConfig::default()
+            },
+        );
+        assert!(
+            a.duration_ns >= 850_000 && a.duration_ns <= 1_160_000,
+            "{}",
+            a.duration_ns
+        );
+        assert_ne!(a.duration_ns, b.duration_ns, "seeds should jitter I/O");
+        let c = Vm::run(
+            &m,
+            VmConfig {
+                seed: 1,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(a.duration_ns, c.duration_ns, "same seed must reproduce");
+    }
+
+    #[test]
+    fn ground_truth_recorder_captures_watched_pcs() {
+        let m = counting_module(3, 3);
+        // Watch the store in the loop body.
+        let store_pc = m
+            .all_insts()
+            .find(|(i, loc)| i.kind.is_write() && loc.block.0 == 2)
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let cfg = VmConfig {
+            watch_pcs: vec![store_pc],
+            ..VmConfig::default()
+        };
+        let out = Vm::run(&m, cfg);
+        assert_eq!(out.result, RunResult::Completed);
+        assert_eq!(out.events.len(), 3, "three loop iterations");
+        assert!(out
+            .events
+            .iter()
+            .all(|e| e.pc == store_pc && e.kind == EventKind::Write));
+        // Times strictly increase.
+        for w in out.events.windows(2) {
+            assert!(w[0].at_ns < w[1].at_ns);
+        }
+    }
+
+    #[test]
+    fn breakpoint_snapshot_on_successful_run() {
+        let m = counting_module(5, 5);
+        let assert_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Assert { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let cfg = VmConfig {
+            breakpoints: vec![assert_pc],
+            ..VmConfig::default()
+        };
+        let out = Vm::run(&m, cfg);
+        assert_eq!(out.result, RunResult::Completed);
+        let snap = out.snapshot.expect("breakpoint must snapshot");
+        assert_eq!(snap.trigger, SnapshotTrigger::Breakpoint);
+        assert_eq!(snap.trigger_pc, assert_pc.0);
+    }
+
+    #[test]
+    fn decoded_failure_trace_ends_at_failing_instruction() {
+        let m = counting_module(10, 11);
+        let out = Vm::run(&m, VmConfig::default());
+        let fail = out.failure().unwrap().clone();
+        let snap = out.snapshot.unwrap();
+        let index = ExecIndex::build(&m);
+        let cfgt = lazy_trace::TraceConfig::default();
+        let thread = snap.threads.iter().find(|t| t.tid == fail.tid).unwrap();
+        let trace = decode_thread_trace(&index, &cfgt, &thread.bytes, snap.taken_at).unwrap();
+        let last = trace.events.last().unwrap();
+        assert_eq!(last.pc, fail.pc, "decoded trace must end at the failing PC");
+    }
+
+    #[test]
+    fn decoded_trace_matches_full_ground_truth() {
+        let m = counting_module(4, 4);
+        // Watch every instruction of main (ground truth of executed
+        // memory ops).
+        let watch: Vec<Pc> = m.all_insts().map(|(i, _)| i.pc).collect();
+        let cfg = VmConfig {
+            watch_pcs: watch,
+            ..VmConfig::default()
+        };
+        let out = Vm::run(&m, cfg);
+        assert_eq!(out.result, RunResult::Completed);
+        // Take an on-demand style snapshot via failure-free path: rerun
+        // with a breakpoint at the halt instruction.
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let out2 = Vm::run(
+            &m,
+            VmConfig {
+                breakpoints: vec![halt_pc],
+                ..VmConfig::default()
+            },
+        );
+        let snap = out2.snapshot.unwrap();
+        let index = ExecIndex::build(&m);
+        let trace = decode_thread_trace(
+            &index,
+            &lazy_trace::TraceConfig::default(),
+            &snap.threads[0].bytes,
+            snap.taken_at,
+        )
+        .unwrap();
+        // The decoded memory accesses must equal the recorded ones from
+        // the first (identical-seed) run, in order and count.
+        let decoded_mem: Vec<Pc> = trace
+            .events
+            .iter()
+            .filter(|e| m.inst(e.pc).is_some_and(|i| i.kind.is_memory_access()))
+            .map(|e| e.pc)
+            .collect();
+        let truth_mem: Vec<Pc> = out
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Read | EventKind::Write))
+            .map(|e| e.pc)
+            .collect();
+        assert_eq!(decoded_mem, truth_mem);
+    }
+
+    #[test]
+    fn tracing_adds_modelled_overhead() {
+        let m = counting_module(2000, 2000);
+        let traced = Vm::run(&m, VmConfig::default());
+        let untraced = Vm::run(
+            &m,
+            VmConfig {
+                trace: None,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(traced.result, RunResult::Completed);
+        assert_eq!(untraced.result, RunResult::Completed);
+        assert!(traced.trace_bytes > 0);
+        assert_eq!(untraced.trace_bytes, 0);
+        assert!(
+            traced.duration_ns > untraced.duration_ns,
+            "traced {} vs untraced {}",
+            traced.duration_ns,
+            untraced.duration_ns
+        );
+        let overhead =
+            (traced.duration_ns - untraced.duration_ns) as f64 / untraced.duration_ns as f64;
+        assert!(
+            overhead < 0.20,
+            "modelled PT overhead too large: {overhead}"
+        );
+    }
+
+    #[test]
+    fn spawn_join_threads_complete_and_propagate_time() {
+        let mut mb = ModuleBuilder::new("threads");
+        let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+        {
+            let mut f = mb.define(worker);
+            let e = f.entry();
+            f.switch_to(e);
+            f.io("work", 500_000);
+            f.ret(None);
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let t1 = f.spawn(worker, Operand::const_int(1));
+        let t2 = f.spawn(worker, Operand::const_int(2));
+        f.join(t1);
+        f.join(t2);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert_eq!(out.result, RunResult::Completed);
+        // Parallel workers: duration ~ one worker, not two.
+        assert!(out.duration_ns < 900_000, "{}", out.duration_ns);
+        assert!(out.duration_ns > 400_000, "{}", out.duration_ns);
+    }
+
+    #[test]
+    fn hang_reported_when_all_block() {
+        // A thread waits on a condvar nobody signals.
+        let mut mb = ModuleBuilder::new("hang");
+        let mx = mb.global("mx", Type::Mutex, vec![]);
+        let cv = mb.global("cv", Type::CondVar, vec![]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.lock(mx.clone());
+        f.cond_wait(cv, mx);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert!(matches!(out.failure().unwrap().kind, FailureKind::Hang));
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let mut mb = ModuleBuilder::new("inf");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        let spin = f.block("spin");
+        f.switch_to(e);
+        f.br(spin);
+        f.switch_to(spin);
+        f.br(spin);
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(
+            &m,
+            VmConfig {
+                max_steps: 10_000,
+                ..VmConfig::default()
+            },
+        );
+        assert!(matches!(out.failure().unwrap().kind, FailureKind::Timeout));
+    }
+
+    #[test]
+    fn indirect_call_works_and_traces() {
+        let mut mb = ModuleBuilder::new("icall");
+        let callee = mb.declare("callee", vec![Type::I64], Type::I64);
+        {
+            let mut f = mb.define(callee);
+            let e = f.entry();
+            f.switch_to(e);
+            let v = f.add(f.param(0), Operand::const_int(5));
+            f.ret(Some(v));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let fp = f.copy(Operand::Func(callee));
+        let r = f.call_indirect(fp, vec![Operand::const_int(37)]);
+        let ok = f.eq(r, Operand::const_int(42));
+        f.assert(ok, "indirect call result");
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert_eq!(out.result, RunResult::Completed);
+    }
+
+    #[test]
+    fn indirect_call_to_garbage_fails() {
+        let mut mb = ModuleBuilder::new("badicall");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let fp = f.copy(Operand::const_int(0xdead));
+        f.call_indirect(fp, vec![]);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert!(matches!(
+            out.failure().unwrap().kind,
+            FailureKind::BadIndirectCall { target: 0xdead }
+        ));
+    }
+
+    #[test]
+    fn struct_field_addressing() {
+        let mut mb = ModuleBuilder::new("fields");
+        mb.struct_def(
+            "Pair",
+            vec![("a".into(), Type::I64), ("b".into(), Type::I64)],
+        );
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let p = f.alloca(Type::Struct("Pair".into()));
+        let pa = f.field_addr(p.clone(), "Pair", "a");
+        let pb = f.field_addr(p, "Pair", "b");
+        f.store(pa.clone(), Operand::const_int(7), Type::I64);
+        f.store(pb.clone(), Operand::const_int(9), Type::I64);
+        let a = f.load(pa, Type::I64);
+        let b = f.load(pb, Type::I64);
+        let sum = f.add(a, b);
+        let ok = f.eq(sum, Operand::const_int(16));
+        f.assert(ok, "field sum");
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        assert_eq!(
+            Vm::run(&m, VmConfig::default()).result,
+            RunResult::Completed
+        );
+    }
+
+    #[test]
+    fn stack_slot_dies_with_frame() {
+        // A callee returns a pointer to its own alloca; the caller's use
+        // is a use-after-free (stack variant).
+        let mut mb = ModuleBuilder::new("dangling");
+        let callee = mb.declare("escape", vec![Type::I64], Type::I64);
+        {
+            let mut f = mb.define(callee);
+            let e = f.entry();
+            f.switch_to(e);
+            let p = f.alloca(Type::I64);
+            f.store(p.clone(), Operand::const_int(1), Type::I64);
+            f.ret(Some(p));
+            f.finish();
+        }
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        let p = f.call(callee, vec![Operand::const_int(0)]);
+        f.load(p, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert!(matches!(
+            out.failure().unwrap().kind,
+            FailureKind::UseAfterFree { .. }
+        ));
+    }
+
+    #[test]
+    fn unlock_of_unheld_mutex_fails() {
+        let mut mb = ModuleBuilder::new("badunlock");
+        let mx = mb.global("mx", Type::Mutex, vec![]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.unlock(mx);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert!(matches!(
+            out.failure().unwrap().kind,
+            FailureKind::BadUnlock { .. }
+        ));
+    }
+
+    #[test]
+    fn spill_mode_keeps_full_history_at_extra_cost() {
+        let m = counting_module(3000, 3000);
+        let tiny = 512usize;
+        let ring_cfg = lazy_trace::TraceConfig {
+            buffer_size: tiny,
+            psb_period_bytes: 128,
+            ..lazy_trace::TraceConfig::default()
+        };
+        let spill_cfg = lazy_trace::TraceConfig {
+            buffer_size: tiny,
+            psb_period_bytes: 128,
+            spill_to_storage: true,
+            ..lazy_trace::TraceConfig::default()
+        };
+        let halt_pc = m
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let ring = Vm::run(
+            &m,
+            VmConfig {
+                trace: Some(ring_cfg.clone()),
+                breakpoints: vec![halt_pc],
+                ..VmConfig::default()
+            },
+        );
+        let spill = Vm::run(
+            &m,
+            VmConfig {
+                trace: Some(spill_cfg.clone()),
+                breakpoints: vec![halt_pc],
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(spill.result, RunResult::Completed);
+        // Spill mode pays extra virtual time for the storage flushes.
+        assert!(
+            spill.duration_ns > ring.duration_ns + 100_000,
+            "spill {} vs ring {}",
+            spill.duration_ns,
+            ring.duration_ns
+        );
+        // The spilled snapshot decodes to the full execution; the tiny
+        // ring alone holds only a window.
+        let index = ExecIndex::build(&m);
+        let full = decode_thread_trace(
+            &index,
+            &spill_cfg,
+            &spill.snapshot.unwrap().threads[0].bytes,
+            u64::MAX,
+        )
+        .unwrap();
+        let windowed = decode_thread_trace(
+            &index,
+            &ring_cfg,
+            &ring.snapshot.unwrap().threads[0].bytes,
+            u64::MAX,
+        )
+        .unwrap();
+        assert!(
+            full.events.len() > windowed.events.len() * 2,
+            "full {} vs windowed {}",
+            full.events.len(),
+            windowed.events.len()
+        );
+        // Full decode begins at the program's first instruction.
+        assert_eq!(full.events[0].pc, m.func_by_name("main").unwrap().base_pc);
+    }
+
+    /// An instrumentor that charges a fixed cost per watched access.
+    struct FixedCost {
+        pcs: std::collections::HashSet<Pc>,
+        per_access: u64,
+        hits: u64,
+    }
+
+    impl Instrumentor for FixedCost {
+        fn watches(&self, pc: Pc) -> bool {
+            self.pcs.contains(&pc)
+        }
+        fn on_access(&mut self, _e: AccessEvent) -> u64 {
+            self.hits += 1;
+            self.per_access
+        }
+    }
+
+    #[test]
+    fn instrumentor_slows_watched_accesses() {
+        let m = counting_module(100, 100);
+        let watch: std::collections::HashSet<Pc> = m
+            .all_insts()
+            .filter(|(i, _)| i.kind.is_memory_access())
+            .map(|(i, _)| i.pc)
+            .collect();
+        let mut instr = FixedCost {
+            pcs: watch,
+            per_access: 1_000,
+            hits: 0,
+        };
+        let base = Vm::run(
+            &m,
+            VmConfig {
+                trace: None,
+                ..VmConfig::default()
+            },
+        );
+        let out = Vm::run_instrumented(
+            &m,
+            VmConfig {
+                trace: None,
+                ..VmConfig::default()
+            },
+            &mut instr,
+        );
+        assert!(instr.hits > 200, "hits {}", instr.hits);
+        assert!(out.duration_ns > base.duration_ns + instr.hits * 900);
+    }
+}

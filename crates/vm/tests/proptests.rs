@@ -1,0 +1,220 @@
+//! Property-based tests of the VM: determinism per seed, virtual-time
+//! monotonicity, and trace/ground-truth agreement on randomly generated
+//! straight-line-with-loops programs.
+
+use lazy_ir::{BlockId, Module, ModuleBuilder, Operand, Type};
+use lazy_vm::{RunResult, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A random but always-terminating single-thread program: a sequence of
+/// arithmetic, memory traffic on a small arena, bounded loops, and
+/// I/O slices.
+#[derive(Clone, Debug)]
+enum Stmt {
+    Arith(i64),
+    StoreLoad(u8),
+    Loop(u8),
+    Io(u32),
+}
+
+pub(crate) fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        any::<i64>().prop_map(Stmt::Arith),
+        (0u8..8).prop_map(Stmt::StoreLoad),
+        (1u8..6).prop_map(Stmt::Loop),
+        (1u32..50).prop_map(|k| Stmt::Io(k * 1000)),
+    ]
+}
+
+pub(crate) fn build(stmts: &[Stmt]) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let arena = f.alloca(Type::Array(Box::new(Type::I64), 8));
+    let mut acc = f.copy(Operand::const_int(1));
+    for (si, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Arith(k) => {
+                acc = f.add(acc, Operand::const_int(*k & 0xffff));
+            }
+            Stmt::StoreLoad(slot) => {
+                let p = f.index_addr(
+                    arena.clone(),
+                    Operand::const_int(i64::from(*slot)),
+                    Type::I64,
+                );
+                f.store(p.clone(), acc.clone(), Type::I64);
+                acc = f.load(p, Type::I64);
+            }
+            Stmt::Loop(iters) => {
+                let ctr = f.alloca(Type::I64);
+                f.store(ctr.clone(), Operand::const_int(0), Type::I64);
+                let head = f.block(format!("head{si}"));
+                let body = f.block(format!("body{si}"));
+                let done = f.block(format!("done{si}"));
+                f.br(head);
+                f.switch_to(head);
+                let v = f.load(ctr.clone(), Type::I64);
+                let c = f.lt(v, Operand::const_int(i64::from(*iters)));
+                f.cond_br(c, body, done);
+                f.switch_to(body);
+                let v = f.load(ctr.clone(), Type::I64);
+                let v1 = f.add(v, Operand::const_int(1));
+                f.store(ctr.clone(), v1, Type::I64);
+                f.br(head);
+                f.switch_to(done);
+            }
+            Stmt::Io(ns) => f.io("work", u64::from(*ns)),
+        }
+    }
+    let _ = f.entry();
+    let _ = BlockId(0);
+    f.halt();
+    f.finish();
+    mb.finish().expect("verifies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical (module, seed) pairs give identical outcomes.
+    #[test]
+    fn execution_is_deterministic(
+        stmts in prop::collection::vec(arb_stmt(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let m = build(&stmts);
+        let a = Vm::run(&m, VmConfig { seed, ..VmConfig::default() });
+        let b = Vm::run(&m, VmConfig { seed, ..VmConfig::default() });
+        prop_assert_eq!(&a.result, &b.result);
+        prop_assert_eq!(a.duration_ns, b.duration_ns);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.trace_bytes, b.trace_bytes);
+    }
+
+    /// These generated programs always complete, and tracing never
+    /// changes the result — only the (modelled) time.
+    #[test]
+    fn tracing_is_semantically_transparent(
+        stmts in prop::collection::vec(arb_stmt(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let m = build(&stmts);
+        let traced = Vm::run(&m, VmConfig { seed, ..VmConfig::default() });
+        let plain = Vm::run(&m, VmConfig { seed, trace: None, ..VmConfig::default() });
+        prop_assert_eq!(&traced.result, &RunResult::Completed);
+        prop_assert_eq!(&plain.result, &RunResult::Completed);
+        prop_assert_eq!(traced.steps, plain.steps);
+        prop_assert!(traced.duration_ns >= plain.duration_ns);
+    }
+
+    /// The decoded trace of a completed run replays exactly the memory
+    /// accesses the ground-truth recorder saw.
+    #[test]
+    fn decode_matches_ground_truth(stmts in prop::collection::vec(arb_stmt(), 1..16)) {
+        let m = build(&stmts);
+        let watch: Vec<_> = m.all_insts().map(|(i, _)| i.pc).collect();
+        let halt_pc = *watch.last().unwrap();
+        let out = Vm::run(
+            &m,
+            VmConfig { watch_pcs: watch, breakpoints: vec![halt_pc], ..VmConfig::default() },
+        );
+        prop_assert_eq!(&out.result, &RunResult::Completed);
+        let Some(snap) = out.snapshot else {
+            // The breakpoint PC must be the halt; it always fires.
+            return Err(TestCaseError::fail("missing snapshot"));
+        };
+        let index = lazy_trace::ExecIndex::build(&m);
+        let trace = lazy_trace::decode_thread_trace(
+            &index,
+            &lazy_trace::TraceConfig::default(),
+            &snap.threads[0].bytes,
+            snap.taken_at,
+        )
+        .expect("decode");
+        let decoded_mem: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| m.inst(e.pc).is_some_and(|i| i.kind.is_memory_access()))
+            .map(|e| e.pc)
+            .collect();
+        let truth_mem: Vec<_> = out
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, lazy_vm::EventKind::Read | lazy_vm::EventKind::Write)
+            })
+            .map(|e| e.pc)
+            .collect();
+        prop_assert_eq!(decoded_mem, truth_mem);
+    }
+}
+
+mod wrapped_decode {
+    use super::*;
+    use lazy_trace::TraceConfig;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// With a tiny wrapped ring buffer, whatever decodes is a
+        /// contiguous *suffix* of the true execution's memory accesses
+        /// (never reordered, never fabricated).
+        #[test]
+        fn tiny_ring_decodes_a_true_suffix(
+            stmts in prop::collection::vec(super::arb_stmt(), 4..20),
+        ) {
+            let m = super::build(&stmts);
+            let watch: Vec<_> = m.all_insts().map(|(i, _)| i.pc).collect();
+            let halt_pc = *watch.last().unwrap();
+            let trace = TraceConfig {
+                buffer_size: 256,
+                psb_period_bytes: 64,
+                ..TraceConfig::default()
+            };
+            let out = Vm::run(
+                &m,
+                VmConfig {
+                    watch_pcs: watch,
+                    breakpoints: vec![halt_pc],
+                    trace: Some(trace.clone()),
+                    ..VmConfig::default()
+                },
+            );
+            prop_assert_eq!(&out.result, &RunResult::Completed);
+            let snap = out.snapshot.expect("snapshot at halt");
+            let index = lazy_trace::ExecIndex::build(&m);
+            let decoded = lazy_trace::decode_thread_trace(
+                &index,
+                &trace,
+                &snap.threads[0].bytes,
+                snap.taken_at,
+            );
+            let Ok(decoded) = decoded else {
+                // A fully garbled head with no PSB is acceptable for a
+                // 256-byte window; nothing decoded, nothing wrong.
+                return Ok(());
+            };
+            let got: Vec<_> = decoded
+                .events
+                .iter()
+                .filter(|e| m.inst(e.pc).is_some_and(|i| i.kind.is_memory_access()))
+                .map(|e| e.pc)
+                .collect();
+            let truth: Vec<_> = out
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind, lazy_vm::EventKind::Read | lazy_vm::EventKind::Write)
+                })
+                .map(|e| e.pc)
+                .collect();
+            prop_assert!(got.len() <= truth.len());
+            if !got.is_empty() {
+                let tail = &truth[truth.len() - got.len()..];
+                prop_assert_eq!(&got[..], tail, "decoded events must be the true suffix");
+            }
+        }
+    }
+}

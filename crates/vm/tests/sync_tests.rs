@@ -1,0 +1,352 @@
+//! Integration tests of the VM's synchronization semantics beyond the
+//! unit suites: broadcast wakeups, trylock fallbacks, lock handoff
+//! fairness, and gated scheduling edge cases.
+
+use lazy_ir::{InstKind, ModuleBuilder, Operand, Pc, Type};
+use lazy_vm::{RunResult, ScheduleGate, Vm, VmConfig};
+
+/// N waiters on one condvar; a single broadcast releases them all.
+#[test]
+fn broadcast_wakes_every_waiter() {
+    let n = 6;
+    let mut mb = ModuleBuilder::new("bcast");
+    let mx = mb.global("mx", Type::Mutex, vec![]);
+    let cv = mb.global("cv", Type::CondVar, vec![]);
+    let go = mb.global("go", Type::I64, vec![0]);
+    let done = mb.global("done", Type::I64, vec![0]);
+    let waiter = mb.declare("waiter", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(waiter);
+        let e = f.entry();
+        let check = f.block("check");
+        let wait = f.block("wait");
+        let out = f.block("out");
+        f.switch_to(e);
+        f.lock(mx.clone());
+        f.br(check);
+        f.switch_to(check);
+        let v = f.load(go.clone(), Type::I64);
+        let ready = f.ne(v, Operand::const_int(0));
+        f.cond_br(ready, out, wait);
+        f.switch_to(wait);
+        f.cond_wait(cv.clone(), mx.clone());
+        f.br(check);
+        f.switch_to(out);
+        let d = f.load(done.clone(), Type::I64);
+        let d1 = f.add(d, Operand::const_int(1));
+        f.store(done.clone(), d1, Type::I64);
+        f.unlock(mx.clone());
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let tids = f.alloca(Type::Array(Box::new(Type::I64), n));
+    for i in 0..n {
+        let t = f.spawn(waiter, Operand::const_int(i as i64));
+        let slot = f.index_addr(tids.clone(), Operand::const_int(i as i64), Type::I64);
+        f.store(slot, t, Type::I64);
+    }
+    f.io("let-them-wait", 500_000);
+    f.lock(mx.clone());
+    f.store(go, Operand::const_int(1), Type::I64);
+    f.cond_broadcast(cv);
+    f.unlock(mx);
+    for i in 0..n {
+        let slot = f.index_addr(tids.clone(), Operand::const_int(i as i64), Type::I64);
+        let t = f.load(slot, Type::I64);
+        f.join(t);
+    }
+    let d = f.load(done, Type::I64);
+    let ok = f.eq(d, Operand::const_int(n as i64));
+    f.assert(ok, "all waiters ran");
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    for seed in 0..5 {
+        let out = Vm::run(
+            &m,
+            VmConfig {
+                seed,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            out.result,
+            RunResult::Completed,
+            "seed {seed}: {:?}",
+            out.failure()
+        );
+    }
+}
+
+/// trylock takes the uncontended path and reports contention without
+/// blocking.
+#[test]
+fn trylock_contention_fallback() {
+    let mut mb = ModuleBuilder::new("trylock");
+    let mx = mb.global("mx", Type::Mutex, vec![]);
+    let hits = mb.global("fallbacks", Type::I64, vec![0]);
+    let grabber = mb.declare("grabber", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(grabber);
+        let e = f.entry();
+        f.switch_to(e);
+        f.lock(mx.clone());
+        f.io("hold-it", 600_000);
+        f.unlock(mx.clone());
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    let got = f.block("got");
+    let missed = f.block("missed");
+    let end = f.block("end");
+    f.switch_to(e);
+    let t = f.spawn(grabber, Operand::const_int(0));
+    f.io("arrive-late", 300_000);
+    let won = f.try_lock(mx.clone());
+    let c = f.ne(won.clone(), Operand::const_int(0));
+    f.cond_br(c, got, missed);
+    f.switch_to(got);
+    f.unlock(mx.clone());
+    f.br(end);
+    f.switch_to(missed);
+    let v = f.load(hits.clone(), Type::I64);
+    let v1 = f.add(v, Operand::const_int(1));
+    f.store(hits.clone(), v1, Type::I64);
+    f.br(end);
+    f.switch_to(end);
+    f.join(t);
+    // The grabber holds the lock across our attempt: we must have
+    // taken the fallback path, and must NOT have blocked (we joined
+    // fine afterwards).
+    let v = f.load(hits, Type::I64);
+    let ok = f.eq(v, Operand::const_int(1));
+    f.assert(ok, "trylock fell back exactly once");
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let out = Vm::run(&m, VmConfig::default());
+    assert_eq!(out.result, RunResult::Completed, "{:?}", out.failure());
+}
+
+/// Mutex handoff is FIFO across several contenders (no starvation).
+#[test]
+fn mutex_handoff_is_fifo() {
+    let mut mb = ModuleBuilder::new("fifo");
+    let mx = mb.global("mx", Type::Mutex, vec![]);
+    let order = mb.global("order", Type::Array(Box::new(Type::I64), 8), vec![]);
+    let cursor = mb.global("cursor", Type::I64, vec![0]);
+    let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(worker);
+        let e = f.entry();
+        f.switch_to(e);
+        // Stagger arrivals deterministically by id.
+        let ns = f.mul(f.param(0), Operand::const_int(100_000));
+        f.io_dyn("stagger", ns);
+        f.lock(mx.clone());
+        let c = f.load(cursor.clone(), Type::I64);
+        let slot = f.index_addr(order.clone(), c.clone(), Type::I64);
+        f.store(slot, f.param(0), Type::I64);
+        let c1 = f.add(c, Operand::const_int(1));
+        f.store(cursor.clone(), c1, Type::I64);
+        f.io("in-section", 400_000);
+        f.unlock(mx.clone());
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let mut ts = Vec::new();
+    for i in 1..=4i64 {
+        ts.push(f.spawn(worker, Operand::const_int(i)));
+    }
+    for t in ts {
+        f.join(t);
+    }
+    // Arrival order (1, 2, 3, 4) == service order.
+    for i in 0..4i64 {
+        let slot = f.index_addr(order.clone(), Operand::const_int(i), Type::I64);
+        let v = f.load(slot, Type::I64);
+        let ok = f.eq(v, Operand::const_int(i + 1));
+        f.assert(ok, "fifo order");
+    }
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    // Jitter off so arrival order is exact.
+    let mut cfg = VmConfig::default();
+    cfg.cost.io_jitter_pct = 0;
+    let out = Vm::run(&m, cfg);
+    assert_eq!(out.result, RunResult::Completed, "{:?}", out.failure());
+}
+
+/// A gate that permanently blocks one PC: the VM's forced-progress
+/// fallback still lets the program finish (divergence, not deadlock).
+#[test]
+fn gate_cannot_wedge_the_vm() {
+    struct Blocker {
+        pc: Pc,
+        forced: u32,
+    }
+    impl ScheduleGate for Blocker {
+        fn watches(&self, pc: Pc) -> bool {
+            pc == self.pc
+        }
+        fn may_execute(&mut self, _tid: u32, _pc: Pc) -> bool {
+            false
+        }
+        fn on_executed(&mut self, _tid: u32, _pc: Pc) {
+            self.forced += 1;
+        }
+    }
+    let mut mb = ModuleBuilder::new("wedge");
+    let g = mb.global("g", Type::I64, vec![0]);
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    f.store(g.clone(), Operand::const_int(1), Type::I64);
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let store_pc = m
+        .all_insts()
+        .find(|(i, _)| matches!(i.kind, InstKind::Store { .. }))
+        .map(|(i, _)| i.pc)
+        .unwrap();
+    let mut gate = Blocker {
+        pc: store_pc,
+        forced: 0,
+    };
+    let out = Vm::run_gated(&m, VmConfig::default(), &mut gate);
+    assert_eq!(out.result, RunResult::Completed);
+    assert_eq!(gate.forced, 1, "the store was forced through exactly once");
+}
+
+/// Out-of-bounds array indexing through a negative index is a wild
+/// access, not silent corruption.
+#[test]
+fn negative_index_is_a_wild_access() {
+    use lazy_vm::FailureKind;
+    let mut mb = ModuleBuilder::new("oob");
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let arr = f.heap_alloc(Type::I64, Operand::const_int(4));
+    let bad = f.index_addr(arr, Operand::const_int(-3), Type::I64);
+    f.store(bad, Operand::const_int(1), Type::I64);
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let out = Vm::run(&m, VmConfig::default());
+    assert!(matches!(
+        out.failure().unwrap().kind,
+        FailureKind::WildAccess { .. } | FailureKind::UseAfterFree { .. }
+    ));
+}
+
+/// A crash in a spawned worker carries that worker's thread id and the
+/// program stops immediately (no other thread keeps running the VM).
+#[test]
+fn worker_crash_attributes_the_right_thread() {
+    use lazy_vm::FailureKind;
+    let mut mb = ModuleBuilder::new("workercrash");
+    let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(worker);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("spin-up", 50_000);
+        let z = f.copy(Operand::const_int(0));
+        f.bin(lazy_ir::BinOp::Rem, Operand::const_int(5), z);
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let t = f.spawn(worker, Operand::const_int(0));
+    f.io("long-main-work", 10_000_000);
+    f.join(t);
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let out = Vm::run(&m, VmConfig::default());
+    let fail = out.failure().unwrap();
+    assert!(matches!(fail.kind, FailureKind::DivByZero));
+    assert_eq!(fail.tid, 1, "the worker crashed, not main");
+    // The failure pre-empted main's long I/O: the run ended at the
+    // crash, around 50 µs, not at 10 ms.
+    assert!(fail.at_ns < 200_000, "{}", fail.at_ns);
+}
+
+/// Deep (recursive) call chains work and unwind cleanly.
+#[test]
+fn deep_recursion_completes() {
+    let mut mb = ModuleBuilder::new("recurse");
+    let fact = mb.declare("sum_to", vec![Type::I64], Type::I64);
+    {
+        let mut f = mb.define(fact);
+        let e = f.entry();
+        let base = f.block("base");
+        let rec = f.block("rec");
+        f.switch_to(e);
+        let c = f.eq(f.param(0), Operand::const_int(0));
+        f.cond_br(c, base, rec);
+        f.switch_to(base);
+        f.ret(Some(Operand::const_int(0)));
+        f.switch_to(rec);
+        let less = f.sub(f.param(0), Operand::const_int(1));
+        let sub = f.call(fact, vec![less]);
+        let total = f.add(sub, f.param(0));
+        f.ret(Some(total));
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let r = f.call(fact, vec![Operand::const_int(300)]);
+    let ok = f.eq(r, Operand::const_int(300 * 301 / 2));
+    f.assert(ok, "gauss");
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let out = Vm::run(&m, VmConfig::default());
+    assert_eq!(out.result, RunResult::Completed, "{:?}", out.failure());
+}
+
+/// Unbounded recursion hits the stack window and reports a stack
+/// overflow (not silent cross-thread corruption).
+#[test]
+fn runaway_recursion_is_a_stack_overflow() {
+    use lazy_vm::FailureKind;
+    let mut mb = ModuleBuilder::new("runaway");
+    let rec = mb.declare("rec", vec![Type::I64], Type::I64);
+    {
+        let mut f = mb.define(rec);
+        let e = f.entry();
+        f.switch_to(e);
+        // Each frame takes a big chunk of stack.
+        let _big = f.alloca(Type::Array(Box::new(Type::I64), 4096));
+        let v = f.call(rec, vec![f.param(0)]);
+        f.ret(Some(v));
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    f.call(rec, vec![Operand::const_int(0)]);
+    f.halt();
+    f.finish();
+    let m = mb.finish().unwrap();
+    let out = Vm::run(&m, VmConfig::default());
+    assert!(matches!(
+        out.failure().unwrap().kind,
+        FailureKind::StackOverflow
+    ));
+}

@@ -1,0 +1,335 @@
+//! Scenario building blocks.
+//!
+//! Real server code is branch-dense: request handling, parsing, and I/O
+//! loops emit a control-flow packet every few instructions, which is
+//! what lets a PT-style decoder attribute coarse timestamps tightly.
+//! [`chunked_io`] models a latency/work period as a *loop* of small
+//! I/O slices for exactly that reason — a single opaque `io`
+//! instruction would leave the decoder with one wide, useless window.
+
+use lazy_ir::{FunctionBuilder, InstKind, Module, Operand, Pc, Type};
+
+/// Picks a chunk count so each slice of simulated work is ~40 µs —
+/// the branch density that keeps decoded time windows well below the
+/// corpus's inter-event distances (real request-processing code
+/// branches far more often still).
+pub fn auto_chunks(total_ns: u64) -> u32 {
+    (total_ns / 40_000).clamp(2, 512) as u32
+}
+
+/// Emits `total_ns` of simulated work/latency as auto-sized branchy
+/// slices (see [`auto_chunks`]). The builder is left positioned in the
+/// loop's exit block.
+pub fn work(f: &mut FunctionBuilder<'_>, label: &str, total_ns: u64) {
+    chunked_io(f, label, total_ns, auto_chunks(total_ns));
+}
+
+/// Emits a long, schedule-diversifying gap: one large jittered I/O
+/// (the ±15% VM jitter on a single big value is what spreads thread
+/// timings across seeds) followed by a short auto-chunked settle loop
+/// (which re-anchors the decoder's time windows with branch density
+/// before any nearby target event).
+pub fn jittered_gap(f: &mut FunctionBuilder<'_>, label: &str, total_ns: u64) {
+    let bulk = total_ns * 85 / 100;
+    if bulk > 0 {
+        f.io(label, bulk);
+    }
+    work(f, &format!("{label}-settle"), total_ns - bulk);
+}
+
+/// Emits a loop performing `total_ns` of simulated work/latency in
+/// `chunks` branchy slices. The builder is left positioned in the
+/// loop's exit block.
+///
+/// # Panics
+///
+/// Panics if `chunks` is zero.
+pub fn chunked_io(f: &mut FunctionBuilder<'_>, label: &str, total_ns: u64, chunks: u32) {
+    assert!(chunks > 0, "chunked_io needs at least one chunk");
+    let ctr = f.alloca(Type::I64);
+    f.store(ctr.clone(), Operand::const_int(0), Type::I64);
+    let head = f.block(format!("{label}.head"));
+    let body = f.block(format!("{label}.body"));
+    let done = f.block(format!("{label}.done"));
+    f.br(head);
+    f.switch_to(head);
+    let v = f.load(ctr.clone(), Type::I64);
+    let c = f.lt(v, Operand::const_int(i64::from(chunks)));
+    f.cond_br(c, body, done);
+    f.switch_to(body);
+    f.io(label, total_ns / u64::from(chunks));
+    // Each slice also parses/computes a little (branch-dense), giving
+    // traces the control-event density of real request handling.
+    busy_loop(f, &format!("{label}.crunch"), 12);
+    let v = f.load(ctr.clone(), Type::I64);
+    let v1 = f.add(v, Operand::const_int(1));
+    f.store(ctr, v1, Type::I64);
+    f.br(head);
+    f.switch_to(done);
+}
+
+/// Emits a pure-CPU busy loop of `iters` iterations (branch-dense, no
+/// I/O) — the pbzip2-style compute kernel.
+pub fn busy_loop(f: &mut FunctionBuilder<'_>, label: &str, iters: u32) {
+    let ctr = f.alloca(Type::I64);
+    f.store(ctr.clone(), Operand::const_int(0), Type::I64);
+    let head = f.block(format!("{label}.head"));
+    let body = f.block(format!("{label}.body"));
+    let done = f.block(format!("{label}.done"));
+    f.br(head);
+    f.switch_to(head);
+    let v = f.load(ctr.clone(), Type::I64);
+    let c = f.lt(v.clone(), Operand::const_int(i64::from(iters)));
+    f.cond_br(c, body, done);
+    f.switch_to(body);
+    // A little arithmetic to burn "cycles".
+    let x = f.mul(v.clone(), Operand::const_int(2654435761));
+    let y = f.add(x, Operand::const_int(12345));
+    let _ = f.bin(lazy_ir::BinOp::Xor, y, v);
+    let v = f.load(ctr.clone(), Type::I64);
+    let v1 = f.add(v, Operand::const_int(1));
+    f.store(ctr, v1, Type::I64);
+    f.br(head);
+    f.switch_to(done);
+}
+
+/// Adds `n` never-called "cold" functions to the module.
+///
+/// Real systems are large: MySQL is 650 KLOC, but a failing request
+/// touches a sliver of it. The cold functions model that dormant code
+/// mass — pointer-rich (allocations, stores through pointers, struct
+/// fields, calls along a chain) so a *whole-program* points-to analysis
+/// has real work to do, while trace-scoped analysis skips them
+/// entirely. This is what gives scope restriction its ~9× instruction
+/// reduction (Figure 7) and the hybrid analysis its speedup (Table 4).
+pub fn add_cold_code(mb: &mut lazy_ir::ModuleBuilder, prefix: &str, n: u32) {
+    if n == 0 {
+        return;
+    }
+    let strukt = format!("{prefix}_cold_node");
+    mb.struct_def(
+        strukt.clone(),
+        vec![("next".into(), Type::I64), ("val".into(), Type::I64)],
+    );
+    let ids: Vec<lazy_ir::FuncId> = (0..n)
+        .map(|i| {
+            mb.declare(
+                format!("{prefix}_cold_{i}"),
+                vec![Type::I64.ptr_to()],
+                Type::I64.ptr_to(),
+            )
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let next = ids[(i + 1) % ids.len()];
+        let mut f = mb.define(*id);
+        let e = f.entry();
+        let deep = f.block("deep");
+        let out = f.block("out");
+        f.switch_to(e);
+        let node = f.alloca(Type::Struct(strukt.clone()));
+        let nv = f.field_addr(node.clone(), &strukt, "val");
+        f.store(nv.clone(), Operand::const_int(i as i64), Type::I64);
+        let slot = f.alloca(Type::I64.ptr_to());
+        f.store(slot.clone(), f.param(0), Type::I64.ptr_to());
+        let v = f.load(nv.clone(), Type::I64);
+        let c = f.lt(v, Operand::const_int(4));
+        f.cond_br(c, deep, out);
+        f.switch_to(deep);
+        // A call along the chain keeps the interprocedural solver busy.
+        let r = f.call(next, vec![nv.clone()]);
+        f.store(slot.clone(), r, Type::I64.ptr_to());
+        f.br(out);
+        f.switch_to(out);
+        let p = f.load(slot, Type::I64.ptr_to());
+        f.ret(Some(p));
+        f.finish();
+    }
+}
+
+/// Emits `n` unrolled byte-granularity stores zeroing the object at
+/// `base` — a memset-style initialization.
+///
+/// These accesses alias the object but carry the generic `i8` type, so
+/// they populate the candidate set at rank 2 (the paper's Figure 4
+/// situation: type-based ranking puts exact-type accesses first without
+/// discarding generic ones).
+pub fn emit_memset(f: &mut FunctionBuilder<'_>, base: &Operand, slots: u32) {
+    for i in 0..slots {
+        let p = f.index_addr(base.clone(), Operand::const_int(i64::from(i)), Type::I8);
+        f.store(p, Operand::const_int(0), Type::I8);
+    }
+}
+
+/// Declares and defines an "audit" thread entry: `n` unrolled generic
+/// (`i8`-typed) reads of `shared`, each preceded by a slice of
+/// simulated scan work. Models the stats/monitoring code that touches
+/// shared state through generic pointers in real servers.
+pub fn add_audit_thread(
+    mb: &mut lazy_ir::ModuleBuilder,
+    prefix: &str,
+    shared: &Operand,
+    n: u32,
+    gap_ns: u64,
+) -> lazy_ir::FuncId {
+    let id = mb.declare(format!("{prefix}_audit"), vec![Type::I64], Type::Void);
+    let mut f = mb.define(id);
+    let e = f.entry();
+    f.switch_to(e);
+    for i in 0..n {
+        chunked_io(&mut f, &format!("scan{i}"), gap_ns.max(1), 2);
+        f.load(shared.clone(), Type::I8);
+    }
+    f.ret(None);
+    f.finish();
+    id
+}
+
+/// Finds the PCs of instructions in function `fname` matching `pred`,
+/// in layout order.
+pub fn find_pcs(module: &Module, fname: &str, pred: impl Fn(&InstKind) -> bool) -> Vec<Pc> {
+    module
+        .func_by_name(fname)
+        .map(|f| f.insts().filter(|i| pred(&i.kind)).map(|i| i.pc).collect())
+        .unwrap_or_default()
+}
+
+/// Finds exactly one PC in `fname` matching `pred`.
+///
+/// # Panics
+///
+/// Panics unless exactly one instruction matches, naming the function —
+/// scenario constructors use this to pin their target instructions.
+pub fn find_pc(module: &Module, fname: &str, pred: impl Fn(&InstKind) -> bool) -> Pc {
+    let hits = find_pcs(module, fname, pred);
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one match in {fname}, got {}",
+        hits.len()
+    );
+    hits[0]
+}
+
+/// Finds PCs within the named basic block(s) of `fname` matching
+/// `pred` (block names need not be unique; all matches are scanned).
+pub fn find_pcs_in_block(
+    module: &Module,
+    fname: &str,
+    bname: &str,
+    pred: impl Fn(&InstKind) -> bool,
+) -> Vec<Pc> {
+    module
+        .func_by_name(fname)
+        .map(|f| {
+            f.blocks
+                .iter()
+                .filter(|b| b.name == bname)
+                .flat_map(|b| b.insts.iter())
+                .filter(|i| pred(&i.kind))
+                .map(|i| i.pc)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Finds exactly one PC within the named block of `fname`.
+///
+/// # Panics
+///
+/// Panics unless exactly one instruction matches.
+pub fn find_pc_in_block(
+    module: &Module,
+    fname: &str,
+    bname: &str,
+    pred: impl Fn(&InstKind) -> bool,
+) -> Pc {
+    let hits = find_pcs_in_block(module, fname, bname, pred);
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one match in {fname}::{bname}, got {}",
+        hits.len()
+    );
+    hits[0]
+}
+
+/// Finds the `n`-th (0-based) PC in `fname` matching `pred`.
+///
+/// # Panics
+///
+/// Panics if fewer than `n + 1` instructions match.
+pub fn find_nth_pc(module: &Module, fname: &str, n: usize, pred: impl Fn(&InstKind) -> bool) -> Pc {
+    let hits = find_pcs(module, fname, pred);
+    assert!(
+        hits.len() > n,
+        "expected at least {} matches in {fname}",
+        n + 1
+    );
+    hits[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_ir::ModuleBuilder;
+    use lazy_vm::{RunResult, Vm, VmConfig};
+
+    #[test]
+    fn chunked_io_takes_roughly_total_time_with_branches() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        chunked_io(&mut f, "net", 800_000, 8);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert_eq!(out.result, RunResult::Completed);
+        assert!(
+            out.duration_ns > 600_000 && out.duration_ns < 1_100_000,
+            "{}",
+            out.duration_ns
+        );
+        // Branchy: trace bytes were written for the loop.
+        assert!(out.trace_bytes > 20);
+    }
+
+    #[test]
+    fn busy_loop_completes_and_branches() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        busy_loop(&mut f, "crunch", 100);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        let out = Vm::run(&m, VmConfig::default());
+        assert_eq!(out.result, RunResult::Completed);
+        assert!(out.steps > 600);
+    }
+
+    #[test]
+    fn find_helpers_locate_instructions() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", Type::I64, vec![0]);
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.store(g.clone(), Operand::const_int(1), Type::I64);
+        f.store(g.clone(), Operand::const_int(2), Type::I64);
+        f.load(g, Type::I64);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+        assert_eq!(find_pcs(&m, "main", InstKind::is_write).len(), 2);
+        let second = find_nth_pc(&m, "main", 1, InstKind::is_write);
+        let first = find_nth_pc(&m, "main", 0, InstKind::is_write);
+        assert!(first < second);
+        let load = find_pc(&m, "main", |k| matches!(k, InstKind::Load { .. }));
+        assert!(second < load);
+        assert!(find_pcs(&m, "absent", InstKind::is_write).is_empty());
+    }
+}

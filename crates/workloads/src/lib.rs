@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # lazy-workloads — the model-system and bug corpus
+//!
+//! The paper evaluates on 13 real systems and 54 reproduced concurrency
+//! bugs (§3.2) and on 7 C/C++ systems for the Snorlax evaluation (§6).
+//! This crate is the corpus substitute: for each system a family of
+//! model programs (built on [`lazy_ir`]) that reproduce the *patterns*
+//! of the documented bugs — the same bug classes, the same event
+//! structures (Figure 1), and coarse inter-event timing calibrated to
+//! the ranges Tables 1–3 report (average ΔT per bug between ~150 µs and
+//! ~3.5 ms; minimum observed 91 µs).
+//!
+//! * [`spec`] — scenario descriptors: bug class, target instructions,
+//!   ground-truth extraction, reproduction helpers.
+//! * [`dsl`] — building blocks shared by scenarios; most importantly
+//!   [`dsl::chunked_io`], which models I/O and computation as *branchy*
+//!   work so the control-flow tracer gets the packet density real
+//!   request-processing code has.
+//! * [`archetypes`] — parameterized generators for each bug shape
+//!   (AB-BA and three-way deadlocks; use-after-free, null-publish, and
+//!   assert-flavoured order violations; RWR/WWR/RWW/WRW atomicity
+//!   violations).
+//! * [`systems`] — the 13 themed systems instantiating 54 scenarios,
+//!   with the 7-system C/C++ tier used by the §6 evaluation harnesses.
+//! * [`perf`] — failure-free throughput workloads per system (with a
+//!   thread-count knob) for the overhead and scalability experiments
+//!   (Figures 8 and 9).
+
+pub mod archetypes;
+pub mod dsl;
+pub mod perf;
+pub mod spec;
+pub mod systems;
+
+pub use perf::{perf_workload, PerfWorkload};
+pub use spec::{BugClass, BugScenario, ScenarioTiming};
+pub use systems::{
+    all_scenarios, cpp_scenarios, extension_scenarios, scenario_by_id, system_names, CPP_SYSTEMS,
+};

@@ -1,0 +1,144 @@
+//! Scenario descriptors and ground-truth extraction.
+
+use lazy_ir::{Module, Pc};
+use lazy_vm::{EventKind, RunOutcome, Vm, VmConfig};
+
+/// The concurrency-bug classes of the paper's Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// A lock-order cycle.
+    Deadlock,
+    /// A cross-thread access pair executed in the wrong order.
+    OrderViolation,
+    /// A single-variable atomicity violation (RWR/WWR/RWW/WRW).
+    AtomicityViolation,
+}
+
+impl BugClass {
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BugClass::Deadlock => "deadlock",
+            BugClass::OrderViolation => "order",
+            BugClass::AtomicityViolation => "atomicity",
+        }
+    }
+}
+
+/// The nominal timing profile of a scenario: the ΔT targets of
+/// Tables 1–3 (virtual nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScenarioTiming {
+    /// ΔT (deadlocks, order violations) or ΔT1 (atomicity violations).
+    pub delta1_ns: u64,
+    /// ΔT2 for atomicity violations (0 otherwise).
+    pub delta2_ns: u64,
+}
+
+/// One reproducible bug scenario.
+pub struct BugScenario {
+    /// Corpus id, e.g. `"mysql-3596"` (modeled after the original
+    /// tracker entry; `na` ids mirror the paper's N/A rows).
+    pub id: String,
+    /// The model system this belongs to.
+    pub system: &'static str,
+    /// The bug class.
+    pub class: BugClass,
+    /// The program.
+    pub module: Module,
+    /// The target instructions (the events of Figure 1), in
+    /// ground-truth failure order.
+    pub targets: Vec<Pc>,
+    /// Nominal inter-event timing.
+    pub timing: ScenarioTiming,
+    /// One-line description of the modeled defect.
+    pub description: String,
+}
+
+impl BugScenario {
+    /// Runs seeds starting at `first_seed` until the bug manifests;
+    /// returns the failing outcome and its seed.
+    ///
+    /// The run watches the scenario's target instructions, so the
+    /// outcome carries ground-truth events.
+    pub fn reproduce(&self, first_seed: u64, max_runs: usize) -> Option<(RunOutcome, u64)> {
+        for i in 0..max_runs {
+            let seed = first_seed + i as u64;
+            let out = Vm::run(
+                &self.module,
+                VmConfig {
+                    seed,
+                    watch_pcs: self.targets.clone(),
+                    ..VmConfig::default()
+                },
+            );
+            if out.is_failure() {
+                return Some((out, seed));
+            }
+        }
+        None
+    }
+
+    /// Extracts the ground-truth order of target instructions from a
+    /// failing run: each target's *last* recorded occurrence, sorted by
+    /// exact virtual time (the paper's manually-verified `O_M` list).
+    pub fn ground_truth_order(&self, outcome: &RunOutcome) -> Vec<Pc> {
+        let mut last: Vec<(u64, Pc)> = Vec::new();
+        for &t in &self.targets {
+            if let Some(e) = outcome.events.iter().rev().find(|e| e.pc == t) {
+                last.push((e.at_ns, t));
+            }
+        }
+        last.sort();
+        last.into_iter().map(|(_, pc)| pc).collect()
+    }
+
+    /// Measures the elapsed times between consecutive target events in
+    /// a failing run (the ΔT / ΔT1,ΔT2 quantities of Tables 1–3), using
+    /// each target's last occurrence.
+    pub fn measure_deltas(&self, outcome: &RunOutcome) -> Vec<u64> {
+        let mut times: Vec<u64> = Vec::new();
+        for &t in &self.targets {
+            if let Some(e) = outcome.events.iter().rev().find(|e| {
+                e.pc == t
+                    && matches!(
+                        e.kind,
+                        EventKind::Read
+                            | EventKind::Write
+                            | EventKind::LockAttempt
+                            | EventKind::Free
+                    )
+            }) {
+                times.push(e.at_ns);
+            }
+        }
+        times.sort_unstable();
+        times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// The class-relevant ΔT values from a run: the Tables 1–3
+    /// quantities. Deadlocks report the gap between the two
+    /// cycle-closing acquisition attempts (the final gap); order
+    /// violations the single inter-access gap; atomicity violations
+    /// ΔT1 and ΔT2.
+    pub fn relevant_deltas(&self, outcome: &RunOutcome) -> Vec<u64> {
+        let all = self.measure_deltas(outcome);
+        match self.class {
+            BugClass::Deadlock => all.last().copied().into_iter().collect(),
+            BugClass::OrderViolation => all.first().copied().into_iter().collect(),
+            BugClass::AtomicityViolation => all,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(BugClass::Deadlock.label(), "deadlock");
+        assert_eq!(BugClass::OrderViolation.label(), "order");
+        assert_eq!(BugClass::AtomicityViolation.label(), "atomicity");
+    }
+}

@@ -1,0 +1,334 @@
+//! The 13 model systems and their 54 bug scenarios.
+//!
+//! Ids follow the paper's Tables 1–3 style: a tracker number when the
+//! modeled defect has a well-known public id, `na-k` otherwise (the
+//! paper likewise marks several bugs N/A). Every scenario is *modeled
+//! after* the documented bug's class and event structure; descriptions
+//! say what is being modeled. ΔT targets are drawn from the band the
+//! paper reports: per-bug averages between ~150 µs and ~3.5 ms, nothing
+//! below 91 µs.
+
+use crate::archetypes::{
+    atom_rwr, atom_rww, atom_wrw, atom_wwr, deadlock_3way, deadlock_ab, order_assert, order_null,
+    order_uaf, ArchParams,
+};
+use crate::spec::BugScenario;
+
+/// The C/C++ tier used for the Snorlax evaluation (§6).
+pub const CPP_SYSTEMS: [&str; 7] = [
+    "mysql",
+    "httpd",
+    "memcached",
+    "sqlite",
+    "transmission",
+    "pbzip2",
+    "aget",
+];
+
+/// The Java tier (hypothesis study §3 only).
+pub const JAVA_SYSTEMS: [&str; 6] = ["jdk", "derby", "groovy", "dbcp", "log4j", "lucene"];
+
+/// All 13 system names.
+pub fn system_names() -> Vec<&'static str> {
+    CPP_SYSTEMS
+        .iter()
+        .chain(JAVA_SYSTEMS.iter())
+        .copied()
+        .collect()
+}
+
+/// The ids of the 11 bugs used by the §6 Snorlax evaluation harnesses
+/// (accuracy, Figure 7, Table 4).
+pub const EVAL_IDS: [&str; 11] = [
+    "mysql-3596",
+    "mysql-644",
+    "mysql-169",
+    "httpd-21287",
+    "httpd-25520",
+    "memcached-127",
+    "sqlite-1672",
+    "transmission-1818",
+    "pbzip2-na-1",
+    "aget-na-1",
+    "aget-na-2",
+];
+
+type Gen = fn(&ArchParams) -> BugScenario;
+
+/// One row of the corpus table.
+struct Row {
+    id: &'static str,
+    system: &'static str,
+    prefix: &'static str,
+    gen: Gen,
+    d1_us: u64,
+    d2_us: u64,
+    desc: &'static str,
+}
+
+const fn row(
+    id: &'static str,
+    system: &'static str,
+    prefix: &'static str,
+    gen: Gen,
+    d1_us: u64,
+    d2_us: u64,
+    desc: &'static str,
+) -> Row {
+    Row {
+        id,
+        system,
+        prefix,
+        gen,
+        d1_us,
+        d2_us,
+        desc,
+    }
+}
+
+#[rustfmt::skip]
+fn corpus() -> Vec<Row> {
+    vec![
+        // ---- MySQL (6) ----
+        row("mysql-3596", "mysql", "binlog", atom_rwr, 210, 260, "modeled after MySQL #3596: binlog state read twice non-atomically while a rotation commits in between"),
+        row("mysql-644", "mysql", "qcache", atom_wwr, 180, 150, "modeled after MySQL #644: query-cache ownership flag rewritten by an invalidation thread mid-claim"),
+        row("mysql-169", "mysql", "relay", order_assert, 340, 0, "modeled after MySQL #169: relay-log position logged before the applier finished updating it"),
+        row("mysql-12848", "mysql", "thdpool", atom_rww, 160, 190, "modeled after MySQL #12848: THD refcount read-modify-write racing a connection reaper's free"),
+        row("mysql-59464", "mysql", "purge", deadlock_ab, 450, 0, "modeled after MySQL #59464: purge and DDL threads acquire dict/log locks in opposite orders"),
+        row("mysql-2011", "mysql", "slave", order_null, 280, 0, "modeled after MySQL replication init race: slave handle used before master info is published"),
+        // ---- Apache httpd (5) ----
+        row("httpd-21287", "httpd", "cache", atom_rww, 190, 220, "modeled after httpd #21287: cache-object refcount decrement racing a concurrent cleanup free (double-free class)"),
+        row("httpd-25520", "httpd", "logbuf", atom_rwr, 520, 480, "modeled after httpd #25520: buffered-log length read twice while a worker appends in between (corrupted log)"),
+        row("httpd-45605", "httpd", "scorebd", atom_wrw, 250, 230, "modeled after httpd scoreboard race: child status observed in a mid-update intermediate state"),
+        row("httpd-na-1", "httpd", "mpmq", deadlock_ab, 700, 0, "modeled after an httpd MPM shutdown deadlock: listener and worker queues locked in opposite orders"),
+        row("httpd-na-2", "httpd", "vhost", order_null, 390, 0, "modeled after an httpd startup race: vhost config consulted before the reload thread publishes it"),
+        // ---- memcached (4) ----
+        row("memcached-127", "memcached", "item", atom_rww, 150, 140, "modeled after memcached #127: item refcount read-modify-write racing the LRU reaper's free"),
+        row("memcached-na-1", "memcached", "slab", atom_wwr, 230, 210, "modeled after a memcached slab-rebalance race: ownership flag stolen between claim and use"),
+        row("memcached-na-2", "memcached", "stats", order_assert, 480, 0, "modeled after a memcached stats race: counters snapshotted before a worker's final update"),
+        row("memcached-na-3", "memcached", "conn", deadlock_ab, 320, 0, "modeled after a memcached connection-teardown deadlock: conn and stats locks in opposite orders"),
+        // ---- SQLite (4) ----
+        row("sqlite-1672", "sqlite", "journal", deadlock_ab, 560, 0, "modeled after SQLite #1672: journal and schema mutexes acquired in opposite orders by reader and writer"),
+        row("sqlite-na-1", "sqlite", "pager", atom_rwr, 300, 340, "modeled after a SQLite pager race: page count read twice around a concurrent vacuum's update"),
+        row("sqlite-na-2", "sqlite", "wal", order_null, 200, 0, "modeled after a SQLite WAL race: wal handle dereferenced before the opener publishes it"),
+        row("sqlite-na-3", "sqlite", "busy", deadlock_3way, 260, 0, "modeled after a three-way SQLite lock cycle across schema, pager, and wal mutexes"),
+        // ---- Transmission (3) ----
+        row("transmission-1818", "transmission", "bandwidth", order_null, 170, 0, "modeled after Transmission #1818: h->bandwidth used by the session thread before allocation assigns it"),
+        row("transmission-na-1", "transmission", "peer", atom_rww, 420, 380, "modeled after a Transmission peer teardown race: peer refcount update racing the reaper's free"),
+        row("transmission-na-2", "transmission", "verify", deadlock_ab, 900, 0, "modeled after a Transmission verify/stop deadlock: piece and session locks in opposite orders"),
+        // ---- pbzip2 (3) ----
+        row("pbzip2-na-1", "pbzip2", "fifo", order_uaf, 120, 0, "modeled after the pbzip2 order violation: main frees the FIFO (and its mutex) while a consumer still locks it"),
+        row("pbzip2-na-2", "pbzip2", "outbuf", order_assert, 150, 0, "modeled after a pbzip2 writer race: output offset recorded before the last block's producer stores it"),
+        row("pbzip2-na-3", "pbzip2", "qcount", atom_rwr, 130, 110, "modeled after a pbzip2 queue-count race: count read twice around a producer's increment"),
+        // ---- aget (3) ----
+        row("aget-na-1", "aget", "bwritten", order_assert, 260, 0, "modeled after the aget bwritten race: the signal handler snapshots bytes-written before a worker's final add"),
+        row("aget-na-2", "aget", "segment", atom_wwr, 140, 160, "modeled after an aget resume race: segment-owner field rewritten by a second worker mid-claim"),
+        row("aget-na-3", "aget", "head", order_null, 190, 0, "modeled after an aget startup race: response header parsed before the prefetch thread publishes it"),
+        // ---- JDK (5) ----
+        row("jdk-6633229", "jdk", "logmgr", deadlock_ab, 1200, 0, "modeled after JDK LogManager deadlock: logger tree and handler locks in opposite orders"),
+        row("jdk-na-1", "jdk", "classld", atom_rwr, 800, 900, "modeled after a JDK class-loading race: loader state read twice around a concurrent definition"),
+        row("jdk-na-2", "jdk", "timer", order_null, 650, 0, "modeled after a JDK Timer race: task queue used before the scheduler thread publishes it"),
+        row("jdk-na-3", "jdk", "gcstats", atom_wrw, 700, 750, "modeled after a JDK stats race: phase flag observed in a mid-transition state by a sampler"),
+        row("jdk-na-4", "jdk", "shutdown", deadlock_3way, 950, 0, "modeled after a JDK shutdown-hook lock cycle across runtime, hooks, and logging locks"),
+        // ---- Apache Derby (5) ----
+        row("derby-2861", "derby", "lockmgr", deadlock_ab, 1600, 0, "modeled after Derby #2861: lock manager and transaction table acquired in opposite orders"),
+        row("derby-na-1", "derby", "btree", atom_rwr, 1100, 1000, "modeled after a Derby btree race: page latch state read twice around a concurrent split"),
+        row("derby-na-2", "derby", "bootsvc", order_null, 900, 0, "modeled after a Derby boot race: service handle used before the booting thread publishes it"),
+        row("derby-na-3", "derby", "cachemgr", atom_rww, 1300, 1200, "modeled after a Derby cache race: holder refcount read-modify-write racing the cleaner's free"),
+        row("derby-na-4", "derby", "xact", order_assert, 2100, 0, "modeled after a Derby transaction race: commit LSN logged before the flusher's final store"),
+        // ---- Apache Groovy (4) ----
+        row("groovy-na-1", "groovy", "metacls", atom_rwr, 1500, 1400, "modeled after a Groovy metaclass race: registry entry read twice around a concurrent replacement"),
+        row("groovy-na-2", "groovy", "compile", deadlock_ab, 2400, 0, "modeled after a Groovy compiler deadlock: AST and classloader locks in opposite orders"),
+        row("groovy-na-3", "groovy", "gstring", atom_wwr, 1700, 1600, "modeled after a Groovy GString cache race: cached value rewritten by a second evaluator mid-use"),
+        row("groovy-na-4", "groovy", "binding", order_null, 1900, 0, "modeled after a Groovy script race: binding map consulted before the host thread publishes it"),
+        // ---- Apache DBCP (4) ----
+        row("dbcp-44", "dbcp", "pool", deadlock_ab, 2000, 0, "modeled after DBCP #44: pool and evictor locks acquired in opposite orders on exhaustion"),
+        row("dbcp-na-1", "dbcp", "factory", deadlock_3way, 1800, 0, "modeled after a DBCP three-way cycle across pool, factory, and driver locks"),
+        row("dbcp-na-2", "dbcp", "idle", atom_rww, 1400, 1500, "modeled after a DBCP idle-eviction race: connection refcount update racing the evictor's close/free"),
+        row("dbcp-na-3", "dbcp", "config", order_assert, 2700, 0, "modeled after a DBCP reconfigure race: pool size recorded before the resizer's final store"),
+        // ---- Apache Log4j (4) ----
+        row("log4j-na-1", "log4j", "appender", deadlock_ab, 2900, 0, "modeled after the classic Log4j appender deadlock: logger and appender locks in opposite orders"),
+        row("log4j-na-2", "log4j", "category", atom_wrw, 2200, 2300, "modeled after a Log4j hierarchy race: category level observed mid-update by a logging thread"),
+        row("log4j-na-3", "log4j", "rollover", order_uaf, 1000, 0, "modeled after a Log4j rollover race: the old appender (and its lock) closed/freed while a logger still uses it"),
+        row("log4j-na-4", "log4j", "asyncq", atom_rwr, 2500, 2400, "modeled after a Log4j async-queue race: queue depth read twice around a producer's append"),
+        // ---- Apache Lucene (4) ----
+        row("lucene-na-1", "lucene", "segmerge", atom_rwr, 3300, 3200, "modeled after a Lucene merge race: segment info read twice around a concurrent merge commit"),
+        row("lucene-na-2", "lucene", "idxwriter", order_assert, 3100, 0, "modeled after a Lucene writer race: doc count recorded before the flusher's final store"),
+        row("lucene-na-3", "lucene", "reader", atom_rww, 2800, 2900, "modeled after a Lucene reader race: reader refcount read-modify-write racing a close's free"),
+        row("lucene-na-4", "lucene", "taxo", order_null, 2600, 0, "modeled after a Lucene taxonomy race: taxonomy index consulted before the opener publishes it"),
+    ]
+}
+
+/// Never-executed cold-code mass per system, scaled to the real
+/// system's size (§6 lists MySQL at 650 KLOC down to aget at 842 LOC).
+/// Each cold function is ~16 instructions; the resulting
+/// static-to-executed ratios average near the paper's 9×.
+pub fn cold_funcs_for(system: &str) -> u32 {
+    match system {
+        "mysql" => 330,
+        "httpd" => 190,
+        "sqlite" => 130,
+        "transmission" => 95,
+        "memcached" => 65,
+        "pbzip2" => 27,
+        "aget" => 19,
+        // The Java tier only participates in the hypothesis study;
+        // moderate mass keeps corpus construction fast.
+        "jdk" => 160,
+        "derby" => 140,
+        "lucene" => 100,
+        "groovy" => 80,
+        "log4j" => 65,
+        "dbcp" => 55,
+        _ => 0,
+    }
+}
+
+fn build(r: &Row) -> BugScenario {
+    let mut p = ArchParams::new(
+        r.id,
+        r.system,
+        r.prefix,
+        r.d1_us * 1_000,
+        r.d2_us * 1_000,
+        r.desc,
+    );
+    p.cold_funcs = cold_funcs_for(r.system);
+    (r.gen)(&p)
+}
+
+/// Builds every scenario in the corpus (54 bugs, 13 systems).
+pub fn all_scenarios() -> Vec<BugScenario> {
+    corpus().iter().map(build).collect()
+}
+
+/// Builds the scenarios of the C/C++ tier only (the §6 evaluation set
+/// of systems).
+pub fn cpp_scenarios() -> Vec<BugScenario> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| CPP_SYSTEMS.contains(&s.system))
+        .collect()
+}
+
+/// Builds the 11-bug evaluation subset used for accuracy/Figure 7.
+pub fn eval_scenarios() -> Vec<BugScenario> {
+    let set: std::collections::HashSet<&str> = EVAL_IDS.into_iter().collect();
+    all_scenarios()
+        .into_iter()
+        .filter(|s| set.contains(s.id.as_str()))
+        .collect()
+}
+
+/// Extension scenarios beyond the paper's 54-bug corpus: the
+/// multi-variable atomicity violations the paper's §7 leaves to future
+/// work (implemented by [`crate::archetypes::atom_multivar`] and
+/// diagnosed by `lazy_snorlax::multivar`).
+pub fn extension_scenarios() -> Vec<BugScenario> {
+    use crate::archetypes::{atom_multivar, deadlock_rw};
+    type ExtGen = fn(&ArchParams) -> BugScenario;
+    let rows: [(&str, &'static str, &str, u64, u64, &str, ExtGen); 3] = [
+        ("mysql-ext-hotlog", "mysql", "hotlog", 260, 240,
+         "extension, modeled after the MySQL binlog state pair the paper's §7 cites: HOT_LOG and LOG_TO_BE_OPENED updated non-atomically while a reader snapshots both",
+         atom_multivar),
+        ("httpd-ext-workers", "httpd", "workers", 340, 300,
+         "extension: worker-count/limit pair updated non-atomically during graceful restart while the scoreboard reader snapshots both",
+         atom_multivar),
+        ("mysql-ext-rwdict", "mysql", "dict", 300, 0,
+         "extension, InnoDB-style: a scan holds the dict rwlock in shared mode and takes the stats mutex; the checkpointer holds the mutex and wants the exclusive side",
+         deadlock_rw),
+    ];
+    rows.into_iter()
+        .map(|(id, system, prefix, d1, d2, desc, gen)| {
+            let mut p = ArchParams::new(id, system, prefix, d1 * 1_000, d2 * 1_000, desc);
+            p.cold_funcs = cold_funcs_for(system);
+            gen(&p)
+        })
+        .collect()
+}
+
+/// Builds one scenario by corpus id.
+pub fn scenario_by_id(id: &str) -> Option<BugScenario> {
+    corpus().iter().find(|r| r.id == id).map(build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BugClass;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_has_54_bugs_in_13_systems() {
+        let scenarios = all_scenarios();
+        assert_eq!(scenarios.len(), 54);
+        let mut by_system: HashMap<&str, usize> = HashMap::new();
+        for s in &scenarios {
+            *by_system.entry(s.system).or_default() += 1;
+        }
+        assert_eq!(by_system.len(), 13);
+        for sys in system_names() {
+            assert!(by_system[sys] >= 3, "{sys} underpopulated");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let scenarios = all_scenarios();
+        let mut ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 54);
+    }
+
+    #[test]
+    fn all_classes_represented() {
+        let scenarios = all_scenarios();
+        for class in [
+            BugClass::Deadlock,
+            BugClass::OrderViolation,
+            BugClass::AtomicityViolation,
+        ] {
+            let n = scenarios.iter().filter(|s| s.class == class).count();
+            assert!(n >= 10, "{class:?}: only {n}");
+        }
+    }
+
+    #[test]
+    fn deltas_are_in_the_paper_band() {
+        for s in all_scenarios() {
+            assert!(
+                s.timing.delta1_ns >= 91_000,
+                "{}: ΔT {} below the 91 µs minimum",
+                s.id,
+                s.timing.delta1_ns
+            );
+            assert!(s.timing.delta1_ns <= 3_505_000, "{}: ΔT above band", s.id);
+        }
+    }
+
+    #[test]
+    fn eval_subset_is_cpp_and_complete() {
+        let evals = eval_scenarios();
+        assert_eq!(evals.len(), 11);
+        for s in &evals {
+            assert!(CPP_SYSTEMS.contains(&s.system), "{} not C/C++ tier", s.id);
+        }
+    }
+
+    #[test]
+    fn scenario_lookup_by_id() {
+        assert!(scenario_by_id("pbzip2-na-1").is_some());
+        assert!(scenario_by_id("nonexistent-1").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_targets_in_module() {
+        for s in all_scenarios() {
+            assert!(s.targets.len() >= 2, "{}", s.id);
+            for t in &s.targets {
+                assert!(s.module.inst(*t).is_some(), "{}: target {t} unmapped", s.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Deadlock post-mortem: diagnose the SQLite-style AB-BA deadlock and
+//! print the lock-order cycle the developer must break.
+//!
+//! Run with: `cargo run --release --example deadlock_postmortem`
+
+use lazy_diagnosis::snorlax::patterns::BugPattern;
+use lazy_diagnosis::snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::scenario_by_id;
+
+fn main() {
+    let scenario = scenario_by_id("sqlite-1672").expect("corpus bug exists");
+    println!("bug: {}", scenario.id);
+    println!("     {}\n", scenario.description);
+
+    let server = DiagnosisServer::new(&scenario.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let collected = client.collect(0, 500, 10, 0).expect("deadlock manifests");
+    println!("failure: {}\n", collected.failure);
+
+    let diagnosis = server
+        .diagnose(
+            &collected.failure,
+            &collected.failing,
+            &collected.successful,
+        )
+        .expect("diagnosis succeeds");
+    let top = diagnosis.root_cause().expect("root cause found");
+    let BugPattern::Deadlock { edges } = &top.pattern else {
+        panic!(
+            "expected a deadlock pattern, got {}",
+            top.pattern.signature()
+        );
+    };
+
+    println!("lock-order cycle (F1 = {:.2}):", top.f1);
+    for (i, e) in edges.iter().enumerate() {
+        println!("  thread {}:", i + 1);
+        println!("    holds   {}", scenario.module.describe_pc(e.hold_pc));
+        println!("    wants   {}", scenario.module.describe_pc(e.want_pc));
+    }
+    println!("\nfix: make both threads acquire the two mutexes in the same order.");
+}

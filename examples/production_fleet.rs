@@ -1,0 +1,55 @@
+//! Production-fleet walkthrough on a corpus bug: the pbzip2-style
+//! use-after-free order violation, end to end — failure, trace
+//! collection with the 10× successful-trace policy, diagnosis, and the
+//! ordering-accuracy check against ground truth.
+//!
+//! Run with: `cargo run --release --example production_fleet`
+
+use lazy_diagnosis::snorlax::{ordering_accuracy, CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::{Vm, VmConfig};
+use lazy_diagnosis::workloads::scenario_by_id;
+
+fn main() {
+    let scenario = scenario_by_id("pbzip2-na-1").expect("corpus bug exists");
+    println!("bug: {}", scenario.id);
+    println!("     {}\n", scenario.description);
+
+    let server = DiagnosisServer::new(&scenario.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+
+    let collected = client.collect(0, 500, 10, 0).expect("bug manifests");
+    println!(
+        "fleet: {} executions total; failure on seed {}; {} successful snapshots at {}",
+        collected.runs,
+        collected.failing_seeds[0],
+        collected.successful.len(),
+        collected
+            .breakpoint_used
+            .map(|pc| scenario.module.describe_pc(pc))
+            .unwrap_or_else(|| "-".into()),
+    );
+
+    let diagnosis = server
+        .diagnose(
+            &collected.failure,
+            &collected.failing,
+            &collected.successful,
+        )
+        .expect("diagnosis succeeds");
+    println!();
+    print!("{}", diagnosis.render(&scenario.module));
+
+    // Ordering accuracy against the VM's exact ground truth for the
+    // same failing seed (the A_O metric of the paper's §6.1).
+    let truth_run = Vm::run(
+        &scenario.module,
+        VmConfig {
+            seed: collected.failing_seeds[0],
+            watch_pcs: scenario.targets.clone(),
+            ..VmConfig::default()
+        },
+    );
+    let truth = scenario.ground_truth_order(&truth_run);
+    let acc = ordering_accuracy(&diagnosis.diagnosed_order(), &truth);
+    println!("\nordering accuracy A_O vs ground truth: {acc:.1}%");
+}

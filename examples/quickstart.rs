@@ -1,0 +1,76 @@
+//! Quickstart: build a racy program, let it fail in "production", and
+//! ask Lazy Diagnosis for the root cause.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lazy_diagnosis::ir::{ModuleBuilder, Operand, Type};
+use lazy_diagnosis::snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+
+fn main() {
+    // A producer/consumer with a missing happens-before edge: the
+    // consumer may read the buffer pointer before the producer
+    // publishes it.
+    let mut mb = ModuleBuilder::new("quickstart");
+    let shared = mb.global("shared_buf", Type::I64.ptr_to(), vec![]);
+
+    let producer = mb.declare("producer", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(producer);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("prepare-data", 400_000);
+        let buf = f.heap_alloc(Type::I64, Operand::const_int(8));
+        f.store(buf.clone(), Operand::const_int(42), Type::I64);
+        f.store(shared.clone(), buf, Type::I64.ptr_to());
+        f.ret(None);
+        f.finish();
+    }
+    let consumer = mb.declare("consumer", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(consumer);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("wait-for-work", 395_000);
+        let p = f.load(shared.clone(), Type::I64.ptr_to());
+        f.load(p, Type::I64); // Crashes when the producer lost the race.
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let t1 = f.spawn(producer, Operand::const_int(0));
+    let t2 = f.spawn(consumer, Operand::const_int(0));
+    f.join(t1);
+    f.join(t2);
+    f.halt();
+    f.finish();
+    let module = mb.finish().expect("module verifies");
+
+    // The "server" holds the bitcode; the "client" is the production
+    // fleet, modeled as VM runs over a seed sequence.
+    let server = DiagnosisServer::new(&module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+
+    println!("running production executions until the bug bites...");
+    let collected = client.collect(0, 500, 10, 0).expect("the race fires");
+    println!(
+        "observed failure after {} runs: {}",
+        collected.failing_seeds[0] + 1,
+        collected.failure
+    );
+    println!(
+        "collected {} successful trace(s) at the failure PC\n",
+        collected.successful.len()
+    );
+
+    let diagnosis = server
+        .diagnose(
+            &collected.failure,
+            &collected.failing,
+            &collected.successful,
+        )
+        .expect("diagnosis succeeds");
+    print!("{}", diagnosis.render(&module));
+}

@@ -1,0 +1,102 @@
+//! Anatomy of a control-flow trace: run a small program under the
+//! PT-style tracer, then show the raw packet stream and the decoded,
+//! partially-ordered instruction trace the diagnosis server works from.
+//!
+//! Run with: `cargo run --release --example trace_anatomy`
+
+use lazy_diagnosis::ir::{InstKind, ModuleBuilder, Operand, Type};
+use lazy_diagnosis::trace::{decode_thread_trace, ExecIndex, PacketDecoder, TraceConfig};
+use lazy_diagnosis::vm::{Vm, VmConfig};
+
+fn main() {
+    // A loop with a call: conditional branches produce TNT bits, the
+    // callee's return produces a TIP, virtual time produces MTC/CYC.
+    let mut mb = ModuleBuilder::new("anatomy");
+    let step = mb.declare("step", vec![Type::I64], Type::I64);
+    {
+        let mut f = mb.define(step);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("work", 20_000);
+        let v = f.add(f.param(0), Operand::const_int(1));
+        f.ret(Some(v));
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    let head = f.block("head");
+    let body = f.block("body");
+    let done = f.block("done");
+    f.switch_to(e);
+    let n = f.alloca(Type::I64);
+    f.store(n.clone(), Operand::const_int(0), Type::I64);
+    f.br(head);
+    f.switch_to(head);
+    let v = f.load(n.clone(), Type::I64);
+    let c = f.lt(v.clone(), Operand::const_int(3));
+    f.cond_br(c, body, done);
+    f.switch_to(body);
+    let v2 = f.call(step, vec![v]);
+    f.store(n.clone(), v2, Type::I64);
+    f.br(head);
+    f.switch_to(done);
+    f.halt();
+    f.finish();
+    let module = mb.finish().expect("module verifies");
+
+    // Snapshot at the halt instruction (an on-demand trace).
+    let halt_pc = module
+        .all_insts()
+        .find(|(i, _)| matches!(i.kind, InstKind::Halt))
+        .map(|(i, _)| i.pc)
+        .unwrap();
+    let out = Vm::run(
+        &module,
+        VmConfig {
+            breakpoints: vec![halt_pc],
+            ..VmConfig::default()
+        },
+    );
+    let snap = out.snapshot.expect("breakpoint snapshot");
+    let thread = &snap.threads[0];
+
+    println!("== raw packet stream ({} bytes) ==", thread.bytes.len());
+    let mut dec = PacketDecoder::new(&thread.bytes);
+    assert!(dec.sync_to_psb());
+    let mut shown = 0;
+    while let Ok(Some(p)) = dec.next_packet() {
+        println!("  {p}");
+        shown += 1;
+        if shown >= 28 {
+            println!("  ... (truncated)");
+            break;
+        }
+    }
+
+    println!("\n== decoded instruction trace with coarse time windows ==");
+    let index = ExecIndex::build(&module);
+    let trace = decode_thread_trace(
+        &index,
+        &TraceConfig::default(),
+        &thread.bytes,
+        snap.taken_at,
+    )
+    .expect("decodes");
+    for ev in trace.events.iter().take(24) {
+        println!(
+            "  [{:>9} ns, {:>9} ns]  {}",
+            ev.time.lo,
+            ev.time.hi,
+            module.describe_pc(ev.pc)
+        );
+    }
+    if trace.events.len() > 24 {
+        println!("  ... {} events total", trace.events.len());
+    }
+    println!(
+        "\nstats: {} control events, {} timing packets ({}% of bytes)",
+        thread.stats.control_events,
+        thread.stats.timing_packets,
+        (100.0 * thread.stats.timing_share()) as u32
+    );
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation into
+# results/, then runs the full test suite (including the heavy
+# 54-bug corpus check) and the Criterion kernels.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+for bin in table1 table2 table3 table4 fig7 fig8 fig9 accuracy latency tracestats ablation; do
+    echo ">> $bin"
+    cargo run --release -q -p lazy-bench --bin "$bin" | tee "results/$bin.txt"
+done
+
+echo ">> full test suite"
+cargo test --workspace --release
+echo ">> heavy corpus check (all 54 bugs)"
+cargo test --release --test corpus -- --ignored
+echo ">> criterion kernels"
+cargo bench -p lazy-bench

@@ -1,0 +1,9 @@
+//! Workspace root: re-exports the public API of every crate for integration tests and examples.
+pub use lazy_analysis as analysis;
+pub use lazy_gist as gist;
+pub use lazy_ir as ir;
+pub use lazy_replay as replay;
+pub use lazy_snorlax as snorlax;
+pub use lazy_trace as trace;
+pub use lazy_vm as vm;
+pub use lazy_workloads as workloads;

@@ -1,0 +1,125 @@
+//! Cross-tool and robustness comparisons:
+//!
+//! * Gist and Snorlax agree on the root-cause events (§6.1: "the root
+//!   causes diagnosed by Gist and Snorlax are the same");
+//! * multiple failing traces raise confidence without changing the
+//!   verdict;
+//! * when timing is too coarse for the bug, the pipeline reports the
+//!   §7 unordered fallback instead of a fabricated order.
+
+use lazy_diagnosis::gist::{GistConfig, GistDiagnoser};
+use lazy_diagnosis::snorlax::{ordering_accuracy, CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::trace::TraceConfig;
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::scenario_by_id;
+
+#[test]
+fn gist_and_snorlax_agree_on_the_root_cause() {
+    let s = scenario_by_id("pbzip2-na-1").unwrap();
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let col = client.collect(0, 400, 10, 0).expect("manifests");
+    let snorlax = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .expect("snorlax diagnosis");
+    let snorlax_order = snorlax.diagnosed_order();
+
+    let gist = GistDiagnoser::new(&s.module, GistConfig::default());
+    let gist_result = gist
+        .diagnose(col.failure.pc, &VmConfig::default(), 0, 2000)
+        .expect("gist converges");
+
+    // Same events, same order (A_O between the two tools is 100%).
+    let acc = ordering_accuracy(&snorlax_order, &gist_result.diagnosed_order);
+    assert_eq!(
+        acc, 100.0,
+        "snorlax {snorlax_order:?} vs gist {:?}",
+        gist_result.diagnosed_order
+    );
+    for pc in &snorlax_order {
+        assert!(
+            gist_result.diagnosed_order.contains(pc),
+            "gist must also implicate {}",
+            s.module.describe_pc(*pc)
+        );
+    }
+    // But snorlax needed one failure; gist needed recurrences and many
+    // more executions.
+    assert!(gist_result.runs >= 1);
+    assert!(gist_result.failure_recurrences >= 1);
+}
+
+#[test]
+fn extra_failing_traces_keep_the_verdict_and_full_recall() {
+    let s = scenario_by_id("mysql-3596").unwrap();
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    // Ask for up to 3 extra failing traces along the way.
+    let col = client.collect(0, 800, 10, 3).expect("manifests");
+    assert!(
+        col.failing.len() >= 2,
+        "collected {} failing traces",
+        col.failing.len()
+    );
+    let d = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .expect("diagnosis");
+    let top = d.root_cause().expect("root cause");
+    assert!(
+        matches!(
+            top.pattern,
+            lazy_diagnosis::snorlax::patterns::BugPattern::AtomicityViolation { .. }
+        ),
+        "got {}",
+        top.pattern.signature()
+    );
+    // The true pattern appears in every failing trace.
+    assert_eq!(top.recall, 1.0, "recall {}", top.recall);
+    assert_eq!(top.fail_support, col.failing.len());
+    assert!(top.f1 > 0.9);
+}
+
+#[test]
+fn too_coarse_timing_degrades_to_the_unordered_fallback() {
+    let s = scenario_by_id("pbzip2-na-1").unwrap();
+    // A ~16.8 ms timing quantum dwarfs the bug's ~120 µs inter-event
+    // distance: no order is recoverable.
+    let trace = TraceConfig {
+        cyc_shift: 24,
+        ctc_period_ns: 1 << 28,
+        ..TraceConfig::default()
+    };
+    let server = DiagnosisServer::new(
+        &s.module,
+        ServerConfig {
+            trace: trace.clone(),
+            ..ServerConfig::default()
+        },
+    );
+    let template = VmConfig {
+        trace: Some(trace),
+        ..VmConfig::default()
+    };
+    let client = CollectionClient::new(&server, template);
+    let col = client.collect(0, 400, 10, 0).expect("manifests");
+    let d = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .expect("pipeline runs");
+    // §7: the target events are reported without ordering — never a
+    // confidently ordered pattern.
+    match d.root_cause() {
+        Some(top) => {
+            assert!(
+                d.is_unordered_fallback(),
+                "coarse timing must not fabricate an order: got {} (F1 {:.2})",
+                top.pattern.signature(),
+                top.f1
+            );
+            // The unordered set still contains the true targets.
+            for pc in top.pattern.pcs() {
+                assert!(s.targets.contains(&pc) || s.module.inst(pc).is_some());
+            }
+        }
+        None => { /* Also acceptable: nothing correlated. */ }
+    }
+}

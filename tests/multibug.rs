@@ -1,0 +1,198 @@
+//! The always-on advantage (§6.3): one deployment, several latent
+//! bugs. Snorlax needs no per-bug monitoring decision — whichever bug
+//! fires, the failure snapshot is already there, and each failure
+//! diagnoses independently and correctly. (Gist, sampling in space,
+//! must pick one bug per execution.)
+
+use lazy_diagnosis::ir::{Module, ModuleBuilder, Operand, Pc, Type};
+use lazy_diagnosis::snorlax::patterns::BugPattern;
+use lazy_diagnosis::snorlax::{DiagnosisServer, ServerConfig};
+use lazy_diagnosis::trace::TraceSnapshot;
+use lazy_diagnosis::vm::{Failure, FailureKind, Vm, VmConfig};
+use lazy_workloads::dsl::{jittered_gap, work};
+use std::collections::HashMap;
+
+/// One program, two unrelated latent bugs:
+/// * bug A: a use-after-free race between `janitor` (frees a session
+///   buffer) and `responder` (writes it);
+/// * bug B: an RWR atomicity violation between `poller` (double-reads
+///   a sequence number) and `ticker` (bumps it).
+fn two_bug_service() -> Module {
+    let mut mb = ModuleBuilder::new("service");
+    let gbuf = mb.global("session_buf", Type::I64.ptr_to(), vec![]);
+    let gseq = mb.global("seqno", Type::I64, vec![9]);
+
+    let janitor = mb.declare("janitor", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(janitor);
+        let e = f.entry();
+        f.switch_to(e);
+        jittered_gap(&mut f, "expiry-sweep", 700_000);
+        let p = f.load(gbuf.clone(), Type::I64.ptr_to());
+        f.free(p);
+        f.ret(None);
+        f.finish();
+    }
+    let responder = mb.declare("responder", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(responder);
+        let e = f.entry();
+        f.switch_to(e);
+        jittered_gap(&mut f, "render-response", 690_000);
+        let p = f.load(gbuf.clone(), Type::I64.ptr_to());
+        f.store(p, Operand::const_int(7), Type::I64);
+        f.ret(None);
+        f.finish();
+    }
+    let poller = mb.declare("poller", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(poller);
+        let e = f.entry();
+        f.switch_to(e);
+        jittered_gap(&mut f, "poll-wait", 1_450_000);
+        let v1 = f.load(gseq.clone(), Type::I64);
+        work(&mut f, "format-status", 220_000);
+        let v2 = f.load(gseq.clone(), Type::I64);
+        let ok = f.eq(v1, v2);
+        f.assert(ok, "seqno changed mid-poll");
+        f.ret(None);
+        f.finish();
+    }
+    let ticker = mb.declare("ticker", vec![Type::I64], Type::Void);
+    {
+        let mut f = mb.define(ticker);
+        let e = f.entry();
+        f.switch_to(e);
+        jittered_gap(&mut f, "tick-interval", 1_560_000);
+        f.store(gseq.clone(), Operand::const_int(10), Type::I64);
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let buf = f.heap_alloc(Type::I64, Operand::const_int(8));
+    f.store(gbuf.clone(), buf, Type::I64.ptr_to());
+    let t1 = f.spawn(janitor, Operand::const_int(0));
+    let t2 = f.spawn(responder, Operand::const_int(0));
+    let t3 = f.spawn(poller, Operand::const_int(0));
+    let t4 = f.spawn(ticker, Operand::const_int(0));
+    f.join(t1);
+    f.join(t2);
+    f.join(t3);
+    f.join(t4);
+    f.halt();
+    f.finish();
+    mb.finish().unwrap()
+}
+
+#[test]
+fn one_deployment_diagnoses_whichever_bug_fires() {
+    let m = two_bug_service();
+    let server = DiagnosisServer::new(&m, ServerConfig::default());
+
+    // Phase 1: run the fleet; bucket failures by failing PC (two
+    // distinct bugs should manifest across seeds).
+    let mut failures: HashMap<Pc, (Failure, TraceSnapshot)> = HashMap::new();
+    let mut crash_seen = false;
+    let mut assert_seen = false;
+    for seed in 0..600 {
+        let out = Vm::run(
+            &m,
+            VmConfig {
+                seed,
+                ..VmConfig::default()
+            },
+        );
+        if let Some(f) = out.failure() {
+            crash_seen |= matches!(f.kind, FailureKind::UseAfterFree { .. });
+            assert_seen |= matches!(f.kind, FailureKind::AssertFailed { .. });
+            failures
+                .entry(f.pc)
+                .or_insert_with(|| (f.clone(), out.snapshot.clone().unwrap()));
+        }
+        if crash_seen && assert_seen {
+            break;
+        }
+    }
+    assert!(crash_seen, "the UAF bug fires");
+    assert!(assert_seen, "the atomicity bug fires");
+    assert!(failures.len() >= 2, "two distinct failing PCs observed");
+
+    // Phase 2: each failure diagnoses independently with its own
+    // successful traces — no reconfiguration between bugs.
+    for (pc, (failure, snap)) in &failures {
+        let mut successful = Vec::new();
+        let mut seed = 1000;
+        while successful.len() < 10 && seed < 1400 {
+            let out = Vm::run(
+                &m,
+                VmConfig {
+                    seed,
+                    breakpoints: vec![*pc],
+                    ..VmConfig::default()
+                },
+            );
+            seed += 1;
+            if !out.is_failure() {
+                if let Some(s) = out.snapshot {
+                    successful.push(s);
+                }
+            }
+        }
+        assert!(successful.len() >= 5, "successful traces for {pc}");
+        let d = server
+            .diagnose(failure, std::slice::from_ref(snap), &successful)
+            .expect("diagnosis");
+        let top = d
+            .root_cause()
+            .unwrap_or_else(|| panic!("root cause for {failure}"));
+        match failure.kind {
+            FailureKind::UseAfterFree { .. } => {
+                assert!(
+                    matches!(top.pattern, BugPattern::OrderViolation { .. }),
+                    "UAF diagnoses as an order violation, got {}",
+                    top.pattern.signature()
+                );
+                // The free is implicated.
+                let free_pc = m
+                    .func_by_name("janitor")
+                    .unwrap()
+                    .insts()
+                    .find(|i| matches!(i.kind, lazy_diagnosis::ir::InstKind::Free { .. }))
+                    .map(|i| i.pc)
+                    .unwrap();
+                assert!(top.pattern.pcs().contains(&free_pc));
+            }
+            FailureKind::AssertFailed { .. } => {
+                assert!(
+                    matches!(
+                        top.pattern,
+                        BugPattern::AtomicityViolation { .. } | BugPattern::OrderViolation { .. }
+                    ),
+                    "seqno race diagnoses, got {}",
+                    top.pattern.signature()
+                );
+                // The ticker's store is implicated.
+                let store_pc = m
+                    .func_by_name("ticker")
+                    .unwrap()
+                    .insts()
+                    .find(|i| {
+                        matches!(
+                            i.kind,
+                            lazy_diagnosis::ir::InstKind::Store {
+                                ptr: lazy_diagnosis::ir::Operand::Global(_),
+                                ..
+                            }
+                        )
+                    })
+                    .map(|i| i.pc)
+                    .unwrap();
+                assert!(top.pattern.pcs().contains(&store_pc), "{}", d.render(&m));
+            }
+            _ => panic!("unexpected failure kind {failure}"),
+        }
+        assert!(top.f1 > 0.8, "{pc}: F1 {:.3}", top.f1);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end pipeline tests: client collection → server diagnosis →
+//! accuracy against VM ground truth, for one representative bug of each
+//! class.
+
+use lazy_diagnosis::snorlax::ordering_accuracy;
+use lazy_diagnosis::snorlax::patterns::BugPattern;
+use lazy_diagnosis::snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::{scenario_by_id, BugScenario};
+
+/// Runs the full paper pipeline on a scenario: reproduce once, collect
+/// ten successful traces at the failure PC, diagnose.
+fn diagnose(scenario: &BugScenario) -> (lazy_diagnosis::snorlax::Diagnosis, Vec<lazy_ir::Pc>) {
+    let server = DiagnosisServer::new(&scenario.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let collected = client
+        .collect(0, 400, 10, 0)
+        .unwrap_or_else(|| panic!("{} did not manifest", scenario.id));
+    let diagnosis = server
+        .diagnose(
+            &collected.failure,
+            &collected.failing,
+            &collected.successful,
+        )
+        .expect("diagnosis runs");
+    // Ground truth from the same failing seed, re-run with the recorder.
+    let failing_seed = collected.failing_seeds[0];
+    let out = lazy_diagnosis::vm::Vm::run(
+        &scenario.module,
+        VmConfig {
+            seed: failing_seed,
+            watch_pcs: scenario.targets.clone(),
+            ..VmConfig::default()
+        },
+    );
+    assert!(out.is_failure(), "same seed must reproduce");
+    let truth = scenario.ground_truth_order(&out);
+    (diagnosis, truth)
+}
+
+#[test]
+fn diagnoses_pbzip2_order_violation_with_full_accuracy() {
+    let s = scenario_by_id("pbzip2-na-1").unwrap();
+    let (d, truth) = diagnose(&s);
+    let top = d.root_cause().expect("a root cause is found");
+    assert!(
+        matches!(top.pattern, BugPattern::OrderViolation { .. }),
+        "expected order violation, got {} ({:?})",
+        top.pattern.signature(),
+        top.pattern
+    );
+    assert!(top.f1 > 0.9, "F1 {}", top.f1);
+    // The diagnosed events are the free and the consumer's use, in the
+    // failing order: ordering accuracy 100%.
+    let acc = ordering_accuracy(&d.diagnosed_order(), &truth);
+    assert_eq!(
+        acc,
+        100.0,
+        "diagnosed {:?} vs truth {truth:?}",
+        d.diagnosed_order()
+    );
+}
+
+#[test]
+fn diagnoses_mysql_atomicity_violation() {
+    let s = scenario_by_id("mysql-3596").unwrap();
+    let (d, truth) = diagnose(&s);
+    let top = d.root_cause().expect("a root cause is found");
+    assert!(
+        matches!(top.pattern, BugPattern::AtomicityViolation { .. }),
+        "expected atomicity violation, got {}",
+        top.pattern.signature()
+    );
+    assert!(top.f1 > 0.9, "F1 {}", top.f1);
+    let acc = ordering_accuracy(&d.diagnosed_order(), &truth);
+    assert_eq!(
+        acc,
+        100.0,
+        "diagnosed {:?} vs truth {truth:?}",
+        d.diagnosed_order()
+    );
+}
+
+#[test]
+fn diagnoses_sqlite_deadlock() {
+    let s = scenario_by_id("sqlite-1672").unwrap();
+    let (d, _truth) = diagnose(&s);
+    assert!(d.is_deadlock);
+    let top = d.root_cause().expect("a root cause is found");
+    assert!(
+        matches!(top.pattern, BugPattern::Deadlock { .. }),
+        "expected deadlock pattern, got {}",
+        top.pattern.signature()
+    );
+    assert!(top.f1 > 0.9, "F1 {}", top.f1);
+    // The deadlock pattern names the four lock-acquisition sites.
+    assert_eq!(top.pattern.pcs().len(), 4);
+    for pc in top.pattern.pcs() {
+        assert!(s.module.inst(pc).unwrap().kind.is_lock_acquire());
+    }
+}
+
+#[test]
+fn scope_restriction_shrinks_analysis() {
+    let s = scenario_by_id("mysql-3596").unwrap();
+    let (d, _) = diagnose(&s);
+    assert!(
+        d.stats.executed_insts <= d.stats.static_insts,
+        "executed {} vs static {}",
+        d.stats.executed_insts,
+        d.stats.static_insts
+    );
+    assert!(d.stats.candidates < d.stats.executed_insts);
+    assert!(d.stats.rank1_candidates <= d.stats.candidates);
+}

@@ -1,0 +1,52 @@
+//! Golden tests over the hand-written sample programs in
+//! `examples/programs/`: every `.ir` file parses, and its documented
+//! bug manifests and diagnoses.
+
+use lazy_diagnosis::ir::parse_module;
+use lazy_diagnosis::snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use std::path::Path;
+
+fn programs_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs")
+}
+
+#[test]
+fn every_sample_program_parses_and_diagnoses() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(programs_dir()).expect("programs dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ir") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let module = parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(module.func_by_name("main").is_some(), "{}", path.display());
+        let server = DiagnosisServer::new(&module, ServerConfig::default());
+        let client = CollectionClient::new(&server, VmConfig::default());
+        let col = client
+            .collect(0, 600, 10, 0)
+            .unwrap_or_else(|| panic!("{}: bug did not manifest", path.display()));
+        let d = server
+            .diagnose(&col.failure, &col.failing, &col.successful)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let top = d
+            .root_cause()
+            .unwrap_or_else(|| panic!("{}: no root cause", path.display()));
+        assert!(
+            top.f1 > 0.8,
+            "{}: weak F1 {:.3} for {}",
+            path.display(),
+            top.f1,
+            top.pattern.signature()
+        );
+        println!(
+            "{}: {} (F1 {:.2})",
+            path.file_name().unwrap().to_string_lossy(),
+            top.pattern.signature(),
+            top.f1
+        );
+    }
+    assert!(seen >= 2, "sample programs present");
+}
