@@ -15,14 +15,25 @@
 //! solved system is roughly an order of magnitude smaller (the paper
 //! reports 9× on average) while remaining sound *for the executions
 //! observed*, which is what root-cause diagnosis needs.
+//!
+//! Constraint generation is factored into a *pure* per-instruction step
+//! ([`inst_constraint_ops`]) producing module-independent
+//! [`ConstraintOp`]s, so the incremental cache in
+//! [`crate::incremental`] can memoize per-function constraint recipes
+//! and replay only a scope *delta* on top of a previously solved
+//! system. Because the solved system is the least fixpoint of a
+//! monotone constraint set, replaying a delta over a solved base yields
+//! exactly the sets a from-scratch solve of the union produces.
 
 use crate::loc::{Loc, PtsSet};
-use lazy_ir::{BinOp, FuncId, InstKind, Module, Operand, Pc, ValueId};
+use lazy_ir::{BinOp, FuncId, Inst, InstKind, Module, Operand, Pc, ValueId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// A constraint variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Var {
+/// A constraint variable. Identified by program structure only (no
+/// solver-run-local ids), so constraint recipes can be cached across
+/// independent solver runs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Var {
     /// A virtual register of a function.
     Reg(FuncId, ValueId),
     /// The contents of an abstract location (what is stored there).
@@ -32,6 +43,155 @@ enum Var {
     /// A synthetic variable pre-seeded with one location (for non-
     /// register operands such as `@global` or `@func`).
     Const(Loc),
+}
+
+/// One primitive constraint, in variable (not solver-id) terms — the
+/// unit the per-function recipe cache stores and replays.
+#[derive(Clone, Debug)]
+pub(crate) enum ConstraintOp {
+    /// `v ∋ loc` from an allocation site — rule (1) of Figure 3.
+    AddrOf(Var, Loc),
+    /// `v ∋ loc` seeded structurally (field of a global); not counted
+    /// as a generated constraint, matching the direct path.
+    SeedLoc(Var, Loc),
+    /// `dst ⊇ src` — rule (2) of Figure 3.
+    Edge(Var, Var),
+    /// `dst ⊇ *ptr` — rule (4).
+    Load(Var, Var),
+    /// `*ptr ⊇ src` — rule (3).
+    Store(Var, Var),
+    /// `dst ⊇ base.field(offset)` — field-sensitive addressing.
+    Field(Var, Var, usize),
+    /// Indirect call through a function pointer.
+    CallThrough {
+        /// The callee function-pointer variable.
+        callee: Var,
+        /// Argument variables (`None` for non-pointer constants).
+        args: Vec<Option<Var>>,
+        /// The call's result variable.
+        result: Var,
+    },
+}
+
+/// Maps an operand to a constraint variable (`None` for non-pointer
+/// constants).
+fn op_as_var(func: FuncId, op: &Operand) -> Option<Var> {
+    match op {
+        Operand::Reg(v) => Some(Var::Reg(func, *v)),
+        Operand::Global(g) => Some(Var::Const(Loc::Global(*g))),
+        Operand::Func(f) => Some(Var::Const(Loc::Func(*f))),
+        Operand::ConstInt(_) | Operand::Null => None,
+    }
+}
+
+fn field_offset_slots(module: &Module, strukt: &str, field: usize) -> usize {
+    let def = module.struct_def(strukt).expect("verified struct");
+    def.fields[..field]
+        .iter()
+        .map(|(_, t)| module.slot_count(t) as usize)
+        .sum()
+}
+
+/// The pure constraint-generation step for one instruction.
+///
+/// Returns `None` when the instruction is irrelevant to points-to
+/// analysis; `Some(ops)` (possibly empty) when it is analyzed. The
+/// result depends only on the instruction and the module's type table,
+/// never on solver state or scope — which is what makes per-function
+/// memoization sound.
+pub(crate) fn inst_constraint_ops(
+    module: &Module,
+    fid: FuncId,
+    inst: &Inst,
+) -> Option<Vec<ConstraintOp>> {
+    let mut ops = Vec::new();
+    let res = || Var::Reg(fid, inst.result.expect("result"));
+    let flow = |ops: &mut Vec<ConstraintOp>, src: &Operand, dst: Var| {
+        if let Some(s) = op_as_var(fid, src) {
+            ops.push(ConstraintOp::Edge(s, dst));
+        }
+    };
+    match &inst.kind {
+        InstKind::Alloca { .. } | InstKind::HeapAlloc { .. } => {
+            ops.push(ConstraintOp::AddrOf(res(), Loc::Site(inst.pc)));
+        }
+        InstKind::Copy { src } => flow(&mut ops, src, res()),
+        InstKind::IndexAddr { base, .. } => flow(&mut ops, base, res()),
+        InstKind::FieldAddr {
+            base,
+            strukt,
+            field,
+        } => {
+            let off = field_offset_slots(module, strukt, *field);
+            match base {
+                Operand::Reg(v) => {
+                    ops.push(ConstraintOp::Field(Var::Reg(fid, *v), res(), off));
+                }
+                Operand::Global(g) => {
+                    ops.push(ConstraintOp::SeedLoc(res(), Loc::Global(*g).offset_by(off)));
+                }
+                _ => {}
+            }
+        }
+        InstKind::Bin {
+            op: BinOp::Add | BinOp::Sub,
+            lhs,
+            rhs,
+        } => {
+            // Pointer arithmetic: conservative flow from both sides.
+            flow(&mut ops, lhs, res());
+            flow(&mut ops, rhs, res());
+        }
+        InstKind::Load { ptr, .. } => match ptr {
+            Operand::Reg(v) => ops.push(ConstraintOp::Load(Var::Reg(fid, *v), res())),
+            Operand::Global(g) => {
+                ops.push(ConstraintOp::Edge(Var::Contents(Loc::Global(*g)), res()));
+            }
+            _ => {}
+        },
+        InstKind::Store { ptr, value, .. } => {
+            if let Some(val) = op_as_var(fid, value) {
+                match ptr {
+                    Operand::Reg(v) => ops.push(ConstraintOp::Store(Var::Reg(fid, *v), val)),
+                    Operand::Global(g) => {
+                        ops.push(ConstraintOp::Edge(val, Var::Contents(Loc::Global(*g))));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        InstKind::Call { callee, args } => {
+            for (i, a) in args.iter().enumerate() {
+                flow(&mut ops, a, Var::Reg(*callee, ValueId(i as u32)));
+            }
+            ops.push(ConstraintOp::Edge(Var::Ret(*callee), res()));
+        }
+        InstKind::CallIndirect { callee, args } => {
+            let argv: Vec<Option<Var>> = args.iter().map(|a| op_as_var(fid, a)).collect();
+            match callee {
+                Operand::Reg(v) => ops.push(ConstraintOp::CallThrough {
+                    callee: Var::Reg(fid, *v),
+                    args: argv,
+                    result: res(),
+                }),
+                Operand::Func(f) => {
+                    for (i, a) in argv.into_iter().enumerate() {
+                        if let Some(a) = a {
+                            ops.push(ConstraintOp::Edge(a, Var::Reg(*f, ValueId(i as u32))));
+                        }
+                    }
+                    ops.push(ConstraintOp::Edge(Var::Ret(*f), res()));
+                }
+                _ => {}
+            }
+        }
+        InstKind::Ret { value: Some(v) } => flow(&mut ops, v, Var::Ret(fid)),
+        InstKind::ThreadSpawn { func: f, arg } => {
+            flow(&mut ops, arg, Var::Reg(*f, ValueId(0)));
+        }
+        _ => return None,
+    }
+    Some(ops)
 }
 
 /// A complex (pointer-indirected) constraint attached to a variable.
@@ -69,47 +229,65 @@ pub struct PointsTo {
     stats: AnalysisStats,
 }
 
-struct Solver<'m> {
-    module: &'m Module,
+/// The resting state of a solved (or about-to-be-solved) constraint
+/// system, detached from the module borrow so the incremental cache can
+/// store and clone it between solver runs. The worklist is not part of
+/// the state: a solved system's worklist is empty and its dirty sets
+/// are drained.
+#[derive(Clone, Default)]
+pub(crate) struct SolverState {
     interner: HashMap<Var, u32>,
     vars: Vec<Var>,
     pts: Vec<PtsSet>,
     dirty: Vec<PtsSet>,
     succs: Vec<HashSet<u32>>,
     complex: Vec<Vec<Complex>>,
-    worklist: VecDeque<u32>,
     queued: Vec<bool>,
     stats: AnalysisStats,
 }
 
+pub(crate) struct Solver<'m> {
+    module: &'m Module,
+    st: SolverState,
+    worklist: VecDeque<u32>,
+}
+
 impl<'m> Solver<'m> {
-    fn new(module: &'m Module) -> Solver<'m> {
+    pub(crate) fn new(module: &'m Module) -> Solver<'m> {
+        Solver::from_state(module, SolverState::default())
+    }
+
+    /// Resumes a solver over a previously solved state (the incremental
+    /// path). New constraints may be applied on top; monotonicity makes
+    /// the final fixpoint identical to a from-scratch solve of the
+    /// union.
+    pub(crate) fn from_state(module: &'m Module, st: SolverState) -> Solver<'m> {
         Solver {
             module,
-            interner: HashMap::new(),
-            vars: Vec::new(),
-            pts: Vec::new(),
-            dirty: Vec::new(),
-            succs: Vec::new(),
-            complex: Vec::new(),
+            st,
             worklist: VecDeque::new(),
-            queued: Vec::new(),
-            stats: AnalysisStats::default(),
         }
     }
 
+    /// Detaches the solved state for caching. Must be called only after
+    /// [`Solver::solve`] (the worklist must be empty).
+    pub(crate) fn into_state(self) -> SolverState {
+        debug_assert!(self.worklist.is_empty(), "state captured mid-solve");
+        self.st
+    }
+
     fn var(&mut self, v: Var) -> u32 {
-        if let Some(&id) = self.interner.get(&v) {
+        if let Some(&id) = self.st.interner.get(&v) {
             return id;
         }
-        let id = self.vars.len() as u32;
-        self.interner.insert(v, id);
-        self.vars.push(v);
-        self.pts.push(PtsSet::new());
-        self.dirty.push(PtsSet::new());
-        self.succs.push(HashSet::new());
-        self.complex.push(Vec::new());
-        self.queued.push(false);
+        let id = self.st.vars.len() as u32;
+        self.st.interner.insert(v.clone(), id);
+        self.st.vars.push(v.clone());
+        self.st.pts.push(PtsSet::new());
+        self.st.dirty.push(PtsSet::new());
+        self.st.succs.push(HashSet::new());
+        self.st.complex.push(Vec::new());
+        self.st.queued.push(false);
         if let Var::Const(loc) = v {
             self.add_loc(id, loc);
         }
@@ -117,16 +295,16 @@ impl<'m> Solver<'m> {
     }
 
     fn enqueue(&mut self, v: u32) {
-        if !self.queued[v as usize] {
-            self.queued[v as usize] = true;
+        if !self.st.queued[v as usize] {
+            self.st.queued[v as usize] = true;
             self.worklist.push_back(v);
         }
     }
 
     fn add_loc(&mut self, v: u32, loc: Loc) {
-        if self.pts[v as usize].insert(loc) {
-            self.dirty[v as usize].insert(loc);
-            self.stats.propagations += 1;
+        if self.st.pts[v as usize].insert(loc) {
+            self.st.dirty[v as usize].insert(loc);
+            self.st.stats.propagations += 1;
             self.enqueue(v);
         }
     }
@@ -135,10 +313,10 @@ impl<'m> Solver<'m> {
         if from == to {
             return;
         }
-        if self.succs[from as usize].insert(to) {
-            self.stats.constraints += 1;
+        if self.st.succs[from as usize].insert(to) {
+            self.st.stats.constraints += 1;
             // Propagate everything already known.
-            let known: Vec<Loc> = self.pts[from as usize].iter().copied().collect();
+            let known: Vec<Loc> = self.st.pts[from as usize].iter().copied().collect();
             for l in known {
                 self.add_loc(to, l);
             }
@@ -146,13 +324,13 @@ impl<'m> Solver<'m> {
     }
 
     fn add_complex(&mut self, on: u32, c: Complex) {
-        self.stats.constraints += 1;
+        self.st.stats.constraints += 1;
         // Apply retroactively to already-known locations.
-        let known: Vec<Loc> = self.pts[on as usize].iter().copied().collect();
+        let known: Vec<Loc> = self.st.pts[on as usize].iter().copied().collect();
         for l in &known {
             self.apply_complex(&c, *l);
         }
-        self.complex[on as usize].push(c);
+        self.st.complex[on as usize].push(c);
     }
 
     fn apply_complex(&mut self, c: &Complex, loc: Loc) {
@@ -186,28 +364,73 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Maps an operand to a variable (`None` for non-pointer constants).
-    fn op_var(&mut self, func: FuncId, op: &Operand) -> Option<u32> {
+    /// Installs one recipe op into the live constraint system.
+    pub(crate) fn apply_op(&mut self, op: &ConstraintOp) {
         match op {
-            Operand::Reg(v) => Some(self.var(Var::Reg(func, *v))),
-            Operand::Global(g) => Some(self.var(Var::Const(Loc::Global(*g)))),
-            Operand::Func(f) => Some(self.var(Var::Const(Loc::Func(*f)))),
-            Operand::ConstInt(_) | Operand::Null => None,
+            ConstraintOp::AddrOf(v, loc) => {
+                let id = self.var(v.clone());
+                self.st.stats.constraints += 1;
+                self.add_loc(id, *loc);
+            }
+            ConstraintOp::SeedLoc(v, loc) => {
+                let id = self.var(v.clone());
+                self.add_loc(id, *loc);
+            }
+            ConstraintOp::Edge(src, dst) => {
+                let s = self.var(src.clone());
+                let d = self.var(dst.clone());
+                self.add_edge(s, d);
+            }
+            ConstraintOp::Load(ptr, dst) => {
+                let p = self.var(ptr.clone());
+                let d = self.var(dst.clone());
+                self.add_complex(p, Complex::LoadInto(d));
+            }
+            ConstraintOp::Store(ptr, src) => {
+                let p = self.var(ptr.clone());
+                let s = self.var(src.clone());
+                self.add_complex(p, Complex::StoreFrom(s));
+            }
+            ConstraintOp::Field(base, dst, off) => {
+                let b = self.var(base.clone());
+                let d = self.var(dst.clone());
+                self.add_complex(b, Complex::FieldInto(d, *off));
+            }
+            ConstraintOp::CallThrough {
+                callee,
+                args,
+                result,
+            } => {
+                let c = self.var(callee.clone());
+                let argv: Vec<Option<u32>> = args
+                    .iter()
+                    .map(|a| a.as_ref().map(|v| self.var(v.clone())))
+                    .collect();
+                let r = self.var(result.clone());
+                self.add_complex(
+                    c,
+                    Complex::CallThrough {
+                        args: argv,
+                        result: r,
+                    },
+                );
+            }
         }
     }
 
-    fn flow(&mut self, func: FuncId, src: &Operand, dst: u32) {
-        if let Some(s) = self.op_var(func, src) {
-            self.add_edge(s, dst);
+    /// Generates and installs constraints for one instruction; returns
+    /// `true` if the instruction was analyzed.
+    pub(crate) fn gen_inst(&mut self, fid: FuncId, inst: &Inst) -> bool {
+        match inst_constraint_ops(self.module, fid, inst) {
+            Some(ops) => {
+                self.st.stats.insts_analyzed += 1;
+                for op in &ops {
+                    self.apply_op(op);
+                }
+                true
+            }
+            None => false,
         }
-    }
-
-    fn field_offset_slots(&self, strukt: &str, field: usize) -> usize {
-        let def = self.module.struct_def(strukt).expect("verified struct");
-        def.fields[..field]
-            .iter()
-            .map(|(_, t)| self.module.slot_count(t) as usize)
-            .sum()
     }
 
     fn gen_constraints(&mut self, scope: Option<&HashSet<Pc>>) {
@@ -220,168 +443,53 @@ impl<'m> Solver<'m> {
                         continue;
                     }
                 }
-                let res = |s: &mut Self| {
-                    let r = inst.result.expect("result");
-                    s.var(Var::Reg(fid, r))
-                };
-                match &inst.kind {
-                    InstKind::Alloca { .. } | InstKind::HeapAlloc { .. } => {
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        self.stats.constraints += 1;
-                        self.add_loc(r, Loc::Site(inst.pc));
-                    }
-                    InstKind::Copy { src } => {
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        self.flow(fid, src, r);
-                    }
-                    InstKind::IndexAddr { base, .. } => {
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        self.flow(fid, base, r);
-                    }
-                    InstKind::FieldAddr {
-                        base,
-                        strukt,
-                        field,
-                    } => {
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        let off = self.field_offset_slots(strukt, *field);
-                        match base {
-                            Operand::Reg(v) => {
-                                let b = self.var(Var::Reg(fid, *v));
-                                self.add_complex(b, Complex::FieldInto(r, off));
-                            }
-                            Operand::Global(g) => {
-                                self.add_loc(r, Loc::Global(*g).offset_by(off));
-                            }
-                            _ => {}
-                        }
-                    }
-                    InstKind::Bin {
-                        op: BinOp::Add | BinOp::Sub,
-                        lhs,
-                        rhs,
-                    } => {
-                        // Pointer arithmetic: conservative flow from both
-                        // sides.
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        self.flow(fid, lhs, r);
-                        self.flow(fid, rhs, r);
-                    }
-                    InstKind::Load { ptr, .. } => {
-                        let r = res(self);
-                        self.stats.insts_analyzed += 1;
-                        match ptr {
-                            Operand::Reg(v) => {
-                                let p = self.var(Var::Reg(fid, *v));
-                                self.add_complex(p, Complex::LoadInto(r));
-                            }
-                            Operand::Global(g) => {
-                                let c = self.var(Var::Contents(Loc::Global(*g)));
-                                self.add_edge(c, r);
-                            }
-                            _ => {}
-                        }
-                    }
-                    InstKind::Store { ptr, value, .. } => {
-                        self.stats.insts_analyzed += 1;
-                        let Some(val) = self.op_var(fid, value) else {
-                            continue;
-                        };
-                        match ptr {
-                            Operand::Reg(v) => {
-                                let p = self.var(Var::Reg(fid, *v));
-                                self.add_complex(p, Complex::StoreFrom(val));
-                            }
-                            Operand::Global(g) => {
-                                let c = self.var(Var::Contents(Loc::Global(*g)));
-                                self.add_edge(val, c);
-                            }
-                            _ => {}
-                        }
-                    }
-                    InstKind::Call { callee, args } => {
-                        self.stats.insts_analyzed += 1;
-                        for (i, a) in args.iter().enumerate() {
-                            let p = self.var(Var::Reg(*callee, ValueId(i as u32)));
-                            self.flow(fid, a, p);
-                        }
-                        let r = res(self);
-                        let ret = self.var(Var::Ret(*callee));
-                        self.add_edge(ret, r);
-                    }
-                    InstKind::CallIndirect { callee, args } => {
-                        self.stats.insts_analyzed += 1;
-                        let r = res(self);
-                        let argv: Vec<Option<u32>> =
-                            args.iter().map(|a| self.op_var(fid, a)).collect();
-                        match callee {
-                            Operand::Reg(v) => {
-                                let c = self.var(Var::Reg(fid, *v));
-                                self.add_complex(
-                                    c,
-                                    Complex::CallThrough {
-                                        args: argv,
-                                        result: r,
-                                    },
-                                );
-                            }
-                            Operand::Func(f) => {
-                                for (i, a) in argv.iter().enumerate() {
-                                    if let Some(a) = a {
-                                        let p = self.var(Var::Reg(*f, ValueId(i as u32)));
-                                        self.add_edge(*a, p);
-                                    }
-                                }
-                                let ret = self.var(Var::Ret(*f));
-                                self.add_edge(ret, r);
-                            }
-                            _ => {}
-                        }
-                    }
-                    InstKind::Ret { value: Some(v) } => {
-                        self.stats.insts_analyzed += 1;
-                        let ret = self.var(Var::Ret(fid));
-                        self.flow(fid, v, ret);
-                    }
-                    InstKind::ThreadSpawn { func: f, arg } => {
-                        self.stats.insts_analyzed += 1;
-                        let p = self.var(Var::Reg(*f, ValueId(0)));
-                        self.flow(fid, arg, p);
-                    }
-                    _ => {}
-                }
+                self.gen_inst(fid, inst);
             }
         }
     }
 
-    fn solve(&mut self) {
+    pub(crate) fn solve(&mut self) {
         while let Some(v) = self.worklist.pop_front() {
-            self.queued[v as usize] = false;
-            let delta: Vec<Loc> = std::mem::take(&mut self.dirty[v as usize])
+            self.st.queued[v as usize] = false;
+            let delta: Vec<Loc> = std::mem::take(&mut self.st.dirty[v as usize])
                 .into_iter()
                 .collect();
             if delta.is_empty() {
                 continue;
             }
             // Apply complex constraints to the new locations.
-            let cs = self.complex[v as usize].clone();
+            let cs = self.st.complex[v as usize].clone();
             for c in &cs {
                 for l in &delta {
                     self.apply_complex(c, *l);
                 }
             }
             // Propagate along copy edges.
-            let succs: Vec<u32> = self.succs[v as usize].iter().copied().collect();
+            let succs: Vec<u32> = self.st.succs[v as usize].iter().copied().collect();
             for s in succs {
                 for l in &delta {
                     self.add_loc(s, *l);
                 }
             }
+        }
+    }
+
+    /// Counts the instructions this solver has analyzed so far.
+    pub(crate) fn note_analyzed(&mut self, n: usize) {
+        self.st.stats.insts_analyzed += n;
+    }
+}
+
+impl SolverState {
+    /// Extracts the queryable result (shared between the direct and
+    /// incremental paths).
+    pub(crate) fn into_points_to(self) -> PointsTo {
+        let mut stats = self.stats;
+        stats.vars = self.vars.len();
+        PointsTo {
+            interner: self.interner,
+            pts: self.pts,
+            stats,
         }
     }
 }
@@ -426,13 +534,7 @@ impl PointsTo {
         let mut solver = Solver::new(module);
         solver.gen_constraints(scope);
         solver.solve();
-        let mut stats = solver.stats;
-        stats.vars = solver.vars.len();
-        PointsTo {
-            interner: solver.interner,
-            pts: solver.pts,
-            stats,
-        }
+        solver.into_state().into_points_to()
     }
 
     /// Analysis counters.
@@ -440,9 +542,9 @@ impl PointsTo {
         &self.stats
     }
 
-    fn var_pts(&self, v: Var) -> PtsSet {
+    fn var_pts(&self, v: &Var) -> PtsSet {
         self.interner
-            .get(&v)
+            .get(v)
             .map(|id| self.pts[*id as usize].clone())
             .unwrap_or_default()
     }
@@ -450,7 +552,7 @@ impl PointsTo {
     /// The points-to set of an operand evaluated in `func`.
     pub fn pts_of_operand(&self, func: FuncId, op: &Operand) -> PtsSet {
         match op {
-            Operand::Reg(v) => self.var_pts(Var::Reg(func, *v)),
+            Operand::Reg(v) => self.var_pts(&Var::Reg(func, *v)),
             Operand::Global(g) => [Loc::Global(*g)].into_iter().collect(),
             Operand::Func(f) => [Loc::Func(*f)].into_iter().collect(),
             Operand::ConstInt(_) | Operand::Null => PtsSet::new(),

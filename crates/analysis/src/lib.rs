@@ -10,6 +10,10 @@
 //!   the "hybrid" ingredient of Lazy Diagnosis that shrinks the analyzed
 //!   code by ~9× and makes interprocedural inclusion-based analysis
 //!   affordable online.
+//! * [`incremental`] — a reusable scoped points-to cache for batch
+//!   diagnosis: per-function constraint recipes are memoized, and a
+//!   scope that extends a previously solved scope is solved by
+//!   replaying only the delta over the cached fixpoint.
 //! * [`steensgaard`] — unification-based points-to analysis, the cheaper
 //!   and less precise comparator the paper discusses; used by ablation
 //!   benches to show why inclusion-based was worth it.
@@ -24,6 +28,7 @@
 pub mod andersen;
 pub mod callgraph;
 pub mod dataflow;
+pub mod incremental;
 pub mod loc;
 pub mod ranking;
 pub mod slice;
@@ -32,6 +37,7 @@ pub mod steensgaard;
 pub use andersen::{AnalysisStats, PointsTo};
 pub use callgraph::CallGraph;
 pub use dataflow::{effective_failing_access, effective_failing_accesses};
+pub use incremental::{CacheStats, PointsToCache};
 pub use loc::{Loc, PtsSet};
 pub use ranking::{operand_pointee_type, rank_candidates, RankedInst};
 pub use slice::backward_slice;

@@ -5,10 +5,14 @@
 //! * Steensgaard (unification) is at least as coarse as Andersen
 //!   (inclusion) on field-free programs;
 //! * both analyses terminate and agree that distinct fresh allocations
-//!   stay apart until a flow joins them.
+//!   stay apart until a flow joins them;
+//! * the incremental cache ([`PointsToCache`]) is *exactly equivalent*
+//!   to from-scratch scoped analysis — on scratch, delta-solve, and
+//!   exact-hit paths alike — for random modules and random scope
+//!   deltas.
 
 use lazy_analysis::loc::sets_intersect;
-use lazy_analysis::{PointsTo, SteensgaardPointsTo};
+use lazy_analysis::{PointsTo, PointsToCache, SteensgaardPointsTo};
 use lazy_ir::{Module, ModuleBuilder, Operand, Pc, Type};
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -107,6 +111,61 @@ proptest! {
                 "Andersen {a:?} escapes Steensgaard {st:?}"
             );
         }
+    }
+
+    /// Differential: solving a scope incrementally — seeded from a
+    /// cached base solution of a sub-scope — produces byte-identical
+    /// points-to sets (and even identical work counters) to solving the
+    /// same scope from scratch, and an exact repeat is a pure cache hit
+    /// with the same answer.
+    #[test]
+    fn incremental_cache_matches_from_scratch(
+        ops in prop::collection::vec(arb_op(), 0..40),
+        base_mask in prop::collection::vec(any::<bool>(), 64),
+        extra_mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let (m, slots) = build(&ops);
+        let all_pcs: Vec<Pc> = m.all_insts().map(|(i, _)| i.pc).collect();
+        let base: HashSet<Pc> = all_pcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| base_mask[i % base_mask.len()])
+            .map(|(_, pc)| *pc)
+            .collect();
+        let full: HashSet<Pc> = all_pcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                base_mask[i % base_mask.len()] || extra_mask[i % extra_mask.len()]
+            })
+            .map(|(_, pc)| *pc)
+            .collect();
+
+        let mut cache = PointsToCache::new();
+        cache.analyze_scoped(&m, &base); // warm: cached base solution
+        let incremental = cache.analyze_scoped(&m, &full); // delta or hit
+        let repeat = cache.analyze_scoped(&m, &full); // exact hit
+        let scratch = PointsTo::analyze_scoped(&m, &full);
+
+        let fid = m.func_by_name("main").unwrap().id;
+        for s in &slots {
+            let inc = incremental.pts_of_operand(fid, s);
+            let scr = scratch.pts_of_operand(fid, s);
+            prop_assert_eq!(&inc, &scr, "incremental diverged from scratch");
+            prop_assert_eq!(&repeat.pts_of_operand(fid, s), &scr);
+        }
+        for pc in &all_pcs {
+            prop_assert_eq!(
+                incremental.pts_of_pointer_at(&m, *pc),
+                scratch.pts_of_pointer_at(&m, *pc)
+            );
+        }
+        // The fixpoint is unique, so even the solver's work counters
+        // agree between the delta-replay and from-scratch paths.
+        prop_assert_eq!(incremental.stats(), scratch.stats());
+        let cs = cache.stats();
+        prop_assert_eq!(cs.lookups, 3);
+        prop_assert!(cs.exact_hits >= 1, "repeat scope must hit");
     }
 
     /// Two allocations never connected by any flow do not alias under

@@ -1,0 +1,53 @@
+//! Criterion kernels for the batch diagnosis path: draining one
+//! multi-report corpus sequentially, batched, and batched with the
+//! shared incremental points-to cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazy_bench::{collect_corpus, server_for};
+use lazy_snorlax::{BatchConfig, BatchJob};
+use lazy_workloads::scenario_by_id;
+
+fn bench_batch(c: &mut Criterion) {
+    let s = scenario_by_id("mysql-3596").expect("corpus bug");
+    let server = server_for(&s);
+    let corpus = collect_corpus(&server, 8, 1000);
+    let jobs: Vec<BatchJob<'_>> = corpus
+        .iter()
+        .map(|col| BatchJob {
+            failure: &col.failure,
+            failing: &col.failing,
+            successful: &col.successful,
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("batch-diagnosis/8-reports");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let diagnoses: Vec<_> = jobs
+                .iter()
+                .map(|j| {
+                    server
+                        .diagnose(j.failure, j.failing, j.successful)
+                        .expect("diagnosis")
+                })
+                .collect();
+            diagnoses.len()
+        })
+    });
+    g.bench_function("batched", |b| {
+        let cfg = BatchConfig {
+            use_cache: false,
+            ..BatchConfig::default()
+        };
+        b.iter(|| server.diagnose_batch(&jobs, &cfg).diagnoses.len())
+    });
+    g.bench_function("batched-cached", |b| {
+        let cfg = BatchConfig::default();
+        b.iter(|| server.diagnose_batch(&jobs, &cfg).diagnoses.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

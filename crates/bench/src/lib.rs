@@ -47,7 +47,6 @@ pub mod stats {
 /// measures the same event pair's distance.
 pub fn measure_scenario_deltas(s: &BugScenario, samples: usize) -> Vec<Vec<u64>> {
     let mut out = Vec::new();
-    let mut seed = 0u64;
     let expected = s.targets.len() - 1;
     let mut fallback_allowed = false;
     for attempt in 0..(samples as u64 * 400) {
@@ -57,12 +56,11 @@ pub fn measure_scenario_deltas(s: &BugScenario, samples: usize) -> Vec<Vec<u64>>
         let run = lazy_vm::Vm::run(
             &s.module,
             VmConfig {
-                seed,
+                seed: attempt,
                 watch_pcs: s.targets.clone(),
                 ..VmConfig::default()
             },
         );
-        seed += 1;
         let deltas = s.measure_deltas(&run);
         let complete = deltas.len() == expected;
         if complete && (run.is_failure() || fallback_allowed) {
@@ -89,6 +87,28 @@ pub fn collect_for<'m>(server: &'m DiagnosisServer<'m>, max_runs: usize) -> Coll
 /// Builds a diagnosis server with default config for a scenario.
 pub fn server_for(s: &BugScenario) -> DiagnosisServer<'_> {
     DiagnosisServer::new(&s.module, ServerConfig::default())
+}
+
+/// Collects `reports` independent failure reports for a scenario — each
+/// one failing snapshot plus its successful-trace corpus, from disjoint
+/// seed ranges — the shape a batch diagnosis server receives when a
+/// shipped bug fails across a fleet.
+pub fn collect_corpus<'m>(
+    server: &'m DiagnosisServer<'m>,
+    reports: usize,
+    max_runs: usize,
+) -> Vec<CollectionOutcome> {
+    let client = CollectionClient::new(server, VmConfig::default());
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < reports {
+        let col = client
+            .collect(seed, max_runs, 10, 0)
+            .expect("bug manifests within budget");
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        out.push(col);
+    }
+    out
 }
 
 /// Formats a µs value with one decimal.

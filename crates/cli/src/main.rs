@@ -7,11 +7,14 @@
 //! snorlax replay <bug-id> [--runs N]     record once, replay deterministically
 //! snorlax hypothesis <bug-id> [--samples N]   measure inter-event ΔT
 //! snorlax trace <bug-id>              dump the failing trace (packets + events)
+//! snorlax batch <bug-id> [--reports N]   diagnose many reports of one bug at once
 //! ```
 
 use lazy_ir::{parse_module, printer::render_module};
 use lazy_replay::Recording;
-use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_snorlax::{
+    BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DiagnosisServer, ServerConfig,
+};
 use lazy_vm::{Vm, VmConfig};
 use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
 use std::collections::HashSet;
@@ -27,7 +30,9 @@ fn usage() -> ExitCode {
            hypothesis <bug-id> [--samples N]  measure the inter-event times (coarse hypothesis)\n\
            trace <bug-id>                 dump the failing trace's packets and decoded events\n\
            dump <bug-id>                  print a corpus module in textual IR form\n\
-           diagnose-file <path.ir> [--seed N]  diagnose a user-supplied textual IR program"
+           diagnose-file <path.ir> [--seed N]  diagnose a user-supplied textual IR program\n\
+           batch <bug-id> [--reports N] [--seed N] [--workers N] [--no-cache]\n\
+                                          collect N failure reports and diagnose them as one batch"
     );
     ExitCode::from(2)
 }
@@ -45,10 +50,7 @@ fn find_scenario(id: &str) -> Option<BugScenario> {
 }
 
 fn cmd_corpus() -> ExitCode {
-    println!(
-        "{:<22}{:<14}{:<11}{}",
-        "id", "system", "class", "description"
-    );
+    println!("{:<22}{:<14}{:<11}description", "id", "system", "class");
     for s in all_scenarios().iter().chain(extension_scenarios().iter()) {
         println!(
             "{:<22}{:<14}{:<11}{}",
@@ -91,6 +93,75 @@ fn cmd_diagnose(id: &str, first_seed: u64) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_batch(id: &str, reports: u64, first_seed: u64, workers: u64, use_cache: bool) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    println!("bug: {} — {}", s.id, s.description);
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let mut collections: Vec<CollectionOutcome> = Vec::new();
+    let mut seed = first_seed;
+    while (collections.len() as u64) < reports {
+        let Some(col) = client.collect(seed, 1000, 10, 0) else {
+            break;
+        };
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        collections.push(col);
+    }
+    if collections.is_empty() {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    }
+    println!("collected {} failure reports\n", collections.len());
+
+    let jobs: Vec<BatchJob<'_>> = collections
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect();
+    let cfg = BatchConfig {
+        workers: workers as usize,
+        use_cache,
+        ..BatchConfig::default()
+    };
+    let out = server.diagnose_batch(&jobs, &cfg);
+    for (i, d) in out.diagnoses.iter().enumerate() {
+        match d {
+            Ok(d) => println!(
+                "report {i}: root cause [{}] in {} µs (decode {} / points-to {} / patterns {})",
+                d.root_cause()
+                    .map_or_else(|| "none".to_string(), |s| s.pattern.signature()),
+                d.stats.analysis_micros,
+                d.stats.decode_micros,
+                d.stats.points_to_micros,
+                d.stats.pattern_micros
+            ),
+            Err(e) => println!("report {i}: failed ({e})"),
+        }
+    }
+    let c = out.stats.cache;
+    println!(
+        "\nbatch: {} jobs on {} workers in {} µs",
+        out.stats.jobs, out.stats.workers, out.stats.wall_micros
+    );
+    if use_cache {
+        println!(
+            "points-to cache: {} exact hits, {} delta solves, {} scratch solves \
+             ({} insts reused, {} replayed)",
+            c.exact_hits, c.delta_solves, c.scratch_solves, c.reused_insts, c.delta_insts
+        );
+    }
+    if let Some(Ok(first)) = out.diagnoses.first() {
+        print!("\n{}", first.render(&s.module));
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_replay(id: &str, runs: u64) -> ExitCode {
@@ -278,6 +349,13 @@ fn main() -> ExitCode {
         Some("diagnose-file") if args.len() >= 2 => {
             cmd_diagnose_file(&args[1], opt_u64(&args, "--seed", 0))
         }
+        Some("batch") if args.len() >= 2 => cmd_batch(
+            &args[1],
+            opt_u64(&args, "--reports", 8),
+            opt_u64(&args, "--seed", 0),
+            opt_u64(&args, "--workers", 0),
+            !args.iter().any(|a| a == "--no-cache"),
+        ),
         _ => usage(),
     }
 }

@@ -1,0 +1,174 @@
+//! Batched multi-snapshot diagnosis.
+//!
+//! A production fleet does not report failures one at a time: when a
+//! concurrency bug ships, the server receives *many* snapshots of the
+//! same failure (plus their success corpora) in bursts. This module
+//! adds a batch front end to [`DiagnosisServer`] that
+//!
+//! 1. fans the per-job pipeline — snapshot decode + trace processing,
+//!    scoped points-to, pattern computation and scoring — across a
+//!    scoped worker pool (`std::thread::scope`; the VM stays
+//!    single-threaded, only the server parallelizes), and
+//! 2. shares one [`PointsToCache`] across all jobs, so snapshots with
+//!    identical executed sets hit a solved fixpoint outright and
+//!    superset scopes are solved by replaying only their delta.
+//!
+//! **Determinism**: results come back indexed by job, each job's
+//! pipeline is self-contained, and cached points-to returns the same
+//! unique least fixpoint a from-scratch solve produces — so a batch
+//! diagnosis renders byte-identical to running [`DiagnosisServer::
+//! diagnose`] sequentially on each job (the corpus regression test in
+//! `tests/batch.rs` asserts exactly this). Only the timing fields of
+//! [`PipelineStats`](crate::PipelineStats) differ.
+
+use crate::server::{DiagnosisServer, StageTimes};
+use crate::Diagnosis;
+use lazy_analysis::{CacheStats, PointsTo, PointsToCache};
+use lazy_trace::{DecodeError, TraceSnapshot};
+use lazy_vm::Failure;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One diagnosis request: a failure with its collected snapshots.
+#[derive(Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The failure the client observed.
+    pub failure: &'a Failure,
+    /// Snapshots from failing executions (at least one must decode).
+    pub failing: &'a [TraceSnapshot],
+    /// Snapshots from successful executions at the failure breakpoint.
+    pub successful: &'a [TraceSnapshot],
+}
+
+/// Batch execution knobs.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Share an incremental points-to cache across jobs. Off, every
+    /// job solves its scope from scratch (still in parallel).
+    pub use_cache: bool,
+    /// Solved-scope retention of the shared cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: 0,
+            use_cache: true,
+            cache_capacity: PointsToCache::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+impl BatchConfig {
+    fn resolved_workers(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let w = if self.workers == 0 { hw } else { self.workers };
+        w.clamp(1, jobs.max(1))
+    }
+}
+
+/// What one [`DiagnosisServer::diagnose_batch`] call did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads actually spawned.
+    pub workers: usize,
+    /// Batch wall time, microseconds.
+    pub wall_micros: u128,
+    /// Shared points-to cache counters (zeroes when the cache is off).
+    pub cache: CacheStats,
+}
+
+/// The diagnoses of one batch, in job order.
+pub struct BatchOutcome {
+    /// Per-job results, index-aligned with the submitted jobs.
+    pub diagnoses: Vec<Result<Diagnosis, DecodeError>>,
+    /// Execution counters.
+    pub stats: BatchStats,
+}
+
+impl<'m> DiagnosisServer<'m> {
+    /// Diagnoses a batch of failure reports against this server's
+    /// module, fanning jobs across worker threads and (optionally)
+    /// sharing an incremental points-to cache between them.
+    ///
+    /// Each returned diagnosis is identical — up to timing counters —
+    /// to what [`DiagnosisServer::diagnose`] returns for the same job.
+    pub fn diagnose_batch(&self, jobs: &[BatchJob<'_>], cfg: &BatchConfig) -> BatchOutcome {
+        let started = Instant::now();
+        let workers = cfg.resolved_workers(jobs.len());
+        let cache = cfg
+            .use_cache
+            .then(|| Mutex::new(PointsToCache::with_capacity(cfg.cache_capacity)));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Diagnosis, DecodeError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let result = self.run_job(job, cache.as_ref());
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+
+        let diagnoses = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot lock").expect("job completed"))
+            .collect();
+        let cache_stats = cache.map_or(CacheStats::default(), |c| {
+            c.into_inner().expect("cache lock").stats()
+        });
+        BatchOutcome {
+            diagnoses,
+            stats: BatchStats {
+                jobs: jobs.len(),
+                workers,
+                wall_micros: started.elapsed().as_micros(),
+                cache: cache_stats,
+            },
+        }
+    }
+
+    fn run_job(
+        &self,
+        job: &BatchJob<'_>,
+        cache: Option<&Mutex<PointsToCache>>,
+    ) -> Result<Diagnosis, DecodeError> {
+        let started = Instant::now();
+        let (failing_traces, success_traces, executed) =
+            self.prepare(job.failing, job.successful)?;
+        let decode_micros = started.elapsed().as_micros();
+
+        let pts_started = Instant::now();
+        let pts = match cache {
+            Some(c) => c
+                .lock()
+                .expect("points-to cache")
+                .analyze_scoped(self.module(), &executed),
+            None => PointsTo::analyze_scoped(self.module(), &executed),
+        };
+        let points_to_micros = pts_started.elapsed().as_micros();
+
+        Ok(self.finish_diagnosis(
+            job.failure,
+            &failing_traces,
+            &success_traces,
+            &executed,
+            &pts,
+            StageTimes {
+                started,
+                decode_micros,
+                points_to_micros,
+            },
+        ))
+    }
+}

@@ -26,7 +26,9 @@
 //!    collected at the failure PC (with predecessor-block fallback), and
 //!    the top-scoring pattern is reported as the root cause.
 //!
-//! The [`server::DiagnosisServer`] orchestrates steps 2–7;
+//! The [`server::DiagnosisServer`] orchestrates steps 2–7 (and
+//! [`batch`] fans many failure reports across worker threads behind a
+//! shared incremental points-to cache);
 //! [`client::CollectionClient`] plays the production fleet, re-running
 //! the workload to harvest failing and successful snapshots; and
 //! [`accuracy`] computes the paper's ordering-accuracy metric A_O
@@ -38,6 +40,7 @@
 //! surfaced as [`patterns::BugPattern::UnorderedTargets`].
 
 pub mod accuracy;
+pub mod batch;
 pub mod candidates;
 pub mod client;
 pub mod multivar;
@@ -47,6 +50,7 @@ pub mod server;
 pub mod statistics;
 
 pub use accuracy::{kendall_tau_distance, ordering_accuracy};
+pub use batch::{BatchConfig, BatchJob, BatchOutcome, BatchStats};
 pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
 pub use multivar::multivar_patterns;

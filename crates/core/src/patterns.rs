@@ -371,7 +371,7 @@ pub fn crash_patterns(
                     if y.tid != x.tid || y.seq <= x.seq {
                         continue;
                     }
-                    if x.definitely_before(&f_inst) && f_inst.definitely_before(&y) {
+                    if x.definitely_before(&f_inst) && f_inst.definitely_before(y) {
                         out.push(BugPattern::AtomicityViolation {
                             kind: shape,
                             first: c_ev,
@@ -540,8 +540,7 @@ pub fn deadlock_patterns(
                 out.push(BugPattern::Deadlock { edges: es });
             }
             // Three-thread cycles through a third edge.
-            for k in (j + 1)..edges.len() {
-                let c = &edges[k];
+            for c in edges.iter().skip(j + 1) {
                 if c.tid == a.tid || c.tid == b.tid || !sane(c) {
                     continue;
                 }

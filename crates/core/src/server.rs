@@ -63,8 +63,16 @@ pub struct PipelineStats {
     pub patterns: usize,
     /// Patterns with the top F1 (step 7).
     pub top_patterns: usize,
-    /// Server-side analysis wall time, microseconds.
+    /// Server-side analysis wall time, microseconds (total; the
+    /// per-stage fields below sum to roughly this).
     pub analysis_micros: u128,
+    /// Snapshot decode + trace processing time (steps 2–3).
+    pub decode_micros: u128,
+    /// Scoped points-to analysis time (step 4). For batch jobs served
+    /// from the incremental cache this includes lock wait.
+    pub points_to_micros: u128,
+    /// Candidate/pattern/scoring time (steps 4–7 after points-to).
+    pub pattern_micros: u128,
 }
 
 /// The server's verdict for one failure.
@@ -237,6 +245,41 @@ impl<'m> DiagnosisServer<'m> {
         successful: &[TraceSnapshot],
     ) -> Result<Diagnosis, DecodeError> {
         let started = Instant::now();
+        let (failing_traces, success_traces, executed) = self.prepare(failing, successful)?;
+        let decode_micros = started.elapsed().as_micros();
+
+        // Step 4: hybrid (scope-restricted) points-to analysis.
+        let pts_started = Instant::now();
+        let pts = PointsTo::analyze_scoped(self.module, &executed);
+        let points_to_micros = pts_started.elapsed().as_micros();
+
+        Ok(self.finish_diagnosis(
+            failure,
+            &failing_traces,
+            &success_traces,
+            &executed,
+            &pts,
+            StageTimes {
+                started,
+                decode_micros,
+                points_to_micros,
+            },
+        ))
+    }
+
+    /// Steps 2–3 for a set of snapshots: decode + trace processing,
+    /// plus the executed-instruction union.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no failing snapshot decodes (success-side decode
+    /// failures are skipped, mirroring a production server that cannot
+    /// hold up a diagnosis for one corrupt success trace).
+    pub(crate) fn prepare(
+        &self,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<Prepared, DecodeError> {
         let mut failing_traces = Vec::new();
         for s in failing {
             failing_traces.push(self.process(s)?);
@@ -257,16 +300,29 @@ impl<'m> DiagnosisServer<'m> {
         for t in failing_traces.iter().chain(success_traces.iter()) {
             executed.extend(t.executed.iter().copied());
         }
+        Ok((failing_traces, success_traces, executed))
+    }
 
-        // Step 4: hybrid (scope-restricted) points-to analysis.
-        let pts = PointsTo::analyze_scoped(self.module, &executed);
-
+    /// Steps 4–7 given an already-computed points-to result. The
+    /// diagnosis depends on `pts` only through its points-to *sets*, so
+    /// any analysis returning the scoped fixpoint (from scratch or via
+    /// the incremental cache) yields an identical diagnosis.
+    pub(crate) fn finish_diagnosis(
+        &self,
+        failure: &Failure,
+        failing_traces: &[ProcessedTrace],
+        success_traces: &[ProcessedTrace],
+        executed: &HashSet<Pc>,
+        pts: &PointsTo,
+        times: StageTimes,
+    ) -> Diagnosis {
+        let pattern_started = Instant::now();
         // Steps 4–5: candidate selection + type ranking.
         let is_deadlock = matches!(
             failure.kind,
             FailureKind::Deadlock { .. } | FailureKind::Hang
         );
-        let mut cands = select_candidates(self.module, &pts, &executed, failure.pc, is_deadlock);
+        let mut cands = select_candidates(self.module, pts, executed, failure.pc, is_deadlock);
         if cands.ranked.len() > self.cfg.max_candidates {
             cands.ranked.truncate(self.cfg.max_candidates);
         }
@@ -274,17 +330,17 @@ impl<'m> DiagnosisServer<'m> {
         // Step 6: bug-pattern computation on each failing trace (plus
         // the multi-variable extension for crashes feeding from a
         // variable pair — the paper's §7 future work).
-        let ctx = PatternContext::new(self.module, &pts, &cands);
+        let ctx = PatternContext::new(self.module, pts, &cands);
         let mut patterns: Vec<BugPattern> = Vec::new();
-        for t in &failing_traces {
+        for t in failing_traces {
             let mut p = if is_deadlock {
                 deadlock_patterns(&ctx, &cands, t)
             } else {
                 let mut p = crash_patterns(&ctx, &cands, t);
                 p.extend(crate::multivar::multivar_patterns(
                     self.module,
-                    &pts,
-                    &executed,
+                    pts,
+                    executed,
                     failure.pc,
                     t,
                     &cands,
@@ -300,7 +356,7 @@ impl<'m> DiagnosisServer<'m> {
         // the tie-break).
         let rank_of: std::collections::HashMap<Pc, u32> =
             cands.ranked.iter().map(|r| (r.pc, r.rank)).collect();
-        let scores = score_patterns(&patterns, &failing_traces, &success_traces, &rank_of);
+        let scores = score_patterns(&patterns, failing_traces, success_traces, &rank_of);
         let top_patterns = match scores.first() {
             Some(t) => scores
                 .iter()
@@ -347,16 +403,34 @@ impl<'m> DiagnosisServer<'m> {
             rank1_candidates: cands.rank1_count(),
             patterns: patterns.len(),
             top_patterns: if patterns.is_empty() { 0 } else { top_patterns },
-            analysis_micros: started.elapsed().as_micros(),
+            analysis_micros: times.started.elapsed().as_micros(),
+            decode_micros: times.decode_micros,
+            points_to_micros: times.points_to_micros,
+            pattern_micros: pattern_started.elapsed().as_micros(),
         };
-        Ok(Diagnosis {
+        Diagnosis {
             scores,
             stats,
             failing_pc: cands.failing_pc,
             is_deadlock,
             ordered_events,
-        })
+        }
     }
+}
+
+/// Decoded failing traces, decoded successful traces, and the executed
+/// instruction union — the output of [`DiagnosisServer::prepare`].
+pub(crate) type Prepared = (Vec<ProcessedTrace>, Vec<ProcessedTrace>, HashSet<Pc>);
+
+/// Wall-clock bookkeeping threaded from the pipeline's front half into
+/// [`DiagnosisServer::finish_diagnosis`].
+pub(crate) struct StageTimes {
+    /// When the whole job started (total time measured from here).
+    pub(crate) started: Instant,
+    /// Microseconds spent in steps 2–3.
+    pub(crate) decode_micros: u128,
+    /// Microseconds spent in step 4 (points-to).
+    pub(crate) points_to_micros: u128,
 }
 
 #[cfg(test)]

@@ -130,7 +130,7 @@ impl<'m> GistDiagnoser<'m> {
         };
 
         while runs < max_runs {
-            let monitored = runs % self.cfg.tracked_bugs == 0;
+            let monitored = runs.is_multiple_of(self.cfg.tracked_bugs);
             runs += 1;
             let this_seed = seed;
             seed += 1;

@@ -192,7 +192,7 @@ impl Module {
         let mut pc_map = HashMap::new();
         let mut next = Self::TEXT_BASE;
         for func in &mut functions {
-            next = (next + Self::FUNC_ALIGN - 1) / Self::FUNC_ALIGN * Self::FUNC_ALIGN;
+            next = next.div_ceil(Self::FUNC_ALIGN) * Self::FUNC_ALIGN;
             func.base_pc = Pc(next);
             for block in &mut func.blocks {
                 for (idx, inst) in block.insts.iter_mut().enumerate() {

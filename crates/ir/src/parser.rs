@@ -568,15 +568,13 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             c.expect("global")?;
             let ty = c.ty()?;
             let mut init = Vec::new();
-            if c.eat("[") {
-                if !c.eat("]") {
-                    loop {
-                        init.push(c.int()?);
-                        if c.eat("]") {
-                            break;
-                        }
-                        c.expect(",")?;
+            if c.eat("[") && !c.eat("]") {
+                loop {
+                    init.push(c.int()?);
+                    if c.eat("]") {
+                        break;
                     }
+                    c.expect(",")?;
                 }
             }
             let id = GlobalId(globals.len() as u32);

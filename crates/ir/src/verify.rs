@@ -109,17 +109,13 @@ fn verify_function(module: &Module, id: FuncId) -> Result<(), VerifyError> {
             }
             // Kind-specific checks.
             match &inst.kind {
-                InstKind::Br { target } => {
-                    if target.0 >= nblocks {
-                        return Err(err(name, format!("branch to unknown block bb{}", target.0)));
-                    }
+                InstKind::Br { target } if target.0 >= nblocks => {
+                    return Err(err(name, format!("branch to unknown block bb{}", target.0)));
                 }
                 InstKind::CondBr {
                     then_bb, else_bb, ..
-                } => {
-                    if then_bb.0 >= nblocks || else_bb.0 >= nblocks {
-                        return Err(err(name, "conditional branch to unknown block"));
-                    }
+                } if then_bb.0 >= nblocks || else_bb.0 >= nblocks => {
+                    return Err(err(name, "conditional branch to unknown block"));
                 }
                 InstKind::Call { callee, args } => {
                     if callee.0 as usize >= module.functions().len() {

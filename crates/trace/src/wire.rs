@@ -265,7 +265,7 @@ mod tests {
         assert_eq!(back.threads.len(), 2);
         assert_eq!(back.threads[0].bytes, snap.threads[0].bytes);
         assert_eq!(back.threads[0].stats, snap.threads[0].stats);
-        assert_eq!(back.threads[1].wrapped, true);
+        assert!(back.threads[1].wrapped);
     }
 
     #[test]

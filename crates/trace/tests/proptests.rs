@@ -154,5 +154,33 @@ mod wire_props {
         fn garbage_never_validates(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
             prop_assert!(decode_snapshot(&bytes).is_err());
         }
+
+        /// Flipping any single bit of a valid wire image is always
+        /// rejected. The FNV-1a step `h -> (h ^ b) * prime` is a
+        /// bijection on the hash state (the prime is odd), so a one-bit
+        /// change in the checksummed body always changes the final
+        /// hash; flips in the magic or the trailing checksum word are
+        /// caught by their own comparisons.
+        #[test]
+        fn single_bit_flip_never_validates(snap in arb_snapshot(), salt in any::<u64>()) {
+            let wire = encode_snapshot(&snap);
+            prop_assert!(decode_snapshot(&wire).is_ok());
+            // Check a pseudo-random probe plus both ends of the image
+            // (magic and checksum word) on every case.
+            let total_bits = wire.len() as u64 * 8;
+            let probes = [
+                salt % total_bits,
+                salt % 32,                // somewhere in the magic
+                total_bits - 1 - (salt % 32), // somewhere in the checksum
+            ];
+            for bit in probes {
+                let mut corrupt = wire.clone();
+                corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+                prop_assert!(
+                    decode_snapshot(&corrupt).is_err(),
+                    "bit {bit} of {} accepted", wire.len() * 8
+                );
+            }
+        }
     }
 }

@@ -125,6 +125,7 @@ impl SyncTable {
     /// # Errors
     ///
     /// Returns `Err(())` if `tid` does not hold the mutex.
+    #[allow(clippy::result_unit_err)]
     pub fn unlock(&mut self, tid: u32, addr: u64) -> Result<Option<u32>, ()> {
         let m = self.mutexes.get_mut(&addr).ok_or(())?;
         if m.holder != Some(tid) {
@@ -309,6 +310,7 @@ impl SyncTable {
     ///
     /// Returns `Err(())` if `tid` holds neither a read nor the write
     /// side.
+    #[allow(clippy::result_unit_err)]
     pub fn rw_unlock(&mut self, tid: u32, addr: u64) -> Result<Vec<u32>, ()> {
         let rw = self.rwlocks.get_mut(&addr).ok_or(())?;
         if rw.writer == Some(tid) {
@@ -329,14 +331,13 @@ impl SyncTable {
             return Ok(woken);
         }
         match rw.waiters.front().copied() {
-            Some((t, wpc, true)) => {
-                if rw.readers.is_empty() {
-                    rw.waiters.pop_front();
-                    rw.writer = Some(t);
-                    self.held.entry(t).or_default().push((addr, wpc));
-                    woken.push(t);
-                }
+            Some((t, wpc, true)) if rw.readers.is_empty() => {
+                rw.waiters.pop_front();
+                rw.writer = Some(t);
+                self.held.entry(t).or_default().push((addr, wpc));
+                woken.push(t);
             }
+            Some((_, _, true)) => {}
             Some((_, _, false)) => {
                 while let Some((t, wpc, false)) = rw.waiters.front().copied() {
                     rw.waiters.pop_front();

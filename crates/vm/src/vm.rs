@@ -1012,6 +1012,7 @@ impl<'m> Vm<'m> {
         Ok(Step::Continue)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_call(
         &mut self,
         tid: ThreadId,

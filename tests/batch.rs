@@ -1,0 +1,206 @@
+//! Batch-mode regression: `DiagnosisServer::diagnose_batch` must be a
+//! pure throughput optimization — every diagnosis it returns renders
+//! byte-identical to the sequential `diagnose` of the same report, and
+//! the diagnoses themselves still hit the scenarios' ground truth.
+//!
+//! The non-ignored test covers the 11-bug evaluation subset with
+//! multiple reports per bug (exercising cache hits and delta solving
+//! across sibling reports plus the multi-worker path). The full 54-bug
+//! sweep is `#[ignore]`d like the corpus smoke test — run it with
+//! `cargo test --release --test batch -- --ignored`.
+
+use lazy_diagnosis::snorlax::patterns::BugPattern;
+use lazy_diagnosis::snorlax::{
+    BatchConfig, BatchJob, CollectionClient, CollectionOutcome, Diagnosis, DiagnosisServer,
+    ServerConfig,
+};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::{BugClass, BugScenario};
+use lazy_workloads::systems::eval_scenarios;
+
+fn class_matches(pattern: &BugPattern, class: BugClass) -> bool {
+    match class {
+        BugClass::Deadlock => matches!(pattern, BugPattern::Deadlock { .. }),
+        BugClass::OrderViolation => matches!(pattern, BugPattern::OrderViolation { .. }),
+        BugClass::AtomicityViolation => {
+            matches!(pattern, BugPattern::AtomicityViolation { .. })
+        }
+    }
+}
+
+/// Collects `reports` independent failure reports for one scenario.
+fn collect_reports(
+    server: &DiagnosisServer<'_>,
+    s: &BugScenario,
+    reports: usize,
+) -> Vec<CollectionOutcome> {
+    let client = CollectionClient::new(server, VmConfig::default());
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < reports {
+        let col = client
+            .collect(seed, 800, 10, 0)
+            .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id));
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        out.push(col);
+    }
+    out
+}
+
+/// Runs the same corpus sequentially and batched; returns the batch
+/// diagnoses after asserting byte-identity against the sequential ones.
+fn batch_equals_sequential(
+    server: &DiagnosisServer<'_>,
+    s: &BugScenario,
+    collections: &[CollectionOutcome],
+    cfg: &BatchConfig,
+) -> Vec<Diagnosis> {
+    let jobs: Vec<BatchJob<'_>> = collections
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect();
+    let sequential: Vec<Diagnosis> = jobs
+        .iter()
+        .map(|j| {
+            server
+                .diagnose(j.failure, j.failing, j.successful)
+                .unwrap_or_else(|e| panic!("{}: sequential diagnosis failed: {e}", s.id))
+        })
+        .collect();
+    let out = server.diagnose_batch(&jobs, cfg);
+    assert_eq!(out.diagnoses.len(), jobs.len());
+    assert_eq!(out.stats.jobs, jobs.len());
+    let batch: Vec<Diagnosis> = out
+        .diagnoses
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| d.unwrap_or_else(|e| panic!("{} job {i}: batch diagnosis failed: {e}", s.id)))
+        .collect();
+    for (i, (b, r)) in batch.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            b.render(&s.module),
+            r.render(&s.module),
+            "{} report {i}: batch render diverged from sequential",
+            s.id
+        );
+        assert_eq!(b.failing_pc, r.failing_pc, "{} report {i}", s.id);
+        assert_eq!(b.is_deadlock, r.is_deadlock, "{} report {i}", s.id);
+        assert_eq!(
+            b.diagnosed_order(),
+            r.diagnosed_order(),
+            "{} report {i}",
+            s.id
+        );
+    }
+    batch
+}
+
+fn check_ground_truth(s: &BugScenario, d: &Diagnosis) {
+    let top = d
+        .root_cause()
+        .unwrap_or_else(|| panic!("{}: no root cause", s.id));
+    assert!(
+        class_matches(&top.pattern, s.class),
+        "{}: expected {:?}, diagnosed {} (F1 {:.2})",
+        s.id,
+        s.class,
+        top.pattern.signature(),
+        top.f1
+    );
+    for pc in top.pattern.pcs() {
+        assert!(
+            s.targets.contains(&pc),
+            "{}: diagnosed non-target {}",
+            s.id,
+            s.module.describe_pc(pc)
+        );
+    }
+}
+
+/// Eleven eval bugs, two reports each, four workers, cache on: batch
+/// renders byte-identical to sequential and still nails the root cause.
+#[test]
+fn eval_bugs_batch_identical_to_sequential() {
+    let cfg = BatchConfig {
+        workers: 4,
+        ..BatchConfig::default()
+    };
+    for s in eval_scenarios() {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 2);
+        let batch = batch_equals_sequential(&server, &s, &collections, &cfg);
+        for d in &batch {
+            check_ground_truth(&s, d);
+        }
+        println!("{}: ok ({} reports)", s.id, batch.len());
+    }
+}
+
+/// The cache must not change results even when it is the only point-to
+/// source shared by every job: same corpus, cache on vs off.
+#[test]
+fn cache_on_and_off_agree() {
+    let s = lazy_workloads::scenario_by_id("mysql-3596").expect("corpus bug");
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collections = collect_reports(&server, &s, 3);
+    let cached = batch_equals_sequential(&server, &s, &collections, &BatchConfig::default());
+    let uncached = batch_equals_sequential(
+        &server,
+        &s,
+        &collections,
+        &BatchConfig {
+            use_cache: false,
+            ..BatchConfig::default()
+        },
+    );
+    for (a, b) in cached.iter().zip(&uncached) {
+        assert_eq!(a.render(&s.module), b.render(&s.module));
+    }
+}
+
+/// Full corpus: every one of the 54 bugs diagnoses through the batch
+/// path to its ground-truth root cause, byte-identical to sequential.
+/// Heavy — run with `cargo test --release --test batch -- --ignored`.
+#[test]
+#[ignore = "heavy: batch-diagnoses all 54 corpus bugs"]
+fn entire_corpus_batch_identical_and_correct() {
+    let cfg = BatchConfig {
+        workers: 4,
+        ..BatchConfig::default()
+    };
+    let mut failures = Vec::new();
+    for s in lazy_diagnosis::workloads::all_scenarios() {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 2);
+        let batch = batch_equals_sequential(&server, &s, &collections, &cfg);
+        for d in &batch {
+            let Some(top) = d.root_cause() else {
+                failures.push(format!("{}: no root cause", s.id));
+                continue;
+            };
+            if !class_matches(&top.pattern, s.class) {
+                failures.push(format!(
+                    "{}: class mismatch, got {} (F1 {:.2})",
+                    s.id,
+                    top.pattern.signature(),
+                    top.f1
+                ));
+            } else if let Some(bad) = top.pattern.pcs().iter().find(|pc| !s.targets.contains(pc)) {
+                failures.push(format!(
+                    "{}: non-target {}",
+                    s.id,
+                    s.module.describe_pc(*bad)
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus failures:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,69 @@
+//! Analysis soundness ordering, corpus-wide.
+//!
+//! Inclusion-based (Andersen) points-to is strictly more precise than
+//! unification-based (Steensgaard) — that ordering is *why* the paper
+//! pays for Andersen (§4.2) and why the ablation bench's Steensgaard
+//! candidate sets are larger. This test pins the ordering as a
+//! machine-checked invariant over every module in the bug corpus:
+//! for every operand of every instruction, Andersen's points-to set is
+//! contained in Steensgaard's.
+//!
+//! Granularity note: our Andersen is field-sensitive while Steensgaard
+//! is classically field-insensitive (a field address unifies with its
+//! base object), so the comparison collapses locations to their base
+//! object first — the granularity at which unification even speaks.
+
+use lazy_diagnosis::analysis::loc::PtsSet;
+use lazy_diagnosis::analysis::{Loc, PointsTo, SteensgaardPointsTo};
+use lazy_diagnosis::workloads::BugScenario;
+
+fn bases(set: &PtsSet) -> PtsSet {
+    set.iter().map(|l| l.base()).collect()
+}
+
+fn check_module(s: &BugScenario) {
+    let anders = PointsTo::analyze(&s.module);
+    let mut steens = SteensgaardPointsTo::analyze(&s.module);
+    let mut operands_checked = 0usize;
+    for func in s.module.functions() {
+        for inst in func.insts() {
+            for op in inst.kind.operands() {
+                let a = bases(&anders.pts_of_operand(func.id, op));
+                if a.is_empty() {
+                    continue;
+                }
+                let st = bases(&steens.pts_of_operand(func.id, op));
+                operands_checked += 1;
+                let escaped: Vec<&Loc> = a.difference(&st).collect();
+                assert!(
+                    escaped.is_empty(),
+                    "{}: at {} operand {op:?}: Andersen locs {escaped:?} \
+                     missing from Steensgaard {st:?}",
+                    s.id,
+                    s.module.describe_pc(inst.pc)
+                );
+            }
+        }
+    }
+    assert!(
+        operands_checked > 0,
+        "{}: no pointer operands exercised the ordering",
+        s.id
+    );
+}
+
+/// Steensgaard ⊇ Andersen on every module of the 54-bug corpus and the
+/// extension scenarios.
+#[test]
+fn steensgaard_subsumes_andersen_on_every_corpus_module() {
+    let mut modules = 0usize;
+    for s in lazy_diagnosis::workloads::all_scenarios() {
+        check_module(&s);
+        modules += 1;
+    }
+    for s in lazy_diagnosis::workloads::extension_scenarios() {
+        check_module(&s);
+        modules += 1;
+    }
+    assert!(modules >= 54, "corpus shrank to {modules} modules");
+}
