@@ -4,8 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lazy_analysis::PointsTo;
+use lazy_bench::synth::{drive, looped_module};
 use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
-use lazy_trace::{decode_thread_trace, ExecIndex, TraceConfig};
+use lazy_trace::{
+    decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, ExecIndex,
+    TraceConfig,
+};
 use lazy_vm::VmConfig;
 use std::hint::black_box;
 
@@ -50,6 +54,38 @@ fn bench_trace_decode(c: &mut Criterion) {
     });
 }
 
+/// Sequential (three-pass and fused) vs PSB-sharded decode of one
+/// synthetic multi-megabyte stream — the kernel behind the
+/// `lazy-bench --bin decode` acceptance numbers.
+fn bench_decode_paths(c: &mut Criterion) {
+    let module = looped_module();
+    let index = ExecIndex::build(&module);
+    let cfg = TraceConfig {
+        buffer_size: TraceConfig::MAX_BUFFER,
+        ..TraceConfig::default()
+    };
+    let (bytes, taken_at) = drive(&module, 100_000, cfg.clone());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut g = c.benchmark_group("decode-paths");
+    g.bench_function("legacy three-pass", |b| {
+        b.iter(|| {
+            black_box(decode_thread_trace_legacy(&index, &cfg, &bytes, taken_at).expect("decode"))
+        })
+    });
+    g.bench_function("fused streaming", |b| {
+        b.iter(|| black_box(decode_thread_trace(&index, &cfg, &bytes, taken_at).expect("decode")))
+    });
+    g.bench_function(&format!("sharded ({cores} workers)"), |b| {
+        b.iter(|| {
+            black_box(
+                decode_thread_trace_sharded(&index, &cfg, &bytes, taken_at, cores).expect("decode"),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_diagnose(c: &mut Criterion) {
     let s = lazy_workloads::scenario_by_id("pbzip2-na-1").expect("scenario");
     let server = DiagnosisServer::new(&s.module, ServerConfig::default());
@@ -70,6 +106,6 @@ fn bench_diagnose(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_points_to, bench_trace_decode, bench_diagnose
+    targets = bench_points_to, bench_trace_decode, bench_decode_paths, bench_diagnose
 }
 criterion_main!(benches);

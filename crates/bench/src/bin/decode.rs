@@ -1,0 +1,220 @@
+//! Trace-decode throughput: sequential vs fused vs PSB-sharded decode.
+//!
+//! The diagnosis pipeline spends its first stage turning raw per-thread
+//! packet bytes into [`DecodedTrace`]s. This bench measures that stage
+//! in isolation on a synthetic multi-megabyte, multi-thread snapshot
+//! (the large-buffer driver regime; corpus snapshots are capped at the
+//! paper's 64 KB rings and too small to show shard-level parallelism):
+//!
+//! * **sequential (legacy)** — the original three-pass decoder
+//!   (packetize, clock recovery, CFG walk), one thread stream at a
+//!   time;
+//! * **sequential (fused)** — the single streaming pass, one stream at
+//!   a time, never materializing the packet vector;
+//! * **sharded parallel** — thread streams fanned across a scoped
+//!   worker pool, each stream PSB-sharded across the workers left over
+//!   (the `process_snapshot_par` outer/inner split).
+//!
+//! Every parallel decode is checked against the legacy reference —
+//! identical events, resync counts, and dropped-CYC counts — so the
+//! numbers are for a decoder that is *provably* a pure optimization.
+//!
+//! The acceptance target is ≥2× wall-clock for sharded-parallel over
+//! the fused sequential baseline with ≥4 cores; on smaller machines the
+//! parallel term shrinks toward 1× and the check is reported as skipped
+//! rather than failed. Results are also written to `BENCH_decode.json`.
+//!
+//! Usage: `decode [--threads N] [--iters N] [--rounds N] [--out PATH] [--fast]`
+
+use lazy_bench::stats;
+use lazy_bench::synth::{drive, looped_module};
+use lazy_trace::{
+    decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, DecodedTrace,
+    ExecIndex, TraceConfig,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn opt(args: &[String], flag: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Decodes all thread streams under the outer/inner worker split the
+/// server's `process_snapshot_par` uses: `outer` workers pull whole
+/// streams off a shared index, each PSB-sharding its stream across the
+/// `inner` budget.
+fn decode_parallel(
+    index: &ExecIndex,
+    cfg: &TraceConfig,
+    streams: &[(Vec<u8>, u64)],
+    cores: usize,
+) -> Vec<DecodedTrace> {
+    let outer = cores.clamp(1, streams.len().max(1));
+    let inner = (cores / outer).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<DecodedTrace>>> =
+        streams.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..outer {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((bytes, taken_at)) = streams.get(i) else {
+                    break;
+                };
+                let t = decode_thread_trace_sharded(index, cfg, bytes, *taken_at, inner)
+                    .expect("synthetic stream decodes");
+                *slots[i].lock().expect("slot") = Some(t);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("stream decoded"))
+        .collect()
+}
+
+fn assert_matches(reference: &[DecodedTrace], got: &[DecodedTrace], label: &str) {
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        assert_eq!(r.events, g.events, "{label}: thread {i} events diverged");
+        assert_eq!(r.resyncs, g.resyncs, "{label}: thread {i} resyncs diverged");
+        assert_eq!(
+            r.cyc_dropped, g.cyc_dropped,
+            "{label}: thread {i} dropped-CYC diverged"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let threads = opt(&args, "--threads", 4);
+    let iters = opt(&args, "--iters", if fast { 20_000 } else { 400_000 });
+    let rounds = opt(&args, "--rounds", if fast { 1 } else { 3 });
+    let out_path = opt_str(&args, "--out", "BENCH_decode.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let module = looped_module();
+    let index = ExecIndex::build(&module);
+    let cfg = TraceConfig {
+        // Large-buffer driver regime: keep the whole stream.
+        buffer_size: TraceConfig::MAX_BUFFER,
+        ..TraceConfig::default()
+    };
+    // Slightly different lengths per thread so the pool sees the
+    // uneven stream sizes a real snapshot has.
+    let streams: Vec<(Vec<u8>, u64)> = (0..threads)
+        .map(|tid| drive(&module, iters as u64 + tid as u64 * 97, cfg.clone()))
+        .collect();
+    let total_bytes: usize = streams.iter().map(|(b, _)| b.len()).sum();
+    println!(
+        "trace decode: {} threads x {} iters = {:.1} MB total, {} rounds, {} cores",
+        threads,
+        iters,
+        total_bytes as f64 / (1024.0 * 1024.0),
+        rounds,
+        cores
+    );
+
+    // Reference output (also warms the allocator so round 1 is not
+    // penalized).
+    let reference: Vec<DecodedTrace> = streams
+        .iter()
+        .map(|(b, t)| decode_thread_trace_legacy(&index, &cfg, b, *t).expect("decode"))
+        .collect();
+
+    let mut legacy = Vec::new();
+    let mut fused = Vec::new();
+    let mut sharded = Vec::new();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let out: Vec<DecodedTrace> = streams
+            .iter()
+            .map(|(b, at)| decode_thread_trace_legacy(&index, &cfg, b, *at).expect("decode"))
+            .collect();
+        legacy.push(t.elapsed().as_secs_f64());
+        assert_matches(&reference, &out, "legacy");
+
+        let t = Instant::now();
+        let out: Vec<DecodedTrace> = streams
+            .iter()
+            .map(|(b, at)| decode_thread_trace(&index, &cfg, b, *at).expect("decode"))
+            .collect();
+        fused.push(t.elapsed().as_secs_f64());
+        assert_matches(&reference, &out, "fused");
+
+        let t = Instant::now();
+        let out = decode_parallel(&index, &cfg, &streams, cores);
+        sharded.push(t.elapsed().as_secs_f64());
+        assert_matches(&reference, &out, "sharded");
+    }
+
+    let (legacy_s, fused_s, sharded_s) = (
+        stats::mean(&legacy),
+        stats::mean(&fused),
+        stats::mean(&sharded),
+    );
+    let mb = total_bytes as f64 / (1024.0 * 1024.0);
+    println!("--");
+    println!(
+        "sequential (legacy)  {:>9.1} ms   {:>7.1} MB/s",
+        legacy_s * 1000.0,
+        mb / legacy_s
+    );
+    println!(
+        "sequential (fused)   {:>9.1} ms   {:>7.1} MB/s   ({:.2}x vs legacy)",
+        fused_s * 1000.0,
+        mb / fused_s,
+        legacy_s / fused_s
+    );
+    println!(
+        "sharded parallel     {:>9.1} ms   {:>7.1} MB/s   ({:.2}x vs fused)",
+        sharded_s * 1000.0,
+        mb / sharded_s,
+        fused_s / sharded_s
+    );
+
+    let speedup = fused_s / sharded_s;
+    let gate_status = if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "acceptance: sharded decode must be >=2x fused sequential on >=4 cores (got {speedup:.2}x)"
+        );
+        println!("acceptance (>=2x on >=4 cores): PASS ({speedup:.2}x)");
+        "pass"
+    } else {
+        println!(
+            "acceptance (>=2x on >=4 cores): SKIPPED — {cores} core(s) available, \
+             parallel term absent ({speedup:.2}x measured)"
+        );
+        "skipped"
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"decode\",\n  \"workload\": {{\n    \"threads\": {threads},\n    \
+         \"iters_per_thread\": {iters},\n    \"total_bytes\": {total_bytes},\n    \
+         \"psb_period_bytes\": {psb}\n  }},\n  \"machine\": {{ \"cores\": {cores} }},\n  \
+         \"rounds\": {rounds},\n  \"seconds\": {{\n    \"sequential_legacy\": {legacy_s:.6},\n    \
+         \"sequential_fused\": {fused_s:.6},\n    \"sharded_parallel\": {sharded_s:.6}\n  }},\n  \
+         \"speedup\": {{\n    \"fused_vs_legacy\": {f_vs_l:.3},\n    \
+         \"sharded_vs_fused\": {s_vs_f:.3},\n    \"sharded_vs_legacy\": {s_vs_l:.3}\n  }},\n  \
+         \"gate\": {{\n    \"required\": \">=2x sharded vs fused sequential on >=4 cores\",\n    \
+         \"status\": \"{gate_status}\"\n  }}\n}}\n",
+        psb = cfg.psb_period_bytes,
+        f_vs_l = legacy_s / fused_s,
+        s_vs_f = speedup,
+        s_vs_l = legacy_s / sharded_s,
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -25,7 +25,9 @@ fn usage() -> ExitCode {
         "usage: snorlax <command> [args]\n\n\
          commands:\n\
            corpus                         list the bug corpus\n\
-           diagnose <bug-id> [--seed N]   collect traces and print the root cause\n\
+           diagnose <bug-id> [--seed N] [--decode-workers N]\n\
+                                          collect traces and print the root cause\n\
+                                          (--decode-workers 0 = one per core, 1 = sequential)\n\
            replay <bug-id> [--runs N]     record a failing order, replay it deterministically\n\
            hypothesis <bug-id> [--samples N]  measure the inter-event times (coarse hypothesis)\n\
            trace <bug-id>                 dump the failing trace's packets and decoded events\n\
@@ -63,13 +65,19 @@ fn cmd_corpus() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_diagnose(id: &str, first_seed: u64) -> ExitCode {
+fn cmd_diagnose(id: &str, first_seed: u64, decode_workers: u64) -> ExitCode {
     let Some(s) = find_scenario(id) else {
         eprintln!("unknown bug id {id} (see `snorlax corpus`)");
         return ExitCode::FAILURE;
     };
     println!("bug: {} — {}\n", s.id, s.description);
-    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let server = DiagnosisServer::new(
+        &s.module,
+        ServerConfig {
+            decode_workers: decode_workers as usize,
+            ..ServerConfig::default()
+        },
+    );
     let client = CollectionClient::new(&server, VmConfig::default());
     let Some(col) = client.collect(first_seed, 1000, 10, 0) else {
         eprintln!("the bug did not manifest within the run budget");
@@ -86,6 +94,10 @@ fn cmd_diagnose(id: &str, first_seed: u64) -> ExitCode {
         Ok(d) => {
             print!("{}", d.render(&s.module));
             println!("\nserver analysis time: {} µs", d.stats.analysis_micros);
+            println!(
+                "decode health: {} resyncs, {} CYC deltas dropped before an anchor",
+                d.stats.decode_resyncs, d.stats.cyc_dropped
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -269,10 +281,13 @@ fn cmd_trace(id: &str) -> ExitCode {
     let server = DiagnosisServer::new(&s.module, ServerConfig::default());
     let pt = server.process(&snap).expect("decodes");
     println!(
-        "decoded: {} events, {} distinct instructions (of {} static)",
+        "decoded: {} events, {} distinct instructions (of {} static), \
+         {} resyncs, {} CYC deltas dropped",
         pt.event_count,
         pt.executed.len(),
-        s.module.inst_count()
+        s.module.inst_count(),
+        pt.resyncs,
+        pt.cyc_dropped
     );
     for t in &snap.threads {
         println!(
@@ -339,7 +354,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("corpus") => cmd_corpus(),
-        Some("diagnose") if args.len() >= 2 => cmd_diagnose(&args[1], opt_u64(&args, "--seed", 0)),
+        Some("diagnose") if args.len() >= 2 => cmd_diagnose(
+            &args[1],
+            opt_u64(&args, "--seed", 0),
+            opt_u64(&args, "--decode-workers", 0),
+        ),
         Some("replay") if args.len() >= 2 => cmd_replay(&args[1], opt_u64(&args, "--runs", 10)),
         Some("hypothesis") if args.len() >= 2 => {
             cmd_hypothesis(&args[1], opt_u64(&args, "--samples", 10))

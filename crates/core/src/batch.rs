@@ -21,7 +21,7 @@
 //! `tests/batch.rs` asserts exactly this). Only the timing fields of
 //! [`PipelineStats`](crate::PipelineStats) differ.
 
-use crate::server::{DiagnosisServer, StageTimes};
+use crate::server::{DiagnosisServer, SnapshotMemo, StageTimes};
 use crate::Diagnosis;
 use lazy_analysis::{CacheStats, PointsTo, PointsToCache};
 use lazy_trace::{DecodeError, TraceSnapshot};
@@ -82,6 +82,10 @@ pub struct BatchStats {
     pub wall_micros: u128,
     /// Shared points-to cache counters (zeroes when the cache is off).
     pub cache: CacheStats,
+    /// Snapshots served from the cross-job memo instead of being
+    /// decoded again (identical success-corpus snapshots attached to
+    /// several jobs are processed once and `Arc`-shared).
+    pub snapshot_dedup_hits: usize,
 }
 
 /// The diagnoses of one batch, in job order.
@@ -99,12 +103,15 @@ impl<'m> DiagnosisServer<'m> {
     ///
     /// Each returned diagnosis is identical — up to timing counters —
     /// to what [`DiagnosisServer::diagnose`] returns for the same job.
-    pub fn diagnose_batch(&self, jobs: &[BatchJob<'_>], cfg: &BatchConfig) -> BatchOutcome {
+    pub fn diagnose_batch<'a>(&self, jobs: &[BatchJob<'a>], cfg: &BatchConfig) -> BatchOutcome {
         let started = Instant::now();
         let workers = cfg.resolved_workers(jobs.len());
         let cache = cfg
             .use_cache
             .then(|| Mutex::new(PointsToCache::with_capacity(cfg.cache_capacity)));
+        // Jobs of one batch typically share success corpora; the memo
+        // processes each distinct snapshot once across the whole batch.
+        let memo = SnapshotMemo::new();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<Diagnosis, DecodeError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -114,7 +121,7 @@ impl<'m> DiagnosisServer<'m> {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let result = self.run_job(job, cache.as_ref());
+                    let result = self.run_job(job, cache.as_ref(), &memo);
                     *slots[i].lock().expect("result slot") = Some(result);
                 });
             }
@@ -134,18 +141,23 @@ impl<'m> DiagnosisServer<'m> {
                 workers,
                 wall_micros: started.elapsed().as_micros(),
                 cache: cache_stats,
+                snapshot_dedup_hits: memo.hits(),
             },
         }
     }
 
-    fn run_job(
+    fn run_job<'a>(
         &self,
-        job: &BatchJob<'_>,
+        job: &BatchJob<'a>,
         cache: Option<&Mutex<PointsToCache>>,
+        memo: &SnapshotMemo<'a>,
     ) -> Result<Diagnosis, DecodeError> {
         let started = Instant::now();
+        // Decode budget 1 per job: batch-level parallelism already
+        // saturates the pool, so per-thread sharding would only add
+        // stitch overhead.
         let (failing_traces, success_traces, executed) =
-            self.prepare(job.failing, job.successful)?;
+            self.prepare_with(job.failing, job.successful, Some(memo), 1)?;
         let decode_micros = started.elapsed().as_micros();
 
         let pts_started = Instant::now();

@@ -184,6 +184,7 @@ mod tests {
             taken_at: u64::MAX,
             event_count: 0,
             resyncs: 0,
+            cyc_dropped: 0,
         }
     }
 

@@ -736,6 +736,7 @@ mod tests {
             taken_at: 1_000_000,
             event_count: 0,
             resyncs: 0,
+            cyc_dropped: 0,
         }
     }
 

@@ -14,10 +14,12 @@
 
 use lazy_ir::{Module, Pc};
 use lazy_trace::{
-    decode_thread_trace, DecodeError, DecodedTrace, ExecIndex, TimeBounds, TraceConfig,
-    TraceSnapshot,
+    decode_thread_trace, decode_thread_trace_sharded, DecodeError, DecodedTrace, ExecIndex,
+    TimeBounds, TraceConfig, TraceSnapshot,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One dynamic instance of an instruction in a processed trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +66,9 @@ pub struct ProcessedTrace {
     pub event_count: usize,
     /// Per-thread decode resynchronization counts (diagnostic).
     pub resyncs: u32,
+    /// `CYC` deltas dropped for want of a time anchor, summed across
+    /// threads (diagnostic: time silently lost at wrapped-buffer heads).
+    pub cyc_dropped: u64,
 }
 
 impl ProcessedTrace {
@@ -121,30 +126,83 @@ impl ProcessedTrace {
 ///
 /// Returns the underlying [`DecodeError`] if no thread decodes.
 pub fn process_snapshot(
-    _module: &Module,
+    module: &Module,
     index: &ExecIndex,
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
 ) -> Result<ProcessedTrace, DecodeError> {
+    process_snapshot_par(module, index, config, snapshot, 1)
+}
+
+/// [`process_snapshot`] with up to `workers` decode threads.
+///
+/// Thread streams decode concurrently; streams at least
+/// [`TraceConfig::decode_shard_min_bytes`] long additionally use
+/// PSB-sharded decode internally. Aggregation runs sequentially in
+/// thread order over the (bit-identical) per-thread decodes, so the
+/// result is byte-for-byte the same as `workers == 1`.
+///
+/// # Errors
+///
+/// Same contract as [`process_snapshot`].
+pub fn process_snapshot_par(
+    _module: &Module,
+    index: &ExecIndex,
+    config: &TraceConfig,
+    snapshot: &TraceSnapshot,
+    workers: usize,
+) -> Result<ProcessedTrace, DecodeError> {
+    let decode = |bytes: &[u8]| -> Result<DecodedTrace, DecodeError> {
+        if workers > 1 && bytes.len() >= config.decode_shard_min_bytes {
+            decode_thread_trace_sharded(index, config, bytes, snapshot.taken_at, workers)
+        } else {
+            decode_thread_trace(index, config, bytes, snapshot.taken_at)
+        }
+    };
+    let decoded: Vec<Result<DecodedTrace, DecodeError>> =
+        if workers > 1 && snapshot.threads.len() > 1 {
+            let slots: Vec<Mutex<Option<Result<DecodedTrace, DecodeError>>>> =
+                snapshot.threads.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(snapshot.threads.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(thread) = snapshot.threads.get(i) else {
+                            break;
+                        };
+                        *slots[i].lock().expect("decode slot") = Some(decode(&thread.bytes));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("decode slot").expect("decode ran"))
+                .collect()
+        } else {
+            snapshot.threads.iter().map(|t| decode(&t.bytes)).collect()
+        };
+
     let mut executed = HashSet::new();
     let mut instances: HashMap<Pc, Vec<DynInstance>> = HashMap::new();
     let mut event_time: HashMap<(u32, usize), TimeBounds> = HashMap::new();
     let mut event_count = 0usize;
     let mut resyncs = 0u32;
+    let mut cyc_dropped = 0u64;
     let mut decoded_any = false;
     let mut last_err = DecodeError::NoSync;
 
-    for thread in &snapshot.threads {
-        let trace: DecodedTrace =
-            match decode_thread_trace(index, config, &thread.bytes, snapshot.taken_at) {
-                Ok(t) => t,
-                Err(e) => {
-                    last_err = e;
-                    continue;
-                }
-            };
+    for (thread, result) in snapshot.threads.iter().zip(decoded) {
+        let trace: DecodedTrace = match result {
+            Ok(t) => t,
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        };
         decoded_any = true;
         resyncs += trace.resyncs;
+        cyc_dropped += trace.cyc_dropped;
         event_count += trace.events.len();
         // Count per (pc, tid) so the cap keeps the most recent.
         let mut per_pc_counts: HashMap<Pc, usize> = HashMap::new();
@@ -180,6 +238,7 @@ pub fn process_snapshot(
         taken_at: snapshot.taken_at,
         event_count,
         resyncs,
+        cyc_dropped,
     })
 }
 

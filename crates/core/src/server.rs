@@ -10,14 +10,16 @@
 
 use crate::candidates::select_candidates;
 use crate::patterns::{crash_patterns, deadlock_patterns, BugPattern, PatternContext};
-use crate::processing::{process_snapshot, ProcessedTrace};
+use crate::processing::{process_snapshot_par, ProcessedTrace};
 use crate::statistics::{score_patterns, PatternScore};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Cfg, Module, Pc};
 use lazy_trace::{DecodeError, ExecIndex, TraceConfig, TraceSnapshot};
 use lazy_vm::{Failure, FailureKind};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Server-side configuration.
@@ -30,6 +32,11 @@ pub struct ServerConfig {
     pub success_factor: usize,
     /// Cap on ranked candidates carried into pattern computation.
     pub max_candidates: usize,
+    /// Worker threads for snapshot decode (steps 2–3): snapshots of one
+    /// report decode concurrently, and large thread streams additionally
+    /// use PSB-sharded decode. `0` means one per available core. The
+    /// result is bit-identical regardless of the setting.
+    pub decode_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +45,17 @@ impl Default for ServerConfig {
             trace: TraceConfig::default(),
             success_factor: 10,
             max_candidates: 128,
+            decode_workers: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_decode_workers(&self) -> usize {
+        if self.decode_workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.decode_workers
         }
     }
 }
@@ -73,6 +91,14 @@ pub struct PipelineStats {
     pub points_to_micros: u128,
     /// Candidate/pattern/scoring time (steps 4–7 after points-to).
     pub pattern_micros: u128,
+    /// Packet-level resynchronizations across every decoded snapshot
+    /// (failing + successful) — nonzero when ring buffers wrapped
+    /// mid-packet or packets were lost.
+    pub decode_resyncs: u32,
+    /// `CYC` timing deltas dropped for want of a time anchor across
+    /// every decoded snapshot — time silently lost at wrapped-buffer
+    /// heads.
+    pub cyc_dropped: u64,
 }
 
 /// The server's verdict for one failure.
@@ -213,7 +239,13 @@ impl<'m> DiagnosisServer<'m> {
     ///
     /// Propagates decode failures.
     pub fn process(&self, snapshot: &TraceSnapshot) -> Result<ProcessedTrace, DecodeError> {
-        process_snapshot(self.module, &self.index, &self.cfg.trace, snapshot)
+        process_snapshot_par(
+            self.module,
+            &self.index,
+            &self.cfg.trace,
+            snapshot,
+            self.cfg.resolved_decode_workers(),
+        )
     }
 
     /// The breakpoint PCs a client should try, in order, to capture
@@ -280,20 +312,93 @@ impl<'m> DiagnosisServer<'m> {
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
     ) -> Result<Prepared, DecodeError> {
-        let mut failing_traces = Vec::new();
-        for s in failing {
-            failing_traces.push(self.process(s)?);
-        }
-        if failing_traces.is_empty() {
+        self.prepare_with(
+            failing,
+            successful,
+            None,
+            self.cfg.resolved_decode_workers(),
+        )
+    }
+
+    /// [`DiagnosisServer::prepare`] with an explicit decode-worker
+    /// budget and an optional cross-job snapshot memo (batch mode: the
+    /// same success corpus is typically attached to many jobs, so its
+    /// snapshots are processed once and shared by `Arc`).
+    ///
+    /// All snapshots of the report are processed concurrently under the
+    /// worker budget, and each snapshot's threads decode concurrently
+    /// too ([`process_snapshot_par`]); aggregation order is fixed, so
+    /// the result is bit-identical to sequential processing.
+    pub(crate) fn prepare_with<'a>(
+        &self,
+        failing: &'a [TraceSnapshot],
+        successful: &'a [TraceSnapshot],
+        memo: Option<&SnapshotMemo<'a>>,
+        workers: usize,
+    ) -> Result<Prepared, DecodeError> {
+        if failing.is_empty() {
             return Err(DecodeError::NoSync);
         }
-        let success_cap = self.cfg.success_factor * failing_traces.len().max(1);
-        let mut success_traces = Vec::new();
-        for s in successful.iter().take(success_cap) {
-            if let Ok(t) = self.process(s) {
-                success_traces.push(t);
+        let success_cap = self.cfg.success_factor * failing.len().max(1);
+        let successful = &successful[..successful.len().min(success_cap)];
+        let snapshots: Vec<&'a TraceSnapshot> = failing.iter().chain(successful.iter()).collect();
+
+        let outer = workers.clamp(1, snapshots.len());
+        let inner = (workers / outer).max(1);
+        let process_one = |s: &'a TraceSnapshot| -> Processed {
+            if let Some(m) = memo {
+                if let Some(hit) = m.lookup(s) {
+                    return Ok(hit);
+                }
+                let t = Arc::new(process_snapshot_par(
+                    self.module,
+                    &self.index,
+                    &self.cfg.trace,
+                    s,
+                    inner,
+                )?);
+                m.insert(s, Arc::clone(&t));
+                Ok(t)
+            } else {
+                Ok(Arc::new(process_snapshot_par(
+                    self.module,
+                    &self.index,
+                    &self.cfg.trace,
+                    s,
+                    inner,
+                )?))
             }
+        };
+        let results: Vec<Processed> = if outer > 1 {
+            let slots: Vec<Mutex<Option<Processed>>> =
+                snapshots.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..outer {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(s) = snapshots.get(i) else { break };
+                        *slots[i].lock().expect("prepare slot") = Some(process_one(s));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("prepare slot").expect("processed"))
+                .collect()
+        } else {
+            snapshots.iter().map(|s| process_one(s)).collect()
+        };
+
+        let mut results = results.into_iter();
+        let mut failing_traces = Vec::with_capacity(failing.len());
+        for r in results.by_ref().take(failing.len()) {
+            failing_traces.push(r?);
         }
+        // Success-side decode failures are skipped, mirroring a
+        // production server that cannot hold up a diagnosis for one
+        // corrupt success trace.
+        let success_traces: Vec<Arc<ProcessedTrace>> = results.filter_map(Result::ok).collect();
 
         // Step 2: executed set (union over received traces).
         let mut executed: HashSet<Pc> = HashSet::new();
@@ -310,8 +415,8 @@ impl<'m> DiagnosisServer<'m> {
     pub(crate) fn finish_diagnosis(
         &self,
         failure: &Failure,
-        failing_traces: &[ProcessedTrace],
-        success_traces: &[ProcessedTrace],
+        failing_traces: &[Arc<ProcessedTrace>],
+        success_traces: &[Arc<ProcessedTrace>],
         executed: &HashSet<Pc>,
         pts: &PointsTo,
         times: StageTimes,
@@ -395,6 +500,7 @@ impl<'m> DiagnosisServer<'m> {
             None => Vec::new(),
         };
 
+        let all_traces = || failing_traces.iter().chain(success_traces.iter());
         let stats = PipelineStats {
             static_insts: self.module.inst_count(),
             executed_insts: executed.len(),
@@ -407,6 +513,8 @@ impl<'m> DiagnosisServer<'m> {
             decode_micros: times.decode_micros,
             points_to_micros: times.points_to_micros,
             pattern_micros: pattern_started.elapsed().as_micros(),
+            decode_resyncs: all_traces().map(|t| t.resyncs).sum(),
+            cyc_dropped: all_traces().map(|t| t.cyc_dropped).sum(),
         };
         Diagnosis {
             scores,
@@ -420,7 +528,86 @@ impl<'m> DiagnosisServer<'m> {
 
 /// Decoded failing traces, decoded successful traces, and the executed
 /// instruction union — the output of [`DiagnosisServer::prepare`].
-pub(crate) type Prepared = (Vec<ProcessedTrace>, Vec<ProcessedTrace>, HashSet<Pc>);
+/// Traces are `Arc`-shared so batch jobs can reuse identical
+/// success-corpus snapshots without reprocessing (or copying) them.
+pub(crate) type Prepared = (
+    Vec<Arc<ProcessedTrace>>,
+    Vec<Arc<ProcessedTrace>>,
+    HashSet<Pc>,
+);
+
+/// One snapshot's decode+processing outcome, `Arc`-shared for reuse.
+type Processed = Result<Arc<ProcessedTrace>, DecodeError>;
+
+/// Memo bucket: the snapshots hashing to one content key, each with its
+/// processed trace.
+type MemoBucket<'a> = Vec<(&'a TraceSnapshot, Arc<ProcessedTrace>)>;
+
+/// A cross-job memo of processed snapshots, keyed by snapshot content.
+///
+/// Batch jobs for the same failure PC typically attach the *same*
+/// success corpus; processing each shared snapshot once and handing out
+/// [`Arc`] clones removes the largest redundant cost in a batch. Lookup
+/// hashes the snapshot content (FNV-1a) and confirms with full
+/// equality, so a hash collision can never alias two distinct
+/// snapshots.
+pub(crate) struct SnapshotMemo<'a> {
+    entries: Mutex<HashMap<u64, MemoBucket<'a>>>,
+    hits: AtomicUsize,
+}
+
+impl<'a> SnapshotMemo<'a> {
+    pub(crate) fn new() -> SnapshotMemo<'a> {
+        SnapshotMemo {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Content hash over everything [`TraceSnapshot`]'s equality sees.
+    fn key(s: &TraceSnapshot) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&s.taken_at.to_le_bytes());
+        eat(&s.trigger_tid.to_le_bytes());
+        eat(&s.trigger_pc.to_le_bytes());
+        for t in &s.threads {
+            eat(&t.tid.to_le_bytes());
+            eat(&[u8::from(t.wrapped)]);
+            eat(&t.bytes);
+        }
+        h
+    }
+
+    fn lookup(&self, s: &TraceSnapshot) -> Option<Arc<ProcessedTrace>> {
+        let entries = self.entries.lock().expect("snapshot memo");
+        let found = entries
+            .get(&Self::key(s))?
+            .iter()
+            .find(|(snap, _)| *snap == s)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&found.1))
+    }
+
+    fn insert(&self, s: &'a TraceSnapshot, t: Arc<ProcessedTrace>) {
+        self.entries
+            .lock()
+            .expect("snapshot memo")
+            .entry(Self::key(s))
+            .or_default()
+            .push((s, t));
+    }
+
+    /// Snapshots served from the memo instead of being reprocessed.
+    pub(crate) fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
 
 /// Wall-clock bookkeeping threaded from the pipeline's front half into
 /// [`DiagnosisServer::finish_diagnosis`].

@@ -41,10 +41,10 @@ pub struct PatternScore {
 ///
 /// `rank_of` maps candidate PCs to their type-based rank (missing PCs
 /// default to rank 2).
-pub fn score_patterns(
+pub fn score_patterns<T: std::borrow::Borrow<ProcessedTrace>>(
     patterns: &[BugPattern],
-    failing: &[ProcessedTrace],
-    successful: &[ProcessedTrace],
+    failing: &[T],
+    successful: &[T],
     rank_of: &HashMap<Pc, u32>,
 ) -> Vec<PatternScore> {
     let mut out: Vec<PatternScore> = patterns
@@ -56,8 +56,14 @@ pub fn score_patterns(
                 .map(|pc| rank_of.get(pc).copied().unwrap_or(2))
                 .max()
                 .unwrap_or(2);
-            let fail_support = failing.iter().filter(|t| pattern_present(p, t)).count();
-            let success_support = successful.iter().filter(|t| pattern_present(p, t)).count();
+            let fail_support = failing
+                .iter()
+                .filter(|t| pattern_present(p, (*t).borrow()))
+                .count();
+            let success_support = successful
+                .iter()
+                .filter(|t| pattern_present(p, (*t).borrow()))
+                .count();
             let predicted = fail_support + success_support;
             let precision = if predicted == 0 {
                 0.0
@@ -129,6 +135,7 @@ mod tests {
             taken_at: 1_000_000,
             event_count: 0,
             resyncs: 0,
+            cyc_dropped: 0,
         }
     }
 

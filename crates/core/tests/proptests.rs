@@ -38,6 +38,7 @@ fn trace_from(instances: Vec<(u64, u32, usize, u64, u64)>) -> ProcessedTrace {
         taken_at: u64::MAX,
         event_count: 0,
         resyncs: 0,
+        cyc_dropped: 0,
     }
 }
 

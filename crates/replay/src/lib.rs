@@ -382,6 +382,7 @@ mod tests {
             taken_at: 1000,
             event_count: 2,
             resyncs: 0,
+            cyc_dropped: 0,
         };
         let racing: HashSet<Pc> = [Pc(4), Pc(8)].into_iter().collect();
         let err = Recording::from_processed_trace(&trace, &racing).unwrap_err();

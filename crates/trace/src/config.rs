@@ -26,6 +26,11 @@ pub struct TraceConfig {
     /// them models PT with timing off: control flow still decodes, but no
     /// cross-thread order can be recovered (the §7 fallback).
     pub timing_enabled: bool,
+    /// Minimum thread-stream size, in bytes, at which the decode
+    /// pipeline switches from the fused sequential decoder to
+    /// PSB-sharded parallel decode. Below this, shard stitching costs
+    /// more than it saves.
+    pub decode_shard_min_bytes: usize,
     /// Spill the ring buffer to persistent storage whenever it fills,
     /// keeping the *entire* trace instead of the most recent window.
     /// This is the §7 mitigation for bugs that violate the
@@ -57,6 +62,7 @@ impl Default for TraceConfig {
             // 256 ns quantization of cycle-accurate deltas.
             cyc_shift: 8,
             psb_period_bytes: 4096,
+            decode_shard_min_bytes: 32 * 1024,
             timing_enabled: true,
             spill_to_storage: false,
         }

@@ -9,12 +9,36 @@
 //! each indirect transfer or return. Timing packets interleaved with the
 //! control packets bound each decoded instruction inside a coarse
 //! [`TimeBounds`] window — the partial order of the paper's step 3.
+//!
+//! # Decode strategies
+//!
+//! Three entry points produce bit-identical [`DecodedTrace`]s:
+//!
+//! * [`decode_thread_trace`] — the production path: a **single fused
+//!   streaming pass**. Packets are parsed, clocked, and walked one at a
+//!   time; no intermediate `Vec<Packet>` or per-packet timestamp vector
+//!   is ever materialized.
+//! * [`decode_thread_trace_sharded`] — splits the byte stream at `PSB`
+//!   boundaries and decodes the shards on worker threads. A `PSB`
+//!   resets last-IP compression and (with timing on) is followed by a
+//!   full `TSC` re-anchor, so a shard's packet and clock reconstruction
+//!   is independent of its predecessors; only the tiny CFG-walk carry
+//!   state (current PC + last control time) crosses the boundary, and a
+//!   cheap sequential *stitch* recomputes each shard's head region with
+//!   the true carried state, validates that the speculative decode
+//!   converged, and falls back to sequential decode of a shard when it
+//!   did not. See `DESIGN.md` ("Parallel trace decode") for the
+//!   soundness argument.
+//! * [`decode_thread_trace_legacy`] — the original three-pass decoder
+//!   (packet vec → timestamp vec → CFG walk), kept as the differential
+//!   baseline for tests and benches.
 
 use crate::config::TraceConfig;
 use crate::packet::{Packet, PacketDecoder};
 use lazy_ir::{InstKind, Module, Pc};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 
 /// Sentinel TIP target meaning "execution left traced code" (thread
 /// exit). The VM emits it when a thread's entry function returns.
@@ -69,6 +93,10 @@ pub struct DecodedTrace {
     /// Number of packet-level resynchronizations performed (nonzero when
     /// the ring buffer wrapped mid-packet or packets were lost).
     pub resyncs: u32,
+    /// `CYC` deltas dropped because no time anchor (`TSC`/`MTC`)
+    /// preceded them — time information silently lost at the head of a
+    /// wrapped buffer or after corruption.
+    pub cyc_dropped: u64,
 }
 
 impl DecodedTrace {
@@ -120,20 +148,29 @@ enum Transfer {
     Ret,
     /// Whole-program halt; the walk ends.
     Halt,
+    /// A PC-stride slot with no instruction (function-alignment gap).
+    Unmapped,
 }
 
 /// A precomputed walk table for a module: PC → outgoing transfer.
 ///
-/// Build once per module, reuse across every decode.
+/// Build once per module, reuse across every decode. The table is a
+/// **dense** `Vec` indexed by `(pc - TEXT_BASE) / PC_STRIDE` — the walk
+/// probes it once per decoded instruction, and a bounds-checked array
+/// load beats a `HashMap` probe by an order of magnitude on that path.
+/// Function-alignment gaps hold [`Transfer::Unmapped`].
 #[derive(Clone, Debug)]
 pub struct ExecIndex {
-    steps: HashMap<u64, Transfer>,
+    base: u64,
+    steps: Vec<Transfer>,
 }
 
 impl ExecIndex {
     /// Builds the walk table for `module`.
     pub fn build(module: &Module) -> ExecIndex {
-        let mut steps = HashMap::with_capacity(module.inst_count());
+        let base = Module::TEXT_BASE;
+        let slots = (module.max_pc().0.saturating_sub(base) / Module::PC_STRIDE) as usize;
+        let mut steps = vec![Transfer::Unmapped; slots];
         for func in module.functions() {
             let entry_pc: HashMap<_, _> = func
                 .blocks
@@ -160,16 +197,40 @@ impl ExecIndex {
                         InstKind::Halt => Transfer::Halt,
                         _ => Transfer::Linear,
                     };
-                    steps.insert(inst.pc.0, t);
+                    steps[((inst.pc.0 - base) / Module::PC_STRIDE) as usize] = t;
                 }
             }
         }
-        ExecIndex { steps }
+        ExecIndex { base, steps }
     }
 
+    #[inline]
     fn get(&self, pc: u64) -> Option<Transfer> {
-        self.steps.get(&pc).copied()
+        let off = pc.wrapping_sub(self.base);
+        if pc < self.base || !off.is_multiple_of(Module::PC_STRIDE) {
+            return None;
+        }
+        match self.steps.get((off / Module::PC_STRIDE) as usize) {
+            None | Some(Transfer::Unmapped) => None,
+            Some(t) => Some(*t),
+        }
     }
+}
+
+/// Snapshot of the clock-reconstruction state at a stream position —
+/// what a shard needs to reconstruct time exactly as the sequential
+/// decoder would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ClockSeed {
+    time: Option<u64>,
+    ctc_full: u64,
+}
+
+impl ClockSeed {
+    const INITIAL: ClockSeed = ClockSeed {
+        time: None,
+        ctc_full: 0,
+    };
 }
 
 /// Reconstructed clock while scanning the packet stream.
@@ -178,9 +239,28 @@ struct Clock {
     ctc_full: u64,
     period: u64,
     shift: u32,
+    /// `CYC` deltas discarded for want of a preceding anchor.
+    cyc_dropped: u64,
 }
 
 impl Clock {
+    fn seeded(config: &TraceConfig, seed: ClockSeed) -> Clock {
+        Clock {
+            time: seed.time,
+            ctc_full: seed.ctc_full,
+            period: config.ctc_period_ns.max(1),
+            shift: config.cyc_shift,
+            cyc_dropped: 0,
+        }
+    }
+
+    fn seed(&self) -> ClockSeed {
+        ClockSeed {
+            time: self.time,
+            ctc_full: self.ctc_full,
+        }
+    }
+
     fn apply(&mut self, p: &Packet) {
         match p {
             Packet::Tsc { tsc } => {
@@ -201,6 +281,8 @@ impl Clock {
             Packet::Cyc { delta } => {
                 if let Some(t) = self.time {
                     self.time = Some(t + (delta << self.shift));
+                } else {
+                    self.cyc_dropped += 1;
                 }
             }
             _ => {}
@@ -208,10 +290,208 @@ impl Clock {
     }
 }
 
-/// Decodes one thread's snapshot bytes against the module walk table.
+/// The CFG-walk state that flows across packets (and, in sharded
+/// decode, across shard boundaries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WalkState {
+    /// The walk's current PC (`None` while desynchronized).
+    cur: Option<u64>,
+    /// Lower bound on the previous control packet's time.
+    last_ctrl_lo: Option<u64>,
+    /// After a PSB, the next FUP re-anchors rather than being treated
+    /// as an async marker.
+    expect_anchor: bool,
+}
+
+impl WalkState {
+    const INITIAL: WalkState = WalkState {
+        cur: None,
+        last_ctrl_lo: None,
+        expect_anchor: true,
+    };
+}
+
+/// Walks from `cur`, emitting events, until `stop` says to pause; the
+/// instruction that satisfies `stop` is emitted (with the tight window)
+/// and `cur` stays on it.
+fn walk(
+    index: &ExecIndex,
+    cur: &mut Option<u64>,
+    events: &mut Vec<DecodedEvent>,
+    stretch: TimeBounds,
+    tight: TimeBounds,
+    stop: impl Fn(Transfer, u64) -> bool,
+) -> Result<Option<Transfer>, DecodeError> {
+    let mut fuel = 10_000_000u64;
+    while let Some(pc) = *cur {
+        let Some(t) = index.get(pc) else {
+            if pc == EXIT_TARGET {
+                *cur = None;
+                return Ok(None);
+            }
+            return Err(DecodeError::Desync(format!(
+                "walked to unmapped pc {pc:#x}"
+            )));
+        };
+        let stopping = stop(t, pc);
+        events.push(DecodedEvent {
+            pc: Pc(pc),
+            time: if stopping { tight } else { stretch },
+        });
+        if stopping {
+            return Ok(Some(t));
+        }
+        *cur = match t {
+            Transfer::Linear | Transfer::ICall | Transfer::Ret => Some(pc + 4),
+            Transfer::Br { target } => Some(target),
+            Transfer::Call { callee } => Some(callee),
+            Transfer::CondBr { .. } => {
+                return Err(DecodeError::Desync(format!(
+                    "unexpected conditional branch at {pc:#x} without a TNT bit"
+                )))
+            }
+            Transfer::Halt | Transfer::Unmapped => None,
+        };
+        fuel -= 1;
+        if fuel == 0 {
+            return Err(DecodeError::Desync("walk did not terminate".into()));
+        }
+    }
+    Ok(None)
+}
+
+/// Applies one packet to the walk state, emitting decoded events.
 ///
-/// `snapshot_time` is the virtual TSC at which the snapshot was taken; it
-/// upper-bounds the time window of trailing events.
+/// `time_now` is the reconstructed clock *after* the packet (timing
+/// packets change the clock before the walk sees them; control packets
+/// leave it untouched).
+///
+/// Window assignment leans on an encoder invariant: a timing packet is
+/// emitted immediately before any control packet once more than one
+/// quantum of time has passed, so the reconstructed time at a control
+/// packet lags the true time of its transfer by less than one quantum.
+/// Events decoded at a control packet therefore executed within
+/// `[time of previous control packet, time at this packet + quantum]`;
+/// the transfer instruction itself gets the tight window `[time at
+/// this packet, time at this packet + quantum]`.
+fn step(
+    index: &ExecIndex,
+    st: &mut WalkState,
+    events: &mut Vec<DecodedEvent>,
+    p: &Packet,
+    time_now: Option<u64>,
+    quantum: u64,
+    snapshot_time: u64,
+) -> Result<(), DecodeError> {
+    let hi = time_now
+        .map(|t| (t + quantum).min(snapshot_time))
+        .unwrap_or(snapshot_time);
+    let stretch = TimeBounds {
+        lo: st.last_ctrl_lo.unwrap_or(0),
+        hi,
+    };
+    let tight = TimeBounds {
+        lo: time_now.unwrap_or(0),
+        hi,
+    };
+    match p {
+        Packet::Psb => {
+            // A PSB mid-stream (while in sync) is ignorable, exactly
+            // as in real PT decode: resetting here would drop the
+            // straight-line instructions between the last decision
+            // point and the sync anchor. Only an out-of-sync decoder
+            // anchors at the PSB's FUP.
+            st.expect_anchor = true;
+        }
+        Packet::Ovf => {
+            st.cur = None;
+            st.expect_anchor = true;
+            st.last_ctrl_lo = None;
+        }
+        Packet::Tsc { .. } | Packet::Mtc { .. } | Packet::Cyc { .. } => {}
+        Packet::Fup { pc } => {
+            if st.expect_anchor {
+                if st.cur.is_none() {
+                    st.cur = Some(*pc);
+                    // The thread was at the anchor when the PSB's
+                    // TSC was stamped.
+                    st.last_ctrl_lo = time_now.or(st.last_ctrl_lo);
+                }
+                st.expect_anchor = false;
+            } else if st.cur.is_none() {
+                st.cur = Some(*pc);
+                st.last_ctrl_lo = time_now.or(st.last_ctrl_lo);
+            } else {
+                // Async FUP (snapshot marker): walk up to and
+                // including the marked instruction.
+                let target = *pc;
+                if st.cur == Some(target) {
+                    // Walk would stop immediately; emit the marked
+                    // instruction (tightly timed) if it is mapped.
+                    if index.get(target).is_some() {
+                        events.push(DecodedEvent {
+                            pc: Pc(target),
+                            time: tight,
+                        });
+                        // Leave `cur` in place: the marked
+                        // instruction is the point of interest.
+                    }
+                } else {
+                    walk(index, &mut st.cur, events, stretch, tight, |_, pc| {
+                        pc == target
+                    })?;
+                }
+                st.last_ctrl_lo = time_now.or(st.last_ctrl_lo);
+            }
+        }
+        Packet::Tnt { bits, count } => {
+            for b in 0..*count {
+                if st.cur.is_none() {
+                    // Lost sync (e.g. OVF); skip bits until re-anchor.
+                    break;
+                }
+                let t = walk(index, &mut st.cur, events, stretch, tight, |t, _| {
+                    matches!(t, Transfer::CondBr { .. })
+                })?;
+                match t {
+                    Some(Transfer::CondBr { then_pc, else_pc }) => {
+                        let taken = bits >> b & 1 == 1;
+                        st.cur = Some(if taken { then_pc } else { else_pc });
+                    }
+                    _ => {
+                        return Err(DecodeError::Desync(
+                            "TNT bit with no conditional branch reachable".into(),
+                        ))
+                    }
+                }
+            }
+            st.last_ctrl_lo = time_now.or(st.last_ctrl_lo);
+        }
+        Packet::Tip { pc } => {
+            if st.cur.is_some() {
+                let t = walk(index, &mut st.cur, events, stretch, tight, |t, _| {
+                    matches!(t, Transfer::ICall | Transfer::Ret)
+                })?;
+                if t.is_none() && st.cur.is_some() {
+                    return Err(DecodeError::Desync(
+                        "TIP with no indirect transfer reachable".into(),
+                    ));
+                }
+            }
+            st.cur = if *pc == EXIT_TARGET { None } else { Some(*pc) };
+            st.last_ctrl_lo = time_now.or(st.last_ctrl_lo);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one thread's snapshot bytes against the module walk table —
+/// the fused single-pass production decoder.
+///
+/// Packets are parsed, clocked, and walked in one streaming pass; no
+/// packet vector is materialized. `snapshot_time` is the virtual TSC at
+/// which the snapshot was taken; it upper-bounds the time window of
+/// trailing events.
 ///
 /// # Errors
 ///
@@ -219,6 +499,58 @@ impl Clock {
 /// [`DecodeError::Desync`] when the packet stream is inconsistent with
 /// the module's control flow.
 pub fn decode_thread_trace(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    let mut pdec = PacketDecoder::new(bytes);
+    if !pdec.sync_to_psb() {
+        return Err(DecodeError::NoSync);
+    }
+    let quantum = config.time_quantum_ns();
+    let mut clock = Clock::seeded(config, ClockSeed::INITIAL);
+    let mut st = WalkState::INITIAL;
+    let mut events = Vec::new();
+    let mut resyncs = 0u32;
+    loop {
+        match pdec.next_packet() {
+            Ok(Some(p)) => {
+                clock.apply(&p);
+                step(
+                    index,
+                    &mut st,
+                    &mut events,
+                    &p,
+                    clock.time,
+                    quantum,
+                    snapshot_time,
+                )?;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                resyncs += 1;
+                if !pdec.sync_to_psb() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(DecodedTrace {
+        events,
+        resyncs,
+        cyc_dropped: clock.cyc_dropped,
+    })
+}
+
+/// The original three-pass decoder (packet vec → per-packet timestamp
+/// vec → CFG walk), kept as the differential-testing and benchmark
+/// baseline for the fused and sharded paths.
+///
+/// # Errors
+///
+/// Same contract as [`decode_thread_trace`].
+pub fn decode_thread_trace_legacy(
     index: &ExecIndex,
     config: &TraceConfig,
     bytes: &[u8],
@@ -246,12 +578,7 @@ pub fn decode_thread_trace(
     }
 
     // Pass 2: reconstruct the last-known time at each packet.
-    let mut clock = Clock {
-        time: None,
-        ctc_full: 0,
-        period: config.ctc_period_ns.max(1),
-        shift: config.cyc_shift,
-    };
+    let mut clock = Clock::seeded(config, ClockSeed::INITIAL);
     let mut prev_time: Vec<Option<u64>> = Vec::with_capacity(packets.len());
     for p in &packets {
         clock.apply(p);
@@ -259,177 +586,361 @@ pub fn decode_thread_trace(
     }
 
     // Pass 3: CFG walk.
-    //
-    // Window assignment leans on an encoder invariant: a timing packet
-    // is emitted immediately before any control packet once more than
-    // one quantum of time has passed, so the reconstructed time at a
-    // control packet lags the true time of its transfer by less than
-    // one quantum. Events decoded at a control packet therefore
-    // executed within `[time of previous control packet, time at this
-    // packet + quantum]`; the transfer instruction itself gets the
-    // tight window `[time at this packet, time at this packet +
-    // quantum]`.
     let quantum = config.time_quantum_ns();
+    let mut st = WalkState::INITIAL;
     let mut events = Vec::new();
-    let mut cur: Option<u64> = None;
-    // Lower bound on the previous control packet's time.
-    let mut last_ctrl_lo: Option<u64> = None;
-    // After a PSB, the next FUP re-anchors rather than being treated as
-    // an async marker.
-    let mut expect_anchor = true;
+    for (i, p) in packets.iter().enumerate() {
+        step(
+            index,
+            &mut st,
+            &mut events,
+            p,
+            prev_time[i],
+            quantum,
+            snapshot_time,
+        )?;
+    }
+    Ok(DecodedTrace {
+        events,
+        resyncs,
+        cyc_dropped: clock.cyc_dropped,
+    })
+}
 
-    // Walks from `cur`, emitting events, until `stop` says to pause; the
-    // instruction that satisfies `stop` is emitted (with the tight
-    // window) and `cur` stays on it.
-    fn walk(
-        index: &ExecIndex,
-        cur: &mut Option<u64>,
-        events: &mut Vec<DecodedEvent>,
-        stretch: TimeBounds,
-        tight: TimeBounds,
-        stop: impl Fn(Transfer, u64) -> bool,
-    ) -> Result<Option<Transfer>, DecodeError> {
-        let mut fuel = 10_000_000u64;
-        while let Some(pc) = *cur {
-            let Some(t) = index.get(pc) else {
-                if pc == EXIT_TARGET {
-                    *cur = None;
-                    return Ok(None);
+/// One `PSB` landing found by the skim pass, with the exact clock state
+/// on entry (a `PSB` packet itself never changes the clock).
+#[derive(Clone, Copy, Debug)]
+struct Boundary {
+    offset: usize,
+    clock: ClockSeed,
+}
+
+/// The skim pass: a lightweight sequential scan that finds every `PSB`
+/// the sequential decoder would decode (payload bytes that merely *look*
+/// like a `PSB` marker are skipped exactly as the sequential packet
+/// trajectory skips them), tracks the reconstructed clock at each, and
+/// performs the authoritative resync / dropped-`CYC` accounting.
+struct Skim {
+    boundaries: Vec<Boundary>,
+    resyncs: u32,
+    cyc_dropped: u64,
+}
+
+fn skim_psb_sections(config: &TraceConfig, bytes: &[u8]) -> Option<Skim> {
+    let mut pdec = PacketDecoder::new(bytes);
+    if !pdec.sync_to_psb() {
+        return None;
+    }
+    let mut clock = Clock::seeded(config, ClockSeed::INITIAL);
+    let mut resyncs = 0u32;
+    let mut boundaries = Vec::new();
+    loop {
+        let at = pdec.position();
+        match pdec.next_packet() {
+            Ok(Some(p)) => {
+                if matches!(p, Packet::Psb) {
+                    boundaries.push(Boundary {
+                        offset: at,
+                        clock: clock.seed(),
+                    });
                 }
-                return Err(DecodeError::Desync(format!(
-                    "walked to unmapped pc {pc:#x}"
-                )));
-            };
-            let stopping = stop(t, pc);
-            events.push(DecodedEvent {
-                pc: Pc(pc),
-                time: if stopping { tight } else { stretch },
-            });
-            if stopping {
-                return Ok(Some(t));
+                clock.apply(&p);
             }
-            *cur = match t {
-                Transfer::Linear | Transfer::ICall | Transfer::Ret => Some(pc + 4),
-                Transfer::Br { target } => Some(target),
-                Transfer::Call { callee } => Some(callee),
-                Transfer::CondBr { .. } => {
-                    return Err(DecodeError::Desync(format!(
-                        "unexpected conditional branch at {pc:#x} without a TNT bit"
-                    )))
+            Ok(None) => break,
+            Err(_) => {
+                resyncs += 1;
+                if !pdec.sync_to_psb() {
+                    break;
                 }
-                Transfer::Halt => None,
-            };
-            fuel -= 1;
-            if fuel == 0 {
-                return Err(DecodeError::Desync("walk did not terminate".into()));
             }
         }
-        Ok(None)
     }
+    Some(Skim {
+        boundaries,
+        resyncs,
+        cyc_dropped: clock.cyc_dropped,
+    })
+}
 
-    for (i, p) in packets.iter().enumerate() {
-        let hi = prev_time[i]
-            .map(|t| (t + quantum).min(snapshot_time))
-            .unwrap_or(snapshot_time);
-        let stretch = TimeBounds {
-            lo: last_ctrl_lo.unwrap_or(0),
-            hi,
-        };
-        let tight = TimeBounds {
-            lo: prev_time[i].unwrap_or(0),
-            hi,
-        };
-        match p {
-            Packet::Psb => {
-                // A PSB mid-stream (while in sync) is ignorable, exactly
-                // as in real PT decode: resetting here would drop the
-                // straight-line instructions between the last decision
-                // point and the sync anchor. Only an out-of-sync decoder
-                // anchors at the PSB's FUP.
-                expect_anchor = true;
+/// Sequentially decodes `range` (which must start at a packet boundary)
+/// with exact seeded clock and walk state. Resync/CYC accounting is the
+/// skim's job, not this function's.
+fn run_range(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    range: Range<usize>,
+    seed: ClockSeed,
+    mut st: WalkState,
+    snapshot_time: u64,
+) -> Result<(Vec<DecodedEvent>, WalkState), DecodeError> {
+    let mut pdec = PacketDecoder::new(&bytes[range]);
+    let quantum = config.time_quantum_ns();
+    let mut clock = Clock::seeded(config, seed);
+    let mut events = Vec::new();
+    loop {
+        match pdec.next_packet() {
+            Ok(Some(p)) => {
+                clock.apply(&p);
+                step(
+                    index,
+                    &mut st,
+                    &mut events,
+                    &p,
+                    clock.time,
+                    quantum,
+                    snapshot_time,
+                )?;
             }
-            Packet::Ovf => {
-                cur = None;
-                expect_anchor = true;
-                last_ctrl_lo = None;
-            }
-            Packet::Tsc { .. } | Packet::Mtc { .. } | Packet::Cyc { .. } => {}
-            Packet::Fup { pc } => {
-                if expect_anchor {
-                    if cur.is_none() {
-                        cur = Some(*pc);
-                        // The thread was at the anchor when the PSB's
-                        // TSC was stamped.
-                        last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
-                    }
-                    expect_anchor = false;
-                } else if cur.is_none() {
-                    cur = Some(*pc);
-                    last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
-                } else {
-                    // Async FUP (snapshot marker): walk up to and
-                    // including the marked instruction.
-                    let target = *pc;
-                    if cur == Some(target) {
-                        // Walk would stop immediately; emit the marked
-                        // instruction (tightly timed) if it is mapped.
-                        if index.get(target).is_some() {
-                            events.push(DecodedEvent {
-                                pc: Pc(target),
-                                time: tight,
-                            });
-                            // Leave `cur` in place: the marked
-                            // instruction is the point of interest.
-                        }
-                    } else {
-                        walk(index, &mut cur, &mut events, stretch, tight, |_, pc| {
-                            pc == target
-                        })?;
-                    }
-                    last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+            Ok(None) => break,
+            Err(_) => {
+                if !pdec.sync_to_psb() {
+                    break;
                 }
             }
-            Packet::Tnt { bits, count } => {
-                for b in 0..*count {
-                    if cur.is_none() {
-                        // Lost sync (e.g. OVF); skip bits until re-anchor.
+        }
+    }
+    Ok((events, st))
+}
+
+/// The result of speculatively decoding one shard with an unknown
+/// carried-in walk state.
+struct ShardOutcome {
+    /// All events the speculative decode produced.
+    events: Vec<DecodedEvent>,
+    /// How many of `events` belong to the *head* — emitted before the
+    /// walk state provably converged; the stitch recomputes them.
+    head_events: usize,
+    /// Whether a convergence point was reached.
+    converged: bool,
+    /// Absolute byte offset just past the packet that established
+    /// convergence (shard end when `!converged`).
+    converged_at: usize,
+    /// Speculative walk state right after the convergence packet; the
+    /// stitch accepts the tail only if the true state matches exactly.
+    post_head: WalkState,
+    /// Walk state at shard end (valid only when `converged`).
+    end_state: WalkState,
+    /// A walk error hit *after* convergence — authoritative, because
+    /// post-convergence decode is exactly what the sequential decoder
+    /// would do from the same state.
+    tail_error: Option<DecodeError>,
+}
+
+/// Speculatively decodes one shard assuming it starts desynchronized
+/// (`cur = None`), recording where the walk state stops depending on
+/// the unknown carry-in:
+///
+/// * an `OVF` wipes the walk state — convergence regardless of carry;
+/// * a `TNT` leaves the walk at a CFG-determined conditional branch,
+///   and a `TIP` sets the current PC from the packet itself — both
+///   converge *if* the speculative anchor walked to the same place the
+///   true state would have (validated by the stitch).
+///
+/// Events emitted before convergence (and by the converging packet's
+/// own walk) are speculative; the stitch recomputes them from the true
+/// carried state. A walk error before convergence simply ends the
+/// speculation — the stitch's recompute of the whole region surfaces
+/// the authoritative outcome.
+fn decode_shard(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    range: Range<usize>,
+    seed: ClockSeed,
+    snapshot_time: u64,
+) -> ShardOutcome {
+    let mut pdec = PacketDecoder::new(&bytes[range.clone()]);
+    let quantum = config.time_quantum_ns();
+    let mut clock = Clock::seeded(config, seed);
+    let mut st = WalkState::INITIAL;
+    let mut events = Vec::new();
+    let mut converged = false;
+    let mut head_events = 0usize;
+    let mut converged_at = range.end;
+    let mut post_head = st;
+    let mut tail_error = None;
+    loop {
+        match pdec.next_packet() {
+            Ok(Some(p)) => {
+                clock.apply(&p);
+                let converging = !converged
+                    && matches!(p, Packet::Tnt { .. } | Packet::Tip { .. } | Packet::Ovf);
+                match step(
+                    index,
+                    &mut st,
+                    &mut events,
+                    &p,
+                    clock.time,
+                    quantum,
+                    snapshot_time,
+                ) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        if converged {
+                            tail_error = Some(e);
+                        }
+                        // Pre-convergence errors are speculative; either
+                        // way the speculation stops here.
                         break;
                     }
-                    let t = walk(index, &mut cur, &mut events, stretch, tight, |t, _| {
-                        matches!(t, Transfer::CondBr { .. })
-                    })?;
-                    match t {
-                        Some(Transfer::CondBr { then_pc, else_pc }) => {
-                            let taken = bits >> b & 1 == 1;
-                            cur = Some(if taken { then_pc } else { else_pc });
-                        }
-                        _ => {
-                            return Err(DecodeError::Desync(
-                                "TNT bit with no conditional branch reachable".into(),
-                            ))
-                        }
-                    }
                 }
-                last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
+                if converging {
+                    converged = true;
+                    head_events = events.len();
+                    converged_at = range.start + pdec.position();
+                    post_head = st;
+                }
             }
-            Packet::Tip { pc } => {
-                if cur.is_some() {
-                    let t = walk(index, &mut cur, &mut events, stretch, tight, |t, _| {
-                        matches!(t, Transfer::ICall | Transfer::Ret)
-                    })?;
-                    if t.is_none() && cur.is_some() {
-                        return Err(DecodeError::Desync(
-                            "TIP with no indirect transfer reachable".into(),
-                        ));
-                    }
+            Ok(None) => break,
+            Err(_) => {
+                if !pdec.sync_to_psb() {
+                    break;
                 }
-                cur = if *pc == EXIT_TARGET { None } else { Some(*pc) };
-                last_ctrl_lo = prev_time[i].or(last_ctrl_lo);
             }
         }
     }
+    if !converged {
+        head_events = events.len();
+        converged_at = range.end;
+        post_head = st;
+    }
+    ShardOutcome {
+        events,
+        head_events,
+        converged,
+        converged_at,
+        post_head,
+        end_state: st,
+        tail_error,
+    }
+}
 
-    Ok(DecodedTrace { events, resyncs })
+/// Decodes one thread's snapshot bytes by sharding the stream at `PSB`
+/// boundaries and decoding shards on up to `workers` threads, then
+/// stitching. Produces a [`DecodedTrace`] **bit-identical** to
+/// [`decode_thread_trace`] (and the legacy decoder) for every input,
+/// including corrupt and truncated streams — speculation failures fall
+/// back to sequential decode of the affected shard.
+///
+/// # Errors
+///
+/// Same contract as [`decode_thread_trace`].
+pub fn decode_thread_trace_sharded(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+    workers: usize,
+) -> Result<DecodedTrace, DecodeError> {
+    if workers <= 1 {
+        return decode_thread_trace(index, config, bytes, snapshot_time);
+    }
+    let Some(skim) = skim_psb_sections(config, bytes) else {
+        return Err(DecodeError::NoSync);
+    };
+
+    // Partition the PSB sections into byte-balanced shards.
+    let first = skim.boundaries[0].offset;
+    let n = workers.min(skim.boundaries.len());
+    let target = (bytes.len() - first).div_ceil(n);
+    let mut starts: Vec<usize> = vec![0];
+    let mut shard_start = first;
+    for (i, b) in skim.boundaries.iter().enumerate().skip(1) {
+        if b.offset - shard_start >= target && starts.len() < n {
+            starts.push(i);
+            shard_start = b.offset;
+        }
+    }
+    let shards: Vec<(Range<usize>, ClockSeed)> = starts
+        .iter()
+        .enumerate()
+        .map(|(k, &bi)| {
+            let start = skim.boundaries[bi].offset;
+            let end = starts
+                .get(k + 1)
+                .map_or(bytes.len(), |&bj| skim.boundaries[bj].offset);
+            (start..end, skim.boundaries[bi].clock)
+        })
+        .collect();
+
+    let outcomes: Vec<ShardOutcome> = if shards.len() == 1 {
+        let (r, seed) = &shards[0];
+        vec![decode_shard(
+            index,
+            config,
+            bytes,
+            r.clone(),
+            *seed,
+            snapshot_time,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|(r, seed)| {
+                    let (r, seed) = (r.clone(), *seed);
+                    scope.spawn(move || decode_shard(index, config, bytes, r, seed, snapshot_time))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard decode panicked"))
+                .collect()
+        })
+    };
+
+    // Stitch: recompute each shard's head with the true carried state,
+    // validate convergence, splice the speculative tail (or redecode
+    // the shard sequentially when speculation failed).
+    let mut events: Vec<DecodedEvent> = Vec::new();
+    let mut carry = WalkState::INITIAL;
+    for ((range, seed), out) in shards.iter().zip(outcomes) {
+        let (head, head_end) = run_range(
+            index,
+            config,
+            bytes,
+            range.start..out.converged_at,
+            *seed,
+            carry,
+            snapshot_time,
+        )?;
+        if !out.converged {
+            // The "head" was the entire shard; the recompute above is
+            // its authoritative sequential decode.
+            events.extend(head);
+            carry = head_end;
+            continue;
+        }
+        if head_end == out.post_head {
+            events.extend(head);
+            events.extend_from_slice(&out.events[out.head_events..]);
+            if let Some(e) = out.tail_error {
+                return Err(e);
+            }
+            carry = out.end_state;
+        } else {
+            // Speculation diverged (e.g. an async FUP whose target sat
+            // inside the carried straight-line stretch): redecode the
+            // whole shard from the true state.
+            let (all, end) = run_range(
+                index,
+                config,
+                bytes,
+                range.clone(),
+                *seed,
+                carry,
+                snapshot_time,
+            )?;
+            events.extend(all);
+            carry = end;
+        }
+    }
+    Ok(DecodedTrace {
+        events,
+        resyncs: skim.resyncs,
+        cyc_dropped: skim.cyc_dropped,
+    })
 }
 
 #[cfg(test)]
@@ -615,6 +1126,8 @@ mod tests {
         let cfg = TraceConfig::default();
         let err = decode_thread_trace(&index, &cfg, &[0x40, 0x01], 10).unwrap_err();
         assert_eq!(err, DecodeError::NoSync);
+        let err = decode_thread_trace_sharded(&index, &cfg, &[0x40, 0x01], 10, 4).unwrap_err();
+        assert_eq!(err, DecodeError::NoSync);
     }
 
     #[test]
@@ -643,6 +1156,123 @@ mod tests {
                 assert!(index.get(inst.pc.0).is_some(), "missing {:?}", inst.pc);
             }
         }
+    }
+
+    #[test]
+    fn exec_index_rejects_gaps_and_unaligned_pcs() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        // Below the text base, above the last instruction, unaligned.
+        assert!(index.get(0).is_none());
+        assert!(index.get(Module::TEXT_BASE - 4).is_none());
+        assert!(index.get(module.max_pc().0 + 4096).is_none());
+        assert!(index.get(Module::TEXT_BASE + 1).is_none());
+        // Function-alignment gap: the leaf function is padded to 64
+        // bytes; the slot right after its last instruction is a gap.
+        let leaf = module.func_by_name("leaf").unwrap();
+        let last = leaf.insts().last().unwrap().pc.0;
+        let next_base = module.func_by_name("main").unwrap().base_pc.0;
+        if last + Module::PC_STRIDE < next_base {
+            assert!(index.get(last + Module::PC_STRIDE).is_none());
+        }
+    }
+
+    /// Asserts all three decoders agree exactly on `bytes`.
+    fn assert_all_paths_agree(
+        index: &ExecIndex,
+        cfg: &TraceConfig,
+        bytes: &[u8],
+        snapshot_time: u64,
+    ) {
+        let legacy = decode_thread_trace_legacy(index, cfg, bytes, snapshot_time);
+        let fused = decode_thread_trace(index, cfg, bytes, snapshot_time);
+        match (&legacy, &fused) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.events, b.events, "fused events diverged");
+                assert_eq!(a.resyncs, b.resyncs);
+                assert_eq!(a.cyc_dropped, b.cyc_dropped);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            _ => panic!("fused/legacy disagree on success: {legacy:?} vs {fused:?}"),
+        }
+        for workers in [2, 3, 5, 16] {
+            let sharded = decode_thread_trace_sharded(index, cfg, bytes, snapshot_time, workers);
+            match (&legacy, &sharded) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.events, b.events, "sharded({workers}) events diverged");
+                    assert_eq!(a.resyncs, b.resyncs, "sharded({workers}) resyncs");
+                    assert_eq!(a.cyc_dropped, b.cyc_dropped, "sharded({workers}) cyc");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("sharded({workers}) disagree: {legacy:?} vs {sharded:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_decode_matches_sequential_on_long_stream() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        // Small PSB period: many shard boundaries.
+        let cfg = TraceConfig {
+            psb_period_bytes: 32,
+            buffer_size: 1 << 20,
+            ..TraceConfig::default()
+        };
+        let (_, mut enc) = simulate(&module, 200, cfg.clone());
+        let bytes = enc.snapshot();
+        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+    }
+
+    #[test]
+    fn sharded_decode_matches_sequential_on_wrapped_buffer() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig {
+            buffer_size: 256,
+            psb_period_bytes: 24,
+            ..TraceConfig::default()
+        };
+        let (_, mut enc) = simulate(&module, 300, cfg.clone());
+        assert!(enc.wrapped());
+        let bytes = enc.snapshot();
+        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+    }
+
+    #[test]
+    fn sharded_decode_matches_sequential_without_timing() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig {
+            timing_enabled: false,
+            psb_period_bytes: 24,
+            ..TraceConfig::default()
+        };
+        let (_, mut enc) = simulate(&module, 100, cfg.clone());
+        let bytes = enc.snapshot();
+        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+    }
+
+    #[test]
+    fn cyc_before_any_anchor_is_counted_as_dropped() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        // Hand-assemble: PSB, CYC (no anchor yet: dropped), TSC, CYC
+        // (anchored: applied).
+        let mut enc = crate::packet::PacketEncoder::new();
+        let mut bytes = Vec::new();
+        for p in [
+            Packet::Psb,
+            Packet::Cyc { delta: 3 },
+            Packet::Tsc { tsc: 1_000 },
+            Packet::Cyc { delta: 2 },
+        ] {
+            enc.encode(&p, &mut bytes);
+        }
+        let trace = decode_thread_trace(&index, &cfg, &bytes, 10_000).unwrap();
+        assert_eq!(trace.cyc_dropped, 1);
+        assert_all_paths_agree(&index, &cfg, &bytes, 10_000);
     }
 }
 
@@ -702,5 +1332,10 @@ mod ovf_tests {
         assert_eq!(pcs, vec![a_load.0, a_halt.0]);
         // Times re-anchored after the OVF.
         assert!(trace.events[0].time.lo >= 500);
+        // Sharded decode handles the OVF + re-anchor identically.
+        let sharded =
+            decode_thread_trace_sharded(&index, &TraceConfig::default(), &bytes, 1000, 4).unwrap();
+        assert_eq!(sharded.events, trace.events);
+        assert_eq!(sharded.resyncs, trace.resyncs);
     }
 }

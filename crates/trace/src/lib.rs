@@ -38,8 +38,8 @@ pub mod wire;
 
 pub use config::TraceConfig;
 pub use decoder::{
-    decode_thread_trace, DecodeError, DecodedEvent, DecodedTrace, ExecIndex, TimeBounds,
-    EXIT_TARGET,
+    decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, DecodeError,
+    DecodedEvent, DecodedTrace, ExecIndex, TimeBounds, EXIT_TARGET,
 };
 pub use driver::{SnapshotTrigger, ThreadTrace, TraceDriver, TraceSnapshot};
 pub use encoder::Encoder;

@@ -256,12 +256,31 @@ impl<'a> PacketDecoder<'a> {
     /// This is how decoding begins on a wrapped ring-buffer snapshot,
     /// whose head may start mid-packet.
     pub fn sync_to_psb(&mut self) -> bool {
+        // memchr-style skip loop. The marker is the 4-byte pattern
+        // `02 82 02 82`; probing its *second* byte lets us advance two
+        // bytes per miss: if `bytes[pos+1]` is not `0x82`, no marker
+        // can start at `pos` (needs `0x82` there) or at `pos+1` (needs
+        // `0x02` there — but then its second byte sits at `pos+2`, so
+        // stepping to `pos+2` still catches it only if `bytes[pos+1]`
+        // was `0x02`, which we check). Net: `0x82` → verify the full
+        // pattern; `0x02` → step 1 (a marker may start at `pos+1`);
+        // anything else → step 2.
         while self.pos + 3 < self.bytes.len() {
-            if self.bytes[self.pos..self.pos + 4] == [OP_EXT, EXT_PSB, OP_EXT, EXT_PSB] {
-                return true;
+            match self.bytes[self.pos + 1] {
+                EXT_PSB => {
+                    if self.bytes[self.pos] == OP_EXT
+                        && self.bytes[self.pos + 2] == OP_EXT
+                        && self.bytes[self.pos + 3] == EXT_PSB
+                    {
+                        return true;
+                    }
+                    self.pos += 2;
+                }
+                OP_EXT => self.pos += 1,
+                _ => self.pos += 2,
             }
-            self.pos += 1;
         }
+        self.pos = self.bytes.len();
         false
     }
 

@@ -13,7 +13,7 @@
 //! ```text
 //! magic "LZTR" | version u16 | trigger u8 | trigger_tid u32
 //! | trigger_pc u64 | taken_at u64 | thread_count u32
-//! | thread*   (tid u32 | wrapped u8 | stats 6×u64 | len u32 | bytes)
+//! | thread*   (tid u32 | wrapped u8 | stats 7×u64 | len u32 | bytes)
 //! | fnv1a32 checksum over everything above
 //! ```
 
@@ -21,8 +21,9 @@ use crate::driver::{SnapshotTrigger, ThreadTrace, TraceSnapshot};
 use crate::stats::TraceStats;
 use std::fmt;
 
-/// Current wire-format version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire-format version. Version 2 added the `cyc_dropped`
+/// stats counter (stats went from 6 to 7 `u64`s per thread).
+pub const WIRE_VERSION: u16 = 2;
 
 const MAGIC: &[u8; 4] = b"LZTR";
 
@@ -107,6 +108,7 @@ pub fn encode_snapshot(snap: &TraceSnapshot) -> Vec<u8> {
             t.stats.timing_bytes,
             t.stats.sync_packets,
             t.stats.bytes,
+            t.stats.cyc_dropped,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -197,6 +199,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
             timing_bytes: r.u64()?,
             sync_packets: r.u64()?,
             bytes: r.u64()?,
+            cyc_dropped: r.u64()?,
         };
         let len = r.u32()? as usize;
         let data = r.take(len)?.to_vec();
@@ -236,6 +239,7 @@ mod tests {
                         timing_bytes: 14,
                         sync_packets: 1,
                         bytes: 40,
+                        cyc_dropped: 2,
                     },
                     wrapped: false,
                 },

@@ -79,6 +79,191 @@ proptest! {
     }
 }
 
+mod decode_differential {
+    use lazy_ir::{Module, ModuleBuilder, Operand, Type};
+    use lazy_trace::{
+        decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, Encoder,
+        ExecIndex, TraceConfig,
+    };
+    use proptest::prelude::*;
+
+    /// main: entry -> head(cond) -> body(call leaf; ret) -> head -> exit.
+    fn looped_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let leaf = mb.declare("leaf", vec![], Type::Void);
+        let mut lf = mb.define(leaf);
+        let e = lf.entry();
+        lf.switch_to(e);
+        lf.copy(Operand::const_int(7));
+        lf.ret(None);
+        lf.finish();
+
+        let mut f = mb.function("main", vec![], Type::Void);
+        let entry = f.entry();
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.switch_to(entry);
+        let n = f.alloca(Type::I64);
+        f.store(n.clone(), Operand::const_int(0), Type::I64);
+        f.br(head);
+        f.switch_to(head);
+        let v = f.load(n.clone(), Type::I64);
+        let c = f.lt(v.clone(), Operand::const_int(3));
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        f.call(leaf, vec![]);
+        let v2 = f.load(n.clone(), Type::I64);
+        let v3 = f.add(v2, Operand::const_int(1));
+        f.store(n, v3, Type::I64);
+        f.br(head);
+        f.switch_to(exit);
+        f.halt();
+        f.finish();
+        mb.finish().unwrap()
+    }
+
+    /// Drives the encoder exactly as the VM would for `iters` loop
+    /// iterations and returns the snapshot bytes.
+    fn drive(module: &Module, iters: u64, cfg: TraceConfig) -> Vec<u8> {
+        let main = module.func_by_name("main").unwrap();
+        let leaf = module.func_by_name("leaf").unwrap();
+        let pcs = |bi: usize| {
+            main.blocks[bi]
+                .insts
+                .iter()
+                .map(|i| i.pc.0)
+                .collect::<Vec<_>>()
+        };
+        let (entry, head, body, exit) = (pcs(0), pcs(1), pcs(2), pcs(3));
+        let leaf_pcs: Vec<u64> = leaf.entry().insts.iter().map(|i| i.pc.0).collect();
+        let mut enc = Encoder::new(cfg);
+        let mut t = 1_000u64;
+        enc.start(entry[0], t);
+        t += 10 * entry.len() as u64;
+        for i in 0..=iters {
+            t += 10 * head.len() as u64;
+            let taken = i < iters;
+            enc.branch(head[head.len() - 1], taken, t);
+            if !taken {
+                break;
+            }
+            t += 10 * (1 + leaf_pcs.len()) as u64;
+            enc.indirect(leaf_pcs[leaf_pcs.len() - 1], body[1], t);
+            t += 10 * (body.len() - 1) as u64;
+        }
+        t += 10 * exit.len() as u64;
+        enc.async_fup(exit[exit.len() - 1], t);
+        enc.snapshot()
+    }
+
+    /// One stream corruption to inject.
+    #[derive(Clone, Copy, Debug)]
+    enum Mutation {
+        /// Drop this many bytes from the head (simulated wrap: decode
+        /// starts mid-packet).
+        ChopHead(u16),
+        /// Drop this many bytes from the tail (mid-packet truncation).
+        ChopTail(u16),
+        /// Splice a raw `OVF` packet (`02 F3`) at this position.
+        InjectOvf(u16),
+        /// Flip one byte at this position.
+        Corrupt(u16),
+    }
+
+    fn arb_mutation() -> impl Strategy<Value = Mutation> {
+        prop_oneof![
+            any::<u16>().prop_map(Mutation::ChopHead),
+            any::<u16>().prop_map(Mutation::ChopTail),
+            any::<u16>().prop_map(Mutation::InjectOvf),
+            any::<u16>().prop_map(Mutation::Corrupt),
+        ]
+    }
+
+    fn mutate(mut bytes: Vec<u8>, muts: &[Mutation]) -> Vec<u8> {
+        for m in muts {
+            if bytes.is_empty() {
+                break;
+            }
+            match *m {
+                Mutation::ChopHead(n) => {
+                    let n = usize::from(n) % (bytes.len() / 2 + 1);
+                    bytes.drain(..n);
+                }
+                Mutation::ChopTail(n) => {
+                    let n = usize::from(n) % (bytes.len() / 2 + 1);
+                    bytes.truncate(bytes.len() - n);
+                }
+                Mutation::InjectOvf(p) => {
+                    let p = usize::from(p) % (bytes.len() + 1);
+                    bytes.splice(p..p, [0x02, 0xF3]);
+                }
+                Mutation::Corrupt(p) => {
+                    let i = usize::from(p) % bytes.len();
+                    bytes[i] ^= (p >> 8) as u8 | 1;
+                }
+            }
+        }
+        bytes
+    }
+
+    proptest! {
+        /// The fused streaming decoder and the PSB-sharded parallel
+        /// decoder agree exactly with the legacy three-pass decoder —
+        /// events (PCs *and* time bounds), resync counts, dropped-CYC
+        /// counts, and errors — on encoder-produced streams with
+        /// injected truncation, overflow, and corruption.
+        #[test]
+        fn all_decode_paths_agree(
+            iters in 1u64..60,
+            psb_period in 16usize..192,
+            timing in any::<bool>(),
+            muts in prop::collection::vec(arb_mutation(), 0..4),
+        ) {
+            let module = looped_module();
+            let index = ExecIndex::build(&module);
+            let cfg = TraceConfig {
+                psb_period_bytes: psb_period,
+                timing_enabled: timing,
+                buffer_size: 1 << 20,
+                ..TraceConfig::default()
+            };
+            let bytes = mutate(drive(&module, iters, cfg.clone()), &muts);
+            let snapshot_time = 10_000_000;
+            let legacy = decode_thread_trace_legacy(&index, &cfg, &bytes, snapshot_time);
+            let fused = decode_thread_trace(&index, &cfg, &bytes, snapshot_time);
+            match (&legacy, &fused) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.events, &b.events);
+                    prop_assert_eq!(a.resyncs, b.resyncs);
+                    prop_assert_eq!(a.cyc_dropped, b.cyc_dropped);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "fused/legacy split: {:?} vs {:?}", legacy, fused),
+            }
+            for workers in [2, 4, 7] {
+                let sharded =
+                    decode_thread_trace_sharded(&index, &cfg, &bytes, snapshot_time, workers);
+                match (&legacy, &sharded) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.events, &b.events, "workers={}", workers);
+                        prop_assert_eq!(a.resyncs, b.resyncs, "workers={}", workers);
+                        prop_assert_eq!(a.cyc_dropped, b.cyc_dropped, "workers={}", workers);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "workers={}", workers),
+                    _ => prop_assert!(
+                        false,
+                        "sharded({}) split: {:?} vs {:?}",
+                        workers,
+                        legacy,
+                        sharded
+                    ),
+                }
+            }
+        }
+    }
+}
+
 mod wire_props {
     use lazy_trace::driver::SnapshotTrigger;
     use lazy_trace::{decode_snapshot, encode_snapshot, ThreadTrace, TraceSnapshot, TraceStats};
@@ -89,7 +274,7 @@ mod wire_props {
             any::<u32>(),
             prop::collection::vec(any::<u8>(), 0..200),
             any::<bool>(),
-            any::<[u16; 6]>(),
+            any::<[u16; 7]>(),
         )
             .prop_map(|(tid, bytes, wrapped, s)| ThreadTrace {
                 tid,
@@ -102,6 +287,7 @@ mod wire_props {
                     timing_bytes: u64::from(s[3]),
                     sync_packets: u64::from(s[4]),
                     bytes: u64::from(s[5]),
+                    cyc_dropped: u64::from(s[6]),
                 },
             })
     }

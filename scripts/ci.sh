@@ -15,4 +15,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> decode bench smoke (--fast)"
+cargo run --release -q -p lazy-bench --bin decode -- --fast --out /tmp/BENCH_decode_ci.json
+rm -f /tmp/BENCH_decode_ci.json
+
 echo "CI OK"

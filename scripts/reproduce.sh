@@ -11,6 +11,9 @@ for bin in table1 table2 table3 table4 fig7 fig8 fig9 accuracy latency tracestat
     cargo run --release -q -p lazy-bench --bin "$bin" | tee "results/$bin.txt"
 done
 
+echo ">> decode (sequential vs sharded; writes BENCH_decode.json)"
+cargo run --release -q -p lazy-bench --bin decode | tee "results/decode.txt"
+
 echo ">> full test suite"
 cargo test --workspace --release
 echo ">> heavy corpus check (all 54 bugs)"

@@ -1,0 +1,97 @@
+//! Parallel-decode regression: PSB-sharded, multi-worker snapshot
+//! decoding must be a pure throughput optimization — a server with
+//! `decode_workers > 1` renders byte-identical diagnoses to a server
+//! decoding sequentially, on the same collected reports.
+//!
+//! `decode_shard_min_bytes` is forced to zero so even the small
+//! workload snapshots take the sharded path (in production only
+//! multi-megabyte streams would). The non-ignored test covers the
+//! 11-bug evaluation subset; the full 54-bug sweep is `#[ignore]`d like
+//! the other corpus sweeps — run it with
+//! `cargo test --release --test decode_par -- --ignored`.
+
+use lazy_diagnosis::snorlax::{CollectionClient, CollectionOutcome, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_trace::TraceConfig;
+use lazy_workloads::systems::eval_scenarios;
+
+fn configs() -> (ServerConfig, ServerConfig) {
+    let trace = TraceConfig {
+        // Force the sharded path for every stream size.
+        decode_shard_min_bytes: 0,
+        ..TraceConfig::default()
+    };
+    let sequential = ServerConfig {
+        trace: trace.clone(),
+        decode_workers: 1,
+        ..ServerConfig::default()
+    };
+    let parallel = ServerConfig {
+        trace,
+        decode_workers: 4,
+        ..ServerConfig::default()
+    };
+    (sequential, parallel)
+}
+
+fn collect_report(server: &DiagnosisServer<'_>, s: &BugScenario) -> CollectionOutcome {
+    CollectionClient::new(server, VmConfig::default())
+        .collect(0, 800, 10, 0)
+        .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id))
+}
+
+fn assert_parallel_matches_sequential(s: &BugScenario) {
+    let (seq_cfg, par_cfg) = configs();
+    let seq_server = DiagnosisServer::new(&s.module, seq_cfg);
+    let par_server = DiagnosisServer::new(&s.module, par_cfg);
+    let col = collect_report(&seq_server, s);
+    let seq = seq_server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap_or_else(|e| panic!("{}: sequential diagnosis failed: {e}", s.id));
+    let par = par_server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap_or_else(|e| panic!("{}: parallel diagnosis failed: {e}", s.id));
+    assert_eq!(
+        par.render(&s.module),
+        seq.render(&s.module),
+        "{}: parallel-decode render diverged from sequential",
+        s.id
+    );
+    assert_eq!(par.failing_pc, seq.failing_pc, "{}", s.id);
+    assert_eq!(par.is_deadlock, seq.is_deadlock, "{}", s.id);
+    assert_eq!(par.diagnosed_order(), seq.diagnosed_order(), "{}", s.id);
+    // The decode-health counters are part of the determinism contract
+    // too: the sharded skim must account resyncs and dropped CYCs
+    // exactly as the sequential decoder does.
+    assert_eq!(
+        par.stats.decode_resyncs, seq.stats.decode_resyncs,
+        "{}: resync accounting diverged",
+        s.id
+    );
+    assert_eq!(
+        par.stats.cyc_dropped, seq.stats.cyc_dropped,
+        "{}: dropped-CYC accounting diverged",
+        s.id
+    );
+}
+
+/// Eleven eval bugs: sharded multi-worker decode renders byte-identical
+/// to sequential decode.
+#[test]
+fn eval_bugs_parallel_decode_identical() {
+    for s in eval_scenarios() {
+        assert_parallel_matches_sequential(&s);
+        println!("{}: ok", s.id);
+    }
+}
+
+/// Full corpus: all 54 bugs, parallel decode identical to sequential.
+/// Heavy — run with `cargo test --release --test decode_par -- --ignored`.
+#[test]
+#[ignore = "heavy: diagnoses all 54 corpus bugs twice"]
+fn entire_corpus_parallel_decode_identical() {
+    for s in lazy_diagnosis::workloads::all_scenarios() {
+        assert_parallel_matches_sequential(&s);
+    }
+}
