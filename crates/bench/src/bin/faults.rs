@@ -1,0 +1,227 @@
+//! Fault-injection sweep: the panic-freedom gate for the whole
+//! diagnosis pipeline, runnable as a CI smoke test.
+//!
+//! Drives a deterministic corruption sweep (seeded splitmix64, so every
+//! run covers the same cases) over a valid encoded snapshot and pushes
+//! each corrupted artifact through every pipeline layer:
+//!
+//! * wire decode (`decode_snapshot`),
+//! * fused, legacy, and PSB-sharded trace decode,
+//! * `DiagnosisServer::process` and `diagnose`,
+//! * a small `diagnose_batch` mixing the corrupt job with good ones.
+//!
+//! Every case runs inside `catch_unwind`; any panic anywhere is counted
+//! and the binary exits nonzero. A systematic truncation sweep (every
+//! prefix length, strided in `--fast` mode) rides along, since
+//! truncation is the corruption production actually serves most.
+//!
+//! Usage: `faults [--cases N] [--fast]`
+
+use lazy_bench::synth::{drive, looped_module};
+use lazy_snorlax::{BatchConfig, BatchJob, DiagnosisServer, ServerConfig};
+use lazy_trace::driver::SnapshotTrigger;
+use lazy_trace::{
+    decode_snapshot, decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded,
+    encode_snapshot, CorruptionOp, Corruptor, ExecIndex, ThreadTrace, TraceConfig, TraceSnapshot,
+    TraceStats,
+};
+use lazy_vm::{Failure, FailureKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+fn opt(args: &[String], flag: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// splitmix64: deterministic, seedable, and good enough to spray
+/// corruption parameters around.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn arb_op(rng: &mut Rng) -> CorruptionOp {
+    match rng.next() % 6 {
+        0 => CorruptionOp::Truncate {
+            keep: rng.next() as usize,
+        },
+        1 => CorruptionOp::BitFlip {
+            offset: rng.next() as usize,
+            bit: (rng.next() % 8) as u8,
+        },
+        2 => CorruptionOp::ZeroLength {
+            field: rng.next() as usize,
+        },
+        3 => CorruptionOp::InflateLength {
+            field: rng.next() as usize,
+            value: rng.next() as u32,
+        },
+        4 => CorruptionOp::SplicePsb {
+            from: rng.next() as usize,
+            to: rng.next() as usize,
+        },
+        _ => CorruptionOp::DropChecksum,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let cases = opt(&args, "--cases", if fast { 64 } else { 512 });
+
+    let module = looped_module();
+    let index = ExecIndex::build(&module);
+    let cfg = TraceConfig::default();
+    let (payload, taken_at) = drive(&module, if fast { 64 } else { 512 }, cfg.clone());
+    let snap = TraceSnapshot {
+        threads: vec![
+            ThreadTrace {
+                tid: 1,
+                bytes: payload.clone(),
+                stats: TraceStats::default(),
+                wrapped: false,
+            },
+            ThreadTrace {
+                tid: 2,
+                bytes: payload,
+                stats: TraceStats::default(),
+                wrapped: true,
+            },
+        ],
+        taken_at,
+        trigger_tid: 1,
+        trigger_pc: 0x40_0000,
+        trigger: SnapshotTrigger::Failure,
+    };
+    let wire = encode_snapshot(&snap);
+    let server = DiagnosisServer::new(&module, ServerConfig::default());
+    let failure = Failure {
+        kind: FailureKind::NullDeref { addr: 0 },
+        pc: lazy_ir::Pc(0x40_0000),
+        tid: 1,
+        at_ns: taken_at,
+    };
+
+    let panics = std::cell::Cell::new(0usize);
+    let ran = std::cell::Cell::new(0usize);
+    let mut wire_ok = 0usize;
+    let check = |label: &str, case: &dyn Fn()| {
+        ran.set(ran.get() + 1);
+        if catch_unwind(AssertUnwindSafe(case)).is_err() {
+            panics.set(panics.get() + 1);
+            eprintln!("PANIC in {label}");
+        }
+    };
+
+    // Randomized op sweep, both transport-checked and laundered.
+    let mut rng = Rng(0x5eed_f00d);
+    for case in 0..cases {
+        let corruptor = Corruptor {
+            fix_checksum: case % 2 == 1,
+        };
+        let nops = 1 + (rng.next() % 3) as usize;
+        let mut bytes = wire.clone();
+        for _ in 0..nops {
+            let op = arb_op(&mut rng);
+            // The corruptor itself must be total too.
+            let mut next = Vec::new();
+            check(&format!("corruptor (case {case})"), &|| {
+                let _ = corruptor.apply(&bytes, &op);
+            });
+            if let Ok(out) = catch_unwind(AssertUnwindSafe(|| corruptor.apply(&bytes, &op))) {
+                next = out;
+            }
+            if !next.is_empty() || bytes.is_empty() {
+                bytes = next;
+            }
+        }
+        let decoded = catch_unwind(AssertUnwindSafe(|| decode_snapshot(&bytes).ok()));
+        ran.set(ran.get() + 1);
+        let decoded = match decoded {
+            Ok(d) => d,
+            Err(_) => {
+                panics.set(panics.get() + 1);
+                eprintln!("PANIC in wire decode (case {case})");
+                None
+            }
+        };
+        // Raw corrupted bytes through every decode path (a payload dug
+        // out of a torn ring looks exactly like this).
+        check(&format!("fused decode (case {case})"), &|| {
+            let _ = decode_thread_trace(&index, &cfg, &bytes, taken_at);
+        });
+        check(&format!("legacy decode (case {case})"), &|| {
+            let _ = decode_thread_trace_legacy(&index, &cfg, &bytes, taken_at);
+        });
+        check(&format!("sharded decode (case {case})"), &|| {
+            let _ = decode_thread_trace_sharded(&index, &cfg, &bytes, taken_at, 4);
+        });
+        if let Some(s) = decoded {
+            wire_ok += 1;
+            check(&format!("server process (case {case})"), &|| {
+                let _ = server.process(&s);
+            });
+            check(&format!("server diagnose (case {case})"), &|| {
+                let _ = server.diagnose(&failure, std::slice::from_ref(&s), &[]);
+            });
+            // Batch with the corrupt job sandwiched between good ones.
+            check(&format!("batch (case {case})"), &|| {
+                let good = [snap.clone()];
+                let bad = [s.clone()];
+                let jobs = [
+                    BatchJob {
+                        failure: &failure,
+                        failing: &good,
+                        successful: &[],
+                    },
+                    BatchJob {
+                        failure: &failure,
+                        failing: &bad,
+                        successful: &[],
+                    },
+                ];
+                let out = server.diagnose_batch(
+                    &jobs,
+                    &BatchConfig {
+                        workers: 2,
+                        ..BatchConfig::default()
+                    },
+                );
+                assert!(out.diagnoses[0].is_ok(), "good batch job failed");
+            });
+        }
+    }
+
+    // Systematic truncation sweep: every prefix (strided when --fast).
+    let stride = if fast { 97 } else { 7 };
+    let mut cuts = 0usize;
+    for cut in (0..=wire.len()).step_by(stride) {
+        cuts += 1;
+        check(&format!("truncation at {cut}"), &|| {
+            let _ = decode_snapshot(&wire[..cut]);
+            let _ = decode_thread_trace(&index, &cfg, &wire[..cut], taken_at);
+        });
+    }
+
+    let (ran, panics) = (ran.get(), panics.get());
+    println!(
+        "faults: {ran} checks over {cases} corruption cases \
+         ({wire_ok} passed the wire layer) + {cuts} truncations — {panics} panics"
+    );
+    if panics > 0 {
+        eprintln!("FAULT GATE FAILED: {panics} panics");
+        return ExitCode::FAILURE;
+    }
+    println!("fault gate OK: every failure was a typed error");
+    ExitCode::SUCCESS
+}

@@ -163,6 +163,13 @@ fn cmd_batch(id: &str, reports: u64, first_seed: u64, workers: u64, use_cache: b
         "\nbatch: {} jobs on {} workers in {} µs",
         out.stats.jobs, out.stats.workers, out.stats.wall_micros
     );
+    if out.stats.failed_jobs > 0 || out.stats.cache_poison_fallbacks > 0 {
+        println!(
+            "degraded: {} failed jobs ({} from worker panics), \
+             {} cache-poison fallback solves",
+            out.stats.failed_jobs, out.stats.panicked_jobs, out.stats.cache_poison_fallbacks
+        );
+    }
     if use_cache {
         println!(
             "points-to cache: {} exact hits, {} delta solves, {} scratch solves \
@@ -195,12 +202,23 @@ fn cmd_replay(id: &str, runs: u64) -> ExitCode {
         eprintln!("the bug did not manifest");
         return ExitCode::FAILURE;
     };
-    let failure = out.failure().unwrap().clone();
+    let Some(failure) = out.failure().cloned() else {
+        eprintln!("run reported failure but carried no failure record");
+        return ExitCode::FAILURE;
+    };
     println!("recorded failing run (seed {seed}): {failure}");
+    let Some(snap) = out.snapshot.as_ref() else {
+        eprintln!("failing run produced no trace snapshot");
+        return ExitCode::FAILURE;
+    };
     let server = DiagnosisServer::new(&s.module, ServerConfig::default());
-    let trace = server
-        .process(out.snapshot.as_ref().unwrap())
-        .expect("decodes");
+    let trace = match server.process(snap) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot decode the failing snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let rec = match Recording::from_processed_trace(&trace, &racing) {
         Ok(r) => r,
         Err(e) => {
@@ -249,7 +267,7 @@ fn cmd_hypothesis(id: &str, samples: u64) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let avg = deltas.iter().sum::<u64>() as f64 / deltas.len() as f64;
-    let min = *deltas.iter().min().unwrap();
+    let min = deltas.iter().copied().min().unwrap_or(0);
     println!(
         "{}: {} ΔT samples — avg {:.1} µs, min {:.1} µs (fine-grained recording would need ~1 ns)",
         s.id,
@@ -269,8 +287,14 @@ fn cmd_trace(id: &str) -> ExitCode {
         eprintln!("the bug did not manifest");
         return ExitCode::FAILURE;
     };
-    let failure = out.failure().unwrap().clone();
-    let snap = out.snapshot.expect("failure snapshot");
+    let Some(failure) = out.failure().cloned() else {
+        eprintln!("run reported failure but carried no failure record");
+        return ExitCode::FAILURE;
+    };
+    let Some(snap) = out.snapshot else {
+        eprintln!("failing run produced no trace snapshot");
+        return ExitCode::FAILURE;
+    };
     let wire = lazy_trace::encode_snapshot(&snap);
     println!(
         "failure: {}\nsnapshot: {} threads, {} bytes on the wire\n",
@@ -279,7 +303,13 @@ fn cmd_trace(id: &str) -> ExitCode {
         wire.len()
     );
     let server = DiagnosisServer::new(&s.module, ServerConfig::default());
-    let pt = server.process(&snap).expect("decodes");
+    let pt = match server.process(&snap) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot decode the failing snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "decoded: {} events, {} distinct instructions (of {} static), \
          {} resyncs, {} CYC deltas dropped",

@@ -21,13 +21,15 @@
 //! `tests/batch.rs` asserts exactly this). Only the timing fields of
 //! [`PipelineStats`](crate::PipelineStats) differ.
 
+use crate::error::DiagnosisError;
 use crate::server::{DiagnosisServer, SnapshotMemo, StageTimes};
 use crate::Diagnosis;
 use lazy_analysis::{CacheStats, PointsTo, PointsToCache};
-use lazy_trace::{DecodeError, TraceSnapshot};
+use lazy_trace::TraceSnapshot;
 use lazy_vm::Failure;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// One diagnosis request: a failure with its collected snapshots.
@@ -86,12 +88,24 @@ pub struct BatchStats {
     /// decoded again (identical success-corpus snapshots attached to
     /// several jobs are processed once and `Arc`-shared).
     pub snapshot_dedup_hits: usize,
+    /// Jobs that returned an error (corrupt snapshot, decode failure,
+    /// worker panic — any [`DiagnosisError`]). The rest of the batch is
+    /// unaffected.
+    pub failed_jobs: usize,
+    /// The subset of `failed_jobs` that failed because a pipeline
+    /// worker panicked (rather than a typed input rejection).
+    pub panicked_jobs: usize,
+    /// Jobs that found the shared points-to cache poisoned and solved
+    /// their scope from scratch instead. The fixpoint is identical, so
+    /// only the job's points-to timing degrades.
+    pub cache_poison_fallbacks: usize,
 }
 
 /// The diagnoses of one batch, in job order.
 pub struct BatchOutcome {
-    /// Per-job results, index-aligned with the submitted jobs.
-    pub diagnoses: Vec<Result<Diagnosis, DecodeError>>,
+    /// Per-job results, index-aligned with the submitted jobs. A failed
+    /// job carries its [`DiagnosisError`]; it never fails the batch.
+    pub diagnoses: Vec<Result<Diagnosis, DiagnosisError>>,
     /// Execution counters.
     pub stats: BatchStats,
 }
@@ -113,27 +127,48 @@ impl<'m> DiagnosisServer<'m> {
         // processes each distinct snapshot once across the whole batch.
         let memo = SnapshotMemo::new();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<Diagnosis, DecodeError>>>> =
+        let slots: Vec<Mutex<Option<Result<Diagnosis, DiagnosisError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
+        let degradation = Degradation::default();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let result = self.run_job(job, cache.as_ref(), &memo);
-                    *slots[i].lock().expect("result slot") = Some(result);
+                    // catch_unwind per job is what makes degradation
+                    // *graceful*: a panicking job records a typed error
+                    // in its own slot instead of unwinding through the
+                    // scope and aborting every other job in the batch.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        self.run_job(job, cache.as_ref(), &memo, &degradation)
+                    }))
+                    .unwrap_or_else(|p| Err(DiagnosisError::from_panic("diagnose", p)));
+                    // A poisoned slot still holds a well-formed Option;
+                    // recover the guard rather than abandoning the job.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
 
-        let diagnoses = slots
+        let diagnoses: Vec<Result<Diagnosis, DiagnosisError>> = slots
             .into_iter()
-            .map(|s| s.into_inner().expect("slot lock").expect("job completed"))
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| Err(DiagnosisError::worker_lost("diagnose")))
+            })
             .collect();
         let cache_stats = cache.map_or(CacheStats::default(), |c| {
-            c.into_inner().expect("cache lock").stats()
+            c.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats()
         });
+        let failed_jobs = diagnoses.iter().filter(|d| d.is_err()).count();
+        let panicked_jobs = diagnoses
+            .iter()
+            .filter(|d| matches!(d, Err(DiagnosisError::WorkerPanic { .. })))
+            .count();
         BatchOutcome {
             diagnoses,
             stats: BatchStats {
@@ -142,6 +177,9 @@ impl<'m> DiagnosisServer<'m> {
                 wall_micros: started.elapsed().as_micros(),
                 cache: cache_stats,
                 snapshot_dedup_hits: memo.hits(),
+                failed_jobs,
+                panicked_jobs,
+                cache_poison_fallbacks: degradation.cache_poison_fallbacks.load(Ordering::Relaxed),
             },
         }
     }
@@ -151,7 +189,8 @@ impl<'m> DiagnosisServer<'m> {
         job: &BatchJob<'a>,
         cache: Option<&Mutex<PointsToCache>>,
         memo: &SnapshotMemo<'a>,
-    ) -> Result<Diagnosis, DecodeError> {
+        degradation: &Degradation,
+    ) -> Result<Diagnosis, DiagnosisError> {
         let started = Instant::now();
         // Decode budget 1 per job: batch-level parallelism already
         // saturates the pool, so per-thread sharding would only add
@@ -162,10 +201,20 @@ impl<'m> DiagnosisServer<'m> {
 
         let pts_started = Instant::now();
         let pts = match cache {
-            Some(c) => c
-                .lock()
-                .expect("points-to cache")
-                .analyze_scoped(self.module(), &executed),
+            // A poisoned cache means a job panicked mid-solve and may
+            // have left a partial fixpoint behind; do NOT recover the
+            // guard. Solving from scratch instead yields the same
+            // unique least fixpoint — the determinism contract holds,
+            // this job just pays full points-to cost.
+            Some(c) => match c.lock() {
+                Ok(mut guard) => guard.analyze_scoped(self.module(), &executed),
+                Err(_) => {
+                    degradation
+                        .cache_poison_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                    PointsTo::analyze_scoped(self.module(), &executed)
+                }
+            },
             None => PointsTo::analyze_scoped(self.module(), &executed),
         };
         let points_to_micros = pts_started.elapsed().as_micros();
@@ -183,4 +232,11 @@ impl<'m> DiagnosisServer<'m> {
             },
         ))
     }
+}
+
+/// Cross-worker degradation counters, accumulated lock-free while the
+/// batch runs and reported once in [`BatchStats`].
+#[derive(Default)]
+struct Degradation {
+    cache_poison_fallbacks: AtomicUsize,
 }

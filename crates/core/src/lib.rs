@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Panic-freedom policy: pipeline code must surface typed errors, never
+// unwrap its way past them. Tests keep the ergonomic forms.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # lazy-snorlax — Lazy Diagnosis of in-production concurrency bugs
 //!
@@ -43,6 +47,7 @@ pub mod accuracy;
 pub mod batch;
 pub mod candidates;
 pub mod client;
+pub mod error;
 pub mod multivar;
 pub mod patterns;
 pub mod processing;
@@ -53,6 +58,7 @@ pub use accuracy::{kendall_tau_distance, ordering_accuracy};
 pub use batch::{BatchConfig, BatchJob, BatchOutcome, BatchStats};
 pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
+pub use error::DiagnosisError;
 pub use multivar::multivar_patterns;
 pub use patterns::{AtomKind, BugPattern, DeadlockEdge, PatternEvent};
 pub use processing::{process_snapshot, DynInstance, ProcessedTrace};

@@ -12,14 +12,16 @@
 //!   do not overlap (step 3). Per the coarse interleaving hypothesis,
 //!   that partial order suffices for the target events of real bugs.
 
+use crate::error::DiagnosisError;
 use lazy_ir::{Module, Pc};
 use lazy_trace::{
     decode_thread_trace, decode_thread_trace_sharded, DecodeError, DecodedTrace, ExecIndex,
     TimeBounds, TraceConfig, TraceSnapshot,
 };
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One dynamic instance of an instruction in a processed trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,13 +126,15 @@ impl ProcessedTrace {
 ///
 /// # Errors
 ///
-/// Returns the underlying [`DecodeError`] if no thread decodes.
+/// Returns [`DiagnosisError::Processing`] (wrapping the last per-thread
+/// [`DecodeError`]) if no thread decodes, or
+/// [`DiagnosisError::WorkerPanic`] if a decode worker panicked.
 pub fn process_snapshot(
     module: &Module,
     index: &ExecIndex,
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
-) -> Result<ProcessedTrace, DecodeError> {
+) -> Result<ProcessedTrace, DiagnosisError> {
     process_snapshot_par(module, index, config, snapshot, 1)
 }
 
@@ -151,17 +155,26 @@ pub fn process_snapshot_par(
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
     workers: usize,
-) -> Result<ProcessedTrace, DecodeError> {
-    let decode = |bytes: &[u8]| -> Result<DecodedTrace, DecodeError> {
-        if workers > 1 && bytes.len() >= config.decode_shard_min_bytes {
-            decode_thread_trace_sharded(index, config, bytes, snapshot.taken_at, workers)
-        } else {
-            decode_thread_trace(index, config, bytes, snapshot.taken_at)
+) -> Result<ProcessedTrace, DiagnosisError> {
+    // Every per-thread decode runs inside catch_unwind so a decoder
+    // panic surfaces as a typed WorkerPanic instead of unwinding
+    // through the scope (which would abort the whole diagnosis, or in
+    // batch mode the whole batch).
+    let decode = |bytes: &[u8]| -> Result<DecodedTrace, DiagnosisError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            if workers > 1 && bytes.len() >= config.decode_shard_min_bytes {
+                decode_thread_trace_sharded(index, config, bytes, snapshot.taken_at, workers)
+            } else {
+                decode_thread_trace(index, config, bytes, snapshot.taken_at)
+            }
+        })) {
+            Ok(r) => r.map_err(DiagnosisError::from),
+            Err(payload) => Err(DiagnosisError::from_panic("decode", payload)),
         }
     };
-    let decoded: Vec<Result<DecodedTrace, DecodeError>> =
+    let decoded: Vec<Result<DecodedTrace, DiagnosisError>> =
         if workers > 1 && snapshot.threads.len() > 1 {
-            let slots: Vec<Mutex<Option<Result<DecodedTrace, DecodeError>>>> =
+            let slots: Vec<Mutex<Option<Result<DecodedTrace, DiagnosisError>>>> =
                 snapshot.threads.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -171,13 +184,21 @@ pub fn process_snapshot_par(
                         let Some(thread) = snapshot.threads.get(i) else {
                             break;
                         };
-                        *slots[i].lock().expect("decode slot") = Some(decode(&thread.bytes));
+                        // A poisoned slot means another worker panicked
+                        // while holding it; the Option inside is still
+                        // well-formed, so recover the guard.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(decode(&thread.bytes));
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|s| s.into_inner().expect("decode slot").expect("decode ran"))
+                .map(|s| {
+                    s.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .unwrap_or_else(|| Err(DiagnosisError::worker_lost("decode")))
+                })
                 .collect()
         } else {
             snapshot.threads.iter().map(|t| decode(&t.bytes)).collect()
@@ -195,10 +216,15 @@ pub fn process_snapshot_par(
     for (thread, result) in snapshot.threads.iter().zip(decoded) {
         let trace: DecodedTrace = match result {
             Ok(t) => t,
-            Err(e) => {
+            // A plain decode failure degrades: skip this thread, keep
+            // the rest. Anything else (a worker panic) fails the
+            // snapshot — losing a worker is an internal fault, not a
+            // property of one thread's bytes.
+            Err(DiagnosisError::Decode(e)) => {
                 last_err = e;
                 continue;
             }
+            Err(e) => return Err(e),
         };
         decoded_any = true;
         resyncs += trace.resyncs;
@@ -227,7 +253,10 @@ pub fn process_snapshot_par(
         }
     }
     if !decoded_any {
-        return Err(last_err);
+        return Err(DiagnosisError::Processing {
+            threads: snapshot.threads.len(),
+            source: last_err,
+        });
     }
     Ok(ProcessedTrace {
         executed,

@@ -9,17 +9,19 @@
 //! and a single failure is enough to produce a diagnosis (no sampling).
 
 use crate::candidates::select_candidates;
+use crate::error::DiagnosisError;
 use crate::patterns::{crash_patterns, deadlock_patterns, BugPattern, PatternContext};
 use crate::processing::{process_snapshot_par, ProcessedTrace};
 use crate::statistics::{score_patterns, PatternScore};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Cfg, Module, Pc};
-use lazy_trace::{DecodeError, ExecIndex, TraceConfig, TraceSnapshot};
+use lazy_trace::{ExecIndex, TraceConfig, TraceSnapshot};
 use lazy_vm::{Failure, FailureKind};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Server-side configuration.
@@ -237,8 +239,8 @@ impl<'m> DiagnosisServer<'m> {
     ///
     /// # Errors
     ///
-    /// Propagates decode failures.
-    pub fn process(&self, snapshot: &TraceSnapshot) -> Result<ProcessedTrace, DecodeError> {
+    /// Propagates decode failures as [`DiagnosisError`].
+    pub fn process(&self, snapshot: &TraceSnapshot) -> Result<ProcessedTrace, DiagnosisError> {
         process_snapshot_par(
             self.module,
             &self.index,
@@ -258,7 +260,10 @@ impl<'m> DiagnosisServer<'m> {
             let func = self.module.func(loc.func);
             let cfg = Cfg::build(func);
             for b in cfg.predecessor_walk(loc.block) {
-                plan.push(func.block(b).insts[0].pc);
+                // An empty predecessor block has no PC to break on.
+                if let Some(first) = func.block(b).insts.first() {
+                    plan.push(first.pc);
+                }
             }
         }
         plan
@@ -269,13 +274,14 @@ impl<'m> DiagnosisServer<'m> {
     ///
     /// # Errors
     ///
-    /// Fails if no failing snapshot decodes.
+    /// Fails if no failing snapshot decodes, or with
+    /// [`DiagnosisError::EmptyReport`] when `failing` is empty.
     pub fn diagnose(
         &self,
         failure: &Failure,
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
-    ) -> Result<Diagnosis, DecodeError> {
+    ) -> Result<Diagnosis, DiagnosisError> {
         let started = Instant::now();
         let (failing_traces, success_traces, executed) = self.prepare(failing, successful)?;
         let decode_micros = started.elapsed().as_micros();
@@ -311,7 +317,7 @@ impl<'m> DiagnosisServer<'m> {
         &self,
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
-    ) -> Result<Prepared, DecodeError> {
+    ) -> Result<Prepared, DiagnosisError> {
         self.prepare_with(
             failing,
             successful,
@@ -335,9 +341,9 @@ impl<'m> DiagnosisServer<'m> {
         successful: &'a [TraceSnapshot],
         memo: Option<&SnapshotMemo<'a>>,
         workers: usize,
-    ) -> Result<Prepared, DecodeError> {
+    ) -> Result<Prepared, DiagnosisError> {
         if failing.is_empty() {
-            return Err(DecodeError::NoSync);
+            return Err(DiagnosisError::EmptyReport);
         }
         let success_cap = self.cfg.success_factor * failing.len().max(1);
         let successful = &successful[..successful.len().min(success_cap)];
@@ -378,16 +384,32 @@ impl<'m> DiagnosisServer<'m> {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(s) = snapshots.get(i) else { break };
-                        *slots[i].lock().expect("prepare slot") = Some(process_one(s));
+                        // catch_unwind per snapshot: one panicking
+                        // snapshot fails that snapshot only, and the
+                        // panic must not unwind through the scope
+                        // (which would abort every other snapshot).
+                        let r = catch_unwind(AssertUnwindSafe(|| process_one(s)))
+                            .unwrap_or_else(|p| Err(DiagnosisError::from_panic("process", p)));
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|s| s.into_inner().expect("prepare slot").expect("processed"))
+                .map(|s| {
+                    s.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .unwrap_or_else(|| Err(DiagnosisError::worker_lost("process")))
+                })
                 .collect()
         } else {
-            snapshots.iter().map(|s| process_one(s)).collect()
+            snapshots
+                .iter()
+                .map(|s| {
+                    catch_unwind(AssertUnwindSafe(|| process_one(s)))
+                        .unwrap_or_else(|p| Err(DiagnosisError::from_panic("process", p)))
+                })
+                .collect()
         };
 
         let mut results = results.into_iter();
@@ -537,7 +559,7 @@ pub(crate) type Prepared = (
 );
 
 /// One snapshot's decode+processing outcome, `Arc`-shared for reuse.
-type Processed = Result<Arc<ProcessedTrace>, DecodeError>;
+type Processed = Result<Arc<ProcessedTrace>, DiagnosisError>;
 
 /// Memo bucket: the snapshots hashing to one content key, each with its
 /// processed trace.
@@ -585,7 +607,10 @@ impl<'a> SnapshotMemo<'a> {
     }
 
     fn lookup(&self, s: &TraceSnapshot) -> Option<Arc<ProcessedTrace>> {
-        let entries = self.entries.lock().expect("snapshot memo");
+        // A poisoned memo only means some worker panicked mid-insert;
+        // the map itself is never left mid-mutation (inserts are a
+        // single `push`), so recovering the guard is safe.
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let found = entries
             .get(&Self::key(s))?
             .iter()
@@ -597,7 +622,7 @@ impl<'a> SnapshotMemo<'a> {
     fn insert(&self, s: &'a TraceSnapshot, t: Arc<ProcessedTrace>) {
         self.entries
             .lock()
-            .expect("snapshot memo")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(Self::key(s))
             .or_default()
             .push((s, t));

@@ -96,9 +96,11 @@ pub fn score_patterns<T: std::borrow::Borrow<ProcessedTrace>>(
         // heuristic), then toward the more *specific* pattern (more
         // correlated events): an atomicity triple that ties with its
         // embedded order pair explains strictly more of the failing
-        // interleaving.
-        b.f1.partial_cmp(&a.f1)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        // interleaving. `total_cmp` keeps the comparator a total order
+        // even if a NaN ever slips into a score — `partial_cmp +
+        // unwrap_or(Equal)` silently broke transitivity there, making
+        // the ranking order nondeterministic.
+        b.f1.total_cmp(&a.f1)
             .then_with(|| a.type_rank.cmp(&b.type_rank))
             .then_with(|| b.pattern.pcs().len().cmp(&a.pattern.pcs().len()))
             .then_with(|| a.pattern.cmp(&b.pattern))
@@ -230,6 +232,32 @@ mod tests {
         );
         assert_eq!(scores[0].pattern, good);
         assert!(scores[0].f1 > scores[1].f1);
+    }
+
+    /// Regression: with zero failing traces (or a zero-support pattern)
+    /// every ratio has a zero denominator. The scores must be defined
+    /// as 0.0 — NaN would make the ranking comparator non-transitive
+    /// and the output order nondeterministic.
+    #[test]
+    fn zero_failing_traces_score_zero_not_nan() {
+        let failing: Vec<ProcessedTrace> = vec![];
+        let successful = vec![good_trace()];
+        let scores = score_patterns(&[wr_pattern()], &failing, &successful, &HashMap::new());
+        assert_eq!(scores.len(), 1);
+        let s = &scores[0];
+        for (name, v) in [
+            ("precision", s.precision),
+            ("recall", s.recall),
+            ("f1", s.f1),
+        ] {
+            assert!(!v.is_nan(), "{name} is NaN");
+            assert_eq!(v, 0.0, "{name}");
+        }
+        // No traces at all: zero support on both sides, still finite.
+        let scores = score_patterns::<ProcessedTrace>(&[wr_pattern()], &[], &[], &HashMap::new());
+        assert_eq!(scores[0].f1, 0.0);
+        assert_eq!(scores[0].precision, 0.0);
+        assert_eq!(scores[0].recall, 0.0);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Fault-injection harness for the diagnosis pipeline: corrupted wire
+//! snapshots driven through `DiagnosisServer::process`, `diagnose`, and
+//! `diagnose_batch`, asserting every outcome is a clean `Ok` or a typed
+//! `DiagnosisError` — never a panic (proptest turns a panic inside the
+//! property into a test failure) — and that a corrupt job in a batch
+//! degrades only itself.
+
+use lazy_ir::{InstKind, Module, ModuleBuilder, Operand, Pc, Type};
+use lazy_snorlax::{BatchConfig, BatchJob, DiagnosisError, DiagnosisServer, ServerConfig};
+use lazy_trace::{decode_snapshot, encode_snapshot, CorruptionOp, Corruptor, TraceSnapshot};
+use lazy_vm::{Failure, FailureKind, Vm, VmConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Module with a cross-thread store/load pair (from the processing
+/// tests): enough structure for the full pipeline to run.
+fn traced_module() -> Module {
+    let mut mb = ModuleBuilder::new("m");
+    let nop = mb.declare("nop", vec![], Type::I64);
+    {
+        let mut f = mb.define(nop);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(Some(Operand::const_int(0)));
+        f.finish();
+    }
+    let worker = mb.declare("worker", vec![Type::I64], Type::Void);
+    let g = mb.global("shared", Type::I64, vec![0]);
+    {
+        let mut f = mb.define(worker);
+        let e = f.entry();
+        f.switch_to(e);
+        f.io("setup", 50_000);
+        f.store(g.clone(), Operand::const_int(7), Type::I64);
+        f.ret(None);
+        f.finish();
+    }
+    let mut f = mb.function("main", vec![], Type::Void);
+    let e = f.entry();
+    f.switch_to(e);
+    let t = f.spawn(worker, Operand::const_int(0));
+    f.io("main-work", 150_000);
+    f.call(nop, vec![]);
+    f.load(g, Type::I64);
+    f.join(t);
+    f.halt();
+    f.finish();
+    mb.finish().unwrap()
+}
+
+struct Fixture {
+    module: Module,
+    failure: Failure,
+    wire: Vec<u8>,
+}
+
+/// Built once: VM runs are the expensive part of each proptest case.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let module = traced_module();
+        let load_pc = module
+            .all_insts()
+            .find(|(i, _)| matches!(i.kind, InstKind::Load { .. }))
+            .map(|(i, _)| i.pc)
+            .unwrap();
+        let out = Vm::run(
+            &module,
+            VmConfig {
+                breakpoints: vec![load_pc],
+                ..VmConfig::default()
+            },
+        );
+        let snap = out.snapshot.expect("breakpoint snapshot");
+        let failure = Failure {
+            kind: FailureKind::NullDeref { addr: 0 },
+            pc: load_pc,
+            tid: snap.trigger_tid,
+            at_ns: snap.taken_at,
+        };
+        let wire = encode_snapshot(&snap);
+        Fixture {
+            module,
+            failure,
+            wire,
+        }
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = CorruptionOp> {
+    prop_oneof![
+        any::<usize>().prop_map(|keep| CorruptionOp::Truncate { keep }),
+        (any::<usize>(), any::<u8>())
+            .prop_map(|(offset, bit)| CorruptionOp::BitFlip { offset, bit }),
+        any::<usize>().prop_map(|field| CorruptionOp::ZeroLength { field }),
+        (any::<usize>(), any::<u32>())
+            .prop_map(|(field, value)| CorruptionOp::InflateLength { field, value }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(from, to)| CorruptionOp::SplicePsb { from, to }),
+        Just(CorruptionOp::DropChecksum),
+    ]
+}
+
+/// A snapshot decoded from corrupted-but-checksum-valid wire bytes, or
+/// `None` when the wire layer (correctly) rejected them.
+fn corrupted_snapshot(ops: &[CorruptionOp], fix_checksum: bool) -> Option<TraceSnapshot> {
+    let mut wire = fixture().wire.clone();
+    let corruptor = Corruptor { fix_checksum };
+    for op in ops {
+        wire = corruptor.apply(&wire, op);
+    }
+    decode_snapshot(&wire).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `process` and `diagnose` are total over snapshots whose payloads
+    /// were corrupted behind a laundered checksum.
+    #[test]
+    fn server_is_total_on_corrupted_snapshots(
+        fix_checksum in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..4),
+    ) {
+        let fix = fixture();
+        let Some(snap) = corrupted_snapshot(&ops, fix_checksum) else {
+            return Ok(()); // wire layer rejected it — also a clean path
+        };
+        let server = DiagnosisServer::new(&fix.module, ServerConfig::default());
+        let _ = server.process(&snap);
+        let _ = server.diagnose(&fix.failure, &[snap], &[]);
+    }
+
+    /// A batch mixing good and corrupt jobs diagnoses the good ones and
+    /// reports the corrupt ones as per-job errors with matching
+    /// degradation counters — a corrupt job never takes the batch down.
+    #[test]
+    fn batch_degrades_per_job(
+        ops in prop::collection::vec(arb_op(), 1..4),
+    ) {
+        let fix = fixture();
+        let good = decode_snapshot(&fix.wire).expect("pristine wire decodes");
+        let Some(bad) = corrupted_snapshot(&ops, true) else {
+            return Ok(());
+        };
+        let server = DiagnosisServer::new(&fix.module, ServerConfig::default());
+        let good_failing = [good.clone()];
+        let bad_failing = [bad];
+        let jobs = [
+            BatchJob { failure: &fix.failure, failing: &good_failing, successful: &[] },
+            BatchJob { failure: &fix.failure, failing: &bad_failing, successful: &[] },
+            BatchJob { failure: &fix.failure, failing: &good_failing, successful: &[] },
+        ];
+        let out = server.diagnose_batch(&jobs, &BatchConfig { workers: 3, ..BatchConfig::default() });
+        prop_assert_eq!(out.diagnoses.len(), 3);
+        // The good jobs always succeed, whatever the corrupt one did.
+        prop_assert!(out.diagnoses[0].is_ok(), "good job 0: {:?}", out.diagnoses[0].as_ref().err());
+        prop_assert!(out.diagnoses[2].is_ok(), "good job 2: {:?}", out.diagnoses[2].as_ref().err());
+        let failed = out.diagnoses.iter().filter(|d| d.is_err()).count();
+        prop_assert_eq!(out.stats.failed_jobs, failed);
+        prop_assert!(out.stats.panicked_jobs <= out.stats.failed_jobs);
+    }
+}
+
+/// An empty failing set is a typed `EmptyReport`, not a panic.
+#[test]
+fn empty_report_is_typed() {
+    let fix = fixture();
+    let server = DiagnosisServer::new(&fix.module, ServerConfig::default());
+    let err = server
+        .diagnose(&fix.failure, &[], &[])
+        .expect_err("no failing snapshots");
+    assert_eq!(err, DiagnosisError::EmptyReport);
+}
+
+/// A snapshot whose every thread carries undecodable bytes fails with a
+/// `Processing` error that reports the thread count.
+#[test]
+fn all_garbage_threads_fail_processing() {
+    let fix = fixture();
+    let mut snap = decode_snapshot(&fix.wire).expect("pristine wire decodes");
+    for t in &mut snap.threads {
+        t.bytes = vec![0xff; 64]; // no PSB anywhere
+    }
+    let threads = snap.threads.len();
+    let server = DiagnosisServer::new(&fix.module, ServerConfig::default());
+    match server.process(&snap) {
+        Err(DiagnosisError::Processing { threads: n, .. }) => assert_eq!(n, threads),
+        other => panic!("expected Processing error, got {other:?}"),
+    }
+    // The same snapshot as a diagnose job: typed failure, no panic.
+    let err = server
+        .diagnose(&fix.failure, &[snap], &[])
+        .expect_err("undecodable job");
+    assert!(matches!(err, DiagnosisError::Processing { .. }), "{err}");
+}
+
+/// Trigger metadata pointing at a nonexistent PC/thread must not panic
+/// the pipeline (the failing operand simply finds no instances).
+#[test]
+fn bogus_trigger_metadata_is_survivable() {
+    let fix = fixture();
+    let mut snap = decode_snapshot(&fix.wire).expect("pristine wire decodes");
+    snap.trigger_pc = u64::MAX;
+    snap.trigger_tid = u32::MAX;
+    let server = DiagnosisServer::new(&fix.module, ServerConfig::default());
+    let _ = server.process(&snap);
+    let failure = Failure {
+        kind: FailureKind::NullDeref { addr: 0 },
+        pc: Pc(u64::MAX),
+        ..fix.failure.clone()
+    };
+    let _ = server.diagnose(&failure, &[snap], &[]);
+}

@@ -1,0 +1,364 @@
+//! Fault-injection machinery for wire-encoded snapshots.
+//!
+//! Snorlax ingests traces from live, failing deployments, so malformed
+//! and adversarially corrupt snapshots are expected input, not an edge
+//! case. This module produces them deliberately: a [`Corruptor`] takes
+//! a *valid* encoded snapshot and applies one [`CorruptionOp`] —
+//! truncation, bit flips, zeroed or inflated length fields, splices
+//! across `PSB` sync boundaries, or a dropped checksum word.
+//!
+//! Two layers of defense get exercised, controlled by
+//! [`Corruptor::fix_checksum`]:
+//!
+//! * **Transport validation** (checksum off): any byte damage should be
+//!   caught by the fnv1a32 word before the structural parser runs.
+//! * **Structural validation** (checksum re-fixed): the corruption is
+//!   laundered past the checksum, so the parser's own guards — length
+//!   clamps, field validation, packet-level resync — must hold alone.
+//!   This models a corruption that happened *before* encoding (a torn
+//!   ring buffer, a buggy client) rather than in transit.
+//!
+//! The harnesses in `tests/faults.rs` and `lazy-bench --bin faults`
+//! drive these operators over every decode path and assert the only
+//! outcomes are `Ok` or a typed `Err` — never a panic, never an
+//! OOM-scale allocation.
+
+use crate::wire::fnv1a32;
+
+/// Byte offset of the `thread_count` field in the wire header:
+/// magic (4) + version (2) + trigger (1) + trigger_tid (4)
+/// + trigger_pc (8) + taken_at (8).
+const THREAD_COUNT_OFFSET: usize = 4 + 2 + 1 + 4 + 8 + 8;
+
+/// Byte offset of the first thread record (header + thread count).
+const FIRST_THREAD_OFFSET: usize = THREAD_COUNT_OFFSET + 4;
+
+/// Offset of a thread record's payload-length word from the record
+/// start: tid (4) + wrapped (1) + 7 stats `u64`s (56).
+const LEN_FIELD_OFFSET: usize = 4 + 1 + 56;
+
+/// The encoded `PSB` sync marker (`OP_EXT EXT_PSB` twice).
+const PSB_MARKER: [u8; 4] = [0x02, 0x82, 0x02, 0x82];
+
+/// One corruption to apply to an encoded snapshot.
+///
+/// Positional parameters are interpreted modulo whatever the buffer
+/// actually offers (byte length, number of length fields, number of
+/// `PSB` markers), so any values — e.g. from a proptest strategy — name
+/// a valid operation and the operator set stays total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorruptionOp {
+    /// Keep only the first `keep % (len + 1)` bytes.
+    Truncate {
+        /// Prefix length to keep (reduced modulo `len + 1`).
+        keep: usize,
+    },
+    /// Flip bit `bit % 8` of byte `offset % len`.
+    BitFlip {
+        /// Byte position (reduced modulo the buffer length).
+        offset: usize,
+        /// Bit index within the byte (reduced modulo 8).
+        bit: u8,
+    },
+    /// Overwrite the `field`-th length word (thread count or a payload
+    /// length) with zero.
+    ZeroLength {
+        /// Index into [`Corruptor::length_field_offsets`] (modulo its
+        /// length).
+        field: usize,
+    },
+    /// Overwrite the `field`-th length word with an arbitrary value
+    /// (typically huge, to probe pre-allocation guards).
+    InflateLength {
+        /// Index into [`Corruptor::length_field_offsets`] (modulo its
+        /// length).
+        field: usize,
+        /// Replacement little-endian value.
+        value: u32,
+    },
+    /// Remove the bytes between two `PSB` markers, splicing packet
+    /// stream regions together across a sync boundary.
+    SplicePsb {
+        /// Index of the splice start marker (modulo the marker count).
+        from: usize,
+        /// Index of the splice end marker (modulo the marker count).
+        to: usize,
+    },
+    /// Drop the trailing fnv1a32 checksum word entirely.
+    DropChecksum,
+}
+
+/// Applies [`CorruptionOp`]s to valid encoded snapshots.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Corruptor {
+    /// When set, the trailing checksum word is recomputed after the
+    /// corruption, so the damage survives transport validation and
+    /// reaches the structural parser. Never applied after
+    /// [`CorruptionOp::DropChecksum`] or a truncation that removes the
+    /// checksum word (those ops exist to damage the trailer itself).
+    pub fix_checksum: bool,
+}
+
+impl Corruptor {
+    /// A corruptor whose output should be caught by the checksum.
+    pub fn new() -> Self {
+        Self {
+            fix_checksum: false,
+        }
+    }
+
+    /// A corruptor that launders damage past the checksum, exercising
+    /// the structural validators behind it.
+    pub fn laundering() -> Self {
+        Self { fix_checksum: true }
+    }
+
+    /// Returns `wire` with `op` applied.
+    ///
+    /// Total over arbitrary (even already-corrupt) input: positional
+    /// parameters wrap, and ops whose target does not exist in this
+    /// buffer (no length fields, fewer than two `PSB` markers) return
+    /// the input unchanged.
+    pub fn apply(&self, wire: &[u8], op: &CorruptionOp) -> Vec<u8> {
+        let mut out = wire.to_vec();
+        let mut refix = self.fix_checksum;
+        match *op {
+            CorruptionOp::Truncate { keep } => {
+                let keep = keep % (out.len() + 1);
+                out.truncate(keep);
+                // A truncation that removes the trailer is *about* the
+                // missing trailer; re-fixing would graft a new one on.
+                refix = refix && keep == wire.len();
+            }
+            CorruptionOp::BitFlip { offset, bit } => {
+                if !out.is_empty() {
+                    let at = offset % out.len();
+                    out[at] ^= 1 << (bit % 8);
+                }
+            }
+            CorruptionOp::ZeroLength { field } => {
+                self.patch_length(&mut out, field, 0);
+            }
+            CorruptionOp::InflateLength { field, value } => {
+                self.patch_length(&mut out, field, value);
+            }
+            CorruptionOp::SplicePsb { from, to } => {
+                let marks = Self::psb_offsets(&out);
+                if marks.len() >= 2 {
+                    let a = marks[from % marks.len()];
+                    let b = marks[to % marks.len()];
+                    let (a, b) = (a.min(b), a.max(b));
+                    out.drain(a..b);
+                }
+            }
+            CorruptionOp::DropChecksum => {
+                let keep = out.len().saturating_sub(4);
+                out.truncate(keep);
+                refix = false;
+            }
+        }
+        if refix && out.len() >= 8 {
+            let body = out.len() - 4;
+            let sum = fnv1a32(&out[..body]);
+            out[body..].copy_from_slice(&sum.to_le_bytes());
+        }
+        out
+    }
+
+    /// Byte offsets of every length word in `wire`: the header's thread
+    /// count, then each thread record's payload-length field.
+    ///
+    /// Walks the declared structure defensively — if a declared length
+    /// runs past the buffer (the input may itself be corrupt), the walk
+    /// stops at the last offset that fits.
+    pub fn length_field_offsets(wire: &[u8]) -> Vec<usize> {
+        let mut offs = Vec::new();
+        if wire.len() < FIRST_THREAD_OFFSET {
+            return offs;
+        }
+        offs.push(THREAD_COUNT_OFFSET);
+        let nthreads = read_u32(wire, THREAD_COUNT_OFFSET) as usize;
+        let mut pos = FIRST_THREAD_OFFSET;
+        for _ in 0..nthreads {
+            let len_at = match pos.checked_add(LEN_FIELD_OFFSET) {
+                Some(v) if v + 4 <= wire.len() => v,
+                _ => break,
+            };
+            offs.push(len_at);
+            let payload = read_u32(wire, len_at) as usize;
+            pos = match (len_at + 4).checked_add(payload) {
+                Some(v) if v <= wire.len() => v,
+                _ => break,
+            };
+        }
+        offs
+    }
+
+    /// Byte offsets of every `PSB` marker in `wire`.
+    pub fn psb_offsets(wire: &[u8]) -> Vec<usize> {
+        let mut offs = Vec::new();
+        let mut pos = 0;
+        while pos + PSB_MARKER.len() <= wire.len() {
+            if wire[pos..pos + PSB_MARKER.len()] == PSB_MARKER {
+                offs.push(pos);
+                pos += PSB_MARKER.len();
+            } else {
+                pos += 1;
+            }
+        }
+        offs
+    }
+
+    fn patch_length(&self, out: &mut [u8], field: usize, value: u32) {
+        let offs = Self::length_field_offsets(out);
+        if offs.is_empty() {
+            return;
+        }
+        let at = offs[field % offs.len()];
+        out[at..at + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{SnapshotTrigger, ThreadTrace, TraceSnapshot};
+    use crate::stats::TraceStats;
+    use crate::wire::{decode_snapshot, encode_snapshot, WireError};
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![
+                ThreadTrace {
+                    tid: 1,
+                    // Payload with two PSB markers and filler between.
+                    bytes: [
+                        &PSB_MARKER[..],
+                        &[0x19, 1, 2, 3, 4, 5, 6, 7, 8],
+                        &PSB_MARKER[..],
+                        &[0x19, 9, 9, 9, 9, 9, 9, 9, 9],
+                    ]
+                    .concat(),
+                    stats: TraceStats::default(),
+                    wrapped: false,
+                },
+                ThreadTrace {
+                    tid: 2,
+                    bytes: vec![0xaa; 16],
+                    stats: TraceStats::default(),
+                    wrapped: true,
+                },
+            ],
+            taken_at: 7,
+            trigger_tid: 1,
+            trigger_pc: 0x1000,
+            trigger: SnapshotTrigger::Failure,
+        }
+    }
+
+    #[test]
+    fn length_field_offsets_match_layout() {
+        let snap = sample();
+        let wire = encode_snapshot(&snap);
+        let offs = Corruptor::length_field_offsets(&wire);
+        // Thread count + one length word per thread.
+        assert_eq!(offs.len(), 1 + snap.threads.len());
+        assert_eq!(offs[0], THREAD_COUNT_OFFSET);
+        assert_eq!(
+            read_u32(&wire, offs[0]) as usize,
+            snap.threads.len(),
+            "first offset is the thread count"
+        );
+        for (i, t) in snap.threads.iter().enumerate() {
+            assert_eq!(
+                read_u32(&wire, offs[1 + i]) as usize,
+                t.bytes.len(),
+                "thread {i} length word"
+            );
+        }
+    }
+
+    #[test]
+    fn psb_offsets_find_payload_markers() {
+        let wire = encode_snapshot(&sample());
+        // The first thread embeds two PSB markers.
+        assert!(Corruptor::psb_offsets(&wire).len() >= 2);
+    }
+
+    #[test]
+    fn unfixed_corruption_is_caught_by_checksum() {
+        let wire = encode_snapshot(&sample());
+        let c = Corruptor::new();
+        let flipped = c.apply(
+            &wire,
+            &CorruptionOp::BitFlip {
+                offset: wire.len() / 2,
+                bit: 3,
+            },
+        );
+        assert_eq!(decode_snapshot(&flipped), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn laundered_inflation_reaches_structural_guard() {
+        let wire = encode_snapshot(&sample());
+        let c = Corruptor::laundering();
+        let bad = c.apply(
+            &wire,
+            &CorruptionOp::InflateLength {
+                field: 1,
+                value: u32::MAX,
+            },
+        );
+        // Checksum passes; the length clamp must reject it.
+        assert_eq!(decode_snapshot(&bad), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn drop_checksum_never_refixes() {
+        let wire = encode_snapshot(&sample());
+        let c = Corruptor::laundering();
+        let bad = c.apply(&wire, &CorruptionOp::DropChecksum);
+        assert_eq!(bad.len(), wire.len() - 4);
+        assert!(decode_snapshot(&bad).is_err());
+    }
+
+    #[test]
+    fn splice_produces_decodable_length() {
+        let wire = encode_snapshot(&sample());
+        let c = Corruptor::new();
+        let spliced = c.apply(&wire, &CorruptionOp::SplicePsb { from: 0, to: 1 });
+        assert!(spliced.len() < wire.len());
+        // Still fails cleanly (checksum now stale).
+        assert!(decode_snapshot(&spliced).is_err());
+    }
+
+    #[test]
+    fn ops_are_total_on_tiny_buffers() {
+        let c = Corruptor::laundering();
+        for buf in [&[][..], &[0x02][..], &[0x02, 0x82, 0x02][..]] {
+            for op in [
+                CorruptionOp::Truncate { keep: 100 },
+                CorruptionOp::BitFlip {
+                    offset: 9,
+                    bit: 200,
+                },
+                CorruptionOp::ZeroLength { field: 5 },
+                CorruptionOp::InflateLength {
+                    field: 5,
+                    value: u32::MAX,
+                },
+                CorruptionOp::SplicePsb { from: 3, to: 9 },
+                CorruptionOp::DropChecksum,
+            ] {
+                let out = c.apply(buf, &op);
+                assert!(out.len() <= buf.len().max(1));
+                let _ = decode_snapshot(&out);
+            }
+        }
+    }
+}

@@ -172,22 +172,29 @@ impl ExecIndex {
         let slots = (module.max_pc().0.saturating_sub(base) / Module::PC_STRIDE) as usize;
         let mut steps = vec![Transfer::Unmapped; slots];
         for func in module.functions() {
+            // Empty blocks have no entry PC; a branch into one resolves
+            // to NO_ENTRY, which sits below TEXT_BASE and therefore
+            // walks to a clean `Desync` instead of panicking here. A
+            // well-formed module never hits this, but `build` must be
+            // total over whatever IR reaches it.
+            const NO_ENTRY: u64 = 0;
             let entry_pc: HashMap<_, _> = func
                 .blocks
                 .iter()
-                .map(|b| (b.id, b.insts.first().expect("empty block").pc.0))
+                .filter_map(|b| b.insts.first().map(|i| (b.id, i.pc.0)))
                 .collect();
+            let entry = |id| entry_pc.get(id).copied().unwrap_or(NO_ENTRY);
             for block in &func.blocks {
                 for inst in &block.insts {
                     let t = match &inst.kind {
                         InstKind::Br { target } => Transfer::Br {
-                            target: entry_pc[target],
+                            target: entry(target),
                         },
                         InstKind::CondBr {
                             then_bb, else_bb, ..
                         } => Transfer::CondBr {
-                            then_pc: entry_pc[then_bb],
-                            else_pc: entry_pc[else_bb],
+                            then_pc: entry(then_bb),
+                            else_pc: entry(else_bb),
                         },
                         InstKind::Call { callee, .. } => Transfer::Call {
                             callee: module.func(*callee).base_pc.0,
@@ -197,7 +204,10 @@ impl ExecIndex {
                         InstKind::Halt => Transfer::Halt,
                         _ => Transfer::Linear,
                     };
-                    steps[((inst.pc.0 - base) / Module::PC_STRIDE) as usize] = t;
+                    let slot = (inst.pc.0.saturating_sub(base) / Module::PC_STRIDE) as usize;
+                    if let Some(s) = steps.get_mut(slot) {
+                        *s = t;
+                    }
                 }
             }
         }
@@ -875,19 +885,35 @@ pub fn decode_thread_trace_sharded(
             snapshot_time,
         )]
     } else {
-        std::thread::scope(|scope| {
+        // Speculative shard decode runs inside catch_unwind: a panic in
+        // one worker must not take down the caller. The parallel path
+        // is an optimization over the fused sequential decoder, so on
+        // any shard panic we discard all speculation and fall back to
+        // the sequential path — same result, just slower.
+        let caught: Option<Vec<ShardOutcome>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|(r, seed)| {
                     let (r, seed) = (r.clone(), *seed);
-                    scope.spawn(move || decode_shard(index, config, bytes, r, seed, snapshot_time))
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            decode_shard(index, config, bytes, r, seed, snapshot_time)
+                        }))
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard decode panicked"))
+                .map(|h| match h.join() {
+                    Ok(Ok(out)) => Some(out),
+                    _ => None,
+                })
                 .collect()
-        })
+        });
+        match caught {
+            Some(outs) => outs,
+            None => return decode_thread_trace(index, config, bytes, snapshot_time),
+        }
     };
 
     // Stitch: recompute each shard's head with the true carried state,

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Panic-freedom policy: pipeline code must surface typed errors, never
+// unwrap its way past them. Tests keep the ergonomic forms.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # lazy-trace — hardware-style control-flow tracing
 //!
@@ -28,6 +32,7 @@
 //!   executions at a previous failure's location).
 
 pub mod config;
+pub mod corrupt;
 pub mod decoder;
 pub mod driver;
 pub mod encoder;
@@ -37,6 +42,7 @@ pub mod stats;
 pub mod wire;
 
 pub use config::TraceConfig;
+pub use corrupt::{CorruptionOp, Corruptor};
 pub use decoder::{
     decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, DecodeError,
     DecodedEvent, DecodedTrace, ExecIndex, TimeBounds, EXIT_TARGET,

@@ -56,7 +56,7 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn fnv1a32(bytes: &[u8]) -> u32 {
+pub(crate) fn fnv1a32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= u32::from(b);
@@ -126,8 +126,16 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// Bytes left between the cursor and the end of the body.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.bytes.len() {
+        // `n` is attacker-controlled (declared lengths); compare against
+        // the remainder rather than computing `pos + n`, which could
+        // overflow on 32-bit targets.
+        if n > self.remaining() {
             return Err(WireError::Truncated);
         }
         let s = &self.bytes[self.pos..self.pos + n];
@@ -140,17 +148,26 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 }
+
+/// Minimum wire bytes one thread record occupies: tid (4) + wrapped (1)
+/// + 7 stats `u64`s (56) + payload length word (4).
+const MIN_THREAD_BYTES: usize = 4 + 1 + 7 * 8 + 4;
 
 /// Parses a snapshot from its wire form.
 ///
@@ -159,15 +176,22 @@ impl<'a> Reader<'a> {
 /// Returns a [`WireError`] for anything malformed: wrong magic or
 /// version, truncation, field corruption, or checksum mismatch.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
-    if bytes.len() < 4 + 2 + 4 {
+    // Reject anything shorter than magic + version + checksum *before*
+    // slicing: `bytes[bytes.len() - 4..]` on a 0–3 byte buffer would
+    // otherwise panic. `checked_sub` keeps the guard and the slice in
+    // one expression, so they cannot drift apart.
+    let Some(body_len) = bytes.len().checked_sub(4) else {
+        return Err(WireError::Truncated);
+    };
+    if body_len < 4 + 2 {
         return Err(WireError::Truncated);
     }
     if &bytes[..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
     // Validate the checksum over everything but the trailing word.
-    let body = &bytes[..bytes.len() - 4];
-    let expect = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("len"));
+    let (body, tail) = bytes.split_at(body_len);
+    let expect = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
     if fnv1a32(body) != expect {
         return Err(WireError::BadChecksum);
     }
@@ -184,7 +208,16 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
     let trigger_pc = r.u64()?;
     let taken_at = r.u64()?;
     let nthreads = r.u32()? as usize;
-    let mut threads = Vec::with_capacity(nthreads.min(1024));
+    // The count is attacker-controlled: clamp the declared value against
+    // what the remaining bytes could possibly hold before letting it
+    // size anything. Each thread record is at least MIN_THREAD_BYTES, so
+    // a count beyond remaining/MIN is corrupt on its face — reject it
+    // instead of looping into an inevitable Truncated (or, worse,
+    // pre-allocating a count-sized Vec).
+    if nthreads > r.remaining() / MIN_THREAD_BYTES {
+        return Err(WireError::BadField("thread count"));
+    }
+    let mut threads = Vec::with_capacity(nthreads);
     for _ in 0..nthreads {
         let tid = r.u32()?;
         let wrapped = match r.u8()? {
@@ -201,7 +234,13 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
             bytes: r.u64()?,
             cyc_dropped: r.u64()?,
         };
+        // Clamp the declared payload length against the remaining bytes
+        // before any allocation happens: `take` borrows (it cannot
+        // over-allocate), and only a successfully taken slice is copied.
         let len = r.u32()? as usize;
+        if len > r.remaining() {
+            return Err(WireError::Truncated);
+        }
         let data = r.take(len)?.to_vec();
         threads.push(ThreadTrace {
             tid,
@@ -290,6 +329,84 @@ mod tests {
                 "cut {cut}: {err}"
             );
         }
+    }
+
+    /// Regression: buffers shorter than the 4-byte checksum word used
+    /// to reach `bytes[bytes.len() - 4..]` and panic; every sub-header
+    /// length must instead report `Truncated`.
+    #[test]
+    fn tiny_buffers_return_truncated() {
+        let wire = encode_snapshot(&sample());
+        for cut in 0..=3 {
+            assert_eq!(
+                decode_snapshot(&wire[..cut]),
+                Err(WireError::Truncated),
+                "cut {cut}"
+            );
+        }
+        // The whole sub-header range, for good measure.
+        for cut in 4..(4 + 2 + 4) {
+            assert!(decode_snapshot(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    /// Re-checksums `wire` in place (for tests that corrupt fields
+    /// *behind* the checksum to reach the structural validators).
+    fn fix_checksum(wire: &mut [u8]) {
+        let n = wire.len();
+        let sum = fnv1a32(&wire[..n - 4]);
+        wire[n - 4..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// A corrupt thread count (with a fixed-up checksum, so the
+    /// corruption reaches the structural layer) is rejected before any
+    /// count-sized allocation.
+    #[test]
+    fn inflated_thread_count_is_rejected() {
+        let mut wire = encode_snapshot(&sample());
+        // thread_count u32 sits after magic(4)+version(2)+trigger(1)
+        // +trigger_tid(4)+trigger_pc(8)+taken_at(8).
+        let off = 4 + 2 + 1 + 4 + 8 + 8;
+        for bogus in [u32::MAX, u32::MAX / 2, 1_000_000] {
+            wire[off..off + 4].copy_from_slice(&bogus.to_le_bytes());
+            fix_checksum(&mut wire);
+            assert_eq!(
+                decode_snapshot(&wire),
+                Err(WireError::BadField("thread count")),
+                "count {bogus}"
+            );
+        }
+    }
+
+    /// A corrupt per-thread payload length (checksum fixed up) is
+    /// clamped against the remaining bytes instead of driving a huge
+    /// allocation.
+    #[test]
+    fn inflated_payload_length_is_rejected() {
+        let mut wire = encode_snapshot(&sample());
+        // First thread record starts right after the header; its length
+        // word sits after tid(4)+wrapped(1)+stats(56).
+        let off = (4 + 2 + 1 + 4 + 8 + 8 + 4) + 4 + 1 + 56;
+        for bogus in [u32::MAX, 1 << 30, 0x10_0000] {
+            wire[off..off + 4].copy_from_slice(&bogus.to_le_bytes());
+            fix_checksum(&mut wire);
+            assert_eq!(
+                decode_snapshot(&wire),
+                Err(WireError::Truncated),
+                "len {bogus}"
+            );
+        }
+    }
+
+    /// Zeroing a length field (checksum fixed up) desynchronizes the
+    /// record stream; decode must fail cleanly, not panic.
+    #[test]
+    fn zeroed_payload_length_fails_cleanly() {
+        let mut wire = encode_snapshot(&sample());
+        let off = (4 + 2 + 1 + 4 + 8 + 8 + 4) + 4 + 1 + 56;
+        wire[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        fix_checksum(&mut wire);
+        assert!(decode_snapshot(&wire).is_err());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Fault-injection harness for the trace layer: drives [`Corruptor`]
+//! output — truncations, bit flips, laundered length corruption, `PSB`
+//! splices, dropped checksums — through wire decode and all three trace
+//! decode paths (fused, legacy three-pass, PSB-sharded parallel),
+//! asserting every outcome is a clean `Ok`/`Err`: never a panic, never
+//! an OOM-scale allocation.
+//!
+//! proptest surfaces a panic inside the property as a test failure, so
+//! "the body ran" *is* the panic-freedom assertion; the explicit
+//! assertions bound allocation and error-typing.
+
+use lazy_ir::{Module, ModuleBuilder, Operand, Type};
+use lazy_trace::driver::SnapshotTrigger;
+use lazy_trace::{
+    decode_snapshot, decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded,
+    encode_snapshot, CorruptionOp, Corruptor, Encoder, ExecIndex, ThreadTrace, TraceConfig,
+    TraceSnapshot, TraceStats,
+};
+use proptest::prelude::*;
+
+/// main: entry -> head(cond) -> body(call leaf; ret) -> head -> exit.
+fn looped_module() -> Module {
+    let mut mb = ModuleBuilder::new("m");
+    let leaf = mb.declare("leaf", vec![], Type::Void);
+    let mut lf = mb.define(leaf);
+    let e = lf.entry();
+    lf.switch_to(e);
+    lf.copy(Operand::const_int(7));
+    lf.ret(None);
+    lf.finish();
+
+    let mut f = mb.function("main", vec![], Type::Void);
+    let entry = f.entry();
+    let head = f.block("head");
+    let body = f.block("body");
+    let exit = f.block("exit");
+    f.switch_to(entry);
+    let n = f.alloca(Type::I64);
+    f.store(n.clone(), Operand::const_int(0), Type::I64);
+    f.br(head);
+    f.switch_to(head);
+    let v = f.load(n.clone(), Type::I64);
+    let c = f.lt(v.clone(), Operand::const_int(3));
+    f.cond_br(c, body, exit);
+    f.switch_to(body);
+    f.call(leaf, vec![]);
+    let v2 = f.load(n.clone(), Type::I64);
+    let v3 = f.add(v2, Operand::const_int(1));
+    f.store(n, v3, Type::I64);
+    f.br(head);
+    f.switch_to(exit);
+    f.halt();
+    f.finish();
+    mb.finish().unwrap()
+}
+
+/// Drives the encoder as the VM would for `iters` loop iterations.
+fn drive(module: &Module, iters: u64, cfg: TraceConfig) -> Vec<u8> {
+    let main = module.func_by_name("main").unwrap();
+    let leaf = module.func_by_name("leaf").unwrap();
+    let pcs = |bi: usize| {
+        main.blocks[bi]
+            .insts
+            .iter()
+            .map(|i| i.pc.0)
+            .collect::<Vec<_>>()
+    };
+    let (entry, head, body, exit) = (pcs(0), pcs(1), pcs(2), pcs(3));
+    let leaf_pcs: Vec<u64> = leaf.entry().insts.iter().map(|i| i.pc.0).collect();
+    let mut enc = Encoder::new(cfg);
+    let mut t = 1_000u64;
+    enc.start(entry[0], t);
+    t += 10 * entry.len() as u64;
+    for i in 0..=iters {
+        t += 10 * head.len() as u64;
+        let taken = i < iters;
+        enc.branch(head[head.len() - 1], taken, t);
+        if !taken {
+            break;
+        }
+        t += 10 * (1 + leaf_pcs.len()) as u64;
+        enc.indirect(leaf_pcs[leaf_pcs.len() - 1], body[1], t);
+        t += 10 * (body.len() - 1) as u64;
+    }
+    t += 10 * exit.len() as u64;
+    enc.async_fup(exit[exit.len() - 1], t);
+    enc.snapshot()
+}
+
+/// A valid two-thread snapshot whose payloads carry real packet streams.
+fn valid_snapshot(module: &Module, iters: u64, cfg: &TraceConfig) -> TraceSnapshot {
+    let payload = drive(module, iters, cfg.clone());
+    TraceSnapshot {
+        threads: vec![
+            ThreadTrace {
+                tid: 1,
+                bytes: payload.clone(),
+                stats: TraceStats::default(),
+                wrapped: false,
+            },
+            ThreadTrace {
+                tid: 2,
+                bytes: payload,
+                stats: TraceStats::default(),
+                wrapped: true,
+            },
+        ],
+        taken_at: 10_000_000,
+        trigger_tid: 1,
+        trigger_pc: 0x40_0000,
+        trigger: SnapshotTrigger::Failure,
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = CorruptionOp> {
+    prop_oneof![
+        any::<usize>().prop_map(|keep| CorruptionOp::Truncate { keep }),
+        (any::<usize>(), any::<u8>())
+            .prop_map(|(offset, bit)| CorruptionOp::BitFlip { offset, bit }),
+        any::<usize>().prop_map(|field| CorruptionOp::ZeroLength { field }),
+        (any::<usize>(), any::<u32>())
+            .prop_map(|(field, value)| CorruptionOp::InflateLength { field, value }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(from, to)| CorruptionOp::SplicePsb { from, to }),
+        Just(CorruptionOp::DropChecksum),
+    ]
+}
+
+proptest! {
+    /// Wire decode of arbitrarily corrupted snapshots never panics and
+    /// never allocates past the input size (decoded thread payloads are
+    /// carved out of the buffer, so their sum is bounded by it).
+    #[test]
+    fn corrupted_wire_decode_is_total(
+        iters in 1u64..24,
+        fix_checksum in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..4),
+    ) {
+        let module = looped_module();
+        let cfg = TraceConfig::default();
+        let snap = valid_snapshot(&module, iters, &cfg);
+        let mut wire = encode_snapshot(&snap);
+        let corruptor = Corruptor { fix_checksum };
+        for op in &ops {
+            wire = corruptor.apply(&wire, op);
+        }
+        // A typed Err is the expected outcome; on Ok, allocation stays
+        // bounded by the input (payloads are carved out of the buffer).
+        if let Ok(back) = decode_snapshot(&wire) {
+            let total: usize = back.threads.iter().map(|t| t.bytes.len()).sum();
+            prop_assert!(
+                total <= wire.len(),
+                "decoded {total} payload bytes from a {}-byte wire",
+                wire.len()
+            );
+        }
+    }
+
+    /// All three trace decode paths are total over corrupted payloads:
+    /// whatever the corruptor did to the bytes, each path returns
+    /// `Ok`/`Err` without panicking, and they agree with each other.
+    #[test]
+    fn corrupted_payload_decode_is_total(
+        iters in 1u64..24,
+        ops in prop::collection::vec(arb_op(), 1..4),
+        workers in 2usize..6,
+    ) {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let mut payload = drive(&module, iters, cfg.clone());
+        // Payloads have no checksum to launder; apply ops raw.
+        let corruptor = Corruptor::new();
+        for op in &ops {
+            payload = corruptor.apply(&payload, op);
+        }
+        let snapshot_time = 10_000_000;
+        let fused = decode_thread_trace(&index, &cfg, &payload, snapshot_time);
+        let legacy = decode_thread_trace_legacy(&index, &cfg, &payload, snapshot_time);
+        let sharded = decode_thread_trace_sharded(&index, &cfg, &payload, snapshot_time, workers);
+        match (&fused, &legacy) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(&a.events, &b.events),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "fused/legacy split: {:?} vs {:?}", fused, legacy),
+        }
+        match (&fused, &sharded) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(&a.events, &b.events),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "fused/sharded split: {:?} vs {:?}", fused, sharded),
+        }
+    }
+
+    /// End-to-end: corrupted *wire* bytes that still pass wire decode
+    /// (laundered checksum) carry corrupted payloads into the decoder —
+    /// the decode paths must stay total on those too.
+    #[test]
+    fn laundered_wire_to_decoder_is_total(
+        iters in 1u64..16,
+        ops in prop::collection::vec(arb_op(), 1..3),
+    ) {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let snap = valid_snapshot(&module, iters, &cfg);
+        let mut wire = encode_snapshot(&snap);
+        let corruptor = Corruptor::laundering();
+        for op in &ops {
+            wire = corruptor.apply(&wire, op);
+        }
+        if let Ok(back) = decode_snapshot(&wire) {
+            for t in &back.threads {
+                let _ = decode_thread_trace(&index, &cfg, &t.bytes, back.taken_at);
+                let _ = decode_thread_trace_sharded(&index, &cfg, &t.bytes, back.taken_at, 4);
+            }
+        }
+    }
+}

@@ -15,8 +15,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Panic-lint gate for the pipeline crates: their crate roots carry
+# #![deny(clippy::unwrap_used, clippy::expect_used)] (tests exempt via
+# cfg_attr), so a plain -D warnings pass fails on any new unwrap/expect
+# in non-test code. Deliberately NOT passed as command-line -D flags:
+# those would leak onto every workspace dependency compiled in the same
+# invocation (lazy-ir legitimately uses expect()).
+echo "==> panic-lint gate (lazy-trace, lazy-snorlax)"
+cargo clippy -q -p lazy-trace -p lazy-snorlax --lib -- -D warnings
+
 echo "==> decode bench smoke (--fast)"
 cargo run --release -q -p lazy-bench --bin decode -- --fast --out /tmp/BENCH_decode_ci.json
 rm -f /tmp/BENCH_decode_ci.json
+
+echo "==> fault-injection smoke (--fast)"
+cargo run --release -q -p lazy-bench --bin faults -- --fast
 
 echo "CI OK"

@@ -1,0 +1,193 @@
+//! Batch degradation regression: a corrupt job inside a batch fails
+//! *alone*. Every other job's diagnosis must render byte-identical to
+//! the same batch run without the corrupt job, the corrupt job must
+//! surface a typed [`DiagnosisError`], and the degradation counters in
+//! `BatchStats` must account for exactly the corrupt job.
+//!
+//! The non-ignored test sweeps the 11-bug evaluation subset; the full
+//! 54-bug corpus version is `#[ignore]`d like the other heavy sweeps —
+//! run it with `cargo test --release --test degradation -- --ignored`.
+
+use lazy_diagnosis::snorlax::{
+    BatchConfig, BatchJob, CollectionClient, CollectionOutcome, Diagnosis, DiagnosisError,
+    DiagnosisServer, ServerConfig,
+};
+use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_workloads::systems::eval_scenarios;
+
+/// Collects `reports` independent failure reports for one scenario.
+fn collect_reports(
+    server: &DiagnosisServer<'_>,
+    s: &BugScenario,
+    reports: usize,
+) -> Vec<CollectionOutcome> {
+    let client = CollectionClient::new(server, VmConfig::default());
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < reports {
+        let col = client
+            .collect(seed, 800, 10, 0)
+            .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id));
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        out.push(col);
+    }
+    out
+}
+
+/// Corrupts every thread payload of every failing snapshot: truncated
+/// below the 4-byte `PSB` marker, no thread can decode, so the job must
+/// fail with a typed `Processing` error (deterministically — nothing in
+/// this corruption depends on scheduling).
+fn corrupt_collection(col: &CollectionOutcome) -> Vec<TraceSnapshot> {
+    let corruptor = Corruptor::new();
+    col.failing
+        .iter()
+        .map(|snap| {
+            let mut snap = snap.clone();
+            for t in &mut snap.threads {
+                t.bytes = corruptor.apply(&t.bytes, &CorruptionOp::Truncate { keep: 3 });
+            }
+            snap
+        })
+        .collect()
+}
+
+fn jobs_of<'a>(collections: &'a [CollectionOutcome]) -> Vec<BatchJob<'a>> {
+    collections
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect()
+}
+
+/// Runs one scenario's corpus as a clean batch, then again with a
+/// corrupt job spliced into the middle, and checks the degradation
+/// contract. Returns the id of any check that failed.
+fn check_scenario(s: &BugScenario, cfg: &BatchConfig) -> Result<(), String> {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collections = collect_reports(&server, s, 2);
+
+    let clean_jobs = jobs_of(&collections);
+    let clean = server.diagnose_batch(&clean_jobs, cfg);
+    let clean: Vec<Diagnosis> = clean
+        .diagnoses
+        .into_iter()
+        .map(|d| d.map_err(|e| format!("{}: clean batch job failed: {e}", s.id)))
+        .collect::<Result<_, _>>()?;
+
+    // Same jobs with a corrupt one spliced between them.
+    let corrupt_failing = corrupt_collection(&collections[0]);
+    let mut mixed_jobs = jobs_of(&collections);
+    mixed_jobs.insert(
+        1,
+        BatchJob {
+            failure: &collections[0].failure,
+            failing: &corrupt_failing,
+            successful: &collections[0].successful,
+        },
+    );
+    let out = server.diagnose_batch(&mixed_jobs, cfg);
+    if out.diagnoses.len() != mixed_jobs.len() {
+        return Err(format!(
+            "{}: batch returned {} diagnoses for {} jobs",
+            s.id,
+            out.diagnoses.len(),
+            mixed_jobs.len()
+        ));
+    }
+
+    // The corrupt job fails with a typed processing error...
+    match &out.diagnoses[1] {
+        Err(DiagnosisError::Processing { threads, .. }) => {
+            let expected = corrupt_failing[0].threads.len();
+            if *threads != expected {
+                return Err(format!(
+                    "{}: corrupt job reported {threads} threads, expected {expected}",
+                    s.id
+                ));
+            }
+        }
+        other => {
+            return Err(format!(
+                "{}: corrupt job should be Err(Processing), got {other:?}",
+                s.id
+            ))
+        }
+    }
+    // ...the counters account for exactly that job...
+    if out.stats.failed_jobs != 1 {
+        return Err(format!(
+            "{}: failed_jobs = {}, expected 1",
+            s.id, out.stats.failed_jobs
+        ));
+    }
+    if out.stats.panicked_jobs != 0 {
+        return Err(format!(
+            "{}: panicked_jobs = {} on a panic-free corruption",
+            s.id, out.stats.panicked_jobs
+        ));
+    }
+    // ...and every other job renders byte-identical to the clean batch.
+    let survivors: Vec<&Result<Diagnosis, DiagnosisError>> = out
+        .diagnoses
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, d)| d)
+        .collect();
+    for (i, (mixed, clean)) in survivors.iter().zip(&clean).enumerate() {
+        let mixed = mixed
+            .as_ref()
+            .map_err(|e| format!("{}: surviving job {i} failed: {e}", s.id))?;
+        if mixed.render(&s.module) != clean.render(&s.module) {
+            return Err(format!(
+                "{}: job {i} render changed because an unrelated job was corrupt",
+                s.id
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Eleven eval bugs, each batch carrying one corrupt job: the corrupt
+/// job degrades alone and the siblings' output is unchanged.
+#[test]
+fn eval_bugs_degrade_per_job() {
+    let cfg = BatchConfig {
+        workers: 4,
+        ..BatchConfig::default()
+    };
+    for s in eval_scenarios() {
+        if let Err(msg) = check_scenario(&s, &cfg) {
+            panic!("{msg}");
+        }
+        println!("{}: ok", s.id);
+    }
+}
+
+/// Full 54-bug corpus with a corrupt job in every batch. Heavy — run
+/// with `cargo test --release --test degradation -- --ignored`.
+#[test]
+#[ignore = "heavy: batch-diagnoses all 54 corpus bugs with fault injection"]
+fn entire_corpus_degrades_per_job() {
+    let cfg = BatchConfig {
+        workers: 4,
+        ..BatchConfig::default()
+    };
+    let mut failures = Vec::new();
+    for s in lazy_diagnosis::workloads::all_scenarios() {
+        if let Err(msg) = check_scenario(&s, &cfg) {
+            failures.push(msg);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "degradation failures:\n{}",
+        failures.join("\n")
+    );
+}
