@@ -527,6 +527,8 @@ impl PointsTo {
     /// Scope-restricted analysis: constraints only from instructions in
     /// `scope` (the executed set from trace processing).
     pub fn analyze_scoped(module: &Module, scope: &HashSet<Pc>) -> PointsTo {
+        let _span = lazy_obs::span!("pointsto.solve");
+        lazy_obs::counter!("pointsto.scope_insts_total", scope.len());
         Self::analyze_impl(module, Some(scope))
     }
 

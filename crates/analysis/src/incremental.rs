@@ -271,12 +271,14 @@ impl PointsToCache {
     /// Scope-restricted points-to analysis through the cache. Returns
     /// sets byte-identical to `PointsTo::analyze_scoped(module, scope)`.
     pub fn analyze_scoped(&mut self, module: &Module, scope: &HashSet<Pc>) -> PointsTo {
+        let _span = lazy_obs::span!("pointsto.cache.solve");
         self.rebind(module);
         self.stats.lookups += 1;
 
         match self.best_base(scope) {
             Some((i, true)) => {
                 self.stats.exact_hits += 1;
+                lazy_obs::counter!("pointsto.cache.exact_hits_total", 1u64);
                 self.stats.reused_insts += self.solutions[i].analyzed as u64;
                 // Refresh recency: an exact hit is the entry most worth
                 // keeping.
@@ -287,6 +289,8 @@ impl PointsToCache {
             }
             Some((i, false)) => {
                 self.stats.delta_solves += 1;
+                lazy_obs::counter!("pointsto.cache.delta_solves_total", 1u64);
+                let _delta_span = lazy_obs::span!("pointsto.cache.delta");
                 let base = &self.solutions[i];
                 let mut delta: Vec<Pc> = scope
                     .iter()
@@ -309,6 +313,8 @@ impl PointsToCache {
             }
             None => {
                 self.stats.scratch_solves += 1;
+                lazy_obs::counter!("pointsto.cache.scratch_solves_total", 1u64);
+                let _scratch_span = lazy_obs::span!("pointsto.cache.scratch");
                 let mut pcs: Vec<Pc> = scope.iter().copied().collect();
                 pcs.sort_unstable();
                 self.prepare_pcs(module, &pcs);

@@ -17,7 +17,7 @@
 //! the parallel term shrinks toward 1× and the check is reported as
 //! skipped rather than failed.
 //!
-//! Usage: `batch [bug-id] [--reports N] [--rounds N]`
+//! Usage: `batch [bug-id] [--reports N] [--rounds N] [--out PATH]`
 
 use lazy_bench::{collect_corpus, server_for, stats};
 use lazy_snorlax::{BatchConfig, BatchJob, Diagnosis};
@@ -31,6 +31,13 @@ fn opt(args: &[String], flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn opt_str(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bug = args
@@ -40,6 +47,7 @@ fn main() {
         .unwrap_or_else(|| "mysql-3596".to_string());
     let reports = opt(&args, "--reports", 16);
     let rounds = opt(&args, "--rounds", 3);
+    let out_path = opt_str(&args, "--out", "BENCH_batch.json");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let s = scenario_by_id(&bug).expect("known bug id");
@@ -72,6 +80,7 @@ fn main() {
     let mut seq = Vec::new();
     let mut par = Vec::new();
     let mut cached = Vec::new();
+    let mut last_batch_telemetry = None;
     for _ in 0..rounds {
         let t = Instant::now();
         for j in &jobs {
@@ -95,6 +104,7 @@ fn main() {
         let t = Instant::now();
         let out = server.diagnose_batch(&jobs, &BatchConfig::default());
         cached.push(t.elapsed().as_secs_f64());
+        last_batch_telemetry = Some(out.telemetry.clone());
         // Batch output must match the sequential reference exactly.
         for (d, r) in out.diagnoses.iter().zip(&reference) {
             let d = d.as_ref().expect("diagnosis");
@@ -125,16 +135,39 @@ fn main() {
         seq_s / cached_s
     );
     let speedup = seq_s / cached_s;
-    if cores >= 4 {
+    let gate_status = if cores >= 4 {
         assert!(
             speedup >= 2.0,
             "acceptance: batched+cached must be >=2x sequential on >=4 cores (got {speedup:.2}x)"
         );
         println!("acceptance (>=2x on >=4 cores): PASS ({speedup:.2}x)");
+        "pass"
     } else {
         println!(
             "acceptance (>=2x on >=4 cores): SKIPPED — {cores} core(s) available, \
              parallel term absent ({speedup:.2}x measured)"
         );
-    }
+        "skipped"
+    };
+
+    // The last cached batch's own telemetry delta (from
+    // BatchOutcome::telemetry): per-stage spans and counters for one
+    // representative batch, not the whole bench run.
+    let telemetry = last_batch_telemetry.unwrap_or_default();
+    let json = format!(
+        "{{\n  \"bench\": \"batch\",\n  \"workload\": {{\n    \"bug\": \"{bug}\",\n    \
+         \"reports\": {reports}\n  }},\n  \"machine\": {{ \"cores\": {cores} }},\n  \
+         \"rounds\": {rounds},\n  \"seconds\": {{\n    \"sequential\": {seq_s:.6},\n    \
+         \"batched\": {par_s:.6},\n    \"batched_cached\": {cached_s:.6}\n  }},\n  \
+         \"speedup\": {{\n    \"batched_vs_sequential\": {p_vs_s:.3},\n    \
+         \"cached_vs_sequential\": {speedup:.3}\n  }},\n  \
+         \"gate\": {{\n    \"required\": \">=2x batched+cached vs sequential on >=4 cores\",\n    \
+         \"status\": \"{gate_status}\"\n  }},\n  \
+         \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        p_vs_s = seq_s / par_s,
+        telemetry_enabled = cfg!(feature = "telemetry"),
+        telemetry_json = telemetry.to_json().trim_end(),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
 }

@@ -200,6 +200,12 @@ fn main() {
         "skipped"
     };
 
+    // Per-stage telemetry accumulated over every decode above: the
+    // decoder's own spans (decode.stream, decode.shard.skim /
+    // .speculate / .stitch) and counters. Empty object when built with
+    // --no-default-features — that build measures the zero-cost path.
+    let telemetry = lazy_obs::snapshot();
+    let telemetry_enabled = cfg!(feature = "telemetry");
     let json = format!(
         "{{\n  \"bench\": \"decode\",\n  \"workload\": {{\n    \"threads\": {threads},\n    \
          \"iters_per_thread\": {iters},\n    \"total_bytes\": {total_bytes},\n    \
@@ -209,11 +215,13 @@ fn main() {
          \"speedup\": {{\n    \"fused_vs_legacy\": {f_vs_l:.3},\n    \
          \"sharded_vs_fused\": {s_vs_f:.3},\n    \"sharded_vs_legacy\": {s_vs_l:.3}\n  }},\n  \
          \"gate\": {{\n    \"required\": \">=2x sharded vs fused sequential on >=4 cores\",\n    \
-         \"status\": \"{gate_status}\"\n  }}\n}}\n",
+         \"status\": \"{gate_status}\"\n  }},\n  \
+         \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry\": {telemetry_json}\n}}\n",
         psb = cfg.psb_period_bytes,
         f_vs_l = legacy_s / fused_s,
         s_vs_f = speedup,
         s_vs_l = legacy_s / sharded_s,
+        telemetry_json = telemetry.to_json().trim_end(),
     );
     std::fs::write(&out_path, json).expect("write bench output");
     println!("wrote {out_path}");

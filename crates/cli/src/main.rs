@@ -34,7 +34,10 @@ fn usage() -> ExitCode {
            dump <bug-id>                  print a corpus module in textual IR form\n\
            diagnose-file <path.ir> [--seed N]  diagnose a user-supplied textual IR program\n\
            batch <bug-id> [--reports N] [--seed N] [--workers N] [--no-cache]\n\
-                                          collect N failure reports and diagnose them as one batch"
+                 [--telemetry json|pretty|prom]\n\
+                                          collect N failure reports and diagnose them as one batch;\n\
+                                          --telemetry prints the batch's per-stage pipeline\n\
+                                          telemetry (spans, counters, histograms)"
     );
     ExitCode::from(2)
 }
@@ -45,6 +48,13 @@ fn opt_u64(args: &[String], flag: &str, default: u64) -> u64 {
         .find(|w| w[0] == flag)
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses a `--flag value` style string option.
+fn opt_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
 }
 
 fn find_scenario(id: &str) -> Option<BugScenario> {
@@ -107,7 +117,20 @@ fn cmd_diagnose(id: &str, first_seed: u64, decode_workers: u64) -> ExitCode {
     }
 }
 
-fn cmd_batch(id: &str, reports: u64, first_seed: u64, workers: u64, use_cache: bool) -> ExitCode {
+fn cmd_batch(
+    id: &str,
+    reports: u64,
+    first_seed: u64,
+    workers: u64,
+    use_cache: bool,
+    telemetry: Option<&str>,
+) -> ExitCode {
+    if let Some(fmt) = telemetry {
+        if !matches!(fmt, "json" | "pretty" | "prom") {
+            eprintln!("unknown --telemetry format {fmt:?} (expected json, pretty, or prom)");
+            return ExitCode::from(2);
+        }
+    }
     let Some(s) = find_scenario(id) else {
         eprintln!("unknown bug id {id} (see `snorlax corpus`)");
         return ExitCode::FAILURE;
@@ -179,6 +202,12 @@ fn cmd_batch(id: &str, reports: u64, first_seed: u64, workers: u64, use_cache: b
     }
     if let Some(Ok(first)) = out.diagnoses.first() {
         print!("\n{}", first.render(&s.module));
+    }
+    match telemetry {
+        Some("json") => println!("{}", out.telemetry.to_json()),
+        Some("pretty") => print!("\n{}", out.telemetry.render_pretty()),
+        Some("prom") => print!("\n{}", out.telemetry.render_prometheus()),
+        _ => {}
     }
     ExitCode::SUCCESS
 }
@@ -404,6 +433,7 @@ fn main() -> ExitCode {
             opt_u64(&args, "--seed", 0),
             opt_u64(&args, "--workers", 0),
             !args.iter().any(|a| a == "--no-cache"),
+            opt_str(&args, "--telemetry"),
         ),
         _ => usage(),
     }
@@ -423,6 +453,16 @@ mod tests {
         assert_eq!(opt_u64(&args, "--runs", 10), 10);
         let bad: Vec<String> = ["--seed", "zz"].iter().map(|s| s.to_string()).collect();
         assert_eq!(opt_u64(&bad, "--seed", 3), 3);
+    }
+
+    #[test]
+    fn string_opt_parsing() {
+        let args: Vec<String> = ["batch", "x", "--telemetry", "json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(opt_str(&args, "--telemetry"), Some("json"));
+        assert_eq!(opt_str(&args, "--format"), None);
     }
 
     #[test]

@@ -108,6 +108,11 @@ pub struct BatchOutcome {
     pub diagnoses: Vec<Result<Diagnosis, DiagnosisError>>,
     /// Execution counters.
     pub stats: BatchStats,
+    /// Telemetry delta covering this batch: every counter, histogram
+    /// and span the pipeline recorded between batch start and batch
+    /// end. Empty (but well-formed) when the `telemetry` feature is
+    /// off, so consumers need no `cfg`.
+    pub telemetry: lazy_obs::TelemetryReport,
 }
 
 impl<'m> DiagnosisServer<'m> {
@@ -119,6 +124,9 @@ impl<'m> DiagnosisServer<'m> {
     /// to what [`DiagnosisServer::diagnose`] returns for the same job.
     pub fn diagnose_batch<'a>(&self, jobs: &[BatchJob<'a>], cfg: &BatchConfig) -> BatchOutcome {
         let started = Instant::now();
+        let telemetry_baseline = lazy_obs::snapshot();
+        let batch_span = lazy_obs::span!("batch.run");
+        lazy_obs::counter!("batch.jobs_total", jobs.len());
         let workers = cfg.resolved_workers(jobs.len());
         let cache = cfg
             .use_cache
@@ -169,6 +177,13 @@ impl<'m> DiagnosisServer<'m> {
             .iter()
             .filter(|d| matches!(d, Err(DiagnosisError::WorkerPanic { .. })))
             .count();
+        let cache_poison_fallbacks = degradation.cache_poison_fallbacks.load(Ordering::Relaxed);
+        lazy_obs::counter!("batch.jobs_failed", failed_jobs);
+        lazy_obs::counter!("batch.jobs_panicked", panicked_jobs);
+        lazy_obs::counter!("batch.cache_poison_fallbacks", cache_poison_fallbacks);
+        // Close the batch span before the delta snapshot so the report
+        // covers the fan-out span itself.
+        drop(batch_span);
         BatchOutcome {
             diagnoses,
             stats: BatchStats {
@@ -179,8 +194,9 @@ impl<'m> DiagnosisServer<'m> {
                 snapshot_dedup_hits: memo.hits(),
                 failed_jobs,
                 panicked_jobs,
-                cache_poison_fallbacks: degradation.cache_poison_fallbacks.load(Ordering::Relaxed),
+                cache_poison_fallbacks,
             },
+            telemetry: lazy_obs::snapshot().since(&telemetry_baseline),
         }
     }
 
@@ -191,6 +207,7 @@ impl<'m> DiagnosisServer<'m> {
         memo: &SnapshotMemo<'a>,
         degradation: &Degradation,
     ) -> Result<Diagnosis, DiagnosisError> {
+        let _span = lazy_obs::span!("batch.job");
         let started = Instant::now();
         // Decode budget 1 per job: batch-level parallelism already
         // saturates the pool, so per-thread sharding would only add

@@ -156,6 +156,8 @@ pub fn process_snapshot_par(
     snapshot: &TraceSnapshot,
     workers: usize,
 ) -> Result<ProcessedTrace, DiagnosisError> {
+    let _span = lazy_obs::span!("decode.snapshot");
+    lazy_obs::counter!("decode.threads_total", snapshot.threads.len());
     // Every per-thread decode runs inside catch_unwind so a decoder
     // panic surfaces as a typed WorkerPanic instead of unwinding
     // through the scope (which would abort the whole diagnosis, or in
@@ -221,6 +223,7 @@ pub fn process_snapshot_par(
             // snapshot — losing a worker is an internal fault, not a
             // property of one thread's bytes.
             Err(DiagnosisError::Decode(e)) => {
+                lazy_obs::counter!("decode.threads_skipped_total", 1u64);
                 last_err = e;
                 continue;
             }
@@ -253,11 +256,19 @@ pub fn process_snapshot_par(
         }
     }
     if !decoded_any {
+        lazy_obs::counter!("decode.snapshots_rejected_total", 1u64);
         return Err(DiagnosisError::Processing {
             threads: snapshot.threads.len(),
             source: last_err,
         });
     }
+    // Counted here — once per *distinct* processed snapshot — so batch
+    // memo hits do not inflate the totals (telemetry reconciles with the
+    // per-snapshot `event_count` sums exactly when dedup hits are zero).
+    lazy_obs::counter!("decode.snapshots_total", 1u64);
+    lazy_obs::counter!("decode.events_total", event_count);
+    lazy_obs::counter!("decode.resyncs_total", resyncs);
+    lazy_obs::histogram!("decode.snapshot_events", event_count);
     Ok(ProcessedTrace {
         executed,
         instances,

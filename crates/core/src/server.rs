@@ -83,6 +83,12 @@ pub struct PipelineStats {
     pub patterns: usize,
     /// Patterns with the top F1 (step 7).
     pub top_patterns: usize,
+    /// Total decoded events across every trace this diagnosis used
+    /// (failing + retained successful). Batch jobs sharing memoized
+    /// snapshots each count the shared trace's events here, so summing
+    /// across jobs can exceed the decoder's own per-snapshot totals by
+    /// exactly the dedup hits.
+    pub events_total: usize,
     /// Server-side analysis wall time, microseconds (total; the
     /// per-stage fields below sum to roughly this).
     pub analysis_micros: u128,
@@ -282,6 +288,7 @@ impl<'m> DiagnosisServer<'m> {
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
     ) -> Result<Diagnosis, DiagnosisError> {
+        let _span = lazy_obs::span!("diagnose.job");
         let started = Instant::now();
         let (failing_traces, success_traces, executed) = self.prepare(failing, successful)?;
         let decode_micros = started.elapsed().as_micros();
@@ -449,14 +456,19 @@ impl<'m> DiagnosisServer<'m> {
             failure.kind,
             FailureKind::Deadlock { .. } | FailureKind::Hang
         );
+        let rank_span = lazy_obs::span!("rank.candidates");
         let mut cands = select_candidates(self.module, pts, executed, failure.pc, is_deadlock);
         if cands.ranked.len() > self.cfg.max_candidates {
             cands.ranked.truncate(self.cfg.max_candidates);
         }
+        drop(rank_span);
+        lazy_obs::counter!("rank.candidates_total", cands.ranked.len());
+        lazy_obs::counter!("rank.rank1_total", cands.rank1_count());
 
         // Step 6: bug-pattern computation on each failing trace (plus
         // the multi-variable extension for crashes feeding from a
         // variable pair — the paper's §7 future work).
+        let patterns_span = lazy_obs::span!("patterns.compute");
         let ctx = PatternContext::new(self.module, pts, &cands);
         let mut patterns: Vec<BugPattern> = Vec::new();
         for t in failing_traces {
@@ -478,9 +490,12 @@ impl<'m> DiagnosisServer<'m> {
         }
         patterns.sort();
         patterns.dedup();
+        drop(patterns_span);
+        lazy_obs::counter!("patterns.generated_total", patterns.len());
 
         // Step 7: statistical diagnosis (with the §4.3 type ranks as
         // the tie-break).
+        let stats_span = lazy_obs::span!("stats.score");
         let rank_of: std::collections::HashMap<Pc, u32> =
             cands.ranked.iter().map(|r| (r.pc, r.rank)).collect();
         let scores = score_patterns(&patterns, failing_traces, success_traces, &rank_of);
@@ -495,6 +510,8 @@ impl<'m> DiagnosisServer<'m> {
                 .count(),
             None => 0,
         };
+        drop(stats_span);
+        lazy_obs::counter!("stats.patterns_scored_total", scores.len());
 
         // Order the root cause's events by observed time in the first
         // failing trace (never-executed late events sort last).
@@ -531,6 +548,7 @@ impl<'m> DiagnosisServer<'m> {
             rank1_candidates: cands.rank1_count(),
             patterns: patterns.len(),
             top_patterns: if patterns.is_empty() { 0 } else { top_patterns },
+            events_total: all_traces().map(|t| t.event_count).sum(),
             analysis_micros: times.started.elapsed().as_micros(),
             decode_micros: times.decode_micros,
             points_to_micros: times.points_to_micros,
@@ -538,6 +556,7 @@ impl<'m> DiagnosisServer<'m> {
             decode_resyncs: all_traces().map(|t| t.resyncs).sum(),
             cyc_dropped: all_traces().map(|t| t.cyc_dropped).sum(),
         };
+        lazy_obs::histogram!("diagnose.analysis_us", stats.analysis_micros);
         Diagnosis {
             scores,
             stats,
@@ -616,6 +635,7 @@ impl<'a> SnapshotMemo<'a> {
             .iter()
             .find(|(snap, _)| *snap == s)?;
         self.hits.fetch_add(1, Ordering::Relaxed);
+        lazy_obs::counter!("batch.snapshot_dedup_hits_total", 1u64);
         Some(Arc::clone(&found.1))
     }
 

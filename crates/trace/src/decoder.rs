@@ -514,6 +514,8 @@ pub fn decode_thread_trace(
     bytes: &[u8],
     snapshot_time: u64,
 ) -> Result<DecodedTrace, DecodeError> {
+    let _span = lazy_obs::span!("decode.stream");
+    lazy_obs::counter!("decode.stream_bytes_total", bytes.len());
     let mut pdec = PacketDecoder::new(bytes);
     if !pdec.sync_to_psb() {
         return Err(DecodeError::NoSync);
@@ -846,7 +848,11 @@ pub fn decode_thread_trace_sharded(
     if workers <= 1 {
         return decode_thread_trace(index, config, bytes, snapshot_time);
     }
-    let Some(skim) = skim_psb_sections(config, bytes) else {
+    let skimmed = {
+        let _span = lazy_obs::span!("decode.shard.skim");
+        skim_psb_sections(config, bytes)
+    };
+    let Some(skim) = skimmed else {
         return Err(DecodeError::NoSync);
     };
 
@@ -874,6 +880,8 @@ pub fn decode_thread_trace_sharded(
         })
         .collect();
 
+    lazy_obs::counter!("decode.shards_total", shards.len());
+    let _speculate_span = lazy_obs::span!("decode.shard.speculate");
     let outcomes: Vec<ShardOutcome> = if shards.len() == 1 {
         let (r, seed) = &shards[0];
         vec![decode_shard(
@@ -916,9 +924,11 @@ pub fn decode_thread_trace_sharded(
         }
     };
 
+    drop(_speculate_span);
     // Stitch: recompute each shard's head with the true carried state,
     // validate convergence, splice the speculative tail (or redecode
     // the shard sequentially when speculation failed).
+    let _stitch_span = lazy_obs::span!("decode.shard.stitch");
     let mut events: Vec<DecodedEvent> = Vec::new();
     let mut carry = WalkState::INITIAL;
     for ((range, seed), out) in shards.iter().zip(outcomes) {

@@ -176,6 +176,17 @@ const MIN_THREAD_BYTES: usize = 4 + 1 + 7 * 8 + 4;
 /// Returns a [`WireError`] for anything malformed: wrong magic or
 /// version, truncation, field corruption, or checksum mismatch.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
+    let _span = lazy_obs::span!("wire.parse");
+    lazy_obs::counter!("wire.bytes_total", bytes.len());
+    let out = decode_snapshot_inner(bytes);
+    match &out {
+        Ok(_) => lazy_obs::counter!("wire.snapshots_total", 1u64),
+        Err(_) => lazy_obs::counter!("wire.rejects_total", 1u64),
+    }
+    out
+}
+
+fn decode_snapshot_inner(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
     // Reject anything shorter than magic + version + checksum *before*
     // slicing: `bytes[bytes.len() - 4..]` on a 0–3 byte buffer would
     // otherwise panic. `checked_sub` keeps the guard and the slice in

@@ -1,13 +1,32 @@
 #!/usr/bin/env bash
 # CI gate: build, tests, formatting, lints. Run from anywhere.
+#
+#   scripts/ci.sh          the standard gate
+#   scripts/ci.sh --full   additionally runs the heavy sweeps
+#                          (54-bug degradation corpus, --features slow-tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
 
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
+
+# The telemetry-off configuration must stay green: every lazy-obs
+# primitive compiles to a ZST no-op, and the pipeline + obs test suites
+# pass without instrumentation.
+echo "==> cargo test (telemetry off: --no-default-features)"
+cargo test -q --no-default-features
+cargo test -q -p lazy-obs --no-default-features
+
+if [[ "$FULL" == "1" ]]; then
+  echo "==> full lane: 54-bug sweeps (--features slow-tests)"
+  cargo test --release -q --features slow-tests
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -21,11 +40,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 # in non-test code. Deliberately NOT passed as command-line -D flags:
 # those would leak onto every workspace dependency compiled in the same
 # invocation (lazy-ir legitimately uses expect()).
-echo "==> panic-lint gate (lazy-trace, lazy-snorlax)"
-cargo clippy -q -p lazy-trace -p lazy-snorlax --lib -- -D warnings
+echo "==> panic-lint gate (lazy-trace, lazy-snorlax, lazy-obs)"
+cargo clippy -q -p lazy-trace -p lazy-snorlax -p lazy-obs --lib -- -D warnings
 
 echo "==> decode bench smoke (--fast)"
 cargo run --release -q -p lazy-bench --bin decode -- --fast --out /tmp/BENCH_decode_ci.json
+
+# The bench artifact must carry the per-stage telemetry the default
+# build promises: the enabled flag, the embedded telemetry object, and
+# the decoder's own stage span.
+echo "==> BENCH_decode.json telemetry fields"
+for field in '"telemetry_enabled": true' '"telemetry":' '"decode.stream"'; do
+  grep -qF "$field" /tmp/BENCH_decode_ci.json \
+    || { echo "FAIL: bench output missing $field"; exit 1; }
+  grep -qF "$field" BENCH_decode.json \
+    || { echo "FAIL: checked-in BENCH_decode.json missing $field (regenerate: cargo run --release -p lazy-bench --bin decode)"; exit 1; }
+done
 rm -f /tmp/BENCH_decode_ci.json
 
 echo "==> fault-injection smoke (--fast)"

@@ -1,0 +1,82 @@
+//! Golden-report regression: the rendered `Diagnosis` for a fixed set
+//! of corpus bugs must stay byte-identical across refactors.
+//!
+//! The whole pipeline is deterministic for a seeded collection — the VM
+//! schedule, trace encoding, decode (bit-identical at any worker
+//! count), scoped points-to fixpoint, ranking, patterns and scoring all
+//! are — so the report text is a checksum over every stage at once. Any
+//! drift (a reordered pattern, a perturbed score, a changed PC
+//! description) fails the diff below.
+//!
+//! Intentional changes are re-blessed with
+//! `UPDATE_GOLDEN=1 cargo test --test golden` (see EXPERIMENTS.md).
+
+use lazy_diagnosis::snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use std::path::PathBuf;
+
+/// One bug per class/system family, small enough to collect quickly:
+/// two atomicity races, an order violation, a deadlock, and a
+/// multi-variable crash.
+const GOLDEN_BUGS: [&str; 5] = [
+    "mysql-3596",
+    "memcached-127",
+    "sqlite-1672",
+    "pbzip2-na-1",
+    "aget-na-1",
+];
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{id}.txt"))
+}
+
+/// Collects the canonical seeded report for `id` and renders it.
+fn render_report(id: &str) -> String {
+    let s = lazy_workloads::scenario_by_id(id).unwrap_or_else(|| panic!("{id}: not in the corpus"));
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let col = client
+        .collect(0, 1000, 10, 0)
+        .unwrap_or_else(|| panic!("{id}: bug did not manifest from seed 0"));
+    let d = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap_or_else(|e| panic!("{id}: diagnosis failed: {e}"));
+    d.render(&s.module)
+}
+
+#[test]
+fn golden_reports_are_byte_stable() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut drifted = Vec::new();
+    for id in GOLDEN_BUGS {
+        let got = render_report(id);
+        let path = golden_path(id);
+        if update {
+            std::fs::write(&path, &got)
+                .unwrap_or_else(|e| panic!("{id}: cannot write {}: {e}", path.display()));
+            println!("{id}: golden regenerated");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{id}: missing golden file {} ({e}); \
+                 regenerate with UPDATE_GOLDEN=1 cargo test --test golden",
+                path.display()
+            )
+        });
+        if got != want {
+            drifted.push(format!(
+                "{id}: report drifted from {}\n--- golden ---\n{want}\n--- current ---\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "golden reports drifted (if intentional, re-bless with \
+         UPDATE_GOLDEN=1 cargo test --test golden):\n{}",
+        drifted.join("\n")
+    );
+}
