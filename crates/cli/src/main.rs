@@ -13,7 +13,8 @@
 use lazy_ir::{parse_module, printer::render_module};
 use lazy_replay::Recording;
 use lazy_snorlax::{
-    BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DiagnosisServer, ServerConfig,
+    serve, BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DaemonConfig,
+    DiagnosisServer, RemoteClient, ServerConfig,
 };
 use lazy_vm::{Vm, VmConfig};
 use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
@@ -37,7 +38,16 @@ fn usage() -> ExitCode {
                  [--telemetry json|pretty|prom]\n\
                                           collect N failure reports and diagnose them as one batch;\n\
                                           --telemetry prints the batch's per-stage pipeline\n\
-                                          telemetry (spans, counters, histograms)"
+                                          telemetry (spans, counters, histograms)\n\
+           serve <bug-id> [--port N] [--workers N] [--queue-depth N] [--max-conns N]\n\
+                 [--timeout-ms N]\n\
+                                          run snorlaxd: serve diagnosis for the bug's module over\n\
+                                          TCP (port 0 = ephemeral; the bound address is printed)\n\
+           submit <bug-id> --addr HOST:PORT [--reports N] [--seed N]\n\
+                                          collect N failure reports and submit them to a running\n\
+                                          snorlaxd as one batch\n\
+           submit --addr HOST:PORT --health|--shutdown\n\
+                                          probe a running snorlaxd, or drain and stop it"
     );
     ExitCode::from(2)
 }
@@ -409,6 +419,162 @@ fn cmd_diagnose_file(path: &str, first_seed: u64) -> ExitCode {
     }
 }
 
+fn cmd_serve(id: &str, args: &[String]) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let port = opt_u64(args, "--port", 0);
+    let cfg = DaemonConfig {
+        workers: opt_u64(args, "--workers", 0) as usize,
+        queue_depth: opt_u64(args, "--queue-depth", 64) as usize,
+        max_connections: opt_u64(args, "--max-conns", 64) as usize,
+        request_timeout: std::time::Duration::from_millis(opt_u64(args, "--timeout-ms", 30_000)),
+        ..DaemonConfig::default()
+    };
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port as u16)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        // The exact phrasing is load-bearing: scripts/ci.sh greps the
+        // bound address out of this line to find the ephemeral port.
+        Ok(addr) => println!("snorlaxd listening on {addr} (module {})", s.id),
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The accept loop below blocks; make sure the address line is out.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match serve(&listener, &s.module, &cfg) {
+        Ok(stats) => {
+            println!(
+                "snorlaxd drained: {} connections, {} requests, {} busy-rejected, \
+                 {} timeouts, {} corrupt frames",
+                stats.connections,
+                stats.requests,
+                stats.rejected_busy,
+                stats.timeouts,
+                stats.frames_corrupt
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snorlaxd failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(addr) = opt_str(args, "--addr") else {
+        eprintln!("submit needs --addr HOST:PORT (start one with `snorlax serve <bug-id>`)");
+        return ExitCode::from(2);
+    };
+    let mut client = match RemoteClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to snorlaxd at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--health") {
+        return match client.health() {
+            Ok(status) => {
+                println!("{status}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("health probe failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        return match client.shutdown() {
+            Ok(()) => {
+                println!("snorlaxd drained and stopped");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(id) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("submit needs a bug id (or --health / --shutdown)");
+        return ExitCode::from(2);
+    };
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let reports = opt_u64(args, "--reports", 1);
+    let first_seed = opt_u64(args, "--seed", 0);
+    println!("bug: {} — {}", s.id, s.description);
+    // Collection stays local (it *is* the production client); only the
+    // diagnosis crosses the wire.
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collector = CollectionClient::new(&server, VmConfig::default());
+    let mut collections: Vec<CollectionOutcome> = Vec::new();
+    let mut seed = first_seed;
+    while (collections.len() as u64) < reports {
+        let Some(col) = collector.collect(seed, 1000, 10, 0) else {
+            break;
+        };
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        collections.push(col);
+    }
+    if collections.is_empty() {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "collected {} failure reports, submitting to {addr}\n",
+        collections.len()
+    );
+    let jobs: Vec<BatchJob<'_>> = collections
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect();
+    match client.diagnose_batch(&jobs) {
+        Ok(results) => {
+            let mut failed = 0u64;
+            for (i, r) in results.iter().enumerate() {
+                match r {
+                    Ok(report) => {
+                        println!("report {i}:");
+                        print!("{report}");
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        println!("report {i}: failed ({e})");
+                    }
+                }
+            }
+            if failed > 0 {
+                eprintln!("{failed} of {} reports failed remotely", results.len());
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("remote batch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -427,6 +593,8 @@ fn main() -> ExitCode {
         Some("diagnose-file") if args.len() >= 2 => {
             cmd_diagnose_file(&args[1], opt_u64(&args, "--seed", 0))
         }
+        Some("serve") if args.len() >= 2 => cmd_serve(&args[1], &args),
+        Some("submit") => cmd_submit(&args),
         Some("batch") if args.len() >= 2 => cmd_batch(
             &args[1],
             opt_u64(&args, "--reports", 8),

@@ -1,0 +1,1088 @@
+//! `snorlaxd` — the diagnosis daemon.
+//!
+//! The paper's deployment model is client-server: production endpoints
+//! ship trace snapshots to an offline diagnosis site (§3, §5). This
+//! module is that site's front door — a std-only TCP daemon (threads +
+//! [`TcpListener`], zero dependencies, like the rest of the repo) that
+//! serves [`DiagnosisServer`] over a length-prefixed framed protocol
+//! wrapping the existing checksummed snapshot wire format
+//! (`lazy_trace::wire`).
+//!
+//! ## Frame layout
+//!
+//! Every message in either direction is one frame (integers
+//! little-endian):
+//!
+//! ```text
+//! magic "SNRF" | kind u8 | payload_len u32 | payload | fnv1a32
+//! ```
+//!
+//! where the trailing checksum covers everything before it. The
+//! declared length is clamped against [`MAX_FRAME_PAYLOAD`] *before*
+//! any allocation — the same clamp-before-allocate hardening the
+//! snapshot wire format applies to its attacker-controlled lengths.
+//! Request payloads (`Diagnose`, `Batch`) embed snapshots in their
+//! `LZTR` wire form, so a snapshot corrupted in transit is caught by
+//! its own checksum even when the frame around it survives.
+//!
+//! ## Robustness contract
+//!
+//! * **Backpressure** — admission is a bounded queue
+//!   ([`DaemonConfig::queue_depth`]); a request that would exceed it is
+//!   rejected immediately with a typed [`FrameKind::Busy`] response,
+//!   never queued unboundedly. The connection count is bounded the same
+//!   way ([`DaemonConfig::max_connections`]).
+//! * **Deadlines** — each admitted request has
+//!   [`DaemonConfig::request_timeout`] to complete; past it the client
+//!   gets a typed error response and the worker's eventual result is
+//!   discarded.
+//! * **Error isolation** — a frame whose checksum fails is consumed in
+//!   full (the stream stays in sync), answered with an error response,
+//!   and the connection *continues*; a request whose inner snapshot is
+//!   corrupt fails with that request's typed error alone. Only frames
+//!   that desynchronize the stream (bad magic, truncation, oversized
+//!   length) close the connection — and only that connection.
+//! * **Graceful drain** — a `Shutdown` frame stops admission, lets
+//!   queued and in-flight jobs finish, and acks only once the daemon is
+//!   idle; [`serve`] then returns.
+
+use crate::batch::{BatchConfig, BatchJob};
+use crate::error::DiagnosisError;
+use crate::server::{DiagnosisServer, ServerConfig};
+use lazy_ir::{Module, Pc};
+use lazy_trace::wire::{fnv1a32, fnv1a32_with};
+use lazy_trace::{decode_snapshot, encode_snapshot, TraceSnapshot};
+use lazy_vm::{DeadlockParty, Failure, FailureKind};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Leading bytes of every frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"SNRF";
+
+/// Hard cap on a frame's declared payload length; anything larger is
+/// rejected before a single byte of it is allocated or read.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// magic + kind + payload_len.
+const HEADER_LEN: usize = 4 + 1 + 4;
+
+/// How often blocked connection reads wake up to check for drain.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Frame discriminants. Requests are low, responses high, so a peer
+/// echoing a request back is caught as a protocol error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Request: diagnose one failure report.
+    Diagnose = 0,
+    /// Request: diagnose a batch of failure reports.
+    Batch = 1,
+    /// Request: liveness / load probe.
+    Health = 2,
+    /// Request: drain in-flight work, then stop serving.
+    Shutdown = 3,
+    /// Response: the rendered diagnosis report (UTF-8).
+    Report = 16,
+    /// Response: per-job reports for a batch request.
+    BatchReport = 17,
+    /// Response: this request failed; payload is the error text.
+    Error = 18,
+    /// Response: rejected by admission control; retry later.
+    Busy = 19,
+    /// Response: health probe answer (UTF-8 status line).
+    HealthOk = 20,
+    /// Response: drain complete, the daemon is exiting.
+    ShutdownAck = 21,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Result<FrameKind, FrameError> {
+        Ok(match b {
+            0 => FrameKind::Diagnose,
+            1 => FrameKind::Batch,
+            2 => FrameKind::Health,
+            3 => FrameKind::Shutdown,
+            16 => FrameKind::Report,
+            17 => FrameKind::BatchReport,
+            18 => FrameKind::Error,
+            19 => FrameKind::Busy,
+            20 => FrameKind::HealthOk,
+            21 => FrameKind::ShutdownAck,
+            other => return Err(FrameError::BadKind(other)),
+        })
+    }
+}
+
+/// A failure of the framed transport layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not begin with the frame magic.
+    BadMagic,
+    /// The frame kind discriminant is unknown (frame fully consumed —
+    /// the stream is still in sync).
+    BadKind(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge(u32),
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The frame checksum does not match (frame fully consumed — the
+    /// stream is still in sync).
+    BadChecksum,
+    /// A request or response payload is structurally malformed.
+    BadPayload(&'static str),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A read deadline elapsed at a frame boundary.
+    TimedOut,
+    /// Socket I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not a snorlaxd frame (bad magic)"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TimedOut => write!(f, "read timed out"),
+            FrameError::Io(e) => write!(f, "socket i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn io_error(e: &std::io::Error) -> FrameError {
+    match e.kind() {
+        ErrorKind::UnexpectedEof => FrameError::Truncated,
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => FrameError::TimedOut,
+        _ => FrameError::Io(e.to_string()),
+    }
+}
+
+/// Encodes one frame: header, payload, trailing checksum.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(FRAME_MAGIC);
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a32(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| io_error(&e))
+}
+
+/// Reads one frame, validating checksum before interpreting the kind —
+/// so recoverable rejections ([`FrameError::BadChecksum`],
+/// [`FrameError::BadKind`]) always leave the stream positioned at the
+/// next frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameKind, Vec<u8>), FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // The first byte read distinguishes a clean close (EOF at a frame
+    // boundary) and an idle-poll timeout from mid-frame truncation.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(io_error(&e)),
+    }
+    read_exact(r, &mut header[1..])?;
+    if &header[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let declared = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    let len = declared as usize;
+    // Clamp before the payload Vec exists: a corrupt length field must
+    // not drive a giant allocation.
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge(declared));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact(r, &mut payload)?;
+    let mut trailer = [0u8; 4];
+    read_exact(r, &mut trailer)?;
+    let expect = u32::from_le_bytes(trailer);
+    if fnv1a32_with(fnv1a32(&header), &payload) != expect {
+        return Err(FrameError::BadChecksum);
+    }
+    let kind = FrameKind::from_u8(header[4])?;
+    Ok((kind, payload))
+}
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&encode_frame(kind, payload))
+        .map_err(|e| io_error(&e))
+}
+
+// ---------------------------------------------------------------------
+// Request/response payload codec.
+
+/// One decoded diagnosis request: the failure plus its snapshots, owned
+/// (they arrived over a socket).
+#[derive(Clone, Debug)]
+pub struct DiagnoseRequest {
+    /// The failure the client observed.
+    pub failure: Failure,
+    /// Snapshots from failing executions.
+    pub failing: Vec<TraceSnapshot>,
+    /// Snapshots from successful executions at the failure breakpoint.
+    pub successful: Vec<TraceSnapshot>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        // Declared lengths are attacker-controlled: compare against the
+        // remainder, never compute `pos + n`.
+        if n > self.remaining() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+fn kind_code(kind: &FailureKind) -> (u8, u64) {
+    match kind {
+        FailureKind::NullDeref { addr } => (0, *addr),
+        FailureKind::UseAfterFree { addr } => (1, *addr),
+        FailureKind::WildAccess { addr } => (2, *addr),
+        FailureKind::BadFree { addr } => (3, *addr),
+        FailureKind::DivByZero => (4, 0),
+        FailureKind::StackOverflow => (5, 0),
+        FailureKind::AssertFailed { .. } => (6, 0),
+        FailureKind::BadUnlock { addr } => (7, *addr),
+        FailureKind::BadIndirectCall { target } => (8, *target),
+        FailureKind::Deadlock { .. } => (9, 0),
+        FailureKind::Hang => (10, 0),
+        FailureKind::Timeout => (11, 0),
+    }
+}
+
+fn encode_failure(out: &mut Vec<u8>, failure: &Failure) {
+    let (code, addr) = kind_code(&failure.kind);
+    out.push(code);
+    out.extend_from_slice(&failure.pc.0.to_le_bytes());
+    out.extend_from_slice(&failure.tid.to_le_bytes());
+    out.extend_from_slice(&failure.at_ns.to_le_bytes());
+    out.extend_from_slice(&addr.to_le_bytes());
+    match &failure.kind {
+        FailureKind::AssertFailed { msg } => {
+            out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            out.extend_from_slice(msg.as_bytes());
+        }
+        FailureKind::Deadlock { parties } => {
+            out.extend_from_slice(&(parties.len() as u32).to_le_bytes());
+            for p in parties {
+                out.extend_from_slice(&p.tid.to_le_bytes());
+                out.extend_from_slice(&p.pc.0.to_le_bytes());
+                out.extend_from_slice(&p.mutex_addr.to_le_bytes());
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One encoded deadlock party: tid + pc + mutex address.
+const PARTY_BYTES: usize = 4 + 8 + 8;
+
+fn decode_failure(c: &mut Cursor<'_>) -> Result<Failure, FrameError> {
+    let code = c.u8()?;
+    let pc = Pc(c.u64()?);
+    let tid = c.u32()?;
+    let at_ns = c.u64()?;
+    let addr = c.u64()?;
+    let kind = match code {
+        0 => FailureKind::NullDeref { addr },
+        1 => FailureKind::UseAfterFree { addr },
+        2 => FailureKind::WildAccess { addr },
+        3 => FailureKind::BadFree { addr },
+        4 => FailureKind::DivByZero,
+        5 => FailureKind::StackOverflow,
+        6 => {
+            let len = c.u32()? as usize;
+            let msg = String::from_utf8(c.take(len)?.to_vec())
+                .map_err(|_| FrameError::BadPayload("assert message utf-8"))?;
+            FailureKind::AssertFailed { msg }
+        }
+        7 => FailureKind::BadUnlock { addr },
+        8 => FailureKind::BadIndirectCall { target: addr },
+        9 => {
+            let n = c.u32()? as usize;
+            if n > c.remaining() / PARTY_BYTES {
+                return Err(FrameError::BadPayload("deadlock party count"));
+            }
+            let mut parties = Vec::with_capacity(n);
+            for _ in 0..n {
+                parties.push(DeadlockParty {
+                    tid: c.u32()?,
+                    pc: Pc(c.u64()?),
+                    mutex_addr: c.u64()?,
+                });
+            }
+            FailureKind::Deadlock { parties }
+        }
+        10 => FailureKind::Hang,
+        11 => FailureKind::Timeout,
+        _ => return Err(FrameError::BadPayload("failure kind")),
+    };
+    Ok(Failure {
+        kind,
+        pc,
+        tid,
+        at_ns,
+    })
+}
+
+fn encode_snapshots(out: &mut Vec<u8>, snaps: &[TraceSnapshot]) {
+    out.extend_from_slice(&(snaps.len() as u32).to_le_bytes());
+    for s in snaps {
+        let wire = encode_snapshot(s);
+        out.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire);
+    }
+}
+
+fn decode_snapshots(c: &mut Cursor<'_>) -> Result<Vec<TraceSnapshot>, DiagnosisError> {
+    let n = c.u32().map_err(DiagnosisError::Frame)? as usize;
+    // Each snapshot record carries at least its length word: clamp the
+    // declared count before sizing anything by it.
+    if n > c.remaining() / 4 {
+        return Err(DiagnosisError::Frame(FrameError::BadPayload(
+            "snapshot count",
+        )));
+    }
+    let mut snaps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32().map_err(DiagnosisError::Frame)? as usize;
+        let wire = c.take(len).map_err(DiagnosisError::Frame)?;
+        // The embedded `LZTR` encoding is self-validating; corruption
+        // that survived the frame checksum is caught here as a typed
+        // wire error for *this* request alone.
+        snaps.push(decode_snapshot(wire)?);
+    }
+    Ok(snaps)
+}
+
+/// Encodes a [`FrameKind::Diagnose`] request payload.
+pub fn encode_diagnose_request(
+    failure: &Failure,
+    failing: &[TraceSnapshot],
+    successful: &[TraceSnapshot],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_failure(&mut out, failure);
+    encode_snapshots(&mut out, failing);
+    encode_snapshots(&mut out, successful);
+    out
+}
+
+/// Decodes a [`FrameKind::Diagnose`] request payload.
+pub fn decode_diagnose_request(payload: &[u8]) -> Result<DiagnoseRequest, DiagnosisError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let req = decode_diagnose_cursor(&mut c)?;
+    if c.remaining() != 0 {
+        return Err(DiagnosisError::Frame(FrameError::BadPayload(
+            "trailing bytes",
+        )));
+    }
+    Ok(req)
+}
+
+fn decode_diagnose_cursor(c: &mut Cursor<'_>) -> Result<DiagnoseRequest, DiagnosisError> {
+    let failure = decode_failure(c).map_err(DiagnosisError::Frame)?;
+    let failing = decode_snapshots(c)?;
+    let successful = decode_snapshots(c)?;
+    Ok(DiagnoseRequest {
+        failure,
+        failing,
+        successful,
+    })
+}
+
+/// Encodes a [`FrameKind::Batch`] request payload from borrowed jobs.
+pub fn encode_batch_request(jobs: &[BatchJob<'_>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+    for j in jobs {
+        let body = encode_diagnose_request(j.failure, j.failing, j.successful);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::Batch`] request payload.
+pub fn decode_batch_request(payload: &[u8]) -> Result<Vec<DiagnoseRequest>, DiagnosisError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let n = c.u32().map_err(DiagnosisError::Frame)? as usize;
+    if n > c.remaining() / 4 {
+        return Err(DiagnosisError::Frame(FrameError::BadPayload("job count")));
+    }
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32().map_err(DiagnosisError::Frame)? as usize;
+        let body = c.take(len).map_err(DiagnosisError::Frame)?;
+        jobs.push(decode_diagnose_request(body)?);
+    }
+    if c.remaining() != 0 {
+        return Err(DiagnosisError::Frame(FrameError::BadPayload(
+            "trailing bytes",
+        )));
+    }
+    Ok(jobs)
+}
+
+/// Encodes a [`FrameKind::BatchReport`] payload: per job, an ok flag
+/// plus either the rendered report or the error text.
+pub fn encode_batch_report(results: &[Result<String, String>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for r in results {
+        let (ok, text) = match r {
+            Ok(t) => (1u8, t.as_str()),
+            Err(t) => (0u8, t.as_str()),
+        };
+        out.push(ok);
+        out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::BatchReport`] payload into per-job results;
+/// a failed job surfaces as [`DiagnosisError::Remote`] carrying the
+/// server's error text.
+pub fn decode_batch_report(
+    payload: &[u8],
+) -> Result<Vec<Result<String, DiagnosisError>>, FrameError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let n = c.u32()? as usize;
+    // Each record is at least flag + length word.
+    if n > c.remaining() / 5 {
+        return Err(FrameError::BadPayload("batch report count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ok = c.u8()?;
+        let len = c.u32()? as usize;
+        let text = String::from_utf8(c.take(len)?.to_vec())
+            .map_err(|_| FrameError::BadPayload("report utf-8"))?;
+        out.push(match ok {
+            1 => Ok(text),
+            0 => Err(DiagnosisError::Remote { detail: text }),
+            _ => return Err(FrameError::BadPayload("ok flag")),
+        });
+    }
+    if c.remaining() != 0 {
+        return Err(FrameError::BadPayload("trailing bytes"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The daemon.
+
+/// `snorlaxd` runtime knobs.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Diagnosis worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Admission bound: maximum requests queued or in flight; a request
+    /// beyond it gets [`FrameKind::Busy`] instead of queueing.
+    pub queue_depth: usize,
+    /// Maximum concurrently served connections; excess connections are
+    /// answered [`FrameKind::Busy`] and closed at accept.
+    pub max_connections: usize,
+    /// Deadline for an admitted request to complete; past it the client
+    /// receives a typed error and the result is discarded.
+    pub request_timeout: Duration,
+    /// Batch execution knobs for [`FrameKind::Batch`] requests.
+    pub batch: BatchConfig,
+    /// Per-worker diagnosis server configuration.
+    pub server: ServerConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            workers: 0,
+            queue_depth: 64,
+            max_connections: 64,
+            request_timeout: Duration::from_secs(30),
+            batch: BatchConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// What one [`serve`] run did, returned once the daemon drains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Requests admitted past backpressure.
+    pub requests: u64,
+    /// Requests (or connections) rejected with `Busy`.
+    pub rejected_busy: u64,
+    /// Admitted requests that missed their deadline.
+    pub timeouts: u64,
+    /// Frames rejected by the transport layer (checksum, magic, kind,
+    /// length, truncation).
+    pub frames_corrupt: u64,
+}
+
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<(FrameKind, Vec<u8>)>,
+}
+
+enum Request {
+    Diagnose(DiagnoseRequest),
+    Batch(Vec<DiagnoseRequest>),
+}
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    conns: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    rejected_busy: AtomicU64,
+    timeouts: AtomicU64,
+    frames_corrupt: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn idle(&self) -> bool {
+        self.lock_queue().is_empty() && self.inflight.load(Ordering::Acquire) == 0
+    }
+
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            connections: self.connections.load(Ordering::Acquire),
+            requests: self.requests.load(Ordering::Acquire),
+            rejected_busy: self.rejected_busy.load(Ordering::Acquire),
+            timeouts: self.timeouts.load(Ordering::Acquire),
+            frames_corrupt: self.frames_corrupt.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Serves diagnosis for `module` on `listener` until a `Shutdown`
+/// frame drains it. Blocking: the caller's thread runs the accept loop
+/// while scoped worker and connection threads ride along.
+///
+/// # Errors
+///
+/// Returns [`DiagnosisError::Frame`] if the listener's local address
+/// cannot be resolved (needed for the shutdown self-wake).
+pub fn serve(
+    listener: &TcpListener,
+    module: &Module,
+    cfg: &DaemonConfig,
+) -> Result<DaemonStats, DiagnosisError> {
+    let local = listener
+        .local_addr()
+        .map_err(|e| DiagnosisError::Frame(FrameError::Io(e.to_string())))?;
+    let shared = Shared::default();
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.workers
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker(&shared, module, cfg));
+        }
+        loop {
+            let stream = match listener.accept() {
+                Ok((s, _peer)) => s,
+                Err(_) => {
+                    if shared.draining.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if shared.draining.load(Ordering::Acquire) {
+                // The shutdown self-wake (or a late client): stop
+                // accepting; the drop closes the socket.
+                break;
+            }
+            if shared.conns.load(Ordering::Acquire) >= cfg.max_connections {
+                shared.rejected_busy.fetch_add(1, Ordering::AcqRel);
+                lazy_obs::counter!("daemon.rejected_busy_total", 1u64);
+                let mut stream = stream;
+                let _ = write_frame(&mut stream, FrameKind::Busy, b"");
+                continue;
+            }
+            shared.conns.fetch_add(1, Ordering::AcqRel);
+            shared.connections.fetch_add(1, Ordering::AcqRel);
+            lazy_obs::counter!("daemon.accepted_total", 1u64);
+            let shared = &shared;
+            scope.spawn(move || {
+                handle_conn(stream, shared, cfg, local);
+                shared.conns.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        // Wake any worker still parked on the condvar.
+        shared.available.notify_all();
+    });
+    Ok(shared.stats())
+}
+
+fn worker(shared: &Shared, module: &Module, cfg: &DaemonConfig) {
+    let server = DiagnosisServer::new(module, cfg.server.clone());
+    loop {
+        let job = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    // Flip queued → in-flight while still holding the
+                    // queue lock, so the drain check (`queue empty AND
+                    // nothing in flight`) can never observe the job in
+                    // neither state.
+                    shared.inflight.fetch_add(1, Ordering::AcqRel);
+                    break Some(j);
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { break };
+        lazy_obs::histogram!("daemon.inflight", shared.inflight.load(Ordering::Acquire));
+        let reply = {
+            let _span = lazy_obs::span!("daemon.request");
+            catch_unwind(AssertUnwindSafe(|| {
+                process(&server, module, cfg, job.request)
+            }))
+            .unwrap_or_else(|p| {
+                let e = DiagnosisError::from_panic("daemon", p);
+                (FrameKind::Error, e.to_string().into_bytes())
+            })
+        };
+        // The connection may have timed out and hung up; its loss, not
+        // ours.
+        let _ = job.reply.send(reply);
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn process(
+    server: &DiagnosisServer<'_>,
+    module: &Module,
+    cfg: &DaemonConfig,
+    request: Request,
+) -> (FrameKind, Vec<u8>) {
+    match request {
+        Request::Diagnose(r) => match server.diagnose(&r.failure, &r.failing, &r.successful) {
+            Ok(d) => (FrameKind::Report, d.render(module).into_bytes()),
+            Err(e) => (FrameKind::Error, e.to_string().into_bytes()),
+        },
+        Request::Batch(reqs) => {
+            let jobs: Vec<BatchJob<'_>> = reqs
+                .iter()
+                .map(|r| BatchJob {
+                    failure: &r.failure,
+                    failing: &r.failing,
+                    successful: &r.successful,
+                })
+                .collect();
+            let out = server.diagnose_batch(&jobs, &cfg.batch);
+            let results: Vec<Result<String, String>> = out
+                .diagnoses
+                .iter()
+                .map(|d| match d {
+                    Ok(d) => Ok(d.render(module)),
+                    Err(e) => Err(e.to_string()),
+                })
+                .collect();
+            (FrameKind::BatchReport, encode_batch_report(&results))
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig, local: SocketAddr) {
+    // A finite read timeout doubles as the drain poll: a connection
+    // blocked on an idle peer notices `draining` within one interval.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame(&mut stream) {
+            Ok((FrameKind::Health, _)) => {
+                let status = format!(
+                    "ok queued={} inflight={} accepted={}",
+                    shared.lock_queue().len(),
+                    shared.inflight.load(Ordering::Acquire),
+                    shared.connections.load(Ordering::Acquire),
+                );
+                if write_frame(&mut stream, FrameKind::HealthOk, status.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Ok((FrameKind::Shutdown, _)) => {
+                shared.draining.store(true, Ordering::Release);
+                shared.available.notify_all();
+                // Unblock the accept loop so `serve` can observe the
+                // drain flag and return.
+                let _ = TcpStream::connect(local);
+                while !shared.idle() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let _ = write_frame(&mut stream, FrameKind::ShutdownAck, b"");
+                return;
+            }
+            Ok((kind @ (FrameKind::Diagnose | FrameKind::Batch), payload)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    shared.rejected_busy.fetch_add(1, Ordering::AcqRel);
+                    lazy_obs::counter!("daemon.rejected_busy_total", 1u64);
+                    if write_frame(&mut stream, FrameKind::Busy, b"").is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                // Bounded admission: reject rather than queue past the
+                // bound. The worker flips queued → in-flight under the
+                // queue lock, so `len + inflight` cannot double-count.
+                let pending = shared.lock_queue().len() + shared.inflight.load(Ordering::Acquire);
+                if pending >= cfg.queue_depth {
+                    shared.rejected_busy.fetch_add(1, Ordering::AcqRel);
+                    lazy_obs::counter!("daemon.rejected_busy_total", 1u64);
+                    if write_frame(&mut stream, FrameKind::Busy, b"").is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let request = match kind {
+                    FrameKind::Diagnose => decode_diagnose_request(&payload).map(Request::Diagnose),
+                    _ => decode_batch_request(&payload).map(Request::Batch),
+                };
+                let request = match request {
+                    Ok(r) => r,
+                    // A malformed or corrupt request payload fails this
+                    // request alone; the connection continues.
+                    Err(e) => {
+                        if write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes())
+                            .is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                shared.requests.fetch_add(1, Ordering::AcqRel);
+                lazy_obs::counter!("daemon.requests_total", 1u64);
+                let (tx, rx) = mpsc::channel();
+                {
+                    let mut q = shared.lock_queue();
+                    q.push_back(Job { request, reply: tx });
+                }
+                shared.available.notify_one();
+                let reply = match rx.recv_timeout(cfg.request_timeout) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        shared.timeouts.fetch_add(1, Ordering::AcqRel);
+                        lazy_obs::counter!("daemon.timeouts_total", 1u64);
+                        (
+                            FrameKind::Error,
+                            format!(
+                                "deadline exceeded ({} ms); request abandoned",
+                                cfg.request_timeout.as_millis()
+                            )
+                            .into_bytes(),
+                        )
+                    }
+                };
+                if write_frame(&mut stream, reply.0, &reply.1).is_err() {
+                    return;
+                }
+            }
+            Ok((kind, _)) => {
+                // A response kind arriving at the server: protocol
+                // misuse, but the frame was whole — answer and carry on.
+                let msg = format!("unexpected frame kind {kind:?} in a request stream");
+                if write_frame(&mut stream, FrameKind::Error, msg.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TimedOut) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(e @ (FrameError::BadChecksum | FrameError::BadKind(_))) => {
+                // The frame was consumed in full; the stream is still
+                // at a frame boundary. Fail the request, keep the
+                // connection.
+                shared.frames_corrupt.fetch_add(1, Ordering::AcqRel);
+                lazy_obs::counter!("daemon.frames_corrupt_total", 1u64);
+                if write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Bad magic, truncation, oversize, raw I/O failure: the
+                // stream position is no longer trustworthy. Close this
+                // connection; every other connection is unaffected.
+                shared.frames_corrupt.fetch_add(1, Ordering::AcqRel);
+                lazy_obs::counter!("daemon.frames_corrupt_total", 1u64);
+                let _ = write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazy_trace::driver::{SnapshotTrigger, ThreadTrace};
+    use lazy_trace::stats::TraceStats;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                bytes: vec![1, 2, 3],
+                stats: TraceStats::default(),
+                wrapped: false,
+            }],
+            taken_at: 42,
+            trigger_tid: 1,
+            trigger_pc: 0x40_0000,
+            trigger: SnapshotTrigger::Failure,
+        }
+    }
+
+    fn sample_failure() -> Failure {
+        Failure {
+            kind: FailureKind::UseAfterFree { addr: 0x2000_0010 },
+            pc: Pc(0x40_0004),
+            tid: 3,
+            at_ns: 12345,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(FrameKind::Diagnose, b"hello");
+        let (kind, payload) = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Diagnose);
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn frame_checksum_flip_is_detected() {
+        let mut frame = encode_frame(FrameKind::Batch, b"payload-bytes");
+        let mid = HEADER_LEN + 4;
+        frame[mid] ^= 0x20;
+        assert_eq!(
+            read_frame(&mut frame.as_slice()),
+            Err(FrameError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn frame_bad_magic_and_truncation() {
+        let mut frame = encode_frame(FrameKind::Health, b"");
+        frame[0] = b'X';
+        assert_eq!(read_frame(&mut frame.as_slice()), Err(FrameError::BadMagic));
+        let frame = encode_frame(FrameKind::Health, b"abc");
+        for cut in 1..frame.len() {
+            let err = read_frame(&mut &frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated | FrameError::BadChecksum),
+                "cut {cut}: {err}"
+            );
+        }
+        assert_eq!(read_frame(&mut &frame[..0]), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn frame_oversized_length_rejected_before_allocation() {
+        let mut frame = encode_frame(FrameKind::Diagnose, b"x");
+        frame[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut frame.as_slice()),
+            Err(FrameError::TooLarge(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn frame_unknown_kind_is_recoverable() {
+        // Build a frame with kind 99 and a correct checksum: the reader
+        // must consume it fully and report BadKind (stream in sync).
+        let mut frame = encode_frame(FrameKind::Diagnose, b"zz");
+        frame[4] = 99;
+        let n = frame.len();
+        let sum = fnv1a32(&frame[..n - 4]);
+        frame[n - 4..].copy_from_slice(&sum.to_le_bytes());
+        let mut stream = frame.clone();
+        stream.extend_from_slice(&encode_frame(FrameKind::Health, b""));
+        let mut r = stream.as_slice();
+        assert_eq!(read_frame(&mut r), Err(FrameError::BadKind(99)));
+        // The next frame parses cleanly from the same stream.
+        assert_eq!(read_frame(&mut r).unwrap().0, FrameKind::Health);
+    }
+
+    #[test]
+    fn diagnose_request_roundtrip() {
+        let failure = sample_failure();
+        let snaps = vec![sample_snapshot(), sample_snapshot()];
+        let payload = encode_diagnose_request(&failure, &snaps, &snaps[..1]);
+        let req = decode_diagnose_request(&payload).unwrap();
+        assert_eq!(req.failure, failure);
+        assert_eq!(req.failing.len(), 2);
+        assert_eq!(req.successful.len(), 1);
+        assert_eq!(req.failing[0].threads[0].bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn failure_kinds_roundtrip() {
+        let kinds = [
+            FailureKind::NullDeref { addr: 7 },
+            FailureKind::DivByZero,
+            FailureKind::StackOverflow,
+            FailureKind::AssertFailed {
+                msg: "x > 0".into(),
+            },
+            FailureKind::BadUnlock { addr: 0x99 },
+            FailureKind::BadIndirectCall { target: 0xdead },
+            FailureKind::Deadlock {
+                parties: vec![
+                    DeadlockParty {
+                        tid: 1,
+                        pc: Pc(10),
+                        mutex_addr: 0x100,
+                    },
+                    DeadlockParty {
+                        tid: 2,
+                        pc: Pc(20),
+                        mutex_addr: 0x200,
+                    },
+                ],
+            },
+            FailureKind::Hang,
+            FailureKind::Timeout,
+        ];
+        for kind in kinds {
+            let f = Failure {
+                kind,
+                pc: Pc(0x10),
+                tid: 9,
+                at_ns: 1,
+            };
+            let payload = encode_diagnose_request(&f, &[], &[]);
+            let back = decode_diagnose_request(&payload).unwrap();
+            assert_eq!(back.failure, f);
+        }
+    }
+
+    #[test]
+    fn batch_report_roundtrip() {
+        let results = vec![
+            Ok("report one".to_string()),
+            Err("decode failed".to_string()),
+        ];
+        let payload = encode_batch_report(&results);
+        let back = decode_batch_report(&payload).unwrap();
+        assert_eq!(back[0], Ok("report one".to_string()));
+        assert_eq!(
+            back[1],
+            Err(DiagnosisError::Remote {
+                detail: "decode failed".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_inner_snapshot_is_a_typed_wire_error() {
+        let failure = sample_failure();
+        let snaps = vec![sample_snapshot()];
+        let mut payload = encode_diagnose_request(&failure, &snaps, &[]);
+        // Flip a byte inside the embedded LZTR body (past the failure
+        // record and the two count/length words).
+        let n = payload.len();
+        payload[n - 10] ^= 0x40;
+        match decode_diagnose_request(&payload) {
+            Err(DiagnosisError::Wire(_)) => {}
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflated_counts_are_rejected_before_allocation() {
+        let mut payload = encode_diagnose_request(&sample_failure(), &[], &[]);
+        // failing-count word sits right after the failure record.
+        let off = payload.len() - 8;
+        payload[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_diagnose_request(&payload).is_err());
+        let mut batch = encode_batch_request(&[]);
+        batch[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch_request(&batch).is_err());
+    }
+}

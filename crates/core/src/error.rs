@@ -15,6 +15,7 @@
 //! job never fails the batch, which reports per-job
 //! `Ok`/`Err(DiagnosisError)` plus degradation counters.
 
+use crate::daemon::FrameError;
 use lazy_trace::decoder::DecodeError;
 use lazy_trace::wire::WireError;
 use std::fmt;
@@ -50,6 +51,16 @@ pub enum DiagnosisError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// The daemon's framed transport rejected a frame or payload (bad
+    /// magic, kind, length, checksum, truncation, or socket I/O).
+    Frame(FrameError),
+    /// The remote diagnosis daemon reported a failure for this request:
+    /// a typed error response, an admission (`Busy`) rejection, or a
+    /// deadline timeout. `detail` is the server's message.
+    Remote {
+        /// The server's error text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DiagnosisError {
@@ -69,6 +80,10 @@ impl fmt::Display for DiagnosisError {
             DiagnosisError::WorkerPanic { stage, detail } => {
                 write!(f, "{stage} worker panicked: {detail}")
             }
+            DiagnosisError::Frame(e) => write!(f, "frame transport failed: {e}"),
+            DiagnosisError::Remote { detail } => {
+                write!(f, "remote diagnosis failed: {detail}")
+            }
         }
     }
 }
@@ -78,6 +93,7 @@ impl std::error::Error for DiagnosisError {
         match self {
             DiagnosisError::Wire(e) => Some(e),
             DiagnosisError::Decode(e) | DiagnosisError::Processing { source: e, .. } => Some(e),
+            DiagnosisError::Frame(e) => Some(e),
             _ => None,
         }
     }
@@ -92,6 +108,12 @@ impl From<WireError> for DiagnosisError {
 impl From<DecodeError> for DiagnosisError {
     fn from(e: DecodeError) -> Self {
         DiagnosisError::Decode(e)
+    }
+}
+
+impl From<FrameError> for DiagnosisError {
+    fn from(e: FrameError) -> Self {
+        DiagnosisError::Frame(e)
     }
 }
 

@@ -47,10 +47,12 @@ pub mod accuracy;
 pub mod batch;
 pub mod candidates;
 pub mod client;
+pub mod daemon;
 pub mod error;
 pub mod multivar;
 pub mod patterns;
 pub mod processing;
+pub mod remote;
 pub mod server;
 pub mod statistics;
 
@@ -58,9 +60,11 @@ pub use accuracy::{kendall_tau_distance, ordering_accuracy};
 pub use batch::{BatchConfig, BatchJob, BatchOutcome, BatchStats};
 pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
+pub use daemon::{serve, DaemonConfig, DaemonStats, FrameError, FrameKind};
 pub use error::DiagnosisError;
 pub use multivar::multivar_patterns;
 pub use patterns::{AtomKind, BugPattern, DeadlockEdge, PatternEvent};
 pub use processing::{process_snapshot, DynInstance, ProcessedTrace};
+pub use remote::RemoteClient;
 pub use server::{Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
 pub use statistics::{score_patterns, PatternScore};

@@ -185,6 +185,7 @@ mod tests {
             event_count: 0,
             resyncs: 0,
             cyc_dropped: 0,
+            mtc_dups: 0,
         }
     }
 

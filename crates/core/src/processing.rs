@@ -71,6 +71,10 @@ pub struct ProcessedTrace {
     /// `CYC` deltas dropped for want of a time anchor, summed across
     /// threads (diagnostic: time silently lost at wrapped-buffer heads).
     pub cyc_dropped: u64,
+    /// Duplicated `MTC` coarse-counter bytes ignored during decode,
+    /// summed across threads (diagnostic: repeated packets after
+    /// corruption or a PSB splice).
+    pub mtc_dups: u64,
 }
 
 impl ProcessedTrace {
@@ -212,6 +216,7 @@ pub fn process_snapshot_par(
     let mut event_count = 0usize;
     let mut resyncs = 0u32;
     let mut cyc_dropped = 0u64;
+    let mut mtc_dups = 0u64;
     let mut decoded_any = false;
     let mut last_err = DecodeError::NoSync;
 
@@ -232,6 +237,7 @@ pub fn process_snapshot_par(
         decoded_any = true;
         resyncs += trace.resyncs;
         cyc_dropped += trace.cyc_dropped;
+        mtc_dups += trace.mtc_dups;
         event_count += trace.events.len();
         // Count per (pc, tid) so the cap keeps the most recent.
         let mut per_pc_counts: HashMap<Pc, usize> = HashMap::new();
@@ -279,6 +285,7 @@ pub fn process_snapshot_par(
         event_count,
         resyncs,
         cyc_dropped,
+        mtc_dups,
     })
 }
 

@@ -1,0 +1,155 @@
+//! Client side of the `snorlaxd` protocol.
+//!
+//! A [`RemoteClient`] plays the production endpoint of the paper's
+//! deployment model: it holds one TCP connection to a
+//! [`serve`](crate::daemon::serve)-ing daemon and submits failure
+//! reports — single or batched — receiving the server's rendered
+//! diagnosis reports back. Framing, payload encoding and the typed
+//! error mapping live in [`crate::daemon`]; this module owns only the
+//! connection and the request/response choreography.
+//!
+//! Server-side rejections come back typed: an `Error` frame (or a
+//! failed batch job) surfaces as [`DiagnosisError::Remote`] carrying
+//! the server's error text, a `Busy` frame as a `Remote` error naming
+//! the admission rejection, and transport failures as
+//! [`DiagnosisError::Frame`].
+
+use crate::batch::BatchJob;
+use crate::daemon::{
+    decode_batch_report, encode_batch_request, encode_diagnose_request, encode_frame, read_frame,
+    FrameError, FrameKind,
+};
+use crate::error::DiagnosisError;
+use lazy_trace::TraceSnapshot;
+use lazy_vm::Failure;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn io_err(e: &std::io::Error) -> DiagnosisError {
+    DiagnosisError::Frame(FrameError::Io(e.to_string()))
+}
+
+/// One connection to a running `snorlaxd`.
+pub struct RemoteClient {
+    stream: TcpStream,
+}
+
+impl RemoteClient {
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiagnosisError::Frame`] if the TCP connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<RemoteClient, DiagnosisError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err(&e))?;
+        let _ = stream.set_nodelay(true);
+        Ok(RemoteClient { stream })
+    }
+
+    /// Sends raw bytes down the connection and reads one response
+    /// frame. This is the fault-injection door: integration tests mangle
+    /// an encoded frame and prove the daemon answers a typed error
+    /// while the connection survives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiagnosisError::Frame`] on transport failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(FrameKind, Vec<u8>), DiagnosisError> {
+        self.stream.write_all(bytes).map_err(|e| io_err(&e))?;
+        read_frame(&mut self.stream).map_err(DiagnosisError::Frame)
+    }
+
+    fn roundtrip(
+        &mut self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(FrameKind, Vec<u8>), DiagnosisError> {
+        self.send_raw(&encode_frame(kind, payload))
+    }
+
+    fn reject((kind, payload): (FrameKind, Vec<u8>)) -> DiagnosisError {
+        match kind {
+            FrameKind::Error => DiagnosisError::Remote {
+                detail: String::from_utf8_lossy(&payload).into_owned(),
+            },
+            FrameKind::Busy => DiagnosisError::Remote {
+                detail: "server busy: admission queue full, retry later".to_string(),
+            },
+            other => DiagnosisError::Remote {
+                detail: format!("unexpected response frame {other:?}"),
+            },
+        }
+    }
+
+    fn text(payload: Vec<u8>) -> Result<String, DiagnosisError> {
+        String::from_utf8(payload)
+            .map_err(|_| DiagnosisError::Frame(FrameError::BadPayload("report utf-8")))
+    }
+
+    /// Submits one failure report; returns the server's rendered
+    /// diagnosis report.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the server rejects or fails the
+    /// request, [`DiagnosisError::Frame`] on transport failure.
+    pub fn diagnose(
+        &mut self,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<String, DiagnosisError> {
+        let payload = encode_diagnose_request(failure, failing, successful);
+        match self.roundtrip(FrameKind::Diagnose, &payload)? {
+            (FrameKind::Report, p) => Self::text(p),
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Submits a batch of failure reports; returns per-job results in
+    /// job order — the rendered report, or the job's server-side error
+    /// as [`DiagnosisError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the whole batch is rejected,
+    /// [`DiagnosisError::Frame`] on transport failure.
+    pub fn diagnose_batch(
+        &mut self,
+        jobs: &[BatchJob<'_>],
+    ) -> Result<Vec<Result<String, DiagnosisError>>, DiagnosisError> {
+        let payload = encode_batch_request(jobs);
+        match self.roundtrip(FrameKind::Batch, &payload)? {
+            (FrameKind::BatchReport, p) => decode_batch_report(&p).map_err(DiagnosisError::Frame),
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Probes the daemon; returns its status line.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] on rejection, [`DiagnosisError::Frame`]
+    /// on transport failure.
+    pub fn health(&mut self) -> Result<String, DiagnosisError> {
+        match self.roundtrip(FrameKind::Health, b"")? {
+            (FrameKind::HealthOk, p) => Self::text(p),
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Asks the daemon to drain and stop. Blocks until the daemon acks
+    /// — by protocol, only after every queued and in-flight job has
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] on rejection, [`DiagnosisError::Frame`]
+    /// on transport failure.
+    pub fn shutdown(&mut self) -> Result<(), DiagnosisError> {
+        match self.roundtrip(FrameKind::Shutdown, b"")? {
+            (FrameKind::ShutdownAck, _) => Ok(()),
+            other => Err(Self::reject(other)),
+        }
+    }
+}

@@ -107,6 +107,11 @@ pub struct PipelineStats {
     /// every decoded snapshot — time silently lost at wrapped-buffer
     /// heads.
     pub cyc_dropped: u64,
+    /// Duplicated `MTC` coarse-counter bytes ignored across every
+    /// decoded snapshot — repeated packets (after corruption or a PSB
+    /// splice) that would otherwise have advanced virtual time by a
+    /// spurious 256-tick wrap each.
+    pub mtc_dups: u64,
 }
 
 /// The server's verdict for one failure.
@@ -124,6 +129,17 @@ pub struct Diagnosis {
     /// execution time in the failing trace (events the failure
     /// pre-empted come last). This is `O_S` for the A_O metric.
     pub ordered_events: Vec<Pc>,
+}
+
+/// Human-readable label for the `i`-th party of a rendered pattern:
+/// `A`..`Z` for the first 26, then `T26`, `T27`, … — deadlock cycles
+/// are unbounded in party count, so the label must be too.
+fn thread_label(i: usize) -> String {
+    if i < 26 {
+        char::from(b'A' + i as u8).to_string()
+    } else {
+        format!("T{i}")
+    }
 }
 
 impl Diagnosis {
@@ -178,7 +194,7 @@ impl Diagnosis {
                 match &top.pattern {
                     BugPattern::Deadlock { edges } => {
                         for (i, e) in edges.iter().enumerate() {
-                            let _ = writeln!(out, "  thread {}:", (b'A' + i as u8) as char);
+                            let _ = writeln!(out, "  thread {}:", thread_label(i));
                             let _ = writeln!(out, "    holds  {}", module.describe_pc(e.hold_pc));
                             let _ = writeln!(out, "    wants  {}", module.describe_pc(e.want_pc));
                         }
@@ -555,6 +571,7 @@ impl<'m> DiagnosisServer<'m> {
             pattern_micros: pattern_started.elapsed().as_micros(),
             decode_resyncs: all_traces().map(|t| t.resyncs).sum(),
             cyc_dropped: all_traces().map(|t| t.cyc_dropped).sum(),
+            mtc_dups: all_traces().map(|t| t.mtc_dups).sum(),
         };
         lazy_obs::histogram!("diagnose.analysis_us", stats.analysis_micros);
         Diagnosis {
@@ -696,5 +713,57 @@ mod tests {
         let plan = server.breakpoint_plan(halt_pc);
         assert_eq!(plan[0], halt_pc);
         assert!(plan.len() >= 3, "predecessor blocks included: {plan:?}");
+    }
+
+    /// Regression: deadlock rendering used `(b'A' + i) as char`, which
+    /// prints punctuation past party 25 and overflows `u8` (a debug
+    /// panic) past ~57 parties. Labels must stay readable and total:
+    /// `A`..`Z`, then `T26`, `T27`, ….
+    #[test]
+    fn render_labels_more_than_26_deadlock_parties() {
+        use crate::patterns::DeadlockEdge;
+
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Type::Void);
+        let e = f.entry();
+        f.switch_to(e);
+        f.halt();
+        f.finish();
+        let m = mb.finish().unwrap();
+
+        let parties = 60usize;
+        let edges: Vec<DeadlockEdge> = (0..parties)
+            .map(|i| DeadlockEdge {
+                hold_pc: Pc(0x1000 + i as u64),
+                want_pc: Pc(0x2000 + i as u64),
+            })
+            .collect();
+        let d = Diagnosis {
+            scores: vec![PatternScore {
+                pattern: BugPattern::Deadlock { edges },
+                type_rank: 1,
+                f1: 1.0,
+                precision: 1.0,
+                recall: 1.0,
+                fail_support: 1,
+                success_support: 0,
+            }],
+            stats: PipelineStats::default(),
+            failing_pc: Pc(0x1000),
+            is_deadlock: true,
+            ordered_events: Vec::new(),
+        };
+        let report = d.render(&m);
+        assert!(report.contains("  thread A:"), "first party keeps A");
+        assert!(report.contains("  thread Z:"), "party 25 keeps Z");
+        assert!(report.contains("  thread T26:"), "party 26 is T26");
+        assert!(
+            report.contains(&format!("  thread T{}:", parties - 1)),
+            "last party labeled numerically"
+        );
+        // Nothing outside the ASCII printable range leaked in.
+        assert!(report
+            .chars()
+            .all(|c| c == '\n' || (' '..='~').contains(&c)));
     }
 }

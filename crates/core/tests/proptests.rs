@@ -39,6 +39,7 @@ fn trace_from(instances: Vec<(u64, u32, usize, u64, u64)>) -> ProcessedTrace {
         event_count: 0,
         resyncs: 0,
         cyc_dropped: 0,
+        mtc_dups: 0,
     }
 }
 

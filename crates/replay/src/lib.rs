@@ -383,6 +383,7 @@ mod tests {
             event_count: 2,
             resyncs: 0,
             cyc_dropped: 0,
+            mtc_dups: 0,
         };
         let racing: HashSet<Pc> = [Pc(4), Pc(8)].into_iter().collect();
         let err = Recording::from_processed_trace(&trace, &racing).unwrap_err();

@@ -97,6 +97,11 @@ pub struct DecodedTrace {
     /// preceded them — time information silently lost at the head of a
     /// wrapped buffer or after corruption.
     pub cyc_dropped: u64,
+    /// `MTC` packets carrying a coarse byte identical to the current
+    /// counter — duplicated packets (corruption, a PSB splice) that a
+    /// naive unwrap would misread as a full 8-bit wrap, advancing
+    /// virtual time by a spurious 256 ticks. Counted, not applied.
+    pub mtc_dups: u64,
 }
 
 impl DecodedTrace {
@@ -251,6 +256,9 @@ struct Clock {
     shift: u32,
     /// `CYC` deltas discarded for want of a preceding anchor.
     cyc_dropped: u64,
+    /// `MTC` packets whose coarse byte equaled the current counter — a
+    /// duplicated packet (corruption, a PSB splice), not a wrap.
+    mtc_dups: u64,
 }
 
 impl Clock {
@@ -261,6 +269,7 @@ impl Clock {
             period: config.ctc_period_ns.max(1),
             shift: config.cyc_shift,
             cyc_dropped: 0,
+            mtc_dups: 0,
         }
     }
 
@@ -279,10 +288,18 @@ impl Clock {
             }
             Packet::Mtc { ctc } => {
                 // Unwrap the 8-bit coarse counter against the last known
-                // full counter value.
+                // full counter value. Only a *strictly smaller* coarse
+                // byte means the 8-bit counter wrapped; an identical
+                // byte is a duplicated packet (after corruption or a
+                // PSB splice) and must not advance virtual time by a
+                // spurious 256 ticks.
                 let base = self.ctc_full & !0xff;
                 let mut cand = base | u64::from(*ctc);
-                if cand <= self.ctc_full {
+                if cand == self.ctc_full {
+                    self.mtc_dups += 1;
+                    return;
+                }
+                if cand < self.ctc_full {
                     cand += 0x100;
                 }
                 self.ctc_full = cand;
@@ -552,6 +569,7 @@ pub fn decode_thread_trace(
         events,
         resyncs,
         cyc_dropped: clock.cyc_dropped,
+        mtc_dups: clock.mtc_dups,
     })
 }
 
@@ -616,6 +634,7 @@ pub fn decode_thread_trace_legacy(
         events,
         resyncs,
         cyc_dropped: clock.cyc_dropped,
+        mtc_dups: clock.mtc_dups,
     })
 }
 
@@ -636,6 +655,7 @@ struct Skim {
     boundaries: Vec<Boundary>,
     resyncs: u32,
     cyc_dropped: u64,
+    mtc_dups: u64,
 }
 
 fn skim_psb_sections(config: &TraceConfig, bytes: &[u8]) -> Option<Skim> {
@@ -671,6 +691,7 @@ fn skim_psb_sections(config: &TraceConfig, bytes: &[u8]) -> Option<Skim> {
         boundaries,
         resyncs,
         cyc_dropped: clock.cyc_dropped,
+        mtc_dups: clock.mtc_dups,
     })
 }
 
@@ -976,6 +997,7 @@ pub fn decode_thread_trace_sharded(
         events,
         resyncs: skim.resyncs,
         cyc_dropped: skim.cyc_dropped,
+        mtc_dups: skim.mtc_dups,
     })
 }
 
@@ -1227,6 +1249,7 @@ mod tests {
                 assert_eq!(a.events, b.events, "fused events diverged");
                 assert_eq!(a.resyncs, b.resyncs);
                 assert_eq!(a.cyc_dropped, b.cyc_dropped);
+                assert_eq!(a.mtc_dups, b.mtc_dups);
             }
             (Err(a), Err(b)) => assert_eq!(a, b),
             _ => panic!("fused/legacy disagree on success: {legacy:?} vs {fused:?}"),
@@ -1238,6 +1261,7 @@ mod tests {
                     assert_eq!(a.events, b.events, "sharded({workers}) events diverged");
                     assert_eq!(a.resyncs, b.resyncs, "sharded({workers}) resyncs");
                     assert_eq!(a.cyc_dropped, b.cyc_dropped, "sharded({workers}) cyc");
+                    assert_eq!(a.mtc_dups, b.mtc_dups, "sharded({workers}) mtc dups");
                 }
                 (Err(a), Err(b)) => assert_eq!(a, b),
                 _ => panic!("sharded({workers}) disagree: {legacy:?} vs {sharded:?}"),
@@ -1309,6 +1333,51 @@ mod tests {
         let trace = decode_thread_trace(&index, &cfg, &bytes, 10_000).unwrap();
         assert_eq!(trace.cyc_dropped, 1);
         assert_all_paths_agree(&index, &cfg, &bytes, 10_000);
+    }
+
+    /// Regression: a duplicated *identical* MTC coarse-counter byte (a
+    /// repeated packet after corruption or a PSB splice) used to be
+    /// treated as a full 8-bit wrap, advancing virtual time by 256
+    /// coarse ticks. It must leave the clock untouched and be counted
+    /// in [`DecodedTrace::mtc_dups`] instead.
+    #[test]
+    fn duplicated_mtc_byte_does_not_advance_time() {
+        let module = looped_module();
+        let index = ExecIndex::build(&module);
+        let cfg = TraceConfig::default();
+        let main = module.func_by_name("main").unwrap();
+        let entry_pcs: Vec<u64> = main.entry().insts.iter().map(|i| i.pc.0).collect();
+        let period = cfg.ctc_period_ns.max(1);
+        let t0 = 64 * period; // anchor on a coarse-tick boundary
+        let ctc = (t0 / period + 1) as u8; // one legitimate coarse tick
+        let stream = |dups: usize| {
+            let mut enc = crate::packet::PacketEncoder::new();
+            let mut bytes = Vec::new();
+            enc.encode(&Packet::Psb, &mut bytes);
+            enc.encode(&Packet::Tsc { tsc: t0 }, &mut bytes);
+            enc.encode(&Packet::Fup { pc: entry_pcs[0] }, &mut bytes);
+            for _ in 0..=dups {
+                enc.encode(&Packet::Mtc { ctc }, &mut bytes);
+            }
+            // Async FUP forces a walk, landing the MTC time in the
+            // emitted events' windows.
+            enc.encode(&Packet::Fup { pc: entry_pcs[1] }, &mut bytes);
+            bytes
+        };
+        let snapshot_time = t0 + 10 * period;
+        let clean = decode_thread_trace(&index, &cfg, &stream(0), snapshot_time).unwrap();
+        let duped = decode_thread_trace(&index, &cfg, &stream(2), snapshot_time).unwrap();
+        // The duplicates change no event and no window...
+        assert_eq!(clean.events, duped.events);
+        // ...they are accounted...
+        assert_eq!(clean.mtc_dups, 0);
+        assert_eq!(duped.mtc_dups, 2);
+        // ...and the post-MTC window sits one coarse tick after the
+        // anchor, not 256.
+        let last = duped.events.last().unwrap();
+        assert_eq!(last.time.lo, t0 + period);
+        assert!(last.time.lo < t0 + 0x100 * period);
+        assert_all_paths_agree(&index, &cfg, &stream(2), snapshot_time);
     }
 }
 

@@ -52,4 +52,4 @@ pub use encoder::Encoder;
 pub use packet::{Packet, PacketDecoder, PacketEncoder};
 pub use ring::RingBuffer;
 pub use stats::TraceStats;
-pub use wire::{decode_snapshot, encode_snapshot, WireError, WIRE_VERSION};
+pub use wire::{decode_snapshot, encode_snapshot, fnv1a32, WireError, WIRE_VERSION};

@@ -48,7 +48,13 @@ impl RingBuffer {
 
     /// Clears the buffer (used by spill mode after draining to
     /// storage).
+    ///
+    /// The backing store is zeroed, not just the cursors: a cleared
+    /// buffer that later wraps snapshots its *entire* backing store,
+    /// and stale bytes from before the clear must not resurrect as
+    /// phantom trace data.
     pub fn clear(&mut self) {
+        self.buf.fill(0);
         self.head = 0;
         self.written = 0;
     }
@@ -134,6 +140,28 @@ mod tests {
         assert!(r.snapshot().is_empty());
         r.write(&[9]);
         assert_eq!(r.snapshot(), vec![9]);
+    }
+
+    /// Regression: `clear` used to reset only the cursors, leaving the
+    /// previous trace's bytes in the backing store. A post-clear write
+    /// that wraps snapshots the whole store oldest-first, so those
+    /// stale bytes came back as phantom leading trace data.
+    #[test]
+    fn clear_zeroes_stale_bytes() {
+        let mut r = RingBuffer::new(4);
+        r.write(&[0xAA, 0xBB, 0xCC, 0xDD, 0xEE]);
+        r.clear();
+        // Wrap by exactly one byte: the snapshot now includes three
+        // bytes the current epoch never wrote.
+        r.write(&[1, 2, 3, 4, 5]);
+        assert_eq!(r.snapshot(), vec![2, 3, 4, 5]);
+        let mut r2 = RingBuffer::new(4);
+        r2.write(&[0x11, 0x22]);
+        r2.clear();
+        // Partially refill without wrapping past the stale region.
+        r2.write(&[7]);
+        assert_eq!(r2.snapshot(), vec![7]);
+        assert!(r2.buf[1..].iter().all(|&b| b == 0), "stale bytes zeroed");
     }
 
     #[test]

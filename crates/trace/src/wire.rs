@@ -56,13 +56,23 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-pub(crate) fn fnv1a32(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
+/// Continues an FNV-1a hash from `seed` over `bytes` — the incremental
+/// form, for checksumming a logical message held in several buffers
+/// without concatenating them.
+pub fn fnv1a32_with(seed: u32, bytes: &[u8]) -> u32 {
+    let mut h = seed;
     for &b in bytes {
         h ^= u32::from(b);
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// FNV-1a over `bytes` from the standard offset basis — the checksum
+/// this wire format (and the daemon's frame protocol on top of it)
+/// trails every message with.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    fnv1a32_with(0x811c_9dc5, bytes)
 }
 
 fn trigger_code(t: SnapshotTrigger) -> u8 {

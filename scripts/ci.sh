@@ -61,4 +61,41 @@ rm -f /tmp/BENCH_decode_ci.json
 echo "==> fault-injection smoke (--fast)"
 cargo run --release -q -p lazy-bench --bin faults -- --fast
 
+# End-to-end daemon smoke over a real TCP connection: serve on an
+# ephemeral loopback port, submit one failure report, expect a rendered
+# root cause back, then drain gracefully.
+echo "==> snorlaxd loopback smoke"
+SERVE_LOG=$(mktemp)
+./target/release/snorlax serve mysql-3596 --port 0 > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  # cmd_serve prints the bound address before entering the accept loop.
+  ADDR=$(sed -n 's/^snorlaxd listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")
+  [[ -n "$ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: snorlaxd never reported its address"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+./target/release/snorlax submit mysql-3596 --addr "$ADDR" | grep -q "root cause" \
+  || { echo "FAIL: remote diagnosis reported no root cause"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+./target/release/snorlax submit --addr "$ADDR" --shutdown > /dev/null
+wait "$SERVE_PID" || { echo "FAIL: snorlaxd exited nonzero"; exit 1; }
+grep -q "snorlaxd drained:" "$SERVE_LOG" \
+  || { echo "FAIL: snorlaxd did not report a graceful drain"; exit 1; }
+rm -f "$SERVE_LOG"
+
+echo "==> daemon bench smoke (loopback)"
+cargo run --release -q -p lazy-bench --bin daemon -- --reports 4 --rounds 1 --out /tmp/BENCH_daemon_ci.json
+
+# Same artifact contract as the decode bench: the enabled flag, the
+# embedded telemetry object, and the daemon's own request span.
+echo "==> BENCH_daemon.json telemetry fields"
+for field in '"telemetry_enabled": true' '"telemetry":' '"daemon.request"'; do
+  grep -qF "$field" /tmp/BENCH_daemon_ci.json \
+    || { echo "FAIL: bench output missing $field"; exit 1; }
+  grep -qF "$field" BENCH_daemon.json \
+    || { echo "FAIL: checked-in BENCH_daemon.json missing $field (regenerate: cargo run --release -p lazy-bench --bin daemon)"; exit 1; }
+done
+rm -f /tmp/BENCH_daemon_ci.json
+
 echo "CI OK"

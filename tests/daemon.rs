@@ -1,0 +1,296 @@
+//! Loopback integration tests for `snorlaxd`.
+//!
+//! The daemon must be a transparent transport: diagnosing the 11-bug
+//! evaluation corpus over a real TCP connection must render
+//! byte-identical to the in-process `diagnose_batch` path. On top of
+//! that transparency contract, the robustness contract: a corrupt frame
+//! or corrupt embedded snapshot fails *that request alone* (proved with
+//! `Corruptor` fault injection), admission rejections and deadline
+//! misses come back as typed errors, and shutdown drains before acking.
+
+use lazy_diagnosis::ir::Module;
+use lazy_diagnosis::snorlax::daemon::{encode_diagnose_request, encode_frame};
+use lazy_diagnosis::snorlax::{
+    serve, BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DaemonConfig, DaemonStats,
+    DiagnosisError, DiagnosisServer, FrameKind, RemoteClient, ServerConfig,
+};
+use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_workloads::systems::eval_scenarios;
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Collects `reports` independent failure reports for one scenario.
+fn collect_reports(
+    server: &DiagnosisServer<'_>,
+    s: &BugScenario,
+    reports: usize,
+) -> Vec<CollectionOutcome> {
+    let client = CollectionClient::new(server, VmConfig::default());
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < reports {
+        let col = client
+            .collect(seed, 800, 10, 0)
+            .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id));
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        out.push(col);
+    }
+    out
+}
+
+fn jobs_of<'a>(collections: &'a [CollectionOutcome]) -> Vec<BatchJob<'a>> {
+    collections
+        .iter()
+        .map(|c| BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        })
+        .collect()
+}
+
+/// Truncates every thread payload of every failing snapshot below the
+/// `PSB` marker, so no thread decodes and the job fails with a typed
+/// `Processing` error (the `tests/degradation.rs` corruption).
+fn corrupt_collection(col: &CollectionOutcome) -> Vec<TraceSnapshot> {
+    let corruptor = Corruptor::new();
+    col.failing
+        .iter()
+        .map(|snap| {
+            let mut snap = snap.clone();
+            for t in &mut snap.threads {
+                t.bytes = corruptor.apply(&t.bytes, &CorruptionOp::Truncate { keep: 3 });
+            }
+            snap
+        })
+        .collect()
+}
+
+/// The serve thread's handle: drain stats, plus the module handed
+/// back so a test can start a second daemon on it.
+type DaemonHandle = JoinHandle<(Result<DaemonStats, DiagnosisError>, Module)>;
+
+/// Binds an ephemeral loopback port and runs `serve` on its own thread.
+fn spawn_daemon(module: Module, cfg: DaemonConfig) -> (SocketAddr, DaemonHandle) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let stats = serve(&listener, &module, &cfg);
+        (stats, module)
+    });
+    (addr, handle)
+}
+
+/// The transparency contract over the evaluation corpus: every report
+/// the daemon renders over TCP is byte-identical to what the in-process
+/// batch path renders for the same jobs.
+#[test]
+fn eval_bugs_over_loopback_match_in_process() {
+    for s in eval_scenarios() {
+        let (expected, collections) = {
+            let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+            let collections = collect_reports(&server, &s, 2);
+            let jobs = jobs_of(&collections);
+            let out = server.diagnose_batch(&jobs, &BatchConfig::default());
+            let expected: Vec<Result<String, String>> = out
+                .diagnoses
+                .iter()
+                .map(|d| match d {
+                    Ok(d) => Ok(d.render(&s.module)),
+                    Err(e) => Err(e.to_string()),
+                })
+                .collect();
+            (expected, collections)
+        };
+        let id = s.id.clone();
+        let (addr, handle) = spawn_daemon(s.module, DaemonConfig::default());
+        let mut client = RemoteClient::connect(addr).unwrap();
+        let jobs = jobs_of(&collections);
+        let got = client.diagnose_batch(&jobs).unwrap();
+        assert_eq!(got.len(), expected.len(), "{id}: result count");
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok(e)) => {
+                    assert_eq!(g, e, "{id} job {i}: remote render diverged from in-process")
+                }
+                (Err(DiagnosisError::Remote { detail }), Err(e)) => {
+                    assert_eq!(detail, e, "{id} job {i}: remote error diverged")
+                }
+                (g, e) => panic!("{id} job {i}: remote {g:?} vs in-process {e:?}"),
+            }
+        }
+        client.shutdown().unwrap();
+        let (stats, _module) = handle.join().unwrap();
+        let stats = stats.unwrap();
+        assert_eq!(stats.requests, 1, "{id}: one batch request admitted");
+        assert_eq!(stats.connections, 1, "{id}: one client connection");
+        assert_eq!(stats.frames_corrupt, 0, "{id}: clean transport");
+        assert_eq!(stats.rejected_busy, 0, "{id}: nothing rejected");
+        assert_eq!(stats.timeouts, 0, "{id}: nothing timed out");
+        println!("{id}: ok");
+    }
+}
+
+/// Fault injection at both layers. A bit-flipped frame draws a typed
+/// checksum error and the *same connection* keeps serving byte-identical
+/// reports; a batch whose middle job carries corrupt snapshots fails
+/// that job alone while its siblings render byte-identical to a clean
+/// run.
+#[test]
+fn corrupt_frame_fails_alone_and_connection_survives() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (expected, collections) = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 1);
+        let c = &collections[0];
+        let expected = server
+            .diagnose(&c.failure, &c.failing, &c.successful)
+            .unwrap()
+            .render(&s.module);
+        (expected, collections)
+    };
+    let c = &collections[0];
+    let (addr, handle) = spawn_daemon(s.module, DaemonConfig::default());
+    let mut client = RemoteClient::connect(addr).unwrap();
+
+    // Baseline: the connection serves a clean request.
+    let r1 = client
+        .diagnose(&c.failure, &c.failing, &c.successful)
+        .unwrap();
+    assert_eq!(r1, expected, "baseline remote render diverged");
+
+    // Flip one bit in the middle of a well-formed frame's payload. The
+    // frame checksum catches it; the daemon consumes the whole frame
+    // and answers a typed error without dropping the connection.
+    let payload = encode_diagnose_request(&c.failure, &c.failing, &c.successful);
+    let frame = encode_frame(FrameKind::Diagnose, &payload);
+    let corruptor = Corruptor::new();
+    let mangled = corruptor.apply(
+        &frame,
+        &CorruptionOp::BitFlip {
+            offset: 9 + payload.len() / 2,
+            bit: 5,
+        },
+    );
+    assert_ne!(mangled, frame, "corruptor must change the frame");
+    let (kind, body) = client.send_raw(&mangled).unwrap();
+    assert_eq!(kind, FrameKind::Error, "corrupt frame draws an error frame");
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("checksum"),
+        "error names the checksum: {text}"
+    );
+
+    // The same connection still serves, byte-identical to the baseline.
+    let r2 = client
+        .diagnose(&c.failure, &c.failing, &c.successful)
+        .unwrap();
+    assert_eq!(r2, expected, "connection degraded after a corrupt frame");
+
+    // Inner-layer corruption: the frame survives, the embedded LZTR
+    // snapshots do not. Only the corrupt job fails; its siblings render
+    // byte-identical to the clean baseline.
+    let corrupt_failing = corrupt_collection(c);
+    let jobs = vec![
+        BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        },
+        BatchJob {
+            failure: &c.failure,
+            failing: &corrupt_failing,
+            successful: &c.successful,
+        },
+        BatchJob {
+            failure: &c.failure,
+            failing: &c.failing,
+            successful: &c.successful,
+        },
+    ];
+    let results = client.diagnose_batch(&jobs).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_deref(), Ok(expected.as_str()));
+    assert_eq!(results[2].as_deref(), Ok(expected.as_str()));
+    match &results[1] {
+        Err(DiagnosisError::Remote { detail }) => assert!(
+            detail.contains("no decodable thread"),
+            "corrupt job carries the server's processing error: {detail}"
+        ),
+        other => panic!("corrupt job should fail remotely, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    let (stats, _module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(stats.frames_corrupt, 1, "exactly the bit-flipped frame");
+    assert_eq!(stats.requests, 3, "baseline + retry + batch admitted");
+    assert_eq!(stats.connections, 1, "the connection survived throughout");
+}
+
+/// Backpressure and deadlines surface as typed errors: a zero-depth
+/// admission queue answers `Busy` (while health probes still work), and
+/// a zero deadline answers a timeout error — after which shutdown still
+/// drains the abandoned in-flight job before acking.
+#[test]
+fn busy_and_deadline_rejections_are_typed() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let collections = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        collect_reports(&server, &s, 1)
+    };
+    let c = &collections[0];
+
+    // Depth-zero admission: every request is Busy, health is not gated.
+    let cfg = DaemonConfig {
+        queue_depth: 0,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = spawn_daemon(s.module, cfg);
+    let mut client = RemoteClient::connect(addr).unwrap();
+    let health = client.health().unwrap();
+    assert!(health.starts_with("ok "), "health line: {health}");
+    let err = client
+        .diagnose(&c.failure, &c.failing, &c.successful)
+        .unwrap_err();
+    match &err {
+        DiagnosisError::Remote { detail } => {
+            assert!(detail.contains("busy"), "busy rejection: {detail}")
+        }
+        other => panic!("expected a typed Busy rejection, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    let (stats, module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(stats.rejected_busy, 1);
+    assert_eq!(stats.requests, 0, "a Busy rejection is never admitted");
+
+    // Zero deadline: the request is admitted, then abandoned with a
+    // typed error; the worker's in-flight job must still be drained
+    // before the shutdown ack arrives.
+    let cfg = DaemonConfig {
+        workers: 1,
+        request_timeout: Duration::ZERO,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = spawn_daemon(module, cfg);
+    let mut client = RemoteClient::connect(addr).unwrap();
+    let err = client
+        .diagnose(&c.failure, &c.failing, &c.successful)
+        .unwrap_err();
+    match &err {
+        DiagnosisError::Remote { detail } => assert!(
+            detail.contains("deadline exceeded"),
+            "timeout rejection: {detail}"
+        ),
+        other => panic!("expected a typed deadline error, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    let (stats, _module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.requests, 1, "the timed-out request was admitted");
+}
