@@ -1,0 +1,157 @@
+//! Fleet-sharded diagnosis throughput: single-node vs 1, 2 and 4
+//! in-process shards.
+//!
+//! Models the paper's deployment at fleet scale: failure reports are
+//! routed across N diagnosis shards, each computing partial pattern
+//! statistics that the coordinator merges. The three-round protocol
+//! (collect / patterns / finalize) pays a coordination cost per
+//! report; this bench measures it against the single-node baseline.
+//!
+//! The acceptance gate is correctness, not speed: every report every
+//! shard configuration renders must be byte-identical to the
+//! single-node diagnosis of the same report. The emitted JSON carries
+//! the fleet telemetry delta (`fleet.diagnose` span, shard/merge
+//! counters) for the CI grep gates.
+//!
+//! Usage: `fleet [bug-id] [--reports N] [--rounds N] [--fast] [--out PATH]`
+
+use lazy_bench::{collect_corpus, server_for, stats};
+use lazy_snorlax::{FleetCoordinator, ServerConfig};
+use lazy_workloads::scenario_by_id;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn opt(args: &[String], flag: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let bug = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "mysql-3596".to_string());
+    let reports = opt(&args, "--reports", if fast { 2 } else { 8 });
+    let rounds = opt(&args, "--rounds", if fast { 1 } else { 3 });
+    let out_path = opt_str(&args, "--out", "BENCH_fleet.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let s = scenario_by_id(&bug).expect("known bug id");
+    println!(
+        "fleet sharding: {} — {} reports, {} rounds, {} cores",
+        s.id, reports, rounds, cores
+    );
+    let server = server_for(&s);
+    let corpus = collect_corpus(&server, reports, 1000);
+
+    // Reference renders and the single-node timing baseline.
+    let reference: Vec<String> = corpus
+        .iter()
+        .map(|c| {
+            server
+                .diagnose(&c.failure, &c.failing, &c.successful)
+                .expect("reference diagnosis")
+                .render(&s.module)
+        })
+        .collect();
+    let mut single = Vec::new();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for c in &corpus {
+            let d = server
+                .diagnose(&c.failure, &c.failing, &c.successful)
+                .expect("single-node diagnosis");
+            let _ = d;
+        }
+        single.push(t.elapsed().as_secs_f64());
+    }
+
+    // Isolate the fleet telemetry contribution from the baseline.
+    let telemetry_base = lazy_obs::snapshot();
+
+    let mut sharded: Vec<(usize, f64)> = Vec::new();
+    for n in SHARD_COUNTS {
+        let mut coord = FleetCoordinator::in_process(&s.module, ServerConfig::default(), n);
+        let mut times = Vec::new();
+        for _ in 0..rounds {
+            let t = Instant::now();
+            for (c, expect) in corpus.iter().zip(&reference) {
+                let outcome = coord
+                    .diagnose(&c.failure, &c.failing, &c.successful)
+                    .expect("fleet diagnosis");
+                assert_eq!(outcome.failed_shards(), 0, "no shard may fail");
+                assert_eq!(
+                    outcome.diagnosis.render(&s.module),
+                    *expect,
+                    "{n}-shard report diverged from single-node"
+                );
+            }
+            times.push(t.elapsed().as_secs_f64());
+        }
+        sharded.push((n, stats::mean(&times)));
+    }
+    let telemetry = lazy_obs::snapshot().since(&telemetry_base);
+
+    let single_s = stats::mean(&single);
+    println!("--");
+    println!(
+        "single-node         {:>9.1} ms   ({:.1} reports/s)",
+        single_s * 1000.0,
+        reports as f64 / single_s
+    );
+    for (n, t) in &sharded {
+        println!(
+            "{n} shard(s)          {:>9.1} ms   ({:.1} reports/s, {:.2}x single-node)",
+            t * 1000.0,
+            reports as f64 / t,
+            t / single_s
+        );
+    }
+    // Correctness gate: reaching this point means every sharded report
+    // at every shard count matched single-node byte-for-byte.
+    println!("acceptance (sharded byte-identical to single-node at 1/2/4 shards): PASS");
+
+    let seconds: String = sharded
+        .iter()
+        .map(|(n, t)| format!("    \"shards_{n}\": {t:.6}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let throughput: String = sharded
+        .iter()
+        .map(|(n, t)| format!("    \"shards_{n}\": {:.3}", reports as f64 / t.max(1e-12)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let overhead: String = sharded
+        .iter()
+        .map(|(n, t)| format!("    \"shards_{n}_vs_single\": {:.3}", t / single_s))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"workload\": {{\n    \"bug\": \"{bug}\",\n    \
+         \"reports\": {reports}\n  }},\n  \"machine\": {{ \"cores\": {cores} }},\n  \
+         \"rounds\": {rounds},\n  \"seconds\": {{\n    \"single_node\": {single_s:.6},\n{seconds}\n  }},\n  \
+         \"throughput_reports_per_s\": {{\n    \"single_node\": {single_tp:.3},\n{throughput}\n  }},\n  \
+         \"merge_overhead\": {{\n{overhead}\n  }},\n  \
+         \"gate\": {{\n    \"required\": \"sharded reports byte-identical to single-node at 1, 2 and 4 shards\",\n    \
+         \"status\": \"pass\"\n  }},\n  \
+         \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        single_tp = reports as f64 / single_s.max(1e-12),
+        telemetry_enabled = cfg!(feature = "telemetry"),
+        telemetry_json = telemetry.to_json().trim_end(),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

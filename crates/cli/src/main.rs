@@ -14,7 +14,7 @@ use lazy_ir::{parse_module, printer::render_module};
 use lazy_replay::Recording;
 use lazy_snorlax::{
     serve, BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DaemonConfig,
-    DiagnosisServer, RemoteClient, ServerConfig,
+    DiagnosisServer, FleetCoordinator, RemoteClient, ServerConfig, ShardConn,
 };
 use lazy_vm::{Vm, VmConfig};
 use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
@@ -47,7 +47,15 @@ fn usage() -> ExitCode {
                                           collect N failure reports and submit them to a running\n\
                                           snorlaxd as one batch\n\
            submit --addr HOST:PORT --health|--shutdown\n\
-                                          probe a running snorlaxd, or drain and stop it"
+                                          probe a running snorlaxd, or drain and stop it\n\
+           fleet serve-shard <bug-id> [--port N]\n\
+                                          run one snorlaxd shard (same daemon, fleet frames on)\n\
+           fleet coordinate <bug-id> [--shards N] [--seed N]\n\
+                                          shard one failure report across N in-process shards,\n\
+                                          merge the partial statistics, and verify the merged\n\
+                                          render against single-node diagnosis\n\
+           fleet submit <bug-id> --addrs H:P,H:P[,...] [--seed N]\n\
+                                          coordinate a diagnosis across running snorlaxd shards"
     );
     ExitCode::from(2)
 }
@@ -575,6 +583,145 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
+/// `snorlax fleet …` — sharded diagnosis across snorlaxd shards.
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    match args.get(1).map(String::as_str) {
+        // A shard *is* a snorlaxd: the daemon answers the fleet frames
+        // alongside ordinary diagnose/batch traffic. The subcommand
+        // exists so fleet deployments read as what they are.
+        Some("serve-shard") if args.len() >= 3 => cmd_serve(&args[2], args),
+        Some("coordinate") if args.len() >= 3 => cmd_fleet_coordinate(&args[2], args),
+        Some("submit") if args.len() >= 3 => cmd_fleet_submit(&args[2], args),
+        _ => usage(),
+    }
+}
+
+fn print_shard_reports(outcome: &lazy_snorlax::FleetOutcome) {
+    for r in &outcome.shard_reports {
+        match &r.error {
+            None => println!(
+                "shard {}: {} failing + {} successful traces",
+                r.shard, r.failing_routed, r.successful_routed
+            ),
+            Some((round, e)) => println!("shard {}: FAILED in {round} round ({e})", r.shard),
+        }
+    }
+    println!(
+        "merged: {} patterns over {} failing / {} successful traces, {} shard(s) failed",
+        outcome.merged_stats.len(),
+        outcome.merged_stats.failing_traces(),
+        outcome.merged_stats.successful_traces(),
+        outcome.failed_shards()
+    );
+}
+
+fn cmd_fleet_coordinate(id: &str, args: &[String]) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let shards = opt_u64(args, "--shards", 2).max(1) as usize;
+    let first_seed = opt_u64(args, "--seed", 0);
+    println!("bug: {} — {}", s.id, s.description);
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collector = CollectionClient::new(&server, VmConfig::default());
+    let Some(col) = collector.collect(first_seed, 1000, 10, 0) else {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "observed: {} ({} failing + {} successful traces, {} in-process shards)\n",
+        col.failure,
+        col.failing.len(),
+        col.successful.len(),
+        shards
+    );
+    let mut coord = FleetCoordinator::in_process(&s.module, ServerConfig::default(), shards);
+    let outcome = match coord.diagnose(&col.failure, &col.failing, &col.successful) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet diagnosis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.diagnosis.render(&s.module));
+    println!();
+    print_shard_reports(&outcome);
+    // Determinism is the whole point: prove it on every invocation.
+    match server.diagnose(&col.failure, &col.failing, &col.successful) {
+        Ok(single) if single.render(&s.module) == outcome.diagnosis.render(&s.module) => {
+            println!("sharded report is byte-identical to single-node: yes");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!("sharded report DIVERGED from single-node diagnosis");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("single-node cross-check failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_fleet_submit(id: &str, args: &[String]) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(addrs) = opt_str(args, "--addrs") else {
+        eprintln!(
+            "fleet submit needs --addrs HOST:PORT,HOST:PORT \
+             (start shards with `snorlax fleet serve-shard <bug-id>`)"
+        );
+        return ExitCode::from(2);
+    };
+    let first_seed = opt_u64(args, "--seed", 0);
+    let mut shards: Vec<ShardConn<'_>> = Vec::new();
+    for addr in addrs.split(',').filter(|a| !a.is_empty()) {
+        match RemoteClient::connect(addr) {
+            Ok(c) => shards.push(ShardConn::Remote(c)),
+            Err(e) => {
+                eprintln!("cannot connect to shard at {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if shards.is_empty() {
+        eprintln!("--addrs named no shards");
+        return ExitCode::from(2);
+    }
+    println!("bug: {} — {}", s.id, s.description);
+    // Collection stays local, as with `snorlax submit`; only the three
+    // fleet rounds cross the wire.
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collector = CollectionClient::new(&server, VmConfig::default());
+    let Some(col) = collector.collect(first_seed, 1000, 10, 0) else {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "observed: {} ({} failing + {} successful traces across {} remote shards)\n",
+        col.failure,
+        col.failing.len(),
+        col.successful.len(),
+        shards.len()
+    );
+    let mut coord = FleetCoordinator::new(&s.module, ServerConfig::default(), shards);
+    match coord.diagnose(&col.failure, &col.failing, &col.successful) {
+        Ok(outcome) => {
+            print!("{}", outcome.diagnosis.render(&s.module));
+            println!();
+            print_shard_reports(&outcome);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleet diagnosis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -595,6 +742,7 @@ fn main() -> ExitCode {
         }
         Some("serve") if args.len() >= 2 => cmd_serve(&args[1], &args),
         Some("submit") => cmd_submit(&args),
+        Some("fleet") => cmd_fleet(&args),
         Some("batch") if args.len() >= 2 => cmd_batch(
             &args[1],
             opt_u64(&args, "--reports", 8),

@@ -48,6 +48,11 @@
 
 use crate::batch::{BatchConfig, BatchJob};
 use crate::error::DiagnosisError;
+use crate::fleet::{
+    decode_fleet_collect, decode_fleet_finalize, decode_fleet_patterns, encode_collect_reply,
+    encode_finalize_reply, encode_patterns_reply, FleetShard,
+};
+use crate::patterns::BugPattern;
 use crate::server::{DiagnosisServer, ServerConfig};
 use lazy_ir::{Module, Pc};
 use lazy_trace::wire::{fnv1a32, fnv1a32_with};
@@ -87,6 +92,17 @@ pub enum FrameKind {
     Health = 2,
     /// Request: drain in-flight work, then stop serving.
     Shutdown = 3,
+    /// Request (fleet round 1): open a shard session — decode this
+    /// shard's trace partition, report its executed set.
+    FleetCollect = 4,
+    /// Request (fleet round 2): the merged global executed set; the
+    /// shard computes candidates against it and generates patterns from
+    /// its local failing traces.
+    FleetPatterns = 5,
+    /// Request (fleet round 3): the merged global pattern set; the
+    /// shard returns its partial sufficient statistics and closes the
+    /// session.
+    FleetFinalize = 6,
     /// Response: the rendered diagnosis report (UTF-8).
     Report = 16,
     /// Response: per-job reports for a batch request.
@@ -99,6 +115,15 @@ pub enum FrameKind {
     HealthOk = 20,
     /// Response: drain complete, the daemon is exiting.
     ShutdownAck = 21,
+    /// Response to [`FrameKind::FleetCollect`]: the shard's executed
+    /// set and decode-health sums.
+    FleetCollectAck = 22,
+    /// Response to [`FrameKind::FleetPatterns`]: the shard's locally
+    /// generated pattern set plus candidate statistics.
+    FleetPatternSet = 23,
+    /// Response to [`FrameKind::FleetFinalize`]: the shard's serialized
+    /// partial [`crate::statistics::PatternStats`] and event times.
+    PartialStats = 24,
 }
 
 impl FrameKind {
@@ -108,12 +133,18 @@ impl FrameKind {
             1 => FrameKind::Batch,
             2 => FrameKind::Health,
             3 => FrameKind::Shutdown,
+            4 => FrameKind::FleetCollect,
+            5 => FrameKind::FleetPatterns,
+            6 => FrameKind::FleetFinalize,
             16 => FrameKind::Report,
             17 => FrameKind::BatchReport,
             18 => FrameKind::Error,
             19 => FrameKind::Busy,
             20 => FrameKind::HealthOk,
             21 => FrameKind::ShutdownAck,
+            22 => FrameKind::FleetCollectAck,
+            23 => FrameKind::FleetPatternSet,
+            24 => FrameKind::PartialStats,
             other => return Err(FrameError::BadKind(other)),
         })
     }
@@ -245,17 +276,17 @@ pub struct DiagnoseRequest {
     pub successful: Vec<TraceSnapshot>,
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len().saturating_sub(self.pos)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
         // Declared lengths are attacker-controlled: compare against the
         // remainder, never compute `pos + n`.
         if n > self.remaining() {
@@ -266,16 +297,16 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, FrameError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, FrameError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, FrameError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, FrameError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, FrameError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
@@ -300,7 +331,7 @@ fn kind_code(kind: &FailureKind) -> (u8, u64) {
     }
 }
 
-fn encode_failure(out: &mut Vec<u8>, failure: &Failure) {
+pub(crate) fn encode_failure(out: &mut Vec<u8>, failure: &Failure) {
     let (code, addr) = kind_code(&failure.kind);
     out.push(code);
     out.extend_from_slice(&failure.pc.0.to_le_bytes());
@@ -327,7 +358,7 @@ fn encode_failure(out: &mut Vec<u8>, failure: &Failure) {
 /// One encoded deadlock party: tid + pc + mutex address.
 const PARTY_BYTES: usize = 4 + 8 + 8;
 
-fn decode_failure(c: &mut Cursor<'_>) -> Result<Failure, FrameError> {
+pub(crate) fn decode_failure(c: &mut Cursor<'_>) -> Result<Failure, FrameError> {
     let code = c.u8()?;
     let pc = Pc(c.u64()?);
     let tid = c.u32()?;
@@ -375,7 +406,7 @@ fn decode_failure(c: &mut Cursor<'_>) -> Result<Failure, FrameError> {
     })
 }
 
-fn encode_snapshots(out: &mut Vec<u8>, snaps: &[TraceSnapshot]) {
+pub(crate) fn encode_snapshots(out: &mut Vec<u8>, snaps: &[TraceSnapshot]) {
     out.extend_from_slice(&(snaps.len() as u32).to_le_bytes());
     for s in snaps {
         let wire = encode_snapshot(s);
@@ -384,7 +415,7 @@ fn encode_snapshots(out: &mut Vec<u8>, snaps: &[TraceSnapshot]) {
     }
 }
 
-fn decode_snapshots(c: &mut Cursor<'_>) -> Result<Vec<TraceSnapshot>, DiagnosisError> {
+pub(crate) fn decode_snapshots(c: &mut Cursor<'_>) -> Result<Vec<TraceSnapshot>, DiagnosisError> {
     let n = c.u32().map_err(DiagnosisError::Frame)? as usize;
     // Each snapshot record carries at least its length word: clamp the
     // declared count before sizing anything by it.
@@ -590,6 +621,18 @@ struct Job {
 enum Request {
     Diagnose(DiagnoseRequest),
     Batch(Vec<DiagnoseRequest>),
+    FleetCollect {
+        session: u64,
+        request: DiagnoseRequest,
+    },
+    FleetPatterns {
+        session: u64,
+        executed: Vec<Pc>,
+    },
+    FleetFinalize {
+        session: u64,
+        patterns: Vec<BugPattern>,
+    },
 }
 
 #[derive(Default)]
@@ -648,9 +691,13 @@ pub fn serve(
     } else {
         cfg.workers
     };
+    // One fleet-shard state for the whole daemon: a coordinator's
+    // three protocol rounds may arrive on any worker, so the session
+    // store must outlive any single request.
+    let fleet = FleetShard::new(module, cfg.server.clone());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(&shared, module, cfg));
+            scope.spawn(|| worker(&shared, module, cfg, &fleet));
         }
         loop {
             let stream = match listener.accept() {
@@ -689,7 +736,7 @@ pub fn serve(
     Ok(shared.stats())
 }
 
-fn worker(shared: &Shared, module: &Module, cfg: &DaemonConfig) {
+fn worker(shared: &Shared, module: &Module, cfg: &DaemonConfig, fleet: &FleetShard<'_>) {
     let server = DiagnosisServer::new(module, cfg.server.clone());
     loop {
         let job = {
@@ -717,7 +764,7 @@ fn worker(shared: &Shared, module: &Module, cfg: &DaemonConfig) {
         let reply = {
             let _span = lazy_obs::span!("daemon.request");
             catch_unwind(AssertUnwindSafe(|| {
-                process(&server, module, cfg, job.request)
+                process(&server, module, cfg, fleet, job.request)
             }))
             .unwrap_or_else(|p| {
                 let e = DiagnosisError::from_panic("daemon", p);
@@ -735,8 +782,10 @@ fn process(
     server: &DiagnosisServer<'_>,
     module: &Module,
     cfg: &DaemonConfig,
+    fleet: &FleetShard<'_>,
     request: Request,
 ) -> (FrameKind, Vec<u8>) {
+    let error = |e: DiagnosisError| (FrameKind::Error, e.to_string().into_bytes());
     match request {
         Request::Diagnose(r) => match server.diagnose(&r.failure, &r.failing, &r.successful) {
             Ok(d) => (FrameKind::Report, d.render(module).into_bytes()),
@@ -762,6 +811,25 @@ fn process(
                 .collect();
             (FrameKind::BatchReport, encode_batch_report(&results))
         }
+        Request::FleetCollect { session, request } => {
+            match fleet.collect(
+                session,
+                &request.failure,
+                &request.failing,
+                &request.successful,
+            ) {
+                Ok(r) => (FrameKind::FleetCollectAck, encode_collect_reply(&r)),
+                Err(e) => error(e),
+            }
+        }
+        Request::FleetPatterns { session, executed } => match fleet.patterns(session, &executed) {
+            Ok(r) => (FrameKind::FleetPatternSet, encode_patterns_reply(&r)),
+            Err(e) => error(e),
+        },
+        Request::FleetFinalize { session, patterns } => match fleet.finalize(session, &patterns) {
+            Ok(r) => (FrameKind::PartialStats, encode_finalize_reply(&r)),
+            Err(e) => error(e),
+        },
     }
 }
 
@@ -795,7 +863,14 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig, local
                 let _ = write_frame(&mut stream, FrameKind::ShutdownAck, b"");
                 return;
             }
-            Ok((kind @ (FrameKind::Diagnose | FrameKind::Batch), payload)) => {
+            Ok((
+                kind @ (FrameKind::Diagnose
+                | FrameKind::Batch
+                | FrameKind::FleetCollect
+                | FrameKind::FleetPatterns
+                | FrameKind::FleetFinalize),
+                payload,
+            )) => {
                 if shared.draining.load(Ordering::Acquire) {
                     shared.rejected_busy.fetch_add(1, Ordering::AcqRel);
                     lazy_obs::counter!("daemon.rejected_busy_total", 1u64);
@@ -818,6 +893,14 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig, local
                 }
                 let request = match kind {
                     FrameKind::Diagnose => decode_diagnose_request(&payload).map(Request::Diagnose),
+                    FrameKind::FleetCollect => decode_fleet_collect(&payload)
+                        .map(|(session, request)| Request::FleetCollect { session, request }),
+                    FrameKind::FleetPatterns => decode_fleet_patterns(&payload)
+                        .map_err(DiagnosisError::Frame)
+                        .map(|(session, executed)| Request::FleetPatterns { session, executed }),
+                    FrameKind::FleetFinalize => decode_fleet_finalize(&payload)
+                        .map_err(DiagnosisError::Frame)
+                        .map(|(session, patterns)| Request::FleetFinalize { session, patterns }),
                     _ => decode_batch_request(&payload).map(Request::Batch),
                 };
                 let request = match request {

@@ -61,6 +61,16 @@ pub enum DiagnosisError {
         /// The server's error text.
         detail: String,
     },
+    /// The fleet coordination layer failed as a whole: no shards were
+    /// configured, every shard failed a protocol round, or a shard was
+    /// asked to continue a session it never started. Single-shard
+    /// failures do *not* raise this — the coordinator degrades and
+    /// diagnoses from the survivors, reporting the casualties in
+    /// [`crate::fleet::FleetOutcome::shard_reports`].
+    Fleet {
+        /// Human-readable description of the coordination failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DiagnosisError {
@@ -83,6 +93,9 @@ impl fmt::Display for DiagnosisError {
             DiagnosisError::Frame(e) => write!(f, "frame transport failed: {e}"),
             DiagnosisError::Remote { detail } => {
                 write!(f, "remote diagnosis failed: {detail}")
+            }
+            DiagnosisError::Fleet { detail } => {
+                write!(f, "fleet coordination failed: {detail}")
             }
         }
     }

@@ -1,0 +1,1308 @@
+//! Fleet-scale sharded diagnosis.
+//!
+//! The paper's deployment model aggregates evidence from *many*
+//! production endpoints (§3): one failing trace plus up to 10×
+//! successful traces. At fleet scale the trace corpus for a hot failure
+//! outgrows one diagnosis site, so this module shards it: N `snorlaxd`
+//! shards each hold a partition of the snapshots, and a
+//! [`FleetCoordinator`] merges their *sufficient statistics*
+//! ([`PatternStats`]) — never the raw traces — into one diagnosis that
+//! is **byte-identical** to running single-node over the union corpus
+//! (`tests/fleet.rs` proves this for 2/3/7 shards, in-process and over
+//! loopback TCP).
+//!
+//! ## The three-round protocol
+//!
+//! Byte-identity forces the round structure, because two pipeline
+//! stages are functions of *global* state:
+//!
+//! 1. **Collect** ([`FrameKind::FleetCollect`]): each shard decodes its
+//!    partition (steps 2–3) and reports its executed-instruction set.
+//!    The points-to scope is the *union* executed set, so candidate
+//!    selection cannot start until every shard has reported.
+//! 2. **Patterns** ([`FrameKind::FleetPatterns`]): the coordinator
+//!    broadcasts the merged executed set; each shard runs points-to +
+//!    candidate ranking against it — every shard derives the *same*
+//!    candidates — and generates bug patterns from its local failing
+//!    traces. Support counting needs the global pattern union, hence
+//!    the third round.
+//! 3. **Finalize** ([`FrameKind::FleetFinalize`]): the coordinator
+//!    broadcasts the merged pattern set; each shard counts supports
+//!    over its local traces and returns a serialized [`PatternStats`]
+//!    ([`FrameKind::PartialStats`]). Merging those and running
+//!    [`PatternStats::finalize`] is bit-identical to scoring the whole
+//!    corpus at once — the merge laws pinned by
+//!    `crates/core/tests/merge_laws.rs`.
+//!
+//! The coordinator applies the global 10× success cap *before* routing
+//! and routes snapshots round-robin, so the shard partition of the
+//! capped corpus is a pure function of the input — another byte-identity
+//! requirement.
+//!
+//! ## Degradation
+//!
+//! A shard that fails a round (transport error, corrupt frame, typed
+//! server error) is excluded from that round onward and reported in
+//! [`FleetOutcome::shard_reports`]; the diagnosis proceeds from the
+//! survivors' statistics. Only when *every* shard fails does the
+//! coordinator raise [`DiagnosisError::Fleet`].
+
+use crate::candidates::select_candidates;
+use crate::daemon::{
+    decode_failure, decode_snapshots, encode_failure, encode_snapshots, Cursor, FrameError,
+    FrameKind,
+};
+use crate::error::DiagnosisError;
+use crate::patterns::{
+    crash_patterns, deadlock_patterns, AccessKind, AtomKind, BugPattern, DeadlockEdge,
+    PatternContext, PatternEvent,
+};
+use crate::processing::ProcessedTrace;
+use crate::remote::RemoteClient;
+use crate::server::{ordered_events_for, Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
+use crate::statistics::{top_pattern_count, PatternCounts, PatternStats};
+use lazy_analysis::PointsTo;
+use lazy_ir::{Module, Pc};
+use lazy_trace::TraceSnapshot;
+use lazy_vm::{Failure, FailureKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Cap on sessions a shard holds open at once; a coordinator that
+/// abandons sessions mid-protocol cannot leak unbounded decoded traces.
+const MAX_SHARD_SESSIONS: usize = 64;
+
+/// One encoded pattern event: pc + access kind.
+const EVENT_BYTES: usize = 8 + 1;
+
+/// One encoded deadlock edge: hold pc + want pc.
+const EDGE_BYTES: usize = 8 + 8;
+
+// ---------------------------------------------------------------------
+// Shard side.
+
+/// Per-session state a shard holds between protocol rounds.
+struct ShardSession {
+    failure: Failure,
+    failing: Vec<Arc<ProcessedTrace>>,
+    successful: Vec<Arc<ProcessedTrace>>,
+    /// Candidate PC → type rank, derived in round 2 (empty before).
+    rank_of: HashMap<Pc, u32>,
+}
+
+/// The shard side of the fleet protocol: holds one module, decodes its
+/// partition of the trace corpus, and answers the three coordinator
+/// rounds. Embedded in every `snorlaxd` (the daemon dispatches fleet
+/// frames here) and usable in-process via [`ShardConn::Local`].
+pub struct FleetShard<'m> {
+    server: DiagnosisServer<'m>,
+    cfg: ServerConfig,
+    sessions: Mutex<HashMap<u64, ShardSession>>,
+}
+
+/// A shard's round-1 answer: its executed set plus decode-health sums.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectReply {
+    /// Executed PCs across the shard's decoded traces, sorted.
+    pub executed: Vec<Pc>,
+    /// Failing traces decoded (equals the routed count — a failing
+    /// snapshot that does not decode fails the round).
+    pub failing: u32,
+    /// Successful traces decoded (undecodable successes are dropped,
+    /// exactly as single-node `prepare` drops them).
+    pub successful: u32,
+    /// Decoded events across the shard's retained traces.
+    pub events_total: u64,
+    /// Packet-level resynchronizations summed over retained traces.
+    pub resyncs: u32,
+    /// `CYC` deltas dropped, summed.
+    pub cyc_dropped: u64,
+    /// `MTC` duplicate bytes ignored, summed.
+    pub mtc_dups: u64,
+}
+
+/// A shard's round-2 answer: its locally generated patterns plus the
+/// candidate statistics every shard derives identically from the global
+/// executed set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternsReply {
+    /// Patterns generated from the shard's local failing traces,
+    /// sorted + deduplicated.
+    pub patterns: Vec<BugPattern>,
+    /// The effective failing access (identical on every shard).
+    pub failing_pc: Pc,
+    /// Executed instructions with pointer operands (identical).
+    pub pointer_insts: u64,
+    /// Ranked candidates after truncation (identical).
+    pub candidates: u32,
+    /// Rank-1 candidates (identical).
+    pub rank1_candidates: u32,
+}
+
+/// A shard's round-3 answer: its partial sufficient statistics plus
+/// the event times the coordinator needs to order the root cause's
+/// events (`O_S`) without ever seeing the shard's traces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FinalizeReply {
+    /// Supports counted over the shard's local traces.
+    pub stats: PatternStats,
+    /// For the shard's *first* failing trace: pattern PC → last
+    /// observed `time.lo`. PCs the trace never executed are absent.
+    pub event_times: Vec<(Pc, u64)>,
+}
+
+impl<'m> FleetShard<'m> {
+    /// Creates a shard for `module`.
+    pub fn new(module: &'m Module, cfg: ServerConfig) -> FleetShard<'m> {
+        FleetShard {
+            server: DiagnosisServer::new(module, cfg.clone()),
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ShardSession>> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Round 1: decode this shard's partition and report its executed
+    /// set. Opens (or replaces) session `session`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a failing snapshot does not decode, or when the shard
+    /// already holds [`MAX_SHARD_SESSIONS`] other sessions.
+    pub fn collect(
+        &self,
+        session: u64,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<CollectReply, DiagnosisError> {
+        let _span = lazy_obs::span!("fleet.shard.collect");
+        {
+            let sessions = self.lock_sessions();
+            if sessions.len() >= MAX_SHARD_SESSIONS && !sessions.contains_key(&session) {
+                return Err(DiagnosisError::Fleet {
+                    detail: format!("shard at capacity: {MAX_SHARD_SESSIONS} open sessions"),
+                });
+            }
+        }
+        let (failing_traces, success_traces, executed) =
+            self.server
+                .prepare_shard(failing, successful, self.cfg.resolved_decode_workers())?;
+        let mut executed: Vec<Pc> = executed.into_iter().collect();
+        executed.sort_unstable();
+        let all = || failing_traces.iter().chain(success_traces.iter());
+        let reply = CollectReply {
+            executed,
+            failing: failing_traces.len() as u32,
+            successful: success_traces.len() as u32,
+            events_total: all().map(|t| t.event_count as u64).sum(),
+            resyncs: all().map(|t| t.resyncs).sum(),
+            cyc_dropped: all().map(|t| t.cyc_dropped).sum(),
+            mtc_dups: all().map(|t| t.mtc_dups).sum(),
+        };
+        self.lock_sessions().insert(
+            session,
+            ShardSession {
+                failure: failure.clone(),
+                failing: failing_traces,
+                successful: success_traces,
+                rank_of: HashMap::new(),
+            },
+        );
+        Ok(reply)
+    }
+
+    /// Round 2: run candidate selection against the *global* executed
+    /// set and generate patterns from the local failing traces. This
+    /// mirrors the single-node steps 4–6 exactly — same points-to
+    /// scope, same candidate truncation, same per-trace pattern
+    /// generation, same sort + dedup.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Fleet`] when `session` was never opened here.
+    pub fn patterns(&self, session: u64, executed: &[Pc]) -> Result<PatternsReply, DiagnosisError> {
+        let _span = lazy_obs::span!("fleet.shard.patterns");
+        let module = self.server.module();
+        let executed: HashSet<Pc> = executed.iter().copied().collect();
+        let (failure, failing) = {
+            let sessions = self.lock_sessions();
+            let sess = sessions.get(&session).ok_or_else(|| unknown(session))?;
+            (sess.failure.clone(), sess.failing.clone())
+        };
+        let is_deadlock = matches!(
+            failure.kind,
+            FailureKind::Deadlock { .. } | FailureKind::Hang
+        );
+        let pts = PointsTo::analyze_scoped(module, &executed);
+        let mut cands = select_candidates(module, &pts, &executed, failure.pc, is_deadlock);
+        if cands.ranked.len() > self.cfg.max_candidates {
+            cands.ranked.truncate(self.cfg.max_candidates);
+        }
+        let ctx = PatternContext::new(module, &pts, &cands);
+        let mut patterns: Vec<BugPattern> = Vec::new();
+        for t in &failing {
+            let mut p = if is_deadlock {
+                deadlock_patterns(&ctx, &cands, t)
+            } else {
+                let mut p = crash_patterns(&ctx, &cands, t);
+                p.extend(crate::multivar::multivar_patterns(
+                    module, &pts, &executed, failure.pc, t, &cands,
+                ));
+                p
+            };
+            patterns.append(&mut p);
+        }
+        patterns.sort();
+        patterns.dedup();
+        let rank_of: HashMap<Pc, u32> = cands.ranked.iter().map(|r| (r.pc, r.rank)).collect();
+        let reply = PatternsReply {
+            patterns,
+            failing_pc: cands.failing_pc,
+            pointer_insts: cands.pointer_insts_executed as u64,
+            candidates: cands.ranked.len() as u32,
+            rank1_candidates: cands.rank1_count() as u32,
+        };
+        if let Some(sess) = self.lock_sessions().get_mut(&session) {
+            sess.rank_of = rank_of;
+        }
+        Ok(reply)
+    }
+
+    /// Round 3: count supports for the *global* pattern set over the
+    /// local traces and close the session.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Fleet`] when `session` was never opened here.
+    pub fn finalize(
+        &self,
+        session: u64,
+        patterns: &[BugPattern],
+    ) -> Result<FinalizeReply, DiagnosisError> {
+        let _span = lazy_obs::span!("fleet.shard.finalize");
+        let sess = self
+            .lock_sessions()
+            .remove(&session)
+            .ok_or_else(|| unknown(session))?;
+        let stats = PatternStats::collect(patterns, &sess.failing, &sess.successful, &sess.rank_of);
+        let event_times = match sess.failing.first() {
+            Some(t0) => {
+                let pcs: BTreeSet<Pc> = patterns.iter().flat_map(|p| p.pcs()).collect();
+                pcs.into_iter()
+                    .filter_map(|pc| {
+                        t0.instances_of(pc)
+                            .iter()
+                            .map(|i| i.time.lo)
+                            .max()
+                            .map(|t| (pc, t))
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        Ok(FinalizeReply { stats, event_times })
+    }
+
+    /// Sessions currently open (abandoned coordinators show up here).
+    pub fn open_sessions(&self) -> usize {
+        self.lock_sessions().len()
+    }
+}
+
+fn unknown(session: u64) -> DiagnosisError {
+    DiagnosisError::Fleet {
+        detail: format!("unknown fleet session {session}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side.
+
+/// A coordinator's connection to one shard: in-process (sharing the
+/// coordinator's address space) or a `snorlaxd` over TCP.
+pub enum ShardConn<'m> {
+    /// An in-process shard (boxed: a shard embeds a whole
+    /// `DiagnosisServer` and would dwarf the `Remote` variant).
+    Local(Box<FleetShard<'m>>),
+    /// A remote `snorlaxd` speaking the fleet frames.
+    Remote(RemoteClient),
+}
+
+impl<'m> ShardConn<'m> {
+    /// An in-process shard over `module`.
+    pub fn local(module: &'m Module, cfg: ServerConfig) -> ShardConn<'m> {
+        ShardConn::Local(Box::new(FleetShard::new(module, cfg)))
+    }
+    fn collect(
+        &mut self,
+        session: u64,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<CollectReply, DiagnosisError> {
+        match self {
+            ShardConn::Local(s) => s.collect(session, failure, failing, successful),
+            ShardConn::Remote(c) => c.fleet_collect(session, failure, failing, successful),
+        }
+    }
+
+    fn patterns(&mut self, session: u64, executed: &[Pc]) -> Result<PatternsReply, DiagnosisError> {
+        match self {
+            ShardConn::Local(s) => s.patterns(session, executed),
+            ShardConn::Remote(c) => c.fleet_patterns(session, executed),
+        }
+    }
+
+    fn finalize(
+        &mut self,
+        session: u64,
+        patterns: &[BugPattern],
+    ) -> Result<FinalizeReply, DiagnosisError> {
+        match self {
+            ShardConn::Local(s) => s.finalize(session, patterns),
+            ShardConn::Remote(c) => c.fleet_finalize(session, patterns),
+        }
+    }
+}
+
+/// What happened on one shard during a fleet diagnosis.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index in the coordinator's shard list.
+    pub shard: usize,
+    /// Failing snapshots routed to this shard.
+    pub failing_routed: usize,
+    /// Successful snapshots routed (after the global cap).
+    pub successful_routed: usize,
+    /// `None` for a survivor; otherwise the protocol round that failed
+    /// ("collect", "patterns", "finalize") and the typed error.
+    pub error: Option<(&'static str, DiagnosisError)>,
+}
+
+/// A fleet-wide diagnosis plus its provenance.
+#[derive(Clone, Debug)]
+pub struct FleetOutcome {
+    /// The merged diagnosis — byte-identical (via
+    /// [`Diagnosis::render`]) to single-node when every shard survives.
+    pub diagnosis: Diagnosis,
+    /// Per-shard routing counts and failures.
+    pub shard_reports: Vec<ShardReport>,
+    /// The merged sufficient statistics the scores came from.
+    pub merged_stats: PatternStats,
+}
+
+impl FleetOutcome {
+    /// Shards that failed a protocol round.
+    pub fn failed_shards(&self) -> usize {
+        self.shard_reports
+            .iter()
+            .filter(|r| r.error.is_some())
+            .count()
+    }
+}
+
+/// Session-id source: unique within this process; the process id is
+/// mixed in so concurrent coordinator *processes* sharing one daemon
+/// cannot collide.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_session() -> u64 {
+    let n = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+    (u64::from(std::process::id()) << 32) ^ n
+}
+
+/// Routes one failure report across N shards and merges their partial
+/// statistics into a single fleet-wide [`Diagnosis`].
+pub struct FleetCoordinator<'m> {
+    module: &'m Module,
+    cfg: ServerConfig,
+    shards: Vec<ShardConn<'m>>,
+}
+
+impl<'m> FleetCoordinator<'m> {
+    /// Creates a coordinator over `shards`. `cfg` governs the global
+    /// success cap (`success_factor`) and must match the shards'
+    /// configuration for candidate truncation to agree.
+    pub fn new(
+        module: &'m Module,
+        cfg: ServerConfig,
+        shards: Vec<ShardConn<'m>>,
+    ) -> FleetCoordinator<'m> {
+        FleetCoordinator {
+            module,
+            cfg,
+            shards,
+        }
+    }
+
+    /// A coordinator over `n` in-process shards — the pure sharded
+    /// dataflow with no transport, used by determinism tests and the
+    /// `snorlax fleet coordinate` CLI.
+    pub fn in_process(module: &'m Module, cfg: ServerConfig, n: usize) -> FleetCoordinator<'m> {
+        let shards = (0..n)
+            .map(|_| ShardConn::local(module, cfg.clone()))
+            .collect();
+        FleetCoordinator::new(module, cfg, shards)
+    }
+
+    /// Shards configured.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs the three-round fleet protocol and merges the result.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::EmptyReport`] with no failing snapshots,
+    /// [`DiagnosisError::Fleet`] when no shards are configured or every
+    /// shard fails a round. A *subset* of shards failing degrades
+    /// instead: see [`FleetOutcome::shard_reports`].
+    pub fn diagnose(
+        &mut self,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<FleetOutcome, DiagnosisError> {
+        let _span = lazy_obs::span!("fleet.diagnose");
+        let started = Instant::now();
+        if self.shards.is_empty() {
+            return Err(DiagnosisError::Fleet {
+                detail: "no shards configured".to_owned(),
+            });
+        }
+        if failing.is_empty() {
+            return Err(DiagnosisError::EmptyReport);
+        }
+        let n = self.shards.len();
+        lazy_obs::counter!("fleet.shards_total", n);
+
+        // The global success cap applies BEFORE routing: a per-shard
+        // cap would depend on n and break equality with single-node.
+        let cap = self.cfg.success_factor * failing.len().max(1);
+        let successful = &successful[..successful.len().min(cap)];
+
+        // Round-robin routing: shard k gets failing traces k, k+n, …
+        // — a pure function of the input, and shard 0 always holds the
+        // globally-first failing trace (the `ordered_events` source).
+        let mut parts: Vec<(Vec<TraceSnapshot>, Vec<TraceSnapshot>)> =
+            (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+        for (i, s) in failing.iter().enumerate() {
+            parts[i % n].0.push(s.clone());
+        }
+        for (j, s) in successful.iter().enumerate() {
+            parts[j % n].1.push(s.clone());
+        }
+        let mut reports: Vec<ShardReport> = parts
+            .iter()
+            .enumerate()
+            .map(|(k, (f, s))| ShardReport {
+                shard: k,
+                failing_routed: f.len(),
+                successful_routed: s.len(),
+                error: None,
+            })
+            .collect();
+
+        let session = next_session();
+        let is_deadlock = matches!(
+            failure.kind,
+            FailureKind::Deadlock { .. } | FailureKind::Hang
+        );
+
+        // Round 1: collect.
+        let round_started = Instant::now();
+        let collected: Vec<Option<CollectReply>> = {
+            let _round = lazy_obs::span!("fleet.collect");
+            let alive = vec![true; n];
+            record_round(
+                "collect",
+                &mut reports,
+                fan_out(&mut self.shards, &alive, |k, shard| {
+                    shard.collect(session, failure, &parts[k].0, &parts[k].1)
+                }),
+            )
+        };
+        let mut alive: Vec<bool> = collected.iter().map(Option::is_some).collect();
+        require_survivors(&alive, &reports)?;
+        let decode_micros = round_started.elapsed().as_micros();
+
+        let executed_union: BTreeSet<Pc> = collected
+            .iter()
+            .flatten()
+            .flat_map(|r| r.executed.iter().copied())
+            .collect();
+        let executed: Vec<Pc> = executed_union.into_iter().collect();
+
+        // Round 2: patterns against the global executed set.
+        let round_started = Instant::now();
+        let pattern_sets: Vec<Option<PatternsReply>> = {
+            let _round = lazy_obs::span!("fleet.patterns");
+            record_round(
+                "patterns",
+                &mut reports,
+                fan_out(&mut self.shards, &alive, |_, shard| {
+                    shard.patterns(session, &executed)
+                }),
+            )
+        };
+        for (a, r) in alive.iter_mut().zip(&pattern_sets) {
+            *a = *a && r.is_some();
+        }
+        require_survivors(&alive, &reports)?;
+        let points_to_micros = round_started.elapsed().as_micros();
+
+        // Union the shards' sorted+deduped sets: identical to the
+        // single-node sort+dedup over the concatenated per-trace runs.
+        let pattern_union: BTreeSet<BugPattern> = pattern_sets
+            .iter()
+            .flatten()
+            .flat_map(|r| r.patterns.iter().cloned())
+            .collect();
+        let patterns: Vec<BugPattern> = pattern_union.into_iter().collect();
+        lazy_obs::counter!("fleet.patterns_merged_total", patterns.len());
+        // Every shard derives these from the same global executed set;
+        // take the first survivor's.
+        let cand_info = pattern_sets
+            .iter()
+            .flatten()
+            .next()
+            .cloned()
+            .ok_or_else(|| DiagnosisError::Fleet {
+                detail: "no surviving shard reported candidates".to_owned(),
+            })?;
+
+        // Round 3: finalize — gather and merge partial statistics.
+        let round_started = Instant::now();
+        let finals: Vec<Option<FinalizeReply>> = {
+            let _round = lazy_obs::span!("fleet.finalize");
+            record_round(
+                "finalize",
+                &mut reports,
+                fan_out(&mut self.shards, &alive, |_, shard| {
+                    shard.finalize(session, &patterns)
+                }),
+            )
+        };
+        for (a, r) in alive.iter_mut().zip(&finals) {
+            *a = *a && r.is_some();
+        }
+        require_survivors(&alive, &reports)?;
+
+        let mut merged = PatternStats::empty();
+        for r in finals.iter().flatten() {
+            merged.merge(&r.stats);
+        }
+        lazy_obs::counter!(
+            "fleet.partial_stats_merged_total",
+            finals.iter().flatten().count()
+        );
+        let failed = reports.iter().filter(|r| r.error.is_some()).count();
+        lazy_obs::counter!("fleet.shard_failures_total", failed);
+
+        let scores = merged.finalize();
+        let top_patterns = if patterns.is_empty() {
+            0
+        } else {
+            top_pattern_count(&scores)
+        };
+
+        // Order the root cause's events using the earliest surviving
+        // shard that holds a failing trace — with full survival that is
+        // shard 0, whose first local failing trace IS the global first.
+        let time_map: BTreeMap<Pc, u64> = finals
+            .iter()
+            .enumerate()
+            .find(|(k, r)| r.is_some() && reports[*k].failing_routed > 0)
+            .and_then(|(_, r)| r.as_ref())
+            .map(|r| r.event_times.iter().copied().collect())
+            .unwrap_or_default();
+        let ordered_events = match scores.first().filter(|s| s.f1 > 0.0) {
+            Some(top) => ordered_events_for(top, |pc| time_map.get(&pc).copied()),
+            None => Vec::new(),
+        };
+
+        let sum_collected =
+            |f: &dyn Fn(&CollectReply) -> u64| -> u64 { collected.iter().flatten().map(f).sum() };
+        let stats = PipelineStats {
+            static_insts: self.module.inst_count(),
+            executed_insts: executed.len(),
+            pointer_insts: cand_info.pointer_insts as usize,
+            candidates: cand_info.candidates as usize,
+            rank1_candidates: cand_info.rank1_candidates as usize,
+            patterns: patterns.len(),
+            top_patterns,
+            events_total: sum_collected(&|r| r.events_total) as usize,
+            analysis_micros: started.elapsed().as_micros(),
+            decode_micros,
+            points_to_micros,
+            pattern_micros: round_started.elapsed().as_micros(),
+            decode_resyncs: collected.iter().flatten().map(|r| r.resyncs).sum(),
+            cyc_dropped: sum_collected(&|r| r.cyc_dropped),
+            mtc_dups: sum_collected(&|r| r.mtc_dups),
+        };
+        lazy_obs::histogram!("fleet.diagnose_us", stats.analysis_micros);
+        Ok(FleetOutcome {
+            diagnosis: Diagnosis {
+                scores,
+                stats,
+                failing_pc: cand_info.failing_pc,
+                is_deadlock,
+                ordered_events,
+            },
+            shard_reports: reports,
+            merged_stats: merged,
+        })
+    }
+}
+
+/// Runs `f` concurrently against every still-alive shard (one scoped
+/// thread each; a shard is one network peer, so parallel fan-out is the
+/// round's natural shape). A panic inside a shard call degrades that
+/// shard instead of unwinding through the scope.
+fn fan_out<R: Send>(
+    shards: &mut [ShardConn<'_>],
+    alive: &[bool],
+    f: impl Fn(usize, &mut ShardConn<'_>) -> Result<R, DiagnosisError> + Sync,
+) -> Vec<Option<Result<R, DiagnosisError>>> {
+    let mut slots: Vec<Option<Result<R, DiagnosisError>>> = shards.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((k, shard), slot) in shards.iter_mut().enumerate().zip(slots.iter_mut()) {
+            if !alive[k] {
+                continue;
+            }
+            let f = &f;
+            scope.spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| f(k, shard)))
+                    .unwrap_or_else(|p| Err(DiagnosisError::from_panic("fleet", p)));
+                *slot = Some(r);
+            });
+        }
+    });
+    slots
+}
+
+/// Files each shard's round result: errors land in `reports`, values
+/// pass through.
+fn record_round<R>(
+    round: &'static str,
+    reports: &mut [ShardReport],
+    results: Vec<Option<Result<R, DiagnosisError>>>,
+) -> Vec<Option<R>> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(k, r)| match r {
+            Some(Ok(v)) => Some(v),
+            Some(Err(e)) => {
+                reports[k].error = Some((round, e));
+                None
+            }
+            None => None,
+        })
+        .collect()
+}
+
+/// All-shards-failed is the one fleet-fatal condition.
+fn require_survivors(alive: &[bool], reports: &[ShardReport]) -> Result<(), DiagnosisError> {
+    if alive.iter().any(|a| *a) {
+        return Ok(());
+    }
+    let last = reports
+        .iter()
+        .rev()
+        .find_map(|r| r.error.as_ref())
+        .map(|(round, e)| format!("last failure in {round}: {e}"))
+        .unwrap_or_else(|| "no shards answered".to_owned());
+    Err(DiagnosisError::Fleet {
+        detail: format!("every shard failed; {last}"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Wire codecs for the fleet frames.
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_event(out: &mut Vec<u8>, e: &PatternEvent) {
+    push_u64(out, e.pc.0);
+    out.push(match e.kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Lock => 2,
+    });
+}
+
+fn decode_event(c: &mut Cursor<'_>) -> Result<PatternEvent, FrameError> {
+    let pc = Pc(c.u64()?);
+    let kind = match c.u8()? {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::Lock,
+        _ => return Err(FrameError::BadPayload("access kind")),
+    };
+    Ok(PatternEvent { pc, kind })
+}
+
+fn encode_pattern(out: &mut Vec<u8>, p: &BugPattern) {
+    match p {
+        BugPattern::OrderViolation { first, second } => {
+            out.push(0);
+            encode_event(out, first);
+            encode_event(out, second);
+        }
+        BugPattern::AtomicityViolation {
+            kind,
+            first,
+            second,
+            third,
+        } => {
+            out.push(1);
+            out.push(match kind {
+                AtomKind::Rwr => 0,
+                AtomKind::Wwr => 1,
+                AtomKind::Rww => 2,
+                AtomKind::Wrw => 3,
+            });
+            encode_event(out, first);
+            encode_event(out, second);
+            encode_event(out, third);
+        }
+        BugPattern::Deadlock { edges } => {
+            out.push(2);
+            push_u32(out, edges.len() as u32);
+            for e in edges {
+                push_u64(out, e.hold_pc.0);
+                push_u64(out, e.want_pc.0);
+            }
+        }
+        BugPattern::MultiVarAtomicity {
+            w_first,
+            w_second,
+            r_first,
+            r_second,
+        } => {
+            out.push(3);
+            encode_event(out, w_first);
+            encode_event(out, w_second);
+            encode_event(out, r_first);
+            encode_event(out, r_second);
+        }
+        BugPattern::UnorderedTargets { events } => {
+            out.push(4);
+            push_u32(out, events.len() as u32);
+            for e in events {
+                encode_event(out, e);
+            }
+        }
+    }
+}
+
+fn decode_pattern(c: &mut Cursor<'_>) -> Result<BugPattern, FrameError> {
+    Ok(match c.u8()? {
+        0 => BugPattern::OrderViolation {
+            first: decode_event(c)?,
+            second: decode_event(c)?,
+        },
+        1 => {
+            let kind = match c.u8()? {
+                0 => AtomKind::Rwr,
+                1 => AtomKind::Wwr,
+                2 => AtomKind::Rww,
+                3 => AtomKind::Wrw,
+                _ => return Err(FrameError::BadPayload("atomicity kind")),
+            };
+            BugPattern::AtomicityViolation {
+                kind,
+                first: decode_event(c)?,
+                second: decode_event(c)?,
+                third: decode_event(c)?,
+            }
+        }
+        2 => {
+            let n = c.u32()? as usize;
+            if n > c.remaining() / EDGE_BYTES {
+                return Err(FrameError::BadPayload("deadlock edge count"));
+            }
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                edges.push(DeadlockEdge {
+                    hold_pc: Pc(c.u64()?),
+                    want_pc: Pc(c.u64()?),
+                });
+            }
+            BugPattern::Deadlock { edges }
+        }
+        3 => BugPattern::MultiVarAtomicity {
+            w_first: decode_event(c)?,
+            w_second: decode_event(c)?,
+            r_first: decode_event(c)?,
+            r_second: decode_event(c)?,
+        },
+        4 => {
+            let n = c.u32()? as usize;
+            if n > c.remaining() / EVENT_BYTES {
+                return Err(FrameError::BadPayload("unordered event count"));
+            }
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(decode_event(c)?);
+            }
+            BugPattern::UnorderedTargets { events }
+        }
+        _ => return Err(FrameError::BadPayload("pattern tag")),
+    })
+}
+
+fn encode_patterns(out: &mut Vec<u8>, patterns: &[BugPattern]) {
+    push_u32(out, patterns.len() as u32);
+    for p in patterns {
+        encode_pattern(out, p);
+    }
+}
+
+fn decode_patterns(c: &mut Cursor<'_>) -> Result<Vec<BugPattern>, FrameError> {
+    let n = c.u32()? as usize;
+    // Every pattern costs at least its tag byte.
+    if n > c.remaining() {
+        return Err(FrameError::BadPayload("pattern count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_pattern(c)?);
+    }
+    Ok(out)
+}
+
+fn encode_pcs(out: &mut Vec<u8>, pcs: &[Pc]) {
+    push_u32(out, pcs.len() as u32);
+    for pc in pcs {
+        push_u64(out, pc.0);
+    }
+}
+
+fn decode_pcs(c: &mut Cursor<'_>) -> Result<Vec<Pc>, FrameError> {
+    let n = c.u32()? as usize;
+    if n > c.remaining() / 8 {
+        return Err(FrameError::BadPayload("pc count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Pc(c.u64()?));
+    }
+    Ok(out)
+}
+
+fn done(c: &Cursor<'_>) -> Result<(), FrameError> {
+    if c.remaining() != 0 {
+        return Err(FrameError::BadPayload("trailing bytes"));
+    }
+    Ok(())
+}
+
+fn cursor(payload: &[u8]) -> Cursor<'_> {
+    Cursor {
+        bytes: payload,
+        pos: 0,
+    }
+}
+
+/// Encodes a [`FrameKind::FleetCollect`] payload.
+pub fn encode_fleet_collect(
+    session: u64,
+    failure: &Failure,
+    failing: &[TraceSnapshot],
+    successful: &[TraceSnapshot],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, session);
+    encode_failure(&mut out, failure);
+    encode_snapshots(&mut out, failing);
+    encode_snapshots(&mut out, successful);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetCollect`] payload.
+///
+/// # Errors
+///
+/// Frame errors for structural corruption; wire errors when an embedded
+/// snapshot fails its own checksum.
+pub fn decode_fleet_collect(
+    payload: &[u8],
+) -> Result<(u64, crate::daemon::DiagnoseRequest), DiagnosisError> {
+    let mut c = cursor(payload);
+    let session = c.u64().map_err(DiagnosisError::Frame)?;
+    let failure = decode_failure(&mut c).map_err(DiagnosisError::Frame)?;
+    let failing = decode_snapshots(&mut c)?;
+    let successful = decode_snapshots(&mut c)?;
+    done(&c).map_err(DiagnosisError::Frame)?;
+    Ok((
+        session,
+        crate::daemon::DiagnoseRequest {
+            failure,
+            failing,
+            successful,
+        },
+    ))
+}
+
+/// Encodes a [`FrameKind::FleetCollectAck`] payload.
+pub fn encode_collect_reply(r: &CollectReply) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_pcs(&mut out, &r.executed);
+    push_u32(&mut out, r.failing);
+    push_u32(&mut out, r.successful);
+    push_u64(&mut out, r.events_total);
+    push_u32(&mut out, r.resyncs);
+    push_u64(&mut out, r.cyc_dropped);
+    push_u64(&mut out, r.mtc_dups);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetCollectAck`] payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] / [`FrameError::Truncated`] on structural
+/// corruption.
+pub fn decode_collect_reply(payload: &[u8]) -> Result<CollectReply, FrameError> {
+    let mut c = cursor(payload);
+    let r = CollectReply {
+        executed: decode_pcs(&mut c)?,
+        failing: c.u32()?,
+        successful: c.u32()?,
+        events_total: c.u64()?,
+        resyncs: c.u32()?,
+        cyc_dropped: c.u64()?,
+        mtc_dups: c.u64()?,
+    };
+    done(&c)?;
+    Ok(r)
+}
+
+/// Encodes a [`FrameKind::FleetPatterns`] payload.
+pub fn encode_fleet_patterns(session: u64, executed: &[Pc]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, session);
+    encode_pcs(&mut out, executed);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetPatterns`] payload.
+///
+/// # Errors
+///
+/// Frame errors on structural corruption.
+pub fn decode_fleet_patterns(payload: &[u8]) -> Result<(u64, Vec<Pc>), FrameError> {
+    let mut c = cursor(payload);
+    let session = c.u64()?;
+    let executed = decode_pcs(&mut c)?;
+    done(&c)?;
+    Ok((session, executed))
+}
+
+/// Encodes a [`FrameKind::FleetPatternSet`] payload.
+pub fn encode_patterns_reply(r: &PatternsReply) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_patterns(&mut out, &r.patterns);
+    push_u64(&mut out, r.failing_pc.0);
+    push_u64(&mut out, r.pointer_insts);
+    push_u32(&mut out, r.candidates);
+    push_u32(&mut out, r.rank1_candidates);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetPatternSet`] payload.
+///
+/// # Errors
+///
+/// Frame errors on structural corruption.
+pub fn decode_patterns_reply(payload: &[u8]) -> Result<PatternsReply, FrameError> {
+    let mut c = cursor(payload);
+    let r = PatternsReply {
+        patterns: decode_patterns(&mut c)?,
+        failing_pc: Pc(c.u64()?),
+        pointer_insts: c.u64()?,
+        candidates: c.u32()?,
+        rank1_candidates: c.u32()?,
+    };
+    done(&c)?;
+    Ok(r)
+}
+
+/// Encodes a [`FrameKind::FleetFinalize`] payload.
+pub fn encode_fleet_finalize(session: u64, patterns: &[BugPattern]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, session);
+    encode_patterns(&mut out, patterns);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetFinalize`] payload.
+///
+/// # Errors
+///
+/// Frame errors on structural corruption.
+pub fn decode_fleet_finalize(payload: &[u8]) -> Result<(u64, Vec<BugPattern>), FrameError> {
+    let mut c = cursor(payload);
+    let session = c.u64()?;
+    let patterns = decode_patterns(&mut c)?;
+    done(&c)?;
+    Ok((session, patterns))
+}
+
+/// Encodes a [`FrameKind::PartialStats`] payload: the serialized
+/// sufficient statistics plus the event-time map.
+pub fn encode_finalize_reply(r: &FinalizeReply) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, r.stats.failing_traces() as u64);
+    push_u64(&mut out, r.stats.successful_traces() as u64);
+    push_u32(&mut out, r.stats.len() as u32);
+    for (p, c) in r.stats.entries() {
+        encode_pattern(&mut out, p);
+        push_u32(&mut out, c.type_rank);
+        push_u32(&mut out, c.fail_support as u32);
+        push_u32(&mut out, c.success_support as u32);
+    }
+    push_u32(&mut out, r.event_times.len() as u32);
+    for (pc, t) in &r.event_times {
+        push_u64(&mut out, pc.0);
+        push_u64(&mut out, *t);
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::PartialStats`] payload.
+///
+/// # Errors
+///
+/// Frame errors on structural corruption.
+pub fn decode_finalize_reply(payload: &[u8]) -> Result<FinalizeReply, FrameError> {
+    let mut c = cursor(payload);
+    let failing = c.u64()? as usize;
+    let successful = c.u64()? as usize;
+    let n = c.u32()? as usize;
+    // Each entry costs at least a pattern tag plus three count words.
+    if n > c.remaining() / 13 {
+        return Err(FrameError::BadPayload("stats entry count"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = decode_pattern(&mut c)?;
+        let counts = PatternCounts {
+            type_rank: c.u32()?,
+            fail_support: c.u32()? as usize,
+            success_support: c.u32()? as usize,
+        };
+        entries.push((p, counts));
+    }
+    let m = c.u32()? as usize;
+    if m > c.remaining() / 16 {
+        return Err(FrameError::BadPayload("event time count"));
+    }
+    let mut event_times = Vec::with_capacity(m);
+    for _ in 0..m {
+        event_times.push((Pc(c.u64()?), c.u64()?));
+    }
+    done(&c)?;
+    Ok(FinalizeReply {
+        stats: PatternStats::from_parts(entries, failing, successful),
+        event_times,
+    })
+}
+
+/// Response-kind mapping for the three fleet requests — the daemon uses
+/// this to pick the ack kind, the client to validate it.
+pub fn fleet_response_kind(request: FrameKind) -> Option<FrameKind> {
+    match request {
+        FrameKind::FleetCollect => Some(FrameKind::FleetCollectAck),
+        FrameKind::FleetPatterns => Some(FrameKind::FleetPatternSet),
+        FrameKind::FleetFinalize => Some(FrameKind::PartialStats),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u64, kind: AccessKind) -> PatternEvent {
+        PatternEvent { pc: Pc(pc), kind }
+    }
+
+    fn sample_patterns() -> Vec<BugPattern> {
+        vec![
+            BugPattern::OrderViolation {
+                first: ev(0x10, AccessKind::Write),
+                second: ev(0x20, AccessKind::Read),
+            },
+            BugPattern::AtomicityViolation {
+                kind: AtomKind::Rwr,
+                first: ev(1, AccessKind::Read),
+                second: ev(2, AccessKind::Write),
+                third: ev(3, AccessKind::Read),
+            },
+            BugPattern::Deadlock {
+                edges: vec![
+                    DeadlockEdge {
+                        hold_pc: Pc(5),
+                        want_pc: Pc(6),
+                    },
+                    DeadlockEdge {
+                        hold_pc: Pc(7),
+                        want_pc: Pc(8),
+                    },
+                ],
+            },
+            BugPattern::MultiVarAtomicity {
+                w_first: ev(11, AccessKind::Write),
+                w_second: ev(12, AccessKind::Write),
+                r_first: ev(13, AccessKind::Read),
+                r_second: ev(14, AccessKind::Read),
+            },
+            BugPattern::UnorderedTargets {
+                events: vec![ev(21, AccessKind::Lock), ev(22, AccessKind::Write)],
+            },
+        ]
+    }
+
+    #[test]
+    fn pattern_codec_roundtrips_every_variant() {
+        let patterns = sample_patterns();
+        let mut out = Vec::new();
+        encode_patterns(&mut out, &patterns);
+        let mut c = cursor(&out);
+        let back = decode_patterns(&mut c).unwrap();
+        assert_eq!(back, patterns);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn finalize_reply_codec_roundtrips() {
+        let entries: Vec<(BugPattern, PatternCounts)> = sample_patterns()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    p,
+                    PatternCounts {
+                        type_rank: 1 + (i as u32 % 2),
+                        fail_support: i,
+                        success_support: 2 * i,
+                    },
+                )
+            })
+            .collect();
+        let reply = FinalizeReply {
+            stats: PatternStats::from_parts(entries, 7, 70),
+            event_times: vec![(Pc(0x10), 42), (Pc(0x20), u64::MAX - 1)],
+        };
+        let wire = encode_finalize_reply(&reply);
+        let back = decode_finalize_reply(&wire).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn collect_and_patterns_codecs_roundtrip() {
+        let collect = CollectReply {
+            executed: vec![Pc(1), Pc(2), Pc(900)],
+            failing: 3,
+            successful: 30,
+            events_total: 123_456,
+            resyncs: 2,
+            cyc_dropped: 9,
+            mtc_dups: 1,
+        };
+        let wire = encode_collect_reply(&collect);
+        assert_eq!(decode_collect_reply(&wire).unwrap(), collect);
+
+        let reply = PatternsReply {
+            patterns: sample_patterns(),
+            failing_pc: Pc(0x40),
+            pointer_insts: 512,
+            candidates: 17,
+            rank1_candidates: 4,
+        };
+        let wire = encode_patterns_reply(&reply);
+        assert_eq!(decode_patterns_reply(&wire).unwrap(), reply);
+
+        let (s, pcs) = decode_fleet_patterns(&encode_fleet_patterns(9, &collect.executed)).unwrap();
+        assert_eq!((s, pcs), (9, collect.executed.clone()));
+        let (s, ps) = decode_fleet_finalize(&encode_fleet_finalize(11, &reply.patterns)).unwrap();
+        assert_eq!(s, 11);
+        assert_eq!(ps, reply.patterns);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_not_panics() {
+        let reply = FinalizeReply {
+            stats: PatternStats::from_parts(
+                vec![(
+                    sample_patterns().remove(0),
+                    PatternCounts {
+                        type_rank: 1,
+                        fail_support: 1,
+                        success_support: 0,
+                    },
+                )],
+                1,
+                10,
+            ),
+            event_times: vec![(Pc(0x10), 42)],
+        };
+        let wire = encode_finalize_reply(&reply);
+        // Truncation at every prefix is a typed error.
+        for cut in 0..wire.len() {
+            assert!(decode_finalize_reply(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        // An inflated entry count is rejected before allocation.
+        let mut inflated = wire.clone();
+        inflated[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_finalize_reply(&inflated).is_err());
+        // Trailing garbage is rejected.
+        let mut trailing = wire;
+        trailing.push(0);
+        assert_eq!(
+            decode_finalize_reply(&trailing),
+            Err(FrameError::BadPayload("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn response_kind_mapping_covers_the_three_rounds() {
+        assert_eq!(
+            fleet_response_kind(FrameKind::FleetCollect),
+            Some(FrameKind::FleetCollectAck)
+        );
+        assert_eq!(
+            fleet_response_kind(FrameKind::FleetPatterns),
+            Some(FrameKind::FleetPatternSet)
+        );
+        assert_eq!(
+            fleet_response_kind(FrameKind::FleetFinalize),
+            Some(FrameKind::PartialStats)
+        );
+        assert_eq!(fleet_response_kind(FrameKind::Diagnose), None);
+    }
+
+    #[test]
+    fn session_ids_are_process_unique() {
+        let a = next_session();
+        let b = next_session();
+        assert_ne!(a, b);
+    }
+}

@@ -49,6 +49,7 @@ pub mod candidates;
 pub mod client;
 pub mod daemon;
 pub mod error;
+pub mod fleet;
 pub mod multivar;
 pub mod patterns;
 pub mod processing;
@@ -62,9 +63,10 @@ pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
 pub use daemon::{serve, DaemonConfig, DaemonStats, FrameError, FrameKind};
 pub use error::DiagnosisError;
+pub use fleet::{FleetCoordinator, FleetOutcome, FleetShard, ShardConn, ShardReport};
 pub use multivar::multivar_patterns;
 pub use patterns::{AtomKind, BugPattern, DeadlockEdge, PatternEvent};
 pub use processing::{process_snapshot, DynInstance, ProcessedTrace};
 pub use remote::RemoteClient;
 pub use server::{Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
-pub use statistics::{score_patterns, PatternScore};
+pub use statistics::{score_patterns, PatternScore, PatternStats, DEFAULT_TYPE_RANK};

@@ -20,6 +20,12 @@ use crate::daemon::{
     FrameError, FrameKind,
 };
 use crate::error::DiagnosisError;
+use crate::fleet::{
+    decode_collect_reply, decode_finalize_reply, decode_patterns_reply, encode_fleet_collect,
+    encode_fleet_finalize, encode_fleet_patterns, CollectReply, FinalizeReply, PatternsReply,
+};
+use crate::patterns::BugPattern;
+use lazy_ir::Pc;
 use lazy_trace::TraceSnapshot;
 use lazy_vm::Failure;
 use std::io::Write;
@@ -121,6 +127,71 @@ impl RemoteClient {
         let payload = encode_batch_request(jobs);
         match self.roundtrip(FrameKind::Batch, &payload)? {
             (FrameKind::BatchReport, p) => decode_batch_report(&p).map_err(DiagnosisError::Frame),
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Fleet round 1: opens shard session `session` on this daemon with
+    /// the routed trace partition; returns the shard's executed set.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the shard rejects or fails the
+    /// round, [`DiagnosisError::Frame`] on transport failure.
+    pub fn fleet_collect(
+        &mut self,
+        session: u64,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+    ) -> Result<CollectReply, DiagnosisError> {
+        let payload = encode_fleet_collect(session, failure, failing, successful);
+        match self.roundtrip(FrameKind::FleetCollect, &payload)? {
+            (FrameKind::FleetCollectAck, p) => {
+                decode_collect_reply(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Fleet round 2: broadcasts the merged global executed set;
+    /// returns the shard's locally generated pattern set.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the shard rejects or fails the
+    /// round, [`DiagnosisError::Frame`] on transport failure.
+    pub fn fleet_patterns(
+        &mut self,
+        session: u64,
+        executed: &[Pc],
+    ) -> Result<PatternsReply, DiagnosisError> {
+        let payload = encode_fleet_patterns(session, executed);
+        match self.roundtrip(FrameKind::FleetPatterns, &payload)? {
+            (FrameKind::FleetPatternSet, p) => {
+                decode_patterns_reply(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Fleet round 3: broadcasts the merged global pattern set; returns
+    /// the shard's partial statistics and closes the session.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the shard rejects or fails the
+    /// round, [`DiagnosisError::Frame`] on transport failure.
+    pub fn fleet_finalize(
+        &mut self,
+        session: u64,
+        patterns: &[BugPattern],
+    ) -> Result<FinalizeReply, DiagnosisError> {
+        let payload = encode_fleet_finalize(session, patterns);
+        match self.roundtrip(FrameKind::FleetFinalize, &payload)? {
+            (FrameKind::PartialStats, p) => {
+                decode_finalize_reply(&p).map_err(DiagnosisError::Frame)
+            }
             other => Err(Self::reject(other)),
         }
     }

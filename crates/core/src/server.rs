@@ -12,7 +12,7 @@ use crate::candidates::select_candidates;
 use crate::error::DiagnosisError;
 use crate::patterns::{crash_patterns, deadlock_patterns, BugPattern, PatternContext};
 use crate::processing::{process_snapshot_par, ProcessedTrace};
-use crate::statistics::{score_patterns, PatternScore};
+use crate::statistics::{score_patterns, top_pattern_count, PatternScore};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Cfg, Module, Pc};
 use lazy_trace::{ExecIndex, TraceConfig, TraceSnapshot};
@@ -53,7 +53,7 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    fn resolved_decode_workers(&self) -> usize {
+    pub(crate) fn resolved_decode_workers(&self) -> usize {
         if self.decode_workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -370,9 +370,36 @@ impl<'m> DiagnosisServer<'m> {
         }
         let success_cap = self.cfg.success_factor * failing.len().max(1);
         let successful = &successful[..successful.len().min(success_cap)];
+        self.prepare_traces(failing, successful, memo, workers)
+    }
+
+    /// [`DiagnosisServer::prepare`] for one fleet shard's partition.
+    /// The coordinator applies the global success cap *before* routing
+    /// (a per-shard cap would depend on the shard count and break
+    /// byte-identity with single-node), and a shard may legitimately
+    /// hold zero failing traces when there are fewer failing reports
+    /// than shards — so neither the cap nor the `EmptyReport` check
+    /// applies here.
+    pub(crate) fn prepare_shard(
+        &self,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+        workers: usize,
+    ) -> Result<Prepared, DiagnosisError> {
+        self.prepare_traces(failing, successful, None, workers)
+    }
+
+    /// Shared decode body: `successful` is already capped by the caller.
+    fn prepare_traces<'a>(
+        &self,
+        failing: &'a [TraceSnapshot],
+        successful: &'a [TraceSnapshot],
+        memo: Option<&SnapshotMemo<'a>>,
+        workers: usize,
+    ) -> Result<Prepared, DiagnosisError> {
         let snapshots: Vec<&'a TraceSnapshot> = failing.iter().chain(successful.iter()).collect();
 
-        let outer = workers.clamp(1, snapshots.len());
+        let outer = workers.clamp(1, snapshots.len().max(1));
         let inner = (workers / outer).max(1);
         let process_one = |s: &'a TraceSnapshot| -> Processed {
             if let Some(m) = memo {
@@ -515,17 +542,7 @@ impl<'m> DiagnosisServer<'m> {
         let rank_of: std::collections::HashMap<Pc, u32> =
             cands.ranked.iter().map(|r| (r.pc, r.rank)).collect();
         let scores = score_patterns(&patterns, failing_traces, success_traces, &rank_of);
-        let top_patterns = match scores.first() {
-            Some(t) => scores
-                .iter()
-                .filter(|s| {
-                    (s.f1 - t.f1).abs() < 1e-12
-                        && s.type_rank == t.type_rank
-                        && s.pattern.pcs().len() == t.pattern.pcs().len()
-                })
-                .count(),
-            None => 0,
-        };
+        let top_patterns = top_pattern_count(&scores);
         drop(stats_span);
         lazy_obs::counter!("stats.patterns_scored_total", scores.len());
 
@@ -534,23 +551,9 @@ impl<'m> DiagnosisServer<'m> {
         let ordered_events = match scores.first().filter(|s| s.f1 > 0.0) {
             Some(top) => {
                 let t0 = &failing_traces[0];
-                let mut pcs: Vec<Pc> = top.pattern.pcs();
-                pcs.dedup();
-                let mut keyed: Vec<(u64, usize, Pc)> = pcs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, pc)| {
-                        let t = t0
-                            .instances_of(pc)
-                            .iter()
-                            .map(|inst| inst.time.lo)
-                            .max()
-                            .unwrap_or(u64::MAX);
-                        (t, i, pc)
-                    })
-                    .collect();
-                keyed.sort();
-                keyed.into_iter().map(|(_, _, pc)| pc).collect()
+                ordered_events_for(top, |pc| {
+                    t0.instances_of(pc).iter().map(|inst| inst.time.lo).max()
+                })
             }
             None => Vec::new(),
         };
@@ -582,6 +585,29 @@ impl<'m> DiagnosisServer<'m> {
             ordered_events,
         }
     }
+}
+
+/// Orders the root-cause pattern's instructions by observed execution
+/// time: `time_of` maps a PC to its last observed `time.lo` in the
+/// reference failing trace (`None` when the failure pre-empted the
+/// event, which sorts last). Consecutive duplicates collapse first so a
+/// pattern revisiting a PC reports it once per visit site, and ties
+/// keep pattern order. Shared verbatim by the in-process path and the
+/// fleet coordinator (which receives `time_of` over the wire) — the
+/// `O_S` ordering must not depend on where the trace lives.
+pub(crate) fn ordered_events_for(
+    top: &PatternScore,
+    time_of: impl Fn(Pc) -> Option<u64>,
+) -> Vec<Pc> {
+    let mut pcs: Vec<Pc> = top.pattern.pcs();
+    pcs.dedup();
+    let mut keyed: Vec<(u64, usize, Pc)> = pcs
+        .into_iter()
+        .enumerate()
+        .map(|(i, pc)| (time_of(pc).unwrap_or(u64::MAX), i, pc))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, _, pc)| pc).collect()
 }
 
 /// Decoded failing traces, decoded successful traces, and the executed

@@ -98,4 +98,52 @@ for field in '"telemetry_enabled": true' '"telemetry":' '"daemon.request"'; do
 done
 rm -f /tmp/BENCH_daemon_ci.json
 
+# Fleet smoke over real TCP: two snorlaxd shards on ephemeral loopback
+# ports, one coordinated diagnosis routed across them, then a graceful
+# drain of both. The CLI prints the merged root cause only when the
+# three-round protocol and the statistics merge both worked.
+echo "==> fleet loopback smoke (2 shards)"
+SHARD1_LOG=$(mktemp); SHARD2_LOG=$(mktemp)
+./target/release/snorlax fleet serve-shard mysql-3596 --port 0 > "$SHARD1_LOG" &
+SHARD1_PID=$!
+./target/release/snorlax fleet serve-shard mysql-3596 --port 0 > "$SHARD2_LOG" &
+SHARD2_PID=$!
+ADDR1=""; ADDR2=""
+for _ in $(seq 1 100); do
+  ADDR1=$(sed -n 's/^snorlaxd listening on \([0-9.:]*\) .*/\1/p' "$SHARD1_LOG")
+  ADDR2=$(sed -n 's/^snorlaxd listening on \([0-9.:]*\) .*/\1/p' "$SHARD2_LOG")
+  [[ -n "$ADDR1" && -n "$ADDR2" ]] && break
+  sleep 0.1
+done
+[[ -n "$ADDR1" && -n "$ADDR2" ]] \
+  || { echo "FAIL: fleet shards never reported their addresses"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+# Capture rather than pipe into grep -q: -q exits at first match and
+# the still-printing CLI would die on EPIPE.
+FLEET_OUT=$(./target/release/snorlax fleet submit mysql-3596 --addrs "$ADDR1,$ADDR2")
+grep -q "root cause" <<< "$FLEET_OUT" \
+  || { echo "FAIL: fleet diagnosis reported no root cause"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+grep -q "0 shard(s) failed" <<< "$FLEET_OUT" \
+  || { echo "FAIL: a fleet shard failed during the smoke"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+./target/release/snorlax submit --addr "$ADDR1" --shutdown > /dev/null
+./target/release/snorlax submit --addr "$ADDR2" --shutdown > /dev/null
+wait "$SHARD1_PID" || { echo "FAIL: shard 1 exited nonzero"; exit 1; }
+wait "$SHARD2_PID" || { echo "FAIL: shard 2 exited nonzero"; exit 1; }
+grep -q "snorlaxd drained:" "$SHARD1_LOG" && grep -q "snorlaxd drained:" "$SHARD2_LOG" \
+  || { echo "FAIL: a fleet shard did not report a graceful drain"; exit 1; }
+rm -f "$SHARD1_LOG" "$SHARD2_LOG"
+
+echo "==> fleet bench smoke (--fast)"
+cargo run --release -q -p lazy-bench --bin fleet -- --fast --out /tmp/BENCH_fleet_ci.json
+
+# Same artifact contract as the other benches: the enabled flag, the
+# embedded telemetry object, and the coordinator's own span.
+echo "==> BENCH_fleet.json telemetry fields"
+for field in '"telemetry_enabled": true' '"telemetry":' '"fleet.diagnose"'; do
+  grep -qF "$field" /tmp/BENCH_fleet_ci.json \
+    || { echo "FAIL: bench output missing $field"; exit 1; }
+  grep -qF "$field" BENCH_fleet.json \
+    || { echo "FAIL: checked-in BENCH_fleet.json missing $field (regenerate: cargo run --release -p lazy-bench --bin fleet)"; exit 1; }
+done
+rm -f /tmp/BENCH_fleet_ci.json
+
 echo "CI OK"

@@ -1,0 +1,319 @@
+//! Fleet-sharding determinism suite.
+//!
+//! The contract under test: a [`FleetCoordinator`] that routes one
+//! failure report across N shards — in-process or over real loopback
+//! TCP — renders a diagnosis **byte-identical** to a single
+//! [`DiagnosisServer`] fed the same report, for every bug in the
+//! corpus and for awkward shard counts (2, 3, 7 — most shards see
+//! zero failing traces). On top of determinism, the degradation
+//! contract: a shard that answers garbage in round 1 is excluded and
+//! the survivors' result equals single-node over the surviving
+//! partition; a Corruptor-mangled `PartialStats` frame in round 3
+//! surfaces as a typed [`DiagnosisError::Frame`] in that shard's
+//! report while the coordinator still diagnoses from the survivors.
+
+use lazy_diagnosis::ir::Module;
+use lazy_diagnosis::snorlax::daemon::{encode_frame, read_frame, serve, DaemonConfig, FrameKind};
+use lazy_diagnosis::snorlax::fleet::{
+    decode_fleet_collect, decode_fleet_finalize, decode_fleet_patterns, encode_collect_reply,
+    encode_finalize_reply, encode_patterns_reply,
+};
+use lazy_diagnosis::snorlax::{
+    CollectionClient, CollectionOutcome, DiagnosisError, DiagnosisServer, FleetCoordinator,
+    FleetShard, RemoteClient, ServerConfig, ShardConn,
+};
+use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
+use lazy_diagnosis::vm::{Failure, VmConfig};
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_workloads::{all_scenarios, systems::eval_scenarios};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+
+/// One multi-trace failure report: `reports` independent collections
+/// of the same bug folded into a single (failure, failing, successful)
+/// triple, so shard routing has more than one failing trace to split.
+fn combined_report(
+    s: &BugScenario,
+    reports: usize,
+) -> (Failure, Vec<TraceSnapshot>, Vec<TraceSnapshot>) {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let mut failure = None;
+    let mut failing = Vec::new();
+    let mut successful = Vec::new();
+    let mut seed = 0u64;
+    let mut collected = 0usize;
+    while collected < reports {
+        let col: CollectionOutcome = client
+            .collect(seed, 800, 10, 0)
+            .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id));
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        failure.get_or_insert(col.failure);
+        failing.extend(col.failing);
+        successful.extend(col.successful);
+        collected += 1;
+    }
+    (failure.unwrap(), failing, successful)
+}
+
+fn single_node_render(
+    s: &BugScenario,
+    failure: &Failure,
+    failing: &[TraceSnapshot],
+    successful: &[TraceSnapshot],
+) -> String {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    server
+        .diagnose(failure, failing, successful)
+        .unwrap_or_else(|e| panic!("{}: single-node diagnosis failed: {e}", s.id))
+        .render(&s.module)
+}
+
+/// The determinism kernel shared by the default and slow corpus
+/// sweeps: for each scenario, sharded diagnosis at 2, 3 and 7
+/// in-process shards must render byte-identical to single-node.
+fn assert_sharded_matches_single_node(scenarios: Vec<BugScenario>) {
+    for s in scenarios {
+        let (failure, failing, successful) = combined_report(&s, 2);
+        let expected = single_node_render(&s, &failure, &failing, &successful);
+        for shards in [2usize, 3, 7] {
+            let mut coord =
+                FleetCoordinator::in_process(&s.module, ServerConfig::default(), shards);
+            let outcome = coord
+                .diagnose(&failure, &failing, &successful)
+                .unwrap_or_else(|e| panic!("{} @ {shards} shards: fleet failed: {e}", s.id));
+            assert_eq!(
+                outcome.failed_shards(),
+                0,
+                "{} @ {shards} shards: no shard may fail",
+                s.id
+            );
+            assert_eq!(
+                outcome.diagnosis.render(&s.module),
+                expected,
+                "{} @ {shards} shards: sharded render diverged from single-node",
+                s.id
+            );
+            assert_eq!(
+                outcome.merged_stats.failing_traces(),
+                failing.len(),
+                "{} @ {shards} shards: merged stats must cover every failing trace",
+                s.id
+            );
+        }
+        println!("{}: ok (2, 3 and 7 shards byte-identical)", s.id);
+    }
+}
+
+/// The 11-bug evaluation corpus, sharded 2/3/7 ways in-process.
+#[test]
+fn eval_corpus_sharded_is_byte_identical() {
+    assert_sharded_matches_single_node(eval_scenarios());
+}
+
+/// The full 54-bug corpus under the same contract; heavy, so it rides
+/// the `slow-tests` feature like the degradation sweep.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "heavy: shards all 54 corpus bugs 2/3/7 ways (enable with --features slow-tests)"
+)]
+fn full_corpus_sharded_is_byte_identical() {
+    assert_sharded_matches_single_node(all_scenarios());
+}
+
+/// Binds an ephemeral loopback port and serves a real snorlaxd shard.
+fn spawn_shard_daemon(module: Module) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        serve(&listener, &module, &DaemonConfig::default()).unwrap();
+    });
+    (addr, handle)
+}
+
+/// Real TCP: two snorlaxd daemons as remote shards must also be
+/// byte-identical to single-node — the wire codecs add nothing and
+/// lose nothing.
+#[test]
+fn loopback_tcp_shards_are_byte_identical() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (failure, failing, successful) = combined_report(&s, 2);
+    let expected = single_node_render(&s, &failure, &failing, &successful);
+
+    let (addr_a, handle_a) = spawn_shard_daemon(s.module.clone());
+    let (addr_b, handle_b) = spawn_shard_daemon(s.module.clone());
+    let shards = vec![
+        ShardConn::Remote(RemoteClient::connect(addr_a).unwrap()),
+        ShardConn::Remote(RemoteClient::connect(addr_b).unwrap()),
+    ];
+    let mut coord = FleetCoordinator::new(&s.module, ServerConfig::default(), shards);
+    let outcome = coord.diagnose(&failure, &failing, &successful).unwrap();
+    assert_eq!(outcome.failed_shards(), 0, "clean shards must not fail");
+    assert_eq!(
+        outcome.diagnosis.render(&s.module),
+        expected,
+        "TCP-sharded render diverged from single-node"
+    );
+    drop(coord); // close the shard connections before draining
+
+    for addr in [addr_a, addr_b] {
+        RemoteClient::connect(addr).unwrap().shutdown().unwrap();
+    }
+    handle_a.join().unwrap();
+    handle_b.join().unwrap();
+}
+
+/// A "shard" that answers the first frame with a Corruptor-mangled
+/// reply: the coordinator must fail it in round 1 with a typed frame
+/// error and never speak to it again.
+fn spawn_garbage_shard() -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let Ok((mut conn, _)) = listener.accept() else {
+            return;
+        };
+        let Ok((_, payload)) = read_frame(&mut conn) else {
+            return;
+        };
+        // A plausible ack frame with its magic bit-flipped: the client
+        // sees a desynchronized stream, a typed FrameError.
+        let frame = encode_frame(FrameKind::FleetCollectAck, &payload);
+        let mangled = Corruptor::new().apply(&frame, &CorruptionOp::BitFlip { offset: 1, bit: 4 });
+        let _ = conn.write_all(&mangled);
+    });
+    (addr, handle)
+}
+
+/// Round-1 degradation: the garbage shard is excluded up front, so the
+/// survivors' diagnosis equals single-node over exactly the partition
+/// that was routed to them — the strongest statement possible once a
+/// shard's traces are gone.
+#[test]
+fn round1_failure_excludes_shard_and_matches_survivor_partition() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (failure, failing, successful) = combined_report(&s, 2);
+
+    // Replicate the coordinator's routing: global cap, then
+    // round-robin — shard 0 (the survivor) gets every even index.
+    let cap = ServerConfig::default().success_factor * failing.len().max(1);
+    let capped = &successful[..successful.len().min(cap)];
+    let survivor_failing: Vec<TraceSnapshot> = failing.iter().step_by(2).cloned().collect();
+    let survivor_successful: Vec<TraceSnapshot> = capped.iter().step_by(2).cloned().collect();
+    let expected = single_node_render(&s, &failure, &survivor_failing, &survivor_successful);
+
+    let (addr, handle) = spawn_garbage_shard();
+    let shards = vec![
+        ShardConn::local(&s.module, ServerConfig::default()),
+        ShardConn::Remote(RemoteClient::connect(addr).unwrap()),
+    ];
+    let mut coord = FleetCoordinator::new(&s.module, ServerConfig::default(), shards);
+    let outcome = coord.diagnose(&failure, &failing, &successful).unwrap();
+
+    assert_eq!(outcome.failed_shards(), 1, "exactly the garbage shard");
+    let bad = &outcome.shard_reports[1];
+    match &bad.error {
+        Some(("collect", DiagnosisError::Frame(_))) => {}
+        other => panic!("expected a round-1 typed frame error, got {other:?}"),
+    }
+    assert_eq!(
+        outcome.diagnosis.render(&s.module),
+        expected,
+        "degraded render must equal single-node over the survivor partition"
+    );
+    drop(coord);
+    handle.join().unwrap();
+}
+
+/// A protocol-fluent shard that answers rounds 1 and 2 honestly (via a
+/// real in-process [`FleetShard`]) and then Corruptor-mangles its
+/// round-3 `PartialStats` frame.
+fn spawn_evil_finalize_shard(module: Module) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let shard = FleetShard::new(&module, ServerConfig::default());
+        let Ok((mut conn, _)) = listener.accept() else {
+            return;
+        };
+        loop {
+            let Ok((kind, payload)) = read_frame(&mut conn) else {
+                return;
+            };
+            let reply = match kind {
+                FrameKind::FleetCollect => {
+                    let (session, req) = decode_fleet_collect(&payload).unwrap();
+                    let r = shard
+                        .collect(session, &req.failure, &req.failing, &req.successful)
+                        .unwrap();
+                    encode_frame(FrameKind::FleetCollectAck, &encode_collect_reply(&r))
+                }
+                FrameKind::FleetPatterns => {
+                    let (session, executed) = decode_fleet_patterns(&payload).unwrap();
+                    let r = shard.patterns(session, &executed).unwrap();
+                    encode_frame(FrameKind::FleetPatternSet, &encode_patterns_reply(&r))
+                }
+                FrameKind::FleetFinalize => {
+                    let (session, patterns) = decode_fleet_finalize(&payload).unwrap();
+                    let r = shard.finalize(session, &patterns).unwrap();
+                    let frame = encode_frame(FrameKind::PartialStats, &encode_finalize_reply(&r));
+                    // Flip a payload bit: the frame checksum catches it
+                    // on the coordinator side as a typed Frame error.
+                    Corruptor::new().apply(
+                        &frame,
+                        &CorruptionOp::BitFlip {
+                            offset: frame.len() / 2,
+                            bit: 3,
+                        },
+                    )
+                }
+                _ => return,
+            };
+            if conn.write_all(&reply).is_err() {
+                return;
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// Round-3 degradation (the satellite's fault-injection contract): a
+/// mangled `PartialStats` frame draws `DiagnosisError::Frame` into
+/// that shard's report, and the coordinator still produces a root
+/// cause from the surviving shard's statistics.
+#[test]
+fn corrupt_partial_stats_frame_is_typed_and_diagnosis_degrades() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (failure, failing, successful) = combined_report(&s, 2);
+
+    let (addr, handle) = spawn_evil_finalize_shard(s.module.clone());
+    let shards = vec![
+        ShardConn::local(&s.module, ServerConfig::default()),
+        ShardConn::Remote(RemoteClient::connect(addr).unwrap()),
+    ];
+    let mut coord = FleetCoordinator::new(&s.module, ServerConfig::default(), shards);
+    let outcome = coord.diagnose(&failure, &failing, &successful).unwrap();
+
+    assert_eq!(outcome.failed_shards(), 1, "exactly the mangling shard");
+    let bad = &outcome.shard_reports[1];
+    match &bad.error {
+        Some(("finalize", DiagnosisError::Frame(_))) => {}
+        other => panic!("expected a round-3 typed frame error, got {other:?}"),
+    }
+    // The survivor holds the globally-first failing trace, so the
+    // degraded diagnosis still names a root cause.
+    let rendered = outcome.diagnosis.render(&s.module);
+    assert!(
+        rendered.contains("root cause"),
+        "degraded diagnosis still renders a root cause:\n{rendered}"
+    );
+    assert_eq!(
+        outcome.merged_stats.failing_traces(),
+        outcome.shard_reports[0].failing_routed,
+        "merged statistics cover exactly the surviving shard's traces"
+    );
+    drop(coord);
+    handle.join().unwrap();
+}
