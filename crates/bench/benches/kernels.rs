@@ -7,8 +7,9 @@ use lazy_analysis::PointsTo;
 use lazy_bench::synth::{drive, looped_module};
 use lazy_snorlax::{CollectionClient, DiagnosisServer, ServerConfig};
 use lazy_trace::{
-    decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, ExecIndex,
-    TraceConfig,
+    decode_thread_trace, decode_thread_trace_compiled, decode_thread_trace_legacy,
+    decode_thread_trace_sharded, drain_event_pool, find_psb, find_psb_scalar, recycle_events,
+    ExecIndex, TraceConfig, WalkTable,
 };
 use lazy_vm::VmConfig;
 use std::hint::black_box;
@@ -86,6 +87,95 @@ fn bench_decode_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// SWAR vs scalar `PSB` scan over a real encoder stream — the packet
+/// layer's resync kernel (`sync_to_psb` and the shard skim both sit on
+/// `find_psb`).
+fn bench_decode_scan(c: &mut Criterion) {
+    let module = looped_module();
+    let cfg = TraceConfig {
+        buffer_size: TraceConfig::MAX_BUFFER,
+        ..TraceConfig::default()
+    };
+    let (bytes, _) = drive(&module, 100_000, cfg);
+
+    let mut g = c.benchmark_group("decode-scan");
+    g.bench_function("find_psb (SWAR u64)", |b| {
+        b.iter(|| {
+            let mut at = 0usize;
+            let mut hits = 0u32;
+            while let Some(p) = find_psb(&bytes, at) {
+                hits += 1;
+                at = p + 4;
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("find_psb_scalar", |b| {
+        b.iter(|| {
+            let mut at = 0usize;
+            let mut hits = 0u32;
+            while let Some(p) = find_psb_scalar(&bytes, at) {
+                hits += 1;
+                at = p + 4;
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+/// Interpreted vs compiled CFG walk at both operating points (empty and
+/// primed event-buffer pool) — the kernels behind the `walk_table`
+/// acceptance gate.
+fn bench_walk_table(c: &mut Criterion) {
+    let module = looped_module();
+    let index = ExecIndex::build(&module);
+    let cfg = TraceConfig {
+        buffer_size: TraceConfig::MAX_BUFFER,
+        ..TraceConfig::default()
+    };
+    let (bytes, taken_at) = drive(&module, 100_000, cfg.clone());
+    let table = WalkTable::build(&module);
+
+    let mut g = c.benchmark_group("walk-table");
+    g.bench_function("table build", |b| {
+        b.iter(|| black_box(WalkTable::build(&module)))
+    });
+    g.bench_function("interpreted one-shot (pool drained)", |b| {
+        b.iter(|| {
+            drain_event_pool();
+            black_box(decode_thread_trace(&index, &cfg, &bytes, taken_at).expect("decode"))
+        })
+    });
+    g.bench_function("compiled one-shot (pool drained)", |b| {
+        b.iter(|| {
+            drain_event_pool();
+            black_box(
+                decode_thread_trace_compiled(&index, &table, &cfg, &bytes, taken_at)
+                    .expect("decode"),
+            )
+        })
+    });
+    g.bench_function("interpreted steady (recycled buffers)", |b| {
+        b.iter(|| {
+            let t = decode_thread_trace(&index, &cfg, &bytes, taken_at).expect("decode");
+            let n = t.events.len();
+            recycle_events(t);
+            black_box(n)
+        })
+    });
+    g.bench_function("compiled steady (warm table, recycled buffers)", |b| {
+        b.iter(|| {
+            let t = decode_thread_trace_compiled(&index, &table, &cfg, &bytes, taken_at)
+                .expect("decode");
+            let n = t.events.len();
+            recycle_events(t);
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
 fn bench_diagnose(c: &mut Criterion) {
     let s = lazy_workloads::scenario_by_id("pbzip2-na-1").expect("scenario");
     let server = DiagnosisServer::new(&s.module, ServerConfig::default());
@@ -106,6 +196,7 @@ fn bench_diagnose(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_points_to, bench_trace_decode, bench_decode_paths, bench_diagnose
+    targets = bench_points_to, bench_trace_decode, bench_decode_paths, bench_decode_scan,
+        bench_walk_table, bench_diagnose
 }
 criterion_main!(benches);

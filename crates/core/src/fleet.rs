@@ -157,11 +157,15 @@ pub struct FinalizeReply {
 impl<'m> FleetShard<'m> {
     /// Creates a shard for `module`.
     pub fn new(module: &'m Module, cfg: ServerConfig) -> FleetShard<'m> {
-        FleetShard {
+        let shard = FleetShard {
             server: DiagnosisServer::new(module, cfg.clone()),
             cfg,
             sessions: Mutex::new(HashMap::new()),
-        }
+        };
+        // Compile the walk table now, while the shard is idle: round-1
+        // collect latency must not pay the one-time build cost.
+        let _ = shard.server.walk_table();
+        shard
     }
 
     fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ShardSession>> {

@@ -15,8 +15,8 @@
 use crate::error::DiagnosisError;
 use lazy_ir::{Module, Pc};
 use lazy_trace::{
-    decode_thread_trace, decode_thread_trace_sharded, DecodeError, DecodedTrace, ExecIndex,
-    TimeBounds, TraceConfig, TraceSnapshot,
+    decode_thread_trace_adaptive, recycle_events, DecodeError, DecodedTrace, ExecIndex, TimeBounds,
+    TraceConfig, TraceSnapshot, WalkTable,
 };
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -139,16 +139,19 @@ pub fn process_snapshot(
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
 ) -> Result<ProcessedTrace, DiagnosisError> {
-    process_snapshot_par(module, index, config, snapshot, 1)
+    process_snapshot_par(module, index, None, config, snapshot, 1)
 }
 
-/// [`process_snapshot`] with up to `workers` decode threads.
+/// [`process_snapshot`] with up to `workers` decode threads and an
+/// optional compiled [`WalkTable`] (the server threads its cross-job
+/// cache through here).
 ///
-/// Thread streams decode concurrently; streams at least
-/// [`TraceConfig::decode_shard_min_bytes`] long additionally use
-/// PSB-sharded decode internally. Aggregation runs sequentially in
-/// thread order over the (bit-identical) per-thread decodes, so the
-/// result is byte-for-byte the same as `workers == 1`.
+/// Thread streams decode concurrently; each stream is then routed by
+/// [`decode_thread_trace_adaptive`] — large streams additionally use
+/// PSB-sharded decode internally, small ones take the fused pass with
+/// zero sharding overhead. Aggregation runs sequentially in thread
+/// order over the (bit-identical) per-thread decodes, so the result is
+/// byte-for-byte the same as `workers == 1`.
 ///
 /// # Errors
 ///
@@ -156,6 +159,7 @@ pub fn process_snapshot(
 pub fn process_snapshot_par(
     _module: &Module,
     index: &ExecIndex,
+    table: Option<&WalkTable>,
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
     workers: usize,
@@ -168,11 +172,7 @@ pub fn process_snapshot_par(
     // batch mode the whole batch).
     let decode = |bytes: &[u8]| -> Result<DecodedTrace, DiagnosisError> {
         match catch_unwind(AssertUnwindSafe(|| {
-            if workers > 1 && bytes.len() >= config.decode_shard_min_bytes {
-                decode_thread_trace_sharded(index, config, bytes, snapshot.taken_at, workers)
-            } else {
-                decode_thread_trace(index, config, bytes, snapshot.taken_at)
-            }
+            decode_thread_trace_adaptive(index, table, config, bytes, snapshot.taken_at, workers)
         })) {
             Ok(r) => r.map_err(DiagnosisError::from),
             Err(payload) => Err(DiagnosisError::from_panic("decode", payload)),
@@ -260,6 +260,9 @@ pub fn process_snapshot_par(
                 });
             }
         }
+        // This thread's events are fully aggregated; hand the buffer
+        // back so the next decode reuses its warm pages.
+        recycle_events(trace);
     }
     if !decoded_any {
         lazy_obs::counter!("decode.snapshots_rejected_total", 1u64);

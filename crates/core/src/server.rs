@@ -15,13 +15,13 @@ use crate::processing::{process_snapshot_par, ProcessedTrace};
 use crate::statistics::{score_patterns, top_pattern_count, PatternScore};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Cfg, Module, Pc};
-use lazy_trace::{ExecIndex, TraceConfig, TraceSnapshot};
+use lazy_trace::{ExecIndex, TraceConfig, TraceSnapshot, WalkTable};
 use lazy_vm::{Failure, FailureKind};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Server-side configuration.
@@ -238,6 +238,10 @@ impl Diagnosis {
 pub struct DiagnosisServer<'m> {
     module: &'m Module,
     index: ExecIndex,
+    /// Cross-job compiled walk table: built lazily at the first decode
+    /// this server performs, then shared read-only by every subsequent
+    /// job, fan-out worker, and fleet round.
+    walk_table: OnceLock<WalkTable>,
     cfg: ServerConfig,
 }
 
@@ -248,6 +252,7 @@ impl<'m> DiagnosisServer<'m> {
         DiagnosisServer {
             module,
             index: ExecIndex::build(module),
+            walk_table: OnceLock::new(),
             cfg,
         }
     }
@@ -255,6 +260,14 @@ impl<'m> DiagnosisServer<'m> {
     /// The module this server diagnoses.
     pub fn module(&self) -> &'m Module {
         self.module
+    }
+
+    /// The server's compiled [`WalkTable`], building (and caching) it
+    /// on first use. Fleet shards call this at construction to move the
+    /// one-time build cost out of round-1 latency.
+    pub(crate) fn walk_table(&self) -> &WalkTable {
+        self.walk_table
+            .get_or_init(|| WalkTable::build(self.module))
     }
 
     /// Decodes and processes one snapshot (steps 2–3).
@@ -266,6 +279,7 @@ impl<'m> DiagnosisServer<'m> {
         process_snapshot_par(
             self.module,
             &self.index,
+            Some(self.walk_table()),
             &self.cfg.trace,
             snapshot,
             self.cfg.resolved_decode_workers(),
@@ -401,6 +415,9 @@ impl<'m> DiagnosisServer<'m> {
 
         let outer = workers.clamp(1, snapshots.len().max(1));
         let inner = (workers / outer).max(1);
+        // Build the walk table before fanning out: get_or_init inside
+        // the workers would serialize their first decodes on it.
+        let table = Some(self.walk_table());
         let process_one = |s: &'a TraceSnapshot| -> Processed {
             if let Some(m) = memo {
                 if let Some(hit) = m.lookup(s) {
@@ -409,6 +426,7 @@ impl<'m> DiagnosisServer<'m> {
                 let t = Arc::new(process_snapshot_par(
                     self.module,
                     &self.index,
+                    table,
                     &self.cfg.trace,
                     s,
                     inner,
@@ -419,6 +437,7 @@ impl<'m> DiagnosisServer<'m> {
                 Ok(Arc::new(process_snapshot_par(
                     self.module,
                     &self.index,
+                    table,
                     &self.cfg.trace,
                     s,
                     inner,

@@ -31,6 +31,13 @@ pub struct TraceConfig {
     /// PSB-sharded parallel decode. Below this, shard stitching costs
     /// more than it saves.
     pub decode_shard_min_bytes: usize,
+    /// Target bytes per shard for the adaptive router
+    /// (`decode_thread_trace_adaptive`): the shard count is capped at
+    /// `len / decode_shard_target_bytes` so each worker gets enough
+    /// bytes to amortize the skim + stitch overhead. Together with the
+    /// worker budget this routes small inputs (and 1-core boxes) to the
+    /// fused pass with zero sharding overhead.
+    pub decode_shard_target_bytes: usize,
     /// Spill the ring buffer to persistent storage whenever it fills,
     /// keeping the *entire* trace instead of the most recent window.
     /// This is the §7 mitigation for bugs that violate the
@@ -63,6 +70,9 @@ impl Default for TraceConfig {
             cyc_shift: 8,
             psb_period_bytes: 4096,
             decode_shard_min_bytes: 32 * 1024,
+            // ~256 KB per worker: below this, per-shard skim + stitch
+            // overhead eats the parallel win (measured in EXPERIMENTS.md).
+            decode_shard_target_bytes: 256 * 1024,
             timing_enabled: true,
             spill_to_storage: false,
         }

@@ -232,6 +232,737 @@ impl ExecIndex {
     }
 }
 
+/// Cap on pooled event buffers (see [`recycle_events`]). Eight covers
+/// a full outer×inner decode fan-out's steady state without hoarding.
+const EVENT_POOL_MAX: usize = 8;
+
+/// Recycled event buffers. Decoded traces are multi-megabyte `Vec`s;
+/// allocating one per decode makes the decoder fault every output page
+/// on first touch, which profiles as ~a third of total decode time on
+/// large streams. The serving loop decodes continuously, so buffers
+/// whose events have been consumed are parked here and reused — warm
+/// pages, no faults. Buffers enter via [`recycle_events`] (callers) and
+/// the sharded stitch (speculative shard buffers it has spliced out).
+static EVENT_POOL: std::sync::Mutex<Vec<Vec<DecodedEvent>>> = std::sync::Mutex::new(Vec::new());
+
+/// An empty events buffer, reusing pooled (already-faulted) capacity
+/// when available.
+fn pool_take() -> Vec<DecodedEvent> {
+    match EVENT_POOL.lock() {
+        Ok(mut pool) => pool.pop().unwrap_or_default(),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn pool_put(mut buf: Vec<DecodedEvent>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    if let Ok(mut pool) = EVENT_POOL.lock() {
+        if pool.len() < EVENT_POOL_MAX {
+            buf.clear();
+            pool.push(buf);
+        }
+    }
+}
+
+/// Returns a consumed trace's event buffer to the decoder's reuse pool.
+///
+/// Call this once a [`DecodedTrace`]'s events have been fully consumed
+/// (aggregated, compared, rendered). Entirely optional — it only makes
+/// the *next* decode cheaper by handing it an already-faulted buffer.
+pub fn recycle_events(trace: DecodedTrace) {
+    pool_put(trace.events);
+}
+
+/// Frees every pooled event buffer.
+///
+/// For benchmarks that need a cold one-shot baseline, and for callers
+/// that want the retained capacity back after a decode burst.
+pub fn drain_event_pool() {
+    if let Ok(mut pool) = EVENT_POOL.lock() {
+        pool.clear();
+    }
+}
+
+/// Walk fuel: the interpreted and compiled walks must apply exactly the
+/// same budget for their "walk did not terminate" errors to coincide.
+const WALK_FUEL: u64 = 10_000_000;
+
+fn walk_fuel_exhausted() -> DecodeError {
+    DecodeError::Desync("walk did not terminate".into())
+}
+
+/// How a compiled straight-line run ends.
+#[derive(Clone, Copy, Debug)]
+enum RunEnd {
+    /// The run's last body instruction transfers unconditionally to
+    /// `next` (an unconditional branch, a direct call, or straight-line
+    /// fallthrough off the block end).
+    Jump {
+        /// PC the walk continues at.
+        next: u64,
+    },
+    /// Conditional branch at `pc` — consumes a TNT bit.
+    CondBr {
+        /// The branch instruction's PC (not part of the body).
+        pc: u64,
+        /// Taken target.
+        then_pc: u64,
+        /// Not-taken target.
+        else_pc: u64,
+    },
+    /// Indirect call or return at `pc` — consumes a TIP packet. A TNT
+    /// walk passes through it linearly (`pc + stride`); a TIP walk
+    /// stops on it.
+    Indirect {
+        /// The transfer instruction's PC (not part of the body).
+        pc: u64,
+    },
+    /// Whole-program halt at `pc`; the walk ends.
+    Halt {
+        /// The halt instruction's PC (not part of the body).
+        pc: u64,
+    },
+}
+
+/// One compiled straight-line run: `body_len` consecutive instructions
+/// from `start_pc` (spaced `Module::PC_STRIDE` apart), then `end`.
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    start_pc: u64,
+    body_len: u32,
+    end: RunEnd,
+}
+
+/// Cap on flattened jump-chain hops. A decision-free jump cycle would
+/// otherwise never terminate at build time; a capped chain simply ends
+/// in [`ChainEnd::Next`] and the walk loop re-probes from there.
+const CHAIN_MAX_HOPS: u32 = 64;
+
+/// Minimum mean run-body length (events per decision) for the compiled
+/// walk to pay for itself. Each compiled step replaces per-instruction
+/// index probes with one run probe plus a chain load — a win when runs
+/// carry a few events each, a small constant loss on degenerate modules
+/// whose blocks are one or two instructions long (the bulk extends
+/// degenerate to single pushes while the chain bookkeeping remains).
+/// Measured crossover on the bench corpus sits between ~1.8 (compiled
+/// loses a few percent) and ~4.5 (compiled wins ~1.1x) events/decision.
+const PROFITABLE_MEAN_BODY: f64 = 3.0;
+
+/// One flattened run body inside a jump chain: `len` consecutive
+/// instructions from `start_pc`.
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    start_pc: u64,
+    len: u32,
+}
+
+/// Where a flattened jump chain lands.
+#[derive(Clone, Copy, Debug)]
+enum ChainEnd {
+    /// Same decision semantics as the matching [`RunEnd`] variants.
+    CondBr {
+        pc: u64,
+        then_pc: u64,
+        else_pc: u64,
+    },
+    Indirect {
+        pc: u64,
+    },
+    Halt {
+        pc: u64,
+    },
+    /// The chain stopped without reaching a decision (unmapped or
+    /// mid-run jump target, thread-exit sentinel, or hop cap): the walk
+    /// continues interpreting from `pc`.
+    Next {
+        pc: u64,
+    },
+}
+
+/// The flattened continuation of a [`RunEnd::Jump`] run: every body the
+/// walk is guaranteed to traverse after the run's own, following
+/// unconditional transfers until the next decision point. Turns a
+/// jump-linked sequence of runs (block → called leaf → …) into one
+/// probe, a handful of bulk emits, and a single precomputed fuel check
+/// (`segs_total`).
+#[derive(Clone, Copy, Debug)]
+struct Chain {
+    seg_lo: u32,
+    seg_hi: u32,
+    /// Total events across the chain's segments — the originating
+    /// run's own (offset-dependent) body is accounted separately.
+    segs_total: u64,
+    end: ChainEnd,
+}
+
+/// A compiled per-module walk specialization.
+///
+/// [`ExecIndex`] answers "how does control leave *this instruction*";
+/// the decode walk interprets it one instruction at a time — a
+/// bounds-checked load and an 8-way match per decoded event. A
+/// `WalkTable` precomputes the module's **straight-line runs** (maximal
+/// stretches the walk always traverses whole: within a basic block,
+/// split at call sites because a callee's return re-enters mid-block)
+/// so the hot TNT/TIP walks advance a run at a time: bulk-append the
+/// run body (consecutive PCs, constant time window — a loop the
+/// compiler vectorizes) and switch once on the run's end.
+///
+/// Every mapped PC belongs to exactly one run (decision instructions
+/// carry offset == `body_len`), so compiled walks never fall back
+/// mid-walk. The table is built once per module — typically at a
+/// server's first decode — and shared read-only across every decode
+/// job, thread, shard, and fleet round thereafter.
+///
+/// Byte-identity with the interpreted walk (events, time windows, error
+/// messages, and the [`WALK_FUEL`] budget) is pinned by the decoder's
+/// differential tests, `tests/proptests.rs`, and the full-corpus suite.
+#[derive(Clone, Debug)]
+pub struct WalkTable {
+    base: u64,
+    /// Slot (same geometry as [`ExecIndex`]) → run id + 1; 0 = unmapped.
+    slot_run: Vec<u32>,
+    runs: Vec<Run>,
+    /// Per-run flattened jump chains (parallel to `runs`; only
+    /// meaningful for [`RunEnd::Jump`] runs).
+    chains: Vec<Chain>,
+    /// Segment pool the chains index into.
+    segs: Vec<Seg>,
+    /// Whether the module's runs are long enough for the compiled walk
+    /// to beat the interpreted one (see [`PROFITABLE_MEAN_BODY`]).
+    profitable: bool,
+}
+
+impl WalkTable {
+    /// Compiles the walk table for `module`.
+    ///
+    /// Mirrors [`ExecIndex::build`]'s iteration exactly so both cover
+    /// the same PC set; assumes each PC belongs to at most one
+    /// instruction (the module builder's layout guarantee).
+    pub fn build(module: &Module) -> WalkTable {
+        lazy_obs::counter!("decode.walk_table.build", 1u64);
+        let base = Module::TEXT_BASE;
+        let slots = (module.max_pc().0.saturating_sub(base) / Module::PC_STRIDE) as usize;
+        let mut slot_run = vec![0u32; slots];
+        let mut runs: Vec<Run> = Vec::new();
+        for func in module.functions() {
+            // NO_ENTRY mirrors ExecIndex::build: a branch into an empty
+            // block resolves below TEXT_BASE and the walk surfaces a
+            // clean Desync (or thread exit, since NO_ENTRY == 0).
+            const NO_ENTRY: u64 = 0;
+            let entry_pc: HashMap<_, _> = func
+                .blocks
+                .iter()
+                .filter_map(|b| b.insts.first().map(|i| (b.id, i.pc.0)))
+                .collect();
+            let entry = |id| entry_pc.get(id).copied().unwrap_or(NO_ENTRY);
+            for block in &func.blocks {
+                let mut i = 0usize;
+                while i < block.insts.len() {
+                    let start_pc = block.insts[i].pc.0;
+                    let mut body = 0u32;
+                    let mut expect = start_pc;
+                    let end = loop {
+                        let Some(inst) = block.insts.get(i) else {
+                            // Ran off the block without a terminator:
+                            // the interpreted walk falls through
+                            // linearly to the next PC.
+                            break RunEnd::Jump { next: expect };
+                        };
+                        let pc = inst.pc.0;
+                        if pc != expect {
+                            // Non-contiguous layout inside a block —
+                            // end the run where interpreted fallthrough
+                            // would land (usually unmapped → Desync).
+                            break RunEnd::Jump { next: expect };
+                        }
+                        i += 1;
+                        match &inst.kind {
+                            InstKind::Br { target } => {
+                                body += 1;
+                                break RunEnd::Jump {
+                                    next: entry(target),
+                                };
+                            }
+                            InstKind::CondBr {
+                                then_bb, else_bb, ..
+                            } => {
+                                break RunEnd::CondBr {
+                                    pc,
+                                    then_pc: entry(then_bb),
+                                    else_pc: entry(else_bb),
+                                }
+                            }
+                            InstKind::Call { callee, .. } => {
+                                body += 1;
+                                break RunEnd::Jump {
+                                    next: module.func(*callee).base_pc.0,
+                                };
+                            }
+                            InstKind::CallIndirect { .. } | InstKind::Ret { .. } => {
+                                break RunEnd::Indirect { pc }
+                            }
+                            InstKind::Halt => break RunEnd::Halt { pc },
+                            _ => {
+                                body += 1;
+                                expect = pc + Module::PC_STRIDE;
+                            }
+                        }
+                    };
+                    let id = runs.len() as u32;
+                    let mut claim = |pc: u64| {
+                        let slot = (pc.saturating_sub(base) / Module::PC_STRIDE) as usize;
+                        if let Some(s) = slot_run.get_mut(slot) {
+                            *s = id + 1;
+                        }
+                    };
+                    for k in 0..u64::from(body) {
+                        claim(start_pc + k * Module::PC_STRIDE);
+                    }
+                    if let RunEnd::CondBr { pc, .. }
+                    | RunEnd::Indirect { pc }
+                    | RunEnd::Halt { pc } = end
+                    {
+                        claim(pc);
+                    }
+                    runs.push(Run {
+                        start_pc,
+                        body_len: body,
+                        end,
+                    });
+                }
+            }
+        }
+        // Second pass: flatten each Jump run's unconditional
+        // continuation into a chain of whole-run segments ending at the
+        // next decision point. Chains only extend through targets that
+        // are run *starts*; anything else (mid-run landing, unmapped PC,
+        // thread-exit sentinel) ends the chain and the walk loop
+        // re-probes from there, so flattening never changes semantics.
+        let run_at = |pc: u64| -> Option<(Run, u32)> {
+            let off = pc.wrapping_sub(base);
+            if pc < base || !off.is_multiple_of(Module::PC_STRIDE) {
+                return None;
+            }
+            let id = *slot_run.get((off / Module::PC_STRIDE) as usize)?;
+            let run = *runs.get(id.checked_sub(1)? as usize)?;
+            Some((run, ((pc - run.start_pc) / Module::PC_STRIDE) as u32))
+        };
+        let mut chains = Vec::with_capacity(runs.len());
+        let mut segs: Vec<Seg> = Vec::new();
+        for r in &runs {
+            let seg_lo = segs.len() as u32;
+            let mut total = 0u64;
+            let mut end = ChainEnd::Next { pc: 0 };
+            if let RunEnd::Jump { next } = r.end {
+                let mut next = next;
+                let mut hops = 0u32;
+                loop {
+                    let Some((nr, 0)) = run_at(next) else {
+                        end = ChainEnd::Next { pc: next };
+                        break;
+                    };
+                    if nr.body_len > 0 {
+                        segs.push(Seg {
+                            start_pc: nr.start_pc,
+                            len: nr.body_len,
+                        });
+                        total += u64::from(nr.body_len);
+                    }
+                    match nr.end {
+                        RunEnd::Jump { next: n2 } => {
+                            hops += 1;
+                            if hops >= CHAIN_MAX_HOPS {
+                                end = ChainEnd::Next { pc: n2 };
+                                break;
+                            }
+                            next = n2;
+                        }
+                        RunEnd::CondBr {
+                            pc,
+                            then_pc,
+                            else_pc,
+                        } => {
+                            end = ChainEnd::CondBr {
+                                pc,
+                                then_pc,
+                                else_pc,
+                            };
+                            break;
+                        }
+                        RunEnd::Indirect { pc } => {
+                            end = ChainEnd::Indirect { pc };
+                            break;
+                        }
+                        RunEnd::Halt { pc } => {
+                            end = ChainEnd::Halt { pc };
+                            break;
+                        }
+                    }
+                }
+            }
+            chains.push(Chain {
+                seg_lo,
+                seg_hi: segs.len() as u32,
+                segs_total: total,
+                end,
+            });
+        }
+        let bodies: u64 = runs.iter().map(|r| u64::from(r.body_len)).sum();
+        let profitable =
+            !runs.is_empty() && bodies as f64 / runs.len() as f64 >= PROFITABLE_MEAN_BODY;
+        WalkTable {
+            base,
+            slot_run,
+            runs,
+            chains,
+            segs,
+            profitable,
+        }
+    }
+
+    /// Whether the compiled walk is expected to beat the interpreted
+    /// one on this module (mean run body ≥ [`PROFITABLE_MEAN_BODY`]
+    /// events per decision). The adaptive decoder consults this to
+    /// decide whether a cached table is worth engaging; forcing the
+    /// table via [`decode_thread_trace_compiled`] ignores it.
+    #[inline]
+    #[must_use]
+    pub fn is_profitable(&self) -> bool {
+        self.profitable
+    }
+
+    /// The run containing `pc`, with `pc`'s offset into it (equal to
+    /// `body_len` when `pc` is the run's decision instruction) and the
+    /// run's id (the index into `chains`).
+    #[inline]
+    fn run_of(&self, pc: u64) -> Option<(Run, u32, u32)> {
+        let off = pc.wrapping_sub(self.base);
+        if pc < self.base || !off.is_multiple_of(Module::PC_STRIDE) {
+            return None;
+        }
+        let id = *self.slot_run.get((off / Module::PC_STRIDE) as usize)?;
+        if id == 0 {
+            return None;
+        }
+        let run = *self.runs.get((id - 1) as usize)?;
+        let run_off = (pc.wrapping_sub(run.start_pc) / Module::PC_STRIDE) as u32;
+        Some((run, run_off, id - 1))
+    }
+
+    /// Appends every segment of `chain` (bodies the walk traverses
+    /// whole, each a bulk extend with one constant time window).
+    #[inline]
+    fn emit_chain(&self, events: &mut Vec<DecodedEvent>, chain: &Chain, time: TimeBounds) {
+        for seg in &self.segs[chain.seg_lo as usize..chain.seg_hi as usize] {
+            emit_span(events, seg.start_pc, seg.len, time);
+        }
+    }
+
+    /// Compiled twin of [`walk`] with stop = "is a conditional branch".
+    ///
+    /// Returns the branch's `(then, else)` targets, or `None` when the
+    /// walk ended without one (halt / thread exit). Event emission,
+    /// time-window choice, fuel accounting, and error text are
+    /// byte-identical to the interpreted walk.
+    fn walk_to_condbr(
+        &self,
+        cur: &mut Option<u64>,
+        events: &mut Vec<DecodedEvent>,
+        stretch: TimeBounds,
+        tight: TimeBounds,
+    ) -> Result<Option<(u64, u64)>, DecodeError> {
+        let mut fuel = WALK_FUEL;
+        while let Some(pc) = *cur {
+            let Some((run, off, id)) = self.run_of(pc) else {
+                if pc == EXIT_TARGET {
+                    *cur = None;
+                    return Ok(None);
+                }
+                return Err(DecodeError::Desync(format!(
+                    "walked to unmapped pc {pc:#x}"
+                )));
+            };
+            let body = u64::from(run.body_len - off);
+            match run.end {
+                RunEnd::Jump { .. } => {
+                    // Take the precomputed chain: the run's own body
+                    // plus every jump-linked body through to the next
+                    // decision, one fuel check for the lot. The
+                    // interpreted walk burns one fuel per emitted
+                    // (non-stopping) event; erroring at >= keeps the
+                    // exhaustion point identical (events emitted before
+                    // a walk error are unobservable — the decode
+                    // returns `Err`).
+                    let chain = self.chains[id as usize];
+                    let total = body + chain.segs_total;
+                    match chain.end {
+                        ChainEnd::CondBr {
+                            pc: dec,
+                            then_pc,
+                            else_pc,
+                        } => {
+                            if total >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: tight,
+                            });
+                            *cur = Some(dec);
+                            return Ok(Some((then_pc, else_pc)));
+                        }
+                        ChainEnd::Indirect { pc: dec } => {
+                            if total + 1 >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            fuel -= total + 1;
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: stretch,
+                            });
+                            *cur = Some(dec + Module::PC_STRIDE);
+                        }
+                        ChainEnd::Halt { pc: dec } => {
+                            if total + 1 >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: stretch,
+                            });
+                            *cur = None;
+                        }
+                        ChainEnd::Next { pc: next } => {
+                            if total >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            fuel -= total;
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            *cur = Some(next);
+                        }
+                    }
+                }
+                RunEnd::CondBr {
+                    pc: dec,
+                    then_pc,
+                    else_pc,
+                } => {
+                    if body >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: tight,
+                    });
+                    *cur = Some(dec);
+                    return Ok(Some((then_pc, else_pc)));
+                }
+                RunEnd::Indirect { pc: dec } => {
+                    // Not a stop for this predicate: the transfer is
+                    // emitted like a body event and the walk continues
+                    // past it linearly.
+                    if body + 1 >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    fuel -= body + 1;
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: stretch,
+                    });
+                    *cur = Some(dec + Module::PC_STRIDE);
+                }
+                RunEnd::Halt { pc: dec } => {
+                    if body + 1 >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: stretch,
+                    });
+                    *cur = None;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Compiled twin of [`walk`] with stop = "is an indirect transfer".
+    ///
+    /// Returns `true` when the walk stopped at an indirect call/return
+    /// (`cur` stays on it), `false` when it ended without one.
+    fn walk_to_indirect(
+        &self,
+        cur: &mut Option<u64>,
+        events: &mut Vec<DecodedEvent>,
+        stretch: TimeBounds,
+        tight: TimeBounds,
+    ) -> Result<bool, DecodeError> {
+        let mut fuel = WALK_FUEL;
+        while let Some(pc) = *cur {
+            let Some((run, off, id)) = self.run_of(pc) else {
+                if pc == EXIT_TARGET {
+                    *cur = None;
+                    return Ok(false);
+                }
+                return Err(DecodeError::Desync(format!(
+                    "walked to unmapped pc {pc:#x}"
+                )));
+            };
+            let body = u64::from(run.body_len - off);
+            match run.end {
+                RunEnd::Jump { .. } => {
+                    let chain = self.chains[id as usize];
+                    let total = body + chain.segs_total;
+                    match chain.end {
+                        ChainEnd::Indirect { pc: dec } => {
+                            if total >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: tight,
+                            });
+                            *cur = Some(dec);
+                            return Ok(true);
+                        }
+                        ChainEnd::CondBr { pc: dec, .. } => {
+                            // See the direct `RunEnd::CondBr` arm: the
+                            // branch is emitted (stretch window), then
+                            // the transfer resolution errors.
+                            if total >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: stretch,
+                            });
+                            return Err(DecodeError::Desync(format!(
+                                "unexpected conditional branch at {dec:#x} without a TNT bit"
+                            )));
+                        }
+                        ChainEnd::Halt { pc: dec } => {
+                            if total + 1 >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            events.push(DecodedEvent {
+                                pc: Pc(dec),
+                                time: stretch,
+                            });
+                            *cur = None;
+                        }
+                        ChainEnd::Next { pc: next } => {
+                            if total >= fuel {
+                                return Err(walk_fuel_exhausted());
+                            }
+                            fuel -= total;
+                            emit_run_body(events, &run, off, stretch);
+                            self.emit_chain(events, &chain, stretch);
+                            *cur = Some(next);
+                        }
+                    }
+                }
+                RunEnd::Indirect { pc: dec } => {
+                    if body >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: tight,
+                    });
+                    *cur = Some(dec);
+                    return Ok(true);
+                }
+                RunEnd::CondBr { pc: dec, .. } => {
+                    // The interpreted walk emits the branch (stretch
+                    // window — not a stop for this predicate) and then
+                    // errors while resolving the transfer.
+                    if body >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: stretch,
+                    });
+                    return Err(DecodeError::Desync(format!(
+                        "unexpected conditional branch at {dec:#x} without a TNT bit"
+                    )));
+                }
+                RunEnd::Halt { pc: dec } => {
+                    if body + 1 >= fuel {
+                        return Err(walk_fuel_exhausted());
+                    }
+                    emit_run_body(events, &run, off, stretch);
+                    events.push(DecodedEvent {
+                        pc: Pc(dec),
+                        time: stretch,
+                    });
+                    *cur = None;
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Appends a run's body events from offset `off`: consecutive PCs, one
+/// constant time window — a bulk extend the optimizer unrolls, versus
+/// the interpreted walk's per-event index probe + transfer match.
+#[inline]
+fn emit_run_body(events: &mut Vec<DecodedEvent>, run: &Run, off: u32, time: TimeBounds) {
+    let start = run.start_pc + u64::from(off) * Module::PC_STRIDE;
+    emit_span(events, start, run.body_len - off, time);
+}
+
+/// Appends `len` consecutive-PC events. Short spans (the common case on
+/// modules with small basic blocks) take plain pushes — iterator-extend
+/// setup costs more than the events themselves below a handful.
+#[inline]
+fn emit_span(events: &mut Vec<DecodedEvent>, start: u64, len: u32, time: TimeBounds) {
+    if len <= 4 {
+        for k in 0..u64::from(len) {
+            events.push(DecodedEvent {
+                pc: Pc(start + k * Module::PC_STRIDE),
+                time,
+            });
+        }
+    } else {
+        events.extend((0..u64::from(len)).map(|k| DecodedEvent {
+            pc: Pc(start + k * Module::PC_STRIDE),
+            time,
+        }));
+    }
+}
+
+/// The walk backend one decode uses: the interpreted [`ExecIndex`] is
+/// always present (rare paths — async FUP target walks, mapped-PC
+/// probes — stay interpreted); the hot TNT/TIP walks dispatch to the
+/// compiled [`WalkTable`] when one is attached.
+#[derive(Clone, Copy)]
+struct Walker<'a> {
+    index: &'a ExecIndex,
+    table: Option<&'a WalkTable>,
+}
+
 /// Snapshot of the clock-reconstruction state at a stream position —
 /// what a shard needs to reconstruct time exactly as the sequential
 /// decoder would.
@@ -402,7 +1133,7 @@ fn walk(
 /// the transfer instruction itself gets the tight window `[time at
 /// this packet, time at this packet + quantum]`.
 fn step(
-    index: &ExecIndex,
+    walker: Walker<'_>,
     st: &mut WalkState,
     events: &mut Vec<DecodedEvent>,
     p: &Packet,
@@ -410,6 +1141,7 @@ fn step(
     quantum: u64,
     snapshot_time: u64,
 ) -> Result<(), DecodeError> {
+    let index = walker.index;
     let hi = time_now
         .map(|t| (t + quantum).min(snapshot_time))
         .unwrap_or(snapshot_time);
@@ -477,15 +1209,23 @@ fn step(
                     // Lost sync (e.g. OVF); skip bits until re-anchor.
                     break;
                 }
-                let t = walk(index, &mut st.cur, events, stretch, tight, |t, _| {
-                    matches!(t, Transfer::CondBr { .. })
-                })?;
-                match t {
-                    Some(Transfer::CondBr { then_pc, else_pc }) => {
+                let resolved = match walker.table {
+                    Some(tab) => tab.walk_to_condbr(&mut st.cur, events, stretch, tight)?,
+                    None => {
+                        match walk(index, &mut st.cur, events, stretch, tight, |t, _| {
+                            matches!(t, Transfer::CondBr { .. })
+                        })? {
+                            Some(Transfer::CondBr { then_pc, else_pc }) => Some((then_pc, else_pc)),
+                            _ => None,
+                        }
+                    }
+                };
+                match resolved {
+                    Some((then_pc, else_pc)) => {
                         let taken = bits >> b & 1 == 1;
                         st.cur = Some(if taken { then_pc } else { else_pc });
                     }
-                    _ => {
+                    None => {
                         return Err(DecodeError::Desync(
                             "TNT bit with no conditional branch reachable".into(),
                         ))
@@ -496,10 +1236,14 @@ fn step(
         }
         Packet::Tip { pc } => {
             if st.cur.is_some() {
-                let t = walk(index, &mut st.cur, events, stretch, tight, |t, _| {
-                    matches!(t, Transfer::ICall | Transfer::Ret)
-                })?;
-                if t.is_none() && st.cur.is_some() {
+                let found = match walker.table {
+                    Some(tab) => tab.walk_to_indirect(&mut st.cur, events, stretch, tight)?,
+                    None => walk(index, &mut st.cur, events, stretch, tight, |t, _| {
+                        matches!(t, Transfer::ICall | Transfer::Ret)
+                    })?
+                    .is_some(),
+                };
+                if !found && st.cur.is_some() {
                     return Err(DecodeError::Desync(
                         "TIP with no indirect transfer reachable".into(),
                     ));
@@ -531,6 +1275,92 @@ pub fn decode_thread_trace(
     bytes: &[u8],
     snapshot_time: u64,
 ) -> Result<DecodedTrace, DecodeError> {
+    decode_stream(Walker { index, table: None }, config, bytes, snapshot_time)
+}
+
+/// [`decode_thread_trace`] with a compiled [`WalkTable`] driving the
+/// hot TNT/TIP walks. Byte-identical output, built for the warm path
+/// where the table already exists in a cross-job cache.
+///
+/// # Errors
+///
+/// Same contract as [`decode_thread_trace`].
+pub fn decode_thread_trace_compiled(
+    index: &ExecIndex,
+    table: &WalkTable,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    lazy_obs::counter!("decode.walk_table.hit", 1u64);
+    decode_stream(
+        Walker {
+            index,
+            table: Some(table),
+        },
+        config,
+        bytes,
+        snapshot_time,
+    )
+}
+
+// Exactly two machine-code copies of the hot loop, split on the one
+// thing worth specializing: whether a compiled walk table drives the
+// TNT/TIP walks. Every *interpreted* sequential entry point (fused,
+// adaptive-routed-fused, shard fallback) shares one outlined copy —
+// letting rustc inline the loop per call site lands duplicates with
+// different code alignment and measurably different throughput, which
+// the one_core bench gate (adaptive == fused on 1 core) would report
+// as routing overhead. The *tabled* copy is outlined separately so the
+// `Option<&WalkTable>` discriminant constant-folds out of the walk.
+fn decode_stream(
+    walker: Walker<'_>,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    match walker.table {
+        None => decode_stream_interpreted(walker.index, config, bytes, snapshot_time),
+        Some(table) => decode_stream_tabled(walker.index, table, config, bytes, snapshot_time),
+    }
+}
+
+#[inline(never)]
+fn decode_stream_interpreted(
+    index: &ExecIndex,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    decode_stream_core(Walker { index, table: None }, config, bytes, snapshot_time)
+}
+
+#[inline(never)]
+fn decode_stream_tabled(
+    index: &ExecIndex,
+    table: &WalkTable,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
+    decode_stream_core(
+        Walker {
+            index,
+            table: Some(table),
+        },
+        config,
+        bytes,
+        snapshot_time,
+    )
+}
+
+#[inline(always)]
+fn decode_stream_core(
+    walker: Walker<'_>,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+) -> Result<DecodedTrace, DecodeError> {
     let _span = lazy_obs::span!("decode.stream");
     lazy_obs::counter!("decode.stream_bytes_total", bytes.len());
     let mut pdec = PacketDecoder::new(bytes);
@@ -540,14 +1370,14 @@ pub fn decode_thread_trace(
     let quantum = config.time_quantum_ns();
     let mut clock = Clock::seeded(config, ClockSeed::INITIAL);
     let mut st = WalkState::INITIAL;
-    let mut events = Vec::new();
+    let mut events = pool_take();
     let mut resyncs = 0u32;
     loop {
         match pdec.next_packet() {
             Ok(Some(p)) => {
                 clock.apply(&p);
                 step(
-                    index,
+                    walker,
                     &mut st,
                     &mut events,
                     &p,
@@ -621,7 +1451,7 @@ pub fn decode_thread_trace_legacy(
     let mut events = Vec::new();
     for (i, p) in packets.iter().enumerate() {
         step(
-            index,
+            Walker { index, table: None },
             &mut st,
             &mut events,
             p,
@@ -696,29 +1526,32 @@ fn skim_psb_sections(config: &TraceConfig, bytes: &[u8]) -> Option<Skim> {
 }
 
 /// Sequentially decodes `range` (which must start at a packet boundary)
-/// with exact seeded clock and walk state. Resync/CYC accounting is the
-/// skim's job, not this function's.
+/// with exact seeded clock and walk state, appending decoded events to
+/// `events` in place — the stitch decodes straight into the final
+/// buffer instead of materializing per-shard vectors it would then
+/// copy. Resync/CYC accounting is the skim's job, not this function's.
+#[allow(clippy::too_many_arguments)] // internal: a seeded decode is this wide
 fn run_range(
-    index: &ExecIndex,
+    walker: Walker<'_>,
     config: &TraceConfig,
     bytes: &[u8],
     range: Range<usize>,
     seed: ClockSeed,
     mut st: WalkState,
+    events: &mut Vec<DecodedEvent>,
     snapshot_time: u64,
-) -> Result<(Vec<DecodedEvent>, WalkState), DecodeError> {
+) -> Result<WalkState, DecodeError> {
     let mut pdec = PacketDecoder::new(&bytes[range]);
     let quantum = config.time_quantum_ns();
     let mut clock = Clock::seeded(config, seed);
-    let mut events = Vec::new();
     loop {
         match pdec.next_packet() {
             Ok(Some(p)) => {
                 clock.apply(&p);
                 step(
-                    index,
+                    walker,
                     &mut st,
-                    &mut events,
+                    events,
                     &p,
                     clock.time,
                     quantum,
@@ -733,7 +1566,7 @@ fn run_range(
             }
         }
     }
-    Ok((events, st))
+    Ok(st)
 }
 
 /// The result of speculatively decoding one shard with an unknown
@@ -752,12 +1585,18 @@ struct ShardOutcome {
     /// Speculative walk state right after the convergence packet; the
     /// stitch accepts the tail only if the true state matches exactly.
     post_head: WalkState,
-    /// Walk state at shard end (valid only when `converged`).
+    /// Walk state at shard end. Authoritative when `converged`, or when
+    /// the true carried-in state turns out to equal the speculative
+    /// premise ([`WalkState::INITIAL`]) — then the whole speculative
+    /// decode *was* the sequential decode.
     end_state: WalkState,
-    /// A walk error hit *after* convergence — authoritative, because
-    /// post-convergence decode is exactly what the sequential decoder
-    /// would do from the same state.
-    tail_error: Option<DecodeError>,
+    /// The walk error that stopped the speculation, if any.
+    /// Authoritative after convergence (post-convergence decode is
+    /// exactly what the sequential decoder would do from the same
+    /// state) or when the carried-in premise proves true; a
+    /// pre-convergence error under a false premise is speculative noise
+    /// and the stitch's recompute supersedes it.
+    error: Option<DecodeError>,
 }
 
 /// Speculatively decodes one shard assuming it starts desynchronized
@@ -776,7 +1615,7 @@ struct ShardOutcome {
 /// speculation — the stitch's recompute of the whole region surfaces
 /// the authoritative outcome.
 fn decode_shard(
-    index: &ExecIndex,
+    walker: Walker<'_>,
     config: &TraceConfig,
     bytes: &[u8],
     range: Range<usize>,
@@ -787,12 +1626,12 @@ fn decode_shard(
     let quantum = config.time_quantum_ns();
     let mut clock = Clock::seeded(config, seed);
     let mut st = WalkState::INITIAL;
-    let mut events = Vec::new();
+    let mut events = pool_take();
     let mut converged = false;
     let mut head_events = 0usize;
     let mut converged_at = range.end;
     let mut post_head = st;
-    let mut tail_error = None;
+    let mut error = None;
     loop {
         match pdec.next_packet() {
             Ok(Some(p)) => {
@@ -800,7 +1639,7 @@ fn decode_shard(
                 let converging = !converged
                     && matches!(p, Packet::Tnt { .. } | Packet::Tip { .. } | Packet::Ovf);
                 match step(
-                    index,
+                    walker,
                     &mut st,
                     &mut events,
                     &p,
@@ -810,11 +1649,11 @@ fn decode_shard(
                 ) {
                     Ok(()) => {}
                     Err(e) => {
-                        if converged {
-                            tail_error = Some(e);
-                        }
-                        // Pre-convergence errors are speculative; either
-                        // way the speculation stops here.
+                        // Record the error regardless of convergence:
+                        // the stitch decides whether it is
+                        // authoritative (see `ShardOutcome::error`).
+                        // Either way the speculation stops here.
+                        error = Some(e);
                         break;
                     }
                 }
@@ -845,7 +1684,7 @@ fn decode_shard(
         converged_at,
         post_head,
         end_state: st,
-        tail_error,
+        error,
     }
 }
 
@@ -866,8 +1705,81 @@ pub fn decode_thread_trace_sharded(
     snapshot_time: u64,
     workers: usize,
 ) -> Result<DecodedTrace, DecodeError> {
+    decode_sharded(
+        Walker { index, table: None },
+        config,
+        bytes,
+        snapshot_time,
+        workers,
+    )
+}
+
+/// The adaptive production decoder: routes each input to whichever
+/// decode strategy wins for its size and the machine's parallelism.
+///
+/// * `table` — optional compiled [`WalkTable`] (from the server's
+///   cross-job cache); when present **and profitable for the module**
+///   ([`WalkTable::is_profitable`]), every routed path uses the
+///   compiled hot walks; otherwise the table is bypassed and the
+///   interpreted walk runs (`decode.walk_table.{hit,bypass}` count the
+///   outcomes).
+/// * `worker_budget` — the parallelism available to *this* decode;
+///   `0` means "ask the OS" ([`std::thread::available_parallelism`]).
+///
+/// Routing: the shard count is the worker budget capped by
+/// `len / decode_shard_target_bytes` (each shard must be big enough to
+/// amortize skim + stitch), and inputs under `decode_shard_min_bytes`
+/// — or any routing that leaves ≤ 1 shard, e.g. every input on a
+/// 1-core box — take the fused sequential pass with zero sharding
+/// overhead. The `decode.shard.routed_{fused,sharded}` counters record
+/// each routing decision.
+///
+/// # Errors
+///
+/// Same contract as [`decode_thread_trace`].
+pub fn decode_thread_trace_adaptive(
+    index: &ExecIndex,
+    table: Option<&WalkTable>,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+    worker_budget: usize,
+) -> Result<DecodedTrace, DecodeError> {
+    // Engage a cached table only where the compiled walk actually wins:
+    // on degenerate short-run modules the interpreted walk is a few
+    // percent faster, and "adaptive" means picking the faster path, not
+    // the fancier one.
+    let table = table.filter(|t| t.is_profitable());
+    if table.is_some() {
+        lazy_obs::counter!("decode.walk_table.hit", 1u64);
+    } else {
+        lazy_obs::counter!("decode.walk_table.bypass", 1u64);
+    }
+    let walker = Walker { index, table };
+    let budget = if worker_budget == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        worker_budget
+    };
+    let shards = budget.min(bytes.len() / config.decode_shard_target_bytes.max(1));
+    if shards <= 1 || bytes.len() < config.decode_shard_min_bytes {
+        lazy_obs::counter!("decode.shard.routed_fused", 1u64);
+        decode_stream(walker, config, bytes, snapshot_time)
+    } else {
+        lazy_obs::counter!("decode.shard.routed_sharded", 1u64);
+        decode_sharded(walker, config, bytes, snapshot_time, shards)
+    }
+}
+
+fn decode_sharded(
+    walker: Walker<'_>,
+    config: &TraceConfig,
+    bytes: &[u8],
+    snapshot_time: u64,
+    workers: usize,
+) -> Result<DecodedTrace, DecodeError> {
     if workers <= 1 {
-        return decode_thread_trace(index, config, bytes, snapshot_time);
+        return decode_stream(walker, config, bytes, snapshot_time);
     }
     let skimmed = {
         let _span = lazy_obs::span!("decode.shard.skim");
@@ -906,7 +1818,7 @@ pub fn decode_thread_trace_sharded(
     let outcomes: Vec<ShardOutcome> = if shards.len() == 1 {
         let (r, seed) = &shards[0];
         vec![decode_shard(
-            index,
+            walker,
             config,
             bytes,
             r.clone(),
@@ -926,7 +1838,7 @@ pub fn decode_thread_trace_sharded(
                     let (r, seed) = (r.clone(), *seed);
                     scope.spawn(move || {
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            decode_shard(index, config, bytes, r, seed, snapshot_time)
+                            decode_shard(walker, config, bytes, r, seed, snapshot_time)
                         }))
                     })
                 })
@@ -941,56 +1853,77 @@ pub fn decode_thread_trace_sharded(
         });
         match caught {
             Some(outs) => outs,
-            None => return decode_thread_trace(index, config, bytes, snapshot_time),
+            None => return decode_stream(walker, config, bytes, snapshot_time),
         }
     };
 
     drop(_speculate_span);
     // Stitch: recompute each shard's head with the true carried state,
     // validate convergence, splice the speculative tail (or redecode
-    // the shard sequentially when speculation failed).
+    // the shard sequentially when speculation failed). Heads and
+    // redecodes stream straight into the final pre-sized buffer;
+    // accepted tails are one bulk `extend_from_slice` — no per-shard
+    // intermediate vectors.
     let _stitch_span = lazy_obs::span!("decode.shard.stitch");
-    let mut events: Vec<DecodedEvent> = Vec::new();
+    let mut events: Vec<DecodedEvent> = pool_take();
+    events.reserve(outcomes.iter().map(|o| o.events.len()).sum());
     let mut carry = WalkState::INITIAL;
     for ((range, seed), out) in shards.iter().zip(outcomes) {
-        let (head, head_end) = run_range(
-            index,
+        if carry == WalkState::INITIAL {
+            // The speculative premise (`WalkState::INITIAL` carry-in)
+            // turned out to be exactly true — always for shard 0, and
+            // for any shard whose predecessor ended e.g. right after
+            // an OVF. The speculation *was* the sequential decode:
+            // splice it whole, zero recompute.
+            events.extend_from_slice(&out.events);
+            if let Some(e) = out.error {
+                return Err(e);
+            }
+            carry = out.end_state;
+            pool_put(out.events);
+            continue;
+        }
+        let base = events.len();
+        let head_end = run_range(
+            walker,
             config,
             bytes,
             range.start..out.converged_at,
             *seed,
             carry,
+            &mut events,
             snapshot_time,
         )?;
         if !out.converged {
             // The "head" was the entire shard; the recompute above is
             // its authoritative sequential decode.
-            events.extend(head);
             carry = head_end;
+            pool_put(out.events);
             continue;
         }
         if head_end == out.post_head {
-            events.extend(head);
             events.extend_from_slice(&out.events[out.head_events..]);
-            if let Some(e) = out.tail_error {
+            if let Some(e) = out.error {
                 return Err(e);
             }
             carry = out.end_state;
+            pool_put(out.events);
         } else {
             // Speculation diverged (e.g. an async FUP whose target sat
             // inside the carried straight-line stretch): redecode the
             // whole shard from the true state.
-            let (all, end) = run_range(
-                index,
+            events.truncate(base);
+            pool_put(out.events);
+            carry = run_range(
+                walker,
                 config,
                 bytes,
                 range.clone(),
                 *seed,
                 carry,
+                &mut events,
                 snapshot_time,
             )?;
-            events.extend(all);
-            carry = end;
         }
     }
     Ok(DecodedTrace {
@@ -1237,35 +2170,63 @@ mod tests {
 
     /// Asserts all three decoders agree exactly on `bytes`.
     fn assert_all_paths_agree(
+        module: &Module,
         index: &ExecIndex,
         cfg: &TraceConfig,
         bytes: &[u8],
         snapshot_time: u64,
     ) {
+        let table = WalkTable::build(module);
         let legacy = decode_thread_trace_legacy(index, cfg, bytes, snapshot_time);
-        let fused = decode_thread_trace(index, cfg, bytes, snapshot_time);
-        match (&legacy, &fused) {
+        let check = |label: &str, got: &Result<DecodedTrace, DecodeError>| match (&legacy, got) {
             (Ok(a), Ok(b)) => {
-                assert_eq!(a.events, b.events, "fused events diverged");
-                assert_eq!(a.resyncs, b.resyncs);
-                assert_eq!(a.cyc_dropped, b.cyc_dropped);
-                assert_eq!(a.mtc_dups, b.mtc_dups);
+                assert_eq!(a.events, b.events, "{label} events diverged");
+                assert_eq!(a.resyncs, b.resyncs, "{label} resyncs");
+                assert_eq!(a.cyc_dropped, b.cyc_dropped, "{label} cyc");
+                assert_eq!(a.mtc_dups, b.mtc_dups, "{label} mtc dups");
             }
-            (Err(a), Err(b)) => assert_eq!(a, b),
-            _ => panic!("fused/legacy disagree on success: {legacy:?} vs {fused:?}"),
-        }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{label} error diverged"),
+            _ => panic!("{label} disagrees on success: {legacy:?} vs {got:?}"),
+        };
+        check(
+            "fused",
+            &decode_thread_trace(index, cfg, bytes, snapshot_time),
+        );
+        check(
+            "compiled",
+            &decode_thread_trace_compiled(index, &table, cfg, bytes, snapshot_time),
+        );
         for workers in [2, 3, 5, 16] {
-            let sharded = decode_thread_trace_sharded(index, cfg, bytes, snapshot_time, workers);
-            match (&legacy, &sharded) {
-                (Ok(a), Ok(b)) => {
-                    assert_eq!(a.events, b.events, "sharded({workers}) events diverged");
-                    assert_eq!(a.resyncs, b.resyncs, "sharded({workers}) resyncs");
-                    assert_eq!(a.cyc_dropped, b.cyc_dropped, "sharded({workers}) cyc");
-                    assert_eq!(a.mtc_dups, b.mtc_dups, "sharded({workers}) mtc dups");
-                }
-                (Err(a), Err(b)) => assert_eq!(a, b),
-                _ => panic!("sharded({workers}) disagree: {legacy:?} vs {sharded:?}"),
-            }
+            check(
+                &format!("sharded({workers})"),
+                &decode_thread_trace_sharded(index, cfg, bytes, snapshot_time, workers),
+            );
+            check(
+                &format!("sharded+table({workers})"),
+                &decode_sharded(
+                    Walker {
+                        index,
+                        table: Some(&table),
+                    },
+                    cfg,
+                    bytes,
+                    snapshot_time,
+                    workers,
+                ),
+            );
+        }
+        for budget in [1, 3] {
+            check(
+                &format!("adaptive({budget})"),
+                &decode_thread_trace_adaptive(
+                    index,
+                    Some(&table),
+                    cfg,
+                    bytes,
+                    snapshot_time,
+                    budget,
+                ),
+            );
         }
     }
 
@@ -1281,7 +2242,7 @@ mod tests {
         };
         let (_, mut enc) = simulate(&module, 200, cfg.clone());
         let bytes = enc.snapshot();
-        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+        assert_all_paths_agree(&module, &index, &cfg, &bytes, 10_000_000);
     }
 
     #[test]
@@ -1296,7 +2257,7 @@ mod tests {
         let (_, mut enc) = simulate(&module, 300, cfg.clone());
         assert!(enc.wrapped());
         let bytes = enc.snapshot();
-        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+        assert_all_paths_agree(&module, &index, &cfg, &bytes, 10_000_000);
     }
 
     #[test]
@@ -1310,7 +2271,7 @@ mod tests {
         };
         let (_, mut enc) = simulate(&module, 100, cfg.clone());
         let bytes = enc.snapshot();
-        assert_all_paths_agree(&index, &cfg, &bytes, 10_000_000);
+        assert_all_paths_agree(&module, &index, &cfg, &bytes, 10_000_000);
     }
 
     #[test]
@@ -1332,7 +2293,7 @@ mod tests {
         }
         let trace = decode_thread_trace(&index, &cfg, &bytes, 10_000).unwrap();
         assert_eq!(trace.cyc_dropped, 1);
-        assert_all_paths_agree(&index, &cfg, &bytes, 10_000);
+        assert_all_paths_agree(&module, &index, &cfg, &bytes, 10_000);
     }
 
     /// Regression: a duplicated *identical* MTC coarse-counter byte (a
@@ -1377,7 +2338,7 @@ mod tests {
         let last = duped.events.last().unwrap();
         assert_eq!(last.time.lo, t0 + period);
         assert!(last.time.lo < t0 + 0x100 * period);
-        assert_all_paths_agree(&index, &cfg, &stream(2), snapshot_time);
+        assert_all_paths_agree(&module, &index, &cfg, &stream(2), snapshot_time);
     }
 }
 

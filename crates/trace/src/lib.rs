@@ -44,12 +44,13 @@ pub mod wire;
 pub use config::TraceConfig;
 pub use corrupt::{CorruptionOp, Corruptor};
 pub use decoder::{
-    decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, DecodeError,
-    DecodedEvent, DecodedTrace, ExecIndex, TimeBounds, EXIT_TARGET,
+    decode_thread_trace, decode_thread_trace_adaptive, decode_thread_trace_compiled,
+    decode_thread_trace_legacy, decode_thread_trace_sharded, drain_event_pool, recycle_events,
+    DecodeError, DecodedEvent, DecodedTrace, ExecIndex, TimeBounds, WalkTable, EXIT_TARGET,
 };
 pub use driver::{SnapshotTrigger, ThreadTrace, TraceDriver, TraceSnapshot};
 pub use encoder::Encoder;
-pub use packet::{Packet, PacketDecoder, PacketEncoder};
+pub use packet::{find_psb, find_psb_scalar, Packet, PacketDecoder, PacketEncoder, PSB_MARKER};
 pub use ring::RingBuffer;
 pub use stats::TraceStats;
 pub use wire::{decode_snapshot, encode_snapshot, fnv1a32, WireError, WIRE_VERSION};

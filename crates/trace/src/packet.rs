@@ -101,6 +101,80 @@ impl fmt::Display for Packet {
 const OP_EXT: u8 = 0x02;
 const EXT_PSB: u8 = 0x82;
 const EXT_OVF: u8 = 0xF3;
+
+/// The encoded 4-byte `PSB` sync marker (`OP_EXT EXT_PSB` twice).
+pub const PSB_MARKER: [u8; 4] = [OP_EXT, EXT_PSB, OP_EXT, EXT_PSB];
+
+/// Returns the offset of the first `PSB` marker starting at or after
+/// `from`, scanning a `u64` word at a time (SWAR, std-only).
+///
+/// The scan splats the marker's first byte (`0x02`) across a word and
+/// uses the zero-byte trick `(x - 0x01…01) & !x & 0x80…80` on
+/// `word ^ splat` to flag candidate bytes. The trick never misses a true
+/// `0x02` byte, and borrow propagation can only raise *spurious* flags —
+/// every candidate is confirmed against the full 4-byte marker before
+/// being returned, so spurious flags cost a compare, never correctness.
+/// Runs free of `0x02` skip 8 bytes per iteration; markers crossing the
+/// word boundary are caught because confirmation reads the real slice.
+///
+/// [`find_psb_scalar`] is the byte-at-a-time differential twin; the two
+/// must agree on every input (`tests/scan_diff.rs`).
+pub fn find_psb(bytes: &[u8], from: usize) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const SPLAT: u64 = 0x0202_0202_0202_0202; // OP_EXT in every lane.
+    let len = bytes.len();
+    let mut i = from;
+    while i + 8 <= len {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&bytes[i..i + 8]);
+        // Little-endian load keeps lane order == memory order, so the
+        // lowest set flag is the earliest candidate.
+        let x = u64::from_le_bytes(word) ^ SPLAT;
+        let mut flags = x.wrapping_sub(LO) & !x & HI;
+        while flags != 0 {
+            let j = i + (flags.trailing_zeros() / 8) as usize;
+            if len >= j + 4 && bytes[j..j + 4] == PSB_MARKER {
+                return Some(j);
+            }
+            flags &= flags - 1;
+        }
+        i += 8;
+    }
+    // Scalar tail: fewer than 8 bytes left to start a candidate in.
+    while i + 4 <= len {
+        if bytes[i..i + 4] == PSB_MARKER {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte-at-a-time differential twin of [`find_psb`] (the pre-SWAR
+/// memchr-style skip loop), kept for proptest byte-identity.
+///
+/// Probes the marker's *second* byte: if `bytes[pos + 1]` is not `0x82`,
+/// no marker can start at `pos` (needs `0x82` there), and one starting
+/// at `pos + 1` would put its second byte at `pos + 2` — so `0x82` means
+/// verify the full pattern, `0x02` means step 1 (a marker may start at
+/// `pos + 1`), anything else steps 2.
+pub fn find_psb_scalar(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut pos = from;
+    while pos + 3 < bytes.len() {
+        match bytes[pos + 1] {
+            EXT_PSB => {
+                if bytes[pos] == OP_EXT && bytes[pos + 2] == OP_EXT && bytes[pos + 3] == EXT_PSB {
+                    return Some(pos);
+                }
+                pos += 2;
+            }
+            OP_EXT => pos += 1,
+            _ => pos += 2,
+        }
+    }
+    None
+}
 const OP_CYC: u8 = 0x03;
 const OP_TIP: u8 = 0x10;
 const OP_FUP: u8 = 0x11;
@@ -254,34 +328,19 @@ impl<'a> PacketDecoder<'a> {
     ///
     /// Returns `false` if no `PSB` exists in the remainder of the stream.
     /// This is how decoding begins on a wrapped ring-buffer snapshot,
-    /// whose head may start mid-packet.
+    /// whose head may start mid-packet. Uses the word-at-a-time
+    /// [`find_psb`] scan; [`find_psb_scalar`] is its differential twin.
     pub fn sync_to_psb(&mut self) -> bool {
-        // memchr-style skip loop. The marker is the 4-byte pattern
-        // `02 82 02 82`; probing its *second* byte lets us advance two
-        // bytes per miss: if `bytes[pos+1]` is not `0x82`, no marker
-        // can start at `pos` (needs `0x82` there) or at `pos+1` (needs
-        // `0x02` there — but then its second byte sits at `pos+2`, so
-        // stepping to `pos+2` still catches it only if `bytes[pos+1]`
-        // was `0x02`, which we check). Net: `0x82` → verify the full
-        // pattern; `0x02` → step 1 (a marker may start at `pos+1`);
-        // anything else → step 2.
-        while self.pos + 3 < self.bytes.len() {
-            match self.bytes[self.pos + 1] {
-                EXT_PSB => {
-                    if self.bytes[self.pos] == OP_EXT
-                        && self.bytes[self.pos + 2] == OP_EXT
-                        && self.bytes[self.pos + 3] == EXT_PSB
-                    {
-                        return true;
-                    }
-                    self.pos += 2;
-                }
-                OP_EXT => self.pos += 1,
-                _ => self.pos += 2,
+        match find_psb(self.bytes, self.pos) {
+            Some(at) => {
+                self.pos = at;
+                true
+            }
+            None => {
+                self.pos = self.bytes.len();
+                false
             }
         }
-        self.pos = self.bytes.len();
-        false
     }
 
     /// Decodes the next packet.
@@ -448,6 +507,62 @@ mod tests {
         let bytes = vec![0x40, 0x01, 0x59, 0x02];
         let mut dec = PacketDecoder::new(&bytes);
         assert!(!dec.sync_to_psb());
+    }
+
+    /// The SWAR scanner and its scalar twin agree on crafted streams
+    /// exercising every alignment, word-boundary crossings, partial
+    /// markers, and `0x02` runs (the byte the SWAR pass keys on).
+    #[test]
+    fn swar_scan_matches_scalar_on_crafted_streams() {
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0x02],
+            vec![0x02, 0x82],
+            vec![0x02, 0x82, 0x02],
+            PSB_MARKER.to_vec(),
+            vec![0x02; 32],
+            vec![0x82; 32],
+            [0x02, 0x82].repeat(16),
+        ];
+        // A marker at every offset 0..=20 (covers both word lanes and
+        // the scalar tail), with 0x02-heavy filler before it.
+        for off in 0..=20usize {
+            let mut v = vec![0x02u8; off];
+            v.extend_from_slice(&PSB_MARKER);
+            v.extend_from_slice(&[0x19, 0x00, 0x02, 0x82]);
+            cases.push(v);
+            let mut v = vec![0xAAu8; off];
+            v.extend_from_slice(&PSB_MARKER);
+            cases.push(v);
+        }
+        // Marker flush against the end of the buffer.
+        let mut v = vec![0x55u8; 13];
+        v.extend_from_slice(&PSB_MARKER);
+        cases.push(v);
+        // Almost-markers only.
+        cases.push(vec![0x02, 0x82, 0x02, 0x83, 0x02, 0x82, 0x03, 0x82]);
+        for bytes in &cases {
+            for from in 0..=bytes.len() + 2 {
+                assert_eq!(
+                    find_psb(bytes, from),
+                    find_psb_scalar(bytes, from),
+                    "bytes={bytes:02x?} from={from}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_psb_returns_first_marker() {
+        // Filler chosen so no accidental marker forms across joins.
+        let mut bytes = vec![0x40u8, 0x01, 0x59, 0x00, 0x19, 0x00];
+        bytes.extend_from_slice(&PSB_MARKER); // first marker at 6
+        bytes.extend_from_slice(&[0x59, 0x07]);
+        bytes.extend_from_slice(&PSB_MARKER); // second marker at 12
+        assert_eq!(find_psb(&bytes, 0), Some(6));
+        assert_eq!(find_psb(&bytes, 6), Some(6));
+        assert_eq!(find_psb(&bytes, 7), Some(12));
+        assert_eq!(find_psb(&bytes, 13), None);
     }
 
     #[test]

@@ -82,8 +82,9 @@ proptest! {
 mod decode_differential {
     use lazy_ir::{Module, ModuleBuilder, Operand, Type};
     use lazy_trace::{
-        decode_thread_trace, decode_thread_trace_legacy, decode_thread_trace_sharded, Encoder,
-        ExecIndex, TraceConfig,
+        decode_thread_trace, decode_thread_trace_adaptive, decode_thread_trace_compiled,
+        decode_thread_trace_legacy, decode_thread_trace_sharded, Encoder, ExecIndex, TraceConfig,
+        WalkTable,
     };
     use proptest::prelude::*;
 
@@ -257,6 +258,52 @@ mod decode_differential {
                         workers,
                         legacy,
                         sharded
+                    ),
+                }
+            }
+            // The compiled walk table and the adaptive front door must be
+            // byte-identical too. Tiny shard thresholds force the adaptive
+            // path through real sharding + stitching even on these short
+            // streams.
+            let table = WalkTable::build(&module);
+            let compiled =
+                decode_thread_trace_compiled(&index, &table, &cfg, &bytes, snapshot_time);
+            match (&legacy, &compiled) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.events, &b.events);
+                    prop_assert_eq!(a.resyncs, b.resyncs);
+                    prop_assert_eq!(a.cyc_dropped, b.cyc_dropped);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "compiled split: {:?} vs {:?}", legacy, compiled),
+            }
+            let shard_cfg = TraceConfig {
+                decode_shard_min_bytes: 0,
+                decode_shard_target_bytes: 64,
+                ..cfg.clone()
+            };
+            for budget in [1, 3] {
+                let adaptive = decode_thread_trace_adaptive(
+                    &index,
+                    Some(&table),
+                    &shard_cfg,
+                    &bytes,
+                    snapshot_time,
+                    budget,
+                );
+                match (&legacy, &adaptive) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.events, &b.events, "budget={}", budget);
+                        prop_assert_eq!(a.resyncs, b.resyncs, "budget={}", budget);
+                        prop_assert_eq!(a.cyc_dropped, b.cyc_dropped, "budget={}", budget);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "budget={}", budget),
+                    _ => prop_assert!(
+                        false,
+                        "adaptive(budget={}) split: {:?} vs {:?}",
+                        budget,
+                        legacy,
+                        adaptive
                     ),
                 }
             }

@@ -1,0 +1,95 @@
+//! Differential tests for the SWAR `PSB` scanner: `find_psb` (the u64
+//! word-at-a-time scanner behind `sync_to_psb`) must agree with its
+//! scalar twin `find_psb_scalar` on every input and every starting
+//! offset — arbitrary bytes, marker-dense constructions, real encoder
+//! streams, and Corruptor-mangled ones.
+//!
+//! This is the inner loop `scripts/ci.sh --fast` runs.
+
+use lazy_trace::{
+    find_psb, find_psb_scalar, CorruptionOp, Corruptor, Encoder, TraceConfig, PSB_MARKER,
+};
+use proptest::prelude::*;
+
+/// Checks the two scanners agree from every starting offset, and that
+/// each reported hit really is a marker.
+fn assert_scanners_agree(bytes: &[u8]) {
+    for from in 0..=bytes.len() {
+        let swar = find_psb(bytes, from);
+        let scalar = find_psb_scalar(bytes, from);
+        assert_eq!(
+            swar,
+            scalar,
+            "scan divergence from {from} on {} bytes",
+            bytes.len()
+        );
+        if let Some(at) = swar {
+            assert!(at >= from);
+            assert_eq!(&bytes[at..at + 4], &PSB_MARKER);
+        }
+    }
+}
+
+fn arb_corruption() -> impl Strategy<Value = CorruptionOp> {
+    prop_oneof![
+        any::<usize>().prop_map(|keep| CorruptionOp::Truncate { keep }),
+        (any::<usize>(), any::<u8>())
+            .prop_map(|(offset, bit)| CorruptionOp::BitFlip { offset, bit }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(from, to)| CorruptionOp::SplicePsb { from, to }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary bytes: the SWAR scanner and the scalar scanner return
+    /// the same offset (or the same miss) from every starting point.
+    #[test]
+    fn swar_matches_scalar_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        assert_scanners_agree(&bytes);
+    }
+
+    /// Marker-dense streams: bytes drawn from the marker's own alphabet
+    /// (0x02 / 0x82 plus near-misses) maximize partial-match and
+    /// straddled-word cases, the SWAR scanner's hard paths.
+    #[test]
+    fn swar_matches_scalar_on_marker_soup(
+        picks in prop::collection::vec(0usize..5, 0..96),
+        plant in (0usize..64, any::<bool>()),
+    ) {
+        const ALPHABET: [u8; 5] = [0x02, 0x82, 0x03, 0x80, 0x00];
+        let mut bytes: Vec<u8> = picks.iter().map(|&i| ALPHABET[i]).collect();
+        if plant.1 {
+            let pos = plant.0 % (bytes.len() + 1);
+            bytes.splice(pos..pos, PSB_MARKER);
+        }
+        assert_scanners_agree(&bytes);
+    }
+
+    /// Encoder-produced streams (real `PSB` cadence), raw and mangled
+    /// by the snapshot Corruptor's stream-level operators.
+    #[test]
+    fn swar_matches_scalar_on_encoder_streams(
+        branches in 0u64..200,
+        psb_period in 16usize..128,
+        ops in prop::collection::vec(arb_corruption(), 0..3),
+    ) {
+        let cfg = TraceConfig {
+            psb_period_bytes: psb_period,
+            buffer_size: 1 << 16,
+            ..TraceConfig::default()
+        };
+        let mut enc = Encoder::new(cfg);
+        enc.start(0x40_0000, 1_000);
+        for i in 0..branches {
+            enc.branch(0x40_0010, i % 3 != 0, 1_000 + i * 30);
+        }
+        let mut bytes = enc.snapshot();
+        let corruptor = Corruptor::new();
+        for op in &ops {
+            bytes = corruptor.apply(&bytes, op);
+        }
+        assert_scanners_agree(&bytes);
+    }
+}

@@ -4,11 +4,21 @@
 #   scripts/ci.sh          the standard gate
 #   scripts/ci.sh --full   additionally runs the heavy sweeps
 #                          (54-bug degradation corpus, --features slow-tests)
+#   scripts/ci.sh --fast   the seconds-scale inner-loop lane: only the
+#                          SWAR/scalar packet-scan differential, for
+#                          iterating on the decoder's scan path
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL=0
 [[ "${1:-}" == "--full" ]] && FULL=1
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> fast lane: SWAR vs scalar packet-scan differential"
+  cargo test --release -q -p lazy-trace --test scan_diff
+  echo "CI OK (fast lane)"
+  exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -43,14 +53,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> panic-lint gate (lazy-trace, lazy-snorlax, lazy-obs)"
 cargo clippy -q -p lazy-trace -p lazy-snorlax -p lazy-obs --lib -- -D warnings
 
-echo "==> decode bench smoke (--fast)"
+# The decode smoke also enforces the decode gates: the bench binary
+# asserts the one_core (adaptive never loses to fused) and walk_table
+# (steady-state compiled >= 1.3x one-shot fused) gates internally, so a
+# routing or walk-table regression fails this build right here.
+echo "==> decode bench smoke (--fast, enforces one_core + walk_table gates)"
 cargo run --release -q -p lazy-bench --bin decode -- --fast --out /tmp/BENCH_decode_ci.json
 
 # The bench artifact must carry the per-stage telemetry the default
-# build promises: the enabled flag, the embedded telemetry object, and
-# the decoder's own stage span.
+# build promises: the enabled flag, the embedded telemetry object, the
+# decoder's own stage span, the adaptive routing counters, and the
+# walk-table lifecycle counters.
 echo "==> BENCH_decode.json telemetry fields"
-for field in '"telemetry_enabled": true' '"telemetry":' '"decode.stream"'; do
+for field in '"telemetry_enabled": true' '"telemetry":' '"decode.stream"' \
+             '"decode.shard.routed_fused"' '"decode.shard.routed_sharded"' \
+             '"decode.walk_table.build"' '"decode.walk_table.hit"'; do
   grep -qF "$field" /tmp/BENCH_decode_ci.json \
     || { echo "FAIL: bench output missing $field"; exit 1; }
   grep -qF "$field" BENCH_decode.json \

@@ -1,0 +1,135 @@
+//! Compiled-walk regression: decoding with a per-module [`WalkTable`]
+//! (and through the adaptive front door that may engage one) must be a
+//! pure optimization — byte-identical decoded events, resync counts,
+//! and dropped-CYC counts against the interpreted walk, on every
+//! corpus bug's real collected snapshots.
+//!
+//! Mirrors `decode_par.rs` but pivots on the walk backend instead of
+//! the worker count: for every thread stream of every collected
+//! snapshot, the interpreted fused decode is the reference and the
+//! compiled and adaptive decodes must match it exactly. The non-ignored
+//! test covers the 11-bug evaluation subset; the full 54-bug sweep is
+//! `#[ignore]`d like the other corpus sweeps — run it with
+//! `cargo test --release --test decode_compiled -- --ignored`.
+
+use lazy_diagnosis::snorlax::{CollectionClient, CollectionOutcome, DiagnosisServer, ServerConfig};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_trace::{
+    decode_thread_trace, decode_thread_trace_adaptive, decode_thread_trace_compiled, ExecIndex,
+    TraceConfig, TraceSnapshot, WalkTable,
+};
+
+fn collect_report(server: &DiagnosisServer<'_>, s: &BugScenario) -> CollectionOutcome {
+    CollectionClient::new(server, VmConfig::default())
+        .collect(0, 800, 10, 0)
+        .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id))
+}
+
+fn assert_snapshot_decodes_identically(
+    s: &BugScenario,
+    index: &ExecIndex,
+    table: &WalkTable,
+    cfg: &TraceConfig,
+    snapshot: &TraceSnapshot,
+) {
+    // Tiny shard thresholds so the adaptive path exercises real
+    // sharding + stitching even on 64 KB corpus rings.
+    let shard_cfg = TraceConfig {
+        decode_shard_min_bytes: 0,
+        decode_shard_target_bytes: 1,
+        ..cfg.clone()
+    };
+    for (tid, thread) in snapshot.threads.iter().enumerate() {
+        let reference = decode_thread_trace(index, cfg, &thread.bytes, snapshot.taken_at);
+        let compiled =
+            decode_thread_trace_compiled(index, table, cfg, &thread.bytes, snapshot.taken_at);
+        let label = format!("{}: thread {tid}", s.id);
+        match (&reference, &compiled) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.events, b.events, "{label}: compiled events diverged");
+                assert_eq!(a.resyncs, b.resyncs, "{label}: compiled resyncs diverged");
+                assert_eq!(
+                    a.cyc_dropped, b.cyc_dropped,
+                    "{label}: compiled dropped-CYC diverged"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{label}: compiled error diverged"),
+            _ => panic!("{label}: compiled split: {reference:?} vs {compiled:?}"),
+        }
+        for budget in [1, 4] {
+            let adaptive = decode_thread_trace_adaptive(
+                index,
+                Some(table),
+                &shard_cfg,
+                &thread.bytes,
+                snapshot.taken_at,
+                budget,
+            );
+            match (&reference, &adaptive) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.events, b.events,
+                        "{label}: adaptive(budget={budget}) events diverged"
+                    );
+                    assert_eq!(
+                        a.resyncs, b.resyncs,
+                        "{label}: adaptive(budget={budget}) resyncs diverged"
+                    );
+                    assert_eq!(
+                        a.cyc_dropped, b.cyc_dropped,
+                        "{label}: adaptive(budget={budget}) dropped-CYC diverged"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "{label}: adaptive(budget={budget}) error diverged");
+                }
+                _ => panic!(
+                    "{label}: adaptive(budget={budget}) split: {reference:?} vs {adaptive:?}"
+                ),
+            }
+        }
+    }
+}
+
+fn assert_compiled_matches_interpreted(s: &BugScenario) {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let col = collect_report(&server, s);
+    let index = ExecIndex::build(&s.module);
+    let table = WalkTable::build(&s.module);
+    let cfg = TraceConfig::default();
+    for snapshot in col.failing.iter().chain(col.successful.iter()) {
+        assert_snapshot_decodes_identically(s, &index, &table, &cfg, snapshot);
+    }
+    // End to end: a server (which caches and may engage the table
+    // adaptively) still renders the same diagnosis as the decode-level
+    // reference pipeline above implies.
+    let diag = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap_or_else(|e| panic!("{}: diagnosis failed: {e}", s.id));
+    assert!(
+        !diag.render(&s.module).is_empty(),
+        "{}: empty diagnosis render",
+        s.id
+    );
+}
+
+/// Eleven eval bugs: compiled and adaptive decodes byte-identical to
+/// the interpreted walk on every collected thread stream.
+#[test]
+fn eval_bugs_compiled_decode_identical() {
+    for s in lazy_workloads::systems::eval_scenarios() {
+        assert_compiled_matches_interpreted(&s);
+        println!("{}: ok", s.id);
+    }
+}
+
+/// Full corpus: all 54 bugs. Heavy — run with
+/// `cargo test --release --test decode_compiled -- --ignored`.
+#[test]
+#[ignore = "heavy: decodes every corpus bug's snapshots three ways"]
+fn entire_corpus_compiled_decode_identical() {
+    for s in lazy_diagnosis::workloads::all_scenarios() {
+        assert_compiled_matches_interpreted(&s);
+    }
+}

@@ -18,8 +18,11 @@ use lazy_workloads::systems::eval_scenarios;
 
 fn configs() -> (ServerConfig, ServerConfig) {
     let trace = TraceConfig {
-        // Force the sharded path for every stream size.
+        // Force the sharded path for every stream size: no minimum, and
+        // a 1-byte shard target so the worker budget — not the stream
+        // length — decides the shard count.
         decode_shard_min_bytes: 0,
+        decode_shard_target_bytes: 1,
         ..TraceConfig::default()
     };
     let sequential = ServerConfig {
