@@ -25,7 +25,7 @@ use crate::error::DiagnosisError;
 use crate::server::{DiagnosisServer, SnapshotMemo, StageTimes};
 use crate::Diagnosis;
 use lazy_analysis::{CacheStats, PointsTo, PointsToCache};
-use lazy_trace::TraceSnapshot;
+use lazy_trace::{SnapshotView, TraceSnapshot};
 use lazy_vm::Failure;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,6 +41,21 @@ pub struct BatchJob<'a> {
     pub failing: &'a [TraceSnapshot],
     /// Snapshots from successful executions at the failure breakpoint.
     pub successful: &'a [TraceSnapshot],
+}
+
+/// [`BatchJob`] over borrowed snapshot views — the zero-copy ingest
+/// shape. The daemon builds these directly over a request payload
+/// still sitting in the connection's read buffer; per-thread trace
+/// bytes are never copied. The `Failure` is owned because the view
+/// path decodes it from the wire (it is a few words, not trace bytes).
+#[derive(Clone)]
+pub struct BatchJobView<'a> {
+    /// The failure the client observed.
+    pub failure: Failure,
+    /// Snapshot views from failing executions.
+    pub failing: Vec<SnapshotView<'a>>,
+    /// Snapshot views from successful executions.
+    pub successful: Vec<SnapshotView<'a>>,
 }
 
 /// Batch execution knobs.
@@ -123,6 +138,26 @@ impl<'m> DiagnosisServer<'m> {
     /// Each returned diagnosis is identical — up to timing counters —
     /// to what [`DiagnosisServer::diagnose`] returns for the same job.
     pub fn diagnose_batch<'a>(&self, jobs: &[BatchJob<'a>], cfg: &BatchConfig) -> BatchOutcome {
+        let views: Vec<BatchJobView<'a>> = jobs
+            .iter()
+            .map(|j| BatchJobView {
+                failure: j.failure.clone(),
+                failing: j.failing.iter().map(TraceSnapshot::view).collect(),
+                successful: j.successful.iter().map(TraceSnapshot::view).collect(),
+            })
+            .collect();
+        self.diagnose_batch_views(&views, cfg)
+    }
+
+    /// [`DiagnosisServer::diagnose_batch`] over [`BatchJobView`]s — the
+    /// zero-copy ingest path the daemon feeds from its connection read
+    /// buffers. Semantics (fan-out, shared cache, memo, degradation)
+    /// are identical to the owned entry point.
+    pub fn diagnose_batch_views<'a>(
+        &self,
+        jobs: &[BatchJobView<'a>],
+        cfg: &BatchConfig,
+    ) -> BatchOutcome {
         let started = Instant::now();
         let telemetry_baseline = lazy_obs::snapshot();
         let batch_span = lazy_obs::span!("batch.run");
@@ -202,7 +237,7 @@ impl<'m> DiagnosisServer<'m> {
 
     fn run_job<'a>(
         &self,
-        job: &BatchJob<'a>,
+        job: &BatchJobView<'a>,
         cache: Option<&Mutex<PointsToCache>>,
         memo: &SnapshotMemo<'a>,
         degradation: &Degradation,
@@ -213,7 +248,7 @@ impl<'m> DiagnosisServer<'m> {
         // saturates the pool, so per-thread sharding would only add
         // stitch overhead.
         let (failing_traces, success_traces, executed) =
-            self.prepare_with(job.failing, job.successful, Some(memo), 1)?;
+            self.prepare_with(&job.failing, &job.successful, Some(memo), 1)?;
         let decode_micros = started.elapsed().as_micros();
 
         let pts_started = Instant::now();
@@ -237,7 +272,7 @@ impl<'m> DiagnosisServer<'m> {
         let points_to_micros = pts_started.elapsed().as_micros();
 
         Ok(self.finish_diagnosis(
-            job.failure,
+            &job.failure,
             &failing_traces,
             &success_traces,
             &executed,

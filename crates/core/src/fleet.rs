@@ -63,7 +63,7 @@ use crate::server::{ordered_events_for, Diagnosis, DiagnosisServer, PipelineStat
 use crate::statistics::{top_pattern_count, PatternCounts, PatternStats};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Module, Pc};
-use lazy_trace::TraceSnapshot;
+use lazy_trace::{SnapshotView, TraceSnapshot};
 use lazy_vm::{Failure, FailureKind};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -185,6 +185,27 @@ impl<'m> FleetShard<'m> {
         failure: &Failure,
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
+    ) -> Result<CollectReply, DiagnosisError> {
+        let failing: Vec<SnapshotView<'_>> = failing.iter().map(TraceSnapshot::view).collect();
+        let successful: Vec<SnapshotView<'_>> =
+            successful.iter().map(TraceSnapshot::view).collect();
+        self.collect_views(session, failure, &failing, &successful)
+    }
+
+    /// [`FleetShard::collect`] over borrowed [`SnapshotView`]s — the
+    /// zero-copy ingest path the daemon's fleet frame handler feeds
+    /// straight from a connection read buffer. Processed traces are
+    /// owned by the session, so the borrow ends when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FleetShard::collect`].
+    pub fn collect_views(
+        &self,
+        session: u64,
+        failure: &Failure,
+        failing: &[SnapshotView<'_>],
+        successful: &[SnapshotView<'_>],
     ) -> Result<CollectReply, DiagnosisError> {
         let _span = lazy_obs::span!("fleet.shard.collect");
         {
@@ -962,6 +983,23 @@ pub fn decode_fleet_collect(
             successful,
         },
     ))
+}
+
+/// Decodes a [`FrameKind::FleetCollect`] payload without copying trace
+/// bytes: the returned views borrow from `payload`.
+///
+/// # Errors
+///
+/// Frame errors for structural corruption; wire errors when an embedded
+/// snapshot fails its own checksum.
+pub(crate) fn decode_fleet_collect_view(
+    payload: &[u8],
+) -> Result<(u64, crate::daemon::DiagnoseRequestView<'_>), DiagnosisError> {
+    let mut c = cursor(payload);
+    let session = c.u64().map_err(DiagnosisError::Frame)?;
+    let request = crate::daemon::decode_diagnose_view_cursor(&mut c)?;
+    done(&c).map_err(DiagnosisError::Frame)?;
+    Ok((session, request))
 }
 
 /// Encodes a [`FrameKind::FleetCollectAck`] payload.

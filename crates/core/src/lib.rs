@@ -53,12 +53,13 @@ pub mod fleet;
 pub mod multivar;
 pub mod patterns;
 pub mod processing;
+pub mod reactor;
 pub mod remote;
 pub mod server;
 pub mod statistics;
 
 pub use accuracy::{kendall_tau_distance, ordering_accuracy};
-pub use batch::{BatchConfig, BatchJob, BatchOutcome, BatchStats};
+pub use batch::{BatchConfig, BatchJob, BatchJobView, BatchOutcome, BatchStats};
 pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
 pub use daemon::{serve, DaemonConfig, DaemonStats, FrameError, FrameKind};

@@ -15,8 +15,8 @@
 use crate::error::DiagnosisError;
 use lazy_ir::{Module, Pc};
 use lazy_trace::{
-    decode_thread_trace_adaptive, recycle_events, DecodeError, DecodedTrace, ExecIndex, TimeBounds,
-    TraceConfig, TraceSnapshot, WalkTable,
+    decode_thread_trace_adaptive, recycle_events, DecodeError, DecodedTrace, ExecIndex,
+    SnapshotView, TimeBounds, TraceConfig, TraceSnapshot, WalkTable,
 };
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -157,11 +157,30 @@ pub fn process_snapshot(
 ///
 /// Same contract as [`process_snapshot`].
 pub fn process_snapshot_par(
-    _module: &Module,
+    module: &Module,
     index: &ExecIndex,
     table: Option<&WalkTable>,
     config: &TraceConfig,
     snapshot: &TraceSnapshot,
+    workers: usize,
+) -> Result<ProcessedTrace, DiagnosisError> {
+    process_snapshot_view(module, index, table, config, &snapshot.view(), workers)
+}
+
+/// [`process_snapshot_par`] over a borrowed [`SnapshotView`] — the
+/// zero-copy ingest path. Thread trace bytes are decoded straight out
+/// of whatever buffer the view borrows from (a connection's read
+/// buffer, a wire payload); nothing is copied on the way in.
+///
+/// # Errors
+///
+/// Same contract as [`process_snapshot`].
+pub fn process_snapshot_view(
+    _module: &Module,
+    index: &ExecIndex,
+    table: Option<&WalkTable>,
+    config: &TraceConfig,
+    snapshot: &SnapshotView<'_>,
     workers: usize,
 ) -> Result<ProcessedTrace, DiagnosisError> {
     let _span = lazy_obs::span!("decode.snapshot");
@@ -194,7 +213,7 @@ pub fn process_snapshot_par(
                         // while holding it; the Option inside is still
                         // well-formed, so recover the guard.
                         *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
-                            Some(decode(&thread.bytes));
+                            Some(decode(thread.bytes));
                     });
                 }
             });
@@ -207,7 +226,7 @@ pub fn process_snapshot_par(
                 })
                 .collect()
         } else {
-            snapshot.threads.iter().map(|t| decode(&t.bytes)).collect()
+            snapshot.threads.iter().map(|t| decode(t.bytes)).collect()
         };
 
     let mut executed = HashSet::new();

@@ -1,0 +1,271 @@
+//! A minimal readiness reactor: `poll(2)` plus a self-wake channel.
+//!
+//! The daemon's event loop ([`crate::daemon::serve`]) needs exactly two
+//! primitives the standard library does not expose:
+//!
+//! 1. **Readiness multiplexing** — block until any of N non-blocking
+//!    sockets is readable/writable, with a timeout. On Linux this is
+//!    the `poll(2)`/`ppoll(2)` syscall, invoked directly via inline
+//!    assembly so the repo stays dependency-free (no libc crate). On
+//!    other targets a portable fallback marks every descriptor ready
+//!    and naps briefly — correct (the sockets are non-blocking, so
+//!    spurious readiness degrades to `WouldBlock`) but less efficient.
+//! 2. **Cross-thread wakeup** — worker threads finishing a job must
+//!    interrupt a blocked poll. A connected loopback UDP pair does
+//!    this with nothing but `std::net`: the receiving socket sits in
+//!    the poll set; [`Waker::wake`] sends one datagram at it.
+//!
+//! Lost wakeups are tolerated by design: the event loop caps its poll
+//! timeout, so a dropped datagram costs one timeout interval, never a
+//! hang.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+/// Readable readiness (or: data available / peer closed).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is invalid.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a poll set — the kernel's `struct pollfd`, bit for bit.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: i32,
+    /// Requested readiness ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Observed readiness, written by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry asking for `events` on `fd`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Readable (or hung up / errored, which reads report too).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Writable (or errored — the write will surface the error).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLNVAL) != 0
+    }
+}
+
+/// Caps a poll timeout to `i32` milliseconds (rounding up so a 0.4ms
+/// deadline does not busy-spin at timeout 0).
+fn timeout_millis(timeout: Duration) -> i32 {
+    let ms = timeout.as_millis();
+    let rounded = if !timeout.subsec_nanos().is_multiple_of(1_000_000) {
+        ms + 1
+    } else {
+        ms
+    };
+    i32::try_from(rounded).unwrap_or(i32::MAX)
+}
+
+/// Blocks until a descriptor in `fds` is ready or `timeout` elapses;
+/// returns how many entries have non-zero `revents`. A signal
+/// interruption (`EINTR`) reports `0` ready — callers loop anyway.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> usize {
+    let ret = sys_poll(fds, timeout_millis(timeout));
+    if ret < 0 {
+        // EINTR and friends: nothing ready this round; the caller's
+        // loop re-polls. A persistently failing poll degrades to the
+        // caller's timeout cadence rather than a spin.
+        0
+    } else {
+        ret as usize
+    }
+}
+
+/// Portable fallback: report every requested event as ready after a
+/// short nap. Spurious readiness is safe (all sockets are non-blocking)
+/// — this trades efficiency for portability on targets without the
+/// syscall shim.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> usize {
+    std::thread::sleep(timeout.min(Duration::from_millis(2)));
+    let mut ready = 0;
+    for fd in fds.iter_mut() {
+        fd.revents = fd.events & (POLLIN | POLLOUT);
+        if fd.revents != 0 {
+            ready += 1;
+        }
+    }
+    ready
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+    // poll(2) is syscall 7 on x86_64.
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 7isize => ret,
+            in("rdi") fds.as_mut_ptr(),
+            in("rsi") fds.len(),
+            in("rdx") timeout_ms as isize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+    // aarch64 has no plain poll(2); ppoll(2) is syscall 73 and takes a
+    // timespec (null sigmask = "don't touch the signal mask").
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    let ts = Timespec {
+        tv_sec: i64::from(timeout_ms) / 1000,
+        tv_nsec: (i64::from(timeout_ms) % 1000) * 1_000_000,
+    };
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 73isize,
+            inlateout("x0") fds.as_mut_ptr() => ret,
+            in("x1") fds.len(),
+            in("x2") &ts as *const Timespec,
+            in("x3") 0usize,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// The sending half of the self-wake channel. Cheap to share across
+/// worker threads (`&Waker` is `Sync`); waking is one loopback datagram.
+pub struct Waker {
+    tx: UdpSocket,
+}
+
+impl Waker {
+    /// Interrupts the event loop's current (or next) poll. Best-effort:
+    /// a full socket buffer or transient error is absorbed by the
+    /// loop's capped poll timeout.
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1u8]);
+    }
+}
+
+/// The receiving half: its descriptor goes into the poll set; once
+/// readable, [`drain`] eats the pending datagrams.
+pub struct WakeReceiver {
+    rx: UdpSocket,
+}
+
+impl WakeReceiver {
+    /// The descriptor to register with [`POLLIN`].
+    #[cfg(unix)]
+    pub fn fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes every queued wake datagram (non-blocking).
+    pub fn drain(&self) {
+        let mut scratch = [0u8; 16];
+        while self.rx.recv(&mut scratch).is_ok() {}
+    }
+}
+
+/// Builds a connected loopback wake channel.
+///
+/// # Errors
+///
+/// Propagates socket creation/connect failures (exotic: no loopback).
+pub fn wake_pair() -> std::io::Result<(Waker, WakeReceiver)> {
+    let rx = UdpSocket::bind("127.0.0.1:0")?;
+    rx.set_nonblocking(true)?;
+    let tx = UdpSocket::bind("127.0.0.1:0")?;
+    tx.set_nonblocking(true)?;
+    tx.connect(rx.local_addr()?)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_interrupts_poll() {
+        let (waker, rx) = wake_pair().unwrap();
+        waker.wake();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let n = poll(&mut fds, Duration::from_secs(5));
+        assert!(n >= 1, "wake datagram must make the fd readable");
+        assert!(fds[0].readable());
+        rx.drain();
+        // Drained: an immediate zero-timeout poll reports nothing.
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let n = poll(&mut fds, Duration::ZERO);
+        // The portable fallback always reports ready; only assert
+        // emptiness where the real syscall runs.
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert_eq!(n, 0, "drained waker must not stay readable");
+        let _ = n;
+    }
+
+    #[test]
+    fn poll_times_out_when_idle() {
+        let (_waker, rx) = wake_pair().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let started = std::time::Instant::now();
+        let n = poll(&mut fds, Duration::from_millis(30));
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            assert_eq!(n, 0);
+            assert!(
+                started.elapsed() >= Duration::from_millis(25),
+                "poll returned early: {:?}",
+                started.elapsed()
+            );
+        }
+        let _ = (n, started);
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up() {
+        assert_eq!(timeout_millis(Duration::from_micros(400)), 1);
+        assert_eq!(timeout_millis(Duration::from_millis(7)), 7);
+        assert_eq!(timeout_millis(Duration::ZERO), 0);
+        assert_eq!(timeout_millis(Duration::from_secs(1 << 40)), i32::MAX);
+    }
+}

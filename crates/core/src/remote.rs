@@ -112,6 +112,40 @@ impl RemoteClient {
         }
     }
 
+    /// [`RemoteClient::diagnose`] with admission-rejection retries: a
+    /// `Busy` reply backs off (linearly: `backoff`, 2×`backoff`, …) and
+    /// resubmits, up to `attempts` total tries. Every other outcome —
+    /// success, typed server error, transport failure — passes straight
+    /// through. Returns the retries spent alongside the report so
+    /// callers (the contention bench) can account for them.
+    ///
+    /// # Errors
+    ///
+    /// The final [`DiagnosisError::Remote`] busy rejection once
+    /// `attempts` is exhausted; otherwise as [`RemoteClient::diagnose`].
+    pub fn diagnose_retrying(
+        &mut self,
+        failure: &Failure,
+        failing: &[TraceSnapshot],
+        successful: &[TraceSnapshot],
+        attempts: usize,
+        backoff: std::time::Duration,
+    ) -> Result<(String, usize), DiagnosisError> {
+        let mut retries = 0usize;
+        loop {
+            match self.diagnose(failure, failing, successful) {
+                Ok(report) => return Ok((report, retries)),
+                Err(DiagnosisError::Remote { detail })
+                    if detail.contains("busy") && retries + 1 < attempts.max(1) =>
+                {
+                    retries += 1;
+                    std::thread::sleep(backoff.saturating_mul(retries as u32));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Submits a batch of failure reports; returns per-job results in
     /// job order — the rendered report, or the job's server-side error
     /// as [`DiagnosisError::Remote`].

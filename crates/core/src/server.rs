@@ -11,11 +11,11 @@
 use crate::candidates::select_candidates;
 use crate::error::DiagnosisError;
 use crate::patterns::{crash_patterns, deadlock_patterns, BugPattern, PatternContext};
-use crate::processing::{process_snapshot_par, ProcessedTrace};
+use crate::processing::{process_snapshot_view, ProcessedTrace};
 use crate::statistics::{score_patterns, top_pattern_count, PatternScore};
 use lazy_analysis::PointsTo;
 use lazy_ir::{Cfg, Module, Pc};
-use lazy_trace::{ExecIndex, TraceConfig, TraceSnapshot, WalkTable};
+use lazy_trace::{ExecIndex, SnapshotView, TraceConfig, TraceSnapshot, WalkTable};
 use lazy_vm::{Failure, FailureKind};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -276,12 +276,12 @@ impl<'m> DiagnosisServer<'m> {
     ///
     /// Propagates decode failures as [`DiagnosisError`].
     pub fn process(&self, snapshot: &TraceSnapshot) -> Result<ProcessedTrace, DiagnosisError> {
-        process_snapshot_par(
+        process_snapshot_view(
             self.module,
             &self.index,
             Some(self.walk_table()),
             &self.cfg.trace,
-            snapshot,
+            &snapshot.view(),
             self.cfg.resolved_decode_workers(),
         )
     }
@@ -318,9 +318,34 @@ impl<'m> DiagnosisServer<'m> {
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
     ) -> Result<Diagnosis, DiagnosisError> {
+        let failing: Vec<SnapshotView<'_>> = failing.iter().map(TraceSnapshot::view).collect();
+        let successful: Vec<SnapshotView<'_>> =
+            successful.iter().map(TraceSnapshot::view).collect();
+        self.diagnose_views(failure, &failing, &successful)
+    }
+
+    /// [`DiagnosisServer::diagnose`] over borrowed [`SnapshotView`]s —
+    /// the zero-copy ingest path. The daemon hands request payloads
+    /// straight from its connection read buffers through here; trace
+    /// bytes are never copied between the socket and the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DiagnosisServer::diagnose`].
+    pub fn diagnose_views(
+        &self,
+        failure: &Failure,
+        failing: &[SnapshotView<'_>],
+        successful: &[SnapshotView<'_>],
+    ) -> Result<Diagnosis, DiagnosisError> {
         let _span = lazy_obs::span!("diagnose.job");
         let started = Instant::now();
-        let (failing_traces, success_traces, executed) = self.prepare(failing, successful)?;
+        let (failing_traces, success_traces, executed) = self.prepare_with(
+            failing,
+            successful,
+            None,
+            self.cfg.resolved_decode_workers(),
+        )?;
         let decode_micros = started.elapsed().as_micros();
 
         // Step 4: hybrid (scope-restricted) points-to analysis.
@@ -342,40 +367,26 @@ impl<'m> DiagnosisServer<'m> {
         ))
     }
 
-    /// Steps 2–3 for a set of snapshots: decode + trace processing,
-    /// plus the executed-instruction union.
+    /// Steps 2–3 with an explicit decode-worker budget and an optional
+    /// cross-job snapshot memo (batch mode: the same success corpus is
+    /// typically attached to many jobs, so its snapshots are processed
+    /// once and shared by `Arc`).
+    ///
+    /// All snapshots of the report are processed concurrently under the
+    /// worker budget, and each snapshot's threads decode concurrently
+    /// too ([`process_snapshot_view`]); aggregation order is fixed, so
+    /// the result is bit-identical to sequential processing.
     ///
     /// # Errors
     ///
     /// Fails if no failing snapshot decodes (success-side decode
     /// failures are skipped, mirroring a production server that cannot
-    /// hold up a diagnosis for one corrupt success trace).
-    pub(crate) fn prepare(
-        &self,
-        failing: &[TraceSnapshot],
-        successful: &[TraceSnapshot],
-    ) -> Result<Prepared, DiagnosisError> {
-        self.prepare_with(
-            failing,
-            successful,
-            None,
-            self.cfg.resolved_decode_workers(),
-        )
-    }
-
-    /// [`DiagnosisServer::prepare`] with an explicit decode-worker
-    /// budget and an optional cross-job snapshot memo (batch mode: the
-    /// same success corpus is typically attached to many jobs, so its
-    /// snapshots are processed once and shared by `Arc`).
-    ///
-    /// All snapshots of the report are processed concurrently under the
-    /// worker budget, and each snapshot's threads decode concurrently
-    /// too ([`process_snapshot_par`]); aggregation order is fixed, so
-    /// the result is bit-identical to sequential processing.
+    /// hold up a diagnosis for one corrupt success trace), or with
+    /// [`DiagnosisError::EmptyReport`] when `failing` is empty.
     pub(crate) fn prepare_with<'a>(
         &self,
-        failing: &'a [TraceSnapshot],
-        successful: &'a [TraceSnapshot],
+        failing: &[SnapshotView<'a>],
+        successful: &[SnapshotView<'a>],
         memo: Option<&SnapshotMemo<'a>>,
         workers: usize,
     ) -> Result<Prepared, DiagnosisError> {
@@ -387,17 +398,17 @@ impl<'m> DiagnosisServer<'m> {
         self.prepare_traces(failing, successful, memo, workers)
     }
 
-    /// [`DiagnosisServer::prepare`] for one fleet shard's partition.
-    /// The coordinator applies the global success cap *before* routing
-    /// (a per-shard cap would depend on the shard count and break
-    /// byte-identity with single-node), and a shard may legitimately
-    /// hold zero failing traces when there are fewer failing reports
-    /// than shards — so neither the cap nor the `EmptyReport` check
-    /// applies here.
+    /// [`DiagnosisServer::prepare_with`] for one fleet shard's
+    /// partition. The coordinator applies the global success cap
+    /// *before* routing (a per-shard cap would depend on the shard
+    /// count and break byte-identity with single-node), and a shard may
+    /// legitimately hold zero failing traces when there are fewer
+    /// failing reports than shards — so neither the cap nor the
+    /// `EmptyReport` check applies here.
     pub(crate) fn prepare_shard(
         &self,
-        failing: &[TraceSnapshot],
-        successful: &[TraceSnapshot],
+        failing: &[SnapshotView<'_>],
+        successful: &[SnapshotView<'_>],
         workers: usize,
     ) -> Result<Prepared, DiagnosisError> {
         self.prepare_traces(failing, successful, None, workers)
@@ -406,24 +417,24 @@ impl<'m> DiagnosisServer<'m> {
     /// Shared decode body: `successful` is already capped by the caller.
     fn prepare_traces<'a>(
         &self,
-        failing: &'a [TraceSnapshot],
-        successful: &'a [TraceSnapshot],
+        failing: &[SnapshotView<'a>],
+        successful: &[SnapshotView<'a>],
         memo: Option<&SnapshotMemo<'a>>,
         workers: usize,
     ) -> Result<Prepared, DiagnosisError> {
-        let snapshots: Vec<&'a TraceSnapshot> = failing.iter().chain(successful.iter()).collect();
+        let snapshots: Vec<&SnapshotView<'a>> = failing.iter().chain(successful.iter()).collect();
 
         let outer = workers.clamp(1, snapshots.len().max(1));
         let inner = (workers / outer).max(1);
         // Build the walk table before fanning out: get_or_init inside
         // the workers would serialize their first decodes on it.
         let table = Some(self.walk_table());
-        let process_one = |s: &'a TraceSnapshot| -> Processed {
+        let process_one = |s: &SnapshotView<'a>| -> Processed {
             if let Some(m) = memo {
                 if let Some(hit) = m.lookup(s) {
                     return Ok(hit);
                 }
-                let t = Arc::new(process_snapshot_par(
+                let t = Arc::new(process_snapshot_view(
                     self.module,
                     &self.index,
                     table,
@@ -431,10 +442,10 @@ impl<'m> DiagnosisServer<'m> {
                     s,
                     inner,
                 )?);
-                m.insert(s, Arc::clone(&t));
+                m.insert(s.clone(), Arc::clone(&t));
                 Ok(t)
             } else {
-                Ok(Arc::new(process_snapshot_par(
+                Ok(Arc::new(process_snapshot_view(
                     self.module,
                     &self.index,
                     table,
@@ -643,8 +654,9 @@ pub(crate) type Prepared = (
 type Processed = Result<Arc<ProcessedTrace>, DiagnosisError>;
 
 /// Memo bucket: the snapshots hashing to one content key, each with its
-/// processed trace.
-type MemoBucket<'a> = Vec<(&'a TraceSnapshot, Arc<ProcessedTrace>)>;
+/// processed trace. Views are cheap (per-thread they hold a slice, not
+/// the bytes), so the memo stores view clones rather than references.
+type MemoBucket<'a> = Vec<(SnapshotView<'a>, Arc<ProcessedTrace>)>;
 
 /// A cross-job memo of processed snapshots, keyed by snapshot content.
 ///
@@ -667,8 +679,8 @@ impl<'a> SnapshotMemo<'a> {
         }
     }
 
-    /// Content hash over everything [`TraceSnapshot`]'s equality sees.
-    fn key(s: &TraceSnapshot) -> u64 {
+    /// Content hash over everything a snapshot's equality sees.
+    fn key(s: &SnapshotView<'_>) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -682,12 +694,12 @@ impl<'a> SnapshotMemo<'a> {
         for t in &s.threads {
             eat(&t.tid.to_le_bytes());
             eat(&[u8::from(t.wrapped)]);
-            eat(&t.bytes);
+            eat(t.bytes);
         }
         h
     }
 
-    fn lookup(&self, s: &TraceSnapshot) -> Option<Arc<ProcessedTrace>> {
+    fn lookup(&self, s: &SnapshotView<'_>) -> Option<Arc<ProcessedTrace>> {
         // A poisoned memo only means some worker panicked mid-insert;
         // the map itself is never left mid-mutation (inserts are a
         // single `push`), so recovering the guard is safe.
@@ -695,17 +707,17 @@ impl<'a> SnapshotMemo<'a> {
         let found = entries
             .get(&Self::key(s))?
             .iter()
-            .find(|(snap, _)| *snap == s)?;
+            .find(|(snap, _)| snap == s)?;
         self.hits.fetch_add(1, Ordering::Relaxed);
         lazy_obs::counter!("batch.snapshot_dedup_hits_total", 1u64);
         Some(Arc::clone(&found.1))
     }
 
-    fn insert(&self, s: &'a TraceSnapshot, t: Arc<ProcessedTrace>) {
+    fn insert(&self, s: SnapshotView<'a>, t: Arc<ProcessedTrace>) {
         self.entries
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .entry(Self::key(s))
+            .entry(Self::key(&s))
             .or_default()
             .push((s, t));
     }

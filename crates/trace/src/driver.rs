@@ -60,6 +60,94 @@ impl TraceSnapshot {
         }
         s
     }
+
+    /// A borrowed view of this snapshot (zero-copy ingest path).
+    pub fn view(&self) -> SnapshotView<'_> {
+        SnapshotView {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadTraceView {
+                    tid: t.tid,
+                    bytes: &t.bytes,
+                    stats: t.stats,
+                    wrapped: t.wrapped,
+                })
+                .collect(),
+            taken_at: self.taken_at,
+            trigger_tid: self.trigger_tid,
+            trigger_pc: self.trigger_pc,
+            trigger: self.trigger,
+        }
+    }
+}
+
+/// One thread's contribution to a snapshot, borrowing its ring-buffer
+/// bytes from a caller-owned buffer (typically a connection's read
+/// buffer) instead of owning a copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadTraceView<'a> {
+    /// The thread's identifier (assigned by the execution substrate).
+    pub tid: u32,
+    /// Raw ring-buffer bytes, oldest first — borrowed, not copied.
+    pub bytes: &'a [u8],
+    /// Encoder statistics at snapshot time.
+    pub stats: TraceStats,
+    /// Whether the ring buffer had overwritten old data.
+    pub wrapped: bool,
+}
+
+impl ThreadTraceView<'_> {
+    /// Materializes an owned [`ThreadTrace`] (copies the bytes).
+    pub fn to_thread_trace(&self) -> ThreadTrace {
+        ThreadTrace {
+            tid: self.tid,
+            bytes: self.bytes.to_vec(),
+            stats: self.stats,
+            wrapped: self.wrapped,
+        }
+    }
+}
+
+/// A borrowed view of a [`TraceSnapshot`]: the zero-copy ingest shape.
+///
+/// Wire decode ([`crate::wire::decode_snapshot_view`]) produces these
+/// directly over a request payload, so per-thread trace bytes are never
+/// copied between the socket read buffer and the decoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotView<'a> {
+    /// Per-thread trace buffers (borrowed).
+    pub threads: Vec<ThreadTraceView<'a>>,
+    /// Virtual TSC when the snapshot was taken.
+    pub taken_at: u64,
+    /// The thread that triggered the snapshot.
+    pub trigger_tid: u32,
+    /// The PC that triggered the snapshot.
+    pub trigger_pc: u64,
+    /// Why the snapshot was taken.
+    pub trigger: SnapshotTrigger,
+}
+
+impl SnapshotView<'_> {
+    /// Materializes an owned [`TraceSnapshot`] (copies all bytes).
+    pub fn to_snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            threads: self.threads.iter().map(|t| t.to_thread_trace()).collect(),
+            taken_at: self.taken_at,
+            trigger_tid: self.trigger_tid,
+            trigger_pc: self.trigger_pc,
+            trigger: self.trigger,
+        }
+    }
+
+    /// Aggregate statistics across all threads.
+    pub fn total_stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for t in &self.threads {
+            s.merge(&t.stats);
+        }
+        s
+    }
 }
 
 /// Per-thread trace encoders plus the breakpoint control surface.

@@ -48,9 +48,13 @@ pub use decoder::{
     decode_thread_trace_legacy, decode_thread_trace_sharded, drain_event_pool, recycle_events,
     DecodeError, DecodedEvent, DecodedTrace, ExecIndex, TimeBounds, WalkTable, EXIT_TARGET,
 };
-pub use driver::{SnapshotTrigger, ThreadTrace, TraceDriver, TraceSnapshot};
+pub use driver::{
+    SnapshotTrigger, SnapshotView, ThreadTrace, ThreadTraceView, TraceDriver, TraceSnapshot,
+};
 pub use encoder::Encoder;
 pub use packet::{find_psb, find_psb_scalar, Packet, PacketDecoder, PacketEncoder, PSB_MARKER};
 pub use ring::RingBuffer;
 pub use stats::TraceStats;
-pub use wire::{decode_snapshot, encode_snapshot, fnv1a32, WireError, WIRE_VERSION};
+pub use wire::{
+    decode_snapshot, decode_snapshot_view, encode_snapshot, fnv1a32, WireError, WIRE_VERSION,
+};

@@ -17,7 +17,7 @@
 //! | fnv1a32 checksum over everything above
 //! ```
 
-use crate::driver::{SnapshotTrigger, ThreadTrace, TraceSnapshot};
+use crate::driver::{SnapshotTrigger, SnapshotView, ThreadTraceView, TraceSnapshot};
 use crate::stats::TraceStats;
 use std::fmt;
 
@@ -197,6 +197,20 @@ const MIN_THREAD_BYTES: usize = 4 + 1 + 7 * 8 + 4;
 /// Returns a [`WireError`] for anything malformed: wrong magic or
 /// version, truncation, field corruption, or checksum mismatch.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
+    Ok(decode_snapshot_view(bytes)?.to_snapshot())
+}
+
+/// Parses a snapshot from its wire form without copying thread bytes:
+/// the returned [`SnapshotView`] borrows each thread's trace payload
+/// directly from `bytes`. This is the daemon's zero-copy ingest path —
+/// the connection's read buffer doubles as the arena the decoded
+/// snapshot lives in.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for anything malformed: wrong magic or
+/// version, truncation, field corruption, or checksum mismatch.
+pub fn decode_snapshot_view(bytes: &[u8]) -> Result<SnapshotView<'_>, WireError> {
     let _span = lazy_obs::span!("wire.parse");
     lazy_obs::counter!("wire.bytes_total", bytes.len());
     let out = decode_snapshot_inner(bytes);
@@ -207,7 +221,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
     out
 }
 
-fn decode_snapshot_inner(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
+fn decode_snapshot_inner(bytes: &[u8]) -> Result<SnapshotView<'_>, WireError> {
     // Reject anything shorter than magic + version + checksum *before*
     // slicing: `bytes[bytes.len() - 4..]` on a 0–3 byte buffer would
     // otherwise panic. `checked_sub` keeps the guard and the slice in
@@ -267,14 +281,14 @@ fn decode_snapshot_inner(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
             cyc_dropped: r.u64()?,
         };
         // Clamp the declared payload length against the remaining bytes
-        // before any allocation happens: `take` borrows (it cannot
-        // over-allocate), and only a successfully taken slice is copied.
+        // before anything is sized off it; `take` borrows, so no
+        // allocation happens at all on this path.
         let len = r.u32()? as usize;
         if len > r.remaining() {
             return Err(WireError::Truncated);
         }
-        let data = r.take(len)?.to_vec();
-        threads.push(ThreadTrace {
+        let data = r.take(len)?;
+        threads.push(ThreadTraceView {
             tid,
             bytes: data,
             stats,
@@ -284,7 +298,7 @@ fn decode_snapshot_inner(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
     if r.pos != body.len() {
         return Err(WireError::BadField("trailing bytes"));
     }
-    Ok(TraceSnapshot {
+    Ok(SnapshotView {
         threads,
         taken_at,
         trigger_tid,
@@ -296,6 +310,7 @@ fn decode_snapshot_inner(bytes: &[u8]) -> Result<TraceSnapshot, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::ThreadTrace;
 
     fn sample() -> TraceSnapshot {
         TraceSnapshot {
@@ -341,6 +356,24 @@ mod tests {
         assert_eq!(back.threads[0].bytes, snap.threads[0].bytes);
         assert_eq!(back.threads[0].stats, snap.threads[0].stats);
         assert!(back.threads[1].wrapped);
+    }
+
+    /// The borrowed view decode must agree with the owned decode and
+    /// actually borrow: each thread's bytes must point into the wire
+    /// buffer, not a copy.
+    #[test]
+    fn view_roundtrip_borrows_from_wire() {
+        let snap = sample();
+        let wire = encode_snapshot(&snap);
+        let view = decode_snapshot_view(&wire).unwrap();
+        assert_eq!(view.to_snapshot(), decode_snapshot(&wire).unwrap());
+        assert_eq!(view, snap.view());
+        let range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        for t in &view.threads {
+            if !t.bytes.is_empty() {
+                assert!(range.contains(&(t.bytes.as_ptr() as usize)));
+            }
+        }
     }
 
     #[test]

@@ -101,13 +101,25 @@ grep -q "snorlaxd drained:" "$SERVE_LOG" \
   || { echo "FAIL: snorlaxd did not report a graceful drain"; exit 1; }
 rm -f "$SERVE_LOG"
 
-echo "==> daemon bench smoke (loopback)"
+# The daemon bench doubles as the many-connection smoke: besides the
+# loopback-vs-in-process lanes it holds 256 concurrent submitter
+# connections against one readiness loop on an ephemeral port (bounded
+# wall-clock: the bench asserts every submitter is served) and dribbles
+# one request through the slow-writer lane so the partial-frame resume
+# counter self-registers.
+echo "==> daemon bench smoke (loopback + 256-connection lane)"
 cargo run --release -q -p lazy-bench --bin daemon -- --reports 4 --rounds 1 --out /tmp/BENCH_daemon_ci.json
 
 # Same artifact contract as the decode bench: the enabled flag, the
-# embedded telemetry object, and the daemon's own request span.
+# embedded telemetry object, the daemon's own request span, the
+# per-connection lifecycle counters of the readiness loop, the
+# slow-writer lane's partial-frame resume counter, and the concurrent
+# submitter lane summary.
 echo "==> BENCH_daemon.json telemetry fields"
-for field in '"telemetry_enabled": true' '"telemetry":' '"daemon.request"'; do
+for field in '"telemetry_enabled": true' '"telemetry":' '"daemon.request"' \
+             '"daemon.conn.accepted_total"' '"daemon.conn.closed_total"' \
+             '"daemon.conn.open"' '"daemon.partial_frame_resumes_total"' \
+             '"concurrent"' '"busy_retries"'; do
   grep -qF "$field" /tmp/BENCH_daemon_ci.json \
     || { echo "FAIL: bench output missing $field"; exit 1; }
   grep -qF "$field" BENCH_daemon.json \

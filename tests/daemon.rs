@@ -9,7 +9,7 @@
 //! misses come back as typed errors, and shutdown drains before acking.
 
 use lazy_diagnosis::ir::Module;
-use lazy_diagnosis::snorlax::daemon::{encode_diagnose_request, encode_frame};
+use lazy_diagnosis::snorlax::daemon::{encode_diagnose_request, encode_frame, read_frame};
 use lazy_diagnosis::snorlax::{
     serve, BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DaemonConfig, DaemonStats,
     DiagnosisError, DiagnosisServer, FrameKind, RemoteClient, ServerConfig,
@@ -18,7 +18,9 @@ use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
 use lazy_diagnosis::vm::VmConfig;
 use lazy_diagnosis::workloads::BugScenario;
 use lazy_workloads::systems::eval_scenarios;
-use std::net::{SocketAddr, TcpListener};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Barrier;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -293,4 +295,261 @@ fn busy_and_deadline_rejections_are_typed() {
     let stats = stats.unwrap();
     assert_eq!(stats.timeouts, 1);
     assert_eq!(stats.requests, 1, "the timed-out request was admitted");
+}
+
+/// Writes `frame` to `stream` in `pieces` roughly equal chunks with a
+/// `gap` pause between them — a Corruptor-free fault model for a slow
+/// or fragmenting writer.
+fn write_chunked(stream: &mut TcpStream, frame: &[u8], pieces: usize, gap: Duration) {
+    let chunk = frame.len().div_ceil(pieces).max(1);
+    for (i, piece) in frame.chunks(chunk).enumerate() {
+        if i > 0 {
+            std::thread::sleep(gap);
+        }
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+    }
+}
+
+/// The regression this PR exists for: one frame spread across several
+/// TCP segments with >25ms gaps between them must be treated as a slow
+/// write, not a protocol violation. The old per-connection loop lost
+/// the first header byte to its idle-poll read and answered `BadMagic`,
+/// killing the connection. The sweep also drives a *corrupt* chunked
+/// frame through the same path: checksum error, connection survives,
+/// and the next chunked request renders byte-identical to in-process.
+#[test]
+fn slow_writer_chunked_frames_get_full_replies() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (expected, collections) = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 1);
+        let c = &collections[0];
+        let expected = server
+            .diagnose(&c.failure, &c.failing, &c.successful)
+            .unwrap()
+            .render(&s.module);
+        (expected, collections)
+    };
+    let c = &collections[0];
+    let (addr, handle) = spawn_daemon(s.module, DaemonConfig::default());
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let gap = Duration::from_millis(30);
+
+    // A health probe dribbled in 4 chunks of ~4 bytes.
+    write_chunked(&mut stream, &encode_frame(FrameKind::Health, b""), 4, gap);
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::HealthOk, "chunked health must be served");
+    assert!(String::from_utf8(body).unwrap().starts_with("ok "));
+
+    // A full diagnosis request in 5 chunks: the reply must be
+    // byte-identical to the in-process render.
+    let payload = encode_diagnose_request(&c.failure, &c.failing, &c.successful);
+    let frame = encode_frame(FrameKind::Diagnose, &payload);
+    write_chunked(&mut stream, &frame, 5, gap);
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Report, "chunked diagnose must be served");
+    assert_eq!(
+        String::from_utf8(body).unwrap(),
+        expected,
+        "chunked delivery changed the rendered report"
+    );
+
+    // Corrupt chunked frame: same fragmentation, one bit flipped. The
+    // daemon consumes the whole frame, answers a typed checksum error,
+    // and the connection keeps serving.
+    let corruptor = Corruptor::new();
+    let mangled = corruptor.apply(
+        &frame,
+        &CorruptionOp::BitFlip {
+            offset: 9 + payload.len() / 3,
+            bit: 2,
+        },
+    );
+    write_chunked(&mut stream, &mangled, 5, gap);
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Error);
+    assert!(String::from_utf8(body).unwrap().contains("checksum"));
+
+    write_chunked(&mut stream, &frame, 3, gap);
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Report);
+    assert_eq!(String::from_utf8(body).unwrap(), expected);
+
+    stream
+        .write_all(&encode_frame(FrameKind::Shutdown, b""))
+        .unwrap();
+    let (kind, _) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::ShutdownAck);
+    drop(stream);
+    let (stats, _module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(stats.frames_corrupt, 1, "only the bit-flipped frame");
+    assert_eq!(stats.requests, 2, "both clean diagnoses were admitted");
+    assert_eq!(stats.connections, 1, "the slow writer was never dropped");
+    assert!(
+        stats.partial_frame_resumes >= 4,
+        "chunked frames must resume partial assemblies, saw {}",
+        stats.partial_frame_resumes
+    );
+}
+
+/// The admission bound is hard under contention: every submitter gets
+/// either a real report (byte-identical to in-process) or a typed Busy,
+/// and admissions plus rejections account for every request — no
+/// request is dropped or double-counted by racing connections.
+#[test]
+fn concurrent_submitters_cannot_overshoot_admission() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (expected, collections) = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 1);
+        let c = &collections[0];
+        let expected = server
+            .diagnose(&c.failure, &c.failing, &c.successful)
+            .unwrap()
+            .render(&s.module);
+        (expected, collections)
+    };
+    let c = &collections[0];
+    const SUBMITTERS: usize = 12;
+    let cfg = DaemonConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = spawn_daemon(s.module, cfg);
+    let barrier = Barrier::new(SUBMITTERS);
+    let (served, busy) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = RemoteClient::connect(addr).unwrap();
+                    barrier.wait();
+                    client.diagnose(&c.failure, &c.failing, &c.successful)
+                })
+            })
+            .collect();
+        let mut served = 0u64;
+        let mut busy = 0u64;
+        for h in handles {
+            match h.join().unwrap() {
+                Ok(render) => {
+                    assert_eq!(render, expected, "served request diverged in-process");
+                    served += 1;
+                }
+                Err(DiagnosisError::Remote { detail }) => {
+                    assert!(detail.contains("busy"), "rejection must be Busy: {detail}");
+                    busy += 1;
+                }
+                Err(other) => panic!("unexpected submitter error: {other:?}"),
+            }
+        }
+        (served, busy)
+    });
+    let mut client = RemoteClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let (stats, _module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(served + busy, SUBMITTERS as u64, "every submitter answered");
+    assert!(served >= 1, "at least one submitter must be served");
+    assert_eq!(stats.requests, served, "admissions match served replies");
+    assert_eq!(stats.rejected_busy, busy, "rejections match Busy replies");
+    assert_eq!(
+        stats.requests + stats.rejected_busy,
+        SUBMITTERS as u64,
+        "admissions + rejections account for every request"
+    );
+}
+
+/// A health probe pipelined behind a shutdown must answer `draining` —
+/// monitoring can tell "up" from "up but refusing work" — and the ack
+/// still arrives afterwards, once the drain converges.
+#[test]
+fn health_reports_draining_during_shutdown() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (addr, handle) = spawn_daemon(s.module, DaemonConfig::default());
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut pipelined = encode_frame(FrameKind::Shutdown, b"");
+    pipelined.extend_from_slice(&encode_frame(FrameKind::Health, b""));
+    stream.write_all(&pipelined).unwrap();
+    // The health reply ships immediately (inline, not gated on
+    // admission); the ack waits for drain convergence.
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::HealthOk);
+    let health = String::from_utf8(body).unwrap();
+    assert!(
+        health.starts_with("draining "),
+        "health during shutdown must say so: {health}"
+    );
+    let (kind, _) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::ShutdownAck);
+    drop(stream);
+    let (stats, _module) = handle.join().unwrap();
+    assert_eq!(stats.unwrap().connections, 1);
+}
+
+/// Many-connection soak: 256 concurrent connections all probing and a
+/// sample of them running real diagnoses. One readiness loop serves the
+/// whole set; sampled reports stay byte-identical to in-process.
+#[test]
+fn soak_256_concurrent_connections() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (expected, collections) = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let collections = collect_reports(&server, &s, 1);
+        let c = &collections[0];
+        let expected = server
+            .diagnose(&c.failure, &c.failing, &c.successful)
+            .unwrap()
+            .render(&s.module);
+        (expected, collections)
+    };
+    let c = &collections[0];
+    const CONNS: usize = 256;
+    let cfg = DaemonConfig {
+        max_connections: CONNS + 8,
+        queue_depth: CONNS,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = spawn_daemon(s.module, cfg);
+
+    // Open every connection up front, so all 256 are concurrently held
+    // by the event loop, then probe each.
+    let mut streams: Vec<TcpStream> = (0..CONNS)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    let health_frame = encode_frame(FrameKind::Health, b"");
+    for stream in &mut streams {
+        stream.write_all(&health_frame).unwrap();
+    }
+    for (i, stream) in streams.iter_mut().enumerate() {
+        let (kind, body) = read_frame(stream).unwrap();
+        assert_eq!(kind, FrameKind::HealthOk, "conn {i}");
+        assert!(String::from_utf8(body).unwrap().starts_with("ok "));
+    }
+
+    // Every 32nd connection also runs a real diagnosis while the other
+    // 248 stay open and idle in the poll set.
+    let payload = encode_diagnose_request(&c.failure, &c.failing, &c.successful);
+    let diagnose_frame = encode_frame(FrameKind::Diagnose, &payload);
+    for stream in streams.iter_mut().step_by(32) {
+        stream.write_all(&diagnose_frame).unwrap();
+    }
+    for (i, stream) in streams.iter_mut().enumerate().step_by(32) {
+        let (kind, body) = read_frame(stream).unwrap();
+        assert_eq!(kind, FrameKind::Report, "conn {i}");
+        assert_eq!(String::from_utf8(body).unwrap(), expected, "conn {i}");
+    }
+    drop(streams);
+
+    let mut client = RemoteClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let (stats, _module) = handle.join().unwrap();
+    let stats = stats.unwrap();
+    assert_eq!(stats.connections, CONNS as u64 + 1, "all conns served");
+    assert_eq!(stats.requests, CONNS.div_ceil(32) as u64);
+    assert_eq!(stats.frames_corrupt, 0);
+    assert_eq!(stats.rejected_busy, 0);
 }
