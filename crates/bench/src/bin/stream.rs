@@ -1,0 +1,229 @@
+//! Streaming diagnosis: reports-to-convergence vs. full-batch count.
+//!
+//! The paper's batch workflow needed every collected report before it
+//! could diagnose — MySQL bug 3596 took 470 reports (§5). Streaming
+//! diagnosis folds reports one at a time and exits the moment the top
+//! pattern's F1 lead passes the sequential confidence test. This bench
+//! measures the headline metric per corpus bug: how many reports the
+//! stream actually consumed before convergence, against the full batch
+//! report count it would otherwise have waited for.
+//!
+//! The acceptance gate is double-ended: the *median* reports-to-
+//! convergence must fall strictly below the full-batch count with at
+//! least one bug converging in ≤ 50% of its batch reports, while every
+//! streaming diagnosis stays **byte-identical** to batch diagnosis
+//! over exactly the reports it consumed. The emitted JSON carries the
+//! streaming telemetry delta (`stream.fold` span, `stream.*` counters)
+//! for the CI grep gates.
+//!
+//! Usage: `stream [--collections N] [--fast] [--out PATH]`
+
+use lazy_snorlax::{interleave_reports, DiagnosisServer, ServerConfig, StreamReport};
+use lazy_trace::TraceSnapshot;
+use lazy_vm::{Failure, VmConfig};
+use lazy_workloads::systems::eval_scenarios;
+
+fn opt(args: &[String], flag: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str(args: &[String], flag: &str, default: &str) -> String {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        0.0
+    } else if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    }
+}
+
+/// `collections` independent failure reports of one bug folded into a
+/// single stream-shaped corpus, so the stream has several failing
+/// traces spread through its successes (the fleet shape).
+fn combined_corpus(
+    server: &DiagnosisServer<'_>,
+    collections: usize,
+) -> (Failure, Vec<TraceSnapshot>, Vec<TraceSnapshot>) {
+    let client = lazy_snorlax::CollectionClient::new(server, VmConfig::default());
+    let mut failure = None;
+    let mut failing = Vec::new();
+    let mut successful = Vec::new();
+    let mut seed = 0u64;
+    for _ in 0..collections {
+        let col = client
+            .collect(seed, 1000, 10, 0)
+            .expect("bug manifests within budget");
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        failure.get_or_insert(col.failure);
+        failing.extend(col.failing);
+        successful.extend(col.successful);
+    }
+    (
+        failure.expect("at least one collection"),
+        failing,
+        successful,
+    )
+}
+
+fn split_prefix(reports: &[StreamReport], n: usize) -> (Vec<TraceSnapshot>, Vec<TraceSnapshot>) {
+    let mut failing = Vec::new();
+    let mut successful = Vec::new();
+    for r in &reports[..n] {
+        match r {
+            StreamReport::Failing(s) => failing.push(s.clone()),
+            StreamReport::Success(s) => successful.push(s.clone()),
+        }
+    }
+    (failing, successful)
+}
+
+struct BugResult {
+    id: String,
+    batch_reports: usize,
+    stream_reports: usize,
+    converged_early: bool,
+    ratio: f64,
+    final_lead: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let collections = opt(&args, "--collections", if fast { 2 } else { 3 });
+    let out_path = opt_str(&args, "--out", "BENCH_stream.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut scenarios = eval_scenarios();
+    if fast {
+        scenarios.truncate(3);
+    }
+    println!(
+        "streaming convergence: {} bugs, {} collections each, {} cores",
+        scenarios.len(),
+        collections,
+        cores
+    );
+
+    let telemetry_base = lazy_obs::snapshot();
+    let mut results: Vec<BugResult> = Vec::new();
+    for s in &scenarios {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let (failure, failing, successful) = combined_corpus(&server, collections);
+        let reports = interleave_reports(&failing, &successful);
+        let batch_reports = reports.len();
+
+        let out = server
+            .diagnose_streaming(&failure, reports.iter().cloned())
+            .expect("streaming diagnosis");
+        assert_eq!(out.reports_rejected, 0, "{}: clean stream", s.id);
+
+        // Byte-identity gate: streaming must render exactly what batch
+        // renders over the reports the stream consumed.
+        let (pf, ps) = split_prefix(&reports, out.reports_consumed);
+        let batch = server
+            .diagnose(&failure, &pf, &ps)
+            .expect("prefix batch diagnosis");
+        assert_eq!(
+            out.diagnosis.render(&s.module),
+            batch.render(&s.module),
+            "{}: streaming render diverged from its batch counterpart",
+            s.id
+        );
+
+        // Convergence gate: the early exit lands on the same root cause
+        // the full batch finds.
+        let full = server
+            .diagnose(&failure, &failing, &successful)
+            .expect("full batch diagnosis");
+        assert_eq!(
+            out.diagnosis.root_cause().map(|t| &t.pattern),
+            full.root_cause().map(|t| &t.pattern),
+            "{}: streaming root cause diverged from full batch",
+            s.id
+        );
+
+        let ratio = out.reports_consumed as f64 / batch_reports.max(1) as f64;
+        println!(
+            "{:>18}  {:>3} of {:>3} reports  (ratio {:.2}, converged_early={})",
+            s.id, out.reports_consumed, batch_reports, ratio, out.converged_early
+        );
+        results.push(BugResult {
+            id: s.id.clone(),
+            batch_reports,
+            stream_reports: out.reports_consumed,
+            converged_early: out.converged_early,
+            ratio,
+            final_lead: out.lead_history.last().copied().unwrap_or(0.0),
+        });
+    }
+    let telemetry = lazy_obs::snapshot().since(&telemetry_base);
+
+    let stream_counts: Vec<f64> = results.iter().map(|r| r.stream_reports as f64).collect();
+    let batch_counts: Vec<f64> = results.iter().map(|r| r.batch_reports as f64).collect();
+    let median_stream = median(&stream_counts);
+    let median_batch = median(&batch_counts);
+    let min_ratio = results
+        .iter()
+        .map(|r| r.ratio)
+        .fold(f64::INFINITY, f64::min);
+    let early = results.iter().filter(|r| r.converged_early).count();
+
+    println!("--");
+    println!(
+        "median reports-to-convergence {median_stream:.1} vs full-batch {median_batch:.1} \
+         ({early}/{} bugs converged early, best ratio {min_ratio:.2})",
+        results.len()
+    );
+    // The acceptance gate: early exit must actually cut the batch
+    // shape, without ever changing a diagnosis.
+    assert!(
+        median_stream < median_batch,
+        "median reports-to-convergence ({median_stream}) must fall below full batch ({median_batch})"
+    );
+    assert!(
+        min_ratio <= 0.5,
+        "at least one bug must converge in half its batch reports (best {min_ratio:.2})"
+    );
+    println!("acceptance (median below batch, best ratio <= 0.5, byte-identical renders): PASS");
+
+    let per_bug: String = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{ \"batch_reports\": {}, \"stream_reports\": {}, \
+                 \"converged_early\": {}, \"ratio\": {:.3}, \"final_lead\": {:.4} }}",
+                r.id, r.batch_reports, r.stream_reports, r.converged_early, r.ratio, r.final_lead
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"stream\",\n  \"workload\": {{\n    \"bugs\": {bugs},\n    \
+         \"collections_per_bug\": {collections}\n  }},\n  \"machine\": {{ \"cores\": {cores} }},\n  \
+         \"per_bug\": {{\n{per_bug}\n  }},\n  \"summary\": {{\n    \
+         \"median_batch_reports\": {median_batch:.1},\n    \
+         \"median_stream_reports\": {median_stream:.1},\n    \
+         \"min_ratio\": {min_ratio:.3},\n    \
+         \"bugs_converged_early\": {early}\n  }},\n  \
+         \"gate\": {{\n    \"required\": \"median reports-to-convergence below full batch, one bug at <= 50%, all renders byte-identical to batch\",\n    \
+         \"status\": \"pass\"\n  }},\n  \
+         \"telemetry_enabled\": {telemetry_enabled},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        bugs = results.len(),
+        telemetry_enabled = cfg!(feature = "telemetry"),
+        telemetry_json = telemetry.to_json().trim_end(),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

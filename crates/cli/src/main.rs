@@ -13,8 +13,9 @@
 use lazy_ir::{parse_module, printer::render_module};
 use lazy_replay::Recording;
 use lazy_snorlax::{
-    serve, BatchConfig, BatchJob, CollectionClient, CollectionOutcome, DaemonConfig,
-    DiagnosisServer, FleetCoordinator, RemoteClient, ServerConfig, ShardConn,
+    interleave_reports, next_stream_session, serve, BatchConfig, BatchJob, CollectionClient,
+    CollectionOutcome, DaemonConfig, DiagnosisServer, FleetCoordinator, RemoteClient, ServerConfig,
+    ShardConn, StreamReport,
 };
 use lazy_vm::{Vm, VmConfig};
 use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
@@ -55,7 +56,16 @@ fn usage() -> ExitCode {
                                           merge the partial statistics, and verify the merged\n\
                                           render against single-node diagnosis\n\
            fleet submit <bug-id> --addrs H:P,H:P[,...] [--seed N]\n\
-                                          coordinate a diagnosis across running snorlaxd shards"
+                                          coordinate a diagnosis across running snorlaxd shards\n\
+           stream submit <bug-id> --addr HOST:PORT [--seed N] [--session ID] [--keep-open]\n\
+                                          collect one failure report locally and stream it to a\n\
+                                          snorlaxd session one trace at a time; stops as soon as\n\
+                                          the sequential confidence test converges, then\n\
+                                          finalizes the session and prints the diagnosis\n\
+           stream status --addr HOST:PORT --session ID\n\
+                                          probe an open stream session's convergence state\n\
+           stream finish --addr HOST:PORT --session ID\n\
+                                          finalize a stream session and print its diagnosis"
     );
     ExitCode::from(2)
 }
@@ -722,6 +732,166 @@ fn cmd_fleet_submit(id: &str, args: &[String]) -> ExitCode {
     }
 }
 
+/// `snorlax stream …` — incremental diagnosis over a daemon session.
+fn cmd_stream(args: &[String]) -> ExitCode {
+    match args.get(1).map(String::as_str) {
+        Some("submit") if args.len() >= 3 => cmd_stream_submit(&args[2], args),
+        Some("status") => cmd_stream_probe(args, false),
+        Some("finish") => cmd_stream_probe(args, true),
+        _ => usage(),
+    }
+}
+
+/// Session ids print as hex; accept both hex and decimal on the way in
+/// so the printed id can be pasted straight back.
+fn parse_session(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+fn cmd_stream_submit(id: &str, args: &[String]) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(addr) = opt_str(args, "--addr") else {
+        eprintln!("stream submit needs --addr HOST:PORT (start one with `snorlax serve <bug-id>`)");
+        return ExitCode::from(2);
+    };
+    let first_seed = opt_u64(args, "--seed", 0);
+    let keep_open = args.iter().any(|a| a == "--keep-open");
+    let session = opt_str(args, "--session")
+        .and_then(parse_session)
+        .unwrap_or_else(next_stream_session);
+    println!("bug: {} — {}", s.id, s.description);
+    // Collection stays local (it *is* the production client); each
+    // report then crosses the wire by itself, the way a fleet node
+    // trickles evidence into a long-lived diagnosis session.
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collector = CollectionClient::new(&server, VmConfig::default());
+    let Some(col) = collector.collect(first_seed, 1000, 10, 0) else {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    };
+    let reports = interleave_reports(&col.failing, &col.successful);
+    let mut client = match RemoteClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to snorlaxd at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "streaming {} reports to {addr} as session {session:#x}\n",
+        reports.len()
+    );
+    let mut converged = false;
+    for (i, r) in reports.iter().enumerate() {
+        let status = match r {
+            StreamReport::Failing(snap) => {
+                client.stream_submit_failing(session, &col.failure, snap)
+            }
+            StreamReport::Success(snap) => client.stream_submit_success(session, snap),
+        };
+        match status {
+            Ok(st) => {
+                println!(
+                    "report {i}: consumed={} failing={} successes={} lead={:.3}{}",
+                    st.reports_consumed,
+                    st.failing,
+                    st.successes,
+                    st.lead,
+                    if st.converged { "  CONVERGED" } else { "" }
+                );
+                if st.converged {
+                    converged = true;
+                    break;
+                }
+            }
+            Err(e) => println!("report {i}: rejected ({e})"),
+        }
+    }
+    if !converged {
+        println!("stream exhausted without early convergence");
+    }
+    if keep_open {
+        println!(
+            "\nsession {session:#x} left open on {addr} \
+             (finish with `snorlax stream finish --addr {addr} --session {session:#x}`)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    match client.stream_finish(session) {
+        Ok(fin) => {
+            println!(
+                "\nfinished after {} reports ({} rejected), converged_early={}",
+                fin.reports_consumed, fin.reports_rejected, fin.converged_early
+            );
+            print!("{}", fin.report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stream finish failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stream_probe(args: &[String], finish: bool) -> ExitCode {
+    let verb = if finish { "finish" } else { "status" };
+    let Some(addr) = opt_str(args, "--addr") else {
+        eprintln!("stream {verb} needs --addr HOST:PORT");
+        return ExitCode::from(2);
+    };
+    let Some(session) = opt_str(args, "--session").and_then(parse_session) else {
+        eprintln!("stream {verb} needs --session ID (printed by `snorlax stream submit`)");
+        return ExitCode::from(2);
+    };
+    let mut client = match RemoteClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to snorlaxd at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if finish {
+        match client.stream_finish(session) {
+            Ok(fin) => {
+                println!(
+                    "session {session:#x}: {} reports consumed ({} rejected), converged_early={}\n",
+                    fin.reports_consumed, fin.reports_rejected, fin.converged_early
+                );
+                print!("{}", fin.report);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stream finish failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match client.stream_status(session) {
+            Ok(st) => {
+                println!(
+                    "session {session:#x}: consumed={} rejected={} failing={} successes={} \
+                     lead={:.3} converged={}",
+                    st.reports_consumed,
+                    st.reports_rejected,
+                    st.failing,
+                    st.successes,
+                    st.lead,
+                    st.converged
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stream status failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -743,6 +913,7 @@ fn main() -> ExitCode {
         Some("serve") if args.len() >= 2 => cmd_serve(&args[1], &args),
         Some("submit") => cmd_submit(&args),
         Some("fleet") => cmd_fleet(&args),
+        Some("stream") => cmd_stream(&args),
         Some("batch") if args.len() >= 2 => cmd_batch(
             &args[1],
             opt_u64(&args, "--reports", 8),
@@ -779,6 +950,18 @@ mod tests {
             .collect();
         assert_eq!(opt_str(&args, "--telemetry"), Some("json"));
         assert_eq!(opt_str(&args, "--format"), None);
+    }
+
+    #[test]
+    fn session_id_roundtrips_hex_and_decimal() {
+        assert_eq!(parse_session("42"), Some(42));
+        assert_eq!(parse_session("0x2a"), Some(42));
+        assert_eq!(
+            parse_session(&format!("{:#x}", 0xdead_beefu64)),
+            Some(0xdead_beef)
+        );
+        assert_eq!(parse_session("zz"), None);
+        assert_eq!(parse_session("0x"), None);
     }
 
     #[test]

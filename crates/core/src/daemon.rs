@@ -54,6 +54,10 @@ use crate::fleet::{
 };
 use crate::reactor;
 use crate::server::{DiagnosisServer, ServerConfig};
+use crate::streaming::{
+    decode_stream_session, decode_stream_submit_view, encode_stream_finish_reply,
+    encode_stream_status, StreamFinishReply, StreamHub, StreamSubmitView,
+};
 use lazy_ir::{Module, Pc};
 use lazy_trace::wire::{fnv1a32, fnv1a32_with};
 use lazy_trace::{
@@ -103,6 +107,14 @@ pub enum FrameKind {
     /// shard returns its partial sufficient statistics and closes the
     /// session.
     FleetFinalize = 6,
+    /// Request (streaming): fold one report (failing or success) into a
+    /// stream session's incremental statistics.
+    StreamSubmit = 7,
+    /// Request (streaming): probe a stream session — "converged yet?".
+    StreamStatus = 8,
+    /// Request (streaming): close a stream session and return its final
+    /// diagnosis.
+    StreamFinish = 9,
     /// Response: the rendered diagnosis report (UTF-8).
     Report = 16,
     /// Response: per-job reports for a batch request.
@@ -124,6 +136,15 @@ pub enum FrameKind {
     /// Response to [`FrameKind::FleetFinalize`]: the shard's serialized
     /// partial [`crate::statistics::PatternStats`] and event times.
     PartialStats = 24,
+    /// Response to [`FrameKind::StreamSubmit`]: the session's status
+    /// after the fold.
+    StreamSubmitAck = 25,
+    /// Response to [`FrameKind::StreamStatus`]: the session's current
+    /// status.
+    StreamStatusReply = 26,
+    /// Response to [`FrameKind::StreamFinish`]: the session's final
+    /// outcome and rendered report.
+    StreamFinishAck = 27,
 }
 
 impl FrameKind {
@@ -136,6 +157,9 @@ impl FrameKind {
             4 => FrameKind::FleetCollect,
             5 => FrameKind::FleetPatterns,
             6 => FrameKind::FleetFinalize,
+            7 => FrameKind::StreamSubmit,
+            8 => FrameKind::StreamStatus,
+            9 => FrameKind::StreamFinish,
             16 => FrameKind::Report,
             17 => FrameKind::BatchReport,
             18 => FrameKind::Error,
@@ -145,6 +169,9 @@ impl FrameKind {
             22 => FrameKind::FleetCollectAck,
             23 => FrameKind::FleetPatternSet,
             24 => FrameKind::PartialStats,
+            25 => FrameKind::StreamSubmitAck,
+            26 => FrameKind::StreamStatusReply,
+            27 => FrameKind::StreamFinishAck,
             other => return Err(FrameError::BadKind(other)),
         })
     }
@@ -1055,12 +1082,16 @@ pub fn serve(
     // three protocol rounds may arrive on any worker, so the session
     // store must outlive any single request.
     let fleet = FleetShard::new(module, cfg.server.clone());
+    // Likewise one stream hub: a streaming session accumulates reports
+    // across connections, so its state must be daemon-wide too.
+    let hub = StreamHub::new(module, cfg.server.clone());
     std::thread::scope(|scope| {
         let shared = &shared;
         let fleet = &fleet;
+        let hub = &hub;
         let waker = &waker;
         for _ in 0..workers {
-            scope.spawn(move || worker(shared, module, cfg, fleet, waker));
+            scope.spawn(move || worker(shared, module, cfg, fleet, hub, waker));
         }
         event_loop(listener, &wake_rx, shared, cfg);
         // The loop only returns fully drained; release any worker
@@ -1076,6 +1107,7 @@ fn worker(
     module: &Module,
     cfg: &DaemonConfig,
     fleet: &FleetShard<'_>,
+    hub: &StreamHub<'_>,
     waker: &reactor::Waker,
 ) {
     let server = DiagnosisServer::new(module, cfg.server.clone());
@@ -1115,6 +1147,7 @@ fn worker(
                     module,
                     cfg,
                     fleet,
+                    hub,
                     job.kind,
                     job.payload.as_slice(),
                 )
@@ -1144,6 +1177,7 @@ fn process(
     module: &Module,
     cfg: &DaemonConfig,
     fleet: &FleetShard<'_>,
+    hub: &StreamHub<'_>,
     kind: FrameKind,
     payload: &[u8],
 ) -> (FrameKind, Vec<u8>) {
@@ -1190,6 +1224,47 @@ fn process(
         FrameKind::FleetFinalize => match decode_fleet_finalize(payload) {
             Ok((session, patterns)) => match fleet.finalize(session, &patterns) {
                 Ok(r) => (FrameKind::PartialStats, encode_finalize_reply(&r)),
+                Err(e) => error(e),
+            },
+            Err(e) => error(DiagnosisError::Frame(e)),
+        },
+        FrameKind::StreamSubmit => match decode_stream_submit_view(payload) {
+            Ok((session, StreamSubmitView::Failing { failure, snap })) => {
+                match hub.submit_failing(session, &failure, &snap) {
+                    Ok(s) => (FrameKind::StreamSubmitAck, encode_stream_status(&s)),
+                    Err(e) => error(e),
+                }
+            }
+            Ok((session, StreamSubmitView::Success { snap })) => {
+                match hub.submit_success(session, &snap) {
+                    Ok(s) => (FrameKind::StreamSubmitAck, encode_stream_status(&s)),
+                    Err(e) => error(e),
+                }
+            }
+            Err(e) => error(e),
+        },
+        FrameKind::StreamStatus => match decode_stream_session(payload) {
+            Ok(session) => match hub.status(session) {
+                Ok(s) => (FrameKind::StreamStatusReply, encode_stream_status(&s)),
+                Err(e) => error(e),
+            },
+            Err(e) => error(DiagnosisError::Frame(e)),
+        },
+        FrameKind::StreamFinish => match decode_stream_session(payload) {
+            Ok(session) => match hub.finish(session) {
+                Ok((outcome, report)) => {
+                    let reply = StreamFinishReply {
+                        reports_consumed: outcome.reports_consumed as u64,
+                        reports_rejected: outcome.reports_rejected as u64,
+                        converged_early: outcome.converged_early,
+                        report,
+                        lead_history: outcome.lead_history,
+                    };
+                    (
+                        FrameKind::StreamFinishAck,
+                        encode_stream_finish_reply(&reply),
+                    )
+                }
                 Err(e) => error(e),
             },
             Err(e) => error(DiagnosisError::Frame(e)),
@@ -1445,7 +1520,10 @@ impl Conn {
             | FrameKind::Batch
             | FrameKind::FleetCollect
             | FrameKind::FleetPatterns
-            | FrameKind::FleetFinalize => {
+            | FrameKind::FleetFinalize
+            | FrameKind::StreamSubmit
+            | FrameKind::StreamStatus
+            | FrameKind::StreamFinish => {
                 if shared.draining.load(Ordering::Acquire) {
                     shared.reject_busy();
                     self.reply_now(FrameKind::Busy, Vec::new());

@@ -57,6 +57,7 @@ pub mod reactor;
 pub mod remote;
 pub mod server;
 pub mod statistics;
+pub mod streaming;
 
 pub use accuracy::{kendall_tau_distance, ordering_accuracy};
 pub use batch::{BatchConfig, BatchJob, BatchJobView, BatchOutcome, BatchStats};
@@ -71,3 +72,7 @@ pub use processing::{process_snapshot, DynInstance, ProcessedTrace};
 pub use remote::RemoteClient;
 pub use server::{Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
 pub use statistics::{score_patterns, PatternScore, PatternStats, DEFAULT_TYPE_RANK};
+pub use streaming::{
+    hoeffding_lead_bound, interleave_reports, next_stream_session, Reservoir, SequentialRule,
+    StreamHub, StreamReport, StreamStatus, StreamingDiagnoser, StreamingOutcome,
+};

@@ -25,6 +25,10 @@ use crate::fleet::{
     encode_fleet_finalize, encode_fleet_patterns, CollectReply, FinalizeReply, PatternsReply,
 };
 use crate::patterns::BugPattern;
+use crate::streaming::{
+    decode_stream_finish_reply, decode_stream_status, encode_stream_session,
+    encode_stream_submit_failing, encode_stream_submit_success, StreamFinishReply, StreamStatus,
+};
 use lazy_ir::Pc;
 use lazy_trace::TraceSnapshot;
 use lazy_vm::Failure;
@@ -225,6 +229,85 @@ impl RemoteClient {
         match self.roundtrip(FrameKind::FleetFinalize, &payload)? {
             (FrameKind::PartialStats, p) => {
                 decode_finalize_reply(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Streaming: folds one failing report into stream `session` on the
+    /// daemon (opening the session on first use); returns the session's
+    /// status after the fold.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the server rejects or fails the
+    /// fold, [`DiagnosisError::Frame`] on transport failure.
+    pub fn stream_submit_failing(
+        &mut self,
+        session: u64,
+        failure: &Failure,
+        snap: &TraceSnapshot,
+    ) -> Result<StreamStatus, DiagnosisError> {
+        let payload = encode_stream_submit_failing(session, failure, snap);
+        match self.roundtrip(FrameKind::StreamSubmit, &payload)? {
+            (FrameKind::StreamSubmitAck, p) => {
+                decode_stream_status(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Streaming: folds one success report into stream `session` on the
+    /// daemon (opening the session on first use); returns the session's
+    /// status after the fold.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the server rejects or fails the
+    /// fold, [`DiagnosisError::Frame`] on transport failure.
+    pub fn stream_submit_success(
+        &mut self,
+        session: u64,
+        snap: &TraceSnapshot,
+    ) -> Result<StreamStatus, DiagnosisError> {
+        let payload = encode_stream_submit_success(session, snap);
+        match self.roundtrip(FrameKind::StreamSubmit, &payload)? {
+            (FrameKind::StreamSubmitAck, p) => {
+                decode_stream_status(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Streaming: asks stream `session` "converged yet?".
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] for an unknown session,
+    /// [`DiagnosisError::Frame`] on transport failure.
+    pub fn stream_status(&mut self, session: u64) -> Result<StreamStatus, DiagnosisError> {
+        let payload = encode_stream_session(session);
+        match self.roundtrip(FrameKind::StreamStatus, &payload)? {
+            (FrameKind::StreamStatusReply, p) => {
+                decode_stream_status(&p).map_err(DiagnosisError::Frame)
+            }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Streaming: finalizes and closes stream `session`, returning its
+    /// outcome summary plus the rendered diagnosis report.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] for an unknown session or a session
+    /// that never received a decodable failing report,
+    /// [`DiagnosisError::Frame`] on transport failure.
+    pub fn stream_finish(&mut self, session: u64) -> Result<StreamFinishReply, DiagnosisError> {
+        let payload = encode_stream_session(session);
+        match self.roundtrip(FrameKind::StreamFinish, &payload)? {
+            (FrameKind::StreamFinishAck, p) => {
+                decode_stream_finish_reply(&p).map_err(DiagnosisError::Frame)
             }
             other => Err(Self::reject(other)),
         }

@@ -39,6 +39,22 @@ pub struct ServerConfig {
     /// use PSB-sharded decode. `0` means one per available core. The
     /// result is bit-identical regardless of the setting.
     pub decode_workers: usize,
+    /// Streaming mode: consecutive scored folds the same top pattern
+    /// must lead before the sequential test may declare convergence
+    /// (clamped to at least 1).
+    pub stability_window: usize,
+    /// Streaming mode: fixed confidence for the early-exit bound. The
+    /// top pattern's F1 lead over the runner-up must exceed the
+    /// Hoeffding-style threshold `sqrt(ln(1/(1-confidence)) / (2n))`
+    /// at sample size `n` before convergence is declared.
+    pub confidence: f64,
+    /// Streaming mode: capacity of the seeded reservoir sampler that
+    /// bounds the retained success corpus (clamped to at least 1).
+    pub stream_reservoir: usize,
+    /// Streaming mode: seed for the reservoir sampler, so replaying the
+    /// same report order reproduces the same retained corpus bit for
+    /// bit.
+    pub stream_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +64,10 @@ impl Default for ServerConfig {
             success_factor: 10,
             max_candidates: 128,
             decode_workers: 0,
+            stability_window: 3,
+            confidence: 0.95,
+            stream_reservoir: 256,
+            stream_seed: 0x5eed_5eed_5eed_5eed,
         }
     }
 }
@@ -260,6 +280,12 @@ impl<'m> DiagnosisServer<'m> {
     /// The module this server diagnoses.
     pub fn module(&self) -> &'m Module {
         self.module
+    }
+
+    /// The server's configuration (streaming folds read the sequential
+    /// test and reservoir knobs from here).
+    pub(crate) fn config(&self) -> &ServerConfig {
+        &self.cfg
     }
 
     /// The server's compiled [`WalkTable`], building (and caching) it

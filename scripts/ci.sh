@@ -16,6 +16,8 @@ FULL=0
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> fast lane: SWAR vs scalar packet-scan differential"
   cargo test --release -q -p lazy-trace --test scan_diff
+  echo "==> fast lane: streaming-diagnosis law proptests"
+  cargo test --release -q -p lazy-snorlax --test streaming_laws
   echo "CI OK (fast lane)"
   exit 0
 fi
@@ -174,5 +176,26 @@ for field in '"telemetry_enabled": true' '"telemetry":' '"fleet.diagnose"'; do
     || { echo "FAIL: checked-in BENCH_fleet.json missing $field (regenerate: cargo run --release -p lazy-bench --bin fleet)"; exit 1; }
 done
 rm -f /tmp/BENCH_fleet_ci.json
+
+# Streaming lane: the stream bench is the convergence smoke — on its
+# three --fast corpus bugs it internally asserts the acceptance gates
+# (median reports-to-convergence strictly below the full-batch count,
+# at least one bug converging in <= 50% of its batch reports, every
+# streaming render byte-identical to batch over the consumed prefix).
+echo "==> streaming bench smoke (--fast, enforces convergence gates)"
+cargo run --release -q -p lazy-bench --bin stream -- --fast --out /tmp/BENCH_stream_ci.json
+
+# Same artifact contract as the other benches: the enabled flag, the
+# embedded telemetry object, the per-fold span, and the streaming
+# counters that prove the sequential test actually ran.
+echo "==> BENCH_stream.json telemetry fields"
+for field in '"telemetry_enabled": true' '"telemetry":' '"stream.fold"' \
+             '"stream.reports_total"' '"stream.converged_total"'; do
+  grep -qF "$field" /tmp/BENCH_stream_ci.json \
+    || { echo "FAIL: bench output missing $field"; exit 1; }
+  grep -qF "$field" BENCH_stream.json \
+    || { echo "FAIL: checked-in BENCH_stream.json missing $field (regenerate: cargo run --release -p lazy-bench --bin stream)"; exit 1; }
+done
+rm -f /tmp/BENCH_stream_ci.json
 
 echo "CI OK"

@@ -8,6 +8,8 @@
 //! `Corruptor` fault injection), admission rejections and deadline
 //! misses come back as typed errors, and shutdown drains before acking.
 
+mod util;
+
 use lazy_diagnosis::ir::Module;
 use lazy_diagnosis::snorlax::daemon::{encode_diagnose_request, encode_frame, read_frame};
 use lazy_diagnosis::snorlax::{
@@ -21,8 +23,8 @@ use lazy_workloads::systems::eval_scenarios;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Barrier;
-use std::thread::JoinHandle;
 use std::time::Duration;
+use util::DaemonGuard;
 
 /// Collects `reports` independent failure reports for one scenario.
 fn collect_reports(
@@ -71,9 +73,10 @@ fn corrupt_collection(col: &CollectionOutcome) -> Vec<TraceSnapshot> {
         .collect()
 }
 
-/// The serve thread's handle: drain stats, plus the module handed
-/// back so a test can start a second daemon on it.
-type DaemonHandle = JoinHandle<(Result<DaemonStats, DiagnosisError>, Module)>;
+/// The serve thread's guard: drain stats, plus the module handed
+/// back so a test can start a second daemon on it. The guard drains
+/// the daemon even when the test panics mid-body.
+type DaemonHandle = DaemonGuard<(Result<DaemonStats, DiagnosisError>, Module)>;
 
 /// Binds an ephemeral loopback port and runs `serve` on its own thread.
 fn spawn_daemon(module: Module, cfg: DaemonConfig) -> (SocketAddr, DaemonHandle) {
@@ -83,7 +86,7 @@ fn spawn_daemon(module: Module, cfg: DaemonConfig) -> (SocketAddr, DaemonHandle)
         let stats = serve(&listener, &module, &cfg);
         (stats, module)
     });
-    (addr, handle)
+    (addr, DaemonGuard::new(addr, handle))
 }
 
 /// The transparency contract over the evaluation corpus: every report
@@ -125,7 +128,7 @@ fn eval_bugs_over_loopback_match_in_process() {
             }
         }
         client.shutdown().unwrap();
-        let (stats, _module) = handle.join().unwrap();
+        let (stats, _module) = handle.join();
         let stats = stats.unwrap();
         assert_eq!(stats.requests, 1, "{id}: one batch request admitted");
         assert_eq!(stats.connections, 1, "{id}: one client connection");
@@ -226,7 +229,7 @@ fn corrupt_frame_fails_alone_and_connection_survives() {
     }
 
     client.shutdown().unwrap();
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(stats.frames_corrupt, 1, "exactly the bit-flipped frame");
     assert_eq!(stats.requests, 3, "baseline + retry + batch admitted");
@@ -265,7 +268,7 @@ fn busy_and_deadline_rejections_are_typed() {
         other => panic!("expected a typed Busy rejection, got {other:?}"),
     }
     client.shutdown().unwrap();
-    let (stats, module) = handle.join().unwrap();
+    let (stats, module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(stats.rejected_busy, 1);
     assert_eq!(stats.requests, 0, "a Busy rejection is never admitted");
@@ -291,7 +294,7 @@ fn busy_and_deadline_rejections_are_typed() {
         other => panic!("expected a typed deadline error, got {other:?}"),
     }
     client.shutdown().unwrap();
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(stats.timeouts, 1);
     assert_eq!(stats.requests, 1, "the timed-out request was admitted");
@@ -383,7 +386,7 @@ fn slow_writer_chunked_frames_get_full_replies() {
     let (kind, _) = read_frame(&mut stream).unwrap();
     assert_eq!(kind, FrameKind::ShutdownAck);
     drop(stream);
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(stats.frames_corrupt, 1, "only the bit-flipped frame");
     assert_eq!(stats.requests, 2, "both clean diagnoses were admitted");
@@ -450,7 +453,7 @@ fn concurrent_submitters_cannot_overshoot_admission() {
     });
     let mut client = RemoteClient::connect(addr).unwrap();
     client.shutdown().unwrap();
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(served + busy, SUBMITTERS as u64, "every submitter answered");
     assert!(served >= 1, "at least one submitter must be served");
@@ -486,7 +489,7 @@ fn health_reports_draining_during_shutdown() {
     let (kind, _) = read_frame(&mut stream).unwrap();
     assert_eq!(kind, FrameKind::ShutdownAck);
     drop(stream);
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     assert_eq!(stats.unwrap().connections, 1);
 }
 
@@ -546,7 +549,7 @@ fn soak_256_concurrent_connections() {
 
     let mut client = RemoteClient::connect(addr).unwrap();
     client.shutdown().unwrap();
-    let (stats, _module) = handle.join().unwrap();
+    let (stats, _module) = handle.join();
     let stats = stats.unwrap();
     assert_eq!(stats.connections, CONNS as u64 + 1, "all conns served");
     assert_eq!(stats.requests, CONNS.div_ceil(32) as u64);

@@ -12,6 +12,8 @@
 //! surfaces as a typed [`DiagnosisError::Frame`] in that shard's
 //! report while the coordinator still diagnoses from the survivors.
 
+mod util;
+
 use lazy_diagnosis::ir::Module;
 use lazy_diagnosis::snorlax::daemon::{encode_frame, read_frame, serve, DaemonConfig, FrameKind};
 use lazy_diagnosis::snorlax::fleet::{
@@ -29,6 +31,7 @@ use lazy_workloads::{all_scenarios, systems::eval_scenarios};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener};
 use std::thread::JoinHandle;
+use util::DaemonGuard;
 
 /// One multi-trace failure report: `reports` independent collections
 /// of the same bug folded into a single (failure, failing, successful)
@@ -123,14 +126,15 @@ fn full_corpus_sharded_is_byte_identical() {
     assert_sharded_matches_single_node(all_scenarios());
 }
 
-/// Binds an ephemeral loopback port and serves a real snorlaxd shard.
-fn spawn_shard_daemon(module: Module) -> (SocketAddr, JoinHandle<()>) {
+/// Binds an ephemeral loopback port and serves a real snorlaxd shard,
+/// guard-scoped so a panicking test still drains the listener.
+fn spawn_shard_daemon(module: Module) -> (SocketAddr, DaemonGuard<()>) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let handle = std::thread::spawn(move || {
         serve(&listener, &module, &DaemonConfig::default()).unwrap();
     });
-    (addr, handle)
+    (addr, DaemonGuard::new(addr, handle))
 }
 
 /// Real TCP: two snorlaxd daemons as remote shards must also be
@@ -161,8 +165,8 @@ fn loopback_tcp_shards_are_byte_identical() {
     for addr in [addr_a, addr_b] {
         RemoteClient::connect(addr).unwrap().shutdown().unwrap();
     }
-    handle_a.join().unwrap();
-    handle_b.join().unwrap();
+    handle_a.join();
+    handle_b.join();
 }
 
 /// A "shard" that answers the first frame with a Corruptor-mangled

@@ -1,0 +1,299 @@
+//! Streaming-diagnosis convergence determinism suite.
+//!
+//! The contract under test: feeding a report stream one element at a
+//! time through `diagnose_streaming` must (a) converge to the same
+//! root-cause pattern full-batch diagnosis finds, (b) render
+//! **byte-identical** to batch diagnosis over exactly the reports the
+//! stream consumed, and (c) be fully deterministic — replaying the
+//! same report order reproduces the same `StreamingOutcome` bit for
+//! bit (the reservoir is seeded). On top of determinism, the
+//! adversarial contracts: a shuffled stream with a Corruptor-mangled
+//! report still converges while the corrupt report fails alone, and a
+//! daemon-side stream session accumulates reports across connections.
+
+mod util;
+
+use lazy_diagnosis::snorlax::{
+    interleave_reports, next_stream_session, CollectionClient, CollectionOutcome, DaemonConfig,
+    DiagnosisServer, RemoteClient, ServerConfig, StreamReport, StreamingDiagnoser,
+};
+use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
+use lazy_diagnosis::vm::VmConfig;
+use lazy_diagnosis::workloads::BugScenario;
+use lazy_workloads::{all_scenarios, systems::eval_scenarios};
+
+/// Splits the first `n` reports of an interleaved stream back into the
+/// (failing, successful) snapshot lists batch diagnosis takes.
+fn split_prefix(reports: &[StreamReport], n: usize) -> (Vec<TraceSnapshot>, Vec<TraceSnapshot>) {
+    let mut failing = Vec::new();
+    let mut successful = Vec::new();
+    for r in &reports[..n] {
+        match r {
+            StreamReport::Failing(s) => failing.push(s.clone()),
+            StreamReport::Success(s) => successful.push(s.clone()),
+        }
+    }
+    (failing, successful)
+}
+
+fn collect(server: &DiagnosisServer<'_>, s: &BugScenario) -> CollectionOutcome {
+    CollectionClient::new(server, VmConfig::default())
+        .collect(0, 800, 10, 0)
+        .unwrap_or_else(|| panic!("{}: bug did not manifest in 800 runs", s.id))
+}
+
+/// The determinism kernel: streaming converges to batch's root cause,
+/// is byte-identical to batch over the consumed prefix, and replays
+/// bit-identically.
+fn assert_streaming_matches_batch(s: &BugScenario) {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let col = collect(&server, s);
+    let reports = interleave_reports(&col.failing, &col.successful);
+
+    let out = server
+        .diagnose_streaming(&col.failure, reports.iter().cloned())
+        .unwrap_or_else(|e| panic!("{}: streaming diagnosis failed: {e}", s.id));
+    assert_eq!(out.reports_rejected, 0, "{}: clean stream", s.id);
+    assert!(
+        out.reports_consumed <= reports.len(),
+        "{}: consumed more reports than the stream holds",
+        s.id
+    );
+    assert_eq!(
+        out.lead_history.len(),
+        out.reports_consumed,
+        "{}: every consumed report contributes one lead observation",
+        s.id
+    );
+
+    // Byte-identity against batch over exactly the consumed reports.
+    let (pf, ps) = split_prefix(&reports, out.reports_consumed);
+    let batch = server
+        .diagnose(&col.failure, &pf, &ps)
+        .unwrap_or_else(|e| panic!("{}: prefix batch diagnosis failed: {e}", s.id));
+    assert_eq!(
+        out.diagnosis.render(&s.module),
+        batch.render(&s.module),
+        "{}: streaming render diverged from batch over the consumed prefix",
+        s.id
+    );
+
+    // The root cause is the one full-batch diagnosis finds.
+    let full = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap_or_else(|e| panic!("{}: full batch diagnosis failed: {e}", s.id));
+    let stream_top = out
+        .diagnosis
+        .root_cause()
+        .unwrap_or_else(|| panic!("{}: streaming found no root cause", s.id));
+    let batch_top = full
+        .root_cause()
+        .unwrap_or_else(|| panic!("{}: batch found no root cause", s.id));
+    assert_eq!(
+        stream_top.pattern, batch_top.pattern,
+        "{}: streaming converged to a different root cause than batch",
+        s.id
+    );
+
+    // Replay determinism: the same report order yields an identical
+    // outcome — counters, trajectory (bit-for-bit) and render.
+    let replay = server
+        .diagnose_streaming(&col.failure, reports.iter().cloned())
+        .unwrap_or_else(|e| panic!("{}: replay failed: {e}", s.id));
+    assert_eq!(replay.reports_consumed, out.reports_consumed, "{}", s.id);
+    assert_eq!(replay.reports_rejected, out.reports_rejected, "{}", s.id);
+    assert_eq!(replay.converged_early, out.converged_early, "{}", s.id);
+    let bits = |h: &[f64]| h.iter().map(|l| l.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&replay.lead_history),
+        bits(&out.lead_history),
+        "{}: replayed lead trajectory diverged",
+        s.id
+    );
+    assert_eq!(
+        replay.diagnosis.render(&s.module),
+        out.diagnosis.render(&s.module),
+        "{}: replayed render diverged",
+        s.id
+    );
+
+    println!(
+        "{}: ok ({} of {} reports, converged_early={})",
+        s.id,
+        out.reports_consumed,
+        reports.len(),
+        out.converged_early
+    );
+}
+
+/// The 11-bug evaluation corpus under the determinism kernel.
+#[test]
+fn eval_corpus_streaming_converges_deterministically() {
+    for s in eval_scenarios() {
+        assert_streaming_matches_batch(&s);
+    }
+}
+
+/// The full 54-bug corpus under the same contract; heavy, so it rides
+/// the `slow-tests` feature like the other corpus sweeps.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "heavy: streams all 54 corpus bugs (enable with --features slow-tests)"
+)]
+fn full_corpus_streaming_converges_deterministically() {
+    for s in all_scenarios() {
+        assert_streaming_matches_batch(&s);
+    }
+}
+
+/// Adversarial order: failures interleaved with successes plus one
+/// Corruptor-mangled failing report mid-stream. The corrupt report
+/// fails alone (a typed error from that fold, stream state untouched),
+/// `reports_consumed`/`reports_rejected` account for it, and the
+/// stream still converges to the clean batch root cause.
+#[test]
+fn shuffled_stream_with_corrupt_report_still_converges() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let col = collect(&server, &s);
+
+    // Mangle a copy of the failing snapshot so no thread decodes.
+    let corruptor = Corruptor::new();
+    let mut corrupt = col.failing[0].clone();
+    for t in &mut corrupt.threads {
+        t.bytes = corruptor.apply(&t.bytes, &CorruptionOp::Truncate { keep: 3 });
+    }
+
+    // Shuffle the corrupt report into the interleaved stream right
+    // after the first (clean) failing report.
+    let mut reports = interleave_reports(&col.failing, &col.successful);
+    reports.insert(1, StreamReport::Failing(corrupt));
+
+    // Drive the stream by hand to observe the per-fold contract.
+    let mut diag = StreamingDiagnoser::new(&server, &col.failure);
+    let mut rejected_errors = 0usize;
+    for (i, r) in reports.iter().enumerate() {
+        let converged = match diag.fold(r) {
+            Ok(c) => c,
+            Err(e) => {
+                assert_eq!(i, 1, "only the corrupt report may fail: {e}");
+                rejected_errors += 1;
+                false
+            }
+        };
+        if converged {
+            break;
+        }
+    }
+    assert_eq!(rejected_errors, 1, "the corrupt report fails exactly once");
+
+    let status = diag.status();
+    assert_eq!(status.reports_rejected, 1, "rejection is counted");
+    assert_eq!(
+        status.reports_consumed,
+        status.reports_rejected + u64::from(status.failing) + u64::from(status.successes),
+        "consumed accounts for the rejected report plus every retained trace"
+    );
+
+    let out = diag.finish().expect("stream finishes despite corruption");
+    assert_eq!(out.reports_rejected, 1);
+    assert!(
+        out.reports_consumed > out.reports_rejected,
+        "clean reports were folded around the corrupt one"
+    );
+
+    // Root cause equals clean batch over the whole collection.
+    let full = server
+        .diagnose(&col.failure, &col.failing, &col.successful)
+        .unwrap();
+    assert_eq!(
+        out.diagnosis.root_cause().map(|t| &t.pattern),
+        full.root_cause().map(|t| &t.pattern),
+        "corruption changed the diagnosed root cause"
+    );
+}
+
+/// Daemon-side stream sessions accumulate reports *across connections*
+/// and the wire path is transparent: the finished session's report is
+/// byte-identical to the in-process streaming render over the same
+/// report order.
+#[test]
+fn daemon_stream_session_survives_reconnects_and_matches_in_process() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (expected, col, reports) = {
+        let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+        let col = collect(&server, &s);
+        let reports = interleave_reports(&col.failing, &col.successful);
+        // Fold the whole stream (no early exit) — the daemon side will
+        // receive every report, so the in-process reference must too.
+        let mut diag = StreamingDiagnoser::new(&server, &col.failure);
+        for r in &reports {
+            diag.fold(r).unwrap();
+        }
+        let out = diag.finish().unwrap();
+        (out.diagnosis.render(&s.module), col, reports)
+    };
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let module = s.module;
+    let handle = std::thread::spawn(move || {
+        lazy_diagnosis::snorlax::serve(&listener, &module, &DaemonConfig::default()).unwrap();
+    });
+    let guard = util::DaemonGuard::new(addr, handle);
+
+    let session = next_stream_session();
+    let half = reports.len() / 2;
+
+    // First connection: the first half of the stream.
+    let mut c1 = RemoteClient::connect(addr).unwrap();
+    let mut last = None;
+    for r in &reports[..half] {
+        last = Some(match r {
+            StreamReport::Failing(snap) => c1
+                .stream_submit_failing(session, &col.failure, snap)
+                .unwrap(),
+            StreamReport::Success(snap) => c1.stream_submit_success(session, snap).unwrap(),
+        });
+    }
+    let mid = last.expect("at least one report in the first half");
+    assert_eq!(mid.reports_consumed, half as u64);
+    drop(c1);
+
+    // Second connection: the session is still there, then finish it.
+    let mut c2 = RemoteClient::connect(addr).unwrap();
+    let probe = c2.stream_status(session).unwrap();
+    assert_eq!(
+        probe.reports_consumed, half as u64,
+        "the session must survive the reconnect"
+    );
+    for r in &reports[half..] {
+        match r {
+            StreamReport::Failing(snap) => {
+                c2.stream_submit_failing(session, &col.failure, snap)
+                    .unwrap();
+            }
+            StreamReport::Success(snap) => {
+                c2.stream_submit_success(session, snap).unwrap();
+            }
+        }
+    }
+    let fin = c2.stream_finish(session).unwrap();
+    assert_eq!(fin.reports_consumed, reports.len() as u64);
+    assert_eq!(fin.reports_rejected, 0);
+    assert_eq!(
+        fin.report, expected,
+        "daemon stream render diverged from in-process"
+    );
+
+    // The session is gone once finished.
+    let err = c2.stream_status(session).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown stream session"),
+        "finished session must be closed: {err}"
+    );
+
+    c2.shutdown().unwrap();
+    guard.join();
+}

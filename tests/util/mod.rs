@@ -1,0 +1,80 @@
+//! Shared integration-test utilities.
+//!
+//! The daemon suites bind OS-assigned ephemeral loopback ports and run
+//! `serve` on a background thread. On the happy path every test drains
+//! the daemon with a `Shutdown` frame before joining; on a test *panic*
+//! the old code leaked both the listener and the serve thread into the
+//! following lanes — a rare cross-test flake when a later suite probed
+//! daemons by connecting. [`DaemonGuard`] scopes the daemon to the
+//! test: its `Drop` drives a best-effort drain and proves the listener
+//! actually stopped accepting.
+#![allow(dead_code)]
+
+use lazy_diagnosis::snorlax::RemoteClient;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+/// Scopes a `serve` thread (spawned by the test) to the test body.
+///
+/// * Happy path: call [`DaemonGuard::join`] after the client-driven
+///   shutdown — it returns the serve thread's value and asserts the
+///   listener is gone.
+/// * Panic path: `Drop` connects, requests a graceful shutdown, and
+///   joins the serve thread, so a failing assertion in the middle of a
+///   test cannot leak a live listener into the next lane.
+pub struct DaemonGuard<T> {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<T>>,
+}
+
+impl<T> DaemonGuard<T> {
+    /// Adopts a serve thread listening on `addr`.
+    pub fn new(addr: SocketAddr, handle: JoinHandle<T>) -> DaemonGuard<T> {
+        DaemonGuard {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    /// The daemon's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Joins the serve thread after the test has already drained the
+    /// daemon (the normal ending), returning its value. Defuses the
+    /// drop-time drain and asserts the listener is no longer accepting.
+    pub fn join(mut self) -> T {
+        let handle = self.handle.take().expect("guard already joined");
+        let out = handle.join().expect("daemon thread panicked");
+        assert!(
+            TcpStream::connect(self.addr).is_err(),
+            "daemon listener at {} still accepting after drain",
+            self.addr
+        );
+        out
+    }
+}
+
+impl<T> Drop for DaemonGuard<T> {
+    fn drop(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        // The test ended without draining — almost always a panic
+        // mid-test. Drive the graceful path so the listener closes.
+        if let Ok(mut client) = RemoteClient::connect(self.addr) {
+            let _ = client.shutdown();
+        }
+        let _ = handle.join();
+        if !std::thread::panicking() {
+            // Only assert outside unwinding: a second panic here would
+            // abort the whole test binary instead of failing one test.
+            assert!(
+                TcpStream::connect(self.addr).is_err(),
+                "daemon listener at {} still accepting after drop-time drain",
+                self.addr
+            );
+        }
+    }
+}
