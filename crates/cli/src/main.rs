@@ -14,8 +14,8 @@ use lazy_ir::{parse_module, printer::render_module};
 use lazy_replay::Recording;
 use lazy_snorlax::{
     interleave_reports, next_stream_session, serve, BatchConfig, BatchJob, CollectionClient,
-    CollectionOutcome, DaemonConfig, DiagnosisServer, FleetCoordinator, RemoteClient, ServerConfig,
-    ShardConn, StreamReport,
+    CollectionOutcome, DaemonConfig, DiagnosisServer, FleetCoordinator, FleetReport, FleetRouter,
+    RemoteClient, ServerConfig, ShardConn, StreamReport,
 };
 use lazy_vm::{Vm, VmConfig};
 use lazy_workloads::{all_scenarios, extension_scenarios, scenario_by_id, BugScenario};
@@ -57,6 +57,11 @@ fn usage() -> ExitCode {
                                           render against single-node diagnosis\n\
            fleet submit <bug-id> --addrs H:P,H:P[,...] [--seed N]\n\
                                           coordinate a diagnosis across running snorlaxd shards\n\
+           fleet route <bug-id> [--reports K] [--shards N | --addrs H:P,...] [--seed N]\n\
+                                          collect K reports of the bug and route them concurrently\n\
+                                          across warm persistent shard sessions; verifies each\n\
+                                          report against single-node diagnosis and prints the\n\
+                                          per-shard warm-cache statistics\n\
            stream submit <bug-id> --addr HOST:PORT [--seed N] [--session ID] [--keep-open]\n\
                                           collect one failure report locally and stream it to a\n\
                                           snorlaxd session one trace at a time; stops as soon as\n\
@@ -602,6 +607,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
         Some("serve-shard") if args.len() >= 3 => cmd_serve(&args[2], args),
         Some("coordinate") if args.len() >= 3 => cmd_fleet_coordinate(&args[2], args),
         Some("submit") if args.len() >= 3 => cmd_fleet_submit(&args[2], args),
+        Some("route") if args.len() >= 3 => cmd_fleet_route(&args[2], args),
         _ => usage(),
     }
 }
@@ -729,6 +735,128 @@ fn cmd_fleet_submit(id: &str, args: &[String]) -> ExitCode {
             eprintln!("fleet diagnosis failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn cmd_fleet_route(id: &str, args: &[String]) -> ExitCode {
+    let Some(s) = find_scenario(id) else {
+        eprintln!("unknown bug id {id} (see `snorlax corpus`)");
+        return ExitCode::FAILURE;
+    };
+    let reports = opt_u64(args, "--reports", 4).max(1);
+    let first_seed = opt_u64(args, "--seed", 0);
+    println!("bug: {} — {}", s.id, s.description);
+
+    // Collection stays local, as with batch: each report is one
+    // independent failure observation of the same bug.
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let collector = CollectionClient::new(&server, VmConfig::default());
+    let mut collections: Vec<CollectionOutcome> = Vec::new();
+    let mut seed = first_seed;
+    while (collections.len() as u64) < reports {
+        let Some(col) = collector.collect(seed, 1000, 10, 0) else {
+            break;
+        };
+        seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+        collections.push(col);
+    }
+    if collections.is_empty() {
+        eprintln!("the bug did not manifest within the run budget");
+        return ExitCode::FAILURE;
+    }
+
+    let router = if let Some(addrs) = opt_str(args, "--addrs") {
+        let mut shards: Vec<ShardConn<'_>> = Vec::new();
+        for addr in addrs.split(',').filter(|a| !a.is_empty()) {
+            match RemoteClient::connect(addr) {
+                Ok(c) => shards.push(ShardConn::Remote(c)),
+                Err(e) => {
+                    eprintln!("cannot connect to shard at {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if shards.is_empty() {
+            eprintln!("--addrs named no shards");
+            return ExitCode::from(2);
+        }
+        FleetRouter::new(&s.module, ServerConfig::default(), shards)
+    } else {
+        let n = opt_u64(args, "--shards", 2).max(1) as usize;
+        FleetRouter::in_process(&s.module, ServerConfig::default(), n)
+    };
+    println!(
+        "routing {} reports concurrently across {} warm shards\n",
+        collections.len(),
+        router.shard_count()
+    );
+
+    let fleet_reports: Vec<FleetReport> = collections
+        .iter()
+        .map(|c| FleetReport {
+            failure: c.failure.clone(),
+            failing: c.failing.clone(),
+            successful: c.successful.clone(),
+        })
+        .collect();
+    let outcomes = router.route_all(&fleet_reports);
+
+    let mut failed = false;
+    for (i, (out, col)) in outcomes.iter().zip(&collections).enumerate() {
+        match out {
+            Ok(o) => {
+                let routed = o.diagnosis.render(&s.module);
+                // Determinism is the whole point: every routed report
+                // must match what a single node would have said.
+                match server.diagnose(&col.failure, &col.failing, &col.successful) {
+                    Ok(single) if single.render(&s.module) == routed => println!(
+                        "report {i}: root cause [{}], byte-identical to single-node: yes",
+                        o.diagnosis
+                            .root_cause()
+                            .map_or_else(|| "none".to_string(), |sc| sc.pattern.signature())
+                    ),
+                    Ok(_) => {
+                        println!("report {i}: DIVERGED from single-node diagnosis");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        println!("report {i}: single-node cross-check failed ({e})");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("report {i}: failed ({e})");
+                failed = true;
+            }
+        }
+    }
+    for (key, n) in router.known_bugs() {
+        println!(
+            "\nbug key: failure pc {} / module fp {:#018x} — {n} reports routed",
+            key.failure_pc.0, key.module_fp
+        );
+    }
+    for (k, st) in router.shard_stats().iter().enumerate() {
+        match st {
+            Ok(st) => println!(
+                "shard {k}: {} open sessions, {} evicted; points-to cache \
+                 {} lookups = {} exact + {} delta + {} scratch ({} warm)",
+                st.open_sessions,
+                st.sessions_evicted,
+                st.cache_lookups,
+                st.cache_exact_hits,
+                st.cache_delta_solves,
+                st.cache_scratch_solves,
+                st.warm_solves()
+            ),
+            Err(e) => println!("shard {k}: stats unavailable ({e})"),
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

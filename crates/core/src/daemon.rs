@@ -49,8 +49,9 @@
 use crate::batch::{BatchConfig, BatchJob, BatchJobView};
 use crate::error::DiagnosisError;
 use crate::fleet::{
-    decode_fleet_collect_view, decode_fleet_finalize, decode_fleet_patterns, encode_collect_reply,
-    encode_finalize_reply, encode_patterns_reply, FleetShard,
+    decode_fleet_collect_view, decode_fleet_finalize, decode_fleet_patterns, decode_fleet_stats,
+    encode_collect_reply, encode_finalize_reply, encode_patterns_reply, encode_shard_stats,
+    FleetShard,
 };
 use crate::reactor;
 use crate::server::{DiagnosisServer, ServerConfig};
@@ -115,6 +116,9 @@ pub enum FrameKind {
     /// Request (streaming): close a stream session and return its final
     /// diagnosis.
     StreamFinish = 9,
+    /// Request (fleet): the shard's lifecycle and warm-cache counters —
+    /// how `snorlax fleet route` proves remote shards stayed warm.
+    FleetStats = 10,
     /// Response: the rendered diagnosis report (UTF-8).
     Report = 16,
     /// Response: per-job reports for a batch request.
@@ -145,6 +149,9 @@ pub enum FrameKind {
     /// Response to [`FrameKind::StreamFinish`]: the session's final
     /// outcome and rendered report.
     StreamFinishAck = 27,
+    /// Response to [`FrameKind::FleetStats`]: the serialized
+    /// [`crate::fleet::ShardStats`].
+    FleetStatsAck = 28,
 }
 
 impl FrameKind {
@@ -160,6 +167,7 @@ impl FrameKind {
             7 => FrameKind::StreamSubmit,
             8 => FrameKind::StreamStatus,
             9 => FrameKind::StreamFinish,
+            10 => FrameKind::FleetStats,
             16 => FrameKind::Report,
             17 => FrameKind::BatchReport,
             18 => FrameKind::Error,
@@ -172,6 +180,7 @@ impl FrameKind {
             25 => FrameKind::StreamSubmitAck,
             26 => FrameKind::StreamStatusReply,
             27 => FrameKind::StreamFinishAck,
+            28 => FrameKind::FleetStatsAck,
             other => return Err(FrameError::BadKind(other)),
         })
     }
@@ -1093,7 +1102,7 @@ pub fn serve(
         for _ in 0..workers {
             scope.spawn(move || worker(shared, module, cfg, fleet, hub, waker));
         }
-        event_loop(listener, &wake_rx, shared, cfg);
+        event_loop(listener, &wake_rx, shared, cfg, fleet, hub);
         // The loop only returns fully drained; release any worker
         // still parked on the condvar so the scope can close.
         shared.draining.store(true, Ordering::Release);
@@ -1267,6 +1276,18 @@ fn process(
                 }
                 Err(e) => error(e),
             },
+            Err(e) => error(DiagnosisError::Frame(e)),
+        },
+        FrameKind::FleetStats => match decode_fleet_stats(payload) {
+            Ok(()) => {
+                // A stats probe doubles as the daemon's periodic
+                // lifecycle sweep: abandoned fleet and stream sessions
+                // are evicted here even if no new session ever tries
+                // to admit.
+                fleet.sweep_expired();
+                hub.sweep_expired();
+                (FrameKind::FleetStatsAck, encode_shard_stats(&fleet.stats()))
+            }
             Err(e) => error(DiagnosisError::Frame(e)),
         },
         other => {
@@ -1521,6 +1542,7 @@ impl Conn {
             | FrameKind::FleetCollect
             | FrameKind::FleetPatterns
             | FrameKind::FleetFinalize
+            | FrameKind::FleetStats
             | FrameKind::StreamSubmit
             | FrameKind::StreamStatus
             | FrameKind::StreamFinish => {
@@ -1634,6 +1656,8 @@ fn event_loop(
     wake_rx: &reactor::WakeReceiver,
     shared: &Shared,
     cfg: &DaemonConfig,
+    fleet: &FleetShard<'_>,
+    hub: &StreamHub<'_>,
 ) {
     let mut slots: Vec<Slot> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
@@ -1659,6 +1683,13 @@ fn event_loop(
                 conn.sweep_deadlines(now, cfg, shared);
             }
         }
+        // Expire idle fleet/stream sessions alongside the request
+        // deadlines: an abandoned client's capacity slots recover on
+        // the daemon's own clock, not only when a new session tries to
+        // admit. Both stores hold at most 64 entries, so the sweep is
+        // cheap enough to run every loop turn.
+        fleet.sweep_expired();
+        hub.sweep_expired();
         // Drain convergence: queue empty, nothing in flight, every
         // admitted reply routed → ack the shutdown, close everything.
         let draining = shared.draining.load(Ordering::Acquire);

@@ -46,6 +46,20 @@
 //! [`FleetOutcome::shard_reports`]; the diagnosis proceeds from the
 //! survivors' statistics. Only when *every* shard fails does the
 //! coordinator raise [`DiagnosisError::Fleet`].
+//!
+//! ## Warm sessions and multi-report routing
+//!
+//! A fleet does not report one failure and stop. [`FleetRouter`]
+//! accepts many in-flight reports, keys each by bug ([`BugKey`]:
+//! failure PC + module fingerprint), and runs every report's rounds
+//! over one shared, *warm* shard set: each shard's compiled walk
+//! table and keyed [`PointsToCache`] persist across sessions, so the
+//! second report for a bug reuses the solved points-to scope (the
+//! `pointsto.cache.*` counters, surfaced per shard as [`ShardStats`],
+//! prove the reuse). Sessions themselves are bounded by an idle TTL
+//! ([`ServerConfig::session_ttl`]): a coordinator that dies
+//! mid-protocol is swept on the next admission instead of pinning one
+//! of the [`MAX_SHARD_SESSIONS`] slots until daemon restart.
 
 use crate::candidates::select_candidates;
 use crate::daemon::{
@@ -61,7 +75,7 @@ use crate::processing::ProcessedTrace;
 use crate::remote::RemoteClient;
 use crate::server::{ordered_events_for, Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
 use crate::statistics::{top_pattern_count, PatternCounts, PatternStats};
-use lazy_analysis::PointsTo;
+use lazy_analysis::PointsToCache;
 use lazy_ir::{Module, Pc};
 use lazy_trace::{SnapshotView, TraceSnapshot};
 use lazy_vm::{Failure, FailureKind};
@@ -91,16 +105,58 @@ struct ShardSession {
     successful: Vec<Arc<ProcessedTrace>>,
     /// Candidate PC → type rank, derived in round 2 (empty before).
     rank_of: HashMap<Pc, u32>,
+    /// Last coordinator activity on this session. Sessions idle past
+    /// the shard's TTL are evicted on the next admission or sweep, so
+    /// a coordinator that dies mid-protocol cannot pin a capacity slot
+    /// until daemon restart.
+    touched: Instant,
+}
+
+/// A shard's warm-state and lifecycle counters — what `snorlax fleet
+/// route` and the concurrent bench read to prove sessions stay warm
+/// ([`FrameKind::FleetStats`] on the wire).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sessions currently open between protocol rounds.
+    pub open_sessions: u64,
+    /// Sessions ever evicted by the idle TTL.
+    pub sessions_evicted: u64,
+    /// Scoped points-to solves requested of the warm cache.
+    pub cache_lookups: u64,
+    /// Solves answered verbatim from a cached solution (same scope).
+    pub cache_exact_hits: u64,
+    /// Solves that extended a cached subset solution incrementally.
+    pub cache_delta_solves: u64,
+    /// Solves that ran from scratch (cold scope).
+    pub cache_scratch_solves: u64,
+}
+
+impl ShardStats {
+    /// Solves served at least partly from warm state.
+    pub fn warm_solves(&self) -> u64 {
+        self.cache_exact_hits + self.cache_delta_solves
+    }
 }
 
 /// The shard side of the fleet protocol: holds one module, decodes its
 /// partition of the trace corpus, and answers the three coordinator
 /// rounds. Embedded in every `snorlaxd` (the daemon dispatches fleet
 /// frames here) and usable in-process via [`ShardConn::Local`].
+///
+/// A shard is *warm*: its compiled walk table and its keyed
+/// [`PointsToCache`] persist across sessions, so a second report whose
+/// executed scope matches (or extends) an earlier one reuses the
+/// solved points-to state instead of re-solving from scratch.
 pub struct FleetShard<'m> {
     server: DiagnosisServer<'m>,
     cfg: ServerConfig,
     sessions: Mutex<HashMap<u64, ShardSession>>,
+    /// Persistent scoped points-to cache, shared by every session this
+    /// shard ever serves. Cached solves are byte-identical to scratch
+    /// solves (the least-fixpoint solution is unique), so warm reuse
+    /// never perturbs a diagnosis.
+    pts_cache: Mutex<PointsToCache>,
+    evicted: AtomicU64,
 }
 
 /// A shard's round-1 answer: its executed set plus decode-health sums.
@@ -161,6 +217,8 @@ impl<'m> FleetShard<'m> {
             server: DiagnosisServer::new(module, cfg.clone()),
             cfg,
             sessions: Mutex::new(HashMap::new()),
+            pts_cache: Mutex::new(PointsToCache::new()),
+            evicted: AtomicU64::new(0),
         };
         // Compile the walk table now, while the shard is idle: round-1
         // collect latency must not pay the one-time build cost.
@@ -170,6 +228,50 @@ impl<'m> FleetShard<'m> {
 
     fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ShardSession>> {
         self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drops every session idle past the TTL, returning how many were
+    /// evicted.
+    fn sweep_locked(&self, sessions: &mut HashMap<u64, ShardSession>) -> usize {
+        let now = Instant::now();
+        let before = sessions.len();
+        sessions.retain(|_, s| now.duration_since(s.touched) < self.cfg.session_ttl);
+        let evicted = before - sessions.len();
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+            lazy_obs::counter!("fleet.sessions_evicted_total", evicted as u64);
+        }
+        evicted
+    }
+
+    /// Evicts sessions idle past the configured TTL (the daemon calls
+    /// this from its periodic sweep; admissions sweep on their own).
+    /// Returns how many sessions were evicted.
+    pub fn sweep_expired(&self) -> usize {
+        let mut sessions = self.lock_sessions();
+        self.sweep_locked(&mut sessions)
+    }
+
+    /// Total sessions ever evicted by the idle TTL.
+    pub fn sessions_evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the shard's lifecycle and warm-cache counters.
+    pub fn stats(&self) -> ShardStats {
+        let cache = self
+            .pts_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats();
+        ShardStats {
+            open_sessions: self.lock_sessions().len() as u64,
+            sessions_evicted: self.sessions_evicted(),
+            cache_lookups: cache.lookups,
+            cache_exact_hits: cache.exact_hits,
+            cache_delta_solves: cache.delta_solves,
+            cache_scratch_solves: cache.scratch_solves,
+        }
     }
 
     /// Round 1: decode this shard's partition and report its executed
@@ -209,7 +311,10 @@ impl<'m> FleetShard<'m> {
     ) -> Result<CollectReply, DiagnosisError> {
         let _span = lazy_obs::span!("fleet.shard.collect");
         {
-            let sessions = self.lock_sessions();
+            // Admission sweeps expired sessions first: an abandoned
+            // coordinator must not brick the shard for live ones.
+            let mut sessions = self.lock_sessions();
+            self.sweep_locked(&mut sessions);
             if sessions.len() >= MAX_SHARD_SESSIONS && !sessions.contains_key(&session) {
                 return Err(DiagnosisError::Fleet {
                     detail: format!("shard at capacity: {MAX_SHARD_SESSIONS} open sessions"),
@@ -238,6 +343,7 @@ impl<'m> FleetShard<'m> {
                 failing: failing_traces,
                 successful: success_traces,
                 rank_of: HashMap::new(),
+                touched: Instant::now(),
             },
         );
         Ok(reply)
@@ -257,15 +363,25 @@ impl<'m> FleetShard<'m> {
         let module = self.server.module();
         let executed: HashSet<Pc> = executed.iter().copied().collect();
         let (failure, failing) = {
-            let sessions = self.lock_sessions();
-            let sess = sessions.get(&session).ok_or_else(|| unknown(session))?;
+            let mut sessions = self.lock_sessions();
+            let sess = sessions.get_mut(&session).ok_or_else(|| unknown(session))?;
+            sess.touched = Instant::now();
             (sess.failure.clone(), sess.failing.clone())
         };
         let is_deadlock = matches!(
             failure.kind,
             FailureKind::Deadlock { .. } | FailureKind::Hang
         );
-        let pts = PointsTo::analyze_scoped(module, &executed);
+        // The warm path: a repeat scope is answered from the persistent
+        // cache (exact hit), a grown scope extends a cached subset
+        // (delta solve) — both byte-identical to the scratch solve the
+        // cold path runs, because the least-fixpoint solution is
+        // unique for a given scope.
+        let pts = self
+            .pts_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .analyze_scoped(module, &executed);
         let mut cands = select_candidates(module, &pts, &executed, failure.pc, is_deadlock);
         if cands.ranked.len() > self.cfg.max_candidates {
             cands.ranked.truncate(self.cfg.max_candidates);
@@ -395,6 +511,19 @@ impl<'m> ShardConn<'m> {
             ShardConn::Remote(c) => c.fleet_finalize(session, patterns),
         }
     }
+
+    /// The shard's lifecycle and warm-cache counters
+    /// ([`FrameKind::FleetStats`] for a remote shard).
+    ///
+    /// # Errors
+    ///
+    /// Transport or frame errors from a remote shard.
+    pub fn stats(&mut self) -> Result<ShardStats, DiagnosisError> {
+        match self {
+            ShardConn::Local(s) => Ok(s.stats()),
+            ShardConn::Remote(c) => c.fleet_stats(),
+        }
+    }
 }
 
 /// What happened on one shard during a fleet diagnosis.
@@ -448,7 +577,7 @@ fn next_session() -> u64 {
 pub struct FleetCoordinator<'m> {
     module: &'m Module,
     cfg: ServerConfig,
-    shards: Vec<ShardConn<'m>>,
+    shards: Vec<Mutex<ShardConn<'m>>>,
 }
 
 impl<'m> FleetCoordinator<'m> {
@@ -463,7 +592,7 @@ impl<'m> FleetCoordinator<'m> {
         FleetCoordinator {
             module,
             cfg,
-            shards,
+            shards: shards.into_iter().map(Mutex::new).collect(),
         }
     }
 
@@ -482,6 +611,14 @@ impl<'m> FleetCoordinator<'m> {
         self.shards.len()
     }
 
+    /// Per-shard lifecycle and warm-cache counters, in shard order.
+    pub fn shard_stats(&mut self) -> Vec<Result<ShardStats, DiagnosisError>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).stats())
+            .collect()
+    }
+
     /// Runs the three-round fleet protocol and merges the result.
     ///
     /// # Errors
@@ -496,216 +633,448 @@ impl<'m> FleetCoordinator<'m> {
         failing: &[TraceSnapshot],
         successful: &[TraceSnapshot],
     ) -> Result<FleetOutcome, DiagnosisError> {
-        let _span = lazy_obs::span!("fleet.diagnose");
-        let started = Instant::now();
-        if self.shards.is_empty() {
-            return Err(DiagnosisError::Fleet {
-                detail: "no shards configured".to_owned(),
-            });
-        }
-        if failing.is_empty() {
-            return Err(DiagnosisError::EmptyReport);
-        }
-        let n = self.shards.len();
-        lazy_obs::counter!("fleet.shards_total", n);
-
-        // The global success cap applies BEFORE routing: a per-shard
-        // cap would depend on n and break equality with single-node.
-        let cap = self.cfg.success_factor * failing.len().max(1);
-        let successful = &successful[..successful.len().min(cap)];
-
-        // Round-robin routing: shard k gets failing traces k, k+n, …
-        // — a pure function of the input, and shard 0 always holds the
-        // globally-first failing trace (the `ordered_events` source).
-        let mut parts: Vec<(Vec<TraceSnapshot>, Vec<TraceSnapshot>)> =
-            (0..n).map(|_| (Vec::new(), Vec::new())).collect();
-        for (i, s) in failing.iter().enumerate() {
-            parts[i % n].0.push(s.clone());
-        }
-        for (j, s) in successful.iter().enumerate() {
-            parts[j % n].1.push(s.clone());
-        }
-        let mut reports: Vec<ShardReport> = parts
-            .iter()
-            .enumerate()
-            .map(|(k, (f, s))| ShardReport {
-                shard: k,
-                failing_routed: f.len(),
-                successful_routed: s.len(),
-                error: None,
-            })
-            .collect();
-
-        let session = next_session();
-        let is_deadlock = matches!(
-            failure.kind,
-            FailureKind::Deadlock { .. } | FailureKind::Hang
-        );
-
-        // Round 1: collect.
-        let round_started = Instant::now();
-        let collected: Vec<Option<CollectReply>> = {
-            let _round = lazy_obs::span!("fleet.collect");
-            let alive = vec![true; n];
-            record_round(
-                "collect",
-                &mut reports,
-                fan_out(&mut self.shards, &alive, |k, shard| {
-                    shard.collect(session, failure, &parts[k].0, &parts[k].1)
-                }),
-            )
-        };
-        let mut alive: Vec<bool> = collected.iter().map(Option::is_some).collect();
-        require_survivors(&alive, &reports)?;
-        let decode_micros = round_started.elapsed().as_micros();
-
-        let executed_union: BTreeSet<Pc> = collected
-            .iter()
-            .flatten()
-            .flat_map(|r| r.executed.iter().copied())
-            .collect();
-        let executed: Vec<Pc> = executed_union.into_iter().collect();
-
-        // Round 2: patterns against the global executed set.
-        let round_started = Instant::now();
-        let pattern_sets: Vec<Option<PatternsReply>> = {
-            let _round = lazy_obs::span!("fleet.patterns");
-            record_round(
-                "patterns",
-                &mut reports,
-                fan_out(&mut self.shards, &alive, |_, shard| {
-                    shard.patterns(session, &executed)
-                }),
-            )
-        };
-        for (a, r) in alive.iter_mut().zip(&pattern_sets) {
-            *a = *a && r.is_some();
-        }
-        require_survivors(&alive, &reports)?;
-        let points_to_micros = round_started.elapsed().as_micros();
-
-        // Union the shards' sorted+deduped sets: identical to the
-        // single-node sort+dedup over the concatenated per-trace runs.
-        let pattern_union: BTreeSet<BugPattern> = pattern_sets
-            .iter()
-            .flatten()
-            .flat_map(|r| r.patterns.iter().cloned())
-            .collect();
-        let patterns: Vec<BugPattern> = pattern_union.into_iter().collect();
-        lazy_obs::counter!("fleet.patterns_merged_total", patterns.len());
-        // Every shard derives these from the same global executed set;
-        // take the first survivor's.
-        let cand_info = pattern_sets
-            .iter()
-            .flatten()
-            .next()
-            .cloned()
-            .ok_or_else(|| DiagnosisError::Fleet {
-                detail: "no surviving shard reported candidates".to_owned(),
-            })?;
-
-        // Round 3: finalize — gather and merge partial statistics.
-        let round_started = Instant::now();
-        let finals: Vec<Option<FinalizeReply>> = {
-            let _round = lazy_obs::span!("fleet.finalize");
-            record_round(
-                "finalize",
-                &mut reports,
-                fan_out(&mut self.shards, &alive, |_, shard| {
-                    shard.finalize(session, &patterns)
-                }),
-            )
-        };
-        for (a, r) in alive.iter_mut().zip(&finals) {
-            *a = *a && r.is_some();
-        }
-        require_survivors(&alive, &reports)?;
-
-        let mut merged = PatternStats::empty();
-        for r in finals.iter().flatten() {
-            merged.merge(&r.stats);
-        }
-        lazy_obs::counter!(
-            "fleet.partial_stats_merged_total",
-            finals.iter().flatten().count()
-        );
-        let failed = reports.iter().filter(|r| r.error.is_some()).count();
-        lazy_obs::counter!("fleet.shard_failures_total", failed);
-
-        let scores = merged.finalize();
-        let top_patterns = if patterns.is_empty() {
-            0
-        } else {
-            top_pattern_count(&scores)
-        };
-
-        // Order the root cause's events using the earliest surviving
-        // shard that holds a failing trace — with full survival that is
-        // shard 0, whose first local failing trace IS the global first.
-        let time_map: BTreeMap<Pc, u64> = finals
-            .iter()
-            .enumerate()
-            .find(|(k, r)| r.is_some() && reports[*k].failing_routed > 0)
-            .and_then(|(_, r)| r.as_ref())
-            .map(|r| r.event_times.iter().copied().collect())
-            .unwrap_or_default();
-        let ordered_events = match scores.first().filter(|s| s.f1 > 0.0) {
-            Some(top) => ordered_events_for(top, |pc| time_map.get(&pc).copied()),
-            None => Vec::new(),
-        };
-
-        let sum_collected =
-            |f: &dyn Fn(&CollectReply) -> u64| -> u64 { collected.iter().flatten().map(f).sum() };
-        let stats = PipelineStats {
-            static_insts: self.module.inst_count(),
-            executed_insts: executed.len(),
-            pointer_insts: cand_info.pointer_insts as usize,
-            candidates: cand_info.candidates as usize,
-            rank1_candidates: cand_info.rank1_candidates as usize,
-            patterns: patterns.len(),
-            top_patterns,
-            events_total: sum_collected(&|r| r.events_total) as usize,
-            analysis_micros: started.elapsed().as_micros(),
-            decode_micros,
-            points_to_micros,
-            pattern_micros: round_started.elapsed().as_micros(),
-            decode_resyncs: collected.iter().flatten().map(|r| r.resyncs).sum(),
-            cyc_dropped: sum_collected(&|r| r.cyc_dropped),
-            mtc_dups: sum_collected(&|r| r.mtc_dups),
-        };
-        lazy_obs::histogram!("fleet.diagnose_us", stats.analysis_micros);
-        Ok(FleetOutcome {
-            diagnosis: Diagnosis {
-                scores,
-                stats,
-                failing_pc: cand_info.failing_pc,
-                is_deadlock,
-                ordered_events,
-            },
-            shard_reports: reports,
-            merged_stats: merged,
-        })
+        run_rounds(
+            self.module,
+            &self.cfg,
+            &self.shards,
+            failure,
+            failing,
+            successful,
+        )
     }
+}
+
+/// The identity the router keys reports by: the failure PC plus a
+/// structural fingerprint of the module it manifested in. Two
+/// endpoints reporting the same crash site of the same binary hash to
+/// the same bug, so their reports warm the same cached scopes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BugKey {
+    /// PC of the failing instruction.
+    pub failure_pc: Pc,
+    /// [`module_fingerprint`] of the module the failure was observed
+    /// in.
+    pub module_fp: u64,
+}
+
+impl BugKey {
+    /// The key for `failure` observed in `module`.
+    pub fn of(module: &Module, failure: &Failure) -> BugKey {
+        BugKey {
+            failure_pc: failure.pc,
+            module_fp: module_fingerprint(module),
+        }
+    }
+}
+
+/// FNV-1a over the module's identity-bearing shape: name, function
+/// count, instruction count, and PC layout extent. Cheap enough to
+/// compute per report, stable across runs of the same build, and any
+/// rebuild that moves code changes it — which is exactly when cached
+/// analysis state must not be conflated across binaries.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(module.name.as_bytes());
+    eat(&(module.functions().len() as u64).to_le_bytes());
+    eat(&(module.inst_count() as u64).to_le_bytes());
+    eat(&module.max_pc().0.to_le_bytes());
+    h
+}
+
+/// One endpoint's failure report, as submitted to the router.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// The failure the endpoint observed.
+    pub failure: Failure,
+    /// Snapshots from failing executions.
+    pub failing: Vec<TraceSnapshot>,
+    /// Snapshots from successful executions past the breakpoint.
+    pub successful: Vec<TraceSnapshot>,
+}
+
+/// Concurrent multi-report fleet diagnosis: accepts many in-flight
+/// reports, keys each by bug ([`BugKey`]), and runs every report's
+/// three-round protocol over one *shared* set of warm shards. Shards
+/// persist across reports — their compiled walk tables and keyed
+/// [`PointsToCache`]s survive — so the second report for a bug reuses
+/// the solved points-to scope (exact hit or delta solve) instead of
+/// re-solving from scratch, while each report's diagnosis stays
+/// byte-identical to running it alone on a single node.
+pub struct FleetRouter<'m> {
+    module: &'m Module,
+    cfg: ServerConfig,
+    shards: Vec<Mutex<ShardConn<'m>>>,
+    routes: Mutex<BTreeMap<BugKey, u64>>,
+}
+
+impl<'m> FleetRouter<'m> {
+    /// A router over `shards`; `cfg` must match the shards' (same
+    /// contract as [`FleetCoordinator::new`]).
+    pub fn new(
+        module: &'m Module,
+        cfg: ServerConfig,
+        shards: Vec<ShardConn<'m>>,
+    ) -> FleetRouter<'m> {
+        FleetRouter {
+            module,
+            cfg,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            routes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A router over `n` in-process warm shards.
+    pub fn in_process(module: &'m Module, cfg: ServerConfig, n: usize) -> FleetRouter<'m> {
+        let shards = (0..n)
+            .map(|_| ShardConn::local(module, cfg.clone()))
+            .collect();
+        FleetRouter::new(module, cfg, shards)
+    }
+
+    /// Shards configured.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes one report: keys it by bug, partitions its snapshots
+    /// round-robin across the shared shards, and runs the three-round
+    /// protocol. Identical routing and rounds to
+    /// [`FleetCoordinator::diagnose`], so the result is byte-identical
+    /// to a single-node diagnosis of the same report — warm state only
+    /// changes *how fast* the shards answer, never what they answer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FleetCoordinator::diagnose`]; an error fails
+    /// this report alone and leaves the shards warm for siblings.
+    pub fn route(&self, report: &FleetReport) -> Result<FleetOutcome, DiagnosisError> {
+        let key = BugKey::of(self.module, &report.failure);
+        {
+            let mut routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+            let seen = routes.entry(key).or_insert(0);
+            if *seen == 0 {
+                lazy_obs::counter!("fleet.router.bugs_total", 1u64);
+            }
+            *seen += 1;
+        }
+        lazy_obs::counter!("fleet.router.reports_total", 1u64);
+        run_rounds(
+            self.module,
+            &self.cfg,
+            &self.shards,
+            &report.failure,
+            &report.failing,
+            &report.successful,
+        )
+    }
+
+    /// Routes many in-flight reports concurrently; rounds interleave
+    /// across the shared shards. In-flight reports are bounded by the
+    /// machine's parallelism: an unbounded thread-per-report fan-out
+    /// just multiplies contention on the per-shard mutexes (and evicts
+    /// each other's decode working set) without adding wall-clock
+    /// overlap. On one core the pool degrades to warm sequential
+    /// routing, which is the throughput optimum there. Results come
+    /// back in input order; each report succeeds or fails alone —
+    /// interleaving safety is carried by the per-shard mutexes, not by
+    /// this pool (concurrent `route` calls from arbitrary threads are
+    /// equally fine).
+    pub fn route_all(&self, reports: &[FleetReport]) -> Vec<Result<FleetOutcome, DiagnosisError>> {
+        let mut out: Vec<Option<Result<FleetOutcome, DiagnosisError>>> =
+            reports.iter().map(|_| None).collect();
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(reports.len().max(1));
+        let slots = Mutex::new(out.iter_mut().zip(reports).enumerate());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((_, (slot, report))) = ({
+                        let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                        slots.next()
+                    }) else {
+                        return;
+                    };
+                    let r = catch_unwind(AssertUnwindSafe(|| self.route(report)))
+                        .unwrap_or_else(|p| Err(DiagnosisError::from_panic("fleet", p)));
+                    *slot = Some(r);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(DiagnosisError::Fleet {
+                        detail: "routed report returned no result".to_owned(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Reports routed so far for `key`.
+    pub fn reports_routed(&self, key: &BugKey) -> u64 {
+        self.routes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every bug the router has seen, with its report count.
+    pub fn known_bugs(&self) -> Vec<(BugKey, u64)> {
+        self.routes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, n)| (*k, *n))
+            .collect()
+    }
+
+    /// Per-shard lifecycle and warm-cache counters, in shard order —
+    /// the proof the shards actually stayed warm.
+    pub fn shard_stats(&self) -> Vec<Result<ShardStats, DiagnosisError>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).stats())
+            .collect()
+    }
+}
+
+/// The three-round fleet protocol over a shared shard set — the one
+/// implementation behind [`FleetCoordinator::diagnose`] (exclusive
+/// shards) and [`FleetRouter::route`] (shards shared by concurrent
+/// reports; per-shard mutexes serialize individual rounds).
+fn run_rounds(
+    module: &Module,
+    cfg: &ServerConfig,
+    shards: &[Mutex<ShardConn<'_>>],
+    failure: &Failure,
+    failing: &[TraceSnapshot],
+    successful: &[TraceSnapshot],
+) -> Result<FleetOutcome, DiagnosisError> {
+    let _span = lazy_obs::span!("fleet.diagnose");
+    let started = Instant::now();
+    if shards.is_empty() {
+        return Err(DiagnosisError::Fleet {
+            detail: "no shards configured".to_owned(),
+        });
+    }
+    if failing.is_empty() {
+        return Err(DiagnosisError::EmptyReport);
+    }
+    let n = shards.len();
+    lazy_obs::counter!("fleet.shards_total", n);
+
+    // The global success cap applies BEFORE routing: a per-shard
+    // cap would depend on n and break equality with single-node.
+    let cap = cfg.success_factor * failing.len().max(1);
+    let successful = &successful[..successful.len().min(cap)];
+
+    // Round-robin routing: shard k gets failing traces k, k+n, …
+    // — a pure function of the input, and shard 0 always holds the
+    // globally-first failing trace (the `ordered_events` source).
+    let mut parts: Vec<(Vec<TraceSnapshot>, Vec<TraceSnapshot>)> =
+        (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+    for (i, s) in failing.iter().enumerate() {
+        parts[i % n].0.push(s.clone());
+    }
+    for (j, s) in successful.iter().enumerate() {
+        parts[j % n].1.push(s.clone());
+    }
+    let mut reports: Vec<ShardReport> = parts
+        .iter()
+        .enumerate()
+        .map(|(k, (f, s))| ShardReport {
+            shard: k,
+            failing_routed: f.len(),
+            successful_routed: s.len(),
+            error: None,
+        })
+        .collect();
+
+    let session = next_session();
+    let is_deadlock = matches!(
+        failure.kind,
+        FailureKind::Deadlock { .. } | FailureKind::Hang
+    );
+
+    // Round 1: collect.
+    let round_started = Instant::now();
+    let collected: Vec<Option<CollectReply>> = {
+        let _round = lazy_obs::span!("fleet.collect");
+        let alive = vec![true; n];
+        record_round(
+            "collect",
+            &mut reports,
+            fan_out(shards, &alive, |k, shard| {
+                shard.collect(session, failure, &parts[k].0, &parts[k].1)
+            }),
+        )
+    };
+    let mut alive: Vec<bool> = collected.iter().map(Option::is_some).collect();
+    require_survivors(&alive, &reports)?;
+    let decode_micros = round_started.elapsed().as_micros();
+
+    let executed_union: BTreeSet<Pc> = collected
+        .iter()
+        .flatten()
+        .flat_map(|r| r.executed.iter().copied())
+        .collect();
+    let executed: Vec<Pc> = executed_union.into_iter().collect();
+
+    // Round 2: patterns against the global executed set.
+    let round_started = Instant::now();
+    let pattern_sets: Vec<Option<PatternsReply>> = {
+        let _round = lazy_obs::span!("fleet.patterns");
+        record_round(
+            "patterns",
+            &mut reports,
+            fan_out(shards, &alive, |_, shard| {
+                shard.patterns(session, &executed)
+            }),
+        )
+    };
+    for (a, r) in alive.iter_mut().zip(&pattern_sets) {
+        *a = *a && r.is_some();
+    }
+    require_survivors(&alive, &reports)?;
+    let points_to_micros = round_started.elapsed().as_micros();
+
+    // Union the shards' sorted+deduped sets: identical to the
+    // single-node sort+dedup over the concatenated per-trace runs.
+    let pattern_union: BTreeSet<BugPattern> = pattern_sets
+        .iter()
+        .flatten()
+        .flat_map(|r| r.patterns.iter().cloned())
+        .collect();
+    let patterns: Vec<BugPattern> = pattern_union.into_iter().collect();
+    lazy_obs::counter!("fleet.patterns_merged_total", patterns.len());
+    // Every shard derives these from the same global executed set;
+    // take the first survivor's.
+    let cand_info = pattern_sets
+        .iter()
+        .flatten()
+        .next()
+        .cloned()
+        .ok_or_else(|| DiagnosisError::Fleet {
+            detail: "no surviving shard reported candidates".to_owned(),
+        })?;
+
+    // Round 3: finalize — gather and merge partial statistics.
+    let round_started = Instant::now();
+    let finals: Vec<Option<FinalizeReply>> = {
+        let _round = lazy_obs::span!("fleet.finalize");
+        record_round(
+            "finalize",
+            &mut reports,
+            fan_out(shards, &alive, |_, shard| {
+                shard.finalize(session, &patterns)
+            }),
+        )
+    };
+    for (a, r) in alive.iter_mut().zip(&finals) {
+        *a = *a && r.is_some();
+    }
+    require_survivors(&alive, &reports)?;
+
+    let mut merged = PatternStats::empty();
+    for r in finals.iter().flatten() {
+        merged.merge(&r.stats);
+    }
+    lazy_obs::counter!(
+        "fleet.partial_stats_merged_total",
+        finals.iter().flatten().count()
+    );
+    let failed = reports.iter().filter(|r| r.error.is_some()).count();
+    lazy_obs::counter!("fleet.shard_failures_total", failed);
+
+    let scores = merged.finalize();
+    let top_patterns = if patterns.is_empty() {
+        0
+    } else {
+        top_pattern_count(&scores)
+    };
+
+    // Order the root cause's events using the earliest surviving
+    // shard that holds a failing trace — with full survival that is
+    // shard 0, whose first local failing trace IS the global first.
+    let time_map: BTreeMap<Pc, u64> = finals
+        .iter()
+        .enumerate()
+        .find(|(k, r)| r.is_some() && reports[*k].failing_routed > 0)
+        .and_then(|(_, r)| r.as_ref())
+        .map(|r| r.event_times.iter().copied().collect())
+        .unwrap_or_default();
+    let ordered_events = match scores.first().filter(|s| s.f1 > 0.0) {
+        Some(top) => ordered_events_for(top, |pc| time_map.get(&pc).copied()),
+        None => Vec::new(),
+    };
+
+    let sum_collected =
+        |f: &dyn Fn(&CollectReply) -> u64| -> u64 { collected.iter().flatten().map(f).sum() };
+    let stats = PipelineStats {
+        static_insts: module.inst_count(),
+        executed_insts: executed.len(),
+        pointer_insts: cand_info.pointer_insts as usize,
+        candidates: cand_info.candidates as usize,
+        rank1_candidates: cand_info.rank1_candidates as usize,
+        patterns: patterns.len(),
+        top_patterns,
+        events_total: sum_collected(&|r| r.events_total) as usize,
+        analysis_micros: started.elapsed().as_micros(),
+        decode_micros,
+        points_to_micros,
+        pattern_micros: round_started.elapsed().as_micros(),
+        decode_resyncs: collected.iter().flatten().map(|r| r.resyncs).sum(),
+        cyc_dropped: sum_collected(&|r| r.cyc_dropped),
+        mtc_dups: sum_collected(&|r| r.mtc_dups),
+    };
+    lazy_obs::histogram!("fleet.diagnose_us", stats.analysis_micros);
+    Ok(FleetOutcome {
+        diagnosis: Diagnosis {
+            scores,
+            stats,
+            failing_pc: cand_info.failing_pc,
+            is_deadlock,
+            ordered_events,
+        },
+        shard_reports: reports,
+        merged_stats: merged,
+    })
 }
 
 /// Runs `f` concurrently against every still-alive shard (one scoped
 /// thread each; a shard is one network peer, so parallel fan-out is the
-/// round's natural shape). A panic inside a shard call degrades that
-/// shard instead of unwinding through the scope.
+/// round's natural shape). Each thread locks exactly its own shard for
+/// the duration of the round — that per-shard mutex is what lets a
+/// [`FleetRouter`] interleave many reports over one shard set without
+/// interleaving bytes on a connection. A panic inside a shard call
+/// degrades that shard instead of unwinding through the scope.
 fn fan_out<R: Send>(
-    shards: &mut [ShardConn<'_>],
+    shards: &[Mutex<ShardConn<'_>>],
     alive: &[bool],
     f: impl Fn(usize, &mut ShardConn<'_>) -> Result<R, DiagnosisError> + Sync,
 ) -> Vec<Option<Result<R, DiagnosisError>>> {
     let mut slots: Vec<Option<Result<R, DiagnosisError>>> = shards.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
-        for ((k, shard), slot) in shards.iter_mut().enumerate().zip(slots.iter_mut()) {
+        for ((k, shard), slot) in shards.iter().enumerate().zip(slots.iter_mut()) {
             if !alive[k] {
                 continue;
             }
             let f = &f;
             scope.spawn(move || {
-                let r = catch_unwind(AssertUnwindSafe(|| f(k, shard)))
+                let mut conn = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                let r = catch_unwind(AssertUnwindSafe(|| f(k, &mut conn)))
                     .unwrap_or_else(|p| Err(DiagnosisError::from_panic("fleet", p)));
                 *slot = Some(r);
             });
@@ -1167,13 +1536,64 @@ pub fn decode_finalize_reply(payload: &[u8]) -> Result<FinalizeReply, FrameError
     })
 }
 
-/// Response-kind mapping for the three fleet requests — the daemon uses
+/// Encodes a [`FrameKind::FleetStats`] request payload. The request
+/// targets the daemon's one shard state, so it carries nothing.
+pub fn encode_fleet_stats() -> Vec<u8> {
+    Vec::new()
+}
+
+/// Decodes a [`FrameKind::FleetStats`] request payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] when the payload is not empty.
+pub fn decode_fleet_stats(payload: &[u8]) -> Result<(), FrameError> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        Err(FrameError::BadPayload("trailing bytes"))
+    }
+}
+
+/// Encodes a [`FrameKind::FleetStatsAck`] payload.
+pub fn encode_shard_stats(s: &ShardStats) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, s.open_sessions);
+    push_u64(&mut out, s.sessions_evicted);
+    push_u64(&mut out, s.cache_lookups);
+    push_u64(&mut out, s.cache_exact_hits);
+    push_u64(&mut out, s.cache_delta_solves);
+    push_u64(&mut out, s.cache_scratch_solves);
+    out
+}
+
+/// Decodes a [`FrameKind::FleetStatsAck`] payload.
+///
+/// # Errors
+///
+/// Frame errors on structural corruption.
+pub fn decode_shard_stats(payload: &[u8]) -> Result<ShardStats, FrameError> {
+    let mut c = cursor(payload);
+    let s = ShardStats {
+        open_sessions: c.u64()?,
+        sessions_evicted: c.u64()?,
+        cache_lookups: c.u64()?,
+        cache_exact_hits: c.u64()?,
+        cache_delta_solves: c.u64()?,
+        cache_scratch_solves: c.u64()?,
+    };
+    done(&c)?;
+    Ok(s)
+}
+
+/// Response-kind mapping for the fleet requests — the daemon uses
 /// this to pick the ack kind, the client to validate it.
 pub fn fleet_response_kind(request: FrameKind) -> Option<FrameKind> {
     match request {
         FrameKind::FleetCollect => Some(FrameKind::FleetCollectAck),
         FrameKind::FleetPatterns => Some(FrameKind::FleetPatternSet),
         FrameKind::FleetFinalize => Some(FrameKind::PartialStats),
+        FrameKind::FleetStats => Some(FrameKind::FleetStatsAck),
         _ => None,
     }
 }
@@ -1325,6 +1745,33 @@ mod tests {
     }
 
     #[test]
+    fn shard_stats_codec_roundtrips() {
+        let s = ShardStats {
+            open_sessions: 3,
+            sessions_evicted: 7,
+            cache_lookups: 40,
+            cache_exact_hits: 21,
+            cache_delta_solves: 4,
+            cache_scratch_solves: 15,
+        };
+        assert_eq!(s.warm_solves(), 25);
+        let wire = encode_shard_stats(&s);
+        assert_eq!(decode_shard_stats(&wire).unwrap(), s);
+        for cut in 0..wire.len() {
+            assert!(decode_shard_stats(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = wire;
+        trailing.push(0);
+        assert_eq!(
+            decode_shard_stats(&trailing),
+            Err(FrameError::BadPayload("trailing bytes"))
+        );
+        // The request payload is empty by contract.
+        assert!(decode_fleet_stats(&encode_fleet_stats()).is_ok());
+        assert!(decode_fleet_stats(&[0]).is_err());
+    }
+
+    #[test]
     fn response_kind_mapping_covers_the_three_rounds() {
         assert_eq!(
             fleet_response_kind(FrameKind::FleetCollect),
@@ -1337,6 +1784,10 @@ mod tests {
         assert_eq!(
             fleet_response_kind(FrameKind::FleetFinalize),
             Some(FrameKind::PartialStats)
+        );
+        assert_eq!(
+            fleet_response_kind(FrameKind::FleetStats),
+            Some(FrameKind::FleetStatsAck)
         );
         assert_eq!(fleet_response_kind(FrameKind::Diagnose), None);
     }

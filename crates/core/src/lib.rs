@@ -65,7 +65,10 @@ pub use candidates::{select_candidates, CandidateSet};
 pub use client::{CollectionClient, CollectionOutcome};
 pub use daemon::{serve, DaemonConfig, DaemonStats, FrameError, FrameKind};
 pub use error::DiagnosisError;
-pub use fleet::{FleetCoordinator, FleetOutcome, FleetShard, ShardConn, ShardReport};
+pub use fleet::{
+    module_fingerprint, BugKey, FleetCoordinator, FleetOutcome, FleetReport, FleetRouter,
+    FleetShard, ShardConn, ShardReport, ShardStats,
+};
 pub use multivar::multivar_patterns;
 pub use patterns::{AtomKind, BugPattern, DeadlockEdge, PatternEvent};
 pub use processing::{process_snapshot, DynInstance, ProcessedTrace};
@@ -73,6 +76,6 @@ pub use remote::RemoteClient;
 pub use server::{Diagnosis, DiagnosisServer, PipelineStats, ServerConfig};
 pub use statistics::{score_patterns, PatternScore, PatternStats, DEFAULT_TYPE_RANK};
 pub use streaming::{
-    hoeffding_lead_bound, interleave_reports, next_stream_session, Reservoir, SequentialRule,
-    StreamHub, StreamReport, StreamStatus, StreamingDiagnoser, StreamingOutcome,
+    event_time_margin, hoeffding_lead_bound, interleave_reports, next_stream_session, Reservoir,
+    SequentialRule, StreamHub, StreamReport, StreamStatus, StreamingDiagnoser, StreamingOutcome,
 };

@@ -21,8 +21,9 @@ use crate::daemon::{
 };
 use crate::error::DiagnosisError;
 use crate::fleet::{
-    decode_collect_reply, decode_finalize_reply, decode_patterns_reply, encode_fleet_collect,
-    encode_fleet_finalize, encode_fleet_patterns, CollectReply, FinalizeReply, PatternsReply,
+    decode_collect_reply, decode_finalize_reply, decode_patterns_reply, decode_shard_stats,
+    encode_fleet_collect, encode_fleet_finalize, encode_fleet_patterns, encode_fleet_stats,
+    CollectReply, FinalizeReply, PatternsReply, ShardStats,
 };
 use crate::patterns::BugPattern;
 use crate::streaming::{
@@ -230,6 +231,22 @@ impl RemoteClient {
             (FrameKind::PartialStats, p) => {
                 decode_finalize_reply(&p).map_err(DiagnosisError::Frame)
             }
+            other => Err(Self::reject(other)),
+        }
+    }
+
+    /// Probes the shard's session-lifecycle and warm-cache counters.
+    /// Side effect by protocol: the daemon runs its idle-session sweep
+    /// before answering, so the reported numbers are post-eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::Remote`] when the daemon rejects the probe,
+    /// [`DiagnosisError::Frame`] on transport failure.
+    pub fn fleet_stats(&mut self) -> Result<ShardStats, DiagnosisError> {
+        let payload = encode_fleet_stats();
+        match self.roundtrip(FrameKind::FleetStats, &payload)? {
+            (FrameKind::FleetStatsAck, p) => decode_shard_stats(&p).map_err(DiagnosisError::Frame),
             other => Err(Self::reject(other)),
         }
     }

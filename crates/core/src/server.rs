@@ -55,6 +55,10 @@ pub struct ServerConfig {
     /// same report order reproduces the same retained corpus bit for
     /// bit.
     pub stream_seed: u64,
+    /// Daemon session stores (`StreamHub`, `FleetShard`): sessions idle
+    /// longer than this are evicted on the next admission or sweep, so
+    /// an abandoned client cannot permanently occupy a capacity slot.
+    pub session_ttl: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +72,7 @@ impl Default for ServerConfig {
             confidence: 0.95,
             stream_reservoir: 256,
             stream_seed: 0x5eed_5eed_5eed_5eed,
+            session_ttl: std::time::Duration::from_secs(300),
         }
     }
 }

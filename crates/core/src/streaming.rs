@@ -26,6 +26,20 @@
 //!    bound with `n` the traces actually scored — so early exits get
 //!    rarer exactly when the evidence is thin.
 //!
+//! An F1 lead can sit at *exactly* zero forever: a runner-up with the
+//! same F1 but a different type rank or specificity is not a full-key
+//! tie, so it is the measured runner, yet `lead > 0` can never hold.
+//! For that case the rule carries a secondary tie-break statistic —
+//! the normalized *event-time margin* between the top pattern and the
+//! runner in the first failing trace: how much *narrower* the top
+//! pattern's tightest inter-event window is than the runner's. The
+//! racing window of a real root cause is tight by construction (the
+//! interloper squeezed between the coupled accesses), so among
+//! F1-tied leaders the tightly-coupled one is the credible root
+//! cause. When the lead is exactly zero, a positive tie margin
+//! clearing the same Hoeffding bound substitutes for it, so
+//! exactly-tied F1 leaders can still converge.
+//!
 //! Both knobs live in [`ServerConfig`]
 //! (`stability_window`, `confidence`). The rule itself is exposed as
 //! [`SequentialRule`] so the law "early exit never fires before
@@ -223,9 +237,16 @@ impl SequentialRule {
 
     /// Feeds one rescoring round: the current top pattern (`None` when
     /// nothing scored above zero), its lead over the first non-tied
-    /// runner-up, and the number of traces scored. Returns `true` when
-    /// the stream may exit early.
-    pub fn observe(&mut self, top: Option<&BugPattern>, lead: f64, n: usize) -> bool {
+    /// runner-up, the normalized event-time tie margin (only consulted
+    /// when the lead is exactly zero), and the number of traces
+    /// scored. Returns `true` when the stream may exit early.
+    pub fn observe(
+        &mut self,
+        top: Option<&BugPattern>,
+        lead: f64,
+        tie_margin: f64,
+        n: usize,
+    ) -> bool {
         self.observations += 1;
         match top {
             Some(t) if self.last_top.as_ref() == Some(t) => self.streak += 1,
@@ -238,7 +259,20 @@ impl SequentialRule {
                 self.streak = 0;
             }
         }
-        self.streak >= self.window && lead > 0.0 && lead >= hoeffding_lead_bound(self.confidence, n)
+        if self.streak < self.window {
+            return false;
+        }
+        let bound = hoeffding_lead_bound(self.confidence, n);
+        if lead > 0.0 {
+            return lead >= bound;
+        }
+        // Exact F1 tie with the runner: the lead is pinned at zero and
+        // the primary test can never fire. Fall back to the secondary
+        // statistic — a positive event-time margin clearing the same
+        // bound means the top pattern's events are measurably more
+        // separated in time than the runner's, which the F1 tie alone
+        // could not distinguish.
+        lead == 0.0 && tie_margin > 0.0 && tie_margin >= bound
     }
 
     /// Rounds observed so far.
@@ -427,19 +461,28 @@ impl StreamState {
         let scores = score_stream(server, &failure, &self.failing, &successes);
         let n = self.failing.len() + successes.len();
         let tied = top_pattern_count(&scores);
-        let (top, lead) = match scores.first().filter(|s| s.f1 > 0.0) {
+        let (top, lead, tie_margin) = match scores.first().filter(|s| s.f1 > 0.0) {
             Some(t) => {
                 // The runner-up is the first score NOT tied with the
                 // top (same F1 + type rank + specificity): an exact
                 // multi-pattern tie must not be measured against
                 // itself, or tied corpora could never converge.
-                let runner = scores.get(tied).map_or(0.0, |s| s.f1);
-                (Some(&t.pattern), t.f1 - runner)
+                let runner = scores.get(tied);
+                let lead = t.f1 - runner.map_or(0.0, |s| s.f1);
+                // Only an exact F1 tie needs the secondary statistic.
+                let tie_margin = match runner {
+                    Some(r) if lead == 0.0 => self
+                        .failing
+                        .first()
+                        .map_or(0.0, |t0| tie_break_margin(t0, &t.pattern, &r.pattern)),
+                    _ => 0.0,
+                };
+                (Some(&t.pattern), lead, tie_margin)
             }
-            None => (None, 0.0),
+            None => (None, 0.0, 0.0),
         };
         self.lead_history.push(lead);
-        if self.rule.observe(top, lead, n) && !self.converged {
+        if self.rule.observe(top, lead, tie_margin, n) && !self.converged {
             self.converged = true;
             lazy_obs::counter!("stream.converged_total", 1u64);
         }
@@ -485,6 +528,44 @@ impl StreamState {
             lead_history: self.lead_history.clone(),
         })
     }
+}
+
+/// A pattern's event-time margin in one trace: the smallest gap
+/// between the last-observed times (`time.lo` of the latest dynamic
+/// instance) of the pattern's pcs. Patterns whose events are widely
+/// separated in time carry a large margin; fewer than two of the
+/// pattern's pcs present in the trace yields zero (no temporal
+/// evidence at all).
+pub fn event_time_margin(trace: &ProcessedTrace, pattern: &BugPattern) -> f64 {
+    let mut times: Vec<u64> = pattern
+        .pcs()
+        .iter()
+        .filter_map(|pc| trace.instances_of(*pc).iter().map(|i| i.time.lo).max())
+        .collect();
+    if times.len() < 2 {
+        return 0.0;
+    }
+    times.sort_unstable();
+    times.windows(2).map(|w| w[1] - w[0]).min().unwrap_or(0) as f64
+}
+
+/// The normalized tie-break statistic fed to [`SequentialRule`] when
+/// the F1 lead is exactly zero: how much *smaller* the top pattern's
+/// [`event_time_margin`] is than the runner's, scaled into `[-1, 1]`
+/// so it is comparable to an F1 lead and to the Hoeffding bound.
+/// Positive means the top pattern's events are the more tightly
+/// coupled in time — the coarse-interleaving signature of a real
+/// racing window, where the interloper squeezed between the coupled
+/// accesses. Zero when neither pattern has temporal evidence in the
+/// trace.
+fn tie_break_margin(trace: &ProcessedTrace, top: &BugPattern, runner: &BugPattern) -> f64 {
+    let m_top = event_time_margin(trace, top);
+    let m_runner = event_time_margin(trace, runner);
+    let denom = m_top.max(m_runner);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (m_runner - m_top) / denom
 }
 
 /// Batch steps 4–7 over an accumulated streaming corpus, returning the
@@ -668,50 +749,104 @@ pub fn next_stream_session() -> u64 {
     (u64::from(std::process::id()) << 32) ^ n
 }
 
+/// One hub session plus its idle-eviction bookkeeping.
+struct StreamSlot {
+    state: Arc<Mutex<StreamState>>,
+    /// Last client activity (open, submit, or status probe). Sessions
+    /// idle past the hub's TTL are evicted on the next admission or
+    /// sweep, so an abandoned client cannot pin a capacity slot until
+    /// daemon restart.
+    touched: Instant,
+}
+
 /// The daemon side of streaming diagnosis: sessions keyed by a
 /// client-chosen id accumulate reports *across connections* and answer
 /// "converged yet?" probes. One hub lives per daemon (like the fleet
 /// shard state), so a session survives its submitting connections.
 pub struct StreamHub<'m> {
     server: DiagnosisServer<'m>,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<StreamState>>>>,
+    sessions: Mutex<HashMap<u64, StreamSlot>>,
+    session_ttl: std::time::Duration,
+    evicted: AtomicU64,
 }
 
 impl<'m> StreamHub<'m> {
     /// Creates a hub for `module`, pre-warming the walk table so the
     /// first submit does not pay the one-time build cost.
     pub fn new(module: &'m Module, cfg: ServerConfig) -> StreamHub<'m> {
+        let session_ttl = cfg.session_ttl;
         let hub = StreamHub {
             server: DiagnosisServer::new(module, cfg),
             sessions: Mutex::new(HashMap::new()),
+            session_ttl,
+            evicted: AtomicU64::new(0),
         };
         let _ = hub.server.walk_table();
         hub
     }
 
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Mutex<StreamState>>>> {
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, StreamSlot>> {
         self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Fetches (or opens) `session`. The map lock is held only for the
-    /// lookup; folds run under the per-session mutex so concurrent
-    /// sessions proceed in parallel while same-session submits
-    /// serialize.
+    /// Drops every session idle past the TTL, returning how many were
+    /// evicted. A submit already in flight on an evicted session
+    /// finishes against its own `Arc`; the *next* submit reopens a
+    /// fresh session.
+    fn sweep_locked(&self, sessions: &mut HashMap<u64, StreamSlot>) -> usize {
+        let now = Instant::now();
+        let before = sessions.len();
+        sessions.retain(|_, slot| now.duration_since(slot.touched) < self.session_ttl);
+        let evicted = before - sessions.len();
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+            lazy_obs::counter!("stream.sessions_evicted_total", evicted as u64);
+        }
+        evicted
+    }
+
+    /// Evicts sessions idle past the configured TTL (the daemon calls
+    /// this from its periodic sweep; admissions sweep on their own).
+    /// Returns how many sessions were evicted.
+    pub fn sweep_expired(&self) -> usize {
+        let mut sessions = self.lock_sessions();
+        self.sweep_locked(&mut sessions)
+    }
+
+    /// Total sessions ever evicted by the idle TTL.
+    pub fn sessions_evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Fetches (or opens) `session`, refreshing its idle timestamp.
+    /// The map lock is held only for the lookup; folds run under the
+    /// per-session mutex so concurrent sessions proceed in parallel
+    /// while same-session submits serialize. Admission of a *new*
+    /// session first sweeps expired ones, so abandoned sessions never
+    /// brick the hub.
     fn session(&self, session: u64, open: bool) -> Result<Arc<Mutex<StreamState>>, DiagnosisError> {
         let mut sessions = self.lock_sessions();
-        if let Some(s) = sessions.get(&session) {
-            return Ok(Arc::clone(s));
+        if let Some(slot) = sessions.get_mut(&session) {
+            slot.touched = Instant::now();
+            return Ok(Arc::clone(&slot.state));
         }
         if !open {
             return Err(unknown_session(session));
         }
+        self.sweep_locked(&mut sessions);
         if sessions.len() >= MAX_STREAM_SESSIONS {
             return Err(DiagnosisError::Remote {
                 detail: format!("stream hub at capacity: {MAX_STREAM_SESSIONS} open sessions"),
             });
         }
         let state = Arc::new(Mutex::new(StreamState::new(self.server.config())));
-        sessions.insert(session, Arc::clone(&state));
+        sessions.insert(
+            session,
+            StreamSlot {
+                state: Arc::clone(&state),
+                touched: Instant::now(),
+            },
+        );
         lazy_obs::counter!("stream.sessions_total", 1u64);
         Ok(state)
     }
@@ -774,11 +909,11 @@ impl<'m> StreamHub<'m> {
     /// [`DiagnosisError::EmptyReport`] when it never received a
     /// decodable failing report (the session closes either way).
     pub fn finish(&self, session: u64) -> Result<(StreamingOutcome, String), DiagnosisError> {
-        let state = self
+        let slot = self
             .lock_sessions()
             .remove(&session)
             .ok_or_else(|| unknown_session(session))?;
-        let state = state.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
         let outcome = state.finish(&self.server)?;
         let report = outcome.diagnosis.render(self.server.module());
         Ok((outcome, report))
@@ -1101,20 +1236,41 @@ mod tests {
         let mut rule = SequentialRule::new(3, 0.95);
         let p = pattern(0x10);
         // Huge lead, big n: still cannot fire before 3 observations.
-        assert!(!rule.observe(Some(&p), 1.0, 1000));
-        assert!(!rule.observe(Some(&p), 1.0, 1000));
-        assert!(rule.observe(Some(&p), 1.0, 1000));
+        assert!(!rule.observe(Some(&p), 1.0, 0.0, 1000));
+        assert!(!rule.observe(Some(&p), 1.0, 0.0, 1000));
+        assert!(rule.observe(Some(&p), 1.0, 0.0, 1000));
         // A top switch resets the streak.
         let q = pattern(0x20);
-        assert!(!rule.observe(Some(&q), 1.0, 1000));
-        assert!(!rule.observe(Some(&q), 1.0, 1000));
-        assert!(rule.observe(Some(&q), 1.0, 1000));
+        assert!(!rule.observe(Some(&q), 1.0, 0.0, 1000));
+        assert!(!rule.observe(Some(&q), 1.0, 0.0, 1000));
+        assert!(rule.observe(Some(&q), 1.0, 0.0, 1000));
         // A lead below the bound blocks the exit even on a long streak.
         let mut weak = SequentialRule::new(1, 0.95);
-        assert!(!weak.observe(Some(&p), 0.01, 3));
-        // Zero lead never exits.
+        assert!(!weak.observe(Some(&p), 0.01, 0.0, 3));
+        // Zero lead with no tie margin never exits.
         let mut tied = SequentialRule::new(1, 0.95);
-        assert!(!tied.observe(Some(&p), 0.0, 1000));
+        assert!(!tied.observe(Some(&p), 0.0, 0.0, 1000));
+    }
+
+    #[test]
+    fn rule_tie_margin_breaks_exact_f1_ties() {
+        let p = pattern(0x10);
+        // Exactly-tied F1 (lead 0) with a strong positive tie margin:
+        // the secondary statistic converges once the streak holds.
+        let mut rule = SequentialRule::new(2, 0.95);
+        assert!(!rule.observe(Some(&p), 0.0, 0.9, 1000));
+        assert!(rule.observe(Some(&p), 0.0, 0.9, 1000));
+        // The margin obeys the same Hoeffding bound: thin evidence
+        // blocks the tie path exactly as it blocks the lead path.
+        let mut thin = SequentialRule::new(1, 0.95);
+        assert!(!thin.observe(Some(&p), 0.0, 0.01, 3));
+        // A runner with the *larger* margin (negative statistic) never
+        // converges the tie.
+        let mut neg = SequentialRule::new(1, 0.95);
+        assert!(!neg.observe(Some(&p), 0.0, -0.9, 1000));
+        // A genuinely positive lead ignores the margin entirely.
+        let mut led = SequentialRule::new(1, 0.95);
+        assert!(led.observe(Some(&p), 1.0, -0.9, 1000));
     }
 
     #[test]

@@ -223,23 +223,33 @@ proptest! {
     }
 
     /// Early-exit law: however decisive the stream looks — maximal
-    /// lead, huge sample, an unchanging top pattern — the rule cannot
-    /// fire before `stability_window` observations.
+    /// lead, maximal tie margin, huge sample, an unchanging top
+    /// pattern — the rule cannot fire before `stability_window`
+    /// observations. The tie-break path obeys the same law as the
+    /// primary lead path.
     #[test]
     fn early_exit_never_fires_before_stability_window(
         window in 1usize..12,
         // The vendored proptest has no float-range strategies; draw
         // parts-per-million integers and scale.
         confidence_ppm in 500_000u32..999_000,
-        leads in prop::collection::vec((0u32..=1_000_000, 1usize..10_000), 1..24),
+        leads in prop::collection::vec(
+            (0u32..=1_000_000, 0u32..=1_000_000, 1usize..10_000),
+            1..24,
+        ),
     ) {
         let mut rule = SequentialRule::new(window, f64::from(confidence_ppm) / 1e6);
         let top = BugPattern::OrderViolation {
             first: event(0, true),
             second: event(1, false),
         };
-        for (i, &(lead_ppm, n)) in leads.iter().enumerate() {
-            let fired = rule.observe(Some(&top), f64::from(lead_ppm) / 1e6, n);
+        for (i, &(lead_ppm, margin_ppm, n)) in leads.iter().enumerate() {
+            let fired = rule.observe(
+                Some(&top),
+                f64::from(lead_ppm) / 1e6,
+                f64::from(margin_ppm) / 1e6,
+                n,
+            );
             if i + 1 < window {
                 prop_assert!(
                     !fired,

@@ -163,13 +163,53 @@ grep -q "snorlaxd drained:" "$SHARD1_LOG" && grep -q "snorlaxd drained:" "$SHARD
   || { echo "FAIL: a fleet shard did not report a graceful drain"; exit 1; }
 rm -f "$SHARD1_LOG" "$SHARD2_LOG"
 
+# Concurrent-fleet smoke: two warm shard daemons on ephemeral ports, 4
+# interleaved reports routed through one FleetRouter. The CLI
+# cross-checks every routed report against single-node, so one grep
+# per report proves byte-identity; the shard-stats lines (answered
+# over the FleetStats frame) prove the persistent points-to caches
+# actually went warm across reports.
+echo "==> concurrent fleet routing smoke (2 shards, 4 reports)"
+SHARD1_LOG=$(mktemp); SHARD2_LOG=$(mktemp)
+./target/release/snorlax fleet serve-shard mysql-3596 --port 0 > "$SHARD1_LOG" &
+SHARD1_PID=$!
+./target/release/snorlax fleet serve-shard mysql-3596 --port 0 > "$SHARD2_LOG" &
+SHARD2_PID=$!
+ADDR1=""; ADDR2=""
+for _ in $(seq 1 100); do
+  ADDR1=$(sed -n 's/^snorlaxd listening on \([0-9.:]*\) .*/\1/p' "$SHARD1_LOG")
+  ADDR2=$(sed -n 's/^snorlaxd listening on \([0-9.:]*\) .*/\1/p' "$SHARD2_LOG")
+  [[ -n "$ADDR1" && -n "$ADDR2" ]] && break
+  sleep 0.1
+done
+[[ -n "$ADDR1" && -n "$ADDR2" ]] \
+  || { echo "FAIL: routing shards never reported their addresses"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+ROUTE_OUT=$(./target/release/snorlax fleet route mysql-3596 --addrs "$ADDR1,$ADDR2" --reports 4)
+[[ "$(grep -c "byte-identical to single-node: yes" <<< "$ROUTE_OUT")" == "4" ]] \
+  || { echo "FAIL: not every routed report was byte-identical to single-node"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+grep -q "4 reports routed" <<< "$ROUTE_OUT" \
+  || { echo "FAIL: the router did not key all 4 reports to one bug"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+grep -Eq "shard [01]: .* [1-9][0-9]* exact " <<< "$ROUTE_OUT" \
+  || { echo "FAIL: no shard reported warm points-to cache hits"; kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null; exit 1; }
+./target/release/snorlax submit --addr "$ADDR1" --shutdown > /dev/null
+./target/release/snorlax submit --addr "$ADDR2" --shutdown > /dev/null
+wait "$SHARD1_PID" || { echo "FAIL: routing shard 1 exited nonzero"; exit 1; }
+wait "$SHARD2_PID" || { echo "FAIL: routing shard 2 exited nonzero"; exit 1; }
+rm -f "$SHARD1_LOG" "$SHARD2_LOG"
+
 echo "==> fleet bench smoke (--fast)"
 cargo run --release -q -p lazy-bench --bin fleet -- --fast --out /tmp/BENCH_fleet_ci.json
 
 # Same artifact contract as the other benches: the enabled flag, the
-# embedded telemetry object, and the coordinator's own span.
+# embedded telemetry object, and the coordinator's own span — plus the
+# concurrent-routing lane's warm-cache proof (per-shard exact-hit
+# counters) and the session-lifecycle eviction counters the TTL sweep
+# feeds (stream hub + fleet shard).
 echo "==> BENCH_fleet.json telemetry fields"
-for field in '"telemetry_enabled": true' '"telemetry":' '"fleet.diagnose"'; do
+for field in '"telemetry_enabled": true' '"telemetry":' '"fleet.diagnose"' \
+             '"concurrent"' '"warm_cache_exact_hits"' '"cache_exact_hits"' \
+             '"sessions_evicted"' '"stream.sessions_evicted_total"' \
+             '"fleet.sessions_evicted_total"'; do
   grep -qF "$field" /tmp/BENCH_fleet_ci.json \
     || { echo "FAIL: bench output missing $field"; exit 1; }
   grep -qF "$field" BENCH_fleet.json \

@@ -21,8 +21,8 @@ use lazy_diagnosis::snorlax::fleet::{
     encode_finalize_reply, encode_patterns_reply,
 };
 use lazy_diagnosis::snorlax::{
-    CollectionClient, CollectionOutcome, DiagnosisError, DiagnosisServer, FleetCoordinator,
-    FleetShard, RemoteClient, ServerConfig, ShardConn,
+    BugKey, CollectionClient, CollectionOutcome, DiagnosisError, DiagnosisServer, FleetCoordinator,
+    FleetReport, FleetRouter, FleetShard, RemoteClient, ServerConfig, ShardConn, ShardStats,
 };
 use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
 use lazy_diagnosis::vm::{Failure, VmConfig};
@@ -163,7 +163,17 @@ fn loopback_tcp_shards_are_byte_identical() {
     drop(coord); // close the shard connections before draining
 
     for addr in [addr_a, addr_b] {
-        RemoteClient::connect(addr).unwrap().shutdown().unwrap();
+        let mut probe = RemoteClient::connect(addr).unwrap();
+        // The stats probe must travel the wire (FleetStats frame) and
+        // account for the diagnosis that just ran on this daemon.
+        let stats = probe.fleet_stats().expect("fleet stats over TCP");
+        assert!(stats.cache_lookups > 0, "the shard solved at least once");
+        assert_eq!(
+            stats.cache_lookups,
+            stats.cache_exact_hits + stats.cache_delta_solves + stats.cache_scratch_solves,
+            "every lookup is an exact hit, a delta solve, or a scratch solve"
+        );
+        probe.shutdown().unwrap();
     }
     handle_a.join();
     handle_b.join();
@@ -320,4 +330,226 @@ fn corrupt_partial_stats_frame_is_typed_and_diagnosis_degrades() {
     );
     drop(coord);
     handle.join().unwrap();
+}
+
+/// `k` independent endpoint reports of the same bug: one collection
+/// each, seed-chained so every report carries distinct traces.
+fn fleet_reports(s: &BugScenario, k: usize) -> Vec<FleetReport> {
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let client = CollectionClient::new(&server, VmConfig::default());
+    let mut seed = 0u64;
+    (0..k)
+        .map(|_| {
+            let col = client
+                .collect(seed, 800, 10, 0)
+                .unwrap_or_else(|| panic!("{}: bug did not manifest", s.id));
+            seed = col.failing_seeds.last().copied().unwrap_or(seed) + 1;
+            FleetReport {
+                failure: col.failure,
+                failing: col.failing,
+                successful: col.successful,
+            }
+        })
+        .collect()
+}
+
+/// The tentpole's concurrency contract: K reports routed *in parallel*
+/// (one OS thread per report, `route` called directly so the
+/// interleaving is genuine even on one core) through a shared warm
+/// router must each render byte-identical to a serial single-node
+/// diagnosis of that report alone — at 2 and at 3 shards. A second
+/// wave over the same router must then answer from the persistent
+/// points-to caches: exact hits > 0 is the proof the shards stayed
+/// warm across reports.
+#[test]
+fn concurrent_routing_is_byte_identical_and_warms_caches() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let reports = fleet_reports(&s, 4);
+    let expected: Vec<String> = reports
+        .iter()
+        .map(|r| single_node_render(&s, &r.failure, &r.failing, &r.successful))
+        .collect();
+
+    for shards in [2usize, 3] {
+        let router = FleetRouter::in_process(&s.module, ServerConfig::default(), shards);
+        let renders: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = reports
+                .iter()
+                .map(|r| {
+                    scope.spawn(|| {
+                        let out = router.route(r).expect("concurrently routed report");
+                        assert_eq!(out.failed_shards(), 0, "no shard may fail a clean report");
+                        out.diagnosis.render(&s.module)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("route thread"))
+                .collect()
+        });
+        for (i, (got, want)) in renders.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got, want,
+                "{} @ {shards} shards: report {i} diverged under concurrent routing",
+                s.id
+            );
+        }
+
+        // All K reports key to the one bug (same failure PC, same
+        // module fingerprint).
+        let key = BugKey::of(&s.module, &reports[0].failure);
+        assert_eq!(
+            router.reports_routed(&key),
+            reports.len() as u64,
+            "{} @ {shards} shards: every report keys to the same bug",
+            s.id
+        );
+        assert_eq!(router.known_bugs().len(), 1, "exactly one bug known");
+
+        // Second wave over the same warm shards: identity holds and
+        // the persistent caches answer warm.
+        for (i, r) in router.route_all(&reports).iter().enumerate() {
+            let out = r.as_ref().expect("second-wave report");
+            assert_eq!(
+                out.diagnosis.render(&s.module),
+                expected[i],
+                "{} @ {shards} shards: report {i} diverged on warm shards",
+                s.id
+            );
+        }
+        let stats: Vec<ShardStats> = router
+            .shard_stats()
+            .into_iter()
+            .map(|r| r.expect("shard stats"))
+            .collect();
+        let exact: u64 = stats.iter().map(|st| st.cache_exact_hits).sum();
+        assert!(
+            exact > 0,
+            "{} @ {shards} shards: warm shards must hit the points-to cache",
+            s.id
+        );
+        for (i, st) in stats.iter().enumerate() {
+            assert_eq!(
+                st.cache_lookups,
+                st.cache_exact_hits + st.cache_delta_solves + st.cache_scratch_solves,
+                "shard {i}: every lookup is an exact hit, a delta solve, or a scratch solve"
+            );
+        }
+        println!(
+            "{} @ {shards} shards: ok (4 concurrent + 4 warm reports, {exact} exact cache hits)",
+            s.id
+        );
+    }
+}
+
+/// Fault isolation on shared warm shards: a report whose failing
+/// snapshots are Corruptor-mangled fails alone — its siblings, routed
+/// concurrently through the *same* shards, stay byte-identical to
+/// single-node, and the shards remain warm and usable afterwards.
+#[test]
+fn corrupt_report_fails_alone_while_siblings_stay_clean() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let mut reports = fleet_reports(&s, 3);
+    let expected: Vec<String> = reports
+        .iter()
+        .map(|r| single_node_render(&s, &r.failure, &r.failing, &r.successful))
+        .collect();
+
+    // Mangle the middle report so no thread decodes, with one corrupt
+    // failing trace per shard (round-robin puts one on each): every
+    // shard fails its round 1, so the report itself errors instead of
+    // degrading to a survivor partition.
+    let corruptor = Corruptor::new();
+    let dup = reports[1].failing[0].clone();
+    reports[1].failing.push(dup);
+    for snap in &mut reports[1].failing {
+        for t in &mut snap.threads {
+            t.bytes = corruptor.apply(&t.bytes, &CorruptionOp::Truncate { keep: 3 });
+        }
+    }
+
+    let router = FleetRouter::in_process(&s.module, ServerConfig::default(), 2);
+    let results = router.route_all(&reports);
+    assert!(
+        results[1].is_err(),
+        "the corrupt report must fail: {:?}",
+        results[1].as_ref().map(|o| o.failed_shards())
+    );
+    for i in [0usize, 2] {
+        let out = results[i]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("sibling report {i} must survive: {e}"));
+        assert_eq!(out.failed_shards(), 0, "sibling {i} sees no shard failure");
+        assert_eq!(
+            out.diagnosis.render(&s.module),
+            expected[i],
+            "sibling report {i} diverged from single-node beside a corrupt report"
+        );
+    }
+
+    // The shards stayed warm and serviceable: re-routing a clean
+    // report still renders identically.
+    let again = router
+        .route(&reports[0])
+        .expect("shards survive the corrupt report");
+    assert_eq!(
+        again.diagnosis.render(&s.module),
+        expected[0],
+        "warm re-route after a corrupt report diverged"
+    );
+}
+
+/// The shard session lifecycle (idle-TTL eviction): abandoned
+/// coordinator sessions first exhaust the shard's capacity, and with a
+/// short TTL the admission sweep reclaims them — new sessions admit
+/// again and the evictions are counted in [`ShardStats`].
+#[test]
+fn shard_capacity_recovers_after_session_ttl() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let (failure, failing, _) = combined_report(&s, 1);
+    let failing = &failing[..1]; // one trace per session keeps the fill cheap
+
+    // Default TTL (minutes): 64 abandoned round-1 sessions exhaust the
+    // shard, and the 65th open is refused with a typed error.
+    let shard = FleetShard::new(&s.module, ServerConfig::default());
+    for session in 1..=64u64 {
+        shard
+            .collect(session, &failure, failing, &[])
+            .unwrap_or_else(|e| panic!("session {session} admits below capacity: {e}"));
+    }
+    assert_eq!(shard.open_sessions(), 64);
+    let err = shard.collect(65, &failure, failing, &[]).unwrap_err();
+    assert!(
+        err.to_string().contains("at capacity"),
+        "the 65th session is refused while all slots are live: {err}"
+    );
+    assert_eq!(shard.stats().sessions_evicted, 0, "nothing expired yet");
+
+    // Short TTL: the same abandonment self-heals. Admission sweeps may
+    // already fire during the fill (each decode outlasts the TTL), so
+    // the contract is the cumulative eviction counter plus a
+    // successful new admission — not any single sweep's return value.
+    let tiny = ServerConfig {
+        session_ttl: std::time::Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let shard = FleetShard::new(&s.module, tiny);
+    for session in 1..=64u64 {
+        shard
+            .collect(session, &failure, failing, &[])
+            .unwrap_or_else(|e| panic!("session {session} admits (sweeps reclaim idle): {e}"));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    shard.sweep_expired();
+    let stats = shard.stats();
+    assert!(
+        stats.sessions_evicted >= 64,
+        "all 64 abandoned sessions are eventually evicted (got {})",
+        stats.sessions_evicted
+    );
+    assert_eq!(stats.open_sessions, 0, "the sweep leaves no idle session");
+    shard
+        .collect(65, &failure, failing, &[])
+        .expect("capacity recovered: a new session admits after the TTL");
 }

@@ -15,7 +15,7 @@ mod util;
 
 use lazy_diagnosis::snorlax::{
     interleave_reports, next_stream_session, CollectionClient, CollectionOutcome, DaemonConfig,
-    DiagnosisServer, RemoteClient, ServerConfig, StreamReport, StreamingDiagnoser,
+    DiagnosisServer, RemoteClient, ServerConfig, StreamHub, StreamReport, StreamingDiagnoser,
 };
 use lazy_diagnosis::trace::{CorruptionOp, Corruptor, TraceSnapshot};
 use lazy_diagnosis::vm::VmConfig;
@@ -296,4 +296,58 @@ fn daemon_stream_session_survives_reconnects_and_matches_in_process() {
 
     c2.shutdown().unwrap();
     guard.join();
+}
+
+/// The hub session lifecycle (idle-TTL eviction): 64 abandoned stream
+/// sessions first brick the hub at its capacity cap, and with a short
+/// TTL the admission sweep reclaims them — a new session admits again
+/// and `sessions_evicted` counts every reclaim. This is the capacity
+/// -recovery regression for clients that open sessions and vanish.
+#[test]
+fn stream_hub_capacity_recovers_after_session_ttl() {
+    let s = eval_scenarios().into_iter().next().unwrap();
+    let server = DiagnosisServer::new(&s.module, ServerConfig::default());
+    let col = collect(&server, &s);
+    let snap = col.failing[0].clone();
+
+    // Default TTL (minutes): 64 abandoned sessions exhaust the hub and
+    // the 65th open is refused with a typed capacity error.
+    let hub = StreamHub::new(&s.module, ServerConfig::default());
+    for session in 1..=64u64 {
+        hub.submit_failing(session, &col.failure, &snap.view())
+            .unwrap_or_else(|e| panic!("session {session} admits below capacity: {e}"));
+    }
+    assert_eq!(hub.open_sessions(), 64);
+    let err = hub
+        .submit_failing(65, &col.failure, &snap.view())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("at capacity"),
+        "the 65th session is refused while all slots are live: {err}"
+    );
+    assert_eq!(hub.sessions_evicted(), 0, "nothing expired yet");
+
+    // Short TTL: the same abandonment self-heals. Admission sweeps may
+    // already fire during the fill (each fold outlasts the TTL), so
+    // the contract is the cumulative eviction counter plus a
+    // successful new admission — not any single sweep's return value.
+    let tiny = ServerConfig {
+        session_ttl: std::time::Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let hub = StreamHub::new(&s.module, tiny);
+    for session in 1..=64u64 {
+        hub.submit_failing(session, &col.failure, &snap.view())
+            .unwrap_or_else(|e| panic!("session {session} admits (sweeps reclaim idle): {e}"));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    hub.sweep_expired();
+    assert!(
+        hub.sessions_evicted() >= 64,
+        "all 64 abandoned sessions are eventually evicted (got {})",
+        hub.sessions_evicted()
+    );
+    assert_eq!(hub.open_sessions(), 0, "the sweep leaves no idle session");
+    hub.submit_failing(65, &col.failure, &snap.view())
+        .expect("capacity recovered: a new session admits after the TTL");
 }
